@@ -1,0 +1,117 @@
+//! Ablations of mbTLS design choices DESIGN.md calls out:
+//!
+//! * per-hop keys vs a single shared key on the data plane (the price
+//!   of P4 path integrity and P1C change secrecy);
+//! * attestation on vs off in the secondary handshake (the price of
+//!   P3B code identity).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mbtls_core::attacks::Testbed;
+use mbtls_core::baseline::NaiveKeyShare;
+use mbtls_core::client::MbClientSession;
+use mbtls_core::dataplane::{fresh_hop_keys, FlowDirection, MiddleboxDataPlane};
+use mbtls_core::driver::{Chain, Relay};
+use mbtls_core::middlebox::Middlebox;
+use mbtls_core::server::MbServerSession;
+use mbtls_crypto::rng::CryptoRng;
+use mbtls_tls::record::ContentType;
+use mbtls_tls::suites::CipherSuite;
+
+/// Data plane: per-hop keys (real mbTLS) vs shared key (naive).
+/// Throughput is identical by construction — both decrypt and
+/// re-encrypt once — which *is* the result: path integrity costs no
+/// extra data-plane work, only key-distribution bytes.
+fn bench_perhop_vs_shared(c: &mut Criterion) {
+    const CHUNK: usize = 4096;
+    let mut group = c.benchmark_group("ablation_perhop_keys");
+    group.throughput(Throughput::Bytes(CHUNK as u64));
+
+    group.bench_function("per_hop_keys", |b| {
+        let mut rng = CryptoRng::from_seed(1);
+        let left = fresh_hop_keys(CipherSuite::EcdheAes256GcmSha384, &mut rng);
+        let right = fresh_hop_keys(CipherSuite::EcdheAes256GcmSha384, &mut rng);
+        let mut sender = left.seal_client_to_server().unwrap();
+        let mut mbox = MiddleboxDataPlane::new(&left, &right).unwrap();
+        let payload = vec![0x11u8; CHUNK];
+        b.iter(|| {
+            let rec = sender
+                .seal_record(ContentType::ApplicationData, &payload)
+                .unwrap();
+            mbox.feed(FlowDirection::ClientToServer, &rec, |_, p| p).unwrap();
+            std::hint::black_box(mbox.take_toward_server())
+        });
+    });
+
+    group.bench_function("shared_key_naive", |b| {
+        let mut rng = CryptoRng::from_seed(2);
+        let shared = fresh_hop_keys(CipherSuite::EcdheAes256GcmSha384, &mut rng);
+        let mut sender = shared.seal_client_to_server().unwrap();
+        let mut mbox = NaiveKeyShare::new();
+        mbox.install_keys(&shared).unwrap();
+        let payload = vec![0x22u8; CHUNK];
+        b.iter(|| {
+            let rec = sender
+                .seal_record(ContentType::ApplicationData, &payload)
+                .unwrap();
+            mbox.feed_left(&rec).unwrap();
+            std::hint::black_box(mbox.take_right())
+        });
+    });
+    group.finish();
+}
+
+/// Full session setup with the middlebox attesting vs not.
+fn bench_attestation_onoff(c: &mut Criterion) {
+    let tb = Testbed::new(0xAB1A7E);
+    let mut group = c.benchmark_group("ablation_attestation");
+    group.sample_size(10);
+
+    let mut seed = 0u64;
+    group.bench_function("with_attestation", |b| {
+        b.iter(|| {
+            seed += 1;
+            let client = MbClientSession::new(
+                Arc::new(tb.client_config()),
+                "server.example",
+                CryptoRng::from_seed(10_000 + seed),
+            );
+            let server = MbServerSession::new(
+                Arc::new(tb.server_config()),
+                CryptoRng::from_seed(20_000 + seed),
+            );
+            let mb = Middlebox::new(
+                tb.middlebox_config(&tb.mbox_code),
+                CryptoRng::from_seed(30_000 + seed),
+            );
+            let mut chain = Chain::new(Box::new(client), vec![Box::new(mb)], Box::new(server));
+            chain.run_handshake().unwrap();
+        })
+    });
+    group.bench_function("without_attestation", |b| {
+        b.iter(|| {
+            seed += 1;
+            let mut ccfg = tb.client_config();
+            ccfg.middlebox_attestation = None;
+            let client = MbClientSession::new(
+                Arc::new(ccfg),
+                "server.example",
+                CryptoRng::from_seed(40_000 + seed),
+            );
+            let server = MbServerSession::new(
+                Arc::new(tb.server_config()),
+                CryptoRng::from_seed(50_000 + seed),
+            );
+            let mut mcfg = tb.middlebox_config(&tb.mbox_code);
+            mcfg.attestor = None;
+            let mb = Middlebox::new(mcfg, CryptoRng::from_seed(60_000 + seed));
+            let mut chain = Chain::new(Box::new(client), vec![Box::new(mb)], Box::new(server));
+            chain.run_handshake().unwrap();
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_perhop_vs_shared, bench_attestation_onoff);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion bench behind Figure 5: full-handshake CPU cost for each
+//! configuration (whole-chain time; the per-role split is printed by
+//! the `figure5` binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mbtls_bench::fig5::{run_one, Config};
+
+fn bench_handshakes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("handshake_cpu");
+    group.sample_size(10);
+    for config in Config::all() {
+        let mut seed = 0u64;
+        group.bench_function(config.label(), |b| {
+            b.iter(|| {
+                seed += 1;
+                std::hint::black_box(run_one(config, 0xBEEF + seed))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_handshakes);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Session resumption (paper §3.5): full vs abbreviated handshake
+//! CPU cost.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mbtls_core::attacks::Testbed;
+use mbtls_core::client::MbClientSession;
+use mbtls_core::driver::Chain;
+use mbtls_core::server::MbServerSession;
+use mbtls_crypto::rng::CryptoRng;
+
+fn full_session(tb: &Testbed, seed: u64) -> mbtls_tls::session::ResumptionData {
+    let mut client = MbClientSession::new(
+        Arc::new(tb.client_config()),
+        "server.example",
+        CryptoRng::from_seed(seed),
+    );
+    let mut server =
+        MbServerSession::new(Arc::new(tb.server_config()), CryptoRng::from_seed(seed + 1));
+    for _ in 0..30 {
+        let b = client.take_outgoing();
+        server.feed_incoming(&b).unwrap();
+        let b = server.take_outgoing();
+        client.feed_incoming(&b).unwrap();
+        if client.is_ready() && server.is_ready() {
+            break;
+        }
+    }
+    client.resumption_data().expect("ticket")
+}
+
+fn bench_resumption(c: &mut Criterion) {
+    let tb = Testbed::new(0x5E55);
+    let resumption = full_session(&tb, 100);
+
+    let mut group = c.benchmark_group("handshake_kind");
+    group.sample_size(10);
+    let mut seed = 0u64;
+    group.bench_function("full", |b| {
+        b.iter(|| {
+            seed += 1;
+            let client = MbClientSession::new(
+                Arc::new(tb.client_config()),
+                "server.example",
+                CryptoRng::from_seed(1000 + seed),
+            );
+            let server = MbServerSession::new(
+                Arc::new(tb.server_config()),
+                CryptoRng::from_seed(2000 + seed),
+            );
+            let mut chain = Chain::new(Box::new(client), vec![], Box::new(server));
+            chain.run_handshake().unwrap();
+        })
+    });
+    group.bench_function("resumed_ticket", |b| {
+        b.iter(|| {
+            seed += 1;
+            let mut cfg = tb.client_config();
+            cfg.tls
+                .resumption_cache
+                .insert("server.example".into(), resumption.clone());
+            let client = MbClientSession::new(
+                Arc::new(cfg),
+                "server.example",
+                CryptoRng::from_seed(3000 + seed),
+            );
+            let server = MbServerSession::new(
+                Arc::new(tb.server_config()),
+                CryptoRng::from_seed(4000 + seed),
+            );
+            let mut chain = Chain::new(Box::new(client), vec![], Box::new(server));
+            chain.run_handshake().unwrap();
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_resumption);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion bench behind Figure 7: the real record-crypto component
+//! of middlebox throughput (decrypt + re-encrypt per chunk size),
+//! plus blind forwarding for contrast.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mbtls_core::dataplane::{fresh_hop_keys, FlowDirection, MiddleboxDataPlane};
+use mbtls_crypto::rng::CryptoRng;
+use mbtls_tls::record::ContentType;
+use mbtls_tls::suites::CipherSuite;
+
+fn bench_reencrypt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mbox_reencrypt");
+    for &chunk in &[512usize, 1024, 2048, 4096, 8192, 12 * 1024] {
+        group.throughput(Throughput::Bytes(chunk as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(chunk), &chunk, |b, &chunk| {
+            let mut rng = CryptoRng::from_seed(7);
+            let left = fresh_hop_keys(CipherSuite::EcdheAes256GcmSha384, &mut rng);
+            let right = fresh_hop_keys(CipherSuite::EcdheAes256GcmSha384, &mut rng);
+            let mut sender = left.seal_client_to_server().unwrap();
+            let mut mbox = MiddleboxDataPlane::new(&left, &right).unwrap();
+            let payload = vec![0xA5u8; chunk];
+            b.iter(|| {
+                let rec = sender
+                    .seal_record(ContentType::ApplicationData, &payload)
+                    .unwrap();
+                mbox.feed(FlowDirection::ClientToServer, &rec, |_, p| p)
+                    .unwrap();
+                std::hint::black_box(mbox.take_toward_server())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mbox_forward");
+    for &chunk in &[512usize, 4096, 12 * 1024] {
+        group.throughput(Throughput::Bytes(chunk as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(chunk), &chunk, |b, &chunk| {
+            use mbtls_core::baseline::PureRelay;
+            use mbtls_core::driver::Relay;
+            let mut relay = PureRelay::new();
+            let payload = vec![0xA5u8; chunk];
+            b.iter(|| {
+                relay.feed_left(&payload).unwrap();
+                std::hint::black_box(relay.take_right())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reencrypt, bench_forward);
+criterion_main!(benches);

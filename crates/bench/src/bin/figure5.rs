@@ -1,0 +1,50 @@
+//! Figure 5 — Handshake CPU Microbenchmarks.
+//!
+//! "Each bar shows the time spent executing a single handshake (not
+//! including waiting for network I/O)." Prints per-role means over N
+//! trials for the paper's seven configurations.
+//!
+//! Run: `cargo run --release -p mbtls-bench --bin figure5 [trials]`
+
+use mbtls_bench::fig5::{run_mean, Config};
+
+fn main() {
+    let trials: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(25);
+    println!("Figure 5: Handshake CPU microbenchmarks ({trials} trials per bar)");
+    println!("(virtual testbed; absolute times reflect this workspace's software crypto,");
+    println!(" shapes are the comparable quantity — see EXPERIMENTS.md)\n");
+    println!(
+        "{:<26} {:>12} {:>12} {:>12}",
+        "configuration", "client (ms)", "mbox (ms)", "server (ms)"
+    );
+    let mut baseline_server = None;
+    for config in Config::all() {
+        let times = run_mean(config, trials);
+        let ms = |d: std::time::Duration| d.as_secs_f64() * 1_000.0;
+        println!(
+            "{:<26} {:>12.3} {:>12.3} {:>12.3}",
+            config.label(),
+            ms(times.client),
+            ms(times.middlebox),
+            ms(times.server)
+        );
+        if config == Config::MbTlsNoMbox {
+            baseline_server = Some(times.server);
+        }
+    }
+    if let Some(base) = baseline_server {
+        println!("\nper-server-side-middlebox increments (vs mbTLS no-mbox server):");
+        for n in 1..=3usize {
+            let t = run_mean(Config::MbTlsServerMboxes(n), trials).server;
+            let delta = t.as_secs_f64() - base.as_secs_f64();
+            println!(
+                "  {n} server mbox(es): +{:.3} ms total, +{:.1}% of a no-mbox handshake per box",
+                delta * 1_000.0,
+                100.0 * delta / base.as_secs_f64() / n as f64
+            );
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Table 1 — Threats and Defenses: every row executed as a concrete
+//! attack against the implementation.
+//!
+//! Run: `cargo run --release -p mbtls-bench --bin table1_security_matrix`
+
+use mbtls_core::attacks::{full_matrix, Protocol};
+
+fn main() {
+    println!("Table 1: threats and defenses — executed attacks\n");
+    println!(
+        "{:<5} {:<62} {:<18} {:>9}",
+        "prop", "threat", "protocol", "blocked"
+    );
+    println!("{}", "-".repeat(98));
+    for report in full_matrix() {
+        let protocol = match report.protocol {
+            Protocol::MbTls => "mbTLS",
+            Protocol::NaiveKeyShare => "naive key share",
+            Protocol::MbTlsNoEnclave => "mbTLS w/o enclave",
+        };
+        println!(
+            "{:<5} {:<62} {:<18} {:>9}",
+            report.property,
+            truncate(report.threat, 62),
+            protocol,
+            if report.blocked { "BLOCKED" } else { "succeeds" }
+        );
+        println!("      defense: {} — {}", report.defense, report.detail);
+    }
+    println!("\nevery mbTLS row is blocked; the naive-key-share and no-enclave rows");
+    println!("succeed by design — they are the gaps the paper's mechanisms close.");
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        format!("{}…", &s[..n - 1])
+    }
+}

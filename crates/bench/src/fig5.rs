@@ -1,0 +1,274 @@
+//! Figure 5 — handshake CPU microbenchmarks.
+//!
+//! "Each bar shows the time spent executing a single handshake (not
+//! including waiting for network I/O)" for the client, middlebox, and
+//! server roles across seven configurations. We run the same
+//! configurations over in-memory pipes with [`crate::timing`] meters
+//! on every party.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use mbtls_core::attacks::Testbed;
+use mbtls_core::baseline::{PureRelay, SplitTlsMiddlebox};
+use mbtls_core::client::MbClientSession;
+use mbtls_core::driver::{Chain, LegacyClient, LegacyServer, Relay};
+use mbtls_core::middlebox::Middlebox;
+use mbtls_core::server::MbServerSession;
+use mbtls_crypto::rng::CryptoRng;
+use mbtls_pki::cert::{CertificateAuthority, CertifiedKey};
+use mbtls_pki::KeyUsage;
+use mbtls_tls::{ClientConnection, ServerConnection};
+
+use crate::timing::{CpuMeter, TimedEndpoint, TimedRelay};
+
+/// The Figure 5 configurations, in the paper's bar order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Config {
+    /// Plain TLS, middlebox is a dumb relay.
+    TlsNoMbox,
+    /// mbTLS endpoints, no middlebox.
+    MbTlsNoMbox,
+    /// Split TLS with one interception middlebox.
+    SplitTls1Mbox,
+    /// mbTLS with one client-side middlebox.
+    MbTls1ClientMbox,
+    /// mbTLS with N server-side middleboxes.
+    MbTlsServerMboxes(usize),
+}
+
+impl Config {
+    /// All seven paper configurations.
+    pub fn all() -> Vec<Config> {
+        vec![
+            Config::TlsNoMbox,
+            Config::MbTlsNoMbox,
+            Config::SplitTls1Mbox,
+            Config::MbTls1ClientMbox,
+            Config::MbTlsServerMboxes(1),
+            Config::MbTlsServerMboxes(2),
+            Config::MbTlsServerMboxes(3),
+        ]
+    }
+
+    /// Label matching the paper's legend.
+    pub fn label(self) -> String {
+        match self {
+            Config::TlsNoMbox => "TLS (no mbox)".into(),
+            Config::MbTlsNoMbox => "mbTLS (no mbox)".into(),
+            Config::SplitTls1Mbox => "\"Split\" TLS (1 mbox)".into(),
+            Config::MbTls1ClientMbox => "mbTLS (1 client mbox)".into(),
+            Config::MbTlsServerMboxes(n) => format!("mbTLS ({n} server mbox{})", if n == 1 { "" } else { "es" }),
+        }
+    }
+}
+
+/// Per-role CPU time for one handshake.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoleTimes {
+    /// Client CPU time.
+    pub client: Duration,
+    /// Sum over all middleboxes (zero when none).
+    pub middlebox: Duration,
+    /// Server CPU time.
+    pub server: Duration,
+}
+
+/// Run one handshake of the given config, returning per-role times.
+pub fn run_one(config: Config, seed: u64) -> RoleTimes {
+    let tb = Testbed::new(seed);
+    let client_meter = CpuMeter::new();
+    let mbox_meter = CpuMeter::new();
+    let server_meter = CpuMeter::new();
+
+    let mut chain = match config {
+        Config::TlsNoMbox => {
+            let mut rng = CryptoRng::from_seed(seed + 1);
+            let client = LegacyClient::new(
+                ClientConnection::new(
+                    Arc::new(mbtls_tls::config::ClientConfig::new(tb.server_trust.clone())),
+                    "server.example",
+                    &mut rng,
+                ),
+                rng.fork(),
+            );
+            let server = LegacyServer::new(
+                ServerConnection::new(Arc::new(mbtls_tls::config::ServerConfig::new(
+                    tb.server_key.clone(),
+                    [1u8; 32],
+                ))),
+                rng.fork(),
+            );
+            Chain::new(
+                Box::new(TimedEndpoint::new(client, client_meter.clone())),
+                vec![Box::new(TimedRelay::new(PureRelay::new(), mbox_meter.clone()))],
+                Box::new(TimedEndpoint::new(server, server_meter.clone())),
+            )
+        }
+        Config::MbTlsNoMbox => {
+            let client = MbClientSession::new(
+                Arc::new(tb.client_config()),
+                "server.example",
+                CryptoRng::from_seed(seed + 1),
+            );
+            let server =
+                MbServerSession::new(Arc::new(tb.server_config()), CryptoRng::from_seed(seed + 2));
+            Chain::new(
+                Box::new(TimedEndpoint::new(client, client_meter.clone())),
+                vec![],
+                Box::new(TimedEndpoint::new(server, server_meter.clone())),
+            )
+        }
+        Config::SplitTls1Mbox => {
+            // The interception deployment: the client trusts a custom
+            // root whose key the middlebox holds; the middlebox forges
+            // the server's certificate.
+            let mut rng = CryptoRng::from_seed(seed + 1);
+            let mut corp_ca =
+                CertificateAuthority::new_root("Corp Interception Root", 0, 10_000_000, &mut rng);
+            let forged = Arc::new(CertifiedKey::issue(
+                &mut corp_ca,
+                "server.example",
+                &[],
+                0,
+                10_000_000,
+                KeyUsage::Endpoint,
+                &mut rng,
+            ));
+            let mut client_trust = mbtls_pki::TrustStore::new();
+            client_trust.add_root(corp_ca.certificate().clone());
+            let client = LegacyClient::new(
+                ClientConnection::new(
+                    Arc::new(mbtls_tls::config::ClientConfig::new(Arc::new(client_trust))),
+                    "server.example",
+                    &mut rng,
+                ),
+                rng.fork(),
+            );
+            let split = SplitTlsMiddlebox::new(
+                Arc::new(mbtls_tls::config::ServerConfig::new(forged, [2u8; 32])),
+                Arc::new(mbtls_tls::config::ClientConfig::new(tb.server_trust.clone())),
+                "server.example",
+                rng.fork(),
+            );
+            let server = LegacyServer::new(
+                ServerConnection::new(Arc::new(mbtls_tls::config::ServerConfig::new(
+                    tb.server_key.clone(),
+                    [1u8; 32],
+                ))),
+                rng.fork(),
+            );
+            Chain::new(
+                Box::new(TimedEndpoint::new(client, client_meter.clone())),
+                vec![Box::new(TimedRelay::new(split, mbox_meter.clone()))],
+                Box::new(TimedEndpoint::new(server, server_meter.clone())),
+            )
+        }
+        Config::MbTls1ClientMbox => {
+            let client = MbClientSession::new(
+                Arc::new(tb.client_config()),
+                "server.example",
+                CryptoRng::from_seed(seed + 1),
+            );
+            let server =
+                MbServerSession::new(Arc::new(tb.server_config()), CryptoRng::from_seed(seed + 2));
+            let mb = Middlebox::new(
+                tb.middlebox_config(&tb.mbox_code),
+                CryptoRng::from_seed(seed + 3),
+            );
+            Chain::new(
+                Box::new(TimedEndpoint::new(client, client_meter.clone())),
+                vec![Box::new(TimedRelay::new(mb, mbox_meter.clone()))],
+                Box::new(TimedEndpoint::new(server, server_meter.clone())),
+            )
+        }
+        Config::MbTlsServerMboxes(n) => {
+            // Server-side middleboxes join via announcement, which
+            // requires a legacy (non-mbTLS) ClientHello in this
+            // implementation; the client's cost is a plain TLS client
+            // handshake either way.
+            let mut rng = CryptoRng::from_seed(seed + 1);
+            let client = LegacyClient::new(
+                ClientConnection::new(
+                    Arc::new(mbtls_tls::config::ClientConfig::new(tb.server_trust.clone())),
+                    "server.example",
+                    &mut rng,
+                ),
+                rng.fork(),
+            );
+            let server =
+                MbServerSession::new(Arc::new(tb.server_config()), CryptoRng::from_seed(seed + 2));
+            let mut middles: Vec<Box<dyn Relay>> = Vec::new();
+            for i in 0..n {
+                middles.push(Box::new(TimedRelay::new(
+                    Middlebox::new(
+                        tb.middlebox_config(&tb.mbox_code),
+                        CryptoRng::from_seed(seed + 10 + i as u64),
+                    ),
+                    mbox_meter.clone(),
+                )));
+            }
+            Chain::new(
+                Box::new(TimedEndpoint::new(client, client_meter.clone())),
+                middles,
+                Box::new(TimedEndpoint::new(server, server_meter.clone())),
+            )
+        }
+    };
+
+    chain.run_handshake().expect("handshake completes");
+    RoleTimes {
+        client: client_meter.total(),
+        middlebox: mbox_meter.total(),
+        server: server_meter.total(),
+    }
+}
+
+/// Run `trials` handshakes and return the mean per-role times.
+pub fn run_mean(config: Config, trials: u64) -> RoleTimes {
+    let mut sum = RoleTimes::default();
+    for t in 0..trials {
+        let one = run_one(config, 0xF16_5000 + t * 7919);
+        sum.client += one.client;
+        sum.middlebox += one.middlebox;
+        sum.server += one.server;
+    }
+    RoleTimes {
+        client: sum.client / trials as u32,
+        middlebox: sum.middlebox / trials as u32,
+        server: sum.server / trials as u32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_configs_complete() {
+        for config in Config::all() {
+            let times = run_one(config, 1);
+            assert!(times.client > Duration::ZERO, "{config:?} client");
+            assert!(times.server > Duration::ZERO, "{config:?} server");
+        }
+    }
+
+    #[test]
+    fn server_cost_grows_with_server_side_mboxes() {
+        let t1 = run_mean(Config::MbTlsServerMboxes(1), 3).server;
+        let t3 = run_mean(Config::MbTlsServerMboxes(3), 3).server;
+        assert!(t3 > t1, "3 mboxes ({t3:?}) should cost the server more than 1 ({t1:?})");
+    }
+
+    #[test]
+    fn split_tls_middlebox_costs_more_than_mbtls_middlebox() {
+        // The paper's key middlebox result: Split TLS does two
+        // handshakes, the mbTLS middlebox only one.
+        let split = run_mean(Config::SplitTls1Mbox, 3).middlebox;
+        let mbtls = run_mean(Config::MbTls1ClientMbox, 3).middlebox;
+        assert!(
+            split > mbtls,
+            "split ({split:?}) should exceed mbTLS ({mbtls:?})"
+        );
+    }
+}

@@ -1,0 +1,14 @@
+//! # mbtls-bench
+//!
+//! The experiment harness: one module per paper table/figure, each
+//! exposing a library entry point used by both the printing binaries
+//! (`src/bin/*`) and the Criterion benches (`benches/*`). See
+//! DESIGN.md §5 for the experiment index and EXPERIMENTS.md for
+//! paper-vs-measured results.
+
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod sites;
+pub mod table2;
+pub mod timing;

@@ -1,0 +1,514 @@
+//! The mbTLS client endpoint.
+//!
+//! Runs the primary TLS handshake with the server and, multiplexed
+//! over the same byte stream in Encapsulated records, one secondary
+//! TLS handshake per client-side middlebox (pre-configured or
+//! discovered in-band). After all handshakes complete it generates
+//! unique per-hop keys, distributes them over the secondary sessions,
+//! and switches to the per-hop data plane (paper §3.4, Figures 3-4).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use mbtls_crypto::rng::CryptoRng;
+use mbtls_pki::{KeyUsage, TrustStore};
+use mbtls_tls::config::{AttestationPolicy, ClientConfig};
+use mbtls_tls::messages::{extension_type, Extension};
+use mbtls_tls::record::{frame_plaintext, ContentType, RecordReader};
+use mbtls_tls::session::SessionKeys;
+use mbtls_tls::suites::CipherSuite;
+use mbtls_tls::{ClientConnection, TlsError};
+
+use crate::dataplane::{fresh_hop_keys, EndpointDataPlane};
+use crate::messages::{Encapsulated, KeyMaterial, MiddleboxSupport, SecondaryMessage};
+use crate::MbError;
+
+/// How the client decides whether a (verified) middlebox may join.
+#[derive(Clone)]
+pub enum ApprovalPolicy {
+    /// Any middlebox with a valid certificate (and attestation, if
+    /// required) may join — the "pre-configured to trust a known set"
+    /// deployment (paper §3.5 Trust).
+    AllVerified,
+    /// Only middleboxes whose certificate subject is in this list.
+    AllowList(Vec<String>),
+    /// Refuse all middleboxes (they fall back to pure relays).
+    DenyAll,
+}
+
+/// mbTLS client configuration.
+pub struct MbClientConfig {
+    /// Configuration for the primary connection (server trust, suites,
+    /// server attestation policy, resumption cache, ...).
+    pub tls: ClientConfig,
+    /// Trust roots for middlebox certificates.
+    pub middlebox_trust: Arc<TrustStore>,
+    /// Attestation policy middleboxes must satisfy (None = attestation
+    /// not required — e.g. middleboxes on trusted in-house hardware).
+    pub middlebox_attestation: Option<AttestationPolicy>,
+    /// Approval policy applied after verification.
+    pub approval: ApprovalPolicy,
+    /// Names of middleboxes known a priori (sent in the
+    /// MiddleboxSupport extension).
+    pub preconfigured: Vec<String>,
+    /// Send the MiddleboxSupport extension at all (false = behave as
+    /// a legacy TLS client).
+    pub mbtls_enabled: bool,
+}
+
+impl MbClientConfig {
+    /// Defaults over the given server and middlebox trust stores.
+    pub fn new(server_trust: Arc<TrustStore>, middlebox_trust: Arc<TrustStore>) -> Self {
+        MbClientConfig {
+            tls: ClientConfig::new(server_trust),
+            middlebox_trust,
+            middlebox_attestation: None,
+            approval: ApprovalPolicy::AllVerified,
+            preconfigured: Vec::new(),
+            mbtls_enabled: true,
+        }
+    }
+}
+
+/// State of one secondary (client ↔ middlebox) session.
+struct Secondary {
+    conn: ClientConnection,
+    /// Subject name from the verified certificate.
+    verified_name: Option<String>,
+    /// Approved to receive keys.
+    approved: bool,
+    /// Explicitly rejected (alert sent).
+    rejected: bool,
+}
+
+/// Information about a middlebox that joined (or tried to).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MiddleboxInfo {
+    /// Subchannel ID.
+    pub subchannel: u8,
+    /// Certificate subject, once verified.
+    pub name: Option<String>,
+    /// Whether it received session keys.
+    pub approved: bool,
+}
+
+/// The mbTLS client session.
+pub struct MbClientSession {
+    config: Arc<MbClientConfig>,
+    rng: CryptoRng,
+
+    primary: ClientConnection,
+    secondaries: BTreeMap<u8, Secondary>,
+    reader: RecordReader,
+    out: Vec<u8>,
+
+    keys_distributed: bool,
+    dataplane: Option<EndpointDataPlane>,
+    error: Option<MbError>,
+}
+
+impl MbClientSession {
+    /// Open a session toward `server_name`. The ClientHello (with the
+    /// MiddleboxSupport extension) is queued immediately.
+    pub fn new(config: Arc<MbClientConfig>, server_name: &str, mut rng: CryptoRng) -> Self {
+        // Primary TLS config plus the MiddleboxSupport extension.
+        let mut tls_config = clone_client_config(&config.tls);
+        if config.mbtls_enabled {
+            tls_config.extra_extensions.push(Extension {
+                typ: extension_type::MIDDLEBOX_SUPPORT,
+                data: MiddleboxSupport {
+                    preconfigured: config.preconfigured.clone(),
+                }
+                .encode(),
+            });
+        }
+        let primary = ClientConnection::new(Arc::new(tls_config), server_name, &mut rng);
+        MbClientSession {
+            config,
+            rng,
+            primary,
+            secondaries: BTreeMap::new(),
+            reader: RecordReader::new(),
+            out: Vec::new(),
+            keys_distributed: false,
+            dataplane: None,
+            error: None,
+        }
+    }
+
+    /// Wire bytes to send.
+    pub fn take_outgoing(&mut self) -> Vec<u8> {
+        self.pump();
+        // Primary-session records flush first (the paper's Fig. 3
+        // shows secondary flights following the primary ones within a
+        // flight), then mbTLS control records, then data-plane
+        // records.
+        let mut out = self.primary.take_outgoing();
+        out.extend(std::mem::take(&mut self.out));
+        if let Some(dp) = &mut self.dataplane {
+            out.extend(dp.take_outgoing());
+        }
+        out
+    }
+
+    /// Feed bytes from the wire.
+    pub fn feed_incoming(&mut self, data: &[u8]) -> Result<(), MbError> {
+        if let Some(e) = &self.error {
+            return Err(e.clone());
+        }
+        self.reader.feed(data);
+        loop {
+            let rec = match self.reader.next_record() {
+                Ok(Some(r)) => r,
+                Ok(None) => break,
+                Err(e) => {
+                    let e = MbError::Tls(e);
+                    self.error = Some(e.clone());
+                    return Err(e);
+                }
+            };
+            if let Err(e) = self.route_record(rec.content_type_byte, rec.body) {
+                self.error = Some(e.clone());
+                return Err(e);
+            }
+        }
+        self.pump();
+        Ok(())
+    }
+
+    fn route_record(&mut self, ct_byte: u8, body: Vec<u8>) -> Result<(), MbError> {
+        match ContentType::from_u8(ct_byte) {
+            Some(ContentType::MbtlsEncapsulated) => {
+                let enc = Encapsulated::decode(&body)?;
+                self.handle_encapsulated(enc)
+            }
+            Some(ContentType::ApplicationData | ContentType::Alert)
+                if self.dataplane.is_some() =>
+            {
+                // Post-handshake records (data and close alerts) are
+                // protected under the adjacent hop's keys.
+                let dp = self.dataplane.as_mut().unwrap();
+                dp.feed(&reframe(ct_byte, &body)).map_err(MbError::Tls)
+            }
+            _ => {
+                // Primary-session record (handshake, CCS, alert, or
+                // pre-dataplane application data).
+                self.primary
+                    .feed_incoming(&reframe(ct_byte, &body), &mut self.rng)
+                    .map_err(MbError::Tls)?;
+                // Anything the primary surfaced as non-standard (e.g.
+                // a stray announcement) is ignored by clients.
+                let _ = self.primary.take_nonstandard_records();
+                Ok(())
+            }
+        }
+    }
+
+    fn handle_encapsulated(&mut self, enc: Encapsulated) -> Result<(), MbError> {
+        let id = enc.subchannel;
+        if !self.secondaries.contains_key(&id) {
+            if self.keys_distributed {
+                return Err(MbError::Protocol("middlebox announced after key distribution"));
+            }
+            // A middlebox announcing itself: its secondary ServerHello
+            // responds to our (shared) primary ClientHello.
+            let mut sec_cfg = ClientConfig::new(self.config.middlebox_trust.clone());
+            sec_cfg.suites = self.config.tls.suites.clone();
+            sec_cfg.current_time = self.config.tls.current_time;
+            // Name is unknown until the certificate arrives; chain and
+            // name policy are enforced post-handshake in
+            // `verify_and_approve`.
+            sec_cfg.danger_disable_cert_verify = true;
+            sec_cfg.attestation_policy = self.config.middlebox_attestation.clone();
+            sec_cfg.enable_tickets = self.config.tls.enable_tickets;
+            let conn = ClientConnection::with_reused_hello(
+                Arc::new(sec_cfg),
+                "",
+                self.primary.hello().clone(),
+            );
+            self.secondaries.insert(
+                id,
+                Secondary {
+                    conn,
+                    verified_name: None,
+                    approved: false,
+                    rejected: false,
+                },
+            );
+        }
+        let sec = self.secondaries.get_mut(&id).unwrap();
+        if sec.rejected {
+            return Ok(());
+        }
+        if let Err(e) = sec.conn.feed_incoming(&enc.record, &mut self.rng) {
+            // A failed secondary demotes the middlebox to a relay; the
+            // session as a whole survives.
+            sec.rejected = true;
+            let _ = e;
+        }
+        Ok(())
+    }
+
+    /// Advance internal state: drain secondary outputs, verify and
+    /// approve established secondaries, distribute keys when ready.
+    fn pump(&mut self) {
+        // Wrap any secondary handshake bytes into Encapsulated records.
+        let mut wrapped = Vec::new();
+        for (&id, sec) in self.secondaries.iter_mut() {
+            let bytes = sec.conn.take_outgoing();
+            if !bytes.is_empty() {
+                wrap_records(id, &bytes, &mut wrapped);
+            }
+        }
+        self.out.extend(wrapped);
+
+        // Verification/approval for newly established secondaries.
+        let mut to_reject = Vec::new();
+        let ids: Vec<u8> = self.secondaries.keys().copied().collect();
+        for id in ids {
+            let (established, already) = {
+                let sec = &self.secondaries[&id];
+                (sec.conn.is_established(), sec.verified_name.is_some() || sec.rejected)
+            };
+            if established && !already {
+                match self.verify_and_approve(id) {
+                    Ok(name) => {
+                        let sec = self.secondaries.get_mut(&id).unwrap();
+                        sec.verified_name = Some(name);
+                        sec.approved = true;
+                    }
+                    Err(_) => to_reject.push(id),
+                }
+            }
+        }
+        for id in to_reject {
+            self.reject(id);
+        }
+
+        // Key distribution once everything is established.
+        if !self.keys_distributed && self.primary.is_established() {
+            let all_done = self
+                .secondaries
+                .values()
+                .all(|s| s.rejected || (s.conn.is_established() && s.approved));
+            if all_done {
+                if let Err(e) = self.distribute_keys() {
+                    self.error = Some(e);
+                }
+            }
+        }
+    }
+
+    fn verify_and_approve(&mut self, id: u8) -> Result<String, MbError> {
+        let sec = &self.secondaries[&id];
+        let chain = sec.conn.peer_certificates().to_vec();
+        if chain.is_empty() {
+            return Err(MbError::Protocol("middlebox sent no certificate"));
+        }
+        let subject = chain[0].payload.subject.clone();
+        self.config
+            .middlebox_trust
+            .verify_chain(
+                &chain,
+                &subject,
+                self.config.tls.current_time,
+                Some(KeyUsage::Middlebox),
+            )
+            .map_err(|e| MbError::Tls(TlsError::Certificate(e)))?;
+        let approved = match &self.config.approval {
+            ApprovalPolicy::AllVerified => true,
+            ApprovalPolicy::AllowList(names) => names.iter().any(|n| n == &subject),
+            ApprovalPolicy::DenyAll => false,
+        };
+        if approved {
+            Ok(subject)
+        } else {
+            Err(MbError::MiddleboxRejected(subject))
+        }
+    }
+
+    /// Send a fatal alert on the subchannel; the middlebox becomes a
+    /// pure relay.
+    fn reject(&mut self, id: u8) {
+        let alert = mbtls_tls::alert::Alert::fatal(
+            mbtls_tls::alert::AlertDescription::HandshakeFailure,
+        );
+        let alert_record = frame_plaintext(ContentType::Alert, &alert.encode());
+        let enc = Encapsulated {
+            subchannel: id,
+            record: alert_record,
+        };
+        self.out.extend(frame_plaintext(
+            ContentType::MbtlsEncapsulated,
+            &enc.encode(),
+        ));
+        if let Some(sec) = self.secondaries.get_mut(&id) {
+            sec.rejected = true;
+            sec.approved = false;
+        }
+    }
+
+    /// Generate per-hop keys, send KeyMaterial to each approved
+    /// middlebox, and activate the data plane (paper Fig. 4).
+    fn distribute_keys(&mut self) -> Result<(), MbError> {
+        let suite = self
+            .primary
+            .secrets()
+            .map(|s| s.suite)
+            .ok_or(MbError::NotReady)?;
+        let bridge = self
+            .primary
+            .export_session_keys()
+            .ok_or(MbError::NotReady)?;
+
+        // Approved middleboxes in path order, client outward: the
+        // middlebox nearest the client claimed the *highest*
+        // subchannel ID (IDs are assigned nearest-server-first as the
+        // ServerHello travels back — §3.4).
+        let mut order: Vec<u8> = self
+            .secondaries
+            .iter()
+            .filter(|(_, s)| s.approved)
+            .map(|(&id, _)| id)
+            .collect();
+        order.sort_unstable_by(|a, b| b.cmp(a));
+
+        // Hops: client↔c_1, c_1↔c_2, ..., c_j↔bridge.
+        let mut hops: Vec<SessionKeys> = Vec::with_capacity(order.len() + 1);
+        for _ in 0..order.len() {
+            hops.push(fresh_hop_keys(suite, &mut self.rng));
+        }
+        hops.push(bridge);
+
+        for (i, &id) in order.iter().enumerate() {
+            let km = KeyMaterial {
+                toward_client_hop: hops[i].clone(),
+                toward_server_hop: hops[i + 1].clone(),
+            };
+            let msg = SecondaryMessage::Keys(km).encode();
+            let sec = self.secondaries.get_mut(&id).unwrap();
+            sec.conn.send_data(&msg).map_err(MbError::Tls)?;
+            let bytes = sec.conn.take_outgoing();
+            let mut wrapped = Vec::new();
+            wrap_records(id, &bytes, &mut wrapped);
+            self.out.extend(wrapped);
+        }
+
+        self.dataplane =
+            Some(EndpointDataPlane::for_client(&hops[0]).map_err(MbError::Tls)?);
+        self.keys_distributed = true;
+        Ok(())
+    }
+
+    /// True once application data can flow.
+    pub fn is_ready(&self) -> bool {
+        self.keys_distributed && self.dataplane.is_some()
+    }
+
+    /// True if the session failed.
+    pub fn is_failed(&self) -> bool {
+        self.error.is_some() || self.primary.is_failed()
+    }
+
+    /// The failure, if any.
+    pub fn error(&self) -> Option<MbError> {
+        self.error
+            .clone()
+            .or_else(|| self.primary.error().cloned().map(MbError::Tls))
+    }
+
+    /// Did the primary handshake resume a cached session?
+    pub fn resumed(&self) -> bool {
+        self.primary.resumed()
+    }
+
+    /// Resumption data for the server (cache under the server name).
+    pub fn resumption_data(&self) -> Option<mbtls_tls::session::ResumptionData> {
+        self.primary.resumption_data()
+    }
+
+    /// Queue application data.
+    pub fn send(&mut self, data: &[u8]) -> Result<(), MbError> {
+        let dp = self.dataplane.as_mut().ok_or(MbError::NotReady)?;
+        dp.send(data).map_err(MbError::Tls)
+    }
+
+    /// Gracefully close the session (send close_notify under the
+    /// adjacent hop's keys; middleboxes re-encrypt it hop by hop).
+    pub fn close(&mut self) -> Result<(), MbError> {
+        let dp = self.dataplane.as_mut().ok_or(MbError::NotReady)?;
+        dp.send_close().map_err(MbError::Tls)
+    }
+
+    /// True once the peer's close_notify arrived.
+    pub fn peer_closed(&self) -> bool {
+        self.dataplane.as_ref().is_some_and(|dp| dp.peer_closed())
+    }
+
+    /// Received application data.
+    pub fn recv(&mut self) -> Vec<u8> {
+        self.dataplane
+            .as_mut()
+            .map(|dp| dp.take_plaintext())
+            .unwrap_or_default()
+    }
+
+    /// Joined middleboxes.
+    pub fn middleboxes(&self) -> Vec<MiddleboxInfo> {
+        self.secondaries
+            .iter()
+            .map(|(&id, s)| MiddleboxInfo {
+                subchannel: id,
+                name: s.verified_name.clone(),
+                approved: s.approved,
+            })
+            .collect()
+    }
+
+    /// The primary connection's negotiated suite (once known).
+    pub fn suite(&self) -> Option<CipherSuite> {
+        self.primary.secrets().map(|s| s.suite)
+    }
+}
+
+/// Rebuild a wire record from its parsed parts.
+pub(crate) fn reframe(ct_byte: u8, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(5 + body.len());
+    out.push(ct_byte);
+    out.push(3);
+    out.push(3);
+    out.extend_from_slice(&(body.len() as u16).to_be_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+/// Wrap a byte stream of complete TLS records into Encapsulated
+/// records on `subchannel`, appending the framed bytes to `out`.
+pub(crate) fn wrap_records(subchannel: u8, stream: &[u8], out: &mut Vec<u8>) {
+    let mut reader = RecordReader::new();
+    reader.feed(stream);
+    while let Ok(Some(rec)) = reader.next_record() {
+        let inner = reframe(rec.content_type_byte, &rec.body);
+        let enc = Encapsulated {
+            subchannel,
+            record: inner,
+        };
+        out.extend(frame_plaintext(ContentType::MbtlsEncapsulated, &enc.encode()));
+    }
+}
+
+/// ClientConfig is not Clone (it holds an Arc'd trust store and plain
+/// data); copy the fields we need.
+fn clone_client_config(c: &ClientConfig) -> ClientConfig {
+    ClientConfig {
+        trust_store: c.trust_store.clone(),
+        suites: c.suites.clone(),
+        current_time: c.current_time,
+        extra_extensions: c.extra_extensions.clone(),
+        attestation_policy: c.attestation_policy.clone(),
+        enable_tickets: c.enable_tickets,
+        enable_false_start: c.enable_false_start,
+        danger_disable_cert_verify: c.danger_disable_cert_verify,
+        resumption_cache: c.resumption_cache.clone(),
+    }
+}

@@ -1,0 +1,517 @@
+//! Session drivers: wire endpoints and middleboxes together over
+//! in-memory pipes or the deterministic network simulator.
+//!
+//! Everything in this workspace is sans-IO, so a "session" is a chain
+//! of parties exchanging byte buffers. The pipe driver is used by
+//! tests and CPU benchmarks (no timing model); the netsim driver
+//! carries virtual time and powers the Figure 6 / Table 2
+//! reproductions.
+
+use mbtls_crypto::rng::CryptoRng;
+use mbtls_netsim::net::{ConnId, Network, NodeId};
+use mbtls_netsim::time::{Duration, SimTime};
+use mbtls_netsim::FaultConfig;
+use mbtls_tls::{ClientConnection, ServerConnection};
+
+use crate::client::MbClientSession;
+use crate::middlebox::Middlebox;
+use crate::server::MbServerSession;
+use crate::MbError;
+
+/// A single-sided party (client or server endpoint).
+pub trait Endpoint {
+    /// Feed wire bytes.
+    fn feed(&mut self, data: &[u8]) -> Result<(), MbError>;
+    /// Drain wire bytes.
+    fn take(&mut self) -> Vec<u8>;
+    /// Ready for application data?
+    fn ready(&self) -> bool;
+    /// Queue application data.
+    fn send_app(&mut self, data: &[u8]) -> Result<(), MbError>;
+    /// Drain received application data.
+    fn recv_app(&mut self) -> Vec<u8>;
+}
+
+/// A two-sided party (middlebox or relay).
+pub trait Relay {
+    /// Feed bytes arriving from the client side.
+    fn feed_left(&mut self, data: &[u8]) -> Result<(), MbError>;
+    /// Feed bytes arriving from the server side.
+    fn feed_right(&mut self, data: &[u8]) -> Result<(), MbError>;
+    /// Drain bytes to send toward the client.
+    fn take_left(&mut self) -> Vec<u8>;
+    /// Drain bytes to send toward the server.
+    fn take_right(&mut self) -> Vec<u8>;
+}
+
+impl Endpoint for MbClientSession {
+    fn feed(&mut self, data: &[u8]) -> Result<(), MbError> {
+        self.feed_incoming(data)
+    }
+    fn take(&mut self) -> Vec<u8> {
+        self.take_outgoing()
+    }
+    fn ready(&self) -> bool {
+        self.is_ready()
+    }
+    fn send_app(&mut self, data: &[u8]) -> Result<(), MbError> {
+        self.send(data)
+    }
+    fn recv_app(&mut self) -> Vec<u8> {
+        self.recv()
+    }
+}
+
+impl Endpoint for MbServerSession {
+    fn feed(&mut self, data: &[u8]) -> Result<(), MbError> {
+        self.feed_incoming(data)
+    }
+    fn take(&mut self) -> Vec<u8> {
+        self.take_outgoing()
+    }
+    fn ready(&self) -> bool {
+        self.is_ready()
+    }
+    fn send_app(&mut self, data: &[u8]) -> Result<(), MbError> {
+        self.send(data)
+    }
+    fn recv_app(&mut self) -> Vec<u8> {
+        self.recv()
+    }
+}
+
+/// A legacy (plain TLS 1.2) client endpoint.
+pub struct LegacyClient {
+    conn: ClientConnection,
+    rng: CryptoRng,
+}
+
+impl LegacyClient {
+    /// Wrap a TLS client connection.
+    pub fn new(conn: ClientConnection, rng: CryptoRng) -> Self {
+        LegacyClient { conn, rng }
+    }
+
+    /// Access the inner connection.
+    pub fn connection(&self) -> &ClientConnection {
+        &self.conn
+    }
+}
+
+impl Endpoint for LegacyClient {
+    fn feed(&mut self, data: &[u8]) -> Result<(), MbError> {
+        self.conn
+            .feed_incoming(data, &mut self.rng)
+            .map_err(MbError::Tls)
+    }
+    fn take(&mut self) -> Vec<u8> {
+        self.conn.take_outgoing()
+    }
+    fn ready(&self) -> bool {
+        self.conn.is_established()
+    }
+    fn send_app(&mut self, data: &[u8]) -> Result<(), MbError> {
+        self.conn.send_data(data).map_err(MbError::Tls)
+    }
+    fn recv_app(&mut self) -> Vec<u8> {
+        self.conn.take_plaintext()
+    }
+}
+
+/// A legacy (plain TLS 1.2) server endpoint.
+pub struct LegacyServer {
+    conn: ServerConnection,
+    rng: CryptoRng,
+}
+
+impl LegacyServer {
+    /// Wrap a TLS server connection.
+    pub fn new(conn: ServerConnection, rng: CryptoRng) -> Self {
+        LegacyServer { conn, rng }
+    }
+
+    /// Access the inner connection.
+    pub fn connection(&self) -> &ServerConnection {
+        &self.conn
+    }
+}
+
+impl Endpoint for LegacyServer {
+    fn feed(&mut self, data: &[u8]) -> Result<(), MbError> {
+        self.conn
+            .feed_incoming(data, &mut self.rng)
+            .map_err(MbError::Tls)
+    }
+    fn take(&mut self) -> Vec<u8> {
+        self.conn.take_outgoing()
+    }
+    fn ready(&self) -> bool {
+        self.conn.is_established()
+    }
+    fn send_app(&mut self, data: &[u8]) -> Result<(), MbError> {
+        self.conn.send_data(data).map_err(MbError::Tls)
+    }
+    fn recv_app(&mut self) -> Vec<u8> {
+        self.conn.take_plaintext()
+    }
+}
+
+impl Relay for Middlebox {
+    fn feed_left(&mut self, data: &[u8]) -> Result<(), MbError> {
+        self.feed_from_client(data)
+    }
+    fn feed_right(&mut self, data: &[u8]) -> Result<(), MbError> {
+        self.feed_from_server(data)
+    }
+    fn take_left(&mut self) -> Vec<u8> {
+        self.take_toward_client()
+    }
+    fn take_right(&mut self) -> Vec<u8> {
+        self.take_toward_server()
+    }
+}
+
+/// A chain of parties connected by zero-latency in-memory pipes.
+pub struct Chain {
+    /// The client endpoint.
+    pub client: Box<dyn Endpoint>,
+    /// Middleboxes/relays, client side first.
+    pub middles: Vec<Box<dyn Relay>>,
+    /// The server endpoint.
+    pub server: Box<dyn Endpoint>,
+}
+
+impl Chain {
+    /// Build a chain.
+    pub fn new(
+        client: Box<dyn Endpoint>,
+        middles: Vec<Box<dyn Relay>>,
+        server: Box<dyn Endpoint>,
+    ) -> Self {
+        Chain {
+            client,
+            middles,
+            server,
+        }
+    }
+
+    /// One full pass moving bytes along the chain in both directions.
+    /// Returns true if any bytes moved.
+    pub fn pump(&mut self) -> Result<bool, MbError> {
+        let mut moved = false;
+        // Client → server direction.
+        let mut bytes = self.client.take();
+        for mid in self.middles.iter_mut() {
+            if !bytes.is_empty() {
+                moved = true;
+                mid.feed_left(&bytes)?;
+            }
+            bytes = mid.take_right();
+        }
+        if !bytes.is_empty() {
+            moved = true;
+            self.server.feed(&bytes)?;
+        }
+        // Server → client direction.
+        let mut bytes = self.server.take();
+        for mid in self.middles.iter_mut().rev() {
+            if !bytes.is_empty() {
+                moved = true;
+                mid.feed_right(&bytes)?;
+            }
+            bytes = mid.take_left();
+        }
+        if !bytes.is_empty() {
+            moved = true;
+            self.client.feed(&bytes)?;
+        }
+        Ok(moved)
+    }
+
+    /// Pump until both endpoints are ready (or nothing moves).
+    pub fn run_handshake(&mut self) -> Result<(), MbError> {
+        for _ in 0..200 {
+            let moved = self.pump()?;
+            if self.client.ready() && self.server.ready() {
+                // Final drain so trailing control records are applied.
+                self.pump()?;
+                return Ok(());
+            }
+            if !moved {
+                // Allow a few idle iterations for internal state to
+                // settle (key distribution can need a second pass).
+                let moved2 = self.pump()?;
+                if !(moved2 || (self.client.ready() && self.server.ready())) {
+                    return Err(MbError::Protocol("handshake stalled"));
+                }
+            }
+        }
+        if self.client.ready() && self.server.ready() {
+            Ok(())
+        } else {
+            Err(MbError::Protocol("handshake did not complete"))
+        }
+    }
+
+    /// Send a request from the client and pump until the server
+    /// received `expect_len` bytes (or progress stops).
+    pub fn client_to_server(&mut self, data: &[u8], expect_len: usize) -> Result<Vec<u8>, MbError> {
+        self.client.send_app(data)?;
+        let mut received = Vec::new();
+        for _ in 0..200 {
+            self.pump()?;
+            received.extend(self.server.recv_app());
+            if received.len() >= expect_len {
+                break;
+            }
+        }
+        Ok(received)
+    }
+
+    /// Send a response from the server and pump until the client
+    /// received `expect_len` bytes.
+    pub fn server_to_client(&mut self, data: &[u8], expect_len: usize) -> Result<Vec<u8>, MbError> {
+        self.server.send_app(data)?;
+        let mut received = Vec::new();
+        for _ in 0..200 {
+            self.pump()?;
+            received.extend(self.client.recv_app());
+            if received.len() >= expect_len {
+                break;
+            }
+        }
+        Ok(received)
+    }
+}
+
+/// Timing results from a simulated session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionTiming {
+    /// Virtual time from first byte to both endpoints ready.
+    pub handshake: Duration,
+    /// Virtual time from request send to full response receipt.
+    pub transfer: Duration,
+}
+
+/// A chain whose links run through the network simulator, yielding
+/// virtual-time measurements (Figure 6, Table 2).
+pub struct NetChain<'n> {
+    net: &'n mut Network,
+    /// Party nodes, client first, server last.
+    pub nodes: Vec<NodeId>,
+    /// Connections between adjacent parties.
+    pub conns: Vec<ConnId>,
+    /// The chain itself.
+    pub chain: Chain,
+    /// Virtual compute time charged per output flush, per party
+    /// (models handshake computation; zero by default).
+    pub compute_delays: Vec<Duration>,
+}
+
+impl<'n> NetChain<'n> {
+    /// Build over the given network: one node per party, one
+    /// connection per adjacent pair with the given per-link latency
+    /// and fault configs.
+    pub fn new(
+        net: &'n mut Network,
+        chain: Chain,
+        latencies: &[Duration],
+        faults: &[FaultConfig],
+    ) -> Self {
+        let n_parties = chain.middles.len() + 2;
+        assert_eq!(latencies.len(), n_parties - 1, "one latency per link");
+        assert_eq!(faults.len(), n_parties - 1, "one fault config per link");
+        let mut nodes = Vec::with_capacity(n_parties);
+        for i in 0..n_parties {
+            let name = if i == 0 {
+                "client".to_string()
+            } else if i == n_parties - 1 {
+                "server".to_string()
+            } else {
+                format!("mbox-{i}")
+            };
+            nodes.push(net.add_node(&name));
+        }
+        let mut conns = Vec::with_capacity(n_parties - 1);
+        for i in 0..n_parties - 1 {
+            conns.push(net.connect_with(
+                nodes[i],
+                nodes[i + 1],
+                latencies[i],
+                None,
+                faults[i].clone(),
+            ));
+        }
+        let n = nodes.len();
+        NetChain {
+            net,
+            nodes,
+            conns,
+            chain,
+            compute_delays: vec![Duration::ZERO; n],
+        }
+    }
+
+    /// Charge `delay` of virtual compute time per output flush for
+    /// party `index` (0 = client, last = server).
+    pub fn set_compute_delay(&mut self, index: usize, delay: Duration) {
+        self.compute_delays[index] = delay;
+    }
+
+    /// Move all pending bytes between parties and the network at the
+    /// current virtual time. Returns true if anything moved.
+    fn exchange(&mut self) -> Result<bool, MbError> {
+        let mut moved = false;
+        let n = self.nodes.len();
+        // Deliver incoming bytes to each party.
+        for i in 0..n {
+            // From the left connection (if any).
+            if i > 0 {
+                let data = self.net.recv(self.conns[i - 1], self.nodes[i])?;
+                if !data.is_empty() {
+                    moved = true;
+                    self.party_feed(i, true, &data)?;
+                }
+            }
+            // From the right connection (if any).
+            if i < n - 1 {
+                let data = self.net.recv(self.conns[i], self.nodes[i])?;
+                if !data.is_empty() {
+                    moved = true;
+                    self.party_feed(i, false, &data)?;
+                }
+            }
+        }
+        // Collect outgoing bytes from each party into the network,
+        // charging the party's compute delay per flush.
+        for i in 0..n {
+            let compute = self.compute_delays[i];
+            if i < n - 1 {
+                let data = self.party_take(i, false);
+                if !data.is_empty() {
+                    moved = true;
+                    self.net
+                        .send_with_delay(self.conns[i], self.nodes[i], &data, compute)?;
+                }
+            }
+            if i > 0 {
+                let data = self.party_take(i, true);
+                if !data.is_empty() {
+                    moved = true;
+                    self.net
+                        .send_with_delay(self.conns[i - 1], self.nodes[i], &data, compute)?;
+                }
+            }
+        }
+        Ok(moved)
+    }
+
+    fn party_feed(&mut self, i: usize, from_left: bool, data: &[u8]) -> Result<(), MbError> {
+        let n = self.nodes.len();
+        if i == 0 {
+            self.chain.client.feed(data)
+        } else if i == n - 1 {
+            self.chain.server.feed(data)
+        } else if from_left {
+            self.chain.middles[i - 1].feed_left(data)
+        } else {
+            self.chain.middles[i - 1].feed_right(data)
+        }
+    }
+
+    fn party_take(&mut self, i: usize, toward_left: bool) -> Vec<u8> {
+        let n = self.nodes.len();
+        if i == 0 {
+            self.chain.client.take()
+        } else if i == n - 1 {
+            self.chain.server.take()
+        } else if toward_left {
+            self.chain.middles[i - 1].take_left()
+        } else {
+            self.chain.middles[i - 1].take_right()
+        }
+    }
+
+    /// One simulation tick: drain exchanges at the current instant,
+    /// then advance virtual time to the next delivery. Returns false
+    /// when the network is quiescent.
+    pub fn tick(&mut self) -> Result<bool, MbError> {
+        while self.exchange()? {}
+        match self.net.next_event_time() {
+            Some(t) => {
+                self.net.advance_to(t);
+                while self.exchange()? {}
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Run until `done` returns true, advancing virtual time through
+    /// the event queue. Errors if the network goes quiescent first or
+    /// the virtual deadline passes.
+    pub fn run_until(
+        &mut self,
+        deadline: Duration,
+        mut done: impl FnMut(&Chain) -> bool,
+    ) -> Result<SimTime, MbError> {
+        let start = self.net.now();
+        loop {
+            // Drain exchanges at the current instant to a fixpoint.
+            while self.exchange()? {}
+            if done(&self.chain) {
+                return Ok(self.net.now());
+            }
+            match self.net.next_event_time() {
+                Some(t) => {
+                    if t.since(start) > deadline {
+                        return Err(MbError::Protocol("virtual deadline exceeded"));
+                    }
+                    self.net.advance_to(t);
+                }
+                None => return Err(MbError::Protocol("network quiescent before completion")),
+            }
+        }
+    }
+
+    /// Handshake, then a request/response exchange: the client sends
+    /// `request`, the server (once the full request arrived) replies
+    /// with `response_len` bytes, and the transfer completes when the
+    /// client has the whole response. Returns virtual timings.
+    pub fn run_session(
+        &mut self,
+        request: &[u8],
+        response_len: usize,
+        deadline: Duration,
+    ) -> Result<SessionTiming, MbError> {
+        let t0 = self.net.now();
+        let hs_done = self.run_until(deadline, |c| c.client.ready() && c.server.ready())?;
+        let handshake = hs_done.since(t0);
+
+        let t1 = self.net.now();
+        self.chain.client.send_app(request)?;
+        let mut got_req = 0usize;
+        let mut responded = false;
+        let mut got_resp = 0usize;
+        loop {
+            while self.exchange()? {}
+            got_req += self.chain.server.recv_app().len();
+            if !responded && got_req >= request.len() {
+                self.chain.server.send_app(&vec![0x42u8; response_len])?;
+                responded = true;
+                continue; // flush the fresh response bytes
+            }
+            got_resp += self.chain.client.recv_app().len();
+            if responded && got_resp >= response_len {
+                return Ok(SessionTiming {
+                    handshake,
+                    transfer: self.net.now().since(t1),
+                });
+            }
+            match self.net.next_event_time() {
+                Some(t) if t.since(t0) <= deadline => self.net.advance_to(t),
+                _ => return Err(MbError::Protocol("transfer stalled")),
+            }
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! # mbtls-core
+//!
+//! **Middlebox TLS (mbTLS)** — the protocol from *"And Then There Were
+//! More: Secure Communication for More Than Two Parties"* (Naylor et
+//! al., CoNEXT 2017) — implemented over this workspace's from-scratch
+//! TLS 1.2 substrate.
+//!
+//! mbTLS lets endpoints add application-layer middleboxes to a TLS
+//! session while providing (paper §3.2):
+//!
+//! * **P1 data secrecy** — third parties and untrusted middlebox
+//!   *infrastructure* providers never see plaintext or keys; each hop
+//!   is encrypted under its own key, so an observer cannot even tell
+//!   whether a middlebox modified a record (P1C).
+//! * **P2 data authentication** — per-hop AEAD; only endpoints and
+//!   authorized middlebox *software* hold keys.
+//! * **P3 entity authentication** — certificates for operator
+//!   identity, SGX remote attestation for code identity.
+//! * **P4 path integrity** — unique per-hop keys make skipping or
+//!   reordering middleboxes detectable.
+//! * **P5 legacy interop** — one endpoint can be stock TLS 1.2.
+//! * **P6 in-band discovery** — on-path middleboxes join during the
+//!   handshake without adding round trips (P7).
+//!
+//! ## Architecture
+//!
+//! Everything is sans-IO. The three party types are:
+//!
+//! * [`client::MbClientSession`] — an mbTLS client endpoint: primary
+//!   TLS connection to the server plus one interleaved secondary
+//!   connection per client-side middlebox, multiplexed over the same
+//!   byte stream in `Encapsulated` records.
+//! * [`server::MbServerSession`] — an mbTLS server endpoint that
+//!   accepts `MiddleboxAnnouncement`s and runs secondary handshakes
+//!   (playing the TLS *client* role) with its middleboxes.
+//! * [`middlebox::Middlebox`] — an on-path middlebox that joins the
+//!   client side when the ClientHello carries the MiddleboxSupport
+//!   extension, or announces itself to the server otherwise; after key
+//!   delivery it re-encrypts records hop to hop, running its
+//!   [`middlebox::DataProcessor`] in between.
+//!
+//! [`driver`] wires sessions together over in-memory pipes or the
+//! deterministic network simulator; [`baseline`] implements the
+//! comparison points (plain TLS relay, Split TLS, naive end-to-end key
+//! sharing); [`attacks`] contains the executable Table 1 adversaries.
+
+#![warn(missing_docs)]
+
+pub mod attacks;
+pub mod baseline;
+pub mod client;
+pub mod dataplane;
+pub mod driver;
+pub mod messages;
+pub mod middlebox;
+pub mod server;
+
+pub use client::{MbClientConfig, MbClientSession};
+pub use dataplane::HopKeys;
+pub use middlebox::{DataProcessor, ForwardProcessor, Middlebox, MiddleboxConfig};
+pub use server::{MbServerConfig, MbServerSession};
+
+/// Errors from the mbTLS layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MbError {
+    /// The underlying TLS machinery failed.
+    Tls(mbtls_tls::TlsError),
+    /// An mbTLS control message was malformed.
+    Protocol(&'static str),
+    /// A middlebox was rejected by the approval policy.
+    MiddleboxRejected(String),
+    /// Operation needs a completed session.
+    NotReady,
+    /// The network connection died.
+    Network(mbtls_netsim::net::NetError),
+}
+
+impl std::fmt::Display for MbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MbError::Tls(e) => write!(f, "tls: {e}"),
+            MbError::Protocol(what) => write!(f, "mbTLS protocol error: {what}"),
+            MbError::MiddleboxRejected(name) => write!(f, "middlebox rejected: {name}"),
+            MbError::NotReady => write!(f, "session not ready"),
+            MbError::Network(e) => write!(f, "network: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MbError {}
+
+impl From<mbtls_tls::TlsError> for MbError {
+    fn from(e: mbtls_tls::TlsError) -> Self {
+        MbError::Tls(e)
+    }
+}
+
+impl From<mbtls_netsim::net::NetError> for MbError {
+    fn from(e: mbtls_netsim::net::NetError) -> Self {
+        MbError::Network(e)
+    }
+}

@@ -1,0 +1,637 @@
+//! The mbTLS middlebox.
+//!
+//! A middlebox sits on the path between client and server ("left" is
+//! toward the client, "right" toward the server). On seeing the
+//! primary ClientHello it decides its role (paper §3.4):
+//!
+//! * **Client-side**: the ClientHello carries the MiddleboxSupport
+//!   extension → optimistically split the connection and join the
+//!   client's session. The middlebox plays the TLS *server* role in
+//!   the secondary handshake, reusing the primary ClientHello as its
+//!   own first message; it waits for the primary ServerHello to pass,
+//!   assigns itself the next free subchannel ID, injects its
+//!   secondary flight, then forwards the ServerHello.
+//! * **Server-side**: no extension → forward the ClientHello and send
+//!   a MiddleboxAnnouncement toward the server, then wait to claim
+//!   the first Encapsulated secondary ClientHello the server emits.
+//!   If the server never responds (legacy server), fall back to pure
+//!   relaying and remember the failure.
+//!
+//! Once the owning endpoint delivers per-hop keys over the secondary
+//! session, the middlebox switches to the data plane: open each
+//! record on one hop, run the [`DataProcessor`], re-seal on the other
+//! hop. Application data that arrives before the keys (the paper's
+//! §3.5 False-Start discussion) is buffered, not dropped.
+
+use std::sync::Arc;
+
+use mbtls_crypto::rng::CryptoRng;
+use mbtls_pki::cert::CertifiedKey;
+use mbtls_sgx::EnclaveState;
+use mbtls_tls::config::{Attestor, ServerConfig};
+use mbtls_tls::messages::{extension_type, ClientHello, HandshakeReader};
+use mbtls_tls::record::{frame_plaintext, ContentType, RecordReader};
+use mbtls_tls::suites::CipherSuite;
+use mbtls_tls::ServerConnection;
+
+use crate::client::reframe;
+use crate::dataplane::{FlowDirection, MiddleboxDataPlane};
+use crate::messages::{Encapsulated, KeyMaterial, SecondaryMessage};
+use crate::MbError;
+
+/// Application logic run over each record's plaintext.
+pub trait DataProcessor: Send {
+    /// Process one record's plaintext; the return value is forwarded.
+    fn process(&mut self, dir: FlowDirection, data: Vec<u8>) -> Vec<u8>;
+}
+
+/// The identity processor (forwards unchanged).
+pub struct ForwardProcessor;
+
+impl DataProcessor for ForwardProcessor {
+    fn process(&mut self, _dir: FlowDirection, data: Vec<u8>) -> Vec<u8> {
+        data
+    }
+}
+
+/// Middlebox configuration.
+pub struct MiddleboxConfig {
+    /// The MSP identity (certificate subject should match).
+    pub name: String,
+    /// The middlebox service's certified key.
+    pub certified_key: Arc<CertifiedKey>,
+    /// Quote provider when running in a (simulated) enclave.
+    pub attestor: Option<Arc<dyn Attestor>>,
+    /// Suites acceptable in the secondary handshake.
+    pub suites: Vec<CipherSuite>,
+    /// Announce to the server when the client is legacy.
+    pub allow_server_side: bool,
+    /// Cached knowledge that this server does not speak mbTLS (the
+    /// paper's announcement-failure cache): skip announcing.
+    pub cached_no_support: bool,
+    /// Ticket key for secondary-session resumption.
+    pub ticket_key: [u8; 32],
+}
+
+impl MiddleboxConfig {
+    /// Defaults for the given identity.
+    pub fn new(name: &str, certified_key: Arc<CertifiedKey>) -> Self {
+        MiddleboxConfig {
+            name: name.to_string(),
+            certified_key,
+            attestor: None,
+            suites: CipherSuite::ALL.to_vec(),
+            allow_server_side: true,
+            cached_no_support: false,
+            ticket_key: [0x5B; 32],
+        }
+    }
+}
+
+/// Where the middlebox is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MiddleboxPhase {
+    /// Waiting for the primary ClientHello.
+    AwaitClientHello,
+    /// Joined the client side; secondary handshake in progress.
+    ClientSideJoining,
+    /// Announced to the server; waiting to claim a subchannel.
+    ServerSideAwaitClaim,
+    /// Claimed a subchannel; secondary handshake with the server.
+    ServerSideJoining,
+    /// Keys received; processing data.
+    DataPlane,
+    /// Pure relay (legacy peer, rejection, or failure).
+    Relay,
+}
+
+/// The middlebox state machine.
+pub struct Middlebox {
+    config: MiddleboxConfig,
+    rng: CryptoRng,
+
+    left_reader: RecordReader,
+    right_reader: RecordReader,
+    out_left: Vec<u8>,
+    out_right: Vec<u8>,
+
+    phase: MiddleboxPhase,
+    secondary: Option<ServerConnection>,
+    /// Our subchannel ID once assigned/claimed.
+    pub subchannel: Option<u8>,
+    max_subchannel_seen: u8,
+    saw_primary_server_hello: bool,
+    announced: bool,
+
+    /// Buffered early application-data records (content type, body).
+    early_left: Vec<(u8, Vec<u8>)>,
+    early_right: Vec<(u8, Vec<u8>)>,
+
+    dataplane: Option<MiddleboxDataPlane>,
+    processor: Box<dyn DataProcessor>,
+    /// Hop keys received (retained so enclave snapshots cover them).
+    keys: Option<KeyMaterial>,
+
+    /// Records blindly relayed (accounting).
+    pub records_relayed: u64,
+    error: Option<MbError>,
+}
+
+impl Middlebox {
+    /// Create with the identity-forwarding processor.
+    pub fn new(config: MiddleboxConfig, rng: CryptoRng) -> Self {
+        Self::with_processor(config, rng, Box::new(ForwardProcessor))
+    }
+
+    /// Create with a custom data processor.
+    pub fn with_processor(
+        config: MiddleboxConfig,
+        rng: CryptoRng,
+        processor: Box<dyn DataProcessor>,
+    ) -> Self {
+        Middlebox {
+            config,
+            rng,
+            left_reader: RecordReader::new(),
+            right_reader: RecordReader::new(),
+            out_left: Vec::new(),
+            out_right: Vec::new(),
+            phase: MiddleboxPhase::AwaitClientHello,
+            secondary: None,
+            subchannel: None,
+            max_subchannel_seen: 0,
+            saw_primary_server_hello: false,
+            announced: false,
+            early_left: Vec::new(),
+            early_right: Vec::new(),
+            dataplane: None,
+            processor: Box::new(ForwardProcessor),
+            keys: None,
+            records_relayed: 0,
+            error: None,
+        }
+        .install_processor(processor)
+    }
+
+    fn install_processor(mut self, processor: Box<dyn DataProcessor>) -> Self {
+        self.processor = processor;
+        self
+    }
+
+    /// Current lifecycle phase.
+    pub fn phase(&self) -> MiddleboxPhase {
+        self.phase
+    }
+
+    /// Did this middlebox announce itself to the server?
+    pub fn announced(&self) -> bool {
+        self.announced
+    }
+
+    /// Whether the middlebox holds session keys (joined successfully).
+    pub fn has_keys(&self) -> bool {
+        self.keys.is_some()
+    }
+
+    /// Records processed on the data plane.
+    pub fn records_processed(&self) -> u64 {
+        self.dataplane.as_ref().map(|d| d.records_forwarded).unwrap_or(0)
+    }
+
+    /// Bytes to send toward the client.
+    pub fn take_toward_client(&mut self) -> Vec<u8> {
+        self.pump_secondary();
+        let mut out = std::mem::take(&mut self.out_left);
+        if let Some(dp) = &mut self.dataplane {
+            out.extend(dp.take_toward_client());
+        }
+        out
+    }
+
+    /// Bytes to send toward the server.
+    pub fn take_toward_server(&mut self) -> Vec<u8> {
+        self.pump_secondary();
+        let mut out = std::mem::take(&mut self.out_right);
+        if let Some(dp) = &mut self.dataplane {
+            out.extend(dp.take_toward_server());
+        }
+        out
+    }
+
+    /// Feed bytes arriving from the client side.
+    pub fn feed_from_client(&mut self, data: &[u8]) -> Result<(), MbError> {
+        if let Some(e) = &self.error {
+            return Err(e.clone());
+        }
+        self.left_reader.feed(data);
+        loop {
+            let rec = match self.left_reader.next_record() {
+                Ok(Some(r)) => r,
+                Ok(None) => break,
+                Err(e) => return self.fail(MbError::Tls(e)),
+            };
+            if let Err(e) = self.on_record_from_left(rec.content_type_byte, rec.body) {
+                return self.fail(e);
+            }
+        }
+        self.pump_secondary();
+        Ok(())
+    }
+
+    /// Feed bytes arriving from the server side.
+    pub fn feed_from_server(&mut self, data: &[u8]) -> Result<(), MbError> {
+        if let Some(e) = &self.error {
+            return Err(e.clone());
+        }
+        self.right_reader.feed(data);
+        loop {
+            let rec = match self.right_reader.next_record() {
+                Ok(Some(r)) => r,
+                Ok(None) => break,
+                Err(e) => return self.fail(MbError::Tls(e)),
+            };
+            if let Err(e) = self.on_record_from_right(rec.content_type_byte, rec.body) {
+                return self.fail(e);
+            }
+        }
+        self.pump_secondary();
+        Ok(())
+    }
+
+    fn fail(&mut self, e: MbError) -> Result<(), MbError> {
+        self.error = Some(e.clone());
+        Err(e)
+    }
+
+    fn forward_left(&mut self, ct: u8, body: &[u8]) {
+        self.records_relayed += 1;
+        self.out_left.extend(reframe(ct, body));
+    }
+
+    fn forward_right(&mut self, ct: u8, body: &[u8]) {
+        self.records_relayed += 1;
+        self.out_right.extend(reframe(ct, body));
+    }
+
+    fn on_record_from_left(&mut self, ct: u8, body: Vec<u8>) -> Result<(), MbError> {
+        match self.phase {
+            MiddleboxPhase::AwaitClientHello => self.handle_first_record(ct, body),
+            MiddleboxPhase::ClientSideJoining => {
+                match ContentType::from_u8(ct) {
+                    Some(ContentType::MbtlsEncapsulated) => {
+                        let enc = Encapsulated::decode(&body)?;
+                        if Some(enc.subchannel) == self.subchannel {
+                            self.feed_secondary(&enc.record);
+                        } else {
+                            self.forward_right(ct, &body);
+                        }
+                        Ok(())
+                    }
+                    Some(ContentType::ApplicationData) => {
+                        // Keys should arrive first (in-order stream);
+                        // buffer defensively.
+                        self.early_left.push((ct, body));
+                        Ok(())
+                    }
+                    _ => {
+                        self.forward_right(ct, &body);
+                        Ok(())
+                    }
+                }
+            }
+            MiddleboxPhase::ServerSideAwaitClaim | MiddleboxPhase::ServerSideJoining => {
+                match ContentType::from_u8(ct) {
+                    Some(ContentType::ApplicationData) => {
+                        // Early data from a False-Starting client: hold
+                        // until our keys arrive (§3.5).
+                        self.early_left.push((ct, body));
+                        Ok(())
+                    }
+                    _ => {
+                        self.forward_right(ct, &body);
+                        Ok(())
+                    }
+                }
+            }
+            MiddleboxPhase::DataPlane => match ContentType::from_u8(ct) {
+                Some(ContentType::ApplicationData | ContentType::Alert) => {
+                    self.dataplane_feed(FlowDirection::ClientToServer, ct, &body)
+                }
+                _ => {
+                    self.forward_right(ct, &body);
+                    Ok(())
+                }
+            },
+            MiddleboxPhase::Relay => {
+                self.forward_right(ct, &body);
+                Ok(())
+            }
+        }
+    }
+
+    fn on_record_from_right(&mut self, ct: u8, body: Vec<u8>) -> Result<(), MbError> {
+        match self.phase {
+            MiddleboxPhase::AwaitClientHello => {
+                // Server spoke first? Just relay.
+                self.forward_left(ct, &body);
+                Ok(())
+            }
+            MiddleboxPhase::ClientSideJoining => {
+                match ContentType::from_u8(ct) {
+                    Some(ContentType::MbtlsEncapsulated) => {
+                        let enc = Encapsulated::decode(&body)?;
+                        if Some(enc.subchannel) == self.subchannel {
+                            self.feed_secondary(&enc.record);
+                        } else {
+                            self.max_subchannel_seen =
+                                self.max_subchannel_seen.max(enc.subchannel);
+                            self.forward_left(ct, &body);
+                        }
+                        Ok(())
+                    }
+                    Some(ContentType::Handshake) if !self.saw_primary_server_hello => {
+                        // The primary ServerHello is passing: claim the
+                        // next subchannel, inject our flight first
+                        // (§3.4), then forward it.
+                        self.saw_primary_server_hello = true;
+                        let id = self.max_subchannel_seen + 1;
+                        self.subchannel = Some(id);
+                        let flight = self
+                            .secondary
+                            .as_mut()
+                            .map(|s| s.take_outgoing())
+                            .unwrap_or_default();
+                        let mut wrapped = Vec::new();
+                        crate::client::wrap_records(id, &flight, &mut wrapped);
+                        self.out_left.extend(wrapped);
+                        self.forward_left(ct, &body);
+                        Ok(())
+                    }
+                    Some(ContentType::ApplicationData) => {
+                        self.early_right.push((ct, body));
+                        Ok(())
+                    }
+                    _ => {
+                        self.forward_left(ct, &body);
+                        Ok(())
+                    }
+                }
+            }
+            MiddleboxPhase::ServerSideAwaitClaim => {
+                match ContentType::from_u8(ct) {
+                    Some(ContentType::MbtlsEncapsulated) => {
+                        let enc = Encapsulated::decode(&body)?;
+                        if self.subchannel.is_none() && is_client_hello_record(&enc.record) {
+                            // Claim it: this secondary ClientHello is
+                            // ours (first unclaimed one to reach us).
+                            self.subchannel = Some(enc.subchannel);
+                            let mut server_cfg =
+                                ServerConfig::new(self.config.certified_key.clone(), self.config.ticket_key);
+                            server_cfg.suites = self.config.suites.clone();
+                            server_cfg.attestor = self.config.attestor.clone();
+                            server_cfg.always_attest = self.config.attestor.is_some();
+                            self.secondary = Some(ServerConnection::new(Arc::new(server_cfg)));
+                            self.phase = MiddleboxPhase::ServerSideJoining;
+                            self.feed_secondary(&enc.record);
+                        } else {
+                            self.forward_left(ct, &body);
+                        }
+                        Ok(())
+                    }
+                    Some(ContentType::ChangeCipherSpec) => {
+                        // The server is finishing the primary handshake
+                        // without claiming us: it does not speak mbTLS.
+                        self.give_up_to_relay();
+                        self.forward_left(ct, &body);
+                        Ok(())
+                    }
+                    Some(ContentType::Alert) => {
+                        // Strict legacy server aborted on our
+                        // announcement; remember and relay.
+                        self.give_up_to_relay();
+                        self.forward_left(ct, &body);
+                        Ok(())
+                    }
+                    Some(ContentType::ApplicationData) => {
+                        self.early_right.push((ct, body));
+                        Ok(())
+                    }
+                    _ => {
+                        self.forward_left(ct, &body);
+                        Ok(())
+                    }
+                }
+            }
+            MiddleboxPhase::ServerSideJoining => {
+                match ContentType::from_u8(ct) {
+                    Some(ContentType::MbtlsEncapsulated) => {
+                        let enc = Encapsulated::decode(&body)?;
+                        if Some(enc.subchannel) == self.subchannel {
+                            self.feed_secondary(&enc.record);
+                        } else {
+                            self.forward_left(ct, &body);
+                        }
+                        Ok(())
+                    }
+                    Some(ContentType::ApplicationData) => {
+                        self.early_right.push((ct, body));
+                        Ok(())
+                    }
+                    _ => {
+                        self.forward_left(ct, &body);
+                        Ok(())
+                    }
+                }
+            }
+            MiddleboxPhase::DataPlane => match ContentType::from_u8(ct) {
+                Some(ContentType::ApplicationData | ContentType::Alert) => {
+                    self.dataplane_feed(FlowDirection::ServerToClient, ct, &body)
+                }
+                _ => {
+                    self.forward_left(ct, &body);
+                    Ok(())
+                }
+            },
+            MiddleboxPhase::Relay => {
+                self.forward_left(ct, &body);
+                Ok(())
+            }
+        }
+    }
+
+    /// The very first record from the client decides our role.
+    fn handle_first_record(&mut self, ct: u8, body: Vec<u8>) -> Result<(), MbError> {
+        if ContentType::from_u8(ct) != Some(ContentType::Handshake) {
+            // Not a TLS handshake start — relay everything.
+            self.phase = MiddleboxPhase::Relay;
+            self.forward_right(ct, &body);
+            return Ok(());
+        }
+        let client_supports_mbtls = parse_hello_for_mbtls_support(&body);
+        // Forward the ClientHello onward in all cases.
+        self.forward_right(ct, &body);
+        if client_supports_mbtls {
+            // Join client-side: we play the TLS server; the primary
+            // ClientHello is also our secondary ClientHello.
+            let mut server_cfg =
+                ServerConfig::new(self.config.certified_key.clone(), self.config.ticket_key);
+            server_cfg.suites = self.config.suites.clone();
+            server_cfg.attestor = self.config.attestor.clone();
+            server_cfg.always_attest = self.config.attestor.is_some();
+            let mut conn = ServerConnection::new(Arc::new(server_cfg));
+            if conn.feed_incoming(&reframe(ct, &body), &mut self.rng).is_err() {
+                // Cannot serve this client (e.g. no common cipher
+                // suite in the shared ClientHello): stay out of the
+                // session and relay instead of breaking it.
+                self.phase = MiddleboxPhase::Relay;
+                return Ok(());
+            }
+            self.secondary = Some(conn);
+            self.phase = MiddleboxPhase::ClientSideJoining;
+        } else if self.config.allow_server_side && !self.config.cached_no_support {
+            // Announce toward the server (optimistically — §3.4).
+            self.out_right.extend(frame_plaintext(
+                ContentType::MbtlsMiddleboxAnnouncement,
+                &[],
+            ));
+            self.announced = true;
+            self.phase = MiddleboxPhase::ServerSideAwaitClaim;
+        } else {
+            self.phase = MiddleboxPhase::Relay;
+        }
+        Ok(())
+    }
+
+    fn feed_secondary(&mut self, inner_record: &[u8]) {
+        let Some(sec) = self.secondary.as_mut() else {
+            return;
+        };
+        if sec.feed_incoming(inner_record, &mut self.rng).is_err() {
+            // Endpoint rejected us (or the handshake failed): become a
+            // relay and flush anything we were holding.
+            self.give_up_to_relay();
+        }
+    }
+
+    /// Drain secondary output and plaintext; handle key delivery.
+    fn pump_secondary(&mut self) {
+        let Some(id) = self.subchannel else { return };
+        let (client_side, hold_flight) = match self.phase {
+            MiddleboxPhase::ClientSideJoining => (true, !self.saw_primary_server_hello),
+            MiddleboxPhase::ServerSideJoining => (false, false),
+            MiddleboxPhase::DataPlane => (self.keys_side_is_client(), false),
+            _ => return,
+        };
+        let Some(sec) = self.secondary.as_mut() else {
+            return;
+        };
+        if !hold_flight {
+            let bytes = sec.take_outgoing();
+            if !bytes.is_empty() {
+                let mut wrapped = Vec::new();
+                crate::client::wrap_records(id, &bytes, &mut wrapped);
+                if client_side {
+                    self.out_left.extend(wrapped);
+                } else {
+                    self.out_right.extend(wrapped);
+                }
+            }
+        }
+        // Key delivery over the secondary session.
+        let plain = self.secondary.as_mut().unwrap().take_plaintext();
+        if !plain.is_empty() {
+            match SecondaryMessage::decode(&plain) {
+                Ok(SecondaryMessage::Keys(km)) => {
+                    if let Err(e) = self.activate_dataplane(km) {
+                        self.error = Some(e);
+                    }
+                }
+                Err(_) => {
+                    self.give_up_to_relay();
+                }
+            }
+        }
+    }
+
+    fn keys_side_is_client(&self) -> bool {
+        // After DataPlane, remaining secondary traffic (e.g. ticket
+        // renewal) goes back toward whichever endpoint owns us. We
+        // joined the client side iff we never announced.
+        !self.announced
+    }
+
+    fn activate_dataplane(&mut self, km: KeyMaterial) -> Result<(), MbError> {
+        let dp = MiddleboxDataPlane::new(&km.toward_client_hop, &km.toward_server_hop)
+            .map_err(MbError::Tls)?;
+        self.dataplane = Some(dp);
+        self.keys = Some(km);
+        self.phase = MiddleboxPhase::DataPlane;
+        // Flush buffered early data through the data plane, in arrival
+        // order.
+        let early_left = std::mem::take(&mut self.early_left);
+        for (ct, body) in early_left {
+            self.dataplane_feed(FlowDirection::ClientToServer, ct, &body)?;
+        }
+        let early_right = std::mem::take(&mut self.early_right);
+        for (ct, body) in early_right {
+            self.dataplane_feed(FlowDirection::ServerToClient, ct, &body)?;
+        }
+        Ok(())
+    }
+
+    fn dataplane_feed(&mut self, dir: FlowDirection, ct: u8, body: &[u8]) -> Result<(), MbError> {
+        let record = reframe(ct, body);
+        let dp = self.dataplane.as_mut().expect("dataplane active");
+        let processor = &mut self.processor;
+        dp.feed(dir, &record, |d, plain| processor.process(d, plain))
+    }
+
+    fn give_up_to_relay(&mut self) {
+        self.phase = MiddleboxPhase::Relay;
+        self.secondary = None;
+        // Flush any buffered records as plain forwards.
+        let early_left = std::mem::take(&mut self.early_left);
+        for (ct, body) in early_left {
+            self.forward_right(ct, &body);
+        }
+        let early_right = std::mem::take(&mut self.early_right);
+        for (ct, body) in early_right {
+            self.forward_left(ct, &body);
+        }
+    }
+
+    /// The sensitive state a host inspector would look for: the hop
+    /// keys. A non-enclave deployment leaves these in ordinary memory;
+    /// an enclave deployment keeps them inside (Table 1's "data read
+    /// in MS application memory by MIP" row).
+    pub fn sensitive_snapshot(&self) -> Vec<u8> {
+        self.keys.as_ref().map(|k| k.encode()).unwrap_or_default()
+    }
+}
+
+impl EnclaveState for Middlebox {
+    fn snapshot_bytes(&self) -> Vec<u8> {
+        self.sensitive_snapshot()
+    }
+}
+
+/// Does a handshake-record body start a ClientHello?
+fn is_client_hello_record(record: &[u8]) -> bool {
+    record.len() > 5 && record[0] == 22 && record[5] == 1
+}
+
+/// Parse a handshake record body far enough to see whether the
+/// ClientHello carries the MiddleboxSupport extension.
+fn parse_hello_for_mbtls_support(record_body: &[u8]) -> bool {
+    let mut hs = HandshakeReader::new();
+    hs.feed(record_body);
+    match hs.next_message() {
+        Ok(Some((1, body, _))) => match ClientHello::decode_body(&body) {
+            Ok(ch) => ch
+                .find_extension(extension_type::MIDDLEBOX_SUPPORT)
+                .is_some(),
+            Err(_) => false,
+        },
+        _ => false,
+    }
+}

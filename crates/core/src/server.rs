@@ -1,0 +1,431 @@
+//! The mbTLS server endpoint.
+//!
+//! Accepts the primary TLS handshake from the client and, upon
+//! receiving MiddleboxAnnouncement records from on-path server-side
+//! middleboxes, initiates one secondary TLS handshake per middlebox —
+//! with the *server playing the TLS client role*, which is why each
+//! additional server-side middlebox costs roughly a client handshake
+//! (~20% of a server handshake; paper §5.2). After all handshakes it
+//! distributes per-hop keys exactly like the client side.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use mbtls_crypto::rng::CryptoRng;
+use mbtls_pki::{KeyUsage, TrustStore};
+use mbtls_tls::config::{AttestationPolicy, ClientConfig, ServerConfig};
+use mbtls_tls::record::{frame_plaintext, ContentType, RecordReader};
+use mbtls_tls::session::SessionKeys;
+use mbtls_tls::{ClientConnection, ServerConnection, TlsError};
+
+use crate::client::{reframe, wrap_records, ApprovalPolicy, MiddleboxInfo};
+use crate::dataplane::{fresh_hop_keys, EndpointDataPlane};
+use crate::messages::{Encapsulated, KeyMaterial, SecondaryMessage};
+use crate::MbError;
+
+/// mbTLS server configuration.
+pub struct MbServerConfig {
+    /// Configuration for the primary connection (certificate, suites,
+    /// tickets, attestor, ...).
+    pub tls: ServerConfig,
+    /// Trust roots for middlebox certificates.
+    pub middlebox_trust: Arc<TrustStore>,
+    /// Attestation policy middleboxes must satisfy.
+    pub middlebox_attestation: Option<AttestationPolicy>,
+    /// Approval policy for announced middleboxes.
+    pub approval: ApprovalPolicy,
+    /// "Current time" for middlebox certificate validation.
+    pub current_time: u64,
+    /// Accept MiddleboxAnnouncements at all (false = legacy-style
+    /// server that tolerates but ignores them).
+    pub mbtls_enabled: bool,
+}
+
+impl MbServerConfig {
+    /// Defaults over the given identity and middlebox trust store.
+    pub fn new(tls: ServerConfig, middlebox_trust: Arc<TrustStore>) -> Self {
+        MbServerConfig {
+            tls,
+            middlebox_trust,
+            middlebox_attestation: None,
+            approval: ApprovalPolicy::AllVerified,
+            current_time: 0,
+            mbtls_enabled: true,
+        }
+    }
+}
+
+struct Secondary {
+    conn: ClientConnection,
+    verified_name: Option<String>,
+    approved: bool,
+    rejected: bool,
+}
+
+/// The mbTLS server session.
+pub struct MbServerSession {
+    config: Arc<MbServerConfig>,
+    rng: CryptoRng,
+
+    primary: ServerConnection,
+    secondaries: BTreeMap<u8, Secondary>,
+    next_subchannel: u8,
+    reader: RecordReader,
+    out: Vec<u8>,
+
+    keys_distributed: bool,
+    dataplane: Option<EndpointDataPlane>,
+    error: Option<MbError>,
+}
+
+impl MbServerSession {
+    /// New session awaiting a ClientHello.
+    pub fn new(config: Arc<MbServerConfig>, rng: CryptoRng) -> Self {
+        let primary = ServerConnection::new(Arc::new(clone_server_config(&config.tls)));
+        MbServerSession {
+            config,
+            rng,
+            primary,
+            secondaries: BTreeMap::new(),
+            next_subchannel: 1,
+            reader: RecordReader::new(),
+            out: Vec::new(),
+            keys_distributed: false,
+            dataplane: None,
+            error: None,
+        }
+    }
+
+    /// Wire bytes to send.
+    pub fn take_outgoing(&mut self) -> Vec<u8> {
+        self.pump();
+        // Primary-session records flush first (the paper's Fig. 3
+        // shows secondary flights following the primary ones within a
+        // flight), then mbTLS control records, then data-plane
+        // records.
+        let mut out = self.primary.take_outgoing();
+        out.extend(std::mem::take(&mut self.out));
+        if let Some(dp) = &mut self.dataplane {
+            out.extend(dp.take_outgoing());
+        }
+        out
+    }
+
+    /// Feed bytes from the wire.
+    pub fn feed_incoming(&mut self, data: &[u8]) -> Result<(), MbError> {
+        if let Some(e) = &self.error {
+            return Err(e.clone());
+        }
+        self.reader.feed(data);
+        loop {
+            let rec = match self.reader.next_record() {
+                Ok(Some(r)) => r,
+                Ok(None) => break,
+                Err(e) => {
+                    let e = MbError::Tls(e);
+                    self.error = Some(e.clone());
+                    return Err(e);
+                }
+            };
+            if let Err(e) = self.route_record(rec.content_type_byte, rec.body) {
+                self.error = Some(e.clone());
+                return Err(e);
+            }
+        }
+        self.pump();
+        Ok(())
+    }
+
+    fn route_record(&mut self, ct_byte: u8, body: Vec<u8>) -> Result<(), MbError> {
+        match ContentType::from_u8(ct_byte) {
+            Some(ContentType::MbtlsMiddleboxAnnouncement) if self.config.mbtls_enabled => {
+                self.handle_announcement()
+            }
+            Some(ContentType::MbtlsEncapsulated) => {
+                let enc = Encapsulated::decode(&body)?;
+                self.handle_encapsulated(enc)
+            }
+            Some(ContentType::ApplicationData | ContentType::Alert)
+                if self.dataplane.is_some() =>
+            {
+                let dp = self.dataplane.as_mut().unwrap();
+                dp.feed(&reframe(ct_byte, &body)).map_err(MbError::Tls)
+            }
+            _ => {
+                self.primary
+                    .feed_incoming(&reframe(ct_byte, &body), &mut self.rng)
+                    .map_err(MbError::Tls)?;
+                let _ = self.primary.take_nonstandard_records();
+                Ok(())
+            }
+        }
+    }
+
+    /// A middlebox announced itself: start a secondary handshake with
+    /// the server in the TLS-client role.
+    fn handle_announcement(&mut self) -> Result<(), MbError> {
+        if self.keys_distributed {
+            return Err(MbError::Protocol("announcement after key distribution"));
+        }
+        let id = self.next_subchannel;
+        self.next_subchannel = self
+            .next_subchannel
+            .checked_add(1)
+            .ok_or(MbError::Protocol("too many middleboxes"))?;
+        let mut sec_cfg = ClientConfig::new(self.config.middlebox_trust.clone());
+        sec_cfg.suites = self.config.tls.suites.clone();
+        sec_cfg.current_time = self.config.current_time;
+        sec_cfg.danger_disable_cert_verify = true;
+        sec_cfg.attestation_policy = self.config.middlebox_attestation.clone();
+        let mut conn = ClientConnection::new(Arc::new(sec_cfg), "", &mut self.rng);
+        // The secondary ClientHello travels toward the client wrapped
+        // in an Encapsulated record; the announcing middlebox claims
+        // it.
+        let bytes = conn.take_outgoing();
+        let mut wrapped = Vec::new();
+        wrap_records(id, &bytes, &mut wrapped);
+        self.out.extend(wrapped);
+        self.secondaries.insert(
+            id,
+            Secondary {
+                conn,
+                verified_name: None,
+                approved: false,
+                rejected: false,
+            },
+        );
+        Ok(())
+    }
+
+    fn handle_encapsulated(&mut self, enc: Encapsulated) -> Result<(), MbError> {
+        let Some(sec) = self.secondaries.get_mut(&enc.subchannel) else {
+            return Err(MbError::Protocol("encapsulated record on unknown subchannel"));
+        };
+        if sec.rejected {
+            return Ok(());
+        }
+        if let Err(e) = sec.conn.feed_incoming(&enc.record, &mut self.rng) {
+            sec.rejected = true;
+            let _ = e;
+        }
+        Ok(())
+    }
+
+    fn pump(&mut self) {
+        let mut wrapped = Vec::new();
+        for (&id, sec) in self.secondaries.iter_mut() {
+            let bytes = sec.conn.take_outgoing();
+            if !bytes.is_empty() {
+                wrap_records(id, &bytes, &mut wrapped);
+            }
+        }
+        self.out.extend(wrapped);
+
+        let mut to_reject = Vec::new();
+        let ids: Vec<u8> = self.secondaries.keys().copied().collect();
+        for id in ids {
+            let (established, already) = {
+                let sec = &self.secondaries[&id];
+                (sec.conn.is_established(), sec.verified_name.is_some() || sec.rejected)
+            };
+            if established && !already {
+                match self.verify_and_approve(id) {
+                    Ok(name) => {
+                        let sec = self.secondaries.get_mut(&id).unwrap();
+                        sec.verified_name = Some(name);
+                        sec.approved = true;
+                    }
+                    Err(_) => to_reject.push(id),
+                }
+            }
+        }
+        for id in to_reject {
+            self.reject(id);
+        }
+
+        if !self.keys_distributed && self.primary.is_established() {
+            let all_done = self
+                .secondaries
+                .values()
+                .all(|s| s.rejected || (s.conn.is_established() && s.approved));
+            if all_done {
+                if let Err(e) = self.distribute_keys() {
+                    self.error = Some(e);
+                }
+            }
+        }
+    }
+
+    fn verify_and_approve(&mut self, id: u8) -> Result<String, MbError> {
+        let sec = &self.secondaries[&id];
+        let chain = sec.conn.peer_certificates().to_vec();
+        if chain.is_empty() {
+            return Err(MbError::Protocol("middlebox sent no certificate"));
+        }
+        let subject = chain[0].payload.subject.clone();
+        self.config
+            .middlebox_trust
+            .verify_chain(
+                &chain,
+                &subject,
+                self.config.current_time,
+                Some(KeyUsage::Middlebox),
+            )
+            .map_err(|e| MbError::Tls(TlsError::Certificate(e)))?;
+        let approved = match &self.config.approval {
+            ApprovalPolicy::AllVerified => true,
+            ApprovalPolicy::AllowList(names) => names.iter().any(|n| n == &subject),
+            ApprovalPolicy::DenyAll => false,
+        };
+        if approved {
+            Ok(subject)
+        } else {
+            Err(MbError::MiddleboxRejected(subject))
+        }
+    }
+
+    fn reject(&mut self, id: u8) {
+        let alert = mbtls_tls::alert::Alert::fatal(
+            mbtls_tls::alert::AlertDescription::HandshakeFailure,
+        );
+        let alert_record = frame_plaintext(ContentType::Alert, &alert.encode());
+        let enc = Encapsulated {
+            subchannel: id,
+            record: alert_record,
+        };
+        self.out.extend(frame_plaintext(
+            ContentType::MbtlsEncapsulated,
+            &enc.encode(),
+        ));
+        if let Some(sec) = self.secondaries.get_mut(&id) {
+            sec.rejected = true;
+            sec.approved = false;
+        }
+    }
+
+    /// Distribute per-hop keys: middlebox at subchannel 1 is adjacent
+    /// to the server (it claimed the first Encapsulated ClientHello),
+    /// ascending IDs march toward the bridge.
+    fn distribute_keys(&mut self) -> Result<(), MbError> {
+        let suite = self
+            .primary
+            .secrets()
+            .map(|s| s.suite)
+            .ok_or(MbError::NotReady)?;
+        let bridge = self
+            .primary
+            .export_session_keys()
+            .ok_or(MbError::NotReady)?;
+
+        let mut order: Vec<u8> = self
+            .secondaries
+            .iter()
+            .filter(|(_, s)| s.approved)
+            .map(|(&id, _)| id)
+            .collect();
+        order.sort_unstable(); // ascending: nearest server first
+
+        // Hops: server↔m_1 = H_1, m_1↔m_2 = H_2, ..., m_k↔bridge.
+        let mut hops: Vec<SessionKeys> = Vec::with_capacity(order.len() + 1);
+        for _ in 0..order.len() {
+            hops.push(fresh_hop_keys(suite, &mut self.rng));
+        }
+        hops.push(bridge);
+
+        for (i, &id) in order.iter().enumerate() {
+            let km = KeyMaterial {
+                toward_server_hop: hops[i].clone(),
+                toward_client_hop: hops[i + 1].clone(),
+            };
+            let msg = SecondaryMessage::Keys(km).encode();
+            let sec = self.secondaries.get_mut(&id).unwrap();
+            sec.conn.send_data(&msg).map_err(MbError::Tls)?;
+            let bytes = sec.conn.take_outgoing();
+            let mut wrapped = Vec::new();
+            wrap_records(id, &bytes, &mut wrapped);
+            self.out.extend(wrapped);
+        }
+
+        self.dataplane =
+            Some(EndpointDataPlane::for_server(&hops[0]).map_err(MbError::Tls)?);
+        self.keys_distributed = true;
+        Ok(())
+    }
+
+    /// True once application data can flow.
+    pub fn is_ready(&self) -> bool {
+        self.keys_distributed && self.dataplane.is_some()
+    }
+
+    /// True if the session failed.
+    pub fn is_failed(&self) -> bool {
+        self.error.is_some() || self.primary.is_failed()
+    }
+
+    /// The failure, if any.
+    pub fn error(&self) -> Option<MbError> {
+        self.error
+            .clone()
+            .or_else(|| self.primary.error().cloned().map(MbError::Tls))
+    }
+
+    /// Did the primary handshake resume?
+    pub fn resumed(&self) -> bool {
+        self.primary.resumed()
+    }
+
+    /// Queue application data.
+    pub fn send(&mut self, data: &[u8]) -> Result<(), MbError> {
+        let dp = self.dataplane.as_mut().ok_or(MbError::NotReady)?;
+        dp.send(data).map_err(MbError::Tls)
+    }
+
+    /// Gracefully close the session (send close_notify under the
+    /// adjacent hop's keys; middleboxes re-encrypt it hop by hop).
+    pub fn close(&mut self) -> Result<(), MbError> {
+        let dp = self.dataplane.as_mut().ok_or(MbError::NotReady)?;
+        dp.send_close().map_err(MbError::Tls)
+    }
+
+    /// True once the peer's close_notify arrived.
+    pub fn peer_closed(&self) -> bool {
+        self.dataplane.as_ref().is_some_and(|dp| dp.peer_closed())
+    }
+
+    /// Received application data (including any that arrived on the
+    /// primary connection before the data plane activated).
+    pub fn recv(&mut self) -> Vec<u8> {
+        let mut out = self.primary.take_plaintext();
+        if let Some(dp) = &mut self.dataplane {
+            out.extend(dp.take_plaintext());
+        }
+        out
+    }
+
+    /// Joined middleboxes.
+    pub fn middleboxes(&self) -> Vec<MiddleboxInfo> {
+        self.secondaries
+            .iter()
+            .map(|(&id, s)| MiddleboxInfo {
+                subchannel: id,
+                name: s.verified_name.clone(),
+                approved: s.approved,
+            })
+            .collect()
+    }
+}
+
+/// ServerConfig is not Clone; copy the fields.
+fn clone_server_config(c: &ServerConfig) -> ServerConfig {
+    ServerConfig {
+        certified_key: c.certified_key.clone(),
+        suites: c.suites.clone(),
+        ticket_key: c.ticket_key,
+        issue_tickets: c.issue_tickets,
+        attestor: c.attestor.clone(),
+        always_attest: c.always_attest,
+        session_cache: c.session_cache.clone(),
+        assign_session_ids: c.assign_session_ids,
+        strict_unknown_records: c.strict_unknown_records,
+    }
+}

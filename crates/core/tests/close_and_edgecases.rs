@@ -1,0 +1,197 @@
+//! Graceful close through middleboxes, plus protocol edge cases.
+
+use std::sync::Arc;
+
+use mbtls_core::attacks::Testbed;
+use mbtls_core::client::MbClientSession;
+use mbtls_core::messages::MiddleboxSupport;
+use mbtls_core::middlebox::Middlebox;
+use mbtls_core::server::MbServerSession;
+use mbtls_crypto::rng::CryptoRng;
+
+fn pump3(
+    client: &mut MbClientSession,
+    mb: &mut Middlebox,
+    server: &mut MbServerSession,
+) {
+    let b = client.take_outgoing();
+    mb.feed_from_client(&b).unwrap();
+    let b = mb.take_toward_server();
+    server.feed_incoming(&b).unwrap();
+    let b = server.take_outgoing();
+    mb.feed_from_server(&b).unwrap();
+    let b = mb.take_toward_client();
+    client.feed_incoming(&b).unwrap();
+}
+
+#[test]
+fn close_notify_traverses_middlebox() {
+    let tb = Testbed::new(0xC105E);
+    let mut client = MbClientSession::new(
+        Arc::new(tb.client_config()),
+        "server.example",
+        CryptoRng::from_seed(1),
+    );
+    let mut server = MbServerSession::new(Arc::new(tb.server_config()), CryptoRng::from_seed(2));
+    let mut mb = Middlebox::new(tb.middlebox_config(&tb.mbox_code), CryptoRng::from_seed(3));
+    for _ in 0..60 {
+        pump3(&mut client, &mut mb, &mut server);
+        if client.is_ready() && server.is_ready() && mb.has_keys() {
+            break;
+        }
+    }
+    assert!(client.is_ready() && server.is_ready());
+
+    // Interleave data and close in the same flush: the close arrives
+    // after the data, re-encrypted at each hop.
+    client.send(b"last words").unwrap();
+    client.close().unwrap();
+    for _ in 0..5 {
+        pump3(&mut client, &mut mb, &mut server);
+    }
+    assert_eq!(server.recv(), b"last words");
+    assert!(server.peer_closed(), "close_notify delivered through the hop chain");
+
+    // The server can close back.
+    server.close().unwrap();
+    for _ in 0..5 {
+        pump3(&mut client, &mut mb, &mut server);
+    }
+    assert!(client.peer_closed());
+}
+
+#[test]
+fn close_notify_direct_session() {
+    let tb = Testbed::new(0xC106);
+    let mut client = MbClientSession::new(
+        Arc::new(tb.client_config()),
+        "server.example",
+        CryptoRng::from_seed(4),
+    );
+    let mut server = MbServerSession::new(Arc::new(tb.server_config()), CryptoRng::from_seed(5));
+    for _ in 0..30 {
+        let b = client.take_outgoing();
+        server.feed_incoming(&b).unwrap();
+        let b = server.take_outgoing();
+        client.feed_incoming(&b).unwrap();
+        if client.is_ready() && server.is_ready() {
+            break;
+        }
+    }
+    client.close().unwrap();
+    server.feed_incoming(&client.take_outgoing()).unwrap();
+    assert!(server.peer_closed());
+    assert!(!client.peer_closed());
+}
+
+#[test]
+fn preconfigured_names_travel_in_extension() {
+    // The MiddleboxSupport extension carries pre-configured middlebox
+    // names; the middlebox (and any observer) can decode them.
+    let tb = Testbed::new(0xC107);
+    let mut cfg = tb.client_config();
+    cfg.preconfigured = vec!["proxy.msp.example".into(), "ids.corp.example".into()];
+    let mut client =
+        MbClientSession::new(Arc::new(cfg), "server.example", CryptoRng::from_seed(6));
+    let hello_bytes = client.take_outgoing();
+
+    // Find the extension payload on the wire.
+    let needle = [0xFFu8, 0x77];
+    let pos = hello_bytes
+        .windows(2)
+        .position(|w| w == needle)
+        .expect("MiddleboxSupport extension present");
+    let len = u16::from_be_bytes([hello_bytes[pos + 2], hello_bytes[pos + 3]]) as usize;
+    let payload = &hello_bytes[pos + 4..pos + 4 + len];
+    let decoded = MiddleboxSupport::decode(payload).expect("decodable");
+    assert_eq!(
+        decoded.preconfigured,
+        vec!["proxy.msp.example".to_string(), "ids.corp.example".to_string()]
+    );
+}
+
+#[test]
+fn send_before_ready_is_rejected() {
+    let tb = Testbed::new(0xC108);
+    let mut client = MbClientSession::new(
+        Arc::new(tb.client_config()),
+        "server.example",
+        CryptoRng::from_seed(7),
+    );
+    assert!(client.send(b"too early").is_err());
+    assert!(client.close().is_err());
+    assert!(client.recv().is_empty());
+}
+
+#[test]
+fn many_middleboxes_unique_subchannels() {
+    // Six middleboxes: all join, all get distinct subchannel IDs, data
+    // traverses all of them in order.
+    let tb = Testbed::new(0xC109);
+    let client = MbClientSession::new(
+        Arc::new(tb.client_config()),
+        "server.example",
+        CryptoRng::from_seed(8),
+    );
+    let server = MbServerSession::new(Arc::new(tb.server_config()), CryptoRng::from_seed(9));
+    let mut mboxes: Vec<Middlebox> = (0..6)
+        .map(|i| {
+            Middlebox::new(
+                tb.middlebox_config(&tb.mbox_code),
+                CryptoRng::from_seed(100 + i),
+            )
+        })
+        .collect();
+    let mut client = client;
+    let mut server = server;
+    for _ in 0..120 {
+        // client → chain → server
+        let mut b = client.take_outgoing();
+        for mb in mboxes.iter_mut() {
+            mb.feed_from_client(&b).unwrap();
+            b = mb.take_toward_server();
+        }
+        server.feed_incoming(&b).unwrap();
+        // server → chain → client
+        let mut b = server.take_outgoing();
+        for mb in mboxes.iter_mut().rev() {
+            mb.feed_from_server(&b).unwrap();
+            b = mb.take_toward_client();
+        }
+        client.feed_incoming(&b).unwrap();
+        if client.is_ready() && server.is_ready() && mboxes.iter().all(|m| m.has_keys()) {
+            break;
+        }
+    }
+    assert!(client.is_ready() && server.is_ready());
+    let mut ids: Vec<u8> = mboxes.iter().map(|m| m.subchannel.unwrap()).collect();
+    let orig = ids.clone();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), 6, "subchannel IDs unique: {orig:?}");
+    assert_eq!(client.middleboxes().len(), 6);
+
+    client.send(b"through six boxes").unwrap();
+    let mut b = client.take_outgoing();
+    for mb in mboxes.iter_mut() {
+        mb.feed_from_client(&b).unwrap();
+        b = mb.take_toward_server();
+    }
+    server.feed_incoming(&b).unwrap();
+    assert_eq!(server.recv(), b"through six boxes");
+    for mb in &mboxes {
+        assert_eq!(mb.records_processed(), 1);
+    }
+}
+
+#[test]
+fn middlebox_relays_non_tls_streams() {
+    // A middlebox that sees something other than TLS becomes a relay.
+    let tb = Testbed::new(0xC10A);
+    let mut mb = Middlebox::new(tb.middlebox_config(&tb.mbox_code), CryptoRng::from_seed(10));
+    // SSH banner, definitely not a TLS record (version byte wrong) —
+    // record parsing fails, the middlebox reports an error rather
+    // than corrupting the stream.
+    let result = mb.feed_from_client(b"SSH-2.0-OpenSSH_9.7\r\n");
+    assert!(result.is_err(), "non-TLS bytes are a record-layer error");
+}

@@ -1,0 +1,140 @@
+//! Driver-layer behaviour: chains, relays, and virtual-time ticks.
+
+use std::sync::Arc;
+
+use mbtls_core::attacks::Testbed;
+use mbtls_core::baseline::PureRelay;
+use mbtls_core::client::MbClientSession;
+use mbtls_core::driver::{Chain, NetChain, Relay};
+use mbtls_core::server::MbServerSession;
+use mbtls_core::MbError;
+use mbtls_crypto::rng::CryptoRng;
+use mbtls_netsim::time::Duration;
+use mbtls_netsim::{FaultConfig, Network};
+
+fn endpoints(seed: u64) -> (MbClientSession, MbServerSession) {
+    let tb = Testbed::new(seed);
+    (
+        MbClientSession::new(
+            Arc::new(tb.client_config()),
+            "server.example",
+            CryptoRng::from_seed(seed + 1),
+        ),
+        MbServerSession::new(Arc::new(tb.server_config()), CryptoRng::from_seed(seed + 2)),
+    )
+}
+
+#[test]
+fn chain_through_stacked_relays() {
+    // Five dumb relays in a row are transparent to mbTLS.
+    let (client, server) = endpoints(0xD1);
+    let middles: Vec<Box<dyn Relay>> = (0..5)
+        .map(|_| Box::new(PureRelay::new()) as Box<dyn Relay>)
+        .collect();
+    let mut chain = Chain::new(Box::new(client), middles, Box::new(server));
+    chain.run_handshake().unwrap();
+    let got = chain.client_to_server(b"through relays", 14).unwrap();
+    assert_eq!(got, b"through relays");
+}
+
+#[test]
+fn handshake_stall_is_reported_not_hung() {
+    // A relay that silently eats all client→server traffic: the
+    // handshake can never complete, and run_handshake must return an
+    // error rather than loop forever.
+    struct BlackHole {
+        toward_client: Vec<u8>,
+    }
+    impl Relay for BlackHole {
+        fn feed_left(&mut self, _data: &[u8]) -> Result<(), MbError> {
+            Ok(()) // dropped
+        }
+        fn feed_right(&mut self, data: &[u8]) -> Result<(), MbError> {
+            self.toward_client.extend_from_slice(data);
+            Ok(())
+        }
+        fn take_left(&mut self) -> Vec<u8> {
+            std::mem::take(&mut self.toward_client)
+        }
+        fn take_right(&mut self) -> Vec<u8> {
+            Vec::new()
+        }
+    }
+    let (client, server) = endpoints(0xD2);
+    let mut chain = Chain::new(
+        Box::new(client),
+        vec![Box::new(BlackHole {
+            toward_client: Vec::new(),
+        })],
+        Box::new(server),
+    );
+    let result = chain.run_handshake();
+    assert!(matches!(result, Err(MbError::Protocol(_))));
+}
+
+#[test]
+fn netchain_tick_reports_quiescence() {
+    let (client, server) = endpoints(0xD3);
+    let chain = Chain::new(Box::new(client), vec![], Box::new(server));
+    let mut net = Network::new(0xD3);
+    let mut nc = NetChain::new(
+        &mut net,
+        chain,
+        &[Duration::from_millis(1)],
+        &[FaultConfig::none()],
+    );
+    // Tick until the handshake completes and the network drains.
+    let mut ticks = 0;
+    while nc.tick().unwrap() {
+        ticks += 1;
+        assert!(ticks < 100, "handshake should quiesce quickly");
+    }
+    assert!(nc.chain.client.ready());
+    assert!(nc.chain.server.ready());
+    // Once quiescent, tick keeps returning false.
+    assert!(!nc.tick().unwrap());
+}
+
+#[test]
+fn netchain_deadline_enforced() {
+    let (client, server) = endpoints(0xD4);
+    let chain = Chain::new(Box::new(client), vec![], Box::new(server));
+    let mut net = Network::new(0xD4);
+    let mut nc = NetChain::new(
+        &mut net,
+        chain,
+        &[Duration::from_millis(500)],
+        &[FaultConfig::none()],
+    );
+    // A deadline far below the handshake's 3-RTT cost trips cleanly.
+    let result = nc.run_until(Duration::from_millis(10), |c| c.client.ready() && c.server.ready());
+    assert!(matches!(result, Err(MbError::Protocol(_))));
+}
+
+#[test]
+fn compute_delays_slow_the_session() {
+    let run = |delay_us: u64| {
+        let (client, server) = endpoints(0xD5);
+        let chain = Chain::new(
+            Box::new(client),
+            vec![Box::new(PureRelay::new())],
+            Box::new(server),
+        );
+        let mut net = Network::new(0xD5);
+        let mut nc = NetChain::new(
+            &mut net,
+            chain,
+            &[Duration::from_millis(5), Duration::from_millis(5)],
+            &[FaultConfig::none(), FaultConfig::none()],
+        );
+        nc.set_compute_delay(1, Duration::from_micros(delay_us));
+        nc.run_session(b"x", 8, Duration::from_secs(30))
+            .unwrap()
+            .handshake
+    };
+    let fast = run(0);
+    let slow = run(2_000);
+    assert!(slow > fast, "compute charge must show up in virtual time");
+    // 2ms per flush × a handful of forwarded flights: small and bounded.
+    assert!(slow.0 - fast.0 < 40_000_000, "delta {}", slow.0 - fast.0);
+}

@@ -1,0 +1,116 @@
+//! Table 1 (paper §4): every threat/defense row as an executed
+//! attack, asserting mbTLS blocks what the paper claims it blocks —
+//! and that the baselines fail where the paper says they fail.
+
+use mbtls_core::attacks::{self, Protocol};
+
+#[test]
+fn p1a_wire_eavesdrop_blocked() {
+    let r = attacks::attack_wire_eavesdrop();
+    assert!(r.blocked, "{}: {}", r.threat, r.detail);
+}
+
+#[test]
+fn p1a_mip_memory_scan_blocked_with_enclave() {
+    let r = attacks::attack_mip_memory_scan(true);
+    assert_eq!(r.protocol, Protocol::MbTls);
+    assert!(r.blocked, "{}: {}", r.threat, r.detail);
+}
+
+#[test]
+fn p1a_mip_memory_scan_succeeds_without_enclave() {
+    // The defense IS the enclave: without it the MIP reads the keys.
+    let r = attacks::attack_mip_memory_scan(false);
+    assert_eq!(r.protocol, Protocol::MbTlsNoEnclave);
+    assert!(!r.blocked, "without an enclave the scan must find keys");
+}
+
+#[test]
+fn p1b_forward_secrecy_holds() {
+    let r = attacks::attack_forward_secrecy();
+    assert!(r.blocked, "{}: {}", r.threat, r.detail);
+}
+
+#[test]
+fn p1c_change_secrecy_blocked_under_mbtls() {
+    let r = attacks::attack_change_secrecy(false);
+    assert!(r.blocked, "{}: {}", r.threat, r.detail);
+}
+
+#[test]
+fn p1c_change_secrecy_fails_under_naive_key_share() {
+    let r = attacks::attack_change_secrecy(true);
+    assert!(
+        !r.blocked,
+        "naive key sharing must leak whether the middlebox modified data"
+    );
+}
+
+#[test]
+fn p2_tamper_inject_replay_blocked() {
+    for r in [
+        attacks::attack_record_tamper(),
+        attacks::attack_record_inject(),
+        attacks::attack_record_replay(),
+    ] {
+        assert!(r.blocked, "{}: {}", r.threat, r.detail);
+    }
+}
+
+#[test]
+fn p2_mip_ram_tamper_detected() {
+    let r = attacks::attack_mip_ram_tamper();
+    assert!(r.blocked, "{}: {}", r.threat, r.detail);
+}
+
+#[test]
+fn p3a_server_impersonation_blocked() {
+    let r = attacks::attack_impersonate_server();
+    assert!(r.blocked, "{}: {}", r.threat, r.detail);
+}
+
+#[test]
+fn p3b_wrong_code_blocked() {
+    let r = attacks::attack_wrong_middlebox_code();
+    assert!(r.blocked, "{}: {}", r.threat, r.detail);
+}
+
+#[test]
+fn p3b_attestation_replay_blocked() {
+    let r = attacks::attack_attestation_replay();
+    assert!(r.blocked, "{}: {}", r.threat, r.detail);
+}
+
+#[test]
+fn p4_path_skip_blocked_under_mbtls() {
+    let r = attacks::attack_path_skip(false);
+    assert!(r.blocked, "{}: {}", r.threat, r.detail);
+}
+
+#[test]
+fn p4_path_skip_succeeds_under_naive_key_share() {
+    let r = attacks::attack_path_skip(true);
+    assert!(!r.blocked, "naive key sharing has no path integrity");
+}
+
+#[test]
+fn p4_path_reorder_blocked() {
+    let r = attacks::attack_path_reorder();
+    assert!(r.blocked, "{}: {}", r.threat, r.detail);
+}
+
+#[test]
+fn full_matrix_shape() {
+    let matrix = attacks::full_matrix();
+    assert_eq!(matrix.len(), 16);
+    // Every mbTLS row is blocked; the three intentional-failure
+    // baselines are not.
+    for r in &matrix {
+        match r.protocol {
+            Protocol::MbTls => assert!(r.blocked, "{} should be blocked", r.threat),
+            Protocol::NaiveKeyShare | Protocol::MbTlsNoEnclave => {
+                assert!(!r.blocked, "{} should succeed against {:?}", r.threat, r.protocol)
+            }
+        }
+    }
+}

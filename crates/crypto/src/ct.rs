@@ -1,0 +1,94 @@
+//! Constant-time helpers.
+//!
+//! The comparison primitives here avoid data-dependent branches so MAC
+//! and tag checks in the record layer do not leak match prefixes. The
+//! `black_box` hints keep the optimizer from re-introducing early
+//! exits.
+
+use std::hint::black_box;
+
+/// Constant-time equality over equal-length byte slices.
+///
+/// Returns `false` immediately (and only) on a length mismatch — the
+/// lengths of MACs and tags are public.
+pub fn eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    black_box(diff) == 0
+}
+
+/// Constant-time conditional select over bytes: returns `a` when
+/// `choice` is 1, `b` when 0. `choice` must be 0 or 1.
+pub fn select_byte(choice: u8, a: u8, b: u8) -> u8 {
+    debug_assert!(choice <= 1);
+    let mask = choice.wrapping_neg(); // 0x00 or 0xff
+    (a & mask) | (b & !mask)
+}
+
+/// Constant-time conditional swap of two equal-length buffers when
+/// `choice` is 1.
+pub fn cond_swap(choice: u8, a: &mut [u8], b: &mut [u8]) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert!(choice <= 1);
+    let mask = choice.wrapping_neg();
+    for (x, y) in a.iter_mut().zip(b.iter_mut()) {
+        let t = (*x ^ *y) & mask;
+        *x ^= t;
+        *y ^= t;
+    }
+}
+
+/// Best-effort zeroization of key material.
+///
+/// Uses a volatile write loop so the compiler cannot elide the wipes
+/// of buffers that are about to be dropped.
+pub fn zeroize(buf: &mut [u8]) {
+    for b in buf.iter_mut() {
+        // Safety: writing a valid u8 through a valid &mut reference.
+        unsafe { std::ptr::write_volatile(b, 0) };
+    }
+    std::sync::atomic::compiler_fence(std::sync::atomic::Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq_basics() {
+        assert!(eq(b"", b""));
+        assert!(eq(b"abc", b"abc"));
+        assert!(!eq(b"abc", b"abd"));
+        assert!(!eq(b"abc", b"ab"));
+        assert!(!eq(b"\x00\x00", b"\x00\x01"));
+    }
+
+    #[test]
+    fn select_byte_works() {
+        assert_eq!(select_byte(1, 0xaa, 0x55), 0xaa);
+        assert_eq!(select_byte(0, 0xaa, 0x55), 0x55);
+    }
+
+    #[test]
+    fn cond_swap_works() {
+        let mut a = [1u8, 2, 3];
+        let mut b = [9u8, 8, 7];
+        cond_swap(0, &mut a, &mut b);
+        assert_eq!(a, [1, 2, 3]);
+        cond_swap(1, &mut a, &mut b);
+        assert_eq!(a, [9, 8, 7]);
+        assert_eq!(b, [1, 2, 3]);
+    }
+
+    #[test]
+    fn zeroize_wipes() {
+        let mut buf = vec![0xffu8; 32];
+        zeroize(&mut buf);
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+}

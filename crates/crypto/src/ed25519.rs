@@ -1,0 +1,474 @@
+//! Ed25519 signatures (RFC 8032), used by the PKI substrate to sign
+//! certificates and by middleboxes/servers to prove key possession.
+//!
+//! Points are handled in extended homogeneous coordinates
+//! (X : Y : Z : T) with the RFC's twisted-Edwards addition formulas.
+//! Scalar arithmetic mod the group order L reuses [`crate::bignum`].
+
+use crate::bignum::BigUint;
+use crate::field25519::{sqrt_m1, Fe};
+use crate::rng::CryptoRng;
+use crate::sha2::{Hash, Sha512};
+use crate::CryptoError;
+
+/// Public key length.
+pub const PUBLIC_KEY_LEN: usize = 32;
+/// Signature length.
+pub const SIGNATURE_LEN: usize = 64;
+
+/// d = -121665/121666 mod p (the curve constant).
+fn curve_d() -> Fe {
+    Fe::from_bytes(&[
+        0xa3, 0x78, 0x59, 0x13, 0xca, 0x4d, 0xeb, 0x75, 0xab, 0xd8, 0x41, 0x41, 0x4d, 0x0a, 0x70,
+        0x00, 0x98, 0xe8, 0x79, 0x77, 0x79, 0x40, 0xc7, 0x8c, 0x73, 0xfe, 0x6f, 0x2b, 0xee, 0x6c,
+        0x03, 0x52,
+    ])
+}
+
+/// The group order L = 2^252 + 27742317777372353535851937790883648493.
+fn order_l() -> BigUint {
+    BigUint::from_bytes_be(&[
+        0x10, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+        0x00, 0x14, 0xde, 0xf9, 0xde, 0xa2, 0xf7, 0x9c, 0xd6, 0x58, 0x12, 0x63, 0x1a, 0x5c, 0xf5,
+        0xd3, 0xed,
+    ])
+}
+
+/// A point in extended homogeneous coordinates.
+#[derive(Clone, Copy)]
+struct Point {
+    x: Fe,
+    y: Fe,
+    z: Fe,
+    t: Fe,
+}
+
+impl Point {
+    /// The neutral element (0, 1).
+    fn identity() -> Point {
+        Point {
+            x: Fe::ZERO,
+            y: Fe::ONE,
+            z: Fe::ONE,
+            t: Fe::ZERO,
+        }
+    }
+
+    /// The standard base point B (x is even-recovered from y = 4/5).
+    fn base() -> Point {
+        let y = Fe::from_bytes(&[
+            0x58, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66,
+            0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66,
+            0x66, 0x66, 0x66, 0x66,
+        ]);
+        let mut compressed = y.to_bytes();
+        // Base point x is "positive" (even), so the sign bit is 0.
+        compressed[31] &= 0x7f;
+        Point::decompress(&compressed).expect("base point decompresses")
+    }
+
+    /// Point addition (RFC 8032 §5.1.4 / "add-2008-hwcd-3").
+    fn add(&self, other: &Point) -> Point {
+        let a = self.y.sub(self.x).mul(other.y.sub(other.x));
+        let b = self.y.add(self.x).mul(other.y.add(other.x));
+        let c = self.t.mul(other.t).mul_small(2).mul(curve_d());
+        let d = self.z.mul(other.z).mul_small(2);
+        let e = b.sub(a);
+        let f = d.sub(c);
+        let g = d.add(c);
+        let h = b.add(a);
+        Point {
+            x: e.mul(f),
+            y: g.mul(h),
+            z: f.mul(g),
+            t: e.mul(h),
+        }
+    }
+
+    /// Point doubling ("dbl-2008-hwcd").
+    fn double(&self) -> Point {
+        let a = self.x.square();
+        let b = self.y.square();
+        let c = self.z.square().mul_small(2);
+        // H = A + B
+        let h = a.add(b);
+        // E = H - (X+Y)^2
+        let e = h.sub(self.x.add(self.y).square());
+        // G = A - B
+        let g = a.sub(b);
+        // F = C + G
+        let f = c.add(g);
+        Point {
+            x: e.mul(f),
+            y: g.mul(h),
+            z: f.mul(g),
+            t: e.mul(h),
+        }
+    }
+
+    /// Scalar multiplication, 4-bit fixed windows, constant sequence
+    /// of doubles/adds for a fixed scalar width.
+    fn scalar_mul(&self, scalar: &[u8; 32]) -> Point {
+        // Precompute 0..15 multiples.
+        let mut table = [Point::identity(); 16];
+        for i in 1..16 {
+            table[i] = table[i - 1].add(self);
+        }
+        let mut acc = Point::identity();
+        for i in (0..64).rev() {
+            for _ in 0..4 {
+                acc = acc.double();
+            }
+            let byte = scalar[i / 2];
+            let nibble = if i % 2 == 1 { byte >> 4 } else { byte & 0xf };
+            acc = acc.add(&table[nibble as usize]);
+        }
+        acc
+    }
+
+    /// Compress to the 32-byte wire format (y with x-sign bit).
+    fn compress(&self) -> [u8; 32] {
+        let zinv = self.z.invert();
+        let x = self.x.mul(zinv);
+        let y = self.y.mul(zinv);
+        let mut out = y.to_bytes();
+        if x.is_negative() {
+            out[31] |= 0x80;
+        }
+        out
+    }
+
+    /// Decompress from wire format; `None` if not on the curve.
+    fn decompress(bytes: &[u8; 32]) -> Option<Point> {
+        let sign = bytes[31] >> 7;
+        let y = Fe::from_bytes(bytes); // from_bytes masks the sign bit
+        // x^2 = (y^2 - 1) / (d*y^2 + 1)
+        let y2 = y.square();
+        let u = y2.sub(Fe::ONE);
+        let v = y2.mul(curve_d()).add(Fe::ONE);
+        // candidate root: x = u * v^3 * (u * v^7)^((p-5)/8)
+        let v3 = v.square().mul(v);
+        let v7 = v3.square().mul(v);
+        let mut x = u.mul(v3).mul(u.mul(v7).pow_p58());
+        let vx2 = v.mul(x.square());
+        if !vx2.ct_eq(u) {
+            if vx2.ct_eq(u.neg()) {
+                x = x.mul(sqrt_m1());
+            } else {
+                return None;
+            }
+        }
+        if x.is_zero() && sign == 1 {
+            // x = 0 with sign bit set is invalid encoding.
+            return None;
+        }
+        if (x.is_negative() as u8) != sign {
+            x = x.neg();
+        }
+        Some(Point {
+            x,
+            y,
+            z: Fe::ONE,
+            t: x.mul(y),
+        })
+    }
+
+    fn ct_eq(&self, other: &Point) -> bool {
+        // (x1/z1 == x2/z2) && (y1/z1 == y2/z2), cross-multiplied.
+        let x_eq = self.x.mul(other.z).ct_eq(other.x.mul(self.z));
+        let y_eq = self.y.mul(other.z).ct_eq(other.y.mul(self.z));
+        x_eq && y_eq
+    }
+}
+
+/// Reduce a big-endian-agnostic little-endian byte string mod L, out
+/// as exactly 32 little-endian bytes.
+fn reduce_mod_l(le_bytes: &[u8]) -> [u8; 32] {
+    let mut be: Vec<u8> = le_bytes.to_vec();
+    be.reverse();
+    let n = BigUint::from_bytes_be(&be).rem(&order_l());
+    let mut out_be = n.to_bytes_be_padded(32);
+    out_be.reverse();
+    out_be.try_into().unwrap()
+}
+
+/// (a * b + c) mod L over little-endian 32-byte scalars.
+fn muladd_mod_l(a: &[u8; 32], b: &[u8; 32], c: &[u8; 32]) -> [u8; 32] {
+    let be = |x: &[u8; 32]| {
+        let mut v = x.to_vec();
+        v.reverse();
+        BigUint::from_bytes_be(&v)
+    };
+    let l = order_l();
+    let r = be(a).mul(&be(b)).add(&be(c)).rem(&l);
+    let mut out = r.to_bytes_be_padded(32);
+    out.reverse();
+    out.try_into().unwrap()
+}
+
+/// An Ed25519 signing key (the 32-byte seed plus cached expansions).
+#[derive(Clone)]
+pub struct SigningKey {
+    /// Clamped scalar s.
+    s: [u8; 32],
+    /// Hash prefix used for nonce derivation.
+    prefix: [u8; 32],
+    /// Cached public key.
+    public: VerifyingKey,
+}
+
+/// An Ed25519 public key.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct VerifyingKey(pub [u8; 32]);
+
+/// A detached signature.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Signature(pub [u8; 64]);
+
+impl SigningKey {
+    /// Derive from a 32-byte seed per RFC 8032 §5.1.5.
+    pub fn from_seed(seed: &[u8; 32]) -> Self {
+        let h = Sha512::digest(seed);
+        let mut s = [0u8; 32];
+        s.copy_from_slice(&h[..32]);
+        s[0] &= 248;
+        s[31] &= 127;
+        s[31] |= 64;
+        let mut prefix = [0u8; 32];
+        prefix.copy_from_slice(&h[32..]);
+        let a = Point::base().scalar_mul(&s);
+        let public = VerifyingKey(a.compress());
+        SigningKey { s, prefix, public }
+    }
+
+    /// Generate a fresh key.
+    pub fn generate(rng: &mut CryptoRng) -> Self {
+        let seed: [u8; 32] = rng.gen_array();
+        Self::from_seed(&seed)
+    }
+
+    /// The corresponding public key.
+    pub fn verifying_key(&self) -> VerifyingKey {
+        self.public
+    }
+
+    /// Sign a message (RFC 8032 §5.1.6).
+    pub fn sign(&self, msg: &[u8]) -> Signature {
+        let mut h = Sha512::new();
+        h.update(&self.prefix);
+        h.update(msg);
+        let r = reduce_mod_l(&h.finalize());
+        let r_point = Point::base().scalar_mul(&r);
+        let r_enc = r_point.compress();
+
+        let mut h = Sha512::new();
+        h.update(&r_enc);
+        h.update(&self.public.0);
+        h.update(msg);
+        let k = reduce_mod_l(&h.finalize());
+
+        let s_out = muladd_mod_l(&k, &self.s, &r);
+        let mut sig = [0u8; 64];
+        sig[..32].copy_from_slice(&r_enc);
+        sig[32..].copy_from_slice(&s_out);
+        Signature(sig)
+    }
+}
+
+impl VerifyingKey {
+    /// Verify a signature (RFC 8032 §5.1.7, cofactorless).
+    pub fn verify(&self, msg: &[u8], sig: &Signature) -> Result<(), CryptoError> {
+        let r_enc: [u8; 32] = sig.0[..32].try_into().unwrap();
+        let s_enc: [u8; 32] = sig.0[32..].try_into().unwrap();
+
+        // s must be canonical (< L).
+        let mut s_be = s_enc.to_vec();
+        s_be.reverse();
+        let s_num = BigUint::from_bytes_be(&s_be);
+        if s_num.cmp_val(&order_l()) != std::cmp::Ordering::Less {
+            return Err(CryptoError::BadSignature);
+        }
+
+        let a = Point::decompress(&self.0).ok_or(CryptoError::BadSignature)?;
+        let r = Point::decompress(&r_enc).ok_or(CryptoError::BadSignature)?;
+
+        let mut h = Sha512::new();
+        h.update(&r_enc);
+        h.update(&self.0);
+        h.update(msg);
+        let k = reduce_mod_l(&h.finalize());
+
+        // Check [s]B == R + [k]A.
+        let lhs = Point::base().scalar_mul(&s_enc);
+        let rhs = r.add(&a.scalar_mul(&k));
+        if lhs.ct_eq(&rhs) {
+            Ok(())
+        } else {
+            Err(CryptoError::BadSignature)
+        }
+    }
+
+    /// Parse from bytes, checking the point decodes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CryptoError> {
+        let arr: [u8; 32] = bytes.try_into().map_err(|_| CryptoError::BadPublicValue)?;
+        Point::decompress(&arr).ok_or(CryptoError::BadPublicValue)?;
+        Ok(VerifyingKey(arr))
+    }
+}
+
+impl Signature {
+    /// Parse from bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CryptoError> {
+        let arr: [u8; 64] = bytes.try_into().map_err(|_| CryptoError::BadSignature)?;
+        Ok(Signature(arr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    // RFC 8032 §7.1 TEST 1 (empty message).
+    #[test]
+    fn rfc8032_test1() {
+        let seed: [u8; 32] =
+            unhex("9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60")
+                .try_into()
+                .unwrap();
+        let sk = SigningKey::from_seed(&seed);
+        assert_eq!(
+            sk.verifying_key().0.to_vec(),
+            unhex("d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a")
+        );
+        let sig = sk.sign(b"");
+        assert_eq!(
+            sig.0.to_vec(),
+            unhex(
+                "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e06522490155\
+                 5fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b"
+            )
+        );
+        assert!(sk.verifying_key().verify(b"", &sig).is_ok());
+    }
+
+    // RFC 8032 §7.1 TEST 2 (one-byte message).
+    #[test]
+    fn rfc8032_test2() {
+        let seed: [u8; 32] =
+            unhex("4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb")
+                .try_into()
+                .unwrap();
+        let sk = SigningKey::from_seed(&seed);
+        assert_eq!(
+            sk.verifying_key().0.to_vec(),
+            unhex("3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c")
+        );
+        let msg = [0x72u8];
+        let sig = sk.sign(&msg);
+        assert_eq!(
+            sig.0.to_vec(),
+            unhex(
+                "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223ebdb69da\
+                 085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00"
+            )
+        );
+        assert!(sk.verifying_key().verify(&msg, &sig).is_ok());
+    }
+
+    // RFC 8032 §7.1 TEST 3 (two-byte message).
+    #[test]
+    fn rfc8032_test3() {
+        let seed: [u8; 32] =
+            unhex("c5aa8df43f9f837bedb7442f31dcb7b166d38535076f094b85ce3a2e0b4458f7")
+                .try_into()
+                .unwrap();
+        let sk = SigningKey::from_seed(&seed);
+        let msg = unhex("af82");
+        let sig = sk.sign(&msg);
+        assert_eq!(
+            sig.0.to_vec(),
+            unhex(
+                "6291d657deec24024827e69c3abe01a30ce548a284743a445e3680d7db5ac3ac\
+                 18ff9b538d16f290ae67f760984dc6594a7c15e9716ed28dc027beceea1ec40a"
+            )
+        );
+        assert!(sk.verifying_key().verify(&msg, &sig).is_ok());
+    }
+
+    #[test]
+    fn rejects_tampered_message_and_signature() {
+        let mut rng = CryptoRng::from_seed(21);
+        let sk = SigningKey::generate(&mut rng);
+        let sig = sk.sign(b"payload");
+        assert!(sk.verifying_key().verify(b"payload", &sig).is_ok());
+        assert!(sk.verifying_key().verify(b"payloae", &sig).is_err());
+        let mut bad = sig;
+        bad.0[0] ^= 1;
+        assert!(sk.verifying_key().verify(b"payload", &bad).is_err());
+        let mut bad = sig;
+        bad.0[63] ^= 0x20;
+        assert!(sk.verifying_key().verify(b"payload", &bad).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_key() {
+        let mut rng = CryptoRng::from_seed(22);
+        let sk1 = SigningKey::generate(&mut rng);
+        let sk2 = SigningKey::generate(&mut rng);
+        let sig = sk1.sign(b"m");
+        assert!(sk2.verifying_key().verify(b"m", &sig).is_err());
+    }
+
+    #[test]
+    fn rejects_non_canonical_s() {
+        let mut rng = CryptoRng::from_seed(23);
+        let sk = SigningKey::generate(&mut rng);
+        let sig = sk.sign(b"m");
+        // Add L to s to make it non-canonical but algebraically valid.
+        let l_le: [u8; 32] = {
+            let mut v = order_l().to_bytes_be_padded(32);
+            v.reverse();
+            v.try_into().unwrap()
+        };
+        let mut s: [u8; 32] = sig.0[32..].try_into().unwrap();
+        let mut carry = 0u16;
+        for i in 0..32 {
+            let t = u16::from(s[i]) + u16::from(l_le[i]) + carry;
+            s[i] = t as u8;
+            carry = t >> 8;
+        }
+        let mut forged = sig;
+        forged.0[32..].copy_from_slice(&s);
+        assert!(sk.verifying_key().verify(b"m", &forged).is_err());
+    }
+
+    #[test]
+    fn public_key_parsing_validates_point() {
+        // 32 bytes that do not decode to a curve point.
+        let bad = [
+            0x12u8, 0x34, 0x56, 0x78, 0x9a, 0xbc, 0xde, 0xf0, 0x12, 0x34, 0x56, 0x78, 0x9a, 0xbc,
+            0xde, 0xf0, 0x12, 0x34, 0x56, 0x78, 0x9a, 0xbc, 0xde, 0xf0, 0x12, 0x34, 0x56, 0x78,
+            0x9a, 0xbc, 0xde, 0x70,
+        ];
+        // Either decodes or not — but a round-trip of a real key always works.
+        let mut rng = CryptoRng::from_seed(24);
+        let sk = SigningKey::generate(&mut rng);
+        assert!(VerifyingKey::from_bytes(&sk.verifying_key().0).is_ok());
+        assert!(VerifyingKey::from_bytes(&bad[..31]).is_err());
+    }
+
+    #[test]
+    fn signing_is_deterministic() {
+        let mut rng = CryptoRng::from_seed(25);
+        let sk = SigningKey::generate(&mut rng);
+        assert_eq!(sk.sign(b"abc").0.to_vec(), sk.sign(b"abc").0.to_vec());
+        assert_ne!(sk.sign(b"abc").0.to_vec(), sk.sign(b"abd").0.to_vec());
+    }
+}

@@ -1,0 +1,343 @@
+//! Field arithmetic modulo p = 2^255 - 19, shared by [`crate::x25519`]
+//! and [`crate::ed25519`].
+//!
+//! Elements are five 51-bit limbs in 64-bit words (the standard
+//! radix-2^51 representation), multiplied with 128-bit intermediate
+//! products. All arithmetic is branch-free on secret data.
+
+/// A field element, limbs base 2^51, not necessarily fully reduced.
+#[allow(clippy::unusual_byte_groupings)] // literals grouped as 51-bit limbs
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Fe(pub [u64; 5]);
+
+const MASK51: u64 = (1u64 << 51) - 1;
+
+impl Fe {
+    pub const ZERO: Fe = Fe([0; 5]);
+    pub const ONE: Fe = Fe([1, 0, 0, 0, 0]);
+
+    /// Parse 32 little-endian bytes; the top bit is ignored (as both
+    /// RFC 7748 and RFC 8032 require for field elements).
+    pub fn from_bytes(b: &[u8; 32]) -> Fe {
+        let load = |i: usize| -> u64 { u64::from_le_bytes(b[i..i + 8].try_into().unwrap()) };
+        Fe([
+            load(0) & MASK51,
+            (load(6) >> 3) & MASK51,
+            (load(12) >> 6) & MASK51,
+            (load(19) >> 1) & MASK51,
+            (load(24) >> 12) & MASK51,
+        ])
+    }
+
+    /// Serialize to 32 little-endian bytes, fully reduced mod p.
+    pub fn to_bytes(self) -> [u8; 32] {
+        let mut t = self.reduce_limbs();
+        // Now each limb < 2^52; perform the final strong reduction:
+        // compute t + 19, propagate, and use the carry out of bit 255
+        // to decide (branch-free) whether to subtract p.
+        let mut q = (t.0[0].wrapping_add(19)) >> 51;
+        q = (t.0[1].wrapping_add(q)) >> 51;
+        q = (t.0[2].wrapping_add(q)) >> 51;
+        q = (t.0[3].wrapping_add(q)) >> 51;
+        q = (t.0[4].wrapping_add(q)) >> 51;
+        // q is 1 iff t >= p.
+        t.0[0] = t.0[0].wrapping_add(19u64.wrapping_mul(q));
+        let mut carry = t.0[0] >> 51;
+        t.0[0] &= MASK51;
+        t.0[1] = t.0[1].wrapping_add(carry);
+        carry = t.0[1] >> 51;
+        t.0[1] &= MASK51;
+        t.0[2] = t.0[2].wrapping_add(carry);
+        carry = t.0[2] >> 51;
+        t.0[2] &= MASK51;
+        t.0[3] = t.0[3].wrapping_add(carry);
+        carry = t.0[3] >> 51;
+        t.0[3] &= MASK51;
+        t.0[4] = t.0[4].wrapping_add(carry);
+        t.0[4] &= MASK51;
+
+        let mut out = [0u8; 32];
+        let limbs = t.0;
+        let mut acc: u128 = 0;
+        let mut acc_bits = 0u32;
+        let mut idx = 0usize;
+        for limb in limbs {
+            acc |= (limb as u128) << acc_bits;
+            acc_bits += 51;
+            while acc_bits >= 8 && idx < 32 {
+                out[idx] = (acc & 0xff) as u8;
+                acc >>= 8;
+                acc_bits -= 8;
+                idx += 1;
+            }
+        }
+        while idx < 32 {
+            out[idx] = (acc & 0xff) as u8;
+            acc >>= 8;
+            idx += 1;
+        }
+        out
+    }
+
+    /// Carry-propagate so every limb is < 2^52 (weak reduction).
+    fn reduce_limbs(self) -> Fe {
+        let mut t = self.0;
+        let mut carry;
+        for _ in 0..2 {
+            carry = t[0] >> 51;
+            t[0] &= MASK51;
+            t[1] += carry;
+            carry = t[1] >> 51;
+            t[1] &= MASK51;
+            t[2] += carry;
+            carry = t[2] >> 51;
+            t[2] &= MASK51;
+            t[3] += carry;
+            carry = t[3] >> 51;
+            t[3] &= MASK51;
+            t[4] += carry;
+            carry = t[4] >> 51;
+            t[4] &= MASK51;
+            t[0] += carry * 19;
+        }
+        Fe(t)
+    }
+
+    pub fn add(self, rhs: Fe) -> Fe {
+        Fe([
+            self.0[0] + rhs.0[0],
+            self.0[1] + rhs.0[1],
+            self.0[2] + rhs.0[2],
+            self.0[3] + rhs.0[3],
+            self.0[4] + rhs.0[4],
+        ])
+        .reduce_limbs()
+    }
+
+    #[allow(clippy::unusual_byte_groupings)] // 2p written as 51-bit limbs
+    pub fn sub(self, rhs: Fe) -> Fe {
+        // Add 2p (in limb form: 2*(2^255-19)) before subtracting to
+        // keep limbs non-negative.
+        const TWO_P: [u64; 5] = [
+            0xffff_ffff_fffda,
+            0xffff_ffff_ffffe,
+            0xffff_ffff_ffffe,
+            0xffff_ffff_ffffe,
+            0xffff_ffff_ffffe,
+        ];
+        // Weakly reduce rhs so its limbs are strictly below the 2p
+        // limb values and the limbwise subtraction cannot underflow.
+        let rhs = rhs.reduce_limbs();
+        Fe([
+            self.0[0] + TWO_P[0] - rhs.0[0],
+            self.0[1] + TWO_P[1] - rhs.0[1],
+            self.0[2] + TWO_P[2] - rhs.0[2],
+            self.0[3] + TWO_P[3] - rhs.0[3],
+            self.0[4] + TWO_P[4] - rhs.0[4],
+        ])
+        .reduce_limbs()
+    }
+
+    pub fn mul(self, rhs: Fe) -> Fe {
+        let a = self.reduce_limbs().0;
+        let b = rhs.reduce_limbs().0;
+        let b1_19 = b[1] * 19;
+        let b2_19 = b[2] * 19;
+        let b3_19 = b[3] * 19;
+        let b4_19 = b[4] * 19;
+
+        let m = |x: u64, y: u64| -> u128 { (x as u128) * (y as u128) };
+
+        let c0 = m(a[0], b[0]) + m(a[1], b4_19) + m(a[2], b3_19) + m(a[3], b2_19) + m(a[4], b1_19);
+        let c1 = m(a[0], b[1]) + m(a[1], b[0]) + m(a[2], b4_19) + m(a[3], b3_19) + m(a[4], b2_19);
+        let c2 = m(a[0], b[2]) + m(a[1], b[1]) + m(a[2], b[0]) + m(a[3], b4_19) + m(a[4], b3_19);
+        let c3 = m(a[0], b[3]) + m(a[1], b[2]) + m(a[2], b[1]) + m(a[3], b[0]) + m(a[4], b4_19);
+        let c4 = m(a[0], b[4]) + m(a[1], b[3]) + m(a[2], b[2]) + m(a[3], b[1]) + m(a[4], b[0]);
+
+        Fe::carry_wide([c0, c1, c2, c3, c4])
+    }
+
+    pub fn square(self) -> Fe {
+        self.mul(self)
+    }
+
+    fn carry_wide(c: [u128; 5]) -> Fe {
+        let mut c = c;
+        let mut t = [0u64; 5];
+        for i in 0..4 {
+            t[i] = (c[i] as u64) & MASK51;
+            c[i + 1] += c[i] >> 51;
+        }
+        t[4] = (c[4] as u64) & MASK51;
+        let carry = (c[4] >> 51) as u64;
+        t[0] += carry * 19;
+        let carry = t[0] >> 51;
+        t[0] &= MASK51;
+        t[1] += carry;
+        Fe(t)
+    }
+
+    /// Multiply by a small constant.
+    pub fn mul_small(self, k: u64) -> Fe {
+        let a = self.reduce_limbs().0;
+        let c: [u128; 5] = [
+            (a[0] as u128) * (k as u128),
+            (a[1] as u128) * (k as u128),
+            (a[2] as u128) * (k as u128),
+            (a[3] as u128) * (k as u128),
+            (a[4] as u128) * (k as u128),
+        ];
+        Fe::carry_wide(c)
+    }
+
+    /// Raise to a power given as an exponent-bit closure: standard
+    /// square-and-multiply on a *public* exponent (used for inversion
+    /// and square roots whose exponents are constants of the curve).
+    fn pow_pub(self, exp_bits_msb_first: &[u8]) -> Fe {
+        let mut acc = Fe::ONE;
+        for &bit in exp_bits_msb_first {
+            acc = acc.square();
+            if bit == 1 {
+                acc = acc.mul(self);
+            }
+        }
+        acc
+    }
+
+    /// Exponent bits of (p - 2) = 2^255 - 21, MSB first.
+    fn p_minus_2_bits() -> Vec<u8> {
+        // p - 2 = 2^255 - 21. Binary: 253 ones, then 01011.
+        let mut bits = vec![1u8; 250];
+        bits.extend_from_slice(&[0, 1, 0, 1, 1]);
+        bits
+    }
+
+    /// Multiplicative inverse via Fermat (x^(p-2)).
+    pub fn invert(self) -> Fe {
+        self.pow_pub(&Self::p_minus_2_bits())
+    }
+
+    /// x^((p-5)/8), the core of the Ed25519 square-root computation.
+    pub fn pow_p58(self) -> Fe {
+        // (p-5)/8 = (2^255 - 24)/8 = 2^252 - 3. Binary: 250 ones then 01.
+        let mut bits = vec![1u8; 250];
+        bits.extend_from_slice(&[0, 1]);
+        self.pow_pub(&bits)
+    }
+
+    pub fn is_zero(self) -> bool {
+        self.to_bytes() == [0u8; 32]
+    }
+
+    /// Low bit of the fully-reduced representation (the "sign" bit in
+    /// Ed25519 point compression).
+    pub fn is_negative(self) -> bool {
+        self.to_bytes()[0] & 1 == 1
+    }
+
+    pub fn neg(self) -> Fe {
+        Fe::ZERO.sub(self)
+    }
+
+    /// Constant-time swap of two elements when `choice` is 1.
+    pub fn cswap(choice: u64, a: &mut Fe, b: &mut Fe) {
+        debug_assert!(choice <= 1);
+        let mask = choice.wrapping_neg();
+        for i in 0..5 {
+            let t = (a.0[i] ^ b.0[i]) & mask;
+            a.0[i] ^= t;
+            b.0[i] ^= t;
+        }
+    }
+
+    pub fn ct_eq(self, rhs: Fe) -> bool {
+        crate::ct::eq(&self.to_bytes(), &rhs.to_bytes())
+    }
+}
+
+/// sqrt(-1) mod p, used during Ed25519 decompression.
+pub(crate) fn sqrt_m1() -> Fe {
+    Fe::from_bytes(&[
+        0xb0, 0xa0, 0x0e, 0x4a, 0x27, 0x1b, 0xee, 0xc4, 0x78, 0xe4, 0x2f, 0xad, 0x06, 0x18, 0x43,
+        0x2f, 0xa7, 0xd7, 0xfb, 0x3d, 0x99, 0x00, 0x4d, 0x2b, 0x0b, 0xdf, 0xc1, 0x4f, 0x80, 0x24,
+        0x83, 0x2b,
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fe(n: u64) -> Fe {
+        Fe([n & MASK51, 0, 0, 0, 0])
+    }
+
+    #[test]
+    fn roundtrip_bytes() {
+        let mut b = [0u8; 32];
+        for (i, x) in b.iter_mut().enumerate() {
+            *x = (i * 7 + 1) as u8;
+        }
+        b[31] &= 0x7f;
+        let e = Fe::from_bytes(&b);
+        assert_eq!(e.to_bytes(), b);
+    }
+
+    #[test]
+    fn add_sub_inverse() {
+        let a = fe(1234567);
+        let b = fe(7654321);
+        assert_eq!(a.add(b).sub(b).to_bytes(), a.to_bytes());
+    }
+
+    #[test]
+    fn mul_matches_small_numbers() {
+        assert_eq!(fe(6).mul(fe(7)).to_bytes(), fe(42).to_bytes());
+        assert_eq!(fe(1 << 25).mul(fe(1 << 26)).to_bytes(), Fe([0, 1, 0, 0, 0]).to_bytes());
+    }
+
+    #[test]
+    fn invert_works() {
+        let a = fe(987654321);
+        let inv = a.invert();
+        assert_eq!(a.mul(inv).to_bytes(), Fe::ONE.to_bytes());
+    }
+
+    #[test]
+    fn sqrt_m1_squares_to_minus_one() {
+        let i = sqrt_m1();
+        let minus_one = Fe::ZERO.sub(Fe::ONE);
+        assert_eq!(i.square().to_bytes(), minus_one.to_bytes());
+    }
+
+    #[test]
+    fn strong_reduction_of_p_is_zero() {
+        // p = 2^255 - 19 in limb form.
+        let p = Fe([
+            0x7_ffff_ffff_ffed,
+            0x7_ffff_ffff_ffff,
+            0x7_ffff_ffff_ffff,
+            0x7_ffff_ffff_ffff,
+            0x7_ffff_ffff_ffff,
+        ]);
+        assert_eq!(p.to_bytes(), [0u8; 32]);
+        assert!(p.is_zero());
+    }
+
+    #[test]
+    fn cswap_behaves() {
+        let mut a = fe(1);
+        let mut b = fe(2);
+        Fe::cswap(0, &mut a, &mut b);
+        assert_eq!(a.to_bytes(), fe(1).to_bytes());
+        Fe::cswap(1, &mut a, &mut b);
+        assert_eq!(a.to_bytes(), fe(2).to_bytes());
+        assert_eq!(b.to_bytes(), fe(1).to_bytes());
+    }
+
+    #[test]
+    fn neg_then_add_is_zero() {
+        let a = fe(555);
+        assert!(a.add(a.neg()).is_zero());
+    }
+}

@@ -1,0 +1,381 @@
+//! AES-GCM authenticated encryption (NIST SP 800-38D).
+//!
+//! GHASH is implemented over GF(2^128) with a 4-bit table per key for
+//! reasonable bulk throughput without platform intrinsics — the Fig. 7
+//! reproduction pushes hundreds of megabytes through this code.
+
+use crate::aes::Aes;
+use crate::{ct, CryptoError};
+
+/// GCM tag length used by TLS (full 16 bytes).
+pub const TAG_LEN: usize = 16;
+
+/// A 128-bit GHASH element, kept as two big-endian u64 halves.
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
+struct Block128 {
+    hi: u64,
+    lo: u64,
+}
+
+impl Block128 {
+    fn from_bytes(b: &[u8; 16]) -> Self {
+        Block128 {
+            hi: u64::from_be_bytes(b[0..8].try_into().unwrap()),
+            lo: u64::from_be_bytes(b[8..16].try_into().unwrap()),
+        }
+    }
+
+    fn to_bytes(self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[0..8].copy_from_slice(&self.hi.to_be_bytes());
+        out[8..16].copy_from_slice(&self.lo.to_be_bytes());
+        out
+    }
+
+    fn xor(self, other: Block128) -> Block128 {
+        Block128 {
+            hi: self.hi ^ other.hi,
+            lo: self.lo ^ other.lo,
+        }
+    }
+
+    /// Right shift by one bit (toward the least significant bit in the
+    /// GCM reflected-bit convention).
+    fn shr1(self) -> Block128 {
+        Block128 {
+            hi: self.hi >> 1,
+            lo: (self.lo >> 1) | (self.hi << 63),
+        }
+    }
+}
+
+/// Precomputed multiplication table for one GHASH key: M[i] = (i as
+/// 4-bit nibble) * H, following the standard 4-bit Shoup table method.
+struct GhashKey {
+    table: [Block128; 16],
+}
+
+impl GhashKey {
+    fn new(h: &[u8; 16]) -> Self {
+        let h = Block128::from_bytes(h);
+        let mut table = [Block128::default(); 16];
+        // table[8] = H (bit-reflected convention: nibble value 8 = MSB set).
+        table[8] = h;
+        // table[i>>1] = table[i] * x (i.e. shifted with reduction).
+        let mut i = 8;
+        while i > 1 {
+            let prev = table[i];
+            let carry = prev.lo & 1;
+            let mut next = prev.shr1();
+            if carry == 1 {
+                next.hi ^= 0xe100_0000_0000_0000;
+            }
+            table[i >> 1] = next;
+            i >>= 1;
+        }
+        // Fill remaining entries by XOR combination.
+        let mut i = 2;
+        while i < 16 {
+            for j in 1..i {
+                table[i + j] = table[i].xor(table[j]);
+            }
+            i <<= 1;
+        }
+        GhashKey { table }
+    }
+
+    /// Multiply `x` by H in GF(2^128).
+    fn mul(&self, x: Block128) -> Block128 {
+        // Reduction table for the 4 bits shifted out per nibble step.
+        const R: [u64; 16] = [
+            0x0000_0000_0000_0000,
+            0x1c20_0000_0000_0000,
+            0x3840_0000_0000_0000,
+            0x2460_0000_0000_0000,
+            0x7080_0000_0000_0000,
+            0x6ca0_0000_0000_0000,
+            0x48c0_0000_0000_0000,
+            0x54e0_0000_0000_0000,
+            0xe100_0000_0000_0000,
+            0xfd20_0000_0000_0000,
+            0xd940_0000_0000_0000,
+            0xc560_0000_0000_0000,
+            0x9180_0000_0000_0000,
+            0x8da0_0000_0000_0000,
+            0xa9c0_0000_0000_0000,
+            0xb5e0_0000_0000_0000,
+        ];
+        let bytes = x.to_bytes();
+        let mut z = Block128::default();
+        // Process nibbles from least significant byte to most.
+        for i in (0..16).rev() {
+            for shift in [0u32, 4] {
+                let nib = ((bytes[i] >> shift) & 0xf) as usize;
+                // Multiply accumulated z by x^4 (no-op on the very
+                // first step where z is zero).
+                let rem = (z.lo & 0xf) as usize;
+                z = Block128 {
+                    hi: z.hi >> 4,
+                    lo: (z.lo >> 4) | (z.hi << 60),
+                };
+                z.hi ^= R[rem];
+                z = z.xor(self.table[nib]);
+            }
+        }
+        z
+    }
+}
+
+/// GHASH over padded AAD and ciphertext, per SP 800-38D §6.4.
+fn ghash(key: &GhashKey, aad: &[u8], ct_data: &[u8]) -> [u8; 16] {
+    let mut y = Block128::default();
+    let absorb = |data: &[u8], y: &mut Block128| {
+        for chunk in data.chunks(16) {
+            let mut block = [0u8; 16];
+            block[..chunk.len()].copy_from_slice(chunk);
+            *y = key.mul(y.xor(Block128::from_bytes(&block)));
+        }
+    };
+    absorb(aad, &mut y);
+    absorb(ct_data, &mut y);
+    let mut len_block = [0u8; 16];
+    len_block[0..8].copy_from_slice(&((aad.len() as u64) * 8).to_be_bytes());
+    len_block[8..16].copy_from_slice(&((ct_data.len() as u64) * 8).to_be_bytes());
+    y = key.mul(y.xor(Block128::from_bytes(&len_block)));
+    y.to_bytes()
+}
+
+/// AES-GCM with a fixed 12-byte nonce size (the TLS case).
+pub struct AesGcm {
+    aes: Aes,
+    ghash_key: GhashKey,
+}
+
+impl AesGcm {
+    /// Create from a 16- or 32-byte AES key.
+    pub fn new(key: &[u8]) -> Result<Self, CryptoError> {
+        let aes = Aes::new(key)?;
+        let h = aes.encrypt_block_copy(&[0u8; 16]);
+        Ok(AesGcm {
+            ghash_key: GhashKey::new(&h),
+            aes,
+        })
+    }
+
+    fn counter_block(nonce: &[u8; 12], counter: u32) -> [u8; 16] {
+        let mut block = [0u8; 16];
+        block[..12].copy_from_slice(nonce);
+        block[12..].copy_from_slice(&counter.to_be_bytes());
+        block
+    }
+
+    fn ctr_xor(&self, nonce: &[u8; 12], data: &mut [u8]) -> Result<(), CryptoError> {
+        // Counter starts at 2 (1 is reserved for the tag mask).
+        let nblocks = data.len().div_ceil(16);
+        if nblocks as u64 > u64::from(u32::MAX) - 1 {
+            return Err(CryptoError::BadLength);
+        }
+        let mut counter = 2u32;
+        for chunk in data.chunks_mut(16) {
+            let ks = self
+                .aes
+                .encrypt_block_copy(&Self::counter_block(nonce, counter));
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+            counter = counter.wrapping_add(1);
+        }
+        Ok(())
+    }
+
+    fn tag(&self, nonce: &[u8; 12], aad: &[u8], ciphertext: &[u8]) -> [u8; 16] {
+        let s = ghash(&self.ghash_key, aad, ciphertext);
+        let e = self
+            .aes
+            .encrypt_block_copy(&Self::counter_block(nonce, 1));
+        let mut tag = [0u8; 16];
+        for i in 0..16 {
+            tag[i] = s[i] ^ e[i];
+        }
+        tag
+    }
+
+    /// Encrypt `plaintext` in place and return the 16-byte tag.
+    pub fn seal_in_place(
+        &self,
+        nonce: &[u8; 12],
+        aad: &[u8],
+        data: &mut [u8],
+    ) -> Result<[u8; 16], CryptoError> {
+        self.ctr_xor(nonce, data)?;
+        Ok(self.tag(nonce, aad, data))
+    }
+
+    /// Verify the tag and decrypt `ciphertext` in place.
+    ///
+    /// On tag mismatch the buffer is left as (untouched) ciphertext and
+    /// `BadTag` is returned — callers must not use the contents.
+    pub fn open_in_place(
+        &self,
+        nonce: &[u8; 12],
+        aad: &[u8],
+        data: &mut [u8],
+        tag: &[u8],
+    ) -> Result<(), CryptoError> {
+        let expected = self.tag(nonce, aad, data);
+        if !ct::eq(&expected, tag) {
+            return Err(CryptoError::BadTag);
+        }
+        self.ctr_xor(nonce, data)?;
+        Ok(())
+    }
+
+    /// Convenience: allocate-and-seal, returning ciphertext || tag.
+    pub fn seal(&self, nonce: &[u8; 12], aad: &[u8], plaintext: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        let mut out = plaintext.to_vec();
+        let tag = self.seal_in_place(nonce, aad, &mut out)?;
+        out.extend_from_slice(&tag);
+        Ok(out)
+    }
+
+    /// Convenience: split ciphertext || tag, verify and decrypt.
+    pub fn open(&self, nonce: &[u8; 12], aad: &[u8], sealed: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        if sealed.len() < TAG_LEN {
+            return Err(CryptoError::BadTag);
+        }
+        let (ct_part, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+        let mut out = ct_part.to_vec();
+        self.open_in_place(nonce, aad, &mut out, tag)?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // NIST GCM spec test case 1: empty plaintext, zero key.
+    #[test]
+    fn gcm_testcase1_empty() {
+        let gcm = AesGcm::new(&[0u8; 16]).unwrap();
+        let nonce = [0u8; 12];
+        let tag = gcm.seal_in_place(&nonce, &[], &mut []).unwrap();
+        assert_eq!(hex(&tag), "58e2fccefa7e3061367f1d57a4e7455a");
+    }
+
+    // NIST GCM spec test case 2: one zero block.
+    #[test]
+    fn gcm_testcase2_one_block() {
+        let gcm = AesGcm::new(&[0u8; 16]).unwrap();
+        let nonce = [0u8; 12];
+        let mut data = [0u8; 16];
+        let tag = gcm.seal_in_place(&nonce, &[], &mut data).unwrap();
+        assert_eq!(hex(&data), "0388dace60b6a392f328c2b971b2fe78");
+        assert_eq!(hex(&tag), "ab6e47d42cec13bdf53a67b21257bddf");
+    }
+
+    // NIST GCM spec test case 3: 4 blocks, real key/nonce.
+    #[test]
+    fn gcm_testcase3_four_blocks() {
+        let key = unhex("feffe9928665731c6d6a8f9467308308");
+        let gcm = AesGcm::new(&key).unwrap();
+        let nonce: [u8; 12] = unhex("cafebabefacedbaddecaf888").try_into().unwrap();
+        let mut data = unhex(
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+             1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255",
+        );
+        let tag = gcm.seal_in_place(&nonce, &[], &mut data).unwrap();
+        assert_eq!(
+            hex(&data),
+            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e\
+             21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091473f5985"
+        );
+        assert_eq!(hex(&tag), "4d5c2af327cd64a62cf35abd2ba6fab4");
+    }
+
+    // NIST GCM spec test case 4: with AAD and partial final block.
+    #[test]
+    fn gcm_testcase4_aad() {
+        let key = unhex("feffe9928665731c6d6a8f9467308308");
+        let gcm = AesGcm::new(&key).unwrap();
+        let nonce: [u8; 12] = unhex("cafebabefacedbaddecaf888").try_into().unwrap();
+        let aad = unhex("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+        let mut data = unhex(
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+             1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39",
+        );
+        let tag = gcm.seal_in_place(&nonce, &aad, &mut data).unwrap();
+        assert_eq!(
+            hex(&data),
+            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e\
+             21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091"
+        );
+        assert_eq!(hex(&tag), "5bc94fbc3221a5db94fae95ae7121a47");
+    }
+
+    // NIST GCM spec test case 13/14 style: AES-256 zero key.
+    #[test]
+    fn gcm_aes256_empty() {
+        let gcm = AesGcm::new(&[0u8; 32]).unwrap();
+        let nonce = [0u8; 12];
+        let tag = gcm.seal_in_place(&nonce, &[], &mut []).unwrap();
+        assert_eq!(hex(&tag), "530f8afbc74536b9a963b4f1c4cb738b");
+    }
+
+    // AES-256 GCM with real data (NIST test case 16 without IV tricks).
+    #[test]
+    fn gcm_aes256_four_blocks() {
+        let key = unhex("feffe9928665731c6d6a8f9467308308feffe9928665731c6d6a8f9467308308");
+        let gcm = AesGcm::new(&key).unwrap();
+        let nonce: [u8; 12] = unhex("cafebabefacedbaddecaf888").try_into().unwrap();
+        let aad = unhex("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+        let mut data = unhex(
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+             1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39",
+        );
+        let tag = gcm.seal_in_place(&nonce, &aad, &mut data).unwrap();
+        assert_eq!(
+            hex(&data),
+            "522dc1f099567d07f47f37a32a84427d643a8cdcbfe5c0c97598a2bd2555d1aa\
+             8cb08e48590dbb3da7b08b1056828838c5f61e6393ba7a0abcc9f662"
+        );
+        assert_eq!(hex(&tag), "76fc6ece0f4e1768cddf8853bb2d551b");
+    }
+
+    #[test]
+    fn roundtrip_and_tamper_detection() {
+        let gcm = AesGcm::new(&[7u8; 32]).unwrap();
+        let nonce = [9u8; 12];
+        let aad = b"header";
+        let sealed = gcm.seal(&nonce, aad, b"secret payload").unwrap();
+        assert_eq!(gcm.open(&nonce, aad, &sealed).unwrap(), b"secret payload");
+
+        // Flip each byte in turn: every change must be detected.
+        for i in 0..sealed.len() {
+            let mut bad = sealed.clone();
+            bad[i] ^= 0x40;
+            assert_eq!(gcm.open(&nonce, aad, &bad), Err(CryptoError::BadTag), "byte {i}");
+        }
+        // Wrong AAD must be detected.
+        assert_eq!(gcm.open(&nonce, b"other", &sealed), Err(CryptoError::BadTag));
+        // Wrong nonce must be detected.
+        assert_eq!(gcm.open(&[0u8; 12], aad, &sealed), Err(CryptoError::BadTag));
+    }
+
+    #[test]
+    fn open_rejects_short_input() {
+        let gcm = AesGcm::new(&[7u8; 16]).unwrap();
+        assert_eq!(gcm.open(&[0; 12], &[], &[0u8; 15]), Err(CryptoError::BadTag));
+    }
+}

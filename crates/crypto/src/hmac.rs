@@ -1,0 +1,145 @@
+//! HMAC (RFC 2104) over any hash in [`crate::sha2`].
+
+use crate::ct;
+use crate::sha2::Hash;
+
+/// Incremental HMAC computation, generic over the hash.
+#[derive(Clone)]
+pub struct Hmac<H: Hash> {
+    inner: H,
+    outer: H,
+}
+
+impl<H: Hash> Hmac<H> {
+    /// Start a new MAC with `key`. Keys longer than the hash block are
+    /// hashed down first, per the RFC.
+    pub fn new(key: &[u8]) -> Self {
+        let mut key_block = vec![0u8; H::BLOCK_LEN];
+        if key.len() > H::BLOCK_LEN {
+            let mut h = H::new();
+            h.update(key);
+            let d = h.finalize();
+            key_block[..d.len()].copy_from_slice(&d);
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+
+        let mut inner = H::new();
+        let ipad: Vec<u8> = key_block.iter().map(|b| b ^ 0x36).collect();
+        inner.update(&ipad);
+
+        let mut outer = H::new();
+        let opad: Vec<u8> = key_block.iter().map(|b| b ^ 0x5c).collect();
+        outer.update(&opad);
+
+        ct::zeroize(&mut key_block);
+        Hmac { inner, outer }
+    }
+
+    /// Absorb message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Finish and produce the tag.
+    pub fn finalize(mut self) -> Vec<u8> {
+        let inner_digest = self.inner.finalize();
+        self.outer.update(&inner_digest);
+        self.outer.finalize()
+    }
+
+    /// One-shot MAC.
+    pub fn mac(key: &[u8], data: &[u8]) -> Vec<u8> {
+        let mut m = Self::new(key);
+        m.update(data);
+        m.finalize()
+    }
+
+    /// One-shot verify in constant time.
+    pub fn verify(key: &[u8], data: &[u8], tag: &[u8]) -> bool {
+        ct::eq(&Self::mac(key, data), tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha2::{Sha256, Sha384, Sha512};
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 4231 test cases.
+    #[test]
+    fn rfc4231_case1() {
+        let key = [0x0b; 20];
+        let data = b"Hi There";
+        assert_eq!(
+            hex(&Hmac::<Sha256>::mac(&key, data)),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+        assert_eq!(
+            hex(&Hmac::<Sha384>::mac(&key, data)),
+            "afd03944d84895626b0825f4ab46907f15f9dadbe4101ec682aa034c7cebc59c\
+             faea9ea9076ede7f4af152e8b2fa9cb6"
+        );
+        assert_eq!(
+            hex(&Hmac::<Sha512>::mac(&key, data)),
+            "87aa7cdea5ef619d4ff0b4241a1d6cb02379f4e2ce4ec2787ad0b30545e17cde\
+             daa833b7d6b8a702038b274eaea3f4e4be9d914eeb61f1702e696c203a126854"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case2_short_key() {
+        let key = b"Jefe";
+        let data = b"what do ya want for nothing?";
+        assert_eq!(
+            hex(&Hmac::<Sha256>::mac(key, data)),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case3_ff_key() {
+        let key = [0xaa; 20];
+        let data = [0xdd; 50];
+        assert_eq!(
+            hex(&Hmac::<Sha256>::mac(&key, &data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case6_long_key() {
+        // Key longer than block size gets hashed first.
+        let key = [0xaa; 131];
+        let data = b"Test Using Larger Than Block-Size Key - Hash Key First";
+        assert_eq!(
+            hex(&Hmac::<Sha256>::mac(&key, data)),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let key = b"key material";
+        let data: Vec<u8> = (0..500u32).map(|i| (i % 256) as u8).collect();
+        let mut m = Hmac::<Sha256>::new(key);
+        m.update(&data[..123]);
+        m.update(&data[123..]);
+        assert_eq!(m.finalize(), Hmac::<Sha256>::mac(key, &data));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_tag() {
+        let tag = Hmac::<Sha256>::mac(b"k", b"m");
+        assert!(Hmac::<Sha256>::verify(b"k", b"m", &tag));
+        let mut bad = tag.clone();
+        bad[0] ^= 1;
+        assert!(!Hmac::<Sha256>::verify(b"k", b"m", &bad));
+        assert!(!Hmac::<Sha256>::verify(b"k", b"x", &tag));
+        assert!(!Hmac::<Sha256>::verify(b"k2", b"m", &tag));
+    }
+}

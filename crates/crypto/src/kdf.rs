@@ -1,0 +1,158 @@
+//! Key-derivation functions: the TLS 1.2 PRF (RFC 5246 §5) and HKDF
+//! (RFC 5869).
+//!
+//! The PRF drives the TLS key schedule; HKDF is used by the SGX
+//! simulator for sealing keys and by mbTLS per-hop key derivation.
+
+use crate::hmac::Hmac;
+use crate::sha2::Hash;
+
+/// P_hash(secret, seed): HMAC-based expansion, RFC 5246 §5.
+fn p_hash<H: Hash>(secret: &[u8], seed: &[u8], out_len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(out_len);
+    // A(1) = HMAC(secret, seed); A(i) = HMAC(secret, A(i-1)).
+    let mut a = Hmac::<H>::mac(secret, seed);
+    while out.len() < out_len {
+        let mut m = Hmac::<H>::new(secret);
+        m.update(&a);
+        m.update(seed);
+        let block = m.finalize();
+        let take = block.len().min(out_len - out.len());
+        out.extend_from_slice(&block[..take]);
+        a = Hmac::<H>::mac(secret, &a);
+    }
+    out
+}
+
+/// The TLS 1.2 PRF: `PRF(secret, label, seed) = P_hash(secret, label || seed)`.
+///
+/// The hash is the cipher suite's PRF hash (SHA-256 for *_SHA256
+/// suites, SHA-384 for *_SHA384 suites).
+pub fn tls12_prf<H: Hash>(secret: &[u8], label: &[u8], seed: &[u8], out_len: usize) -> Vec<u8> {
+    let mut label_seed = Vec::with_capacity(label.len() + seed.len());
+    label_seed.extend_from_slice(label);
+    label_seed.extend_from_slice(seed);
+    p_hash::<H>(secret, &label_seed, out_len)
+}
+
+/// HKDF-Extract (RFC 5869 §2.2).
+pub fn hkdf_extract<H: Hash>(salt: &[u8], ikm: &[u8]) -> Vec<u8> {
+    Hmac::<H>::mac(salt, ikm)
+}
+
+/// HKDF-Expand (RFC 5869 §2.3). Panics if `out_len > 255 * hash_len`
+/// (a static misuse, not an input-dependent condition).
+pub fn hkdf_expand<H: Hash>(prk: &[u8], info: &[u8], out_len: usize) -> Vec<u8> {
+    assert!(out_len <= 255 * H::OUTPUT_LEN, "HKDF output too long");
+    let mut out = Vec::with_capacity(out_len);
+    let mut t: Vec<u8> = Vec::new();
+    let mut counter = 1u8;
+    while out.len() < out_len {
+        let mut m = Hmac::<H>::new(prk);
+        m.update(&t);
+        m.update(info);
+        m.update(&[counter]);
+        t = m.finalize();
+        let take = t.len().min(out_len - out.len());
+        out.extend_from_slice(&t[..take]);
+        counter = counter.wrapping_add(1);
+    }
+    out
+}
+
+/// Convenience: HKDF extract-then-expand.
+pub fn hkdf<H: Hash>(salt: &[u8], ikm: &[u8], info: &[u8], out_len: usize) -> Vec<u8> {
+    let prk = hkdf_extract::<H>(salt, ikm);
+    hkdf_expand::<H>(&prk, info, out_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha2::Sha256;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    // Published TLS 1.2 PRF (SHA-256) test vector
+    // (widely circulated IETF TLS WG vector).
+    #[test]
+    fn tls12_prf_sha256_vector() {
+        let secret = unhex("9bbe436ba940f017b17652849a71db35");
+        let seed = unhex("a0ba9f936cda311827a6f796ffd5198c");
+        let label = b"test label";
+        let out = tls12_prf::<Sha256>(&secret, label, &seed, 100);
+        assert_eq!(
+            hex(&out),
+            "e3f229ba727be17b8d122620557cd453c2aab21d07c3d495329b52d4e61edb5a\
+             6b301791e90d35c9c9a46b4e14baf9af0fa022f7077def17abfd3797c0564bab\
+             4fbc91666e9def9b97fce34f796789baa48082d122ee42c5a72e5a5110fff701\
+             87347b66"
+        );
+    }
+
+    // RFC 5869 Test Case 1.
+    #[test]
+    fn hkdf_rfc5869_case1() {
+        let ikm = [0x0b; 22];
+        let salt = unhex("000102030405060708090a0b0c");
+        let info = unhex("f0f1f2f3f4f5f6f7f8f9");
+        let prk = hkdf_extract::<Sha256>(&salt, &ikm);
+        assert_eq!(
+            hex(&prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        );
+        let okm = hkdf_expand::<Sha256>(&prk, &info, 42);
+        assert_eq!(
+            hex(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf\
+             34007208d5b887185865"
+        );
+    }
+
+    // RFC 5869 Test Case 2 (longer inputs/outputs).
+    #[test]
+    fn hkdf_rfc5869_case2() {
+        let ikm: Vec<u8> = (0x00..=0x4f).collect();
+        let salt: Vec<u8> = (0x60..=0xaf).collect();
+        let info: Vec<u8> = (0xb0..=0xff).collect();
+        let okm = hkdf::<Sha256>(&salt, &ikm, &info, 82);
+        assert_eq!(
+            hex(&okm),
+            "b11e398dc80327a1c8e7f78c596a49344f012eda2d4efad8a050cc4c19afa97c\
+             59045a99cac7827271cb41c65e590e09da3275600c2f09b8367793a9aca3db71\
+             cc30c58179ec3e87c14c01d5c1f3434f1d87"
+        );
+    }
+
+    // RFC 5869 Test Case 3 (zero-length salt and info).
+    #[test]
+    fn hkdf_rfc5869_case3() {
+        let ikm = [0x0b; 22];
+        let okm = hkdf::<Sha256>(&[], &ikm, &[], 42);
+        assert_eq!(
+            hex(&okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d\
+             9d201395faa4b61a96c8"
+        );
+    }
+
+    #[test]
+    fn prf_is_deterministic_and_length_exact() {
+        let a = tls12_prf::<Sha256>(b"s", b"l", b"seed", 7);
+        let b = tls12_prf::<Sha256>(b"s", b"l", b"seed", 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 7);
+        // Prefix property: longer output extends shorter output.
+        let c = tls12_prf::<Sha256>(b"s", b"l", b"seed", 64);
+        assert_eq!(&c[..7], &a[..]);
+    }
+}

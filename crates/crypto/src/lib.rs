@@ -1,0 +1,78 @@
+//! # mbtls-crypto
+//!
+//! From-scratch cryptographic primitives backing the mbTLS reproduction.
+//!
+//! Everything in this crate is implemented directly from the relevant
+//! specifications (FIPS 180-4, FIPS 197, NIST SP 800-38D, RFC 2104,
+//! RFC 5246 §5, RFC 5869, RFC 7748, RFC 8032, RFC 7919) and validated
+//! against their published test vectors. The crate is sans-IO and
+//! allocation-light; primitives are plain state machines over byte
+//! slices so the TLS and mbTLS layers above can stay deterministic.
+//!
+//! ## Security disclaimer
+//!
+//! This is a clean-room implementation written for protocol research.
+//! It follows basic constant-time discipline (see [`ct`]) but has not
+//! been audited and must not be used to protect real data.
+//!
+//! ## Module map
+//!
+//! * [`sha2`] — SHA-256 / SHA-384 / SHA-512.
+//! * [`hmac`] — HMAC over any [`sha2`] hash.
+//! * [`kdf`] — the TLS 1.2 PRF and HKDF.
+//! * [`aes`] — the AES block cipher (128/256-bit keys).
+//! * [`gcm`] — AES-GCM AEAD (GHASH + CTR).
+//! * [`aead`] — the AEAD trait object used by the record layer.
+//! * [`x25519`] — Diffie-Hellman over Curve25519.
+//! * [`ed25519`] — Ed25519 signatures (used by the PKI).
+//! * [`bignum`] — minimal arbitrary-precision unsigned arithmetic.
+//! * [`dh`] — classic finite-field DH over the RFC 7919 ffdhe2048 group.
+//! * [`ct`] — constant-time comparison and selection helpers.
+//! * [`rng`] — seedable CSPRNG handle used across the workspace.
+
+#![warn(missing_docs)]
+
+pub mod aead;
+pub mod aes;
+pub mod bignum;
+pub mod ct;
+pub mod dh;
+pub mod ed25519;
+mod field25519;
+pub mod gcm;
+pub mod hmac;
+pub mod kdf;
+pub mod rng;
+pub mod sha2;
+pub mod x25519;
+
+/// Errors produced by cryptographic operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CryptoError {
+    /// An AEAD open failed authentication (tag mismatch).
+    BadTag,
+    /// A signature failed to verify.
+    BadSignature,
+    /// Key material had the wrong length for the algorithm.
+    BadKeyLength,
+    /// A peer's public value was structurally invalid (wrong length,
+    /// out of range, small-order point, identity element, ...).
+    BadPublicValue,
+    /// The plaintext/ciphertext length is not supported (e.g. exceeds
+    /// the GCM counter space).
+    BadLength,
+}
+
+impl std::fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CryptoError::BadTag => write!(f, "AEAD authentication tag mismatch"),
+            CryptoError::BadSignature => write!(f, "signature verification failed"),
+            CryptoError::BadKeyLength => write!(f, "invalid key length"),
+            CryptoError::BadPublicValue => write!(f, "invalid peer public value"),
+            CryptoError::BadLength => write!(f, "unsupported message length"),
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}

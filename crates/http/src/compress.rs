@@ -1,0 +1,233 @@
+//! A self-contained LZSS codec — the compression workload for the
+//! Flywheel-style proxy middlebox.
+//!
+//! Format: a stream of flag bytes, each covering the next 8 tokens
+//! (LSB first). Flag bit 1 = literal byte; 0 = a back-reference of
+//! two bytes encoding (offset: 12 bits, length-3: 4 bits) against a
+//! 4096-byte sliding window. Match lengths are 3..=18.
+
+const WINDOW: usize = 4096;
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = 18;
+
+/// Compress `input`.
+pub fn lzss_compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    let mut pos = 0usize;
+    let mut flag_index: Option<usize> = None;
+    let mut flag_bit = 0u8;
+
+    // Hash chains for match finding: map 3-byte prefix to recent
+    // positions.
+    let mut head = vec![usize::MAX; 1 << 13];
+    let mut prev = vec![usize::MAX; input.len().max(1)];
+    let hash = |data: &[u8]| -> usize {
+        ((usize::from(data[0]) << 6) ^ (usize::from(data[1]) << 3) ^ usize::from(data[2]))
+            & ((1 << 13) - 1)
+    };
+
+    let push_flag_bit = |out: &mut Vec<u8>, flag_index: &mut Option<usize>, flag_bit: &mut u8, literal: bool| {
+        if flag_index.is_none() || *flag_bit == 8 {
+            out.push(0);
+            *flag_index = Some(out.len() - 1);
+            *flag_bit = 0;
+        }
+        if literal {
+            let idx = flag_index.unwrap();
+            out[idx] |= 1 << *flag_bit;
+        }
+        *flag_bit += 1;
+    };
+
+    while pos < input.len() {
+        // Find the longest match within the window.
+        let mut best_len = 0usize;
+        let mut best_off = 0usize;
+        if pos + MIN_MATCH <= input.len() {
+            let h = hash(&input[pos..]);
+            let mut candidate = head[h];
+            let mut tries = 0;
+            while candidate != usize::MAX && pos - candidate <= WINDOW && tries < 32 {
+                let max_len = MAX_MATCH.min(input.len() - pos);
+                let mut len = 0;
+                while len < max_len && input[candidate + len] == input[pos + len] {
+                    len += 1;
+                }
+                if len > best_len {
+                    best_len = len;
+                    best_off = pos - candidate;
+                    if len == MAX_MATCH {
+                        break;
+                    }
+                }
+                candidate = prev[candidate];
+                tries += 1;
+            }
+        }
+
+        if best_len >= MIN_MATCH {
+            push_flag_bit(&mut out, &mut flag_index, &mut flag_bit, false);
+            debug_assert!((1..=WINDOW).contains(&best_off));
+            let token = (((best_off - 1) as u16) << 4) | ((best_len - MIN_MATCH) as u16);
+            out.extend_from_slice(&token.to_be_bytes());
+            // Insert hash entries for every covered position.
+            for p in pos..pos + best_len {
+                if p + MIN_MATCH <= input.len() {
+                    let h = hash(&input[p..]);
+                    prev[p] = head[h];
+                    head[h] = p;
+                }
+            }
+            pos += best_len;
+        } else {
+            push_flag_bit(&mut out, &mut flag_index, &mut flag_bit, true);
+            out.push(input[pos]);
+            if pos + MIN_MATCH <= input.len() {
+                let h = hash(&input[pos..]);
+                prev[pos] = head[h];
+                head[h] = pos;
+            }
+            pos += 1;
+        }
+    }
+    out
+}
+
+/// Decompression failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LzssError {
+    /// Input ended inside a token.
+    Truncated,
+    /// A back-reference pointed before the start of output.
+    BadReference,
+}
+
+impl std::fmt::Display for LzssError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LzssError::Truncated => write!(f, "truncated LZSS stream"),
+            LzssError::BadReference => write!(f, "invalid LZSS back-reference"),
+        }
+    }
+}
+
+impl std::error::Error for LzssError {}
+
+/// Decompress an LZSS stream.
+pub fn lzss_decompress(input: &[u8]) -> Result<Vec<u8>, LzssError> {
+    let mut out = Vec::with_capacity(input.len() * 2);
+    let mut pos = 0usize;
+    while pos < input.len() {
+        let flags = input[pos];
+        pos += 1;
+        for bit in 0..8 {
+            if pos >= input.len() {
+                break;
+            }
+            if flags & (1 << bit) != 0 {
+                out.push(input[pos]);
+                pos += 1;
+            } else {
+                if pos + 2 > input.len() {
+                    return Err(LzssError::Truncated);
+                }
+                let token = u16::from_be_bytes([input[pos], input[pos + 1]]);
+                pos += 2;
+                let offset = usize::from(token >> 4) + 1;
+                let length = usize::from(token & 0xF) + MIN_MATCH;
+                if offset > out.len() {
+                    return Err(LzssError::BadReference);
+                }
+                let start = out.len() - offset;
+                for i in 0..length {
+                    let byte = out[start + i];
+                    out.push(byte);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        for input in [
+            b"".to_vec(),
+            b"a".to_vec(),
+            b"hello world".to_vec(),
+            b"aaaaaaaaaaaaaaaaaaaaaaaaaaaa".to_vec(),
+            b"abcabcabcabcabcabcabcabc".to_vec(),
+        ] {
+            let compressed = lzss_compress(&input);
+            assert_eq!(lzss_decompress(&compressed).unwrap(), input, "{input:?}");
+        }
+    }
+
+    #[test]
+    fn compresses_repetitive_data() {
+        let input: Vec<u8> = b"The quick brown fox. ".repeat(100);
+        let compressed = lzss_compress(&input);
+        assert!(
+            compressed.len() < input.len() / 3,
+            "{} !< {}",
+            compressed.len(),
+            input.len() / 3
+        );
+        assert_eq!(lzss_decompress(&compressed).unwrap(), input);
+    }
+
+    #[test]
+    fn handles_incompressible_data() {
+        // Pseudo-random bytes: output grows slightly (flag overhead)
+        // but round-trips.
+        let mut x = 12345u64;
+        let input: Vec<u8> = (0..5000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (x >> 33) as u8
+            })
+            .collect();
+        let compressed = lzss_compress(&input);
+        assert!(compressed.len() <= input.len() + input.len() / 8 + 2);
+        assert_eq!(lzss_decompress(&compressed).unwrap(), input);
+    }
+
+    #[test]
+    fn long_range_matches() {
+        // Repetition separated by filler within the window.
+        let mut input = b"0123456789abcdefghij".to_vec();
+        input.extend(vec![b'x'; 3000]);
+        input.extend_from_slice(b"0123456789abcdefghij");
+        let compressed = lzss_compress(&input);
+        assert_eq!(lzss_decompress(&compressed).unwrap(), input);
+    }
+
+    #[test]
+    fn rejects_corrupt_streams() {
+        // Reference before start of output.
+        let bad = vec![0b0000_0000u8, 0xFF, 0xF5];
+        assert_eq!(lzss_decompress(&bad), Err(LzssError::BadReference));
+        // Truncated token.
+        let bad = vec![0b0000_0000u8, 0x00];
+        assert_eq!(lzss_decompress(&bad), Err(LzssError::Truncated));
+    }
+
+    #[test]
+    fn large_html_like_payload() {
+        let page: Vec<u8> = (0..200)
+            .flat_map(|i| {
+                format!(
+                    "<div class=\"row\"><span id=\"cell-{i}\">value {i}</span></div>\n"
+                )
+                .into_bytes()
+            })
+            .collect();
+        let compressed = lzss_compress(&page);
+        assert!(compressed.len() < page.len() / 2);
+        assert_eq!(lzss_decompress(&compressed).unwrap(), page);
+    }
+}

@@ -1,0 +1,23 @@
+//! # mbtls-http
+//!
+//! The application-layer substrate for mbTLS middlebox workloads:
+//!
+//! * [`message`] — HTTP/1.1 requests/responses with incremental
+//!   parsers (middleboxes see data in record-sized chunks).
+//! * [`compress`] — a self-contained LZSS codec, the compression
+//!   workload behind the Flywheel-style proxy (see DESIGN.md for why
+//!   this substitutes for zlib).
+//! * [`patterns`] — an Aho-Corasick multi-pattern matcher, the
+//!   scanning engine for the IDS / virus-scanner middleboxes.
+//!
+//! All three are from-scratch implementations with no dependencies.
+
+#![warn(missing_docs)]
+
+pub mod compress;
+pub mod message;
+pub mod patterns;
+
+pub use compress::{lzss_compress, lzss_decompress};
+pub use message::{Request, RequestParser, Response, ResponseParser};
+pub use patterns::PatternMatcher;

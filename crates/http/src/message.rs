@@ -1,0 +1,434 @@
+//! HTTP/1.1 messages and incremental parsers.
+//!
+//! Scope: what middlebox applications need — request/response lines,
+//! headers, Content-Length bodies. Chunked transfer encoding and
+//! HTTP/2 are out of scope (the paper's prototype proxy speaks plain
+//! HTTP/1.1).
+
+/// Parse failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HttpError {
+    /// Malformed start line or header.
+    Malformed,
+    /// Header section exceeded the size bound.
+    TooLarge,
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Malformed => write!(f, "malformed HTTP message"),
+            HttpError::TooLarge => write!(f, "HTTP header section too large"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+const MAX_HEAD: usize = 64 * 1024;
+
+/// Quick sniff: does this look like the start of an HTTP/1.x request?
+/// Middlebox processors bypass parsing for non-HTTP streams.
+pub fn looks_like_http_request(data: &[u8]) -> bool {
+    const METHODS: [&[u8]; 7] = [
+        b"GET ", b"POST ", b"PUT ", b"HEAD ", b"DELETE ", b"OPTIONS ", b"PATCH ",
+    ];
+    if data.is_empty() {
+        return false;
+    }
+    // Prefix-compatible with some method token (handles short chunks).
+    METHODS.iter().any(|m| {
+        let n = data.len().min(m.len());
+        data[..n] == m[..n]
+    })
+}
+
+/// Quick sniff: does this look like the start of an HTTP/1.x response?
+pub fn looks_like_http_response(data: &[u8]) -> bool {
+    let probe = b"HTTP/1.";
+    if data.is_empty() {
+        return false;
+    }
+    let n = data.len().min(probe.len());
+    data[..n] == probe[..n]
+}
+
+/// An HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Method (GET, POST, ...).
+    pub method: String,
+    /// Request target (path).
+    pub target: String,
+    /// Header fields in order.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+/// An HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Reason phrase.
+    pub reason: String,
+    /// Header fields in order.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Convenience GET with a Host header.
+    pub fn get(target: &str, host: &str) -> Request {
+        Request {
+            method: "GET".into(),
+            target: target.into(),
+            headers: vec![("Host".into(), host.into())],
+            body: Vec::new(),
+        }
+    }
+
+    /// First value of a header (case-insensitive name).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        header_lookup(&self.headers, name)
+    }
+
+    /// Insert or replace a header.
+    pub fn set_header(&mut self, name: &str, value: &str) {
+        set_header(&mut self.headers, name, value);
+    }
+
+    /// Serialize to wire form (sets Content-Length when a body is
+    /// present).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut headers = self.headers.clone();
+        if !self.body.is_empty() || self.method == "POST" || self.method == "PUT" {
+            set_header(&mut headers, "Content-Length", &self.body.len().to_string());
+        }
+        let mut out = format!("{} {} HTTP/1.1\r\n", self.method, self.target).into_bytes();
+        for (name, value) in &headers {
+            out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+impl Response {
+    /// Convenience 200 with a body.
+    pub fn ok(body: &[u8]) -> Response {
+        Response {
+            status: 200,
+            reason: "OK".into(),
+            headers: vec![("Content-Type".into(), "text/html".into())],
+            body: body.to_vec(),
+        }
+    }
+
+    /// Convenience status-only response.
+    pub fn status(status: u16, reason: &str) -> Response {
+        Response {
+            status,
+            reason: reason.into(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// First value of a header (case-insensitive name).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        header_lookup(&self.headers, name)
+    }
+
+    /// Insert or replace a header.
+    pub fn set_header(&mut self, name: &str, value: &str) {
+        set_header(&mut self.headers, name, value);
+    }
+
+    /// Serialize to wire form (always sets Content-Length).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut headers = self.headers.clone();
+        set_header(&mut headers, "Content-Length", &self.body.len().to_string());
+        let mut out = format!("HTTP/1.1 {} {}\r\n", self.status, self.reason).into_bytes();
+        for (name, value) in &headers {
+            out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+fn header_lookup<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case(name))
+        .map(|(_, v)| v.as_str())
+}
+
+fn set_header(headers: &mut Vec<(String, String)>, name: &str, value: &str) {
+    if let Some(entry) = headers.iter_mut().find(|(n, _)| n.eq_ignore_ascii_case(name)) {
+        entry.1 = value.to_string();
+    } else {
+        headers.push((name.to_string(), value.to_string()));
+    }
+}
+
+/// Parse a header block (after the start line, up to the blank line).
+fn parse_headers(lines: &str) -> Result<Vec<(String, String)>, HttpError> {
+    let mut headers = Vec::new();
+    for line in lines.split("\r\n") {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line.split_once(':').ok_or(HttpError::Malformed)?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::Malformed);
+        }
+        headers.push((name.to_string(), value.trim().to_string()));
+    }
+    Ok(headers)
+}
+
+fn content_length(headers: &[(String, String)]) -> usize {
+    header_lookup(headers, "Content-Length")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Incremental request parser: feed bytes, pull complete requests.
+#[derive(Default)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+}
+
+impl RequestParser {
+    /// Fresh parser.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append stream bytes.
+    pub fn feed(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Bytes buffered but not yet parsed.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pull the next complete request, if any.
+    pub fn next_request(&mut self) -> Result<Option<Request>, HttpError> {
+        let Some(head_end) = find_head_end(&self.buf)? else {
+            return Ok(None);
+        };
+        let head = std::str::from_utf8(&self.buf[..head_end]).map_err(|_| HttpError::Malformed)?;
+        let (start_line, header_block) = head.split_once("\r\n").unwrap_or((head, ""));
+        let mut parts = start_line.split(' ');
+        let method = parts.next().ok_or(HttpError::Malformed)?.to_string();
+        let target = parts.next().ok_or(HttpError::Malformed)?.to_string();
+        let version = parts.next().ok_or(HttpError::Malformed)?;
+        if !version.starts_with("HTTP/1.") || method.is_empty() {
+            return Err(HttpError::Malformed);
+        }
+        let headers = parse_headers(header_block)?;
+        let body_len = content_length(&headers);
+        let total = head_end + 4 + body_len;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let body = self.buf[head_end + 4..total].to_vec();
+        self.buf.drain(..total);
+        Ok(Some(Request {
+            method,
+            target,
+            headers,
+            body,
+        }))
+    }
+}
+
+/// Incremental response parser.
+#[derive(Default)]
+pub struct ResponseParser {
+    buf: Vec<u8>,
+}
+
+impl ResponseParser {
+    /// Fresh parser.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append stream bytes.
+    pub fn feed(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Pull the next complete response, if any.
+    pub fn next_response(&mut self) -> Result<Option<Response>, HttpError> {
+        let Some(head_end) = find_head_end(&self.buf)? else {
+            return Ok(None);
+        };
+        let head = std::str::from_utf8(&self.buf[..head_end]).map_err(|_| HttpError::Malformed)?;
+        let (start_line, header_block) = head.split_once("\r\n").unwrap_or((head, ""));
+        let mut parts = start_line.splitn(3, ' ');
+        let version = parts.next().ok_or(HttpError::Malformed)?;
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError::Malformed);
+        }
+        let status: u16 = parts
+            .next()
+            .ok_or(HttpError::Malformed)?
+            .parse()
+            .map_err(|_| HttpError::Malformed)?;
+        let reason = parts.next().unwrap_or("").to_string();
+        let headers = parse_headers(header_block)?;
+        let body_len = content_length(&headers);
+        let total = head_end + 4 + body_len;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let body = self.buf[head_end + 4..total].to_vec();
+        self.buf.drain(..total);
+        Ok(Some(Response {
+            status,
+            reason,
+            headers,
+            body,
+        }))
+    }
+}
+
+/// Locate the `\r\n\r\n` terminating the header section. Returns its
+/// start offset.
+fn find_head_end(buf: &[u8]) -> Result<Option<usize>, HttpError> {
+    match buf.windows(4).position(|w| w == b"\r\n\r\n") {
+        Some(pos) => Ok(Some(pos)),
+        None if buf.len() > MAX_HEAD => Err(HttpError::TooLarge),
+        None => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let mut req = Request::get("/index.html", "example.com");
+        req.set_header("User-Agent", "mbtls-test");
+        let wire = req.encode();
+        let mut parser = RequestParser::new();
+        parser.feed(&wire);
+        let parsed = parser.next_request().unwrap().unwrap();
+        assert_eq!(parsed.method, "GET");
+        assert_eq!(parsed.target, "/index.html");
+        assert_eq!(parsed.header("host"), Some("example.com"));
+        assert_eq!(parsed.header("USER-AGENT"), Some("mbtls-test"));
+        assert!(parsed.body.is_empty());
+    }
+
+    #[test]
+    fn request_with_body() {
+        let req = Request {
+            method: "POST".into(),
+            target: "/submit".into(),
+            headers: vec![("Host".into(), "x".into())],
+            body: b"name=value&x=1".to_vec(),
+        };
+        let wire = req.encode();
+        let mut parser = RequestParser::new();
+        parser.feed(&wire);
+        let parsed = parser.next_request().unwrap().unwrap();
+        assert_eq!(parsed.body, b"name=value&x=1");
+        assert_eq!(parsed.header("content-length"), Some("14"));
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resp = Response::ok(b"<html>hi</html>");
+        let wire = resp.encode();
+        let mut parser = ResponseParser::new();
+        parser.feed(&wire);
+        let parsed = parser.next_response().unwrap().unwrap();
+        assert_eq!(parsed.status, 200);
+        assert_eq!(parsed.reason, "OK");
+        assert_eq!(parsed.body, b"<html>hi</html>");
+    }
+
+    #[test]
+    fn incremental_parsing_across_chunks() {
+        let resp = Response::ok(&vec![7u8; 1000]);
+        let wire = resp.encode();
+        let mut parser = ResponseParser::new();
+        for chunk in wire.chunks(13) {
+            parser.feed(chunk);
+        }
+        let parsed = parser.next_response().unwrap().unwrap();
+        assert_eq!(parsed.body.len(), 1000);
+        assert!(parser.next_response().unwrap().is_none());
+    }
+
+    #[test]
+    fn pipelined_requests() {
+        let mut parser = RequestParser::new();
+        parser.feed(&Request::get("/a", "h").encode());
+        parser.feed(&Request::get("/b", "h").encode());
+        assert_eq!(parser.next_request().unwrap().unwrap().target, "/a");
+        assert_eq!(parser.next_request().unwrap().unwrap().target, "/b");
+        assert!(parser.next_request().unwrap().is_none());
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        let mut parser = RequestParser::new();
+        parser.feed(b"NOT_A_REQUEST\r\n\r\n");
+        assert_eq!(parser.next_request(), Err(HttpError::Malformed));
+
+        let mut parser = RequestParser::new();
+        parser.feed(b"GET / HTTP/1.1\r\nBad Header Name: x\r\n\r\n");
+        assert_eq!(parser.next_request(), Err(HttpError::Malformed));
+
+        let mut parser = ResponseParser::new();
+        parser.feed(b"HTTP/1.1 abc OK\r\n\r\n");
+        assert_eq!(parser.next_response(), Err(HttpError::Malformed));
+    }
+
+    #[test]
+    fn oversized_head_rejected() {
+        let mut parser = RequestParser::new();
+        parser.feed(b"GET / HTTP/1.1\r\n");
+        let filler = vec![b'a'; MAX_HEAD + 10];
+        parser.feed(&filler);
+        assert_eq!(parser.next_request(), Err(HttpError::TooLarge));
+    }
+
+    #[test]
+    fn header_replacement() {
+        let mut resp = Response::ok(b"x");
+        resp.set_header("Content-Type", "application/json");
+        assert_eq!(resp.header("content-type"), Some("application/json"));
+        // Only one entry remains.
+        let n = resp
+            .headers
+            .iter()
+            .filter(|(k, _)| k.eq_ignore_ascii_case("content-type"))
+            .count();
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn status_response() {
+        let wire = Response::status(404, "Not Found").encode();
+        let mut parser = ResponseParser::new();
+        parser.feed(&wire);
+        let parsed = parser.next_response().unwrap().unwrap();
+        assert_eq!(parsed.status, 404);
+        assert_eq!(parsed.reason, "Not Found");
+    }
+}

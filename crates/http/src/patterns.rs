@@ -1,0 +1,243 @@
+//! Aho-Corasick multi-pattern matching — the scanning engine behind
+//! the IDS and virus-scanner middleboxes (the pattern-matching
+//! middlebox class the paper contrasts with BlindBox in §2.2).
+
+use std::collections::VecDeque;
+
+/// A match: which pattern, and the byte offset just past its end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PatternMatch {
+    /// Index into the pattern list.
+    pub pattern: usize,
+    /// Offset of the byte following the match, relative to the start
+    /// of all streamed input.
+    pub end_offset: usize,
+}
+
+#[derive(Clone)]
+struct Node {
+    /// Transitions: 256-way dense table (u32::MAX = none).
+    next: [u32; 256],
+    /// Failure link.
+    fail: u32,
+    /// Patterns ending at this node.
+    output: Vec<usize>,
+}
+
+impl Node {
+    fn new() -> Self {
+        Node {
+            next: [u32::MAX; 256],
+            fail: 0,
+            output: Vec::new(),
+        }
+    }
+}
+
+/// A compiled multi-pattern automaton usable as a streaming scanner.
+pub struct PatternMatcher {
+    nodes: Vec<Node>,
+    patterns: Vec<Vec<u8>>,
+    /// Streaming state.
+    state: u32,
+    consumed: usize,
+}
+
+impl PatternMatcher {
+    /// Compile the given patterns. Empty patterns are ignored.
+    pub fn new<P: AsRef<[u8]>>(patterns: &[P]) -> Self {
+        let patterns: Vec<Vec<u8>> = patterns.iter().map(|p| p.as_ref().to_vec()).collect();
+        let mut nodes = vec![Node::new()];
+        // Build the trie.
+        for (pi, pattern) in patterns.iter().enumerate() {
+            if pattern.is_empty() {
+                continue;
+            }
+            let mut cur = 0u32;
+            for &b in pattern {
+                let slot = nodes[cur as usize].next[b as usize];
+                cur = if slot == u32::MAX {
+                    nodes.push(Node::new());
+                    let new_id = (nodes.len() - 1) as u32;
+                    nodes[cur as usize].next[b as usize] = new_id;
+                    new_id
+                } else {
+                    slot
+                };
+            }
+            nodes[cur as usize].output.push(pi);
+        }
+        // BFS to set failure links and convert to a full automaton.
+        let mut queue = VecDeque::new();
+        for b in 0..256usize {
+            let child = nodes[0].next[b];
+            if child == u32::MAX {
+                nodes[0].next[b] = 0;
+            } else {
+                nodes[child as usize].fail = 0;
+                queue.push_back(child);
+            }
+        }
+        while let Some(node_id) = queue.pop_front() {
+            // Merge output of the failure target.
+            let fail = nodes[node_id as usize].fail;
+            let fail_out = nodes[fail as usize].output.clone();
+            nodes[node_id as usize].output.extend(fail_out);
+            for b in 0..256usize {
+                let child = nodes[node_id as usize].next[b];
+                let fail_next = nodes[fail as usize].next[b];
+                if child == u32::MAX {
+                    nodes[node_id as usize].next[b] = fail_next;
+                } else {
+                    nodes[child as usize].fail = fail_next;
+                    queue.push_back(child);
+                }
+            }
+        }
+        PatternMatcher {
+            nodes,
+            patterns,
+            state: 0,
+            consumed: 0,
+        }
+    }
+
+    /// Number of compiled patterns.
+    pub fn pattern_count(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// The pattern bytes for an index.
+    pub fn pattern(&self, index: usize) -> &[u8] {
+        &self.patterns[index]
+    }
+
+    /// Scan a chunk, continuing from previous chunks (patterns
+    /// spanning chunk boundaries are found). Returns matches in order.
+    pub fn scan(&mut self, data: &[u8]) -> Vec<PatternMatch> {
+        let mut matches = Vec::new();
+        for &b in data {
+            self.state = self.nodes[self.state as usize].next[b as usize];
+            self.consumed += 1;
+            let node = &self.nodes[self.state as usize];
+            for &pattern in &node.output {
+                matches.push(PatternMatch {
+                    pattern,
+                    end_offset: self.consumed,
+                });
+            }
+        }
+        matches
+    }
+
+    /// Reset the streaming state (new flow).
+    pub fn reset(&mut self) {
+        self.state = 0;
+        self.consumed = 0;
+    }
+
+    /// One-shot scan of a complete buffer (does not disturb streaming
+    /// state).
+    pub fn find_all(&self, data: &[u8]) -> Vec<PatternMatch> {
+        let mut state = 0u32;
+        let mut matches = Vec::new();
+        for (i, &b) in data.iter().enumerate() {
+            state = self.nodes[state as usize].next[b as usize];
+            for &pattern in &self.nodes[state as usize].output {
+                matches.push(PatternMatch {
+                    pattern,
+                    end_offset: i + 1,
+                });
+            }
+        }
+        matches
+    }
+
+    /// Does the buffer contain any pattern?
+    pub fn contains_any(&self, data: &[u8]) -> bool {
+        let mut state = 0u32;
+        for &b in data {
+            state = self.nodes[state as usize].next[b as usize];
+            if !self.nodes[state as usize].output.is_empty() {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_single_pattern() {
+        let m = PatternMatcher::new(&[b"virus".as_slice()]);
+        let matches = m.find_all(b"this file contains a virus payload");
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].pattern, 0);
+        assert_eq!(matches[0].end_offset, 26);
+    }
+
+    #[test]
+    fn finds_overlapping_patterns() {
+        let m = PatternMatcher::new(&[b"he".as_slice(), b"she", b"hers", b"his"]);
+        let matches = m.find_all(b"ushers");
+        // "ushers" contains she (ends 4), he (ends 4), hers (ends 6).
+        let found: Vec<usize> = matches.iter().map(|m| m.pattern).collect();
+        assert!(found.contains(&0), "he");
+        assert!(found.contains(&1), "she");
+        assert!(found.contains(&2), "hers");
+        assert!(!found.contains(&3), "his");
+    }
+
+    #[test]
+    fn streaming_matches_across_chunks() {
+        let mut m = PatternMatcher::new(&[b"malware-signature".as_slice()]);
+        let data = b"....malware-signature....";
+        let mid = 10; // split inside the pattern
+        let mut all = m.scan(&data[..mid]);
+        all.extend(m.scan(&data[mid..]));
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].end_offset, 21);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut m = PatternMatcher::new(&[b"abc".as_slice()]);
+        m.scan(b"ab");
+        m.reset();
+        // After reset the dangling "ab" prefix is forgotten.
+        assert!(m.scan(b"c").is_empty());
+        assert_eq!(m.scan(b"abc").len(), 1);
+    }
+
+    #[test]
+    fn no_false_positives() {
+        let m = PatternMatcher::new(&[b"exploit".as_slice(), b"attack"]);
+        assert!(!m.contains_any(b"perfectly benign traffic with exploi and attac"));
+        assert!(m.contains_any(b"...attack..."));
+    }
+
+    #[test]
+    fn repeated_matches_counted() {
+        let m = PatternMatcher::new(&[b"aa".as_slice()]);
+        // "aaaa" contains "aa" ending at 2, 3, 4.
+        assert_eq!(m.find_all(b"aaaa").len(), 3);
+    }
+
+    #[test]
+    fn binary_patterns() {
+        let m = PatternMatcher::new(&[&[0x00u8, 0xFF, 0x00][..], &[0xDE, 0xAD, 0xBE, 0xEF][..]]);
+        assert!(m.contains_any(&[1, 2, 0xDE, 0xAD, 0xBE, 0xEF, 9]));
+        assert!(m.contains_any(&[0x00, 0xFF, 0x00]));
+        assert!(!m.contains_any(&[0xDE, 0xAD, 0xBE]));
+    }
+
+    #[test]
+    fn empty_patterns_ignored() {
+        let m = PatternMatcher::new(&[b"".as_slice(), b"x"]);
+        assert_eq!(m.find_all(b"x").len(), 1);
+        assert_eq!(m.pattern_count(), 2);
+    }
+}

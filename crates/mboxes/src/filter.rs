@@ -1,0 +1,144 @@
+//! A parental-filter middlebox: blocks requests to disallowed
+//! targets. The filter class is central to the paper's §4.2
+//! "Bypassing 'Filter' Middleboxes" discussion — the corresponding
+//! security scenario lives in the mbTLS test-suite.
+
+use mbtls_core::dataplane::FlowDirection;
+use mbtls_core::middlebox::DataProcessor;
+use mbtls_http::message::{looks_like_http_request, Request, RequestParser, Response};
+
+use crate::sniff::Sniffer;
+
+/// The filter middlebox.
+pub struct ParentalFilter {
+    blocked_substrings: Vec<String>,
+    requests: RequestParser,
+    c2s_sniff: Sniffer,
+    /// Requests blocked.
+    pub blocked_count: u64,
+    /// Requests allowed.
+    pub allowed_count: u64,
+    /// Targets that were blocked (audit log).
+    pub audit_log: Vec<String>,
+}
+
+impl ParentalFilter {
+    /// Block any request whose target contains one of the substrings.
+    pub fn new(blocked: &[&str]) -> Self {
+        ParentalFilter {
+            blocked_substrings: blocked.iter().map(|s| s.to_string()).collect(),
+            requests: RequestParser::new(),
+            c2s_sniff: Sniffer::new(),
+            blocked_count: 0,
+            allowed_count: 0,
+            audit_log: Vec::new(),
+        }
+    }
+
+    fn is_blocked(&self, req: &Request) -> bool {
+        self.blocked_substrings
+            .iter()
+            .any(|s| req.target.contains(s.as_str()))
+    }
+}
+
+impl DataProcessor for ParentalFilter {
+    fn process(&mut self, dir: FlowDirection, data: Vec<u8>) -> Vec<u8> {
+        if dir == FlowDirection::ServerToClient
+            || !self.c2s_sniff.is_http(&data, looks_like_http_request)
+        {
+            return data;
+        }
+        self.requests.feed(&data);
+        let mut out = Vec::new();
+        loop {
+            match self.requests.next_request() {
+                Ok(Some(req)) => {
+                    if self.is_blocked(&req) {
+                        self.blocked_count += 1;
+                        self.audit_log.push(req.target.clone());
+                        // Rewrite the request into a harmless probe of
+                        // the block page; the origin never sees the
+                        // original target.
+                        let mut blocked = Request::get("/blocked", "filter.local");
+                        blocked.set_header("X-Filtered-By", "parental-filter");
+                        out.extend(blocked.encode());
+                    } else {
+                        self.allowed_count += 1;
+                        out.extend(req.encode());
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    out.extend(data.clone());
+                    return out;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The block page a cooperating server returns for `/blocked`.
+pub fn block_page() -> Response {
+    Response {
+        status: 451,
+        reason: "Unavailable For Legal Reasons".into(),
+        headers: vec![("Content-Type".into(), "text/html".into())],
+        body: b"<html>blocked by policy</html>".to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_matching_targets() {
+        let mut filter = ParentalFilter::new(&["gambling", "malware"]);
+        let out = filter.process(
+            FlowDirection::ClientToServer,
+            Request::get("/gambling/poker", "x").encode(),
+        );
+        let text = String::from_utf8_lossy(&out);
+        assert!(text.contains("GET /blocked"));
+        assert!(text.contains("X-Filtered-By"));
+        assert_eq!(filter.blocked_count, 1);
+        assert_eq!(filter.audit_log, vec!["/gambling/poker"]);
+    }
+
+    #[test]
+    fn allows_clean_targets() {
+        let mut filter = ParentalFilter::new(&["gambling"]);
+        let wire = Request::get("/homework/math", "x").encode();
+        let out = filter.process(FlowDirection::ClientToServer, wire.clone());
+        assert_eq!(out, wire);
+        assert_eq!(filter.allowed_count, 1);
+        assert_eq!(filter.blocked_count, 0);
+    }
+
+    #[test]
+    fn responses_untouched() {
+        let mut filter = ParentalFilter::new(&["x"]);
+        let wire = Response::ok(b"body").encode();
+        assert_eq!(filter.process(FlowDirection::ServerToClient, wire.clone()), wire);
+    }
+
+    #[test]
+    fn mixed_pipeline() {
+        let mut filter = ParentalFilter::new(&["bad"]);
+        let mut wire = Request::get("/good", "h").encode();
+        wire.extend(Request::get("/bad", "h").encode());
+        wire.extend(Request::get("/also-good", "h").encode());
+        filter.process(FlowDirection::ClientToServer, wire);
+        assert_eq!(filter.allowed_count, 2);
+        assert_eq!(filter.blocked_count, 1);
+    }
+
+    #[test]
+    fn block_page_shape() {
+        let page = block_page();
+        assert_eq!(page.status, 451);
+        assert!(!page.body.is_empty());
+    }
+}

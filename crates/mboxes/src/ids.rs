@@ -1,0 +1,149 @@
+//! A pattern-matching intrusion-detection / virus-scanning middlebox.
+//!
+//! Scans both directions of the plaintext stream against a signature
+//! set (Aho-Corasick). In detect mode it records alerts and forwards;
+//! in block mode it additionally replaces the offending payload —
+//! possible under mbTLS because the middlebox holds real plaintext
+//! (unlike BlindBox, which can only match, §2.2).
+
+use mbtls_core::dataplane::FlowDirection;
+use mbtls_core::middlebox::DataProcessor;
+use mbtls_http::patterns::PatternMatcher;
+
+/// One raised alert.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alert {
+    /// Direction the signature was seen in.
+    pub direction: &'static str,
+    /// Index of the matched signature.
+    pub signature: usize,
+    /// Stream offset just past the match.
+    pub offset: usize,
+}
+
+/// Operating mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdsMode {
+    /// Log alerts, forward traffic unchanged.
+    Detect,
+    /// Replace payloads containing a signature with a block page.
+    Block,
+}
+
+/// The IDS middlebox.
+pub struct IntrusionDetector {
+    c2s: PatternMatcher,
+    s2c: PatternMatcher,
+    mode: IdsMode,
+    /// All alerts raised.
+    pub alerts: Vec<Alert>,
+    /// Total bytes scanned.
+    pub bytes_scanned: u64,
+}
+
+impl IntrusionDetector {
+    /// Compile the signature set.
+    pub fn new<P: AsRef<[u8]>>(signatures: &[P], mode: IdsMode) -> Self {
+        IntrusionDetector {
+            c2s: PatternMatcher::new(signatures),
+            s2c: PatternMatcher::new(signatures),
+            mode,
+            alerts: Vec::new(),
+            bytes_scanned: 0,
+        }
+    }
+
+    /// Number of alerts raised so far.
+    pub fn alert_count(&self) -> usize {
+        self.alerts.len()
+    }
+}
+
+impl DataProcessor for IntrusionDetector {
+    fn process(&mut self, dir: FlowDirection, data: Vec<u8>) -> Vec<u8> {
+        self.bytes_scanned += data.len() as u64;
+        let (matcher, dir_name) = match dir {
+            FlowDirection::ClientToServer => (&mut self.c2s, "c2s"),
+            FlowDirection::ServerToClient => (&mut self.s2c, "s2c"),
+        };
+        let matches = matcher.scan(&data);
+        let hit = !matches.is_empty();
+        for m in matches {
+            self.alerts.push(Alert {
+                direction: dir_name,
+                signature: m.pattern,
+                offset: m.end_offset,
+            });
+        }
+        match (hit, self.mode) {
+            (true, IdsMode::Block) => b"[blocked by IDS]".to_vec(),
+            _ => data,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SIGS: [&[u8]; 3] = [b"SELECT * FROM", b"<script>evil", b"\xDE\xAD\xBE\xEF"];
+
+    #[test]
+    fn detect_mode_alerts_and_forwards() {
+        let mut ids = IntrusionDetector::new(&SIGS, IdsMode::Detect);
+        let payload = b"id=1; SELECT * FROM users;--".to_vec();
+        let out = ids.process(FlowDirection::ClientToServer, payload.clone());
+        assert_eq!(out, payload, "detect mode forwards unchanged");
+        assert_eq!(ids.alert_count(), 1);
+        assert_eq!(ids.alerts[0].signature, 0);
+        assert_eq!(ids.alerts[0].direction, "c2s");
+    }
+
+    #[test]
+    fn block_mode_replaces_payload() {
+        let mut ids = IntrusionDetector::new(&SIGS, IdsMode::Block);
+        let out = ids.process(
+            FlowDirection::ServerToClient,
+            b"<html><script>evil()</script>".to_vec(),
+        );
+        assert_eq!(out, b"[blocked by IDS]");
+        assert_eq!(ids.alerts[0].direction, "s2c");
+    }
+
+    #[test]
+    fn clean_traffic_untouched() {
+        let mut ids = IntrusionDetector::new(&SIGS, IdsMode::Block);
+        let clean = b"perfectly ordinary content".to_vec();
+        assert_eq!(ids.process(FlowDirection::ClientToServer, clean.clone()), clean);
+        assert_eq!(ids.alert_count(), 0);
+    }
+
+    #[test]
+    fn signature_spanning_records_detected() {
+        // The stream matcher keeps state across record payloads.
+        let mut ids = IntrusionDetector::new(&SIGS, IdsMode::Detect);
+        ids.process(FlowDirection::ClientToServer, b"... SELECT * ".to_vec());
+        ids.process(FlowDirection::ClientToServer, b"FROM secrets".to_vec());
+        assert_eq!(ids.alert_count(), 1);
+    }
+
+    #[test]
+    fn binary_signatures() {
+        let mut ids = IntrusionDetector::new(&SIGS, IdsMode::Detect);
+        ids.process(
+            FlowDirection::ServerToClient,
+            vec![0x00, 0xDE, 0xAD, 0xBE, 0xEF, 0x00],
+        );
+        assert_eq!(ids.alert_count(), 1);
+        assert_eq!(ids.alerts[0].signature, 2);
+    }
+
+    #[test]
+    fn directions_tracked_independently() {
+        let mut ids = IntrusionDetector::new(&SIGS, IdsMode::Detect);
+        // Half a signature in each direction must NOT match.
+        ids.process(FlowDirection::ClientToServer, b"SELECT * ".to_vec());
+        ids.process(FlowDirection::ServerToClient, b"FROM x".to_vec());
+        assert_eq!(ids.alert_count(), 0);
+    }
+}

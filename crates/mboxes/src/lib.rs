@@ -1,0 +1,38 @@
+//! # mbtls-mboxes
+//!
+//! Middlebox applications implementing [`mbtls_core::DataProcessor`]
+//! — the application-layer functions the paper's introduction
+//! motivates, runnable inside an mbTLS session (and, via the SGX
+//! simulator, inside an enclave):
+//!
+//! * [`header_proxy::HeaderInsertionProxy`] — the paper's own
+//!   prototype workload (§5: "a simple HTTP proxy that performs HTTP
+//!   header insertion").
+//! * [`cache::WebCache`] — a shared web cache (the middlebox class
+//!   behind the §4.2 state-poisoning discussion).
+//! * [`compression::CompressionProxy`] — a Flywheel-style data
+//!   compression proxy (arbitrary computation; the class BlindBox
+//!   cannot support).
+//! * [`ids::IntrusionDetector`] — a pattern-matching IDS / virus
+//!   scanner.
+//! * [`filter::ParentalFilter`] — a request-blocking filter (the
+//!   "bypassing filter middleboxes" discussion of §4.2).
+//!
+//! Each processor is sans-IO and stream-oriented: it receives record
+//! payloads, buffers partial HTTP messages internally, and emits
+//! rewritten bytes.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod compression;
+pub mod filter;
+pub mod header_proxy;
+pub mod ids;
+pub mod sniff;
+
+pub use cache::WebCache;
+pub use compression::{CompressionProxy, DecompressingClient};
+pub use filter::ParentalFilter;
+pub use header_proxy::HeaderInsertionProxy;
+pub use ids::IntrusionDetector;

@@ -1,0 +1,190 @@
+//! Seeded fault injection for links.
+//!
+//! Mirrors the fault options smoltcp's examples expose (drop chance,
+//! corrupt chance, rate limiting), adapted to a reliable-stream world:
+//! a dropped or checksum-corrupted segment is *recovered* by the
+//! transport (we model TCP), so its effect is added retransmission
+//! delay rather than data loss. Undetected corruption — the case TLS
+//! record MACs exist for — is delivered only through the adversary
+//! API, never by random faults.
+
+use mbtls_crypto::rng::CryptoRng;
+
+use crate::time::Duration;
+
+/// Fault configuration for one link direction.
+#[derive(Debug, Clone)]
+pub struct FaultConfig {
+    /// Probability a segment is dropped (then retransmitted).
+    pub drop_chance: f64,
+    /// Probability a segment is corrupted in a checksum-detectable
+    /// way (then retransmitted).
+    pub corrupt_chance: f64,
+    /// Retransmission timeout charged per recovered segment.
+    pub rto: Duration,
+    /// Maximum consecutive retransmissions before the connection is
+    /// declared dead.
+    pub max_retries: u32,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            drop_chance: 0.0,
+            corrupt_chance: 0.0,
+            rto: Duration::from_millis(200),
+            max_retries: 8,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A lossless link.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A lossy link with the given drop probability.
+    pub fn lossy(drop_chance: f64) -> Self {
+        FaultConfig {
+            drop_chance,
+            ..Self::default()
+        }
+    }
+}
+
+/// Outcome of pushing one segment through the fault model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultOutcome {
+    /// Extra delay accumulated by retransmissions.
+    pub extra_delay: Duration,
+    /// Number of retransmissions that occurred.
+    pub retries: u32,
+    /// True if the segment exceeded `max_retries` (connection dead).
+    pub gave_up: bool,
+}
+
+/// Stateful per-link fault injector.
+pub struct FaultInjector {
+    config: FaultConfig,
+    rng: CryptoRng,
+    /// Total segments pushed through the injector.
+    pub segments: u64,
+    /// Segments dropped at least once.
+    pub dropped: u64,
+    /// Segments corrupted (checksum-detected) at least once.
+    pub corrupted: u64,
+}
+
+impl FaultInjector {
+    /// Build from config and a forked RNG.
+    pub fn new(config: FaultConfig, rng: CryptoRng) -> Self {
+        FaultInjector {
+            config,
+            rng,
+            segments: 0,
+            dropped: 0,
+            corrupted: 0,
+        }
+    }
+
+    /// Run one segment through the loss model. Each attempt may be
+    /// dropped or corrupted; every failed attempt costs one RTO.
+    pub fn apply(&mut self) -> FaultOutcome {
+        self.segments += 1;
+        let mut retries = 0u32;
+        loop {
+            let roll = self.rng.gen_f64();
+            if roll < self.config.drop_chance {
+                self.dropped += 1;
+            } else if roll < self.config.drop_chance + self.config.corrupt_chance {
+                self.corrupted += 1;
+            } else {
+                return FaultOutcome {
+                    extra_delay: self.config.rto.times(u64::from(retries)),
+                    retries,
+                    gave_up: false,
+                };
+            }
+            retries += 1;
+            if retries > self.config.max_retries {
+                return FaultOutcome {
+                    extra_delay: self.config.rto.times(u64::from(retries)),
+                    retries,
+                    gave_up: true,
+                };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossless_link_never_delays() {
+        let mut inj = FaultInjector::new(FaultConfig::none(), CryptoRng::from_seed(1));
+        for _ in 0..1000 {
+            let out = inj.apply();
+            assert_eq!(out.extra_delay, Duration::ZERO);
+            assert_eq!(out.retries, 0);
+            assert!(!out.gave_up);
+        }
+        assert_eq!(inj.dropped, 0);
+    }
+
+    #[test]
+    fn lossy_link_retries_and_recovers() {
+        let mut inj = FaultInjector::new(FaultConfig::lossy(0.15), CryptoRng::from_seed(2));
+        let mut any_retry = false;
+        for _ in 0..1000 {
+            let out = inj.apply();
+            if out.retries > 0 {
+                any_retry = true;
+                assert_eq!(out.extra_delay, Duration::from_millis(200).times(u64::from(out.retries)));
+            }
+        }
+        assert!(any_retry);
+        assert!(inj.dropped > 50, "expected ~15% drops, got {}", inj.dropped);
+        assert!(inj.dropped < 400);
+    }
+
+    #[test]
+    fn hopeless_link_gives_up() {
+        let cfg = FaultConfig {
+            drop_chance: 1.0,
+            max_retries: 3,
+            ..FaultConfig::default()
+        };
+        let mut inj = FaultInjector::new(cfg, CryptoRng::from_seed(3));
+        let out = inj.apply();
+        assert!(out.gave_up);
+        assert_eq!(out.retries, 4);
+    }
+
+    #[test]
+    fn corruption_counted_separately() {
+        let cfg = FaultConfig {
+            drop_chance: 0.0,
+            corrupt_chance: 0.3,
+            ..FaultConfig::default()
+        };
+        let mut inj = FaultInjector::new(cfg, CryptoRng::from_seed(4));
+        for _ in 0..500 {
+            inj.apply();
+        }
+        assert!(inj.corrupted > 50);
+        assert_eq!(inj.dropped, 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut inj = FaultInjector::new(FaultConfig::lossy(0.2), CryptoRng::from_seed(seed));
+            (0..100).map(|_| inj.apply().retries).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

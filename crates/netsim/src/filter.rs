@@ -1,0 +1,307 @@
+//! TLS-aware on-path filter models for the Table 2 handshake-viability
+//! experiment.
+//!
+//! The paper asks whether real-world firewalls, traffic normalizers,
+//! and IDSes drop mbTLS handshakes, which carry a new TLS extension
+//! (MiddleboxSupport) and new record content types (Encapsulated = 30,
+//! KeyMaterial = 31, MiddleboxAnnouncement = 32). The finding was that
+//! none of 241 networks blocked them — deployed filters either don't
+//! inspect TLS past the ClientHello or tolerate unknown record types,
+//! as the TLS spec requires endpoints (and therefore well-behaved
+//! normalizers) to.
+//!
+//! This module models the filter behaviours that exist in practice so
+//! the experiment exercises the same compatibility surface:
+//!
+//! * [`FilterPolicy::PortOnly`] — L4 firewall; never looks inside.
+//! * [`FilterPolicy::TlsHeaderSanity`] — checks the record layer is
+//!   structurally valid TLS (version plausibility, length bounds) but
+//!   passes unknown content types.
+//! * [`FilterPolicy::ClientHelloInspect`] — parses the ClientHello
+//!   (SNI-filter style), ignoring unknown extensions per RFC 5246.
+//! * [`FilterPolicy::StrictContentTypes`] — a hypothetical normalizer
+//!   that drops unknown content types. *Not observed in the paper's
+//!   measurements*; included so tests can show what over-strict
+//!   filtering would do.
+
+/// Filter verdict for a chunk of stream data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterAction {
+    /// Forward the bytes.
+    Pass,
+    /// Kill the connection.
+    Drop,
+}
+
+/// Filter behaviour class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FilterPolicy {
+    /// Layer-4 only: allow 443, never inspect payloads.
+    PortOnly,
+    /// Validate TLS record headers; tolerate unknown content types.
+    TlsHeaderSanity,
+    /// Parse the ClientHello, skipping unknown extensions.
+    ClientHelloInspect,
+    /// Drop records whose content type is not a legacy TLS type
+    /// (20..=23). Hypothetical worst case.
+    StrictContentTypes,
+}
+
+/// Maximum TLS record payload (2^14 plus AEAD expansion allowance,
+/// per RFC 5246 §6.2.3).
+const MAX_RECORD_LEN: usize = (1 << 14) + 2048;
+
+/// A stateful stream filter: feed it the bytes flowing in one
+/// direction; it reassembles TLS records and applies its policy.
+pub struct TlsStreamFilter {
+    policy: FilterPolicy,
+    buf: Vec<u8>,
+    /// Records inspected so far.
+    pub records_seen: u64,
+    /// True once the filter decided to kill the connection.
+    pub dropped: bool,
+    /// True after the first ClientHello was parsed (for
+    /// `ClientHelloInspect`, later records are passed through).
+    saw_client_hello: bool,
+}
+
+impl TlsStreamFilter {
+    /// New filter with the given policy.
+    pub fn new(policy: FilterPolicy) -> Self {
+        TlsStreamFilter {
+            policy,
+            buf: Vec::new(),
+            records_seen: 0,
+            dropped: false,
+            saw_client_hello: false,
+        }
+    }
+
+    /// The policy this filter applies.
+    pub fn policy(&self) -> FilterPolicy {
+        self.policy
+    }
+
+    /// Inspect the next bytes in the stream. Returns the action for
+    /// this chunk; once `Drop` is returned the filter stays dropped.
+    pub fn inspect(&mut self, data: &[u8]) -> FilterAction {
+        if self.dropped {
+            return FilterAction::Drop;
+        }
+        if self.policy == FilterPolicy::PortOnly {
+            return FilterAction::Pass;
+        }
+        self.buf.extend_from_slice(data);
+        while self.buf.len() >= 5 {
+            let content_type = self.buf[0];
+            let version_major = self.buf[1];
+            let length = usize::from(u16::from_be_bytes([self.buf[3], self.buf[4]]));
+            // Structural sanity applied by every inspecting policy.
+            if version_major != 3 || length > MAX_RECORD_LEN {
+                self.dropped = true;
+                return FilterAction::Drop;
+            }
+            if self.buf.len() < 5 + length {
+                break; // incomplete record; wait for more bytes
+            }
+            self.records_seen += 1;
+            let payload: Vec<u8> = self.buf[5..5 + length].to_vec();
+            self.buf.drain(..5 + length);
+
+            match self.policy {
+                FilterPolicy::PortOnly => unreachable!("handled above"),
+                FilterPolicy::TlsHeaderSanity => {
+                    // Unknown content types tolerated (RFC-required
+                    // behaviour for conservative normalizers).
+                }
+                FilterPolicy::ClientHelloInspect => {
+                    if !self.saw_client_hello && content_type == 22 {
+                        if !client_hello_parses(&payload) {
+                            self.dropped = true;
+                            return FilterAction::Drop;
+                        }
+                        self.saw_client_hello = true;
+                    }
+                }
+                FilterPolicy::StrictContentTypes => {
+                    if !(20..=23).contains(&content_type) {
+                        self.dropped = true;
+                        return FilterAction::Drop;
+                    }
+                }
+            }
+        }
+        FilterAction::Pass
+    }
+}
+
+/// Minimal ClientHello structural parse: handshake type 1, internally
+/// consistent lengths, extensions block walkable (unknown extension
+/// types are fine). Models SNI-extracting middleboxes.
+fn client_hello_parses(payload: &[u8]) -> bool {
+    // Handshake header: type(1) + length(3).
+    if payload.len() < 4 || payload[0] != 1 {
+        // Not a ClientHello: a conservative filter passes it.
+        return true;
+    }
+    let hs_len = usize::from(payload[1]) << 16 | usize::from(payload[2]) << 8 | usize::from(payload[3]);
+    if payload.len() < 4 + hs_len {
+        // Spans records; real SNI filters give up and pass.
+        return true;
+    }
+    let body = &payload[4..4 + hs_len];
+    // client_version(2) random(32) session_id(1+n).
+    if body.len() < 35 {
+        return false;
+    }
+    let mut at = 34;
+    let sid_len = usize::from(body[at]);
+    at += 1 + sid_len;
+    // cipher_suites(2+n).
+    if body.len() < at + 2 {
+        return false;
+    }
+    let cs_len = usize::from(u16::from_be_bytes([body[at], body[at + 1]]));
+    at += 2 + cs_len;
+    // compression(1+n).
+    if body.len() < at + 1 {
+        return false;
+    }
+    let comp_len = usize::from(body[at]);
+    at += 1 + comp_len;
+    if body.len() == at {
+        return true; // no extensions
+    }
+    // extensions(2+n), each: type(2) len(2) data.
+    if body.len() < at + 2 {
+        return false;
+    }
+    let ext_total = usize::from(u16::from_be_bytes([body[at], body[at + 1]]));
+    at += 2;
+    if body.len() != at + ext_total {
+        return false;
+    }
+    let mut walked = 0usize;
+    while walked < ext_total {
+        if ext_total - walked < 4 {
+            return false;
+        }
+        let elen = usize::from(u16::from_be_bytes([body[at + walked + 2], body[at + walked + 3]]));
+        walked += 4 + elen;
+    }
+    walked == ext_total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build a TLS record with the given content type.
+    fn record(ct: u8, payload: &[u8]) -> Vec<u8> {
+        let mut r = vec![ct, 3, 3];
+        r.extend_from_slice(&(payload.len() as u16).to_be_bytes());
+        r.extend_from_slice(payload);
+        r
+    }
+
+    /// A structurally valid minimal ClientHello with one unknown
+    /// extension (mimicking MiddleboxSupport).
+    fn client_hello_with_unknown_extension() -> Vec<u8> {
+        let mut body = vec![3u8, 3];
+        body.extend_from_slice(&[0u8; 32]); // random
+        body.push(0); // empty session id
+        body.extend_from_slice(&[0, 2, 0x13, 0x01]); // one cipher suite
+        body.extend_from_slice(&[1, 0]); // null compression
+        // extensions: one unknown type 0xff77 with 3 bytes.
+        body.extend_from_slice(&[0, 7, 0xff, 0x77, 0, 3, 9, 9, 9]);
+        let mut hs = vec![1u8];
+        hs.push(0);
+        hs.extend_from_slice(&(body.len() as u16).to_be_bytes());
+        hs.extend_from_slice(&body);
+        record(22, &hs)
+    }
+
+    #[test]
+    fn port_only_passes_anything() {
+        let mut f = TlsStreamFilter::new(FilterPolicy::PortOnly);
+        assert_eq!(f.inspect(b"complete garbage, not TLS at all"), FilterAction::Pass);
+    }
+
+    #[test]
+    fn header_sanity_passes_new_content_types() {
+        let mut f = TlsStreamFilter::new(FilterPolicy::TlsHeaderSanity);
+        // mbTLS record types: 30 (Encapsulated), 31, 32.
+        for ct in [30u8, 31, 32] {
+            assert_eq!(f.inspect(&record(ct, b"payload")), FilterAction::Pass, "ct {ct}");
+        }
+        assert_eq!(f.records_seen, 3);
+    }
+
+    #[test]
+    fn header_sanity_drops_non_tls() {
+        let mut f = TlsStreamFilter::new(FilterPolicy::TlsHeaderSanity);
+        // Version byte wrong.
+        assert_eq!(f.inspect(&[22, 9, 9, 0, 1, 0]), FilterAction::Drop);
+        assert!(f.dropped);
+    }
+
+    #[test]
+    fn header_sanity_drops_oversized_records() {
+        let mut f = TlsStreamFilter::new(FilterPolicy::TlsHeaderSanity);
+        let mut bad = vec![23u8, 3, 3];
+        bad.extend_from_slice(&0xFFFFu16.to_be_bytes());
+        assert_eq!(f.inspect(&bad), FilterAction::Drop);
+    }
+
+    #[test]
+    fn client_hello_inspect_tolerates_unknown_extensions() {
+        let mut f = TlsStreamFilter::new(FilterPolicy::ClientHelloInspect);
+        assert_eq!(
+            f.inspect(&client_hello_with_unknown_extension()),
+            FilterAction::Pass
+        );
+        // Later mbTLS records also pass.
+        assert_eq!(f.inspect(&record(30, b"encapsulated")), FilterAction::Pass);
+    }
+
+    #[test]
+    fn client_hello_inspect_drops_malformed_hello() {
+        let mut f = TlsStreamFilter::new(FilterPolicy::ClientHelloInspect);
+        // Claims extensions length beyond the body.
+        let mut body = vec![3u8, 3];
+        body.extend_from_slice(&[0u8; 32]);
+        body.push(0);
+        body.extend_from_slice(&[0, 2, 0x13, 0x01]);
+        body.extend_from_slice(&[1, 0]);
+        body.extend_from_slice(&[0, 99]); // bogus extensions length
+        let mut hs = vec![1u8, 0];
+        hs.extend_from_slice(&(body.len() as u16).to_be_bytes());
+        hs.extend_from_slice(&body);
+        assert_eq!(f.inspect(&record(22, &hs)), FilterAction::Drop);
+    }
+
+    #[test]
+    fn strict_filter_would_block_mbtls() {
+        let mut f = TlsStreamFilter::new(FilterPolicy::StrictContentTypes);
+        assert_eq!(f.inspect(&record(22, b"hello")), FilterAction::Pass);
+        assert_eq!(f.inspect(&record(30, b"encapsulated")), FilterAction::Drop);
+    }
+
+    #[test]
+    fn partial_records_buffered_across_chunks() {
+        let mut f = TlsStreamFilter::new(FilterPolicy::TlsHeaderSanity);
+        let rec = record(22, &[0u8; 100]);
+        assert_eq!(f.inspect(&rec[..3]), FilterAction::Pass);
+        assert_eq!(f.records_seen, 0);
+        assert_eq!(f.inspect(&rec[3..50]), FilterAction::Pass);
+        assert_eq!(f.inspect(&rec[50..]), FilterAction::Pass);
+        assert_eq!(f.records_seen, 1);
+    }
+
+    #[test]
+    fn drop_is_sticky() {
+        let mut f = TlsStreamFilter::new(FilterPolicy::StrictContentTypes);
+        assert_eq!(f.inspect(&record(30, b"x")), FilterAction::Drop);
+        assert_eq!(f.inspect(&record(23, b"fine")), FilterAction::Drop);
+    }
+}

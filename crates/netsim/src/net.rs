@@ -1,0 +1,571 @@
+//! Nodes, links, and reliable stream connections.
+//!
+//! The simulator owns all connection state in arenas; experiment code
+//! holds plain `Copy` handles ([`NodeId`], [`ConnId`]) and moves bytes
+//! with [`Network::send`] / [`Network::recv`]. Virtual time advances
+//! explicitly via [`Network::advance_to`] or by asking for the next
+//! interesting instant with [`Network::next_event_time`], so driver
+//! loops are simple deterministic fixpoints.
+//!
+//! Adversary capabilities from the paper's threat model (§3.1) are
+//! first-class: any connection can be tapped (observe every chunk),
+//! injected into, tampered with, or cut — the Table 1 attacks are
+//! built from these hooks.
+
+use std::collections::VecDeque;
+
+use mbtls_crypto::rng::CryptoRng;
+
+use crate::fault::{FaultConfig, FaultInjector};
+use crate::time::{Duration, SimTime};
+
+/// Handle to a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(pub usize);
+
+/// Handle to a bidirectional stream connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConnId(pub usize);
+
+/// Which direction of a connection, from the perspective of the node
+/// that initiated it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    /// Initiator → acceptor.
+    AtoB,
+    /// Acceptor → initiator.
+    BtoA,
+}
+
+/// One in-flight chunk of stream data.
+#[derive(Debug, Clone)]
+struct Chunk {
+    deliver_at: SimTime,
+    data: Vec<u8>,
+}
+
+/// One-shot in-flight mutation registered by the adversary API.
+type TamperFn = Box<dyn FnOnce(&mut Vec<u8>) + Send>;
+
+/// One direction of a connection: a latency/bandwidth pipe with
+/// in-order delivery, fault-induced delays, and adversary hooks.
+struct Pipe {
+    latency: Duration,
+    /// Bytes per virtual second; `None` = unlimited.
+    bandwidth_bps: Option<u64>,
+    /// Earliest time the next chunk may be scheduled to finish
+    /// serializing (models link occupancy).
+    next_free: SimTime,
+    in_flight: VecDeque<Chunk>,
+    delivered: Vec<u8>,
+    faults: FaultInjector,
+    /// Copies of every chunk, if tapped.
+    tap: Option<Vec<(SimTime, Vec<u8>)>>,
+    /// One-shot tamper functions applied to the next written chunk.
+    tamper_queue: VecDeque<TamperFn>,
+    /// Total payload bytes written.
+    bytes_written: u64,
+    closed: bool,
+}
+
+impl Pipe {
+    fn new(latency: Duration, bandwidth_bps: Option<u64>, faults: FaultInjector) -> Self {
+        Pipe {
+            latency,
+            bandwidth_bps,
+            next_free: SimTime::ZERO,
+            in_flight: VecDeque::new(),
+            delivered: Vec::new(),
+            faults,
+            tap: None,
+            tamper_queue: VecDeque::new(),
+            bytes_written: 0,
+            closed: false,
+        }
+    }
+
+    fn write(&mut self, now: SimTime, mut data: Vec<u8>, earliest: SimTime) -> Result<(), NetError> {
+        if self.closed {
+            return Err(NetError::ConnectionClosed);
+        }
+        if data.is_empty() {
+            return Ok(());
+        }
+        if let Some(tamper) = self.tamper_queue.pop_front() {
+            tamper(&mut data);
+        }
+        self.bytes_written += data.len() as u64;
+        if let Some(tap) = &mut self.tap {
+            tap.push((now, data.clone()));
+        }
+        // Fault model: per-MSS segment delays accumulate.
+        let mut fault_delay = Duration::ZERO;
+        let nsegs = data.len().div_ceil(1460).max(1);
+        for _ in 0..nsegs {
+            let outcome = self.faults.apply();
+            fault_delay = fault_delay.plus(outcome.extra_delay);
+            if outcome.gave_up {
+                self.closed = true;
+                return Err(NetError::ConnectionReset);
+            }
+        }
+        let start = now.max(self.next_free).max(earliest);
+        let serialize = match self.bandwidth_bps {
+            Some(bps) => Duration((data.len() as u64 * 1_000_000_000).div_ceil(bps)),
+            None => Duration::ZERO,
+        };
+        let departed = start.plus(serialize);
+        self.next_free = departed;
+        let deliver_at = departed.plus(self.latency).plus(fault_delay);
+        // In-order delivery: never before the previous chunk.
+        let deliver_at = match self.in_flight.back() {
+            Some(prev) => deliver_at.max(prev.deliver_at),
+            None => deliver_at,
+        };
+        self.in_flight.push_back(Chunk { deliver_at, data });
+        Ok(())
+    }
+
+    /// Move everything due by `now` into the delivered buffer.
+    fn poll(&mut self, now: SimTime) {
+        while let Some(front) = self.in_flight.front() {
+            if front.deliver_at <= now {
+                let chunk = self.in_flight.pop_front().unwrap();
+                self.delivered.extend_from_slice(&chunk.data);
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn next_event(&self) -> Option<SimTime> {
+        self.in_flight.front().map(|c| c.deliver_at)
+    }
+}
+
+/// A bidirectional connection between two nodes.
+struct Conn {
+    a: NodeId,
+    b: NodeId,
+    a_to_b: Pipe,
+    b_to_a: Pipe,
+    /// When the transport handshake completes and data may flow.
+    established_at: SimTime,
+}
+
+/// Errors surfaced to endpoint drivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetError {
+    /// The connection was closed by a filter, adversary, or fault
+    /// collapse.
+    ConnectionReset,
+    /// Write on a closed connection.
+    ConnectionClosed,
+    /// Unknown handle.
+    BadHandle,
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            NetError::ConnectionReset => "connection reset",
+            NetError::ConnectionClosed => "connection closed",
+            NetError::BadHandle => "bad handle",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// A node: a name plus bookkeeping (nodes are pure endpoints; all
+/// state machines live in the experiment code).
+struct Node {
+    name: String,
+}
+
+/// The simulator.
+pub struct Network {
+    nodes: Vec<Node>,
+    conns: Vec<Conn>,
+    now: SimTime,
+    rng: CryptoRng,
+    /// Default one-way latency used when none is specified.
+    pub default_latency: Duration,
+}
+
+impl Network {
+    /// Fresh network with a seed for fault randomness.
+    pub fn new(seed: u64) -> Self {
+        Network {
+            nodes: Vec::new(),
+            conns: Vec::new(),
+            now: SimTime::ZERO,
+            rng: CryptoRng::from_seed(seed),
+            default_latency: Duration::from_micros(50),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Add a node.
+    pub fn add_node(&mut self, name: &str) -> NodeId {
+        self.nodes.push(Node {
+            name: name.to_string(),
+        });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// A node's name.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.nodes[id.0].name
+    }
+
+    /// Open a connection with explicit parameters. Data written
+    /// before the TCP-style handshake completes is queued and departs
+    /// at establishment (one RTT after `connect`).
+    pub fn connect_with(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        latency: Duration,
+        bandwidth_bps: Option<u64>,
+        faults: FaultConfig,
+    ) -> ConnId {
+        let fi_ab = FaultInjector::new(faults.clone(), self.rng.fork());
+        let fi_ba = FaultInjector::new(faults, self.rng.fork());
+        // TCP 3WHS: SYN (latency) + SYN-ACK (latency); the initiator
+        // may send data with the final ACK, so the first byte can
+        // depart one RTT after connect.
+        let established_at = self.now.plus(latency.times(2));
+        self.conns.push(Conn {
+            a,
+            b,
+            a_to_b: Pipe::new(latency, bandwidth_bps, fi_ab),
+            b_to_a: Pipe::new(latency, bandwidth_bps, fi_ba),
+            established_at,
+        });
+        ConnId(self.conns.len() - 1)
+    }
+
+    /// Open a connection with default latency, unlimited bandwidth,
+    /// and no faults.
+    pub fn connect(&mut self, a: NodeId, b: NodeId) -> ConnId {
+        self.connect_with(a, b, self.default_latency, None, FaultConfig::none())
+    }
+
+    fn pipe_mut(&mut self, conn: ConnId, dir: Dir) -> Result<&mut Pipe, NetError> {
+        let conn = self.conns.get_mut(conn.0).ok_or(NetError::BadHandle)?;
+        Ok(match dir {
+            Dir::AtoB => &mut conn.a_to_b,
+            Dir::BtoA => &mut conn.b_to_a,
+        })
+    }
+
+    /// Send bytes from `from`'s side of the connection.
+    pub fn send(&mut self, conn: ConnId, from: NodeId, data: &[u8]) -> Result<(), NetError> {
+        self.send_with_delay(conn, from, data, Duration::ZERO)
+    }
+
+    /// Send bytes whose departure is additionally delayed by
+    /// `compute` — models sender-side processing time (e.g. middlebox
+    /// handshake computation) without a separate CPU scheduler.
+    pub fn send_with_delay(
+        &mut self,
+        conn: ConnId,
+        from: NodeId,
+        data: &[u8],
+        compute: Duration,
+    ) -> Result<(), NetError> {
+        let now = self.now;
+        let c = self.conns.get(conn.0).ok_or(NetError::BadHandle)?;
+        let dir = if from == c.a {
+            Dir::AtoB
+        } else if from == c.b {
+            Dir::BtoA
+        } else {
+            return Err(NetError::BadHandle);
+        };
+        let earliest = c.established_at.max(now.plus(compute));
+        self.pipe_mut(conn, dir)?.write(now, data.to_vec(), earliest)
+    }
+
+    /// Receive all bytes available to `to` on this connection at the
+    /// current time.
+    pub fn recv(&mut self, conn: ConnId, to: NodeId) -> Result<Vec<u8>, NetError> {
+        let now = self.now;
+        let c = self.conns.get(conn.0).ok_or(NetError::BadHandle)?;
+        let dir = if to == c.b {
+            Dir::AtoB
+        } else if to == c.a {
+            Dir::BtoA
+        } else {
+            return Err(NetError::BadHandle);
+        };
+        let closed_check = {
+            let pipe = self.pipe_mut(conn, dir)?;
+            pipe.poll(now);
+            let data = std::mem::take(&mut pipe.delivered);
+            if data.is_empty() && pipe.closed {
+                Err(NetError::ConnectionReset)
+            } else {
+                Ok(data)
+            }
+        };
+        closed_check
+    }
+
+    /// The earliest future instant at which any in-flight data becomes
+    /// deliverable, or `None` if the network is quiescent.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        let mut best: Option<SimTime> = None;
+        for conn in &self.conns {
+            for pipe in [&conn.a_to_b, &conn.b_to_a] {
+                if let Some(t) = pipe.next_event() {
+                    let t = t.max(self.now);
+                    best = Some(match best {
+                        Some(b) => b.min(t),
+                        None => t,
+                    });
+                }
+            }
+        }
+        best
+    }
+
+    /// Advance virtual time (never backwards).
+    pub fn advance_to(&mut self, t: SimTime) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
+    /// Advance by a span.
+    pub fn advance_by(&mut self, d: Duration) {
+        self.now = self.now.plus(d);
+    }
+
+    // ----- adversary / measurement hooks (threat model §3.1) -----
+
+    /// Start recording every chunk on one direction.
+    pub fn tap(&mut self, conn: ConnId, dir: Dir) {
+        if let Ok(pipe) = self.pipe_mut(conn, dir) {
+            if pipe.tap.is_none() {
+                pipe.tap = Some(Vec::new());
+            }
+        }
+    }
+
+    /// Read the tap (copies of chunks with their send timestamps).
+    pub fn tap_contents(&mut self, conn: ConnId, dir: Dir) -> Vec<(SimTime, Vec<u8>)> {
+        match self.pipe_mut(conn, dir) {
+            Ok(pipe) => pipe.tap.clone().unwrap_or_default(),
+            Err(_) => Vec::new(),
+        }
+    }
+
+    /// Inject raw bytes into the stream toward the receiver of `dir`
+    /// (the adversary writes into the TCP stream).
+    pub fn inject(&mut self, conn: ConnId, dir: Dir, data: &[u8]) -> Result<(), NetError> {
+        let now = self.now;
+        let c = self.conns.get(conn.0).ok_or(NetError::BadHandle)?;
+        let earliest = c.established_at;
+        self.pipe_mut(conn, dir)?.write(now, data.to_vec(), earliest)
+    }
+
+    /// Register a one-shot tamper applied to the next chunk written
+    /// in `dir` (the adversary flips bits in flight).
+    pub fn tamper_next(
+        &mut self,
+        conn: ConnId,
+        dir: Dir,
+        f: impl FnOnce(&mut Vec<u8>) + Send + 'static,
+    ) {
+        if let Ok(pipe) = self.pipe_mut(conn, dir) {
+            pipe.tamper_queue.push_back(Box::new(f));
+        }
+    }
+
+    /// Cut a connection (both directions).
+    pub fn reset(&mut self, conn: ConnId) {
+        if let Some(c) = self.conns.get_mut(conn.0) {
+            c.a_to_b.closed = true;
+            c.b_to_a.closed = true;
+        }
+    }
+
+    /// Total payload bytes written in `dir` (for meter-style checks).
+    pub fn bytes_written(&mut self, conn: ConnId, dir: Dir) -> u64 {
+        self.pipe_mut(conn, dir).map(|p| p.bytes_written).unwrap_or(0)
+    }
+
+    /// The two endpoints of a connection (initiator, acceptor).
+    pub fn conn_endpoints(&self, conn: ConnId) -> Option<(NodeId, NodeId)> {
+        self.conns.get(conn.0).map(|c| (c.a, c.b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> (Network, NodeId, NodeId) {
+        let mut n = Network::new(42);
+        let a = n.add_node("client");
+        let b = n.add_node("server");
+        (n, a, b)
+    }
+
+    #[test]
+    fn bytes_flow_after_latency() {
+        let (mut n, a, b) = net();
+        let conn = n.connect_with(a, b, Duration::from_millis(10), None, FaultConfig::none());
+        n.send(conn, a, b"hello").unwrap();
+        // Not yet: handshake (20ms) + latency (10ms) = 30ms.
+        n.advance_to(SimTime(29_000_000));
+        assert!(n.recv(conn, b).unwrap().is_empty());
+        n.advance_to(SimTime(30_000_000));
+        assert_eq!(n.recv(conn, b).unwrap(), b"hello");
+        // Reading again yields nothing.
+        assert!(n.recv(conn, b).unwrap().is_empty());
+    }
+
+    #[test]
+    fn in_order_delivery_across_writes() {
+        let (mut n, a, b) = net();
+        let conn = n.connect(a, b);
+        n.send(conn, a, b"first ").unwrap();
+        n.send(conn, a, b"second").unwrap();
+        n.advance_to(SimTime(1_000_000_000));
+        assert_eq!(n.recv(conn, b).unwrap(), b"first second");
+    }
+
+    #[test]
+    fn duplex_is_independent() {
+        let (mut n, a, b) = net();
+        let conn = n.connect(a, b);
+        n.send(conn, a, b"ping").unwrap();
+        n.send(conn, b, b"pong").unwrap();
+        n.advance_to(SimTime(1_000_000_000));
+        assert_eq!(n.recv(conn, b).unwrap(), b"ping");
+        assert_eq!(n.recv(conn, a).unwrap(), b"pong");
+    }
+
+    #[test]
+    fn bandwidth_serialization_delays_large_writes() {
+        let (mut n, a, b) = net();
+        // 8 Mbit/s = 1e6 bytes/s; 1 MB takes 1 virtual second.
+        let conn = n.connect_with(
+            a,
+            b,
+            Duration::from_millis(1),
+            Some(1_000_000),
+            FaultConfig::none(),
+        );
+        n.send(conn, a, &vec![0u8; 1_000_000]).unwrap();
+        n.advance_to(SimTime(500_000_000));
+        assert!(n.recv(conn, b).unwrap().is_empty(), "payload should still be serializing");
+        n.advance_to(SimTime(1_100_000_000));
+        assert_eq!(n.recv(conn, b).unwrap().len(), 1_000_000);
+    }
+
+    #[test]
+    fn next_event_time_tracks_earliest_delivery() {
+        let (mut n, a, b) = net();
+        let conn = n.connect_with(a, b, Duration::from_millis(5), None, FaultConfig::none());
+        assert_eq!(n.next_event_time(), None);
+        n.send(conn, a, b"x").unwrap();
+        // established at 10ms + 5ms latency = 15ms.
+        assert_eq!(n.next_event_time(), Some(SimTime(15_000_000)));
+    }
+
+    #[test]
+    fn tap_records_chunks() {
+        let (mut n, a, b) = net();
+        let conn = n.connect(a, b);
+        n.tap(conn, Dir::AtoB);
+        n.send(conn, a, b"secret-on-the-wire").unwrap();
+        let tapped = n.tap_contents(conn, Dir::AtoB);
+        assert_eq!(tapped.len(), 1);
+        assert_eq!(tapped[0].1, b"secret-on-the-wire");
+    }
+
+    #[test]
+    fn inject_appends_to_stream() {
+        let (mut n, a, b) = net();
+        let conn = n.connect(a, b);
+        n.send(conn, a, b"legit|").unwrap();
+        n.inject(conn, Dir::AtoB, b"EVIL").unwrap();
+        n.advance_to(SimTime(1_000_000_000));
+        assert_eq!(n.recv(conn, b).unwrap(), b"legit|EVIL");
+    }
+
+    #[test]
+    fn tamper_modifies_next_chunk_only() {
+        let (mut n, a, b) = net();
+        let conn = n.connect(a, b);
+        n.tamper_next(conn, Dir::AtoB, |data| data[0] ^= 0xFF);
+        n.send(conn, a, &[0x00, 0x01]).unwrap();
+        n.send(conn, a, &[0x02]).unwrap();
+        n.advance_to(SimTime(1_000_000_000));
+        assert_eq!(n.recv(conn, b).unwrap(), vec![0xFF, 0x01, 0x02]);
+    }
+
+    #[test]
+    fn reset_surfaces_as_connection_reset() {
+        let (mut n, a, b) = net();
+        let conn = n.connect(a, b);
+        n.reset(conn);
+        assert_eq!(n.send(conn, a, b"x"), Err(NetError::ConnectionClosed));
+        assert_eq!(n.recv(conn, b), Err(NetError::ConnectionReset));
+    }
+
+    #[test]
+    fn reset_delivers_pending_bytes_first() {
+        let (mut n, a, b) = net();
+        let conn = n.connect(a, b);
+        n.send(conn, a, b"last words").unwrap();
+        n.reset(conn);
+        n.advance_to(SimTime(1_000_000_000));
+        assert_eq!(n.recv(conn, b).unwrap(), b"last words");
+        assert_eq!(n.recv(conn, b), Err(NetError::ConnectionReset));
+    }
+
+    #[test]
+    fn faulty_link_adds_delay_but_preserves_data() {
+        let mut n = Network::new(7);
+        let a = n.add_node("a");
+        let b = n.add_node("b");
+        let conn = n.connect_with(
+            a,
+            b,
+            Duration::from_millis(1),
+            None,
+            FaultConfig::lossy(0.5),
+        );
+        let payload: Vec<u8> = (0..200_000).map(|i| (i % 256) as u8).collect();
+        n.send(conn, a, &payload).unwrap();
+        n.advance_to(SimTime(3_600_000_000_000)); // 1 virtual hour
+        assert_eq!(n.recv(conn, b).unwrap(), payload);
+    }
+
+    #[test]
+    fn wrong_node_handles_rejected() {
+        let (mut n, a, b) = net();
+        let c = n.add_node("outsider");
+        let conn = n.connect(a, b);
+        assert_eq!(n.send(conn, c, b"x"), Err(NetError::BadHandle));
+        assert_eq!(n.recv(conn, c), Err(NetError::BadHandle));
+        assert_eq!(n.send(ConnId(99), a, b"x"), Err(NetError::BadHandle));
+    }
+
+    #[test]
+    fn node_names_kept() {
+        let (n, a, b) = net();
+        assert_eq!(n.node_name(a), "client");
+        assert_eq!(n.node_name(b), "server");
+    }
+}

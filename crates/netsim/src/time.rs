@@ -1,0 +1,97 @@
+//! Virtual time: nanosecond-resolution instants and durations.
+
+/// A point in virtual time, nanoseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of virtual time in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(pub u64);
+
+impl SimTime {
+    /// Simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Instant plus span.
+    pub fn plus(self, d: Duration) -> SimTime {
+        SimTime(self.0 + d.0)
+    }
+
+    /// Span since `earlier`. Saturates at zero.
+    pub fn since(self, earlier: SimTime) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// As floating-point milliseconds (for reports).
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+}
+
+impl Duration {
+    /// Zero-length span.
+    pub const ZERO: Duration = Duration(0);
+
+    /// From nanoseconds.
+    pub fn from_nanos(ns: u64) -> Duration {
+        Duration(ns)
+    }
+
+    /// From microseconds.
+    pub fn from_micros(us: u64) -> Duration {
+        Duration(us * 1_000)
+    }
+
+    /// From milliseconds.
+    pub fn from_millis(ms: u64) -> Duration {
+        Duration(ms * 1_000_000)
+    }
+
+    /// From seconds.
+    pub fn from_secs(s: u64) -> Duration {
+        Duration(s * 1_000_000_000)
+    }
+
+    /// As floating-point milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Sum of spans.
+    pub fn plus(self, other: Duration) -> Duration {
+        Duration(self.0 + other.0)
+    }
+
+    /// Scale by an integer factor.
+    pub fn times(self, k: u64) -> Duration {
+        Duration(self.0 * k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::ZERO.plus(Duration::from_millis(5));
+        assert_eq!(t.0, 5_000_000);
+        assert_eq!(t.since(SimTime::ZERO), Duration::from_millis(5));
+        assert_eq!(SimTime::ZERO.since(t), Duration::ZERO);
+        assert_eq!(Duration::from_micros(3).plus(Duration::from_nanos(2)).0, 3_002);
+        assert_eq!(Duration::from_millis(2).times(3), Duration::from_millis(6));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Duration::from_secs(1).0, 1_000_000_000);
+        assert!((SimTime(1_500_000).as_millis_f64() - 1.5).abs() < 1e-9);
+        assert!((Duration::from_millis(250).as_millis_f64() - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime(1) < SimTime(2));
+        assert!(Duration::from_millis(1) < Duration::from_secs(1));
+    }
+}

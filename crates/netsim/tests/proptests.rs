@@ -1,0 +1,104 @@
+//! Property-based tests over the network simulator's delivery
+//! guarantees.
+
+use mbtls_netsim::net::{Dir, Network};
+use mbtls_netsim::time::{Duration, SimTime};
+use mbtls_netsim::FaultConfig;
+use proptest::prelude::*;
+
+proptest! {
+    /// In-order, loss-transparent delivery: any schedule of writes is
+    /// received as exactly the concatenation of the writes, in order,
+    /// regardless of loss rate and latency.
+    #[test]
+    fn stream_delivery_is_exact(seed in any::<u64>(),
+                                latency_ms in 0u64..50,
+                                drop in 0.0f64..0.5,
+                                writes in proptest::collection::vec(
+                                    proptest::collection::vec(any::<u8>(), 0..2000), 1..10)) {
+        let mut net = Network::new(seed);
+        let a = net.add_node("a");
+        let b = net.add_node("b");
+        let conn = net.connect_with(
+            a,
+            b,
+            Duration::from_millis(latency_ms),
+            None,
+            FaultConfig::lossy(drop),
+        );
+        let mut expected = Vec::new();
+        for w in &writes {
+            net.send(conn, a, w).unwrap();
+            expected.extend_from_slice(w);
+        }
+        // A virtual day absorbs any number of retransmission delays.
+        net.advance_to(SimTime(86_400_000_000_000));
+        prop_assert_eq!(net.recv(conn, b).unwrap(), expected);
+    }
+
+    /// Duplex independence: traffic in one direction never appears in
+    /// the other.
+    #[test]
+    fn duplex_isolation(seed in any::<u64>(),
+                        fwd in proptest::collection::vec(any::<u8>(), 1..500),
+                        rev in proptest::collection::vec(any::<u8>(), 1..500)) {
+        let mut net = Network::new(seed);
+        let a = net.add_node("a");
+        let b = net.add_node("b");
+        let conn = net.connect(a, b);
+        net.send(conn, a, &fwd).unwrap();
+        net.send(conn, b, &rev).unwrap();
+        net.advance_to(SimTime(10_000_000_000));
+        prop_assert_eq!(net.recv(conn, b).unwrap(), fwd);
+        prop_assert_eq!(net.recv(conn, a).unwrap(), rev);
+    }
+
+    /// Taps are faithful: the tap records exactly the bytes written,
+    /// and tapping never perturbs delivery.
+    #[test]
+    fn taps_are_passive_and_exact(seed in any::<u64>(),
+                                  writes in proptest::collection::vec(
+                                      proptest::collection::vec(any::<u8>(), 1..300), 1..6)) {
+        let mut net = Network::new(seed);
+        let a = net.add_node("a");
+        let b = net.add_node("b");
+        let conn = net.connect(a, b);
+        net.tap(conn, Dir::AtoB);
+        let mut expected = Vec::new();
+        for w in &writes {
+            net.send(conn, a, w).unwrap();
+            expected.extend_from_slice(w);
+        }
+        net.advance_to(SimTime(10_000_000_000));
+        prop_assert_eq!(net.recv(conn, b).unwrap(), expected.clone());
+        let tapped: Vec<u8> = net
+            .tap_contents(conn, Dir::AtoB)
+            .into_iter()
+            .flat_map(|(_, d)| d)
+            .collect();
+        prop_assert_eq!(tapped, expected);
+    }
+
+    /// next_event_time never runs backwards and always lands at or
+    /// after `now`.
+    #[test]
+    fn event_times_monotone(seed in any::<u64>(),
+                            latency_ms in 1u64..100,
+                            n_writes in 1usize..8) {
+        let mut net = Network::new(seed);
+        let a = net.add_node("a");
+        let b = net.add_node("b");
+        let conn = net.connect_with(a, b, Duration::from_millis(latency_ms), None, FaultConfig::none());
+        for i in 0..n_writes {
+            net.send(conn, a, &[i as u8]).unwrap();
+        }
+        let mut prev = SimTime::ZERO;
+        while let Some(t) = net.next_event_time() {
+            prop_assert!(t >= prev);
+            prop_assert!(t >= net.now());
+            net.advance_to(t);
+            let _ = net.recv(conn, b).unwrap();
+            prev = t;
+        }
+    }
+}

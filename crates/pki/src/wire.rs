@@ -1,0 +1,214 @@
+//! Tiny length-prefixed wire codec used by the certificate format.
+//!
+//! All integers are big-endian; variable-length fields carry a u16
+//! length prefix. Decoding is strict: trailing bytes, truncated
+//! fields, and oversized lengths are errors — certificates cross trust
+//! boundaries, so the parser must be total.
+
+/// Errors from decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before the field did.
+    Truncated,
+    /// Bytes remained after the outermost structure.
+    TrailingBytes,
+    /// A field violated a structural bound (e.g. string too long).
+    Malformed,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated input"),
+            WireError::TrailingBytes => write!(f, "trailing bytes after structure"),
+            WireError::Malformed => write!(f, "malformed field"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Append-only encoder.
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Fresh empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finish, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Write a single byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Write a big-endian u16.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Write a big-endian u32.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Write a big-endian u64.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Write raw bytes with no length prefix.
+    pub fn raw(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Write a u16-length-prefixed byte string. Panics if longer than
+    /// 65535 bytes (a static encoding-size bug, not input-dependent).
+    pub fn bytes16(&mut self, v: &[u8]) {
+        assert!(v.len() <= u16::MAX as usize, "field too long for u16 prefix");
+        self.u16(v.len() as u16);
+        self.raw(v);
+    }
+
+    /// Write a u16-length-prefixed UTF-8 string.
+    pub fn string(&mut self, s: &str) {
+        self.bytes16(s.as_bytes());
+    }
+}
+
+/// Strict, cursor-based decoder.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wrap a byte slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Error unless all input was consumed.
+    pub fn expect_end(&self) -> Result<(), WireError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes)
+        }
+    }
+
+    /// Take `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Read a byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a big-endian u16.
+    pub fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Read a big-endian u32.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a big-endian u64.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a u16-length-prefixed byte string.
+    pub fn bytes16(&mut self) -> Result<&'a [u8], WireError> {
+        let len = self.u16()? as usize;
+        self.take(len)
+    }
+
+    /// Read a u16-length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String, WireError> {
+        let raw = self.bytes16()?;
+        String::from_utf8(raw.to_vec()).map_err(|_| WireError::Malformed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_types() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u16(0x1234);
+        w.u32(0xdeadbeef);
+        w.u64(0x0123456789abcdef);
+        w.bytes16(b"hello");
+        w.string("world");
+        let bytes = w.into_bytes();
+
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 0x1234);
+        assert_eq!(r.u32().unwrap(), 0xdeadbeef);
+        assert_eq!(r.u64().unwrap(), 0x0123456789abcdef);
+        assert_eq!(r.bytes16().unwrap(), b"hello");
+        assert_eq!(r.string().unwrap(), "world");
+        assert!(r.expect_end().is_ok());
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut w = Writer::new();
+        w.bytes16(b"abc");
+        let mut bytes = w.into_bytes();
+        bytes.pop();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.bytes16(), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut r = Reader::new(&[1, 2]);
+        r.u8().unwrap();
+        assert_eq!(r.expect_end(), Err(WireError::TrailingBytes));
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut w = Writer::new();
+        w.bytes16(&[0xff, 0xfe]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.string(), Err(WireError::Malformed));
+    }
+
+    #[test]
+    fn empty_read_fails_cleanly() {
+        let mut r = Reader::new(&[]);
+        assert_eq!(r.u8(), Err(WireError::Truncated));
+        assert_eq!(r.u64(), Err(WireError::Truncated));
+        assert!(r.expect_end().is_ok());
+    }
+}

@@ -1,0 +1,335 @@
+//! Enclaves: isolated state containers with measurement, quoting, and
+//! sealing.
+//!
+//! An [`Enclave<S>`] owns state `S` whose only access path is the
+//! ECALL closure interface — the simulation's analogue of "only code
+//! linked into the enclave touches enclave memory". The host-visible
+//! page image is ciphertext produced under a per-platform memory
+//! encryption key; [`crate::memory::HostInspector`] sees nothing else.
+
+use crate::attest::{PlatformAttestationKey, Quote, REPORT_DATA_LEN};
+use crate::measurement::{CodeIdentity, Measurement};
+use crate::memory::MachineMemory;
+use mbtls_crypto::gcm::AesGcm;
+use mbtls_crypto::kdf::hkdf;
+use mbtls_crypto::rng::CryptoRng;
+use mbtls_crypto::sha2::Sha256;
+
+/// Errors from seal/unseal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SealError {
+    /// Sealed blob failed authentication (wrong platform, wrong
+    /// enclave, or tampered blob).
+    BadBlob,
+}
+
+impl std::fmt::Display for SealError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sealed blob authentication failed")
+    }
+}
+
+impl std::error::Error for SealError {}
+
+/// State that can live inside an enclave must describe its in-memory
+/// image so the simulator can maintain the host-visible (encrypted)
+/// page snapshot.
+pub trait EnclaveState {
+    /// Serialize the sensitive in-memory representation. The bytes
+    /// are never shown to the host in the clear — they are what gets
+    /// memory-encrypted.
+    fn snapshot_bytes(&self) -> Vec<u8>;
+}
+
+impl EnclaveState for Vec<u8> {
+    fn snapshot_bytes(&self) -> Vec<u8> {
+        self.clone()
+    }
+}
+
+/// One SGX-capable machine: its attestation key, its memory
+/// encryption key, its sealing secret, and its RAM map.
+pub struct Platform {
+    attestation: PlatformAttestationKey,
+    /// Key the (simulated) memory encryption engine uses.
+    mee_key: [u8; 32],
+    /// Root of the sealing-key derivation.
+    sealing_secret: [u8; 32],
+    /// The machine's RAM.
+    pub memory: MachineMemory,
+    enclave_counter: u64,
+}
+
+impl Platform {
+    /// Boot a platform with a provisioned attestation key.
+    pub fn new(attestation: PlatformAttestationKey, rng: &mut CryptoRng) -> Self {
+        Platform {
+            attestation,
+            mee_key: rng.gen_array(),
+            sealing_secret: rng.gen_array(),
+            memory: MachineMemory::new(),
+            enclave_counter: 0,
+        }
+    }
+
+    /// The platform id (public).
+    pub fn platform_id(&self) -> u64 {
+        self.attestation.platform_id
+    }
+}
+
+/// An enclave instance holding state `S`.
+pub struct Enclave<S: EnclaveState> {
+    measurement: Measurement,
+    region_name: String,
+    state: S,
+    /// Nonce counter for the memory-encryption engine.
+    mee_nonce: u64,
+}
+
+impl<S: EnclaveState> Enclave<S> {
+    /// `ECREATE`+`EINIT`: measure `code` and place `initial_state`
+    /// into protected memory on `platform`.
+    pub fn create(platform: &mut Platform, code: &CodeIdentity, initial_state: S) -> Self {
+        platform.enclave_counter += 1;
+        let region_name = format!("enclave-{}", platform.enclave_counter);
+        let mut enclave = Enclave {
+            measurement: code.measure(),
+            region_name,
+            state: initial_state,
+            mee_nonce: 0,
+        };
+        enclave.sync_page_image(platform);
+        enclave
+    }
+
+    /// The enclave's measurement (public — anyone can measure the
+    /// binary).
+    pub fn measurement(&self) -> Measurement {
+        self.measurement
+    }
+
+    /// ECALL: run enclave code against the protected state. After the
+    /// call returns, the host-visible page image is refreshed (the
+    /// MEE re-encrypts dirty cache lines as they spill to DRAM).
+    ///
+    /// Panics if the host tampered with the protected region — real
+    /// SGX raises a machine check on integrity failure, which is
+    /// similarly unrecoverable for the enclave.
+    pub fn ecall<R>(
+        &mut self,
+        platform: &mut Platform,
+        f: impl FnOnce(&mut S) -> R,
+    ) -> R {
+        if let Some((_, tampered)) = platform.memory.protected_image(&self.region_name) {
+            assert!(
+                !tampered,
+                "enclave memory integrity check failed (host tampering detected)"
+            );
+        }
+        let out = f(&mut self.state);
+        self.sync_page_image(platform);
+        out
+    }
+
+    /// Read-only ECALL variant.
+    pub fn ecall_ref<R>(&self, platform: &Platform, f: impl FnOnce(&S) -> R) -> R {
+        if let Some((_, tampered)) = platform.memory.protected_image(&self.region_name) {
+            assert!(
+                !tampered,
+                "enclave memory integrity check failed (host tampering detected)"
+            );
+        }
+        f(&self.state)
+    }
+
+    /// Produce a remote-attestation quote binding `report_data`.
+    pub fn quote(&self, platform: &Platform, report_data: [u8; REPORT_DATA_LEN]) -> Quote {
+        platform.attestation.quote(self.measurement, report_data)
+    }
+
+    /// Seal `data` so only this enclave identity on this platform can
+    /// recover it.
+    pub fn seal(&self, platform: &Platform, data: &[u8]) -> Vec<u8> {
+        let key = self.sealing_key(platform);
+        let gcm = AesGcm::new(&key).expect("32-byte key");
+        // Deterministic sealing nonce derived from content would risk
+        // nonce reuse; use a random nonce carried in the blob.
+        // The sealing key is per-(platform, enclave) so a fixed
+        // prefix + counter would also work; we use the snapshot hash
+        // for entropy-free determinism plus a length guard.
+        let mut nonce = [0u8; 12];
+        let digest = Sha256::digest(data);
+        nonce.copy_from_slice(&digest[..12]);
+        let mut blob = nonce.to_vec();
+        blob.extend_from_slice(&gcm.seal(&nonce, b"sgx-seal", data).expect("seal"));
+        blob
+    }
+
+    /// Recover sealed data.
+    pub fn unseal(&self, platform: &Platform, blob: &[u8]) -> Result<Vec<u8>, SealError> {
+        if blob.len() < 12 {
+            return Err(SealError::BadBlob);
+        }
+        let key = self.sealing_key(platform);
+        let gcm = AesGcm::new(&key).expect("32-byte key");
+        let nonce: [u8; 12] = blob[..12].try_into().unwrap();
+        gcm.open(&nonce, b"sgx-seal", &blob[12..])
+            .map_err(|_| SealError::BadBlob)
+    }
+
+    fn sealing_key(&self, platform: &Platform) -> [u8; 32] {
+        let okm = hkdf::<Sha256>(
+            &platform.sealing_secret,
+            &self.measurement.0,
+            b"sgx-sealing-key",
+            32,
+        );
+        okm.try_into().unwrap()
+    }
+
+    /// Re-encrypt the state snapshot into the host-visible region.
+    fn sync_page_image(&mut self, platform: &mut Platform) {
+        let snapshot = self.state.snapshot_bytes();
+        let gcm = AesGcm::new(&platform.mee_key).expect("32-byte key");
+        self.mee_nonce += 1;
+        let mut nonce = [0u8; 12];
+        nonce[4..].copy_from_slice(&self.mee_nonce.to_be_bytes());
+        let image = gcm
+            .seal(&nonce, self.region_name.as_bytes(), &snapshot)
+            .expect("seal");
+        platform.memory.write_protected(&self.region_name, image);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attest::AttestationService;
+    use crate::memory::HostInspector;
+
+    fn setup() -> (Platform, CryptoRng, AttestationService) {
+        let mut rng = CryptoRng::from_seed(0xE9C1);
+        let mut svc = AttestationService::new(&mut rng);
+        let pak = svc.provision_platform(&mut rng);
+        let platform = Platform::new(pak, &mut rng);
+        (platform, rng, svc)
+    }
+
+    #[test]
+    fn state_is_not_host_visible() {
+        let (mut platform, _, _) = setup();
+        let code = CodeIdentity::new("proxy", "1.0", b"");
+        let secret = b"HOP-KEY-0123456789abcdef".to_vec();
+        let _enclave = Enclave::create(&mut platform, &code, secret.clone());
+        let insp = HostInspector::new(&mut platform.memory);
+        assert!(insp.scan_for(&secret).is_empty(), "enclave state leaked to host memory");
+    }
+
+    #[test]
+    fn unprotected_state_is_host_visible() {
+        let (mut platform, _, _) = setup();
+        // A non-enclave middlebox keeps its keys in ordinary memory.
+        platform
+            .memory
+            .write_unprotected("mbox-heap", b"HOP-KEY-0123456789abcdef".to_vec());
+        let insp = HostInspector::new(&mut platform.memory);
+        assert_eq!(insp.scan_for(b"HOP-KEY"), vec!["mbox-heap".to_string()]);
+    }
+
+    #[test]
+    fn ecall_updates_and_reencrypts() {
+        let (mut platform, _, _) = setup();
+        let code = CodeIdentity::new("counter", "1.0", b"");
+        let mut enclave = Enclave::create(&mut platform, &code, vec![0u8]);
+        let before = {
+            let insp = HostInspector::new(&mut platform.memory);
+            insp.read_region("enclave-1").unwrap()
+        };
+        let result = enclave.ecall(&mut platform, |state| {
+            state[0] += 1;
+            state[0]
+        });
+        assert_eq!(result, 1);
+        let after = {
+            let insp = HostInspector::new(&mut platform.memory);
+            insp.read_region("enclave-1").unwrap()
+        };
+        // Image changed (fresh nonce) but still reveals nothing.
+        assert_ne!(before, after);
+    }
+
+    #[test]
+    #[should_panic(expected = "integrity check failed")]
+    fn tampering_with_enclave_memory_is_fatal() {
+        let (mut platform, _, _) = setup();
+        let code = CodeIdentity::new("proxy", "1.0", b"");
+        let mut enclave = Enclave::create(&mut platform, &code, vec![1, 2, 3]);
+        {
+            let mut insp = HostInspector::new(&mut platform.memory);
+            insp.tamper("enclave-1", 0, 0xFF);
+        }
+        enclave.ecall(&mut platform, |_| ());
+    }
+
+    #[test]
+    fn quote_reflects_code_identity() {
+        let (mut platform, _, svc) = setup();
+        let good_code = CodeIdentity::new("proxy", "1.0", b"");
+        let evil_code = CodeIdentity::new("proxy-evil", "1.0", b"");
+        let good = Enclave::create(&mut platform, &good_code, vec![]);
+        let evil = Enclave::create(&mut platform, &evil_code, vec![]);
+        let report = [5u8; 64];
+        let expected = [good_code.measure()];
+        assert!(good
+            .quote(&platform, report)
+            .verify(&svc.root_verifying_key(), &expected, &report)
+            .is_ok());
+        assert!(evil
+            .quote(&platform, report)
+            .verify(&svc.root_verifying_key(), &expected, &report)
+            .is_err());
+    }
+
+    #[test]
+    fn seal_unseal_roundtrip() {
+        let (mut platform, _, _) = setup();
+        let code = CodeIdentity::new("proxy", "1.0", b"");
+        let enclave = Enclave::create(&mut platform, &code, vec![]);
+        let blob = enclave.seal(&platform, b"session ticket keys");
+        assert_eq!(enclave.unseal(&platform, &blob).unwrap(), b"session ticket keys");
+    }
+
+    #[test]
+    fn seal_is_enclave_specific() {
+        let (mut platform, _, _) = setup();
+        let a = Enclave::create(&mut platform, &CodeIdentity::new("a", "1", b""), vec![]);
+        let b = Enclave::create(&mut platform, &CodeIdentity::new("b", "1", b""), vec![]);
+        let blob = a.seal(&platform, b"secret");
+        assert_eq!(b.unseal(&platform, &blob), Err(SealError::BadBlob));
+        assert!(a.unseal(&platform, &blob).is_ok());
+    }
+
+    #[test]
+    fn seal_is_platform_specific() {
+        let (mut p1, mut rng, mut svc) = setup();
+        let pak2 = svc.provision_platform(&mut rng);
+        let mut p2 = Platform::new(pak2, &mut rng);
+        let code = CodeIdentity::new("proxy", "1.0", b"");
+        let e1 = Enclave::create(&mut p1, &code, vec![]);
+        let e2 = Enclave::create(&mut p2, &code, vec![]);
+        let blob = e1.seal(&p1, b"secret");
+        assert_eq!(e2.unseal(&p2, &blob), Err(SealError::BadBlob));
+    }
+
+    #[test]
+    fn tampered_sealed_blob_rejected() {
+        let (mut platform, _, _) = setup();
+        let enclave = Enclave::create(&mut platform, &CodeIdentity::new("a", "1", b""), vec![]);
+        let mut blob = enclave.seal(&platform, b"data");
+        let last = blob.len() - 1;
+        blob[last] ^= 1;
+        assert_eq!(enclave.unseal(&platform, &blob), Err(SealError::BadBlob));
+        assert_eq!(enclave.unseal(&platform, &[1, 2, 3]), Err(SealError::BadBlob));
+    }
+}

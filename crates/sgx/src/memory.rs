@@ -1,0 +1,170 @@
+//! The host-memory model: what a malicious infrastructure provider
+//! (MIP) can see and touch.
+//!
+//! A machine's RAM is a set of named regions. Unprotected regions hold
+//! plaintext the MIP can scan and overwrite at will. Protected
+//! (enclave) regions expose only their encrypted image: reads return
+//! ciphertext and writes are detected by the integrity check on the
+//! next enclave access — matching SGX's memory-encryption-engine
+//! guarantees at the level of abstraction mbTLS's analysis needs
+//! (paper §3.1 adversary capabilities).
+
+use std::collections::BTreeMap;
+
+/// A region of host RAM.
+pub(crate) enum Region {
+    /// Ordinary memory: plaintext visible to everything on the host.
+    Unprotected(Vec<u8>),
+    /// Enclave page image: ciphertext + integrity tag; the plaintext
+    /// never appears here.
+    Protected { image: Vec<u8>, tampered: bool },
+}
+
+/// All RAM on one simulated machine.
+#[derive(Default)]
+pub struct MachineMemory {
+    pub(crate) regions: BTreeMap<String, Region>,
+}
+
+impl MachineMemory {
+    /// Fresh empty memory map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate/overwrite an unprotected region (ordinary application
+    /// memory, I/O buffers, a non-enclave middlebox's heap, ...).
+    pub fn write_unprotected(&mut self, name: &str, data: Vec<u8>) {
+        self.regions
+            .insert(name.to_string(), Region::Unprotected(data));
+    }
+
+    pub(crate) fn write_protected(&mut self, name: &str, image: Vec<u8>) {
+        self.regions.insert(
+            name.to_string(),
+            Region::Protected {
+                image,
+                tampered: false,
+            },
+        );
+    }
+
+    pub(crate) fn protected_image(&self, name: &str) -> Option<(&[u8], bool)> {
+        match self.regions.get(name) {
+            Some(Region::Protected { image, tampered }) => Some((image, *tampered)),
+            _ => None,
+        }
+    }
+}
+
+/// The MIP's hands: full access to host RAM.
+pub struct HostInspector<'a> {
+    memory: &'a mut MachineMemory,
+}
+
+impl<'a> HostInspector<'a> {
+    /// Attach to a machine's memory.
+    pub fn new(memory: &'a mut MachineMemory) -> Self {
+        HostInspector { memory }
+    }
+
+    /// Scan every host-visible byte for `needle`. For protected
+    /// regions, the visible bytes are the encrypted image — so secrets
+    /// inside an enclave are not findable (unless the enclave leaked
+    /// them into an unprotected buffer).
+    pub fn scan_for(&self, needle: &[u8]) -> Vec<String> {
+        if needle.is_empty() {
+            return Vec::new();
+        }
+        let mut hits = Vec::new();
+        for (name, region) in &self.memory.regions {
+            let visible: &[u8] = match region {
+                Region::Unprotected(data) => data,
+                Region::Protected { image, .. } => image,
+            };
+            if visible
+                .windows(needle.len())
+                .any(|w| w == needle)
+            {
+                hits.push(name.clone());
+            }
+        }
+        hits
+    }
+
+    /// Dump a region's host-visible bytes.
+    pub fn read_region(&self, name: &str) -> Option<Vec<u8>> {
+        self.memory.regions.get(name).map(|r| match r {
+            Region::Unprotected(data) => data.clone(),
+            Region::Protected { image, .. } => image.clone(),
+        })
+    }
+
+    /// Overwrite bytes anywhere. Writes to protected regions corrupt
+    /// the image; the enclave's integrity check trips on next access.
+    pub fn tamper(&mut self, name: &str, offset: usize, value: u8) -> bool {
+        match self.memory.regions.get_mut(name) {
+            Some(Region::Unprotected(data)) if offset < data.len() => {
+                data[offset] = value;
+                true
+            }
+            Some(Region::Protected { image, tampered }) if offset < image.len() => {
+                image[offset] = value;
+                *tampered = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Names of all regions.
+    pub fn region_names(&self) -> Vec<String> {
+        self.memory.regions.keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_finds_unprotected_secrets() {
+        let mut mem = MachineMemory::new();
+        mem.write_unprotected("heap", b"xxSECRETKEYxx".to_vec());
+        let mut binding = mem;
+        let insp = HostInspector::new(&mut binding);
+        assert_eq!(insp.scan_for(b"SECRETKEY"), vec!["heap".to_string()]);
+        assert!(insp.scan_for(b"MISSING").is_empty());
+    }
+
+    #[test]
+    fn scan_does_not_find_protected_plaintext() {
+        let mut mem = MachineMemory::new();
+        // The enclave wrote only ciphertext here (simulated).
+        mem.write_protected("enclave", vec![0xAA; 64]);
+        let mut binding = mem;
+        let insp = HostInspector::new(&mut binding);
+        assert!(insp.scan_for(b"SECRETKEY").is_empty());
+    }
+
+    #[test]
+    fn tamper_marks_protected_regions() {
+        let mut mem = MachineMemory::new();
+        mem.write_protected("enclave", vec![0u8; 16]);
+        {
+            let mut insp = HostInspector::new(&mut mem);
+            assert!(insp.tamper("enclave", 3, 0xFF));
+            assert!(!insp.tamper("enclave", 999, 0xFF));
+        }
+        let (_, tampered) = mem.protected_image("enclave").unwrap();
+        assert!(tampered);
+    }
+
+    #[test]
+    fn empty_needle_matches_nothing() {
+        let mut mem = MachineMemory::new();
+        mem.write_unprotected("r", b"abc".to_vec());
+        let insp = HostInspector::new(&mut mem);
+        assert!(insp.scan_for(b"").is_empty());
+    }
+}

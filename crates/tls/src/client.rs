@@ -1,0 +1,764 @@
+//! The TLS 1.2 client state machine (sans-IO).
+
+use std::sync::Arc;
+
+use mbtls_crypto::dh::{DhPublic, DhSecret};
+use mbtls_crypto::rng::CryptoRng;
+use mbtls_crypto::x25519;
+use mbtls_crypto::{ct, CryptoError};
+use mbtls_pki::cert::Certificate;
+use mbtls_sgx::Quote;
+
+use crate::alert::{Alert, AlertDescription, AlertLevel};
+use crate::config::ClientConfig;
+use crate::keyschedule::{self, strip_leading_zeros};
+use crate::messages::{
+    choose_suite, extension_type, frame_handshake, handshake_type, ClientHello,
+    ClientKeyExchange, Extension, HandshakeReader, NewSessionTicket, ServerHello,
+    ServerKeyExchange, ServerKeyExchangeParams, SgxAttestationMsg,
+};
+use crate::record::{ContentType, DirectionState, RecordReader, frame_plaintext, fragment};
+use crate::session::{ConnectionSecrets, ResumptionData, SessionKeys};
+use crate::suites::{CipherSuite, KeyExchange};
+use crate::transcript::Transcript;
+use crate::TlsError;
+
+/// Client handshake phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// ClientHello queued; waiting for ServerHello.
+    AwaitServerHello,
+    /// Full handshake: collecting the server's first flight.
+    AwaitServerFlight,
+    /// Full handshake: flight sent, waiting for server CCS+Finished.
+    AwaitServerFinished,
+    /// Abbreviated handshake: waiting for server CCS+Finished first.
+    AwaitServerFinishedResumed,
+    /// Handshake complete.
+    Established,
+    /// Fatal error occurred.
+    Failed,
+}
+
+/// A sans-IO TLS 1.2 client connection.
+pub struct ClientConnection {
+    config: Arc<ClientConfig>,
+    server_name: String,
+    phase: Phase,
+
+    record_reader: RecordReader,
+    hs_reader: HandshakeReader,
+    out: Vec<u8>,
+
+    transcript: Transcript,
+    hello: ClientHello,
+    client_random: [u8; 32],
+    server_random: [u8; 32],
+
+    suite: Option<CipherSuite>,
+    secrets: Option<ConnectionSecrets>,
+
+    peer_change_cipher_seen: bool,
+    read_cipher: Option<DirectionState>,
+    write_cipher: Option<DirectionState>,
+
+    peer_extensions: Vec<Extension>,
+    peer_chain: Vec<Certificate>,
+    peer_quote: Option<Quote>,
+    server_flight: ServerFlight,
+
+    new_ticket: Option<NewSessionTicket>,
+    /// Session id the server assigned in a full handshake.
+    assigned_session_id: Vec<u8>,
+    offered_resumption: Option<ResumptionData>,
+    /// Set after ServerHello when the server *might* be resuming;
+    /// resolved by the next message (Certificate vs ticket/CCS).
+    pending_resumption: Option<ResumptionData>,
+    resumed: bool,
+    false_started: bool,
+
+    nonstandard_in: Vec<(u8, Vec<u8>)>,
+    plaintext_in: Vec<u8>,
+    error: Option<TlsError>,
+    closed_by_peer: bool,
+}
+
+/// Accumulates the server's first flight until ServerHelloDone.
+#[derive(Default)]
+struct ServerFlight {
+    server_hello: Option<ServerHello>,
+    certificate_chain: Option<Vec<Certificate>>,
+    key_exchange: Option<ServerKeyExchange>,
+    attestation: Option<SgxAttestationMsg>,
+    /// Transcript bytes up to and including ServerKeyExchange — the
+    /// state the attestation quote must bind (paper §3.4).
+    attestation_binding: Option<[u8; 64]>,
+}
+
+impl ClientConnection {
+    /// Start a connection to `server_name`; the ClientHello is queued
+    /// for sending immediately.
+    pub fn new(config: Arc<ClientConfig>, server_name: &str, rng: &mut CryptoRng) -> Self {
+        let hello = Self::build_hello(&config, server_name, rng);
+        Self::with_hello(config, server_name, hello, true)
+    }
+
+    /// Start a connection that *reuses* an existing ClientHello (the
+    /// mbTLS secondary-handshake trick: the primary ClientHello serves
+    /// double duty, so the secondary connection must treat those exact
+    /// bytes as its first message without re-sending them).
+    pub fn with_reused_hello(
+        config: Arc<ClientConfig>,
+        server_name: &str,
+        hello: ClientHello,
+    ) -> Self {
+        Self::with_hello(config, server_name, hello, false)
+    }
+
+    fn with_hello(
+        config: Arc<ClientConfig>,
+        server_name: &str,
+        hello: ClientHello,
+        send: bool,
+    ) -> Self {
+        let client_random = hello.random;
+        let offered_resumption = config.resumption_cache.get(server_name).cloned();
+        let frame = frame_handshake(handshake_type::CLIENT_HELLO, &hello.encode_body());
+        let mut transcript = Transcript::new();
+        transcript.add(&frame);
+        let mut out = Vec::new();
+        if send {
+            out.extend_from_slice(&frame_plaintext(ContentType::Handshake, &frame));
+        }
+        ClientConnection {
+            config,
+            server_name: server_name.to_string(),
+            phase: Phase::AwaitServerHello,
+            record_reader: RecordReader::new(),
+            hs_reader: HandshakeReader::new(),
+            out,
+            transcript,
+            hello,
+            client_random,
+            server_random: [0; 32],
+            suite: None,
+            secrets: None,
+            peer_change_cipher_seen: false,
+            read_cipher: None,
+            write_cipher: None,
+            peer_extensions: Vec::new(),
+            peer_chain: Vec::new(),
+            peer_quote: None,
+            server_flight: ServerFlight::default(),
+            new_ticket: None,
+            assigned_session_id: Vec::new(),
+            offered_resumption,
+            pending_resumption: None,
+            resumed: false,
+            false_started: false,
+            nonstandard_in: Vec::new(),
+            plaintext_in: Vec::new(),
+            error: None,
+            closed_by_peer: false,
+        }
+    }
+
+    /// Build the ClientHello this config would send to `server_name`.
+    /// Public so mbTLS can construct it once and share it between the
+    /// primary and secondary connections.
+    pub fn build_hello(
+        config: &ClientConfig,
+        server_name: &str,
+        rng: &mut CryptoRng,
+    ) -> ClientHello {
+        let mut extensions = config.extra_extensions.clone();
+        let cached = config.resumption_cache.get(server_name);
+        if config.enable_tickets {
+            let ticket_bytes = cached
+                .and_then(|r| r.ticket.clone())
+                .unwrap_or_default();
+            extensions.push(Extension {
+                typ: extension_type::SESSION_TICKET,
+                data: ticket_bytes,
+            });
+        }
+        if config.attestation_policy.is_some() {
+            extensions.push(Extension {
+                typ: extension_type::ATTESTATION_REQUEST,
+                data: vec![1],
+            });
+        }
+        let session_id = cached.map(|r| r.session_id.clone()).unwrap_or_default();
+        ClientHello {
+            random: rng.gen_array(),
+            session_id,
+            cipher_suites: config.suites.iter().map(|s| s.id()).collect(),
+            extensions,
+        }
+    }
+
+    /// The ClientHello this connection sent (mbTLS shares it with
+    /// secondary connections).
+    pub fn hello(&self) -> &ClientHello {
+        &self.hello
+    }
+
+    /// Bytes queued for the wire; call after every feed/send.
+    pub fn take_outgoing(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.out)
+    }
+
+    /// True once the handshake completed.
+    pub fn is_established(&self) -> bool {
+        self.phase == Phase::Established
+    }
+
+    /// True if the connection failed fatally.
+    pub fn is_failed(&self) -> bool {
+        self.phase == Phase::Failed
+    }
+
+    /// The error that failed the connection, if any.
+    pub fn error(&self) -> Option<&TlsError> {
+        self.error.as_ref()
+    }
+
+    /// Did this handshake resume a cached session?
+    pub fn resumed(&self) -> bool {
+        self.resumed
+    }
+
+    /// Extensions the server echoed in its ServerHello.
+    pub fn peer_extensions(&self) -> &[Extension] {
+        &self.peer_extensions
+    }
+
+    /// The server's certificate chain (empty until received).
+    pub fn peer_certificates(&self) -> &[Certificate] {
+        &self.peer_chain
+    }
+
+    /// The verified attestation quote, if the server attested.
+    pub fn peer_quote(&self) -> Option<&Quote> {
+        self.peer_quote.as_ref()
+    }
+
+    /// Ticket issued this session (store for resumption).
+    pub fn issued_ticket(&self) -> Option<&NewSessionTicket> {
+        self.new_ticket.as_ref()
+    }
+
+    /// Resumption data to cache for the next connection to this
+    /// server (available once established).
+    pub fn resumption_data(&self) -> Option<ResumptionData> {
+        let secrets = self.secrets.as_ref()?;
+        if !self.is_established() {
+            return None;
+        }
+        Some(ResumptionData {
+            suite: secrets.suite,
+            master_secret: secrets.master_secret.clone(),
+            ticket: self.new_ticket.as_ref().map(|t| t.ticket.clone()),
+            session_id: self.assigned_session_id.clone(),
+        })
+    }
+
+    /// The negotiated secrets (available once the key exchange is
+    /// done; mbTLS uses this to derive per-hop key material).
+    pub fn secrets(&self) -> Option<&ConnectionSecrets> {
+        self.secrets.as_ref()
+    }
+
+    /// Export the session keys and current sequence numbers — what an
+    /// mbTLS endpoint hands to its middleboxes for the bridge hop.
+    pub fn export_session_keys(&self) -> Option<SessionKeys> {
+        let secrets = self.secrets.as_ref()?;
+        let c2s = self.write_cipher.as_ref()?.seq();
+        let s2c = self.read_cipher.as_ref()?.seq();
+        Some(SessionKeys::from_secrets(secrets, c2s, s2c))
+    }
+
+    /// Queue application data (fragmenting as needed). Requires an
+    /// established session, or — with False Start enabled — a sent
+    /// client Finished.
+    pub fn send_data(&mut self, data: &[u8]) -> Result<(), TlsError> {
+        let can_send = self.is_established()
+            || (self.config.enable_false_start
+                && matches!(self.phase, Phase::AwaitServerFinished)
+                && self.write_cipher.is_some());
+        if !can_send {
+            return Err(TlsError::HandshakeNotDone);
+        }
+        if !self.is_established() {
+            self.false_started = true;
+        }
+        for frag in fragment(data) {
+            let cipher = self.write_cipher.as_mut().expect("cipher active");
+            let rec = cipher.seal_record(ContentType::ApplicationData, frag)?;
+            self.out.extend_from_slice(&rec);
+        }
+        Ok(())
+    }
+
+    /// Received application data.
+    pub fn take_plaintext(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.plaintext_in)
+    }
+
+    /// Records with non-standard content types received (mbTLS
+    /// subchannel records land here).
+    pub fn take_nonstandard_records(&mut self) -> Vec<(u8, Vec<u8>)> {
+        std::mem::take(&mut self.nonstandard_in)
+    }
+
+    /// Send a raw plaintext-framed record of the given content type
+    /// (mbTLS Encapsulated / KeyMaterial records).
+    pub fn send_raw_record(&mut self, content_type: ContentType, payload: &[u8]) {
+        self.out
+            .extend_from_slice(&frame_plaintext(content_type, payload));
+    }
+
+    /// True if the peer sent close_notify.
+    pub fn peer_closed(&self) -> bool {
+        self.closed_by_peer
+    }
+
+    /// Feed bytes from the wire; processes as many records as
+    /// possible. On error the connection moves to Failed and a fatal
+    /// alert is queued.
+    pub fn feed_incoming(&mut self, data: &[u8], rng: &mut CryptoRng) -> Result<(), TlsError> {
+        if self.phase == Phase::Failed {
+            return Err(self.error.clone().unwrap_or(TlsError::Closed));
+        }
+        self.record_reader.feed(data);
+        loop {
+            match self.record_reader.next_record() {
+                Ok(Some(record)) => {
+                    if let Err(e) = self.process_record(record.content_type_byte, record.body, rng)
+                    {
+                        self.fail(e.clone());
+                        return Err(e);
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    self.fail(e.clone());
+                    return Err(e);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn fail(&mut self, e: TlsError) {
+        if self.phase != Phase::Failed {
+            let alert = Alert::for_error(&e);
+            self.out
+                .extend_from_slice(&frame_plaintext(ContentType::Alert, &alert.encode()));
+            self.phase = Phase::Failed;
+            self.error = Some(e);
+        }
+    }
+
+    fn process_record(
+        &mut self,
+        ct_byte: u8,
+        body: Vec<u8>,
+        rng: &mut CryptoRng,
+    ) -> Result<(), TlsError> {
+        let Some(content_type) = ContentType::from_u8(ct_byte) else {
+            // Unknown content type: surface to the caller (tolerant
+            // behaviour; mbTLS relies on this).
+            self.nonstandard_in.push((ct_byte, body));
+            return Ok(());
+        };
+        if content_type.is_mbtls() {
+            self.nonstandard_in.push((ct_byte, body));
+            return Ok(());
+        }
+        // Decrypt if the peer has activated its cipher.
+        let payload = if self.peer_change_cipher_seen
+            && content_type != ContentType::ChangeCipherSpec
+        {
+            self.read_cipher
+                .as_mut()
+                .ok_or(TlsError::UnexpectedMessage("ciphertext before keys"))?
+                .open_record(content_type, &body)?
+        } else {
+            body
+        };
+        match content_type {
+            ContentType::Alert => self.handle_alert(&payload),
+            ContentType::ChangeCipherSpec => {
+                if payload != [1] {
+                    return Err(TlsError::Decode("bad ChangeCipherSpec"));
+                }
+                if self.hs_reader.has_partial() {
+                    return Err(TlsError::UnexpectedMessage("CCS mid-handshake-message"));
+                }
+                self.activate_read_cipher()?;
+                Ok(())
+            }
+            ContentType::Handshake => {
+                self.hs_reader.feed(&payload);
+                while let Some((typ, msg_body, frame)) = self.hs_reader.next_message()? {
+                    self.handle_handshake(typ, msg_body, frame, rng)?;
+                }
+                Ok(())
+            }
+            ContentType::ApplicationData => {
+                if !self.is_established() {
+                    return Err(TlsError::UnexpectedMessage("early application data"));
+                }
+                self.plaintext_in.extend_from_slice(&payload);
+                Ok(())
+            }
+            _ => unreachable!("mbtls types handled above"),
+        }
+    }
+
+    fn handle_alert(&mut self, payload: &[u8]) -> Result<(), TlsError> {
+        let alert = Alert::decode(payload)?;
+        if alert.description == AlertDescription::CloseNotify {
+            self.closed_by_peer = true;
+            return Ok(());
+        }
+        if alert.level == AlertLevel::Fatal {
+            return Err(TlsError::PeerAlert(alert.description));
+        }
+        Ok(())
+    }
+
+    /// Commit to the abbreviated handshake path: the server resumed
+    /// our cached session (signalled by sending NewSessionTicket or
+    /// ChangeCipherSpec straight after ServerHello).
+    fn commit_resumption(&mut self) -> Result<(), TlsError> {
+        if self.resumed {
+            return Ok(());
+        }
+        let res = self
+            .pending_resumption
+            .take()
+            .ok_or(TlsError::UnexpectedMessage("abbreviated flight without offer"))?;
+        let suite = self.suite.expect("suite chosen with ServerHello");
+        self.secrets = Some(ConnectionSecrets {
+            suite,
+            master_secret: res.master_secret,
+            client_random: self.client_random,
+            server_random: self.server_random,
+        });
+        self.resumed = true;
+        Ok(())
+    }
+
+    fn activate_read_cipher(&mut self) -> Result<(), TlsError> {
+        // CCS right after ServerHello is the resumption signal when a
+        // ticket/id was offered and no full-handshake flight arrived.
+        if self.secrets.is_none()
+            && self.phase == Phase::AwaitServerFlight
+            && self.pending_resumption.is_some()
+        {
+            self.commit_resumption()?;
+            self.phase = Phase::AwaitServerFinishedResumed;
+        }
+        let secrets = self
+            .secrets
+            .as_ref()
+            .ok_or(TlsError::UnexpectedMessage("CCS before key exchange"))?;
+        let kb = secrets.key_block();
+        self.read_cipher = Some(DirectionState::new(
+            secrets.suite.bulk(),
+            &kb.server_write_key,
+            &kb.server_write_iv,
+            0,
+        )?);
+        self.peer_change_cipher_seen = true;
+        Ok(())
+    }
+
+    fn activate_write_cipher(&mut self) -> Result<(), TlsError> {
+        let secrets = self
+            .secrets
+            .as_ref()
+            .ok_or(TlsError::UnexpectedMessage("no secrets for write cipher"))?;
+        let kb = secrets.key_block();
+        self.write_cipher = Some(DirectionState::new(
+            secrets.suite.bulk(),
+            &kb.client_write_key,
+            &kb.client_write_iv,
+            0,
+        )?);
+        Ok(())
+    }
+
+    fn handle_handshake(
+        &mut self,
+        typ: u8,
+        body: Vec<u8>,
+        frame: Vec<u8>,
+        rng: &mut CryptoRng,
+    ) -> Result<(), TlsError> {
+        match (self.phase, typ) {
+            (Phase::AwaitServerHello, handshake_type::SERVER_HELLO) => {
+                self.transcript.add(&frame);
+                let sh = ServerHello::decode_body(&body)?;
+                let suite = CipherSuite::from_id(sh.cipher_suite)
+                    .filter(|s| self.config.suites.contains(s))
+                    .ok_or(TlsError::NegotiationFailed("server chose unknown suite"))?;
+                if choose_suite(&self.hello.cipher_suites, &[suite]).is_none() {
+                    return Err(TlsError::NegotiationFailed("suite not offered"));
+                }
+                self.server_random = sh.random;
+                self.peer_extensions = sh.extensions.clone();
+                self.suite = Some(suite);
+
+                // Resumption: the server echoing our SessionTicket
+                // extension (or session id) is *not* a commitment to
+                // resume — RFC 5077 servers echo it on full handshakes
+                // too, to signal a ticket will be issued. The client
+                // learns the server's choice from the next message:
+                // Certificate → full handshake; NewSessionTicket/CCS →
+                // abbreviated. Record the possibility and defer.
+                let offered = self.offered_resumption.clone();
+                let id_match = !self.hello.session_id.is_empty()
+                    && sh.session_id == self.hello.session_id;
+                let ticket_offered = offered.as_ref().is_some_and(|r| r.ticket.is_some());
+                self.pending_resumption =
+                    offered.filter(|r| (id_match || ticket_offered) && r.suite == suite);
+                // A *new* session id (not an echo of ours) is the
+                // server offering ID-based resumption for next time.
+                if !id_match {
+                    self.assigned_session_id = sh.session_id.clone();
+                }
+                self.server_flight.server_hello = Some(sh);
+                self.phase = Phase::AwaitServerFlight;
+                Ok(())
+            }
+            (Phase::AwaitServerFlight, handshake_type::CERTIFICATE) => {
+                // The server chose a full handshake.
+                self.pending_resumption = None;
+                self.transcript.add(&frame);
+                let chain = mbtls_pki::cert::decode_chain(&body)
+                    .map_err(|_| TlsError::Decode("bad certificate chain"))?;
+                self.server_flight.certificate_chain = Some(chain);
+                Ok(())
+            }
+            (Phase::AwaitServerFlight, handshake_type::NEW_SESSION_TICKET) => {
+                // A ticket this early means the server resumed and is
+                // renewing the ticket (abbreviated flight:
+                // ServerHello, NewSessionTicket, CCS, Finished).
+                self.commit_resumption()?;
+                self.transcript.add(&frame);
+                let ticket = NewSessionTicket::decode_body(&body)?;
+                self.new_ticket = Some(ticket);
+                self.phase = Phase::AwaitServerFinishedResumed;
+                Ok(())
+            }
+            (Phase::AwaitServerFlight, handshake_type::SERVER_KEY_EXCHANGE) => {
+                self.transcript.add(&frame);
+                let ske = ServerKeyExchange::decode_body(&body)?;
+                self.server_flight.key_exchange = Some(ske);
+                // Capture the binding the attestation must carry.
+                self.server_flight.attestation_binding =
+                    Some(self.transcript.attestation_binding());
+                Ok(())
+            }
+            (Phase::AwaitServerFlight, handshake_type::SGX_ATTESTATION) => {
+                self.transcript.add(&frame);
+                let msg = SgxAttestationMsg::decode_body(&body)?;
+                self.server_flight.attestation = Some(msg);
+                Ok(())
+            }
+            (Phase::AwaitServerFlight, handshake_type::SERVER_HELLO_DONE) => {
+                if !body.is_empty() {
+                    return Err(TlsError::Decode("non-empty ServerHelloDone"));
+                }
+                self.transcript.add(&frame);
+                self.finish_client_flight(rng)
+            }
+            (
+                Phase::AwaitServerFinished | Phase::AwaitServerFinishedResumed,
+                handshake_type::NEW_SESSION_TICKET,
+            ) => {
+                self.transcript.add(&frame);
+                let ticket = NewSessionTicket::decode_body(&body)?;
+                self.new_ticket = Some(ticket);
+                Ok(())
+            }
+            (Phase::AwaitServerFinished, handshake_type::FINISHED) => {
+                self.verify_server_finished(&body, &frame)?;
+                self.phase = Phase::Established;
+                Ok(())
+            }
+            (Phase::AwaitServerFinishedResumed, handshake_type::FINISHED) => {
+                self.verify_server_finished(&body, &frame)?;
+                // Abbreviated: now send our CCS + Finished.
+                self.activate_write_cipher()?;
+                self.out
+                    .extend_from_slice(&frame_plaintext(ContentType::ChangeCipherSpec, &[1]));
+                let secrets = self.secrets.as_ref().unwrap();
+                let vd = keyschedule::verify_data(
+                    secrets.suite,
+                    &secrets.master_secret,
+                    b"client finished",
+                    self.transcript.bytes(),
+                );
+                let fin = frame_handshake(handshake_type::FINISHED, &vd);
+                self.transcript.add(&fin);
+                let rec = self
+                    .write_cipher
+                    .as_mut()
+                    .unwrap()
+                    .seal_record(ContentType::Handshake, &fin)?;
+                self.out.extend_from_slice(&rec);
+                self.phase = Phase::Established;
+                Ok(())
+            }
+            _ => Err(TlsError::UnexpectedMessage("handshake message out of order")),
+        }
+    }
+
+    /// Process the complete server flight and send the client's
+    /// second flight (CKE, CCS, Finished).
+    fn finish_client_flight(&mut self, rng: &mut CryptoRng) -> Result<(), TlsError> {
+        let suite = self.suite.expect("suite chosen");
+        let chain = self
+            .server_flight
+            .certificate_chain
+            .take()
+            .ok_or(TlsError::UnexpectedMessage("missing Certificate"))?;
+        let ske = self
+            .server_flight
+            .key_exchange
+            .take()
+            .ok_or(TlsError::UnexpectedMessage("missing ServerKeyExchange"))?;
+
+        // 1. Certificate chain.
+        if !self.config.danger_disable_cert_verify {
+            self.config.trust_store.verify_chain(
+                &chain,
+                &self.server_name,
+                self.config.current_time,
+                None,
+            )?;
+        }
+        let server_key = chain[0].payload.public_key;
+
+        // 2. ServerKeyExchange signature.
+        let signed =
+            ServerKeyExchange::signed_payload(&self.client_random, &self.server_random, &ske.params);
+        let sig = mbtls_crypto::ed25519::Signature::from_bytes(&ske.signature)
+            .map_err(|_| TlsError::Decode("bad signature encoding"))?;
+        server_key
+            .verify(&signed, &sig)
+            .map_err(|_| TlsError::Crypto(CryptoError::BadSignature))?;
+
+        // 3. Attestation, if required.
+        if let Some(policy) = &self.config.attestation_policy {
+            let msg = self
+                .server_flight
+                .attestation
+                .take()
+                .ok_or(TlsError::UnexpectedMessage("attestation required but absent"))?;
+            let quote = Quote::decode(&msg.quote).ok_or(TlsError::Decode("bad quote"))?;
+            let binding = self
+                .server_flight
+                .attestation_binding
+                .ok_or(TlsError::UnexpectedMessage("attestation before key exchange"))?;
+            quote.verify(&policy.root, &policy.acceptable, &binding)?;
+            self.peer_quote = Some(quote);
+        }
+        self.peer_chain = chain;
+
+        // 4. Key exchange.
+        let (cke_public, pre_master): (Vec<u8>, Vec<u8>) = match (&ske.params, suite.key_exchange())
+        {
+            (ServerKeyExchangeParams::Ecdhe { public }, KeyExchange::Ecdhe) => {
+                let server_pub = x25519::PublicKey(
+                    public
+                        .as_slice()
+                        .try_into()
+                        .map_err(|_| TlsError::Decode("bad x25519 point"))?,
+                );
+                let secret = x25519::SecretKey::generate(rng);
+                let shared = secret.diffie_hellman(&server_pub)?;
+                let my_pub = secret.public_key().0.to_vec();
+                (my_pub, shared.to_vec())
+            }
+            (ServerKeyExchangeParams::Dhe { p, g, ys }, KeyExchange::Dhe) => {
+                // Validate the group is the one we support.
+                if *p != mbtls_crypto::dh::prime().to_bytes_be_padded(256)
+                    || mbtls_crypto::bignum::BigUint::from_bytes_be(g)
+                        .cmp_val(&mbtls_crypto::dh::generator())
+                        != std::cmp::Ordering::Equal
+                {
+                    return Err(TlsError::NegotiationFailed("unexpected DH group"));
+                }
+                let secret = DhSecret::generate(rng);
+                let mut ys_padded = vec![0u8; 256usize.saturating_sub(ys.len())];
+                ys_padded.extend_from_slice(ys);
+                let shared = secret.diffie_hellman(&DhPublic(ys_padded))?;
+                let my_pub = secret.public_value().0;
+                (my_pub, strip_leading_zeros(&shared).to_vec())
+            }
+            _ => return Err(TlsError::NegotiationFailed("kex/suite mismatch")),
+        };
+
+        let master =
+            keyschedule::master_secret(suite, &pre_master, &self.client_random, &self.server_random);
+        self.secrets = Some(ConnectionSecrets {
+            suite,
+            master_secret: master,
+            client_random: self.client_random,
+            server_random: self.server_random,
+        });
+
+        // 5. Send ClientKeyExchange + CCS + Finished.
+        let cke = ClientKeyExchange { public: cke_public };
+        let cke_frame = frame_handshake(handshake_type::CLIENT_KEY_EXCHANGE, &cke.encode_body());
+        self.transcript.add(&cke_frame);
+        self.out
+            .extend_from_slice(&frame_plaintext(ContentType::Handshake, &cke_frame));
+
+        self.out
+            .extend_from_slice(&frame_plaintext(ContentType::ChangeCipherSpec, &[1]));
+        self.activate_write_cipher()?;
+
+        let secrets = self.secrets.as_ref().unwrap();
+        let vd = keyschedule::verify_data(
+            suite,
+            &secrets.master_secret,
+            b"client finished",
+            self.transcript.bytes(),
+        );
+        let fin_frame = frame_handshake(handshake_type::FINISHED, &vd);
+        self.transcript.add(&fin_frame);
+        let rec = self
+            .write_cipher
+            .as_mut()
+            .unwrap()
+            .seal_record(ContentType::Handshake, &fin_frame)?;
+        self.out.extend_from_slice(&rec);
+
+        self.phase = Phase::AwaitServerFinished;
+        Ok(())
+    }
+
+    fn verify_server_finished(&mut self, body: &[u8], frame: &[u8]) -> Result<(), TlsError> {
+        let secrets = self
+            .secrets
+            .as_ref()
+            .ok_or(TlsError::UnexpectedMessage("Finished before keys"))?;
+        let expected = keyschedule::verify_data(
+            secrets.suite,
+            &secrets.master_secret,
+            b"server finished",
+            self.transcript.bytes(),
+        );
+        if !ct::eq(&expected, body) {
+            return Err(TlsError::Crypto(CryptoError::BadTag));
+        }
+        self.transcript.add(frame);
+        Ok(())
+    }
+}

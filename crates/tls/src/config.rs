@@ -1,0 +1,151 @@
+//! Client and server configuration.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use mbtls_crypto::ed25519::VerifyingKey;
+use mbtls_pki::cert::CertifiedKey;
+use mbtls_pki::TrustStore;
+use mbtls_sgx::{Measurement, Quote};
+
+use crate::messages::Extension;
+use crate::session::ResumptionData;
+use crate::suites::CipherSuite;
+
+/// Something that can produce SGX quotes — implemented by the glue
+/// that runs a TLS endpoint inside a simulated enclave.
+pub trait Attestor: Send + Sync {
+    /// Produce a quote binding `report_data` (the transcript hash).
+    fn quote(&self, report_data: [u8; 64]) -> Quote;
+}
+
+/// What a verifier demands of a peer's attestation.
+#[derive(Clone)]
+pub struct AttestationPolicy {
+    /// The attestation service root of trust.
+    pub root: VerifyingKey,
+    /// Acceptable enclave measurements (e.g. the published hash of
+    /// "mbtls-proxy v1.0 with strong ciphers only").
+    pub acceptable: Vec<Measurement>,
+}
+
+/// Client-side configuration. Cheap to clone via `Arc`.
+pub struct ClientConfig {
+    /// Trusted roots for server (and middlebox) certificates.
+    pub trust_store: Arc<TrustStore>,
+    /// Offered suites, preference order.
+    pub suites: Vec<CipherSuite>,
+    /// "Current time" for certificate validation (virtual seconds).
+    pub current_time: u64,
+    /// Extra extensions appended to the ClientHello (mbTLS adds
+    /// MiddleboxSupport here).
+    pub extra_extensions: Vec<Extension>,
+    /// If set, require the peer to attest and verify against this
+    /// policy.
+    pub attestation_policy: Option<AttestationPolicy>,
+    /// Offer a SessionTicket extension (empty or cached) to signal
+    /// RFC 5077 support.
+    pub enable_tickets: bool,
+    /// Allow sending application data immediately after the client
+    /// Finished (TLS False Start, RFC 7918) without waiting for the
+    /// server's.
+    pub enable_false_start: bool,
+    /// Skip certificate verification entirely (used to model the
+    /// broken "trust the proxy blindly" deployments §2.2 criticizes,
+    /// and for tests).
+    pub danger_disable_cert_verify: bool,
+    /// Cached resumption state per server name.
+    pub resumption_cache: HashMap<String, ResumptionData>,
+}
+
+impl ClientConfig {
+    /// A sane default config over the given trust store.
+    pub fn new(trust_store: Arc<TrustStore>) -> Self {
+        ClientConfig {
+            trust_store,
+            suites: CipherSuite::ALL.to_vec(),
+            current_time: 0,
+            extra_extensions: Vec::new(),
+            attestation_policy: None,
+            enable_tickets: true,
+            enable_false_start: false,
+            danger_disable_cert_verify: false,
+            resumption_cache: HashMap::new(),
+        }
+    }
+}
+
+/// Shared session-ID resumption cache: id → (suite, master secret).
+pub type SessionIdCache = Arc<Mutex<HashMap<Vec<u8>, (CipherSuite, Vec<u8>)>>>;
+
+/// Server-side configuration. Cheap to clone via `Arc`.
+pub struct ServerConfig {
+    /// The server's key and certificate chain.
+    pub certified_key: Arc<CertifiedKey>,
+    /// Acceptable suites, preference order.
+    pub suites: Vec<CipherSuite>,
+    /// Key under which session tickets are sealed.
+    pub ticket_key: [u8; 32],
+    /// Issue RFC 5077 tickets to clients that offer the extension.
+    pub issue_tickets: bool,
+    /// Attestation provider: if present and the client requests (or
+    /// `always_attest`), include an SGXAttestation message.
+    pub attestor: Option<Arc<dyn Attestor>>,
+    /// Attest even if the client did not explicitly ask (middleboxes
+    /// in the paper always attest to their endpoint).
+    pub always_attest: bool,
+    /// Session-ID resumption cache (id → (suite, master secret)),
+    /// shared across all connections of this server.
+    pub session_cache: SessionIdCache,
+    /// Assign session IDs in full handshakes (enables RFC 5246
+    /// session-ID resumption alongside RFC 5077 tickets).
+    pub assign_session_ids: bool,
+    /// If true, the server aborts the handshake when it sees a
+    /// MiddleboxAnnouncement record it does not understand (models
+    /// strict legacy stacks; tolerant ones ignore it — paper §3.4
+    /// discusses both behaviours).
+    pub strict_unknown_records: bool,
+}
+
+impl ServerConfig {
+    /// A sane default config for the given identity.
+    pub fn new(certified_key: Arc<CertifiedKey>, ticket_key: [u8; 32]) -> Self {
+        ServerConfig {
+            certified_key,
+            suites: CipherSuite::ALL.to_vec(),
+            ticket_key,
+            issue_tickets: true,
+            attestor: None,
+            always_attest: false,
+            session_cache: Arc::new(Mutex::new(HashMap::new())),
+            assign_session_ids: false,
+            strict_unknown_records: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbtls_crypto::rng::CryptoRng;
+    use mbtls_pki::cert::CertificateAuthority;
+    use mbtls_pki::KeyUsage;
+
+    #[test]
+    fn default_configs_are_reasonable() {
+        let mut rng = CryptoRng::from_seed(1);
+        let mut ca = CertificateAuthority::new_root("R", 0, 100, &mut rng);
+        let ck = CertifiedKey::issue(&mut ca, "s", &[], 0, 100, KeyUsage::Endpoint, &mut rng);
+
+        let cc = ClientConfig::new(Arc::new(TrustStore::new()));
+        assert_eq!(cc.suites, CipherSuite::ALL.to_vec());
+        assert!(cc.enable_tickets);
+        assert!(!cc.danger_disable_cert_verify);
+        assert!(cc.extra_extensions.is_empty());
+
+        let sc = ServerConfig::new(Arc::new(ck), [0u8; 32]);
+        assert!(sc.issue_tickets);
+        assert!(!sc.always_attest);
+        assert!(!sc.strict_unknown_records);
+    }
+}

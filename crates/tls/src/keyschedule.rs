@@ -1,0 +1,163 @@
+//! The TLS 1.2 key schedule (RFC 5246 §8.1, §6.3) over the suite's
+//! PRF hash, plus the Finished verify-data computation (§7.4.9).
+
+use crate::suites::{CipherSuite, PrfHash};
+use mbtls_crypto::aead::FIXED_IV_LEN;
+use mbtls_crypto::kdf::tls12_prf;
+use mbtls_crypto::sha2::{Hash, Sha256, Sha384};
+
+/// Length of the master secret.
+pub const MASTER_SECRET_LEN: usize = 48;
+/// Length of Finished verify_data.
+pub const VERIFY_DATA_LEN: usize = 12;
+
+/// Run the suite's PRF.
+pub fn prf(suite: CipherSuite, secret: &[u8], label: &[u8], seed: &[u8], out_len: usize) -> Vec<u8> {
+    match suite.prf_hash() {
+        PrfHash::Sha256 => tls12_prf::<Sha256>(secret, label, seed, out_len),
+        PrfHash::Sha384 => tls12_prf::<Sha384>(secret, label, seed, out_len),
+    }
+}
+
+/// Hash a transcript with the suite's PRF hash.
+pub fn transcript_hash(suite: CipherSuite, transcript: &[u8]) -> Vec<u8> {
+    match suite.prf_hash() {
+        PrfHash::Sha256 => {
+            let mut h = Sha256::new();
+            h.update(transcript);
+            h.finalize()
+        }
+        PrfHash::Sha384 => {
+            let mut h = Sha384::new();
+            h.update(transcript);
+            h.finalize()
+        }
+    }
+}
+
+/// master_secret = PRF(pre_master, "master secret",
+///                     client_random || server_random)[0..48]
+pub fn master_secret(
+    suite: CipherSuite,
+    pre_master: &[u8],
+    client_random: &[u8; 32],
+    server_random: &[u8; 32],
+) -> Vec<u8> {
+    let mut seed = Vec::with_capacity(64);
+    seed.extend_from_slice(client_random);
+    seed.extend_from_slice(server_random);
+    prf(suite, pre_master, b"master secret", &seed, MASTER_SECRET_LEN)
+}
+
+/// The expanded key block for an AEAD suite: write keys and implicit
+/// IVs for both directions (no MAC keys, RFC 5288).
+#[derive(Clone)]
+pub struct KeyBlock {
+    /// Client-write AEAD key.
+    pub client_write_key: Vec<u8>,
+    /// Server-write AEAD key.
+    pub server_write_key: Vec<u8>,
+    /// Client-write implicit IV (4 bytes).
+    pub client_write_iv: Vec<u8>,
+    /// Server-write implicit IV (4 bytes).
+    pub server_write_iv: Vec<u8>,
+}
+
+/// key_block = PRF(master, "key expansion",
+///                 server_random || client_random)
+pub fn key_block(
+    suite: CipherSuite,
+    master: &[u8],
+    client_random: &[u8; 32],
+    server_random: &[u8; 32],
+) -> KeyBlock {
+    let key_len = suite.bulk().key_len();
+    let needed = 2 * key_len + 2 * FIXED_IV_LEN;
+    let mut seed = Vec::with_capacity(64);
+    seed.extend_from_slice(server_random);
+    seed.extend_from_slice(client_random);
+    let block = prf(suite, master, b"key expansion", &seed, needed);
+    let mut at = 0usize;
+    let mut take = |n: usize| {
+        let out = block[at..at + n].to_vec();
+        at += n;
+        out
+    };
+    KeyBlock {
+        client_write_key: take(key_len),
+        server_write_key: take(key_len),
+        client_write_iv: take(FIXED_IV_LEN),
+        server_write_iv: take(FIXED_IV_LEN),
+    }
+}
+
+/// verify_data = PRF(master, label, Hash(handshake_messages))[0..12]
+pub fn verify_data(suite: CipherSuite, master: &[u8], label: &[u8], transcript: &[u8]) -> Vec<u8> {
+    let hash = transcript_hash(suite, transcript);
+    prf(suite, master, label, &hash, VERIFY_DATA_LEN)
+}
+
+/// Strip leading zero bytes from a DHE shared secret (RFC 5246
+/// §8.1.2: the negotiated key is the positive integer with leading
+/// zeros removed).
+pub fn strip_leading_zeros(z: &[u8]) -> &[u8] {
+    let first = z.iter().position(|&b| b != 0).unwrap_or(z.len().saturating_sub(1));
+    &z[first..]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SUITE: CipherSuite = CipherSuite::EcdheAes256GcmSha384;
+
+    #[test]
+    fn master_secret_is_48_bytes_and_deterministic() {
+        let ms1 = master_secret(SUITE, b"premaster", &[1; 32], &[2; 32]);
+        let ms2 = master_secret(SUITE, b"premaster", &[1; 32], &[2; 32]);
+        assert_eq!(ms1.len(), 48);
+        assert_eq!(ms1, ms2);
+        // Randoms matter.
+        assert_ne!(ms1, master_secret(SUITE, b"premaster", &[1; 32], &[3; 32]));
+        // Premaster matters.
+        assert_ne!(ms1, master_secret(SUITE, b"other", &[1; 32], &[2; 32]));
+    }
+
+    #[test]
+    fn key_block_layout() {
+        let kb = key_block(SUITE, &[7; 48], &[1; 32], &[2; 32]);
+        assert_eq!(kb.client_write_key.len(), 32);
+        assert_eq!(kb.server_write_key.len(), 32);
+        assert_eq!(kb.client_write_iv.len(), 4);
+        assert_eq!(kb.server_write_iv.len(), 4);
+        assert_ne!(kb.client_write_key, kb.server_write_key);
+
+        let kb128 = key_block(CipherSuite::EcdheAes128GcmSha256, &[7; 48], &[1; 32], &[2; 32]);
+        assert_eq!(kb128.client_write_key.len(), 16);
+    }
+
+    #[test]
+    fn verify_data_binds_transcript_and_label() {
+        let master = [9u8; 48];
+        let v1 = verify_data(SUITE, &master, b"client finished", b"transcript");
+        let v2 = verify_data(SUITE, &master, b"server finished", b"transcript");
+        let v3 = verify_data(SUITE, &master, b"client finished", b"transcript2");
+        assert_eq!(v1.len(), VERIFY_DATA_LEN);
+        assert_ne!(v1, v2);
+        assert_ne!(v1, v3);
+    }
+
+    #[test]
+    fn prf_hash_depends_on_suite() {
+        let a = prf(CipherSuite::EcdheAes128GcmSha256, b"s", b"l", b"x", 16);
+        let b = prf(CipherSuite::EcdheAes256GcmSha384, b"s", b"l", b"x", 16);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn strip_leading_zeros_works() {
+        assert_eq!(strip_leading_zeros(&[0, 0, 1, 2]), &[1, 2]);
+        assert_eq!(strip_leading_zeros(&[5, 0]), &[5, 0]);
+        assert_eq!(strip_leading_zeros(&[0, 0]), &[0]);
+    }
+}

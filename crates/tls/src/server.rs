@@ -1,0 +1,659 @@
+//! The TLS 1.2 server state machine (sans-IO).
+
+use std::sync::Arc;
+
+use mbtls_crypto::dh::DhSecret;
+use mbtls_crypto::gcm::AesGcm;
+use mbtls_crypto::rng::CryptoRng;
+use mbtls_crypto::x25519;
+use mbtls_crypto::{ct, CryptoError};
+
+use crate::alert::{Alert, AlertDescription, AlertLevel};
+use crate::config::ServerConfig;
+use crate::keyschedule::{self, strip_leading_zeros};
+use crate::messages::{
+    choose_suite, extension_type, frame_handshake, handshake_type, ClientHello,
+    ClientKeyExchange, Extension, HandshakeReader, NewSessionTicket, ServerHello,
+    ServerKeyExchange, ServerKeyExchangeParams, SgxAttestationMsg,
+};
+use crate::record::{ContentType, DirectionState, RecordReader, frame_plaintext, fragment};
+use crate::session::{ConnectionSecrets, SessionKeys, TicketPlaintext};
+use crate::suites::{CipherSuite, KeyExchange};
+use crate::transcript::Transcript;
+use crate::TlsError;
+
+/// Server handshake phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    AwaitClientHello,
+    /// Full handshake: waiting for ClientKeyExchange.
+    AwaitClientKeyExchange,
+    /// Waiting for the client's CCS+Finished (full handshake).
+    AwaitClientFinished,
+    /// Abbreviated: we sent Finished; waiting for client CCS+Finished.
+    AwaitClientFinishedResumed,
+    Established,
+    Failed,
+}
+
+/// Ephemeral server kex secret between flights.
+enum KexSecret {
+    Ecdhe(x25519::SecretKey),
+    Dhe(DhSecret),
+}
+
+/// A sans-IO TLS 1.2 server connection.
+pub struct ServerConnection {
+    config: Arc<ServerConfig>,
+    phase: Phase,
+
+    record_reader: RecordReader,
+    hs_reader: HandshakeReader,
+    out: Vec<u8>,
+
+    transcript: Transcript,
+    client_random: [u8; 32],
+    server_random: [u8; 32],
+    client_hello: Option<ClientHello>,
+
+    suite: Option<CipherSuite>,
+    kex: Option<KexSecret>,
+    secrets: Option<ConnectionSecrets>,
+
+    peer_change_cipher_seen: bool,
+    read_cipher: Option<DirectionState>,
+    write_cipher: Option<DirectionState>,
+
+    resumed: bool,
+    client_offered_ticket_ext: bool,
+    /// Session id assigned in this full handshake (cached at
+    /// establishment when `assign_session_ids` is on).
+    assigned_session_id: Vec<u8>,
+    /// Keys to embed in issued tickets (mbTLS middlebox tickets carry
+    /// the primary session keys — paper §3.5).
+    pub ticket_embed_keys: Option<SessionKeys>,
+
+    nonstandard_in: Vec<(u8, Vec<u8>)>,
+    plaintext_in: Vec<u8>,
+    early_plaintext_in: Vec<u8>,
+    error: Option<TlsError>,
+    closed_by_peer: bool,
+}
+
+impl ServerConnection {
+    /// New server connection awaiting a ClientHello.
+    pub fn new(config: Arc<ServerConfig>) -> Self {
+        ServerConnection {
+            config,
+            phase: Phase::AwaitClientHello,
+            record_reader: RecordReader::new(),
+            hs_reader: HandshakeReader::new(),
+            out: Vec::new(),
+            transcript: Transcript::new(),
+            client_random: [0; 32],
+            server_random: [0; 32],
+            client_hello: None,
+            suite: None,
+            kex: None,
+            secrets: None,
+            peer_change_cipher_seen: false,
+            read_cipher: None,
+            write_cipher: None,
+            resumed: false,
+            client_offered_ticket_ext: false,
+            assigned_session_id: Vec::new(),
+            ticket_embed_keys: None,
+            nonstandard_in: Vec::new(),
+            plaintext_in: Vec::new(),
+            early_plaintext_in: Vec::new(),
+            error: None,
+            closed_by_peer: false,
+        }
+    }
+
+    /// Bytes queued for the wire.
+    pub fn take_outgoing(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.out)
+    }
+
+    /// True once established.
+    pub fn is_established(&self) -> bool {
+        self.phase == Phase::Established
+    }
+
+    /// True if failed.
+    pub fn is_failed(&self) -> bool {
+        self.phase == Phase::Failed
+    }
+
+    /// Failure cause.
+    pub fn error(&self) -> Option<&TlsError> {
+        self.error.as_ref()
+    }
+
+    /// Did this handshake resume?
+    pub fn resumed(&self) -> bool {
+        self.resumed
+    }
+
+    /// The ClientHello received (mbTLS middleboxes reuse it).
+    pub fn client_hello(&self) -> Option<&ClientHello> {
+        self.client_hello.as_ref()
+    }
+
+    /// The negotiated secrets.
+    pub fn secrets(&self) -> Option<&ConnectionSecrets> {
+        self.secrets.as_ref()
+    }
+
+    /// Export session keys + sequence numbers (see the client's
+    /// equivalent).
+    pub fn export_session_keys(&self) -> Option<SessionKeys> {
+        let secrets = self.secrets.as_ref()?;
+        let s2c = self.write_cipher.as_ref()?.seq();
+        let c2s = self.read_cipher.as_ref()?.seq();
+        Some(SessionKeys::from_secrets(secrets, c2s, s2c))
+    }
+
+    /// Queue application data.
+    pub fn send_data(&mut self, data: &[u8]) -> Result<(), TlsError> {
+        if !self.is_established() {
+            return Err(TlsError::HandshakeNotDone);
+        }
+        for frag in fragment(data) {
+            let cipher = self.write_cipher.as_mut().expect("cipher active");
+            let rec = cipher.seal_record(ContentType::ApplicationData, frag)?;
+            self.out.extend_from_slice(&rec);
+        }
+        Ok(())
+    }
+
+    /// Received application data.
+    pub fn take_plaintext(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.plaintext_in)
+    }
+
+    /// Application data that arrived encrypted *before* our Finished
+    /// was acked — the False-Start-style early data a server-side
+    /// mbTLS middlebox may choose to process (paper §3.5).
+    pub fn take_early_plaintext(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.early_plaintext_in)
+    }
+
+    /// Non-standard records received.
+    pub fn take_nonstandard_records(&mut self) -> Vec<(u8, Vec<u8>)> {
+        std::mem::take(&mut self.nonstandard_in)
+    }
+
+    /// Send a raw plaintext-framed record (mbTLS control records).
+    pub fn send_raw_record(&mut self, content_type: ContentType, payload: &[u8]) {
+        self.out
+            .extend_from_slice(&frame_plaintext(content_type, payload));
+    }
+
+    /// True if the peer sent close_notify.
+    pub fn peer_closed(&self) -> bool {
+        self.closed_by_peer
+    }
+
+    /// Feed wire bytes.
+    pub fn feed_incoming(&mut self, data: &[u8], rng: &mut CryptoRng) -> Result<(), TlsError> {
+        if self.phase == Phase::Failed {
+            return Err(self.error.clone().unwrap_or(TlsError::Closed));
+        }
+        self.record_reader.feed(data);
+        loop {
+            match self.record_reader.next_record() {
+                Ok(Some(record)) => {
+                    if let Err(e) = self.process_record(record.content_type_byte, record.body, rng)
+                    {
+                        self.fail(e.clone());
+                        return Err(e);
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    self.fail(e.clone());
+                    return Err(e);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn fail(&mut self, e: TlsError) {
+        if self.phase != Phase::Failed {
+            let alert = Alert::for_error(&e);
+            self.out
+                .extend_from_slice(&frame_plaintext(ContentType::Alert, &alert.encode()));
+            self.phase = Phase::Failed;
+            self.error = Some(e);
+        }
+    }
+
+    fn process_record(
+        &mut self,
+        ct_byte: u8,
+        body: Vec<u8>,
+        rng: &mut CryptoRng,
+    ) -> Result<(), TlsError> {
+        let Some(content_type) = ContentType::from_u8(ct_byte) else {
+            if self.config.strict_unknown_records {
+                return Err(TlsError::Decode("unknown record content type"));
+            }
+            self.nonstandard_in.push((ct_byte, body));
+            return Ok(());
+        };
+        if content_type.is_mbtls() {
+            if self.config.strict_unknown_records {
+                return Err(TlsError::Decode("unexpected mbTLS record"));
+            }
+            self.nonstandard_in.push((ct_byte, body));
+            return Ok(());
+        }
+        let payload = if self.peer_change_cipher_seen
+            && content_type != ContentType::ChangeCipherSpec
+        {
+            self.read_cipher
+                .as_mut()
+                .ok_or(TlsError::UnexpectedMessage("ciphertext before keys"))?
+                .open_record(content_type, &body)?
+        } else {
+            body
+        };
+        match content_type {
+            ContentType::Alert => {
+                let alert = Alert::decode(&payload)?;
+                if alert.description == AlertDescription::CloseNotify {
+                    self.closed_by_peer = true;
+                    return Ok(());
+                }
+                if alert.level == AlertLevel::Fatal {
+                    return Err(TlsError::PeerAlert(alert.description));
+                }
+                Ok(())
+            }
+            ContentType::ChangeCipherSpec => {
+                if payload != [1] {
+                    return Err(TlsError::Decode("bad ChangeCipherSpec"));
+                }
+                let secrets = self
+                    .secrets
+                    .as_ref()
+                    .ok_or(TlsError::UnexpectedMessage("CCS before key exchange"))?;
+                let kb = secrets.key_block();
+                self.read_cipher = Some(DirectionState::new(
+                    secrets.suite.bulk(),
+                    &kb.client_write_key,
+                    &kb.client_write_iv,
+                    0,
+                )?);
+                self.peer_change_cipher_seen = true;
+                Ok(())
+            }
+            ContentType::Handshake => {
+                self.hs_reader.feed(&payload);
+                while let Some((typ, msg_body, frame)) = self.hs_reader.next_message()? {
+                    self.handle_handshake(typ, msg_body, frame, rng)?;
+                }
+                Ok(())
+            }
+            ContentType::ApplicationData => {
+                match self.phase {
+                    Phase::Established => {
+                        self.plaintext_in.extend_from_slice(&payload);
+                        Ok(())
+                    }
+                    // False-Start data: client sent Finished and data
+                    // in the same flight, before seeing ours.
+                    Phase::AwaitClientFinished | Phase::AwaitClientFinishedResumed => {
+                        Err(TlsError::UnexpectedMessage("data before client Finished"))
+                    }
+                    _ => Err(TlsError::UnexpectedMessage("early application data")),
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    fn handle_handshake(
+        &mut self,
+        typ: u8,
+        body: Vec<u8>,
+        frame: Vec<u8>,
+        rng: &mut CryptoRng,
+    ) -> Result<(), TlsError> {
+        match (self.phase, typ) {
+            (Phase::AwaitClientHello, handshake_type::CLIENT_HELLO) => {
+                self.transcript.add(&frame);
+                let ch = ClientHello::decode_body(&body)?;
+                self.client_random = ch.random;
+                self.server_random = rng.gen_array();
+                self.client_offered_ticket_ext = ch
+                    .find_extension(extension_type::SESSION_TICKET)
+                    .is_some();
+                let suite = choose_suite(&ch.cipher_suites, &self.config.suites)
+                    .ok_or(TlsError::NegotiationFailed("no common cipher suite"))?;
+                self.suite = Some(suite);
+
+                // Try ticket resumption first, then session-id.
+                let ticket_master = ch
+                    .find_extension(extension_type::SESSION_TICKET)
+                    .filter(|e| !e.data.is_empty())
+                    .and_then(|e| self.open_ticket(&e.data))
+                    .filter(|t| t.suite == suite);
+                let id_master = if ticket_master.is_none() && !ch.session_id.is_empty() {
+                    self.config
+                        .session_cache
+                        .lock()
+                        .expect("session cache lock")
+                        .get(&ch.session_id)
+                        .filter(|(s, _)| *s == suite)
+                        .map(|(s, m)| (*s, m.clone()))
+                } else {
+                    None
+                };
+
+                if let Some(ticket) = ticket_master {
+                    self.client_hello = Some(ch.clone());
+                    self.start_abbreviated(suite, ticket.master_secret, &ch, rng)?;
+                } else if let Some((_, master)) = id_master {
+                    self.client_hello = Some(ch.clone());
+                    self.start_abbreviated(suite, master, &ch, rng)?;
+                } else {
+                    self.client_hello = Some(ch.clone());
+                    self.start_full(suite, &ch, rng)?;
+                }
+                Ok(())
+            }
+            (Phase::AwaitClientKeyExchange, handshake_type::CLIENT_KEY_EXCHANGE) => {
+                self.transcript.add(&frame);
+                let cke = ClientKeyExchange::decode_body(&body)?;
+                let suite = self.suite.expect("suite chosen");
+                let pre_master: Vec<u8> = match self.kex.take() {
+                    Some(KexSecret::Ecdhe(secret)) => {
+                        let peer = x25519::PublicKey(
+                            cke.public
+                                .as_slice()
+                                .try_into()
+                                .map_err(|_| TlsError::Decode("bad x25519 point"))?,
+                        );
+                        secret.diffie_hellman(&peer)?.to_vec()
+                    }
+                    Some(KexSecret::Dhe(secret)) => {
+                        let mut padded = vec![0u8; 256usize.saturating_sub(cke.public.len())];
+                        padded.extend_from_slice(&cke.public);
+                        let shared =
+                            secret.diffie_hellman(&mbtls_crypto::dh::DhPublic(padded))?;
+                        strip_leading_zeros(&shared).to_vec()
+                    }
+                    None => return Err(TlsError::UnexpectedMessage("no kex in progress")),
+                };
+                let master = keyschedule::master_secret(
+                    suite,
+                    &pre_master,
+                    &self.client_random,
+                    &self.server_random,
+                );
+                self.secrets = Some(ConnectionSecrets {
+                    suite,
+                    master_secret: master,
+                    client_random: self.client_random,
+                    server_random: self.server_random,
+                });
+                self.phase = Phase::AwaitClientFinished;
+                Ok(())
+            }
+            (Phase::AwaitClientFinished, handshake_type::FINISHED) => {
+                self.verify_client_finished(&body, &frame)?;
+                // Send (optional ticket) + CCS + Finished.
+                if self.config.issue_tickets && self.client_offered_ticket_ext {
+                    let ticket = self.issue_ticket(rng)?;
+                    let t_frame =
+                        frame_handshake(handshake_type::NEW_SESSION_TICKET, &ticket.encode_body());
+                    self.transcript.add(&t_frame);
+                    self.out
+                        .extend_from_slice(&frame_plaintext(ContentType::Handshake, &t_frame));
+                }
+                self.send_ccs_and_finished()?;
+                if !self.assigned_session_id.is_empty() {
+                    let secrets = self.secrets.as_ref().unwrap();
+                    self.config
+                        .session_cache
+                        .lock()
+                        .expect("session cache lock")
+                        .insert(
+                            self.assigned_session_id.clone(),
+                            (secrets.suite, secrets.master_secret.clone()),
+                        );
+                }
+                self.phase = Phase::Established;
+                Ok(())
+            }
+            (Phase::AwaitClientFinishedResumed, handshake_type::FINISHED) => {
+                self.verify_client_finished(&body, &frame)?;
+                self.phase = Phase::Established;
+                Ok(())
+            }
+            _ => Err(TlsError::UnexpectedMessage("handshake message out of order")),
+        }
+    }
+
+    /// Full handshake: ServerHello, Certificate, ServerKeyExchange,
+    /// [SGXAttestation], ServerHelloDone — one flight.
+    fn start_full(
+        &mut self,
+        suite: CipherSuite,
+        ch: &ClientHello,
+        rng: &mut CryptoRng,
+    ) -> Result<(), TlsError> {
+        let mut extensions = Vec::new();
+        // Per RFC 5246 the server may only echo extensions the client
+        // offered (the reason server-side mbTLS discovery cannot use
+        // the MiddleboxSupport extension — paper §3.4).
+        if self.config.issue_tickets && self.client_offered_ticket_ext {
+            extensions.push(Extension {
+                typ: extension_type::SESSION_TICKET,
+                data: vec![],
+            });
+        }
+        let session_id = if self.config.assign_session_ids {
+            rng.gen_array::<32>().to_vec()
+        } else {
+            vec![]
+        };
+        self.assigned_session_id = session_id.clone();
+        let sh = ServerHello {
+            random: self.server_random,
+            session_id,
+            cipher_suite: suite.id(),
+            extensions,
+        };
+        self.queue_handshake_plain(handshake_type::SERVER_HELLO, &sh.encode_body());
+
+        let chain = mbtls_pki::cert::encode_chain(&self.config.certified_key.chain);
+        self.queue_handshake_plain(handshake_type::CERTIFICATE, &chain);
+
+        // Ephemeral key exchange.
+        let params = match suite.key_exchange() {
+            KeyExchange::Ecdhe => {
+                let secret = x25519::SecretKey::generate(rng);
+                let public = secret.public_key().0.to_vec();
+                self.kex = Some(KexSecret::Ecdhe(secret));
+                ServerKeyExchangeParams::Ecdhe { public }
+            }
+            KeyExchange::Dhe => {
+                let secret = DhSecret::generate(rng);
+                let public = secret.public_value().0;
+                self.kex = Some(KexSecret::Dhe(secret));
+                ServerKeyExchangeParams::Dhe {
+                    p: mbtls_crypto::dh::prime().to_bytes_be_padded(256),
+                    g: vec![2],
+                    ys: public,
+                }
+            }
+        };
+        let signed =
+            ServerKeyExchange::signed_payload(&self.client_random, &self.server_random, &params);
+        let signature = self.config.certified_key.key.sign(&signed);
+        let ske = ServerKeyExchange {
+            params,
+            signature: signature.0.to_vec(),
+        };
+        self.queue_handshake_plain(handshake_type::SERVER_KEY_EXCHANGE, &ske.encode_body());
+
+        // Attestation: if we have an attestor and the client asked
+        // (or we always attest). Binds the transcript through SKE.
+        let client_asked = ch
+            .find_extension(extension_type::ATTESTATION_REQUEST)
+            .is_some();
+        if let Some(attestor) = &self.config.attestor {
+            if client_asked || self.config.always_attest {
+                let binding = self.transcript.attestation_binding();
+                let quote = attestor.quote(binding);
+                let msg = SgxAttestationMsg {
+                    quote: quote.encode(),
+                };
+                self.queue_handshake_plain(handshake_type::SGX_ATTESTATION, &msg.encode_body());
+            }
+        }
+
+        self.queue_handshake_plain(handshake_type::SERVER_HELLO_DONE, &[]);
+        self.phase = Phase::AwaitClientKeyExchange;
+        Ok(())
+    }
+
+    /// Abbreviated handshake: ServerHello, [ticket], CCS, Finished.
+    fn start_abbreviated(
+        &mut self,
+        suite: CipherSuite,
+        master_secret: Vec<u8>,
+        ch: &ClientHello,
+        rng: &mut CryptoRng,
+    ) -> Result<(), TlsError> {
+        self.resumed = true;
+        self.secrets = Some(ConnectionSecrets {
+            suite,
+            master_secret,
+            client_random: self.client_random,
+            server_random: self.server_random,
+        });
+        let mut extensions = Vec::new();
+        if self.client_offered_ticket_ext {
+            extensions.push(Extension {
+                typ: extension_type::SESSION_TICKET,
+                data: vec![],
+            });
+        }
+        let sh = ServerHello {
+            random: self.server_random,
+            // Echo the client's id to signal resumption (RFC 5246
+            // §7.4.1.3); for pure ticket resumption the id may be
+            // empty on both sides.
+            session_id: ch.session_id.clone(),
+            cipher_suite: suite.id(),
+            extensions,
+        };
+        self.queue_handshake_plain(handshake_type::SERVER_HELLO, &sh.encode_body());
+        if self.config.issue_tickets && self.client_offered_ticket_ext {
+            let ticket = self.issue_ticket(rng)?;
+            let t_frame =
+                frame_handshake(handshake_type::NEW_SESSION_TICKET, &ticket.encode_body());
+            self.transcript.add(&t_frame);
+            self.out
+                .extend_from_slice(&frame_plaintext(ContentType::Handshake, &t_frame));
+        }
+        self.send_ccs_and_finished()?;
+        self.phase = Phase::AwaitClientFinishedResumed;
+        Ok(())
+    }
+
+    fn queue_handshake_plain(&mut self, typ: u8, body: &[u8]) {
+        let frame = frame_handshake(typ, body);
+        self.transcript.add(&frame);
+        self.out
+            .extend_from_slice(&frame_plaintext(ContentType::Handshake, &frame));
+    }
+
+    fn send_ccs_and_finished(&mut self) -> Result<(), TlsError> {
+        self.out
+            .extend_from_slice(&frame_plaintext(ContentType::ChangeCipherSpec, &[1]));
+        let secrets = self.secrets.as_ref().unwrap();
+        let kb = secrets.key_block();
+        self.write_cipher = Some(DirectionState::new(
+            secrets.suite.bulk(),
+            &kb.server_write_key,
+            &kb.server_write_iv,
+            0,
+        )?);
+        let vd = keyschedule::verify_data(
+            secrets.suite,
+            &secrets.master_secret,
+            b"server finished",
+            self.transcript.bytes(),
+        );
+        let frame = frame_handshake(handshake_type::FINISHED, &vd);
+        self.transcript.add(&frame);
+        let rec = self
+            .write_cipher
+            .as_mut()
+            .unwrap()
+            .seal_record(ContentType::Handshake, &frame)?;
+        self.out.extend_from_slice(&rec);
+        Ok(())
+    }
+
+    fn verify_client_finished(&mut self, body: &[u8], frame: &[u8]) -> Result<(), TlsError> {
+        let secrets = self
+            .secrets
+            .as_ref()
+            .ok_or(TlsError::UnexpectedMessage("Finished before keys"))?;
+        let expected = keyschedule::verify_data(
+            secrets.suite,
+            &secrets.master_secret,
+            b"client finished",
+            self.transcript.bytes(),
+        );
+        if !ct::eq(&expected, body) {
+            return Err(TlsError::Crypto(CryptoError::BadTag));
+        }
+        self.transcript.add(frame);
+        Ok(())
+    }
+
+    fn ticket_gcm(&self) -> AesGcm {
+        AesGcm::new(&self.config.ticket_key).expect("32-byte ticket key")
+    }
+
+    fn issue_ticket(&mut self, rng: &mut CryptoRng) -> Result<NewSessionTicket, TlsError> {
+        let secrets = self.secrets.as_ref().unwrap();
+        let plain = TicketPlaintext {
+            suite: secrets.suite,
+            master_secret: secrets.master_secret.clone(),
+            primary_keys: self.ticket_embed_keys.clone(),
+        };
+        let nonce: [u8; 12] = rng.gen_array();
+        let sealed = self.ticket_gcm().seal(&nonce, b"ticket", &plain.encode())?;
+        let mut ticket = nonce.to_vec();
+        ticket.extend_from_slice(&sealed);
+        Ok(NewSessionTicket {
+            lifetime_hint: 3600,
+            ticket,
+        })
+    }
+
+    fn open_ticket(&self, ticket: &[u8]) -> Option<TicketPlaintext> {
+        if ticket.len() < 12 {
+            return None;
+        }
+        let nonce: [u8; 12] = ticket[..12].try_into().unwrap();
+        let plain = self.ticket_gcm().open(&nonce, b"ticket", &ticket[12..]).ok()?;
+        TicketPlaintext::decode(&plain).ok()
+    }
+
+    /// Decrypt a ticket (exposed for mbTLS middlebox resumption where
+    /// the mbTLS layer needs the embedded primary keys).
+    pub fn peek_ticket(&self, ticket: &[u8]) -> Option<TicketPlaintext> {
+        self.open_ticket(ticket)
+    }
+}

@@ -1,0 +1,304 @@
+//! Established-session types: connection secrets, exportable key
+//! material, and the resumption data model.
+//!
+//! The exportable [`SessionKeys`] struct is the heart of mbTLS's key
+//! distribution: it is exactly the content of the paper's
+//! `MBTLSKeyMaterial` record (Appendix A.1) — directional AEAD keys +
+//! implicit IVs + current sequence numbers — so a middlebox that
+//! receives one can join an existing record stream mid-flight.
+
+use crate::codec::{Decoder, Encoder};
+use crate::keyschedule::{self, KeyBlock};
+use crate::record::DirectionState;
+use crate::suites::CipherSuite;
+use crate::TlsError;
+
+/// The secrets of a completed (or resumed) handshake.
+#[derive(Clone)]
+pub struct ConnectionSecrets {
+    /// Negotiated suite.
+    pub suite: CipherSuite,
+    /// 48-byte master secret.
+    pub master_secret: Vec<u8>,
+    /// Client random.
+    pub client_random: [u8; 32],
+    /// Server random.
+    pub server_random: [u8; 32],
+}
+
+impl ConnectionSecrets {
+    /// Expand the key block for this session.
+    pub fn key_block(&self) -> KeyBlock {
+        keyschedule::key_block(
+            self.suite,
+            &self.master_secret,
+            &self.client_random,
+            &self.server_random,
+        )
+    }
+}
+
+/// Exportable (and wire-encodable) session key material — the
+/// `MBTLSKeyMaterial` payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionKeys {
+    /// The cipher suite these keys belong to.
+    pub suite: CipherSuite,
+    /// Client-write AEAD key.
+    pub client_write_key: Vec<u8>,
+    /// Client-write implicit IV.
+    pub client_write_iv: Vec<u8>,
+    /// Server-write AEAD key.
+    pub server_write_key: Vec<u8>,
+    /// Server-write implicit IV.
+    pub server_write_iv: Vec<u8>,
+    /// Next sequence number, client-to-server direction.
+    pub client_to_server_seq: u64,
+    /// Next sequence number, server-to-client direction.
+    pub server_to_client_seq: u64,
+}
+
+impl SessionKeys {
+    /// Derive from connection secrets and the current record-layer
+    /// sequence numbers.
+    pub fn from_secrets(secrets: &ConnectionSecrets, c2s_seq: u64, s2c_seq: u64) -> Self {
+        let kb = secrets.key_block();
+        SessionKeys {
+            suite: secrets.suite,
+            client_write_key: kb.client_write_key,
+            client_write_iv: kb.client_write_iv,
+            server_write_key: kb.server_write_key,
+            server_write_iv: kb.server_write_iv,
+            client_to_server_seq: c2s_seq,
+            server_to_client_seq: s2c_seq,
+        }
+    }
+
+    /// Record-protection state for reading the client→server flow.
+    pub fn open_client_to_server(&self) -> Result<DirectionState, TlsError> {
+        DirectionState::new(
+            self.suite.bulk(),
+            &self.client_write_key,
+            &self.client_write_iv,
+            self.client_to_server_seq,
+        )
+    }
+
+    /// Record-protection state for writing the client→server flow.
+    pub fn seal_client_to_server(&self) -> Result<DirectionState, TlsError> {
+        self.open_client_to_server()
+    }
+
+    /// Record-protection state for reading the server→client flow.
+    pub fn open_server_to_client(&self) -> Result<DirectionState, TlsError> {
+        DirectionState::new(
+            self.suite.bulk(),
+            &self.server_write_key,
+            &self.server_write_iv,
+            self.server_to_client_seq,
+        )
+    }
+
+    /// Record-protection state for writing the server→client flow.
+    pub fn seal_server_to_client(&self) -> Result<DirectionState, TlsError> {
+        self.open_server_to_client()
+    }
+
+    /// Wire encoding (the MBTLSKeyMaterial body, paper Appendix A.1:
+    /// version, sequences, cipher suite, then key/IV material).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.u8(3);
+        e.u8(3); // negotiated client/server version
+        e.u64(self.client_to_server_seq);
+        e.u64(self.server_to_client_seq);
+        e.u16(self.suite.id());
+        e.u32(self.client_write_key.len() as u32);
+        e.u32(self.client_write_iv.len() as u32);
+        e.raw(&self.client_write_key);
+        e.raw(&self.client_write_iv);
+        e.raw(&self.server_write_key);
+        e.raw(&self.server_write_iv);
+        e.into_bytes()
+    }
+
+    /// Parse a wire encoding.
+    pub fn decode(bytes: &[u8]) -> Result<Self, TlsError> {
+        let mut d = Decoder::new(bytes);
+        let major = d.u8()?;
+        let minor = d.u8()?;
+        if (major, minor) != (3, 3) {
+            return Err(TlsError::Decode("bad key material version"));
+        }
+        let client_to_server_seq = d.u64()?;
+        let server_to_client_seq = d.u64()?;
+        let suite =
+            CipherSuite::from_id(d.u16()?).ok_or(TlsError::Decode("unknown suite in key material"))?;
+        let key_len = d.u32()? as usize;
+        let iv_len = d.u32()? as usize;
+        if key_len != suite.bulk().key_len() || iv_len != 4 {
+            return Err(TlsError::Decode("key material length mismatch"));
+        }
+        let client_write_key = d.take(key_len)?.to_vec();
+        let client_write_iv = d.take(iv_len)?.to_vec();
+        let server_write_key = d.take(key_len)?.to_vec();
+        let server_write_iv = d.take(iv_len)?.to_vec();
+        d.expect_end()?;
+        Ok(SessionKeys {
+            suite,
+            client_write_key,
+            client_write_iv,
+            server_write_key,
+            server_write_iv,
+            client_to_server_seq,
+            server_to_client_seq,
+        })
+    }
+}
+
+/// What a client caches per server for resumption.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResumptionData {
+    /// The suite of the original session.
+    pub suite: CipherSuite,
+    /// The original master secret.
+    pub master_secret: Vec<u8>,
+    /// Ticket issued by the server (RFC 5077), if any.
+    pub ticket: Option<Vec<u8>>,
+    /// Session id assigned by the server, if any.
+    pub session_id: Vec<u8>,
+}
+
+/// Server-side plaintext content of a session ticket. The server
+/// seals this under its ticket key; the mbTLS variant additionally
+/// carries the primary session's keys for middlebox resumption
+/// (paper §3.5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TicketPlaintext {
+    /// Suite of the ticketed session.
+    pub suite: CipherSuite,
+    /// Master secret of the ticketed session.
+    pub master_secret: Vec<u8>,
+    /// Optional embedded primary-session keys (mbTLS middlebox
+    /// tickets; empty for ordinary tickets).
+    pub primary_keys: Option<SessionKeys>,
+}
+
+impl TicketPlaintext {
+    /// Encode for sealing.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.u16(self.suite.id());
+        e.vec16(&self.master_secret);
+        match &self.primary_keys {
+            Some(keys) => {
+                e.u8(1);
+                e.vec16(&keys.encode());
+            }
+            None => e.u8(0),
+        }
+        e.into_bytes()
+    }
+
+    /// Decode after unsealing.
+    pub fn decode(bytes: &[u8]) -> Result<Self, TlsError> {
+        let mut d = Decoder::new(bytes);
+        let suite =
+            CipherSuite::from_id(d.u16()?).ok_or(TlsError::Decode("unknown suite in ticket"))?;
+        let master_secret = d.vec16()?.to_vec();
+        let primary_keys = match d.u8()? {
+            0 => None,
+            1 => Some(SessionKeys::decode(d.vec16()?)?),
+            _ => return Err(TlsError::Decode("bad ticket flag")),
+        };
+        d.expect_end()?;
+        Ok(TicketPlaintext {
+            suite,
+            master_secret,
+            primary_keys,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_secrets() -> ConnectionSecrets {
+        ConnectionSecrets {
+            suite: CipherSuite::EcdheAes256GcmSha384,
+            master_secret: vec![0x42; 48],
+            client_random: [1; 32],
+            server_random: [2; 32],
+        }
+    }
+
+    #[test]
+    fn session_keys_roundtrip() {
+        let keys = SessionKeys::from_secrets(&sample_secrets(), 1, 1);
+        let decoded = SessionKeys::decode(&keys.encode()).unwrap();
+        assert_eq!(decoded, keys);
+    }
+
+    #[test]
+    fn session_keys_decode_validates_lengths() {
+        let keys = SessionKeys::from_secrets(&sample_secrets(), 0, 0);
+        let mut bytes = keys.encode();
+        bytes.truncate(bytes.len() - 1);
+        assert!(SessionKeys::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn exported_keys_can_protect_records() {
+        let keys = SessionKeys::from_secrets(&sample_secrets(), 5, 9);
+        let mut tx = keys.seal_client_to_server().unwrap();
+        let mut rx = keys.open_client_to_server().unwrap();
+        assert_eq!(tx.seq(), 5);
+        let wire = tx
+            .seal_record(crate::record::ContentType::ApplicationData, b"mid-session join")
+            .unwrap();
+        let mut rr = crate::record::RecordReader::new();
+        rr.feed(&wire);
+        let rec = rr.next_record().unwrap().unwrap();
+        assert_eq!(
+            rx.open_record(crate::record::ContentType::ApplicationData, &rec.body)
+                .unwrap(),
+            b"mid-session join"
+        );
+    }
+
+    #[test]
+    fn directions_use_distinct_keys() {
+        let keys = SessionKeys::from_secrets(&sample_secrets(), 0, 0);
+        assert_ne!(keys.client_write_key, keys.server_write_key);
+        let mut c2s_tx = keys.seal_client_to_server().unwrap();
+        let mut s2c_rx = keys.open_server_to_client().unwrap();
+        let wire = c2s_tx
+            .seal_record(crate::record::ContentType::ApplicationData, b"x")
+            .unwrap();
+        let mut rr = crate::record::RecordReader::new();
+        rr.feed(&wire);
+        let rec = rr.next_record().unwrap().unwrap();
+        // Opening client→server traffic with the server-write state fails.
+        assert!(s2c_rx
+            .open_record(crate::record::ContentType::ApplicationData, &rec.body)
+            .is_err());
+    }
+
+    #[test]
+    fn ticket_roundtrip_with_and_without_primary_keys() {
+        let plain = TicketPlaintext {
+            suite: CipherSuite::EcdheAes256GcmSha384,
+            master_secret: vec![7; 48],
+            primary_keys: None,
+        };
+        assert_eq!(TicketPlaintext::decode(&plain.encode()).unwrap(), plain);
+
+        let with_keys = TicketPlaintext {
+            suite: CipherSuite::EcdheAes256GcmSha384,
+            master_secret: vec![7; 48],
+            primary_keys: Some(SessionKeys::from_secrets(&sample_secrets(), 3, 4)),
+        };
+        assert_eq!(TicketPlaintext::decode(&with_keys.encode()).unwrap(), with_keys);
+    }
+}

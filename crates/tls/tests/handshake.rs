@@ -1,0 +1,529 @@
+//! End-to-end TLS handshake tests over an in-memory pipe.
+
+use std::sync::Arc;
+
+use mbtls_crypto::rng::CryptoRng;
+use mbtls_pki::cert::{CertificateAuthority, CertifiedKey};
+use mbtls_pki::{KeyUsage, TrustStore};
+use mbtls_sgx::{AttestationService, CodeIdentity, Enclave, Platform, Quote};
+use mbtls_tls::config::{AttestationPolicy, Attestor, ClientConfig, ServerConfig};
+use mbtls_tls::suites::CipherSuite;
+use mbtls_tls::{ClientConnection, ServerConnection, TlsError};
+
+/// Test fixture: a CA, a server identity, and matching configs.
+struct Fixture {
+    trust: Arc<TrustStore>,
+    server_key: Arc<CertifiedKey>,
+    rng: CryptoRng,
+}
+
+fn fixture(seed: u64) -> Fixture {
+    let mut rng = CryptoRng::from_seed(seed);
+    let mut ca = CertificateAuthority::new_root("Test Root", 0, 1_000_000, &mut rng);
+    let server_key = CertifiedKey::issue(
+        &mut ca,
+        "server.example",
+        &["*.server.example"],
+        0,
+        1_000_000,
+        KeyUsage::Endpoint,
+        &mut rng,
+    );
+    let mut trust = TrustStore::new();
+    trust.add_root(ca.certificate().clone());
+    Fixture {
+        trust: Arc::new(trust),
+        server_key: Arc::new(server_key),
+        rng,
+    }
+}
+
+/// Pump bytes between client and server until quiescent.
+fn run_to_completion(
+    client: &mut ClientConnection,
+    server: &mut ServerConnection,
+    rng: &mut CryptoRng,
+) -> Result<(), TlsError> {
+    for _ in 0..20 {
+        let c_out = client.take_outgoing();
+        if !c_out.is_empty() {
+            server.feed_incoming(&c_out, rng)?;
+        }
+        let s_out = server.take_outgoing();
+        if !s_out.is_empty() {
+            client.feed_incoming(&s_out, rng)?;
+        }
+        if c_out.is_empty() && s_out.is_empty() {
+            break;
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn full_handshake_all_suites() {
+    for suite in CipherSuite::ALL {
+        let mut f = fixture(100 + suite.id() as u64);
+        let mut cc = ClientConfig::new(f.trust.clone());
+        cc.suites = vec![suite];
+        let sc = ServerConfig::new(f.server_key.clone(), [7u8; 32]);
+        let mut client = ClientConnection::new(Arc::new(cc), "server.example", &mut f.rng);
+        let mut server = ServerConnection::new(Arc::new(sc));
+        run_to_completion(&mut client, &mut server, &mut f.rng).unwrap();
+        assert!(client.is_established(), "{suite:?} client");
+        assert!(server.is_established(), "{suite:?} server");
+        assert!(!client.resumed());
+        // Both sides agree on the master secret.
+        assert_eq!(
+            client.secrets().unwrap().master_secret,
+            server.secrets().unwrap().master_secret
+        );
+    }
+}
+
+#[test]
+fn application_data_both_directions() {
+    let mut f = fixture(2);
+    let cc = Arc::new(ClientConfig::new(f.trust.clone()));
+    let sc = Arc::new(ServerConfig::new(f.server_key.clone(), [7u8; 32]));
+    let mut client = ClientConnection::new(cc, "server.example", &mut f.rng);
+    let mut server = ServerConnection::new(sc);
+    run_to_completion(&mut client, &mut server, &mut f.rng).unwrap();
+
+    client.send_data(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+    server
+        .feed_incoming(&client.take_outgoing(), &mut f.rng)
+        .unwrap();
+    assert_eq!(server.take_plaintext(), b"GET / HTTP/1.1\r\n\r\n");
+
+    server.send_data(b"HTTP/1.1 200 OK\r\n\r\nhello").unwrap();
+    client
+        .feed_incoming(&server.take_outgoing(), &mut f.rng)
+        .unwrap();
+    assert_eq!(client.take_plaintext(), b"HTTP/1.1 200 OK\r\n\r\nhello");
+}
+
+#[test]
+fn large_data_fragments_and_reassembles() {
+    let mut f = fixture(3);
+    let cc = Arc::new(ClientConfig::new(f.trust.clone()));
+    let sc = Arc::new(ServerConfig::new(f.server_key.clone(), [7u8; 32]));
+    let mut client = ClientConnection::new(cc, "server.example", &mut f.rng);
+    let mut server = ServerConnection::new(sc);
+    run_to_completion(&mut client, &mut server, &mut f.rng).unwrap();
+
+    let big: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+    client.send_data(&big).unwrap();
+    let wire = client.take_outgoing();
+    // Feed in awkward chunks to exercise reassembly.
+    for chunk in wire.chunks(4096) {
+        server.feed_incoming(chunk, &mut f.rng).unwrap();
+    }
+    assert_eq!(server.take_plaintext(), big);
+}
+
+#[test]
+fn wrong_name_rejected() {
+    let mut f = fixture(4);
+    let cc = Arc::new(ClientConfig::new(f.trust.clone()));
+    let sc = Arc::new(ServerConfig::new(f.server_key.clone(), [7u8; 32]));
+    let mut client = ClientConnection::new(cc, "other.example", &mut f.rng);
+    let mut server = ServerConnection::new(sc);
+    let result = run_to_completion(&mut client, &mut server, &mut f.rng);
+    assert!(matches!(
+        result,
+        Err(TlsError::Certificate(mbtls_pki::CertError::NameMismatch))
+    ));
+    assert!(client.is_failed());
+}
+
+#[test]
+fn wildcard_name_accepted() {
+    let mut f = fixture(5);
+    let cc = Arc::new(ClientConfig::new(f.trust.clone()));
+    let sc = Arc::new(ServerConfig::new(f.server_key.clone(), [7u8; 32]));
+    let mut client = ClientConnection::new(cc, "www.server.example", &mut f.rng);
+    let mut server = ServerConnection::new(sc);
+    run_to_completion(&mut client, &mut server, &mut f.rng).unwrap();
+    assert!(client.is_established());
+}
+
+#[test]
+fn untrusted_ca_rejected() {
+    let mut f = fixture(6);
+    // Client trusts a different root.
+    let mut other_ca = CertificateAuthority::new_root("Other Root", 0, 1_000_000, &mut f.rng);
+    let _ = other_ca; // name emphasises the mismatch
+    let mut empty_trust = TrustStore::new();
+    empty_trust.add_root(other_ca.issue_intermediate("x", 0, 10, &mut f.rng).certificate().clone());
+    let cc = Arc::new(ClientConfig::new(Arc::new(empty_trust)));
+    let sc = Arc::new(ServerConfig::new(f.server_key.clone(), [7u8; 32]));
+    let mut client = ClientConnection::new(cc, "server.example", &mut f.rng);
+    let mut server = ServerConnection::new(sc);
+    let result = run_to_completion(&mut client, &mut server, &mut f.rng);
+    assert!(matches!(result, Err(TlsError::Certificate(_))));
+}
+
+#[test]
+fn expired_certificate_rejected() {
+    let mut f = fixture(7);
+    let mut cc = ClientConfig::new(f.trust.clone());
+    cc.current_time = 2_000_000; // past not_after
+    let sc = Arc::new(ServerConfig::new(f.server_key.clone(), [7u8; 32]));
+    let mut client = ClientConnection::new(Arc::new(cc), "server.example", &mut f.rng);
+    let mut server = ServerConnection::new(sc);
+    let result = run_to_completion(&mut client, &mut server, &mut f.rng);
+    assert!(matches!(
+        result,
+        Err(TlsError::Certificate(mbtls_pki::CertError::Expired))
+    ));
+}
+
+#[test]
+fn no_common_suite_fails_cleanly() {
+    let mut f = fixture(8);
+    let mut cc = ClientConfig::new(f.trust.clone());
+    cc.suites = vec![CipherSuite::EcdheAes128GcmSha256];
+    let mut sc = ServerConfig::new(f.server_key.clone(), [7u8; 32]);
+    sc.suites = vec![CipherSuite::DheAes256GcmSha384];
+    let mut client = ClientConnection::new(Arc::new(cc), "server.example", &mut f.rng);
+    let mut server = ServerConnection::new(Arc::new(sc));
+    let result = run_to_completion(&mut client, &mut server, &mut f.rng);
+    assert!(matches!(result, Err(TlsError::NegotiationFailed(_))));
+    assert!(server.is_failed());
+}
+
+#[test]
+fn ticket_resumption_works() {
+    let mut f = fixture(9);
+    let cc = Arc::new(ClientConfig::new(f.trust.clone()));
+    let sc = Arc::new(ServerConfig::new(f.server_key.clone(), [7u8; 32]));
+    let mut client = ClientConnection::new(cc, "server.example", &mut f.rng);
+    let mut server = ServerConnection::new(sc.clone());
+    run_to_completion(&mut client, &mut server, &mut f.rng).unwrap();
+    assert!(client.issued_ticket().is_some(), "server should issue a ticket");
+    let resumption = client.resumption_data().unwrap();
+
+    // Second connection offering the ticket.
+    let mut cc2 = ClientConfig::new(f.trust.clone());
+    cc2.resumption_cache
+        .insert("server.example".to_string(), resumption.clone());
+    let mut client2 = ClientConnection::new(Arc::new(cc2), "server.example", &mut f.rng);
+    let mut server2 = ServerConnection::new(sc);
+    run_to_completion(&mut client2, &mut server2, &mut f.rng).unwrap();
+    assert!(client2.is_established());
+    assert!(server2.is_established());
+    assert!(client2.resumed(), "client should resume");
+    assert!(server2.resumed(), "server should resume");
+    // Fresh randoms → fresh key block, same master secret.
+    assert_eq!(
+        client2.secrets().unwrap().master_secret,
+        resumption.master_secret
+    );
+
+    // Data still flows.
+    client2.send_data(b"resumed!").unwrap();
+    server2
+        .feed_incoming(&client2.take_outgoing(), &mut f.rng)
+        .unwrap();
+    assert_eq!(server2.take_plaintext(), b"resumed!");
+}
+
+#[test]
+fn bogus_ticket_falls_back_to_full_handshake() {
+    let mut f = fixture(10);
+    let mut cc = ClientConfig::new(f.trust.clone());
+    cc.resumption_cache.insert(
+        "server.example".to_string(),
+        mbtls_tls::session::ResumptionData {
+            suite: CipherSuite::EcdheAes256GcmSha384,
+            master_secret: vec![0xEE; 48],
+            ticket: Some(vec![0xAB; 60]),
+            session_id: vec![],
+        },
+    );
+    let sc = Arc::new(ServerConfig::new(f.server_key.clone(), [7u8; 32]));
+    let mut client = ClientConnection::new(Arc::new(cc), "server.example", &mut f.rng);
+    let mut server = ServerConnection::new(sc);
+    run_to_completion(&mut client, &mut server, &mut f.rng).unwrap();
+    assert!(client.is_established());
+    assert!(!server.resumed());
+    assert!(!client.resumed());
+}
+
+#[test]
+fn tampered_record_fails_connection() {
+    let mut f = fixture(11);
+    let cc = Arc::new(ClientConfig::new(f.trust.clone()));
+    let sc = Arc::new(ServerConfig::new(f.server_key.clone(), [7u8; 32]));
+    let mut client = ClientConnection::new(cc, "server.example", &mut f.rng);
+    let mut server = ServerConnection::new(sc);
+    run_to_completion(&mut client, &mut server, &mut f.rng).unwrap();
+
+    client.send_data(b"sensitive").unwrap();
+    let mut wire = client.take_outgoing();
+    let n = wire.len();
+    wire[n - 3] ^= 0x01; // flip a ciphertext bit
+    let result = server.feed_incoming(&wire, &mut f.rng);
+    assert!(matches!(
+        result,
+        Err(TlsError::Crypto(mbtls_crypto::CryptoError::BadTag))
+    ));
+    assert!(server.is_failed());
+}
+
+#[test]
+fn attestation_verified_when_required() {
+    let mut f = fixture(12);
+    // Stand up a simulated SGX platform running the server.
+    let mut svc = AttestationService::new(&mut f.rng);
+    let pak = svc.provision_platform(&mut f.rng);
+    let mut platform = Platform::new(pak, &mut f.rng);
+    let code = CodeIdentity::new("mbtls-server", "1.0", b"strong-ciphers-only");
+    let enclave = Enclave::create(&mut platform, &code, Vec::new());
+
+    struct EnclaveAttestor {
+        platform: Platform,
+        enclave: Enclave<Vec<u8>>,
+    }
+    impl Attestor for EnclaveAttestor {
+        fn quote(&self, report_data: [u8; 64]) -> Quote {
+            self.enclave.quote(&self.platform, report_data)
+        }
+    }
+
+    let mut sc = ServerConfig::new(f.server_key.clone(), [7u8; 32]);
+    sc.attestor = Some(Arc::new(EnclaveAttestor { platform, enclave }));
+    let mut cc = ClientConfig::new(f.trust.clone());
+    cc.attestation_policy = Some(AttestationPolicy {
+        root: svc.root_verifying_key(),
+        acceptable: vec![code.measure()],
+    });
+
+    let mut client = ClientConnection::new(Arc::new(cc), "server.example", &mut f.rng);
+    let mut server = ServerConnection::new(Arc::new(sc));
+    run_to_completion(&mut client, &mut server, &mut f.rng).unwrap();
+    assert!(client.is_established());
+    let quote = client.peer_quote().expect("quote captured");
+    assert_eq!(quote.measurement, code.measure());
+}
+
+#[test]
+fn attestation_with_wrong_measurement_rejected() {
+    let mut f = fixture(13);
+    let mut svc = AttestationService::new(&mut f.rng);
+    let pak = svc.provision_platform(&mut f.rng);
+    let mut platform = Platform::new(pak, &mut f.rng);
+    let evil_code = CodeIdentity::new("mbtls-server-evil", "1.0", b"");
+    let enclave = Enclave::create(&mut platform, &evil_code, Vec::new());
+
+    struct EnclaveAttestor {
+        platform: Platform,
+        enclave: Enclave<Vec<u8>>,
+    }
+    impl Attestor for EnclaveAttestor {
+        fn quote(&self, report_data: [u8; 64]) -> Quote {
+            self.enclave.quote(&self.platform, report_data)
+        }
+    }
+
+    let mut sc = ServerConfig::new(f.server_key.clone(), [7u8; 32]);
+    sc.attestor = Some(Arc::new(EnclaveAttestor { platform, enclave }));
+    let expected = CodeIdentity::new("mbtls-server", "1.0", b"strong-ciphers-only");
+    let mut cc = ClientConfig::new(f.trust.clone());
+    cc.attestation_policy = Some(AttestationPolicy {
+        root: svc.root_verifying_key(),
+        acceptable: vec![expected.measure()],
+    });
+
+    let mut client = ClientConnection::new(Arc::new(cc), "server.example", &mut f.rng);
+    let mut server = ServerConnection::new(Arc::new(sc));
+    let result = run_to_completion(&mut client, &mut server, &mut f.rng);
+    assert!(matches!(
+        result,
+        Err(TlsError::Attestation(
+            mbtls_sgx::AttestationError::MeasurementMismatch
+        ))
+    ));
+}
+
+#[test]
+fn attestation_required_but_server_cannot_attest() {
+    let mut f = fixture(14);
+    let mut svc = AttestationService::new(&mut f.rng);
+    let sc = Arc::new(ServerConfig::new(f.server_key.clone(), [7u8; 32]));
+    let mut cc = ClientConfig::new(f.trust.clone());
+    cc.attestation_policy = Some(AttestationPolicy {
+        root: svc.root_verifying_key(),
+        acceptable: vec![],
+    });
+    let _ = svc.provision_platform(&mut f.rng);
+    let mut client = ClientConnection::new(Arc::new(cc), "server.example", &mut f.rng);
+    let mut server = ServerConnection::new(sc);
+    let result = run_to_completion(&mut client, &mut server, &mut f.rng);
+    assert!(matches!(result, Err(TlsError::UnexpectedMessage(_))));
+}
+
+#[test]
+fn false_start_data_arrives_with_finished() {
+    let mut f = fixture(15);
+    let mut cc = ClientConfig::new(f.trust.clone());
+    cc.enable_false_start = true;
+    let sc = Arc::new(ServerConfig::new(f.server_key.clone(), [7u8; 32]));
+    let mut client = ClientConnection::new(Arc::new(cc), "server.example", &mut f.rng);
+    let mut server = ServerConnection::new(sc);
+
+    // Flight 1: CH -> server.
+    server
+        .feed_incoming(&client.take_outgoing(), &mut f.rng)
+        .unwrap();
+    // Flight 2: server flight -> client.
+    client
+        .feed_incoming(&server.take_outgoing(), &mut f.rng)
+        .unwrap();
+    // Client now has CKE+CCS+Finished queued; send early data too.
+    client.send_data(b"early request").unwrap();
+    server
+        .feed_incoming(&client.take_outgoing(), &mut f.rng)
+        .unwrap();
+    // Server is established after the client Finished; data that
+    // followed in the same flight is delivered.
+    assert!(server.is_established());
+    assert_eq!(server.take_plaintext(), b"early request");
+    // Complete the handshake on the client side.
+    client
+        .feed_incoming(&server.take_outgoing(), &mut f.rng)
+        .unwrap();
+    assert!(client.is_established());
+}
+
+#[test]
+fn false_start_disabled_blocks_early_send() {
+    let mut f = fixture(16);
+    let cc = Arc::new(ClientConfig::new(f.trust.clone()));
+    let sc = Arc::new(ServerConfig::new(f.server_key.clone(), [7u8; 32]));
+    let mut client = ClientConnection::new(cc, "server.example", &mut f.rng);
+    let mut server = ServerConnection::new(sc);
+    server
+        .feed_incoming(&client.take_outgoing(), &mut f.rng)
+        .unwrap();
+    client
+        .feed_incoming(&server.take_outgoing(), &mut f.rng)
+        .unwrap();
+    assert!(matches!(
+        client.send_data(b"too early"),
+        Err(TlsError::HandshakeNotDone)
+    ));
+}
+
+#[test]
+fn exported_keys_match_between_peers() {
+    let mut f = fixture(17);
+    let cc = Arc::new(ClientConfig::new(f.trust.clone()));
+    let sc = Arc::new(ServerConfig::new(f.server_key.clone(), [7u8; 32]));
+    let mut client = ClientConnection::new(cc, "server.example", &mut f.rng);
+    let mut server = ServerConnection::new(sc);
+    run_to_completion(&mut client, &mut server, &mut f.rng).unwrap();
+    let ck = client.export_session_keys().unwrap();
+    let sk = server.export_session_keys().unwrap();
+    assert_eq!(ck.client_write_key, sk.client_write_key);
+    assert_eq!(ck.server_write_key, sk.server_write_key);
+    assert_eq!(ck.client_to_server_seq, sk.client_to_server_seq);
+    assert_eq!(ck.server_to_client_seq, sk.server_to_client_seq);
+}
+
+#[test]
+fn nonstandard_records_surfaced_not_fatal() {
+    let mut f = fixture(18);
+    let cc = Arc::new(ClientConfig::new(f.trust.clone()));
+    let sc = Arc::new(ServerConfig::new(f.server_key.clone(), [7u8; 32]));
+    let mut client = ClientConnection::new(cc, "server.example", &mut f.rng);
+    let mut server = ServerConnection::new(sc);
+    // Inject an mbTLS MiddleboxAnnouncement record ahead of the CH.
+    let announce = mbtls_tls::record::frame_plaintext(
+        mbtls_tls::ContentType::MbtlsMiddleboxAnnouncement,
+        b"",
+    );
+    server.feed_incoming(&announce, &mut f.rng).unwrap();
+    let surfaced = server.take_nonstandard_records();
+    assert_eq!(surfaced.len(), 1);
+    assert_eq!(surfaced[0].0, 32);
+    // Handshake still completes afterwards.
+    run_to_completion(&mut client, &mut server, &mut f.rng).unwrap();
+    assert!(server.is_established());
+}
+
+#[test]
+fn strict_server_rejects_nonstandard_records() {
+    let mut f = fixture(19);
+    let mut sc = ServerConfig::new(f.server_key.clone(), [7u8; 32]);
+    sc.strict_unknown_records = true;
+    let mut server = ServerConnection::new(Arc::new(sc));
+    let announce = mbtls_tls::record::frame_plaintext(
+        mbtls_tls::ContentType::MbtlsMiddleboxAnnouncement,
+        b"",
+    );
+    let result = server.feed_incoming(&announce, &mut f.rng);
+    assert!(matches!(result, Err(TlsError::Decode(_))));
+    assert!(server.is_failed());
+}
+
+#[test]
+fn danger_disable_cert_verify_accepts_anything() {
+    let mut f = fixture(20);
+    // Client with empty trust store but verification disabled.
+    let mut cc = ClientConfig::new(Arc::new(TrustStore::new()));
+    cc.danger_disable_cert_verify = true;
+    let sc = Arc::new(ServerConfig::new(f.server_key.clone(), [7u8; 32]));
+    let mut client = ClientConnection::new(Arc::new(cc), "whatever.example", &mut f.rng);
+    let mut server = ServerConnection::new(sc);
+    run_to_completion(&mut client, &mut server, &mut f.rng).unwrap();
+    assert!(client.is_established());
+}
+
+#[test]
+fn reused_hello_transcripts_agree() {
+    // The mbTLS secondary-handshake construction: a second client
+    // connection built from the same ClientHello completes against a
+    // different server that received those same CH bytes.
+    let mut f = fixture(21);
+    let cc = Arc::new(ClientConfig::new(f.trust.clone()));
+    let hello = ClientConnection::build_hello(&cc, "server.example", &mut f.rng);
+
+    // "Middlebox" server identity.
+    let mut ca2 = CertificateAuthority::new_root("Test Root 2", 0, 1_000_000, &mut f.rng);
+    let mbox_key = CertifiedKey::issue(
+        &mut ca2,
+        "mbox.example",
+        &[],
+        0,
+        1_000_000,
+        KeyUsage::Middlebox,
+        &mut f.rng,
+    );
+    let mut trust2 = TrustStore::new();
+    trust2.add_root(ca2.certificate().clone());
+    let cc2 = Arc::new(ClientConfig::new(Arc::new(trust2)));
+
+    let mut secondary =
+        ClientConnection::with_reused_hello(cc2, "mbox.example", hello.clone());
+    // Nothing is sent by the secondary connection itself.
+    assert!(secondary.take_outgoing().is_empty());
+
+    let mut mbox_server = ServerConnection::new(Arc::new(ServerConfig::new(
+        Arc::new(mbox_key),
+        [9u8; 32],
+    )));
+    // Deliver the shared CH bytes to the middlebox's server side.
+    let ch_record = mbtls_tls::record::frame_plaintext(
+        mbtls_tls::ContentType::Handshake,
+        &mbtls_tls::messages::frame_handshake(
+            mbtls_tls::messages::handshake_type::CLIENT_HELLO,
+            &hello.encode_body(),
+        ),
+    );
+    mbox_server.feed_incoming(&ch_record, &mut f.rng).unwrap();
+    run_to_completion(&mut secondary, &mut mbox_server, &mut f.rng).unwrap();
+    assert!(secondary.is_established());
+    assert!(mbox_server.is_established());
+}

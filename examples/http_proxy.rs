@@ -1,0 +1,67 @@
+//! The paper's §5 prototype, reproduced: a simple mbTLS HTTP proxy
+//! performing header insertion, serving a client that fetches pages
+//! from a web server — with the proxy's code identity verified by
+//! remote attestation before it is allowed into the session.
+//!
+//! Run with: `cargo run -p mbtls-bench --example http_proxy`
+
+use std::sync::Arc;
+
+use mbtls_core::attacks::Testbed;
+use mbtls_core::client::MbClientSession;
+use mbtls_core::driver::Chain;
+use mbtls_core::middlebox::Middlebox;
+use mbtls_core::server::MbServerSession;
+use mbtls_crypto::rng::CryptoRng;
+use mbtls_http::message::{Request, RequestParser, Response};
+use mbtls_mboxes::HeaderInsertionProxy;
+
+fn main() {
+    let tb = Testbed::new(7);
+    let client = MbClientSession::new(
+        Arc::new(tb.client_config()),
+        "server.example",
+        CryptoRng::from_seed(71),
+    );
+    let server = MbServerSession::new(Arc::new(tb.server_config()), CryptoRng::from_seed(72));
+    let proxy = Middlebox::with_processor(
+        tb.middlebox_config(&tb.mbox_code),
+        CryptoRng::from_seed(73),
+        Box::new(HeaderInsertionProxy::new("Via", "1.1 mbtls-proxy").tagging_responses()),
+    );
+
+    let mut chain = Chain::new(Box::new(client), vec![Box::new(proxy)], Box::new(server));
+    chain.run_handshake().expect("handshake");
+    println!("session established through the attested HTTP proxy\n");
+
+    // Fetch three pages; a tiny HTTP server loop answers each.
+    for path in ["/", "/news", "/about"] {
+        let wire = Request::get(path, "server.example").encode();
+        let server_got = chain
+            .client_to_server(&wire, wire.len() + 16)
+            .expect("request");
+        let mut parser = RequestParser::new();
+        parser.feed(&server_got);
+        let req = parser.next_request().unwrap().expect("complete request");
+        println!(
+            "server saw: {} {} (Via: {})",
+            req.method,
+            req.target,
+            req.header("Via").unwrap_or("<none — proxy did not run!>")
+        );
+        assert_eq!(req.header("Via"), Some("1.1 mbtls-proxy"));
+
+        let body = format!("<html>content of {}</html>", req.target);
+        let resp = Response::ok(body.as_bytes()).encode();
+        let client_got = chain
+            .server_to_client(&resp, resp.len() + 16)
+            .expect("response");
+        let text = String::from_utf8_lossy(&client_got);
+        let tagged = text.contains("X-Proxied: 1");
+        println!(
+            "client got {} bytes for {path} (X-Proxied header present: {tagged})\n",
+            client_got.len()
+        );
+    }
+    println!("done: every request carried the proxy's Via header, end-to-end encrypted per hop");
+}

@@ -1,0 +1,104 @@
+//! Run one seeded mbTLS session through the network simulator with a
+//! `JsonLinesSink` attached, validate every emitted line as JSON, and
+//! print the trace to stdout.
+//!
+//! Used by `scripts/telemetry_smoke.sh` as the end-to-end check that
+//! the telemetry pipeline produces well-formed, virtual-time-stamped
+//! output.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use mbtls_core::attacks::Testbed;
+use mbtls_core::client::MbClientSession;
+use mbtls_core::driver::{Chain, NetChain};
+use mbtls_core::middlebox::Middlebox;
+use mbtls_core::server::MbServerSession;
+use mbtls_crypto::rng::CryptoRng;
+use mbtls_netsim::time::Duration;
+use mbtls_netsim::{FaultConfig, Network};
+use mbtls_telemetry::{validate_json_line, JsonLinesSink, SharedSink};
+
+/// A `Write` target the bin keeps a handle to after the sink is moved
+/// into the shared telemetry layer.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn main() {
+    let seed: u64 = match std::env::args().nth(1) {
+        Some(arg) => {
+            let parsed = match arg.strip_prefix("0x").or_else(|| arg.strip_prefix("0X")) {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => arg.parse(),
+            };
+            match parsed {
+                Ok(seed) => seed,
+                Err(_) => {
+                    eprintln!("usage: telemetry_trace [seed]  (decimal or 0x-prefixed hex)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        None => 0x7E1E,
+    };
+
+    let tb = Testbed::new(seed);
+    let buf = SharedBuf::default();
+    let sink = SharedSink::new(JsonLinesSink::new(buf.clone()));
+
+    let mut client_cfg = tb.client_config();
+    client_cfg.telemetry = Some(sink.clone());
+    let mut server_cfg = tb.server_config();
+    server_cfg.telemetry = Some(sink.clone());
+    let mut mbox_cfg = tb.middlebox_config(&tb.mbox_code);
+    mbox_cfg.telemetry = Some(sink.clone());
+
+    let client = MbClientSession::new(
+        Arc::new(client_cfg),
+        "server.example",
+        CryptoRng::from_seed(seed + 1),
+    );
+    let server = MbServerSession::new(Arc::new(server_cfg), CryptoRng::from_seed(seed + 2));
+    let mb = Middlebox::new(mbox_cfg, CryptoRng::from_seed(seed + 3));
+    let chain = Chain::new(Box::new(client), vec![Box::new(mb)], Box::new(server));
+
+    let mut net = Network::new(seed);
+    let latencies = [Duration::from_millis(10), Duration::from_millis(15)];
+    let faults = [FaultConfig::none(), FaultConfig::none()];
+    let mut nc = NetChain::new(&mut net, chain, &latencies, &faults);
+    nc.set_telemetry(sink.clone());
+
+    let timing = nc
+        .run_session(b"GET / HTTP/1.1\r\n\r\n", 4096, Duration::from_secs(60))
+        .expect("session completes");
+    sink.flush();
+
+    let bytes = buf.0.lock().unwrap().clone();
+    let text = String::from_utf8(bytes).expect("trace is UTF-8");
+    let mut lines = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        match validate_json_line(line) {
+            Ok(_) => lines += 1,
+            Err(e) => {
+                eprintln!("line {}: invalid JSON ({e}): {line}", i + 1);
+                std::process::exit(1);
+            }
+        }
+        println!("{line}");
+    }
+    eprintln!(
+        "telemetry_trace: seed={seed:#x} events={lines} handshake={:.1}ms transfer={:.1}ms — all lines valid JSON",
+        timing.handshake.as_millis_f64(),
+        timing.transfer.as_millis_f64(),
+    );
+}

@@ -4,7 +4,8 @@
 //! including waiting for network I/O)" for the client, middlebox, and
 //! server roles across seven configurations. We run the same
 //! configurations over in-memory pipes with [`crate::timing`] meters
-//! on every party.
+//! on every party, recovering per-role totals from the telemetry
+//! trace's `CpuTime` events.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -19,6 +20,8 @@ use mbtls_crypto::rng::CryptoRng;
 use mbtls_pki::cert::{CertificateAuthority, CertifiedKey};
 use mbtls_pki::KeyUsage;
 use mbtls_tls::{ClientConnection, ServerConnection};
+
+use mbtls_telemetry::{Aggregates, Party, Recorder, TelemetrySink};
 
 use crate::timing::{CpuMeter, TimedEndpoint, TimedRelay};
 
@@ -77,9 +80,10 @@ pub struct RoleTimes {
 /// Run one handshake of the given config, returning per-role times.
 pub fn run_one(config: Config, seed: u64) -> RoleTimes {
     let tb = Testbed::new(seed);
-    let client_meter = CpuMeter::new();
-    let mbox_meter = CpuMeter::new();
-    let server_meter = CpuMeter::new();
+    let recorder = Recorder::new();
+    let client_meter = CpuMeter::new(recorder.sink(), Party::Client);
+    let mbox_meter = CpuMeter::new(recorder.sink(), Party::Middlebox(0));
+    let server_meter = CpuMeter::new(recorder.sink(), Party::Server);
 
     let mut chain = match config {
         Config::TlsNoMbox => {
@@ -217,10 +221,18 @@ pub fn run_one(config: Config, seed: u64) -> RoleTimes {
     };
 
     chain.run_handshake().expect("handshake completes");
+    // Fold the trace's CpuTime samples into per-party aggregates.
+    let mut agg = Aggregates::new();
+    for event in recorder.snapshot() {
+        agg.emit(&event);
+    }
+    let cpu = |party: Party| {
+        Duration::from_nanos(agg.party(party).map_or(0, |stats| stats.cpu_ns.get()))
+    };
     RoleTimes {
-        client: client_meter.total(),
-        middlebox: mbox_meter.total(),
-        server: server_meter.total(),
+        client: cpu(Party::Client),
+        middlebox: cpu(Party::Middlebox(0)),
+        server: cpu(Party::Server),
     }
 }
 

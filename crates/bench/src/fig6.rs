@@ -5,6 +5,10 @@
 //! each path we measure (in deterministic virtual time) the handshake
 //! and data-transfer durations for plain TLS through a dumb relay and
 //! for mbTLS with the middlebox joining the session.
+//!
+//! Timings are recovered from the telemetry trace's session-phase
+//! events (`SessionStart` / `SessionHandshakeDone` /
+//! `SessionTransferDone`), all stamped with virtual time.
 
 use std::sync::Arc;
 
@@ -18,6 +22,7 @@ use mbtls_crypto::rng::CryptoRng;
 use mbtls_netsim::profiles::{figure6_paths, interdc_latency, Region};
 use mbtls_netsim::time::Duration;
 use mbtls_netsim::{FaultConfig, Network};
+use mbtls_telemetry::Recorder;
 use mbtls_tls::{ClientConnection, ServerConnection};
 
 /// One measured path.
@@ -83,7 +88,9 @@ fn one_session(
             Box::new(server),
         )
     };
+    let recorder = Recorder::new();
     let mut nc = NetChain::new(&mut net, chain, &latencies, &faults);
+    nc.set_telemetry(recorder.sink());
     // Charge the middlebox its handshake computation per flush: the
     // mbTLS middlebox performs a real TLS-server handshake (~0.7 ms
     // in Figure 5); the dumb relay does approximately nothing. This
@@ -94,7 +101,10 @@ fn one_session(
         Duration::from_micros(5)
     });
     nc.run_session(REQUEST, RESPONSE_LEN, Duration::from_secs(120))
-        .expect("session completes")
+        .expect("session completes");
+    // The returned timing is also derivable from the trace; use the
+    // trace so the figure consumes telemetry end to end.
+    SessionTiming::from_trace(&recorder.snapshot()).expect("trace carries session phases")
 }
 
 /// Run the full Figure 6 sweep. Virtual time is deterministic, so a

@@ -2,31 +2,40 @@
 //! spent inside each party's processing calls (the Figure 5
 //! "computation time, not including waiting for network I/O"
 //! methodology).
+//!
+//! Measurements are published as [`EventKind::CpuTime`] telemetry
+//! events rather than accumulated in bespoke cells, so the same trace
+//! that carries protocol events also carries the CPU attribution and
+//! any [`mbtls_telemetry::TelemetrySink`] can consume it.
 
-use std::cell::Cell;
-use std::rc::Rc;
 use std::time::{Duration, Instant};
 
 use mbtls_core::driver::{Endpoint, Relay};
 use mbtls_core::MbError;
+use mbtls_telemetry::{EventKind, Party, SharedSink};
 
-/// Shared accumulated-time handle.
-#[derive(Clone, Default)]
-pub struct CpuMeter(Rc<Cell<Duration>>);
+/// A handle that charges measured CPU time to one party of a
+/// telemetry trace.
+#[derive(Clone)]
+pub struct CpuMeter {
+    sink: SharedSink,
+    party: Party,
+}
 
 impl CpuMeter {
-    /// Fresh zeroed meter.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Total accumulated time.
-    pub fn total(&self) -> Duration {
-        self.0.get()
+    /// A meter that emits [`EventKind::CpuTime`] events for `party`
+    /// through `sink`.
+    pub fn new(sink: SharedSink, party: Party) -> Self {
+        CpuMeter { sink, party }
     }
 
     fn add(&self, d: Duration) {
-        self.0.set(self.0.get() + d);
+        self.sink.emit(
+            self.party,
+            EventKind::CpuTime {
+                dur_ns: d.as_nanos() as u64,
+            },
+        );
     }
 }
 
@@ -114,16 +123,29 @@ impl<R: Relay> Relay for TimedRelay<R> {
 mod tests {
     use super::*;
     use mbtls_core::baseline::PureRelay;
+    use mbtls_telemetry::Recorder;
 
     #[test]
-    fn meter_accumulates() {
-        let meter = CpuMeter::new();
-        let mut relay = TimedRelay::new(PureRelay::new(), meter.clone());
+    fn meter_emits_cpu_time_events() {
+        let rec = Recorder::new();
+        let meter = CpuMeter::new(rec.sink(), Party::Middlebox(0));
+        let mut relay = TimedRelay::new(PureRelay::new(), meter);
         for _ in 0..100 {
             relay.feed_left(&[0u8; 1024]).unwrap();
             let _ = relay.take_right();
         }
-        // Some nonzero time was recorded.
-        assert!(meter.total() > Duration::ZERO);
+        let events = rec.snapshot();
+        let total: u64 = events
+            .iter()
+            .map(|e| match e.kind {
+                EventKind::CpuTime { dur_ns } => dur_ns,
+                _ => 0,
+            })
+            .sum();
+        // Every wrapped call emitted a sample, and some nonzero time
+        // was recorded overall.
+        assert_eq!(events.len(), 200);
+        assert!(total > 0);
+        assert!(events.iter().all(|e| e.party == Party::Middlebox(0)));
     }
 }

@@ -190,33 +190,36 @@ impl Testbed {
 
     /// Client config with middlebox attestation required.
     pub fn client_config(&self) -> MbClientConfig {
-        let mut cfg = MbClientConfig::new(self.server_trust.clone(), self.middlebox_trust.clone());
-        cfg.middlebox_attestation = Some(AttestationPolicy {
-            root: self.attestation_root,
-            acceptable: vec![self.mbox_code.measure()],
-        });
-        cfg
+        MbClientConfig::builder(self.server_trust.clone(), self.middlebox_trust.clone())
+            .middlebox_attestation(AttestationPolicy {
+                root: self.attestation_root,
+                acceptable: vec![self.mbox_code.measure()],
+            })
+            .build()
+            .expect("valid testbed client config")
     }
 
     /// Server config with middlebox attestation required.
     pub fn server_config(&self) -> MbServerConfig {
         let tls = mbtls_tls::config::ServerConfig::new(self.server_key.clone(), [0x7E; 32]);
-        let mut cfg = MbServerConfig::new(tls, self.middlebox_trust.clone());
-        cfg.middlebox_attestation = Some(AttestationPolicy {
-            root: self.attestation_root,
-            acceptable: vec![self.mbox_code.measure()],
-        });
-        cfg
+        MbServerConfig::builder(tls, self.middlebox_trust.clone())
+            .middlebox_attestation(AttestationPolicy {
+                root: self.attestation_root,
+                acceptable: vec![self.mbox_code.measure()],
+            })
+            .build()
+            .expect("valid testbed server config")
     }
 
     /// Middlebox config attesting the given code identity.
     pub fn middlebox_config(&self, code: &CodeIdentity) -> MiddleboxConfig {
-        let mut cfg = MiddleboxConfig::new("proxy.msp.example", self.mbox_key.clone());
-        cfg.attestor = Some(Arc::new(PakAttestor {
-            pak: self.pak.clone(),
-            measurement: code.measure(),
-        }));
-        cfg
+        MiddleboxConfig::builder("proxy.msp.example", self.mbox_key.clone())
+            .attestor(Arc::new(PakAttestor {
+                pak: self.pak.clone(),
+                measurement: code.measure(),
+            }))
+            .build()
+            .expect("valid testbed middlebox config")
     }
 }
 

@@ -15,6 +15,7 @@
 use std::sync::Arc;
 
 use mbtls_crypto::rng::CryptoRng;
+use mbtls_telemetry::{EventKind, Party, SharedSink};
 use mbtls_tls::config::{ClientConfig, ServerConfig};
 use mbtls_tls::session::SessionKeys;
 use mbtls_tls::{ClientConnection, ServerConnection};
@@ -24,6 +25,33 @@ use crate::driver::Relay;
 use crate::middlebox::{DataProcessor, ForwardProcessor};
 use crate::MbError;
 
+/// Optional telemetry carried by the baseline relays: they emit only
+/// wire-level `BytesIn`/`BytesOut` (they have no mbTLS handshake or
+/// per-hop crypto to report).
+#[derive(Clone)]
+struct RelayTelemetry {
+    sink: SharedSink,
+    party: Party,
+}
+
+impl RelayTelemetry {
+    fn bytes_in(this: &Option<RelayTelemetry>, n: usize) {
+        if let Some(t) = this {
+            if n > 0 {
+                t.sink.emit(t.party, EventKind::BytesIn { bytes: n as u64 });
+            }
+        }
+    }
+
+    fn bytes_out(this: &Option<RelayTelemetry>, n: usize) {
+        if let Some(t) = this {
+            if n > 0 {
+                t.sink.emit(t.party, EventKind::BytesOut { bytes: n as u64 });
+            }
+        }
+    }
+}
+
 /// Blind byte forwarder.
 #[derive(Default)]
 pub struct PureRelay {
@@ -31,6 +59,7 @@ pub struct PureRelay {
     right: Vec<u8>,
     /// Total bytes forwarded.
     pub bytes_forwarded: u64,
+    telemetry: Option<RelayTelemetry>,
 }
 
 impl PureRelay {
@@ -38,23 +67,32 @@ impl PureRelay {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Attach a telemetry sink emitting as `party`.
+    pub fn set_telemetry(&mut self, sink: SharedSink, party: Party) {
+        self.telemetry = Some(RelayTelemetry { sink, party });
+    }
 }
 
 impl Relay for PureRelay {
     fn feed_left(&mut self, data: &[u8]) -> Result<(), MbError> {
+        RelayTelemetry::bytes_in(&self.telemetry, data.len());
         self.bytes_forwarded += data.len() as u64;
         self.right.extend_from_slice(data);
         Ok(())
     }
     fn feed_right(&mut self, data: &[u8]) -> Result<(), MbError> {
+        RelayTelemetry::bytes_in(&self.telemetry, data.len());
         self.bytes_forwarded += data.len() as u64;
         self.left.extend_from_slice(data);
         Ok(())
     }
     fn take_left(&mut self) -> Vec<u8> {
+        RelayTelemetry::bytes_out(&self.telemetry, self.left.len());
         std::mem::take(&mut self.left)
     }
     fn take_right(&mut self) -> Vec<u8> {
+        RelayTelemetry::bytes_out(&self.telemetry, self.right.len());
         std::mem::take(&mut self.right)
     }
 }
@@ -71,6 +109,7 @@ pub struct SplitTlsMiddlebox {
     server_facing: ClientConnection,
     processor: Box<dyn DataProcessor>,
     rng: CryptoRng,
+    telemetry: Option<RelayTelemetry>,
 }
 
 impl SplitTlsMiddlebox {
@@ -91,6 +130,7 @@ impl SplitTlsMiddlebox {
             server_facing,
             processor: Box::new(ForwardProcessor),
             rng,
+            telemetry: None,
         }
     }
 
@@ -98,6 +138,11 @@ impl SplitTlsMiddlebox {
     pub fn with_processor(mut self, processor: Box<dyn DataProcessor>) -> Self {
         self.processor = processor;
         self
+    }
+
+    /// Attach a telemetry sink emitting as `party`.
+    pub fn set_telemetry(&mut self, sink: SharedSink, party: Party) {
+        self.telemetry = Some(RelayTelemetry { sink, party });
     }
 
     /// Both legs established?
@@ -124,22 +169,28 @@ impl SplitTlsMiddlebox {
 
 impl Relay for SplitTlsMiddlebox {
     fn feed_left(&mut self, data: &[u8]) -> Result<(), MbError> {
+        RelayTelemetry::bytes_in(&self.telemetry, data.len());
         self.client_facing
             .feed_incoming(data, &mut self.rng)
             .map_err(MbError::Tls)?;
         self.shuttle()
     }
     fn feed_right(&mut self, data: &[u8]) -> Result<(), MbError> {
+        RelayTelemetry::bytes_in(&self.telemetry, data.len());
         self.server_facing
             .feed_incoming(data, &mut self.rng)
             .map_err(MbError::Tls)?;
         self.shuttle()
     }
     fn take_left(&mut self) -> Vec<u8> {
-        self.client_facing.take_outgoing()
+        let out = self.client_facing.take_outgoing();
+        RelayTelemetry::bytes_out(&self.telemetry, out.len());
+        out
     }
     fn take_right(&mut self) -> Vec<u8> {
-        self.server_facing.take_outgoing()
+        let out = self.server_facing.take_outgoing();
+        RelayTelemetry::bytes_out(&self.telemetry, out.len());
+        out
     }
 }
 
@@ -154,6 +205,7 @@ pub struct NaiveKeyShare {
     relay: PureRelay,
     dataplane: Option<MiddleboxDataPlane>,
     processor: Box<dyn DataProcessor>,
+    telemetry: Option<RelayTelemetry>,
 }
 
 impl NaiveKeyShare {
@@ -163,6 +215,7 @@ impl NaiveKeyShare {
             relay: PureRelay::new(),
             dataplane: None,
             processor: Box::new(ForwardProcessor),
+            telemetry: None,
         }
     }
 
@@ -172,12 +225,26 @@ impl NaiveKeyShare {
         self
     }
 
+    /// Attach a telemetry sink emitting as `party`; per-hop record
+    /// events flow once keys are installed.
+    pub fn set_telemetry(&mut self, sink: SharedSink, party: Party) {
+        self.telemetry = Some(RelayTelemetry { sink: sink.clone(), party });
+        self.relay.set_telemetry(sink.clone(), party);
+        if let Some(dp) = &mut self.dataplane {
+            dp.set_telemetry(sink, party);
+        }
+    }
+
     /// Deliver the primary session keys (the Fig. 1 secondary-channel
     /// step). Both hops get the *same* keys — the point of this
     /// baseline.
     pub fn install_keys(&mut self, keys: &SessionKeys) -> Result<(), MbError> {
-        self.dataplane =
-            Some(MiddleboxDataPlane::new(keys, keys).map_err(MbError::Tls)?);
+        let mut dp = MiddleboxDataPlane::new(keys, keys).map_err(MbError::Tls)?;
+        if let Some(t) = &self.telemetry {
+            dp.set_telemetry(t.sink.clone(), t.party);
+            t.sink.emit(t.party, EventKind::KeyDelivery { subchannel: 0 });
+        }
+        self.dataplane = Some(dp);
         Ok(())
     }
 

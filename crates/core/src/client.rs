@@ -12,6 +12,7 @@ use std::sync::Arc;
 
 use mbtls_crypto::rng::CryptoRng;
 use mbtls_pki::{KeyUsage, TrustStore};
+use mbtls_telemetry::{EventKind, Party, SharedSink};
 use mbtls_tls::config::{AttestationPolicy, ClientConfig};
 use mbtls_tls::messages::{extension_type, Extension};
 use mbtls_tls::record::{frame_plaintext, ContentType, RecordReader};
@@ -54,6 +55,8 @@ pub struct MbClientConfig {
     /// Send the MiddleboxSupport extension at all (false = behave as
     /// a legacy TLS client).
     pub mbtls_enabled: bool,
+    /// Telemetry sink for structured events (None = telemetry off).
+    pub telemetry: Option<SharedSink>,
 }
 
 impl MbClientConfig {
@@ -66,7 +69,90 @@ impl MbClientConfig {
             approval: ApprovalPolicy::AllVerified,
             preconfigured: Vec::new(),
             mbtls_enabled: true,
+            telemetry: None,
         }
+    }
+
+    /// Start a validating builder over the given trust stores —
+    /// the preferred construction path (struct-literal construction
+    /// skips validation).
+    pub fn builder(
+        server_trust: Arc<TrustStore>,
+        middlebox_trust: Arc<TrustStore>,
+    ) -> MbClientConfigBuilder {
+        MbClientConfigBuilder { cfg: MbClientConfig::new(server_trust, middlebox_trust) }
+    }
+}
+
+/// Validating builder for [`MbClientConfig`].
+pub struct MbClientConfigBuilder {
+    cfg: MbClientConfig,
+}
+
+impl MbClientConfigBuilder {
+    /// Replace the primary-connection TLS configuration.
+    pub fn tls(mut self, tls: ClientConfig) -> Self {
+        self.cfg.tls = tls;
+        self
+    }
+
+    /// Require middleboxes to satisfy this attestation policy.
+    pub fn middlebox_attestation(mut self, policy: AttestationPolicy) -> Self {
+        self.cfg.middlebox_attestation = Some(policy);
+        self
+    }
+
+    /// Set the post-verification approval policy.
+    pub fn approval(mut self, approval: ApprovalPolicy) -> Self {
+        self.cfg.approval = approval;
+        self
+    }
+
+    /// Add a middlebox known a priori (sent in MiddleboxSupport).
+    pub fn preconfigured(mut self, name: impl Into<String>) -> Self {
+        self.cfg.preconfigured.push(name.into());
+        self
+    }
+
+    /// Enable or disable mbTLS (false = behave as legacy TLS client).
+    pub fn mbtls_enabled(mut self, enabled: bool) -> Self {
+        self.cfg.mbtls_enabled = enabled;
+        self
+    }
+
+    /// Attach a telemetry sink.
+    pub fn telemetry(mut self, sink: SharedSink) -> Self {
+        self.cfg.telemetry = Some(sink);
+        self
+    }
+
+    /// Validate and build. Rejects empty or duplicate middlebox names
+    /// and empty allow-lists (use [`ApprovalPolicy::DenyAll`] to
+    /// refuse every middlebox explicitly).
+    pub fn build(self) -> Result<MbClientConfig, MbError> {
+        for (i, name) in self.cfg.preconfigured.iter().enumerate() {
+            if name.is_empty() {
+                return Err(MbError::Config("preconfigured middlebox name is empty".into()));
+            }
+            if self.cfg.preconfigured[..i].contains(name) {
+                return Err(MbError::Config(format!(
+                    "duplicate preconfigured middlebox {name:?}"
+                )));
+            }
+        }
+        if let ApprovalPolicy::AllowList(names) = &self.cfg.approval {
+            if names.is_empty() {
+                return Err(MbError::Config(
+                    "approval allow-list is empty (use DenyAll to refuse all middleboxes)".into(),
+                ));
+            }
+            for (i, name) in names.iter().enumerate() {
+                if names[..i].contains(name) {
+                    return Err(MbError::Config(format!("duplicate allow-list entry {name:?}")));
+                }
+            }
+        }
+        Ok(self.cfg)
     }
 }
 
@@ -105,6 +191,9 @@ pub struct MbClientSession {
     keys_distributed: bool,
     dataplane: Option<EndpointDataPlane>,
     error: Option<MbError>,
+
+    telemetry: Option<SharedSink>,
+    hello_reported: bool,
 }
 
 impl MbClientSession {
@@ -123,6 +212,7 @@ impl MbClientSession {
             });
         }
         let primary = ClientConnection::new(Arc::new(tls_config), server_name, &mut rng);
+        let telemetry = config.telemetry.clone();
         MbClientSession {
             config,
             rng,
@@ -133,6 +223,14 @@ impl MbClientSession {
             keys_distributed: false,
             dataplane: None,
             error: None,
+            telemetry,
+            hello_reported: false,
+        }
+    }
+
+    fn emit(&self, kind: EventKind) {
+        if let Some(t) = &self.telemetry {
+            t.emit(Party::Client, kind);
         }
     }
 
@@ -148,6 +246,13 @@ impl MbClientSession {
         if let Some(dp) = &mut self.dataplane {
             out.extend(dp.take_outgoing());
         }
+        if !out.is_empty() {
+            if !self.hello_reported {
+                self.hello_reported = true;
+                self.emit(EventKind::ClientHelloSent { bytes: out.len() as u64 });
+            }
+            self.emit(EventKind::BytesOut { bytes: out.len() as u64 });
+        }
         out
     }
 
@@ -155,6 +260,9 @@ impl MbClientSession {
     pub fn feed_incoming(&mut self, data: &[u8]) -> Result<(), MbError> {
         if let Some(e) = &self.error {
             return Err(e.clone());
+        }
+        if !data.is_empty() {
+            self.emit(EventKind::BytesIn { bytes: data.len() as u64 });
         }
         self.reader.feed(data);
         loop {
@@ -208,7 +316,7 @@ impl MbClientSession {
         let id = enc.subchannel;
         if !self.secondaries.contains_key(&id) {
             if self.keys_distributed {
-                return Err(MbError::Protocol("middlebox announced after key distribution"));
+                return Err(MbError::unexpected_state("middlebox announced after key distribution"));
             }
             // A middlebox announcing itself: its secondary ServerHello
             // responds to our (shared) primary ClientHello.
@@ -235,6 +343,10 @@ impl MbClientSession {
                     rejected: false,
                 },
             );
+            self.emit(EventKind::MiddleboxAnnouncement {
+                count: self.secondaries.len() as u64,
+            });
+            self.emit(EventKind::SecondaryHandshakeStart { subchannel: id as u64 });
         }
         let sec = self.secondaries.get_mut(&id).unwrap();
         if sec.rejected {
@@ -276,6 +388,9 @@ impl MbClientSession {
                         let sec = self.secondaries.get_mut(&id).unwrap();
                         sec.verified_name = Some(name);
                         sec.approved = true;
+                        self.emit(EventKind::SecondaryHandshakeFinish {
+                            subchannel: id as u64,
+                        });
                     }
                     Err(_) => to_reject.push(id),
                 }
@@ -303,7 +418,7 @@ impl MbClientSession {
         let sec = &self.secondaries[&id];
         let chain = sec.conn.peer_certificates().to_vec();
         if chain.is_empty() {
-            return Err(MbError::Protocol("middlebox sent no certificate"));
+            return Err(MbError::unexpected_state("middlebox sent no certificate"));
         }
         let subject = chain[0].payload.subject.clone();
         self.config
@@ -392,11 +507,16 @@ impl MbClientSession {
             let mut wrapped = Vec::new();
             wrap_records(id, &bytes, &mut wrapped);
             self.out.extend(wrapped);
+            self.emit(EventKind::KeyDelivery { subchannel: id as u64 });
         }
 
-        self.dataplane =
-            Some(EndpointDataPlane::for_client(&hops[0]).map_err(MbError::Tls)?);
+        let mut dp = EndpointDataPlane::for_client(&hops[0]).map_err(MbError::Tls)?;
+        if let Some(t) = &self.telemetry {
+            dp.set_telemetry(t.clone(), Party::Client);
+        }
+        self.dataplane = Some(dp);
         self.keys_distributed = true;
+        self.emit(EventKind::HandshakeComplete);
         Ok(())
     }
 

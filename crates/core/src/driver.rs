@@ -11,6 +11,7 @@ use mbtls_crypto::rng::CryptoRng;
 use mbtls_netsim::net::{ConnId, Network, NodeId};
 use mbtls_netsim::time::{Duration, SimTime};
 use mbtls_netsim::FaultConfig;
+use mbtls_telemetry::{Event, EventKind, Party, SharedSink};
 use mbtls_tls::{ClientConnection, ServerConnection};
 
 use crate::client::MbClientSession;
@@ -171,6 +172,62 @@ impl Relay for Middlebox {
     }
 }
 
+/// The byte-moving substrate connecting adjacent parties in a
+/// [`Chain`]: link `i` joins party `i` (left end) to party `i + 1`
+/// (right end). "Rightward" bytes travel client→server.
+///
+/// [`Chain::pump_with`] is generic over this trait, so the in-memory
+/// pipe driver and the netsim driver share one pump loop.
+pub trait ChainLinks {
+    /// Drain bytes that arrived at link `link`'s right end.
+    fn recv_rightward(&mut self, link: usize) -> Result<Vec<u8>, MbError>;
+    /// Drain bytes that arrived at link `link`'s left end.
+    fn recv_leftward(&mut self, link: usize) -> Result<Vec<u8>, MbError>;
+    /// Party `from` (the link's left party) sends toward the server.
+    fn send_rightward(&mut self, link: usize, from: usize, data: &[u8]) -> Result<(), MbError>;
+    /// Party `from` (the link's right party) sends toward the client.
+    fn send_leftward(&mut self, link: usize, from: usize, data: &[u8]) -> Result<(), MbError>;
+}
+
+/// Zero-latency in-memory links: plain byte buffers per direction.
+#[derive(Default)]
+pub struct PipeLinks {
+    rightward: Vec<Vec<u8>>,
+    leftward: Vec<Vec<u8>>,
+}
+
+impl PipeLinks {
+    /// Buffers for `links` links.
+    pub fn new(links: usize) -> Self {
+        PipeLinks {
+            rightward: vec![Vec::new(); links],
+            leftward: vec![Vec::new(); links],
+        }
+    }
+
+    fn ensure(&mut self, links: usize) {
+        self.rightward.resize_with(links, Vec::new);
+        self.leftward.resize_with(links, Vec::new);
+    }
+}
+
+impl ChainLinks for PipeLinks {
+    fn recv_rightward(&mut self, link: usize) -> Result<Vec<u8>, MbError> {
+        Ok(std::mem::take(&mut self.rightward[link]))
+    }
+    fn recv_leftward(&mut self, link: usize) -> Result<Vec<u8>, MbError> {
+        Ok(std::mem::take(&mut self.leftward[link]))
+    }
+    fn send_rightward(&mut self, link: usize, _from: usize, data: &[u8]) -> Result<(), MbError> {
+        self.rightward[link].extend_from_slice(data);
+        Ok(())
+    }
+    fn send_leftward(&mut self, link: usize, _from: usize, data: &[u8]) -> Result<(), MbError> {
+        self.leftward[link].extend_from_slice(data);
+        Ok(())
+    }
+}
+
 /// A chain of parties connected by zero-latency in-memory pipes.
 pub struct Chain {
     /// The client endpoint.
@@ -179,6 +236,8 @@ pub struct Chain {
     pub middles: Vec<Box<dyn Relay>>,
     /// The server endpoint.
     pub server: Box<dyn Endpoint>,
+    /// The pipe driver's own links (used by [`Chain::pump`]).
+    links: PipeLinks,
 }
 
 impl Chain {
@@ -188,44 +247,110 @@ impl Chain {
         middles: Vec<Box<dyn Relay>>,
         server: Box<dyn Endpoint>,
     ) -> Self {
+        let links = PipeLinks::new(middles.len() + 1);
         Chain {
             client,
             middles,
             server,
+            links,
         }
     }
 
-    /// One full pass moving bytes along the chain in both directions.
-    /// Returns true if any bytes moved.
-    pub fn pump(&mut self) -> Result<bool, MbError> {
+    fn feed_party(&mut self, i: usize, from_left: bool, data: &[u8]) -> Result<(), MbError> {
+        let n = self.middles.len() + 2;
+        if i == 0 {
+            self.client.feed(data)
+        } else if i == n - 1 {
+            self.server.feed(data)
+        } else if from_left {
+            self.middles[i - 1].feed_left(data)
+        } else {
+            self.middles[i - 1].feed_right(data)
+        }
+    }
+
+    fn take_party(&mut self, i: usize, toward_left: bool) -> Vec<u8> {
+        let n = self.middles.len() + 2;
+        if i == 0 {
+            self.client.take()
+        } else if i == n - 1 {
+            self.server.take()
+        } else if toward_left {
+            self.middles[i - 1].take_left()
+        } else {
+            self.middles[i - 1].take_right()
+        }
+    }
+
+    /// One pass over every party: deliver whatever each link holds,
+    /// then collect each party's output back into the links. Bytes
+    /// advance at most one link per pass. Returns true if anything
+    /// moved.
+    ///
+    /// Per-party order is fixed (ascending; deliver left link before
+    /// right, collect rightward before leftward) so that virtual-time
+    /// runs are reproducible.
+    pub fn pump_with(&mut self, links: &mut dyn ChainLinks) -> Result<bool, MbError> {
+        let n = self.middles.len() + 2;
         let mut moved = false;
-        // Client → server direction.
-        let mut bytes = self.client.take();
-        for mid in self.middles.iter_mut() {
-            if !bytes.is_empty() {
-                moved = true;
-                mid.feed_left(&bytes)?;
+        // Deliver incoming bytes to each party.
+        for i in 0..n {
+            if i > 0 {
+                let data = links.recv_rightward(i - 1)?;
+                if !data.is_empty() {
+                    moved = true;
+                    self.feed_party(i, true, &data)?;
+                }
             }
-            bytes = mid.take_right();
-        }
-        if !bytes.is_empty() {
-            moved = true;
-            self.server.feed(&bytes)?;
-        }
-        // Server → client direction.
-        let mut bytes = self.server.take();
-        for mid in self.middles.iter_mut().rev() {
-            if !bytes.is_empty() {
-                moved = true;
-                mid.feed_right(&bytes)?;
+            if i < n - 1 {
+                let data = links.recv_leftward(i)?;
+                if !data.is_empty() {
+                    moved = true;
+                    self.feed_party(i, false, &data)?;
+                }
             }
-            bytes = mid.take_left();
         }
-        if !bytes.is_empty() {
-            moved = true;
-            self.client.feed(&bytes)?;
+        // Collect outgoing bytes from each party into the links.
+        for i in 0..n {
+            if i < n - 1 {
+                let data = self.take_party(i, false);
+                if !data.is_empty() {
+                    moved = true;
+                    links.send_rightward(i, i, &data)?;
+                }
+            }
+            if i > 0 {
+                let data = self.take_party(i, true);
+                if !data.is_empty() {
+                    moved = true;
+                    links.send_leftward(i - 1, i, &data)?;
+                }
+            }
         }
         Ok(moved)
+    }
+
+    /// Move bytes along the chain in both directions until nothing
+    /// more moves at this instant (pipes have no latency, so one call
+    /// carries bytes across the whole chain). Returns true if any
+    /// bytes moved.
+    pub fn pump(&mut self) -> Result<bool, MbError> {
+        self.links.ensure(self.middles.len() + 1);
+        let mut links = std::mem::take(&mut self.links);
+        let mut moved_any = false;
+        // Generous cap: a handshake needs a handful of passes; only a
+        // byte-generating livelock could approach it.
+        let result = (|| {
+            for _ in 0..10_000 {
+                if !self.pump_with(&mut links)? {
+                    break;
+                }
+                moved_any = true;
+            }
+            Ok(moved_any)
+        })();
+        self.links = links;
+        result
     }
 
     /// Pump until both endpoints are ready (or nothing moves).
@@ -242,14 +367,14 @@ impl Chain {
                 // settle (key distribution can need a second pass).
                 let moved2 = self.pump()?;
                 if !(moved2 || (self.client.ready() && self.server.ready())) {
-                    return Err(MbError::Protocol("handshake stalled"));
+                    return Err(MbError::unexpected_state("handshake stalled"));
                 }
             }
         }
         if self.client.ready() && self.server.ready() {
             Ok(())
         } else {
-            Err(MbError::Protocol("handshake did not complete"))
+            Err(MbError::unexpected_state("handshake did not complete"))
         }
     }
 
@@ -293,6 +418,34 @@ pub struct SessionTiming {
     pub transfer: Duration,
 }
 
+impl SessionTiming {
+    /// Recover the timings from a telemetry trace containing the
+    /// driver's `SessionStart` / `SessionHandshakeDone` /
+    /// `SessionTransferDone` events (first occurrence each).
+    pub fn from_trace(events: &[Event]) -> Option<SessionTiming> {
+        let mut start = None;
+        let mut handshake_done = None;
+        let mut transfer_done = None;
+        for e in events {
+            match e.kind {
+                EventKind::SessionStart if start.is_none() => start = Some(e.ts_ns),
+                EventKind::SessionHandshakeDone if handshake_done.is_none() => {
+                    handshake_done = Some(e.ts_ns)
+                }
+                EventKind::SessionTransferDone if transfer_done.is_none() => {
+                    transfer_done = Some(e.ts_ns)
+                }
+                _ => {}
+            }
+        }
+        let (s, h, d) = (start?, handshake_done?, transfer_done?);
+        Some(SessionTiming {
+            handshake: Duration(h.saturating_sub(s)),
+            transfer: Duration(d.saturating_sub(h)),
+        })
+    }
+}
+
 /// A chain whose links run through the network simulator, yielding
 /// virtual-time measurements (Figure 6, Table 2).
 pub struct NetChain<'n> {
@@ -306,6 +459,36 @@ pub struct NetChain<'n> {
     /// Virtual compute time charged per output flush, per party
     /// (models handshake computation; zero by default).
     pub compute_delays: Vec<Duration>,
+    telemetry: Option<SharedSink>,
+}
+
+/// [`ChainLinks`] over the network simulator: sends charge the
+/// sender's compute delay; receives drain whatever is deliverable at
+/// the current virtual time.
+struct NetLinks<'a> {
+    net: &'a mut Network,
+    conns: &'a [ConnId],
+    nodes: &'a [NodeId],
+    compute_delays: &'a [Duration],
+}
+
+impl ChainLinks for NetLinks<'_> {
+    fn recv_rightward(&mut self, link: usize) -> Result<Vec<u8>, MbError> {
+        Ok(self.net.recv(self.conns[link], self.nodes[link + 1])?)
+    }
+    fn recv_leftward(&mut self, link: usize) -> Result<Vec<u8>, MbError> {
+        Ok(self.net.recv(self.conns[link], self.nodes[link])?)
+    }
+    fn send_rightward(&mut self, link: usize, from: usize, data: &[u8]) -> Result<(), MbError> {
+        Ok(self
+            .net
+            .send_with_delay(self.conns[link], self.nodes[from], data, self.compute_delays[from])?)
+    }
+    fn send_leftward(&mut self, link: usize, from: usize, data: &[u8]) -> Result<(), MbError> {
+        Ok(self
+            .net
+            .send_with_delay(self.conns[link], self.nodes[from], data, self.compute_delays[from])?)
+    }
 }
 
 impl<'n> NetChain<'n> {
@@ -349,6 +532,22 @@ impl<'n> NetChain<'n> {
             conns,
             chain,
             compute_delays: vec![Duration::ZERO; n],
+            telemetry: None,
+        }
+    }
+
+    /// Attach a telemetry sink: the network emits link events through
+    /// it, the driver emits session-phase events, and its clock is
+    /// advanced in lock-step with virtual time.
+    pub fn set_telemetry(&mut self, sink: SharedSink) {
+        sink.clock().set_ns(self.net.now().0);
+        self.net.set_telemetry(sink.clone());
+        self.telemetry = Some(sink);
+    }
+
+    fn emit_phase(&self, ts: SimTime, kind: EventKind) {
+        if let Some(t) = &self.telemetry {
+            t.emit_at(ts.0, Party::Network, kind);
         }
     }
 
@@ -359,77 +558,16 @@ impl<'n> NetChain<'n> {
     }
 
     /// Move all pending bytes between parties and the network at the
-    /// current virtual time. Returns true if anything moved.
+    /// current virtual time — one [`Chain::pump_with`] pass over
+    /// [`NetLinks`]. Returns true if anything moved.
     fn exchange(&mut self) -> Result<bool, MbError> {
-        let mut moved = false;
-        let n = self.nodes.len();
-        // Deliver incoming bytes to each party.
-        for i in 0..n {
-            // From the left connection (if any).
-            if i > 0 {
-                let data = self.net.recv(self.conns[i - 1], self.nodes[i])?;
-                if !data.is_empty() {
-                    moved = true;
-                    self.party_feed(i, true, &data)?;
-                }
-            }
-            // From the right connection (if any).
-            if i < n - 1 {
-                let data = self.net.recv(self.conns[i], self.nodes[i])?;
-                if !data.is_empty() {
-                    moved = true;
-                    self.party_feed(i, false, &data)?;
-                }
-            }
-        }
-        // Collect outgoing bytes from each party into the network,
-        // charging the party's compute delay per flush.
-        for i in 0..n {
-            let compute = self.compute_delays[i];
-            if i < n - 1 {
-                let data = self.party_take(i, false);
-                if !data.is_empty() {
-                    moved = true;
-                    self.net
-                        .send_with_delay(self.conns[i], self.nodes[i], &data, compute)?;
-                }
-            }
-            if i > 0 {
-                let data = self.party_take(i, true);
-                if !data.is_empty() {
-                    moved = true;
-                    self.net
-                        .send_with_delay(self.conns[i - 1], self.nodes[i], &data, compute)?;
-                }
-            }
-        }
-        Ok(moved)
-    }
-
-    fn party_feed(&mut self, i: usize, from_left: bool, data: &[u8]) -> Result<(), MbError> {
-        let n = self.nodes.len();
-        if i == 0 {
-            self.chain.client.feed(data)
-        } else if i == n - 1 {
-            self.chain.server.feed(data)
-        } else if from_left {
-            self.chain.middles[i - 1].feed_left(data)
-        } else {
-            self.chain.middles[i - 1].feed_right(data)
-        }
-    }
-
-    fn party_take(&mut self, i: usize, toward_left: bool) -> Vec<u8> {
-        let n = self.nodes.len();
-        if i == 0 {
-            self.chain.client.take()
-        } else if i == n - 1 {
-            self.chain.server.take()
-        } else if toward_left {
-            self.chain.middles[i - 1].take_left()
-        } else {
-            self.chain.middles[i - 1].take_right()
-        }
+        let mut links = NetLinks {
+            net: &mut *self.net,
+            conns: &self.conns,
+            nodes: &self.nodes,
+            compute_delays: &self.compute_delays,
+        };
+        self.chain.pump_with(&mut links)
     }
 
     /// One simulation tick: drain exchanges at the current instant,
@@ -465,11 +603,11 @@ impl<'n> NetChain<'n> {
             match self.net.next_event_time() {
                 Some(t) => {
                     if t.since(start) > deadline {
-                        return Err(MbError::Protocol("virtual deadline exceeded"));
+                        return Err(MbError::unexpected_state("virtual deadline exceeded"));
                     }
                     self.net.advance_to(t);
                 }
-                None => return Err(MbError::Protocol("network quiescent before completion")),
+                None => return Err(MbError::unexpected_state("network quiescent before completion")),
             }
         }
     }
@@ -485,8 +623,10 @@ impl<'n> NetChain<'n> {
         deadline: Duration,
     ) -> Result<SessionTiming, MbError> {
         let t0 = self.net.now();
+        self.emit_phase(t0, EventKind::SessionStart);
         let hs_done = self.run_until(deadline, |c| c.client.ready() && c.server.ready())?;
         let handshake = hs_done.since(t0);
+        self.emit_phase(hs_done, EventKind::SessionHandshakeDone);
 
         let t1 = self.net.now();
         self.chain.client.send_app(request)?;
@@ -503,6 +643,7 @@ impl<'n> NetChain<'n> {
             }
             got_resp += self.chain.client.recv_app().len();
             if responded && got_resp >= response_len {
+                self.emit_phase(self.net.now(), EventKind::SessionTransferDone);
                 return Ok(SessionTiming {
                     handshake,
                     transfer: self.net.now().since(t1),
@@ -510,7 +651,7 @@ impl<'n> NetChain<'n> {
             }
             match self.net.next_event_time() {
                 Some(t) if t.since(t0) <= deadline => self.net.advance_to(t),
-                _ => return Err(MbError::Protocol("transfer stalled")),
+                _ => return Err(MbError::unexpected_state("transfer stalled")),
             }
         }
     }

@@ -55,24 +55,91 @@ pub mod messages;
 pub mod middlebox;
 pub mod server;
 
-pub use client::{MbClientConfig, MbClientSession};
+pub use client::{MbClientConfig, MbClientConfigBuilder, MbClientSession};
 pub use dataplane::HopKeys;
-pub use middlebox::{DataProcessor, ForwardProcessor, Middlebox, MiddleboxConfig};
-pub use server::{MbServerConfig, MbServerSession};
+pub use driver::{Chain, ChainLinks, Endpoint, NetChain, Relay, SessionTiming};
+pub use middlebox::{
+    DataProcessor, ForwardProcessor, Middlebox, MiddleboxConfig, MiddleboxConfigBuilder,
+};
+pub use server::{MbServerConfig, MbServerConfigBuilder, MbServerSession};
+
+/// How an mbTLS control message (or the control flow around it)
+/// violated the protocol.
+///
+/// Each variant carries a human-readable detail string; `Display`
+/// prints only that string, so error text is identical to the earlier
+/// stringly-typed representation while callers can now match on the
+/// violation class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolViolation {
+    /// A record or tagged message had a type this implementation does
+    /// not recognize.
+    UnknownMessageType(&'static str),
+    /// A payload was truncated, had trailing bytes, or failed to
+    /// decode.
+    BadLength(&'static str),
+    /// A message arrived in a state where it is not allowed, or the
+    /// session could not make progress.
+    UnexpectedState(&'static str),
+    /// A subchannel / hop identifier was out of range or unknown.
+    BadHopId(&'static str),
+}
+
+impl ProtocolViolation {
+    /// The human-readable detail string.
+    pub fn message(&self) -> &'static str {
+        match self {
+            ProtocolViolation::UnknownMessageType(m)
+            | ProtocolViolation::BadLength(m)
+            | ProtocolViolation::UnexpectedState(m)
+            | ProtocolViolation::BadHopId(m) => m,
+        }
+    }
+}
+
+impl std::fmt::Display for ProtocolViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.message())
+    }
+}
 
 /// Errors from the mbTLS layer.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MbError {
     /// The underlying TLS machinery failed.
     Tls(mbtls_tls::TlsError),
-    /// An mbTLS control message was malformed.
-    Protocol(&'static str),
+    /// An mbTLS control message or exchange violated the protocol.
+    Protocol(ProtocolViolation),
     /// A middlebox was rejected by the approval policy.
     MiddleboxRejected(String),
     /// Operation needs a completed session.
     NotReady,
     /// The network connection died.
     Network(mbtls_netsim::net::NetError),
+    /// A configuration builder rejected its inputs.
+    Config(String),
+}
+
+impl MbError {
+    /// A [`ProtocolViolation::UnknownMessageType`] error.
+    pub fn unknown_message(what: &'static str) -> Self {
+        MbError::Protocol(ProtocolViolation::UnknownMessageType(what))
+    }
+
+    /// A [`ProtocolViolation::BadLength`] error.
+    pub fn bad_length(what: &'static str) -> Self {
+        MbError::Protocol(ProtocolViolation::BadLength(what))
+    }
+
+    /// A [`ProtocolViolation::UnexpectedState`] error.
+    pub fn unexpected_state(what: &'static str) -> Self {
+        MbError::Protocol(ProtocolViolation::UnexpectedState(what))
+    }
+
+    /// A [`ProtocolViolation::BadHopId`] error.
+    pub fn bad_hop(what: &'static str) -> Self {
+        MbError::Protocol(ProtocolViolation::BadHopId(what))
+    }
 }
 
 impl std::fmt::Display for MbError {
@@ -83,6 +150,7 @@ impl std::fmt::Display for MbError {
             MbError::MiddleboxRejected(name) => write!(f, "middlebox rejected: {name}"),
             MbError::NotReady => write!(f, "session not ready"),
             MbError::Network(e) => write!(f, "network: {e}"),
+            MbError::Config(what) => write!(f, "invalid configuration: {what}"),
         }
     }
 }

@@ -35,18 +35,18 @@ impl MiddleboxSupport {
     /// Decode the extension payload.
     pub fn decode(bytes: &[u8]) -> Result<Self, MbError> {
         let mut d = Decoder::new(bytes);
-        let n = d.u8().map_err(|_| MbError::Protocol("truncated MiddleboxSupport"))? as usize;
+        let n = d.u8().map_err(|_| MbError::bad_length("truncated MiddleboxSupport"))? as usize;
         let mut preconfigured = Vec::with_capacity(n);
         for _ in 0..n {
             let raw = d
                 .vec16()
-                .map_err(|_| MbError::Protocol("truncated middlebox name"))?;
+                .map_err(|_| MbError::bad_length("truncated middlebox name"))?;
             let name = String::from_utf8(raw.to_vec())
-                .map_err(|_| MbError::Protocol("middlebox name not UTF-8"))?;
+                .map_err(|_| MbError::bad_length("middlebox name not UTF-8"))?;
             preconfigured.push(name);
         }
         d.expect_end()
-            .map_err(|_| MbError::Protocol("trailing bytes in MiddleboxSupport"))?;
+            .map_err(|_| MbError::bad_length("trailing bytes in MiddleboxSupport"))?;
         Ok(MiddleboxSupport { preconfigured })
     }
 }
@@ -73,7 +73,7 @@ impl Encapsulated {
     /// Decode an Encapsulated payload.
     pub fn decode(bytes: &[u8]) -> Result<Self, MbError> {
         if bytes.is_empty() {
-            return Err(MbError::Protocol("empty Encapsulated record"));
+            return Err(MbError::bad_length("empty Encapsulated record"));
         }
         Ok(Encapsulated {
             subchannel: bytes[0],
@@ -109,17 +109,17 @@ impl KeyMaterial {
         let mut d = Decoder::new(bytes);
         let left = d
             .vec16()
-            .map_err(|_| MbError::Protocol("truncated key material"))?;
+            .map_err(|_| MbError::bad_length("truncated key material"))?;
         let right = d
             .vec16()
-            .map_err(|_| MbError::Protocol("truncated key material"))?;
+            .map_err(|_| MbError::bad_length("truncated key material"))?;
         d.expect_end()
-            .map_err(|_| MbError::Protocol("trailing bytes in key material"))?;
+            .map_err(|_| MbError::bad_length("trailing bytes in key material"))?;
         Ok(KeyMaterial {
             toward_client_hop: SessionKeys::decode(left)
-                .map_err(|_| MbError::Protocol("bad hop keys"))?,
+                .map_err(|_| MbError::bad_length("bad hop keys"))?,
             toward_server_hop: SessionKeys::decode(right)
-                .map_err(|_| MbError::Protocol("bad hop keys"))?,
+                .map_err(|_| MbError::bad_length("bad hop keys"))?,
         })
     }
 }
@@ -149,7 +149,7 @@ impl SecondaryMessage {
     pub fn decode(bytes: &[u8]) -> Result<Self, MbError> {
         match bytes.first() {
             Some(1) => Ok(SecondaryMessage::Keys(KeyMaterial::decode(&bytes[1..])?)),
-            _ => Err(MbError::Protocol("unknown secondary message")),
+            _ => Err(MbError::unknown_message("unknown secondary message")),
         }
     }
 }

@@ -28,6 +28,7 @@ use std::sync::Arc;
 use mbtls_crypto::rng::CryptoRng;
 use mbtls_pki::cert::CertifiedKey;
 use mbtls_sgx::EnclaveState;
+use mbtls_telemetry::{EventKind, Party, SharedSink};
 use mbtls_tls::config::{Attestor, ServerConfig};
 use mbtls_tls::messages::{extension_type, ClientHello, HandshakeReader};
 use mbtls_tls::record::{frame_plaintext, ContentType, RecordReader};
@@ -71,6 +72,11 @@ pub struct MiddleboxConfig {
     pub cached_no_support: bool,
     /// Ticket key for secondary-session resumption.
     pub ticket_key: [u8; 32],
+    /// Telemetry sink for structured events (None = telemetry off).
+    pub telemetry: Option<SharedSink>,
+    /// The party label this middlebox emits telemetry under (its
+    /// chain position: 0 = nearest the client).
+    pub telemetry_party: Party,
 }
 
 impl MiddleboxConfig {
@@ -84,7 +90,71 @@ impl MiddleboxConfig {
             allow_server_side: true,
             cached_no_support: false,
             ticket_key: [0x5B; 32],
+            telemetry: None,
+            telemetry_party: Party::Middlebox(0),
         }
+    }
+
+    /// Start a validating builder for the given identity — the
+    /// preferred construction path.
+    pub fn builder(name: &str, certified_key: Arc<CertifiedKey>) -> MiddleboxConfigBuilder {
+        MiddleboxConfigBuilder { cfg: MiddleboxConfig::new(name, certified_key) }
+    }
+}
+
+/// Validating builder for [`MiddleboxConfig`].
+pub struct MiddleboxConfigBuilder {
+    cfg: MiddleboxConfig,
+}
+
+impl MiddleboxConfigBuilder {
+    /// Provide quotes from a (simulated) enclave.
+    pub fn attestor(mut self, attestor: Arc<dyn Attestor>) -> Self {
+        self.cfg.attestor = Some(attestor);
+        self
+    }
+
+    /// Restrict the suites acceptable in the secondary handshake.
+    pub fn suites(mut self, suites: Vec<CipherSuite>) -> Self {
+        self.cfg.suites = suites;
+        self
+    }
+
+    /// Allow announcing to the server when the client is legacy.
+    pub fn allow_server_side(mut self, allow: bool) -> Self {
+        self.cfg.allow_server_side = allow;
+        self
+    }
+
+    /// Record cached knowledge that the server lacks mbTLS support.
+    pub fn cached_no_support(mut self, cached: bool) -> Self {
+        self.cfg.cached_no_support = cached;
+        self
+    }
+
+    /// Set the ticket key for secondary-session resumption.
+    pub fn ticket_key(mut self, key: [u8; 32]) -> Self {
+        self.cfg.ticket_key = key;
+        self
+    }
+
+    /// Attach a telemetry sink, labelling events with the middlebox's
+    /// chain position (0 = nearest the client).
+    pub fn telemetry(mut self, sink: SharedSink, position: u8) -> Self {
+        self.cfg.telemetry = Some(sink);
+        self.cfg.telemetry_party = Party::Middlebox(position);
+        self
+    }
+
+    /// Validate and build. Rejects empty names and empty suite lists.
+    pub fn build(self) -> Result<MiddleboxConfig, MbError> {
+        if self.cfg.name.is_empty() {
+            return Err(MbError::Config("middlebox name is empty".into()));
+        }
+        if self.cfg.suites.is_empty() {
+            return Err(MbError::Config("middlebox suite list is empty".into()));
+        }
+        Ok(self.cfg)
     }
 }
 
@@ -135,6 +205,9 @@ pub struct Middlebox {
     /// Records blindly relayed (accounting).
     pub records_relayed: u64,
     error: Option<MbError>,
+
+    telemetry: Option<SharedSink>,
+    telemetry_party: Party,
 }
 
 impl Middlebox {
@@ -149,6 +222,8 @@ impl Middlebox {
         rng: CryptoRng,
         processor: Box<dyn DataProcessor>,
     ) -> Self {
+        let telemetry = config.telemetry.clone();
+        let telemetry_party = config.telemetry_party;
         Middlebox {
             config,
             rng,
@@ -169,8 +244,16 @@ impl Middlebox {
             keys: None,
             records_relayed: 0,
             error: None,
+            telemetry,
+            telemetry_party,
         }
         .install_processor(processor)
+    }
+
+    fn emit(&self, kind: EventKind) {
+        if let Some(t) = &self.telemetry {
+            t.emit(self.telemetry_party, kind);
+        }
     }
 
     fn install_processor(mut self, processor: Box<dyn DataProcessor>) -> Self {
@@ -205,6 +288,9 @@ impl Middlebox {
         if let Some(dp) = &mut self.dataplane {
             out.extend(dp.take_toward_client());
         }
+        if !out.is_empty() {
+            self.emit(EventKind::BytesOut { bytes: out.len() as u64 });
+        }
         out
     }
 
@@ -215,6 +301,9 @@ impl Middlebox {
         if let Some(dp) = &mut self.dataplane {
             out.extend(dp.take_toward_server());
         }
+        if !out.is_empty() {
+            self.emit(EventKind::BytesOut { bytes: out.len() as u64 });
+        }
         out
     }
 
@@ -222,6 +311,9 @@ impl Middlebox {
     pub fn feed_from_client(&mut self, data: &[u8]) -> Result<(), MbError> {
         if let Some(e) = &self.error {
             return Err(e.clone());
+        }
+        if !data.is_empty() {
+            self.emit(EventKind::BytesIn { bytes: data.len() as u64 });
         }
         self.left_reader.feed(data);
         loop {
@@ -242,6 +334,9 @@ impl Middlebox {
     pub fn feed_from_server(&mut self, data: &[u8]) -> Result<(), MbError> {
         if let Some(e) = &self.error {
             return Err(e.clone());
+        }
+        if !data.is_empty() {
+            self.emit(EventKind::BytesIn { bytes: data.len() as u64 });
         }
         self.right_reader.feed(data);
         loop {
@@ -356,6 +451,9 @@ impl Middlebox {
                         self.saw_primary_server_hello = true;
                         let id = self.max_subchannel_seen + 1;
                         self.subchannel = Some(id);
+                        self.emit(EventKind::SecondaryHandshakeStart {
+                            subchannel: id as u64,
+                        });
                         let flight = self
                             .secondary
                             .as_mut()
@@ -392,6 +490,9 @@ impl Middlebox {
                             server_cfg.always_attest = self.config.attestor.is_some();
                             self.secondary = Some(ServerConnection::new(Arc::new(server_cfg)));
                             self.phase = MiddleboxPhase::ServerSideJoining;
+                            self.emit(EventKind::SecondaryHandshakeStart {
+                                subchannel: enc.subchannel as u64,
+                            });
                             self.feed_secondary(&enc.record);
                         } else {
                             self.forward_left(ct, &body);
@@ -495,6 +596,7 @@ impl Middlebox {
                 &[],
             ));
             self.announced = true;
+            self.emit(EventKind::MiddleboxAnnouncement { count: 1 });
             self.phase = MiddleboxPhase::ServerSideAwaitClaim;
         } else {
             self.phase = MiddleboxPhase::Relay;
@@ -561,11 +663,18 @@ impl Middlebox {
     }
 
     fn activate_dataplane(&mut self, km: KeyMaterial) -> Result<(), MbError> {
-        let dp = MiddleboxDataPlane::new(&km.toward_client_hop, &km.toward_server_hop)
+        let mut dp = MiddleboxDataPlane::new(&km.toward_client_hop, &km.toward_server_hop)
             .map_err(MbError::Tls)?;
+        if let Some(t) = &self.telemetry {
+            dp.set_telemetry(t.clone(), self.telemetry_party);
+        }
         self.dataplane = Some(dp);
         self.keys = Some(km);
         self.phase = MiddleboxPhase::DataPlane;
+        let sub = self.subchannel.unwrap_or_default() as u64;
+        self.emit(EventKind::SecondaryHandshakeFinish { subchannel: sub });
+        self.emit(EventKind::KeyDelivery { subchannel: sub });
+        self.emit(EventKind::HandshakeComplete);
         // Flush buffered early data through the data plane, in arrival
         // order.
         let early_left = std::mem::take(&mut self.early_left);

@@ -13,6 +13,7 @@ use std::sync::Arc;
 
 use mbtls_crypto::rng::CryptoRng;
 use mbtls_pki::{KeyUsage, TrustStore};
+use mbtls_telemetry::{EventKind, Party, SharedSink};
 use mbtls_tls::config::{AttestationPolicy, ClientConfig, ServerConfig};
 use mbtls_tls::record::{frame_plaintext, ContentType, RecordReader};
 use mbtls_tls::session::SessionKeys;
@@ -39,6 +40,8 @@ pub struct MbServerConfig {
     /// Accept MiddleboxAnnouncements at all (false = legacy-style
     /// server that tolerates but ignores them).
     pub mbtls_enabled: bool,
+    /// Telemetry sink for structured events (None = telemetry off).
+    pub telemetry: Option<SharedSink>,
 }
 
 impl MbServerConfig {
@@ -51,7 +54,69 @@ impl MbServerConfig {
             approval: ApprovalPolicy::AllVerified,
             current_time: 0,
             mbtls_enabled: true,
+            telemetry: None,
         }
+    }
+
+    /// Start a validating builder over the given identity and
+    /// middlebox trust store — the preferred construction path.
+    pub fn builder(tls: ServerConfig, middlebox_trust: Arc<TrustStore>) -> MbServerConfigBuilder {
+        MbServerConfigBuilder { cfg: MbServerConfig::new(tls, middlebox_trust) }
+    }
+}
+
+/// Validating builder for [`MbServerConfig`].
+pub struct MbServerConfigBuilder {
+    cfg: MbServerConfig,
+}
+
+impl MbServerConfigBuilder {
+    /// Require middleboxes to satisfy this attestation policy.
+    pub fn middlebox_attestation(mut self, policy: AttestationPolicy) -> Self {
+        self.cfg.middlebox_attestation = Some(policy);
+        self
+    }
+
+    /// Set the post-verification approval policy.
+    pub fn approval(mut self, approval: ApprovalPolicy) -> Self {
+        self.cfg.approval = approval;
+        self
+    }
+
+    /// Set the time used for middlebox certificate validation.
+    pub fn current_time(mut self, time: u64) -> Self {
+        self.cfg.current_time = time;
+        self
+    }
+
+    /// Accept MiddleboxAnnouncements at all.
+    pub fn mbtls_enabled(mut self, enabled: bool) -> Self {
+        self.cfg.mbtls_enabled = enabled;
+        self
+    }
+
+    /// Attach a telemetry sink.
+    pub fn telemetry(mut self, sink: SharedSink) -> Self {
+        self.cfg.telemetry = Some(sink);
+        self
+    }
+
+    /// Validate and build. Rejects empty allow-lists and duplicate
+    /// allow-list entries.
+    pub fn build(self) -> Result<MbServerConfig, MbError> {
+        if let ApprovalPolicy::AllowList(names) = &self.cfg.approval {
+            if names.is_empty() {
+                return Err(MbError::Config(
+                    "approval allow-list is empty (use DenyAll to refuse all middleboxes)".into(),
+                ));
+            }
+            for (i, name) in names.iter().enumerate() {
+                if names[..i].contains(name) {
+                    return Err(MbError::Config(format!("duplicate allow-list entry {name:?}")));
+                }
+            }
+        }
+        Ok(self.cfg)
     }
 }
 
@@ -76,12 +141,15 @@ pub struct MbServerSession {
     keys_distributed: bool,
     dataplane: Option<EndpointDataPlane>,
     error: Option<MbError>,
+
+    telemetry: Option<SharedSink>,
 }
 
 impl MbServerSession {
     /// New session awaiting a ClientHello.
     pub fn new(config: Arc<MbServerConfig>, rng: CryptoRng) -> Self {
         let primary = ServerConnection::new(Arc::new(clone_server_config(&config.tls)));
+        let telemetry = config.telemetry.clone();
         MbServerSession {
             config,
             rng,
@@ -93,6 +161,13 @@ impl MbServerSession {
             keys_distributed: false,
             dataplane: None,
             error: None,
+            telemetry,
+        }
+    }
+
+    fn emit(&self, kind: EventKind) {
+        if let Some(t) = &self.telemetry {
+            t.emit(Party::Server, kind);
         }
     }
 
@@ -108,6 +183,9 @@ impl MbServerSession {
         if let Some(dp) = &mut self.dataplane {
             out.extend(dp.take_outgoing());
         }
+        if !out.is_empty() {
+            self.emit(EventKind::BytesOut { bytes: out.len() as u64 });
+        }
         out
     }
 
@@ -115,6 +193,9 @@ impl MbServerSession {
     pub fn feed_incoming(&mut self, data: &[u8]) -> Result<(), MbError> {
         if let Some(e) = &self.error {
             return Err(e.clone());
+        }
+        if !data.is_empty() {
+            self.emit(EventKind::BytesIn { bytes: data.len() as u64 });
         }
         self.reader.feed(data);
         loop {
@@ -165,13 +246,13 @@ impl MbServerSession {
     /// the server in the TLS-client role.
     fn handle_announcement(&mut self) -> Result<(), MbError> {
         if self.keys_distributed {
-            return Err(MbError::Protocol("announcement after key distribution"));
+            return Err(MbError::unexpected_state("announcement after key distribution"));
         }
         let id = self.next_subchannel;
         self.next_subchannel = self
             .next_subchannel
             .checked_add(1)
-            .ok_or(MbError::Protocol("too many middleboxes"))?;
+            .ok_or(MbError::bad_hop("too many middleboxes"))?;
         let mut sec_cfg = ClientConfig::new(self.config.middlebox_trust.clone());
         sec_cfg.suites = self.config.tls.suites.clone();
         sec_cfg.current_time = self.config.current_time;
@@ -194,12 +275,14 @@ impl MbServerSession {
                 rejected: false,
             },
         );
+        self.emit(EventKind::MiddleboxAnnouncement { count: self.secondaries.len() as u64 });
+        self.emit(EventKind::SecondaryHandshakeStart { subchannel: id as u64 });
         Ok(())
     }
 
     fn handle_encapsulated(&mut self, enc: Encapsulated) -> Result<(), MbError> {
         let Some(sec) = self.secondaries.get_mut(&enc.subchannel) else {
-            return Err(MbError::Protocol("encapsulated record on unknown subchannel"));
+            return Err(MbError::bad_hop("encapsulated record on unknown subchannel"));
         };
         if sec.rejected {
             return Ok(());
@@ -234,6 +317,9 @@ impl MbServerSession {
                         let sec = self.secondaries.get_mut(&id).unwrap();
                         sec.verified_name = Some(name);
                         sec.approved = true;
+                        self.emit(EventKind::SecondaryHandshakeFinish {
+                            subchannel: id as u64,
+                        });
                     }
                     Err(_) => to_reject.push(id),
                 }
@@ -260,7 +346,7 @@ impl MbServerSession {
         let sec = &self.secondaries[&id];
         let chain = sec.conn.peer_certificates().to_vec();
         if chain.is_empty() {
-            return Err(MbError::Protocol("middlebox sent no certificate"));
+            return Err(MbError::unexpected_state("middlebox sent no certificate"));
         }
         let subject = chain[0].payload.subject.clone();
         self.config
@@ -344,11 +430,16 @@ impl MbServerSession {
             let mut wrapped = Vec::new();
             wrap_records(id, &bytes, &mut wrapped);
             self.out.extend(wrapped);
+            self.emit(EventKind::KeyDelivery { subchannel: id as u64 });
         }
 
-        self.dataplane =
-            Some(EndpointDataPlane::for_server(&hops[0]).map_err(MbError::Tls)?);
+        let mut dp = EndpointDataPlane::for_server(&hops[0]).map_err(MbError::Tls)?;
+        if let Some(t) = &self.telemetry {
+            dp.set_telemetry(t.clone(), Party::Server);
+        }
+        self.dataplane = Some(dp);
         self.keys_distributed = true;
+        self.emit(EventKind::HandshakeComplete);
         Ok(())
     }
 

@@ -15,6 +15,7 @@
 use std::collections::VecDeque;
 
 use mbtls_crypto::rng::CryptoRng;
+use mbtls_telemetry::{EventKind, Party, SharedSink};
 
 use crate::fault::{FaultConfig, FaultInjector};
 use crate::time::{Duration, SimTime};
@@ -46,6 +47,16 @@ struct Chunk {
 
 /// One-shot in-flight mutation registered by the adversary API.
 type TamperFn = Box<dyn FnOnce(&mut Vec<u8>) + Send>;
+
+/// What happened to a chunk inside [`Pipe::write`] — reported so the
+/// network can emit telemetry (the pipe itself has no [`ConnId`]).
+#[derive(Debug, Clone, Copy, Default)]
+struct WriteReport {
+    /// The fault model charged retransmission delay (a drop).
+    fault_delayed: bool,
+    /// A registered tamper hook mutated the chunk.
+    tampered: bool,
+}
 
 /// One direction of a connection: a latency/bandwidth pipe with
 /// in-order delivery, fault-induced delays, and adversary hooks.
@@ -84,15 +95,22 @@ impl Pipe {
         }
     }
 
-    fn write(&mut self, now: SimTime, mut data: Vec<u8>, earliest: SimTime) -> Result<(), NetError> {
+    fn write(
+        &mut self,
+        now: SimTime,
+        mut data: Vec<u8>,
+        earliest: SimTime,
+    ) -> Result<WriteReport, NetError> {
+        let mut report = WriteReport::default();
         if self.closed {
             return Err(NetError::ConnectionClosed);
         }
         if data.is_empty() {
-            return Ok(());
+            return Ok(report);
         }
         if let Some(tamper) = self.tamper_queue.pop_front() {
             tamper(&mut data);
+            report.tampered = true;
         }
         self.bytes_written += data.len() as u64;
         if let Some(tap) = &mut self.tap {
@@ -109,6 +127,7 @@ impl Pipe {
                 return Err(NetError::ConnectionReset);
             }
         }
+        report.fault_delayed = fault_delay > Duration::ZERO;
         let start = now.max(self.next_free).max(earliest);
         let serialize = match self.bandwidth_bps {
             Some(bps) => Duration((data.len() as u64 * 1_000_000_000).div_ceil(bps)),
@@ -123,7 +142,7 @@ impl Pipe {
             None => deliver_at,
         };
         self.in_flight.push_back(Chunk { deliver_at, data });
-        Ok(())
+        Ok(report)
     }
 
     /// Move everything due by `now` into the delivered buffer.
@@ -192,6 +211,7 @@ pub struct Network {
     rng: CryptoRng,
     /// Default one-way latency used when none is specified.
     pub default_latency: Duration,
+    telemetry: Option<SharedSink>,
 }
 
 impl Network {
@@ -203,12 +223,27 @@ impl Network {
             now: SimTime::ZERO,
             rng: CryptoRng::from_seed(seed),
             default_latency: Duration::from_micros(50),
+            telemetry: None,
         }
     }
 
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Attach a telemetry sink. Link events are emitted through it,
+    /// and its clock is kept in lock-step with virtual time so every
+    /// event in the simulation carries a virtual timestamp.
+    pub fn set_telemetry(&mut self, sink: SharedSink) {
+        sink.clock().set_ns(self.now.0);
+        self.telemetry = Some(sink);
+    }
+
+    fn emit(&self, kind: EventKind) {
+        if let Some(t) = &self.telemetry {
+            t.emit(Party::Network, kind);
+        }
     }
 
     /// Add a node.
@@ -290,7 +325,15 @@ impl Network {
             return Err(NetError::BadHandle);
         };
         let earliest = c.established_at.max(now.plus(compute));
-        self.pipe_mut(conn, dir)?.write(now, data.to_vec(), earliest)
+        let report = self.pipe_mut(conn, dir)?.write(now, data.to_vec(), earliest)?;
+        self.emit(EventKind::LinkSend { conn: conn.0 as u64, bytes: data.len() as u64 });
+        if report.tampered {
+            self.emit(EventKind::LinkCorrupt { conn: conn.0 as u64 });
+        }
+        if report.fault_delayed {
+            self.emit(EventKind::LinkDrop { conn: conn.0 as u64, bytes: data.len() as u64 });
+        }
+        Ok(())
     }
 
     /// Receive all bytes available to `to` on this connection at the
@@ -315,6 +358,14 @@ impl Network {
                 Ok(data)
             }
         };
+        if let Ok(data) = &closed_check {
+            if !data.is_empty() {
+                self.emit(EventKind::LinkDeliver {
+                    conn: conn.0 as u64,
+                    bytes: data.len() as u64,
+                });
+            }
+        }
         closed_check
     }
 
@@ -341,11 +392,17 @@ impl Network {
         if t > self.now {
             self.now = t;
         }
+        if let Some(tl) = &self.telemetry {
+            tl.clock().set_ns(self.now.0);
+        }
     }
 
     /// Advance by a span.
     pub fn advance_by(&mut self, d: Duration) {
         self.now = self.now.plus(d);
+        if let Some(tl) = &self.telemetry {
+            tl.clock().set_ns(self.now.0);
+        }
     }
 
     // ----- adversary / measurement hooks (threat model §3.1) -----
@@ -373,7 +430,12 @@ impl Network {
         let now = self.now;
         let c = self.conns.get(conn.0).ok_or(NetError::BadHandle)?;
         let earliest = c.established_at;
-        self.pipe_mut(conn, dir)?.write(now, data.to_vec(), earliest)
+        let report = self.pipe_mut(conn, dir)?.write(now, data.to_vec(), earliest)?;
+        self.emit(EventKind::LinkSend { conn: conn.0 as u64, bytes: data.len() as u64 });
+        if report.tampered {
+            self.emit(EventKind::LinkCorrupt { conn: conn.0 as u64 });
+        }
+        Ok(())
     }
 
     /// Register a one-shot tamper applied to the next chunk written

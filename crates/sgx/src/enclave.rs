@@ -14,6 +14,12 @@ use mbtls_crypto::gcm::AesGcm;
 use mbtls_crypto::kdf::hkdf;
 use mbtls_crypto::rng::CryptoRng;
 use mbtls_crypto::sha2::Sha256;
+use mbtls_telemetry::{EventKind, Party, SharedSink};
+
+/// Modeled cost of one full enclave boundary crossing (ECALL in +
+/// return, or OCALL out + resume), matching
+/// [`crate::cost::SgxCostModel::full_transition_pair_ns`].
+const TRANSITION_PAIR_NS: u64 = 1_750;
 
 /// Errors from seal/unseal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,6 +64,7 @@ pub struct Platform {
     /// The machine's RAM.
     pub memory: MachineMemory,
     enclave_counter: u64,
+    telemetry: Option<SharedSink>,
 }
 
 impl Platform {
@@ -69,6 +76,7 @@ impl Platform {
             sealing_secret: rng.gen_array(),
             memory: MachineMemory::new(),
             enclave_counter: 0,
+            telemetry: None,
         }
     }
 
@@ -76,12 +84,26 @@ impl Platform {
     pub fn platform_id(&self) -> u64 {
         self.attestation.platform_id
     }
+
+    /// Attach a telemetry sink; enclave lifecycle and boundary-crossing
+    /// events on this platform are emitted through it.
+    pub fn set_telemetry(&mut self, sink: SharedSink) {
+        self.telemetry = Some(sink);
+    }
+
+    fn emit(&self, enclave_id: u64, kind: EventKind) {
+        if let Some(t) = &self.telemetry {
+            t.emit(Party::Enclave(enclave_id), kind);
+        }
+    }
 }
 
 /// An enclave instance holding state `S`.
 pub struct Enclave<S: EnclaveState> {
     measurement: Measurement,
     region_name: String,
+    /// Platform-local enclave id (also the suffix of `region_name`).
+    id: u64,
     state: S,
     /// Nonce counter for the memory-encryption engine.
     mee_nonce: u64,
@@ -92,14 +114,17 @@ impl<S: EnclaveState> Enclave<S> {
     /// into protected memory on `platform`.
     pub fn create(platform: &mut Platform, code: &CodeIdentity, initial_state: S) -> Self {
         platform.enclave_counter += 1;
-        let region_name = format!("enclave-{}", platform.enclave_counter);
+        let id = platform.enclave_counter;
+        let region_name = format!("enclave-{id}");
         let mut enclave = Enclave {
             measurement: code.measure(),
             region_name,
+            id,
             state: initial_state,
             mee_nonce: 0,
         };
         enclave.sync_page_image(platform);
+        platform.emit(id, EventKind::EnclaveCreate { enclave: id });
         enclave
     }
 
@@ -129,6 +154,7 @@ impl<S: EnclaveState> Enclave<S> {
         }
         let out = f(&mut self.state);
         self.sync_page_image(platform);
+        platform.emit(self.id, EventKind::Ecall { enclave: self.id, cost_ns: TRANSITION_PAIR_NS });
         out
     }
 
@@ -140,11 +166,15 @@ impl<S: EnclaveState> Enclave<S> {
                 "enclave memory integrity check failed (host tampering detected)"
             );
         }
+        platform.emit(self.id, EventKind::Ecall { enclave: self.id, cost_ns: TRANSITION_PAIR_NS });
         f(&self.state)
     }
 
     /// Produce a remote-attestation quote binding `report_data`.
     pub fn quote(&self, platform: &Platform, report_data: [u8; REPORT_DATA_LEN]) -> Quote {
+        // Quoting leaves the enclave to talk to the quoting enclave —
+        // modeled as one OCALL round trip.
+        platform.emit(self.id, EventKind::Ocall { enclave: self.id, cost_ns: TRANSITION_PAIR_NS });
         platform.attestation.quote(self.measurement, report_data)
     }
 

@@ -1,0 +1,247 @@
+//! The typed event taxonomy.
+
+/// Who emitted an event.
+///
+/// Middleboxes are identified by their position in the chain
+/// (0 = nearest the client), matching the driver's node ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Party {
+    /// The mbTLS (or legacy TLS) client endpoint.
+    Client,
+    /// A middlebox, by chain position (0 = nearest the client).
+    Middlebox(u8),
+    /// The server endpoint.
+    Server,
+    /// The network simulator itself (link and session-phase events).
+    Network,
+    /// A simulated SGX enclave, by platform-local id.
+    Enclave(u64),
+}
+
+impl Party {
+    /// A stable lowercase label, used in JSON output.
+    pub fn label(&self) -> String {
+        match self {
+            Party::Client => "client".to_string(),
+            Party::Middlebox(i) => format!("middlebox{i}"),
+            Party::Server => "server".to_string(),
+            Party::Network => "network".to_string(),
+            Party::Enclave(i) => format!("enclave{i}"),
+        }
+    }
+}
+
+/// What happened.
+///
+/// The taxonomy covers the four planes the paper's evaluation
+/// measures: handshake progress, per-hop record flow, simulated
+/// network links, and SGX transitions — plus `CpuTime`, the bench
+/// harness's wall-clock samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    // ---- Handshake phases ----
+    /// The client emitted its first flight.
+    ClientHelloSent {
+        /// Flight size on the wire.
+        bytes: u64,
+    },
+    /// A MiddleboxAnnouncement was sent (server side) or observed.
+    MiddleboxAnnouncement {
+        /// Number of middleboxes announced so far on this session.
+        count: u64,
+    },
+    /// A secondary (per-middlebox) handshake began on `subchannel`.
+    SecondaryHandshakeStart {
+        /// Subchannel id carrying the secondary handshake.
+        subchannel: u64,
+    },
+    /// A secondary handshake completed on `subchannel`.
+    SecondaryHandshakeFinish {
+        /// Subchannel id carrying the secondary handshake.
+        subchannel: u64,
+    },
+    /// Hop keys were delivered to (or installed by) a middlebox.
+    KeyDelivery {
+        /// Subchannel id the keys were delivered over.
+        subchannel: u64,
+    },
+    /// The party considers the whole mbTLS handshake complete.
+    HandshakeComplete,
+
+    // ---- Per-hop record flow ----
+    /// A record was encrypted for hop `hop`.
+    RecordEncrypt {
+        /// Hop index (0 = client-side hop).
+        hop: u64,
+        /// Plaintext bytes in the record.
+        bytes: u64,
+        /// Sequence number used.
+        seq: u64,
+    },
+    /// A record arriving on hop `hop` was decrypted.
+    RecordDecrypt {
+        /// Hop index (0 = client-side hop).
+        hop: u64,
+        /// Plaintext bytes recovered.
+        bytes: u64,
+        /// Sequence number used.
+        seq: u64,
+    },
+    /// Raw bytes entered the party from the wire.
+    BytesIn {
+        /// Byte count.
+        bytes: u64,
+    },
+    /// Raw bytes left the party toward the wire.
+    BytesOut {
+        /// Byte count.
+        bytes: u64,
+    },
+
+    // ---- Netsim link events ----
+    /// Bytes were written into a simulated link.
+    LinkSend {
+        /// Connection id.
+        conn: u64,
+        /// Byte count.
+        bytes: u64,
+    },
+    /// Bytes became readable at the far end of a link.
+    LinkDeliver {
+        /// Connection id.
+        conn: u64,
+        /// Byte count.
+        bytes: u64,
+    },
+    /// A fault model dropped (and transparently retransmitted) a
+    /// segment, charging its delay.
+    LinkDrop {
+        /// Connection id.
+        conn: u64,
+        /// Byte count affected.
+        bytes: u64,
+    },
+    /// A tamper hook corrupted in-flight bytes.
+    LinkCorrupt {
+        /// Connection id.
+        conn: u64,
+    },
+
+    // ---- Session phases (driver-level, virtual time) ----
+    /// A driven session started.
+    SessionStart,
+    /// The driven session's handshake completed end-to-end.
+    SessionHandshakeDone,
+    /// The driven session's data transfer completed.
+    SessionTransferDone,
+
+    // ---- SGX enclave transitions ----
+    /// An enclave was created (`ECREATE`/`EINIT`).
+    EnclaveCreate {
+        /// Platform-local enclave id.
+        enclave: u64,
+    },
+    /// An ECALL entered the enclave.
+    Ecall {
+        /// Platform-local enclave id.
+        enclave: u64,
+        /// Modeled transition cost in nanoseconds.
+        cost_ns: u64,
+    },
+    /// An OCALL left the enclave.
+    Ocall {
+        /// Platform-local enclave id.
+        enclave: u64,
+        /// Modeled transition cost in nanoseconds.
+        cost_ns: u64,
+    },
+
+    // ---- Bench harness ----
+    /// Measured wall-clock CPU time attributed to the party.
+    CpuTime {
+        /// Duration in nanoseconds.
+        dur_ns: u64,
+    },
+}
+
+impl EventKind {
+    /// A stable snake_case name, used in JSON output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::ClientHelloSent { .. } => "client_hello_sent",
+            EventKind::MiddleboxAnnouncement { .. } => "middlebox_announcement",
+            EventKind::SecondaryHandshakeStart { .. } => "secondary_handshake_start",
+            EventKind::SecondaryHandshakeFinish { .. } => "secondary_handshake_finish",
+            EventKind::KeyDelivery { .. } => "key_delivery",
+            EventKind::HandshakeComplete => "handshake_complete",
+            EventKind::RecordEncrypt { .. } => "record_encrypt",
+            EventKind::RecordDecrypt { .. } => "record_decrypt",
+            EventKind::BytesIn { .. } => "bytes_in",
+            EventKind::BytesOut { .. } => "bytes_out",
+            EventKind::LinkSend { .. } => "link_send",
+            EventKind::LinkDeliver { .. } => "link_deliver",
+            EventKind::LinkDrop { .. } => "link_drop",
+            EventKind::LinkCorrupt { .. } => "link_corrupt",
+            EventKind::SessionStart => "session_start",
+            EventKind::SessionHandshakeDone => "session_handshake_done",
+            EventKind::SessionTransferDone => "session_transfer_done",
+            EventKind::EnclaveCreate { .. } => "enclave_create",
+            EventKind::Ecall { .. } => "ecall",
+            EventKind::Ocall { .. } => "ocall",
+            EventKind::CpuTime { .. } => "cpu_time",
+        }
+    }
+
+    /// The kind-specific payload as `(field, value)` pairs, used in
+    /// JSON output and by aggregation.
+    pub fn fields(&self) -> Vec<(&'static str, u64)> {
+        match *self {
+            EventKind::ClientHelloSent { bytes } => vec![("bytes", bytes)],
+            EventKind::MiddleboxAnnouncement { count } => vec![("count", count)],
+            EventKind::SecondaryHandshakeStart { subchannel }
+            | EventKind::SecondaryHandshakeFinish { subchannel }
+            | EventKind::KeyDelivery { subchannel } => vec![("subchannel", subchannel)],
+            EventKind::HandshakeComplete
+            | EventKind::SessionStart
+            | EventKind::SessionHandshakeDone
+            | EventKind::SessionTransferDone => vec![],
+            EventKind::RecordEncrypt { hop, bytes, seq }
+            | EventKind::RecordDecrypt { hop, bytes, seq } => {
+                vec![("hop", hop), ("bytes", bytes), ("seq", seq)]
+            }
+            EventKind::BytesIn { bytes } | EventKind::BytesOut { bytes } => {
+                vec![("bytes", bytes)]
+            }
+            EventKind::LinkSend { conn, bytes }
+            | EventKind::LinkDeliver { conn, bytes }
+            | EventKind::LinkDrop { conn, bytes } => vec![("conn", conn), ("bytes", bytes)],
+            EventKind::LinkCorrupt { conn } => vec![("conn", conn)],
+            EventKind::EnclaveCreate { enclave } => vec![("enclave", enclave)],
+            EventKind::Ecall { enclave, cost_ns } | EventKind::Ocall { enclave, cost_ns } => {
+                vec![("enclave", enclave), ("cost_ns", cost_ns)]
+            }
+            EventKind::CpuTime { dur_ns } => vec![("dur_ns", dur_ns)],
+        }
+    }
+}
+
+/// One telemetry event: when, who, what.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Timestamp in nanoseconds. Virtual time under the netsim
+    /// driver; zero (or harness-supplied) otherwise.
+    pub ts_ns: u64,
+    /// The emitting party.
+    pub party: Party,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// The event with its timestamp zeroed — useful for comparing
+    /// traces across latency profiles, where ordering and content
+    /// must match but times may not.
+    pub fn without_timestamp(&self) -> Event {
+        Event { ts_ns: 0, ..self.clone() }
+    }
+}

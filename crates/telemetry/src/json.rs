@@ -1,0 +1,152 @@
+//! Hand-rolled JSON encoding (and a minimal validating parser) so
+//! the crate stays dependency-free.
+//!
+//! Every event serializes to one flat JSON object per line:
+//!
+//! ```text
+//! {"ts_ns":35000000,"party":"middlebox0","event":"record_decrypt","hop":0,"bytes":512,"seq":3}
+//! ```
+
+use crate::event::Event;
+
+/// Encode one event as a single JSON line (no trailing newline).
+pub fn to_json_line(event: &Event) -> String {
+    let mut out = String::with_capacity(96);
+    out.push_str("{\"ts_ns\":");
+    out.push_str(&event.ts_ns.to_string());
+    out.push_str(",\"party\":\"");
+    out.push_str(&event.party.label());
+    out.push_str("\",\"event\":\"");
+    out.push_str(event.kind.name());
+    out.push('"');
+    for (key, value) in event.kind.fields() {
+        out.push_str(",\"");
+        out.push_str(key);
+        out.push_str("\":");
+        out.push_str(&value.to_string());
+    }
+    out.push('}');
+    out
+}
+
+/// Validate that `line` is one flat JSON object whose values are
+/// strings or integers — the shape [`to_json_line`] produces.
+/// Returns the number of key/value pairs.
+///
+/// This is a *validator*, not a general JSON parser: no nesting, no
+/// floats, no escapes beyond `\"` and `\\`. It exists so smoke
+/// scripts can check trace output without external tooling.
+pub fn validate_json_line(line: &str) -> Result<usize, String> {
+    let mut chars = line.trim().chars().peekable();
+    if chars.next() != Some('{') {
+        return Err("expected '{'".to_string());
+    }
+    let mut pairs = 0;
+    loop {
+        match chars.peek() {
+            // '}' closes the object, but not right after a comma.
+            Some('}') if pairs == 0 => {
+                chars.next();
+                break;
+            }
+            Some('"') => {}
+            other => return Err(format!("expected key string, got {other:?}")),
+        }
+        parse_string(&mut chars)?;
+        if chars.next() != Some(':') {
+            return Err("expected ':' after key".to_string());
+        }
+        match chars.peek() {
+            Some('"') => {
+                parse_string(&mut chars)?;
+            }
+            Some(c) if c.is_ascii_digit() || *c == '-' => {
+                if chars.peek() == Some(&'-') {
+                    chars.next();
+                }
+                let mut any = false;
+                while matches!(chars.peek(), Some(c) if c.is_ascii_digit()) {
+                    chars.next();
+                    any = true;
+                }
+                if !any {
+                    return Err("empty number".to_string());
+                }
+            }
+            other => return Err(format!("unsupported value start {other:?}")),
+        }
+        pairs += 1;
+        match chars.next() {
+            Some(',') => continue,
+            Some('}') => break,
+            other => return Err(format!("expected ',' or '}}', got {other:?}")),
+        }
+    }
+    if chars.next().is_some() {
+        return Err("trailing characters after object".to_string());
+    }
+    Ok(pairs)
+}
+
+fn parse_string(
+    chars: &mut std::iter::Peekable<std::str::Chars>,
+) -> Result<String, String> {
+    if chars.next() != Some('"') {
+        return Err("expected '\"'".to_string());
+    }
+    let mut s = String::new();
+    loop {
+        match chars.next() {
+            Some('"') => return Ok(s),
+            Some('\\') => match chars.next() {
+                Some('"') => s.push('"'),
+                Some('\\') => s.push('\\'),
+                other => return Err(format!("unsupported escape {other:?}")),
+            },
+            Some(c) => s.push(c),
+            None => return Err("unterminated string".to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, Party};
+
+    #[test]
+    fn events_serialize_and_validate() {
+        let samples = [
+            Event {
+                ts_ns: 35_000_000,
+                party: Party::Middlebox(0),
+                kind: EventKind::RecordDecrypt { hop: 0, bytes: 512, seq: 3 },
+            },
+            Event { ts_ns: 0, party: Party::Client, kind: EventKind::HandshakeComplete },
+            Event {
+                ts_ns: 7,
+                party: Party::Network,
+                kind: EventKind::LinkSend { conn: 1, bytes: 1460 },
+            },
+            Event {
+                ts_ns: 9,
+                party: Party::Enclave(2),
+                kind: EventKind::Ecall { enclave: 2, cost_ns: 12_000 },
+            },
+        ];
+        for event in &samples {
+            let line = to_json_line(event);
+            let pairs = validate_json_line(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert!(pairs >= 3, "{line}");
+        }
+    }
+
+    #[test]
+    fn validator_rejects_malformed() {
+        assert!(validate_json_line("not json").is_err());
+        assert!(validate_json_line("{\"a\":}").is_err());
+        assert!(validate_json_line("{\"a\":1,}").is_err());
+        assert!(validate_json_line("{\"a\":1} extra").is_err());
+        assert!(validate_json_line("{\"a\":1").is_err());
+    }
+}

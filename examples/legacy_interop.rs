@@ -6,10 +6,10 @@
 
 use std::sync::Arc;
 
-use mbtls_core::attacks::Testbed;
+use mbtls_core::attacks::{PakAttestor, Testbed};
 use mbtls_core::client::MbClientSession;
 use mbtls_core::driver::{Chain, LegacyServer};
-use mbtls_core::middlebox::Middlebox;
+use mbtls_core::middlebox::{Middlebox, MiddleboxConfig};
 use mbtls_crypto::rng::CryptoRng;
 use mbtls_tls::ServerConnection;
 
@@ -98,8 +98,14 @@ fn main() {
         ),
         CryptoRng::from_seed(63),
     );
-    let mut cached_cfg = tb.middlebox_config(&tb.mbox_code);
-    cached_cfg.cached_no_support = true; // the middlebox remembers
+    let cached_cfg = MiddleboxConfig::builder("proxy.msp.example", tb.mbox_key.clone())
+        .attestor(Arc::new(PakAttestor {
+            pak: tb.pak.clone(),
+            measurement: tb.mbox_code.measure(),
+        }))
+        .cached_no_support(true) // the middlebox remembers
+        .build()
+        .expect("middlebox config");
     let quiet = Middlebox::new(cached_cfg, CryptoRng::from_seed(64));
     let mut strict_cfg =
         mbtls_tls::config::ServerConfig::new(tb.server_key.clone(), [5u8; 32]);

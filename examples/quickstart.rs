@@ -6,12 +6,15 @@
 
 use std::sync::Arc;
 
-use mbtls_core::attacks::Testbed;
+use mbtls_core::attacks::{PakAttestor, Testbed};
 use mbtls_core::client::MbClientSession;
 use mbtls_core::driver::Chain;
 use mbtls_core::middlebox::Middlebox;
 use mbtls_core::server::MbServerSession;
+use mbtls_core::{MbClientConfig, MbServerConfig, MiddleboxConfig};
 use mbtls_crypto::rng::CryptoRng;
+use mbtls_telemetry::{EventKind, Recorder};
+use mbtls_tls::config::AttestationPolicy;
 
 fn main() {
     // 1. Environment: a web PKI, a middlebox-service PKI, and a
@@ -19,16 +22,42 @@ fn main() {
     //    boilerplate; see its source for the individual pieces.
     let tb = Testbed::new(42);
 
-    // 2. The three parties. The client requires middleboxes to attest
-    //    the published "mbtls-proxy v1.0" enclave measurement (set up
-    //    inside Testbed::client_config).
-    let client = MbClientSession::new(
-        Arc::new(tb.client_config()),
-        "server.example",
-        CryptoRng::from_seed(1),
-    );
-    let server = MbServerSession::new(Arc::new(tb.server_config()), CryptoRng::from_seed(2));
-    let middlebox = Middlebox::new(tb.middlebox_config(&tb.mbox_code), CryptoRng::from_seed(3));
+    // A telemetry recorder captures every protocol event for
+    // inspection after the session (step 5).
+    let recorder = Recorder::new();
+    let sink = recorder.sink();
+
+    // 2. The three parties, configured through the validating
+    //    builders. The client requires middleboxes to attest the
+    //    published "mbtls-proxy v1.0" enclave measurement.
+    let attestation = AttestationPolicy {
+        root: tb.attestation_root,
+        acceptable: vec![tb.mbox_code.measure()],
+    };
+    let client_cfg =
+        MbClientConfig::builder(tb.server_trust.clone(), tb.middlebox_trust.clone())
+            .middlebox_attestation(attestation.clone())
+            .telemetry(sink.clone())
+            .build()
+            .expect("client config");
+    let server_tls = mbtls_tls::config::ServerConfig::new(tb.server_key.clone(), [0x7E; 32]);
+    let server_cfg = MbServerConfig::builder(server_tls, tb.middlebox_trust.clone())
+        .middlebox_attestation(attestation)
+        .telemetry(sink.clone())
+        .build()
+        .expect("server config");
+    let mbox_cfg = MiddleboxConfig::builder("proxy.msp.example", tb.mbox_key.clone())
+        .attestor(Arc::new(PakAttestor {
+            pak: tb.pak.clone(),
+            measurement: tb.mbox_code.measure(),
+        }))
+        .telemetry(sink, 0)
+        .build()
+        .expect("middlebox config");
+
+    let client = MbClientSession::new(Arc::new(client_cfg), "server.example", CryptoRng::from_seed(1));
+    let server = MbServerSession::new(Arc::new(server_cfg), CryptoRng::from_seed(2));
+    let middlebox = Middlebox::new(mbox_cfg, CryptoRng::from_seed(3));
 
     // 3. Wire them together over in-memory pipes and run the
     //    handshake: primary TLS client↔server, secondary TLS
@@ -51,4 +80,19 @@ fn main() {
         .server_to_client(response, response.len())
         .expect("response delivery");
     println!("client received {} bytes: {:?}", got.len(), String::from_utf8_lossy(&got));
+
+    // 5. The telemetry trace shows what just happened, per party.
+    let trace = recorder.take();
+    let deliveries = trace
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::KeyDelivery { .. }))
+        .count();
+    let records = trace
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::RecordEncrypt { .. }))
+        .count();
+    println!(
+        "trace: {} events, {deliveries} key deliveries, {records} per-hop record encryptions",
+        trace.len()
+    );
 }

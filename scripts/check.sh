@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Full local gate: lint-clean build, tests, and the telemetry smoke
+# test. CI-equivalent; run before pushing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo clippy --workspace --all-targets -- -D warnings
+cargo build --release --workspace
+cargo test -q --workspace
+scripts/telemetry_smoke.sh
+
+echo "all checks passed"

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Telemetry smoke test: run one seeded mbTLS session over the network
+# simulator with a JsonLinesSink attached and check that
+#   1. every emitted line parses as a JSON object,
+#   2. the trace is identical when the same seed is replayed,
+#   3. the trace carries the expected protocol phases.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEED="${1:-0x7E1E}"
+OUT="$(mktemp)"
+OUT2="$(mktemp)"
+trap 'rm -f "$OUT" "$OUT2"' EXIT
+
+# The bin itself validates each line with validate_json_line and
+# exits nonzero on the first malformed one.
+cargo run -q --release -p mbtls-bench --bin telemetry_trace "$SEED" > "$OUT"
+cargo run -q --release -p mbtls-bench --bin telemetry_trace "$SEED" > "$OUT2"
+
+if ! cmp -s "$OUT" "$OUT2"; then
+    echo "FAIL: identical seeds produced different traces" >&2
+    diff "$OUT" "$OUT2" | head >&2
+    exit 1
+fi
+
+for phase in session_start session_handshake_done session_transfer_done \
+             client_hello_sent handshake_complete key_delivery; do
+    if ! grep -q "\"$phase\"" "$OUT"; then
+        echo "FAIL: trace is missing $phase" >&2
+        exit 1
+    fi
+done
+
+echo "OK: $(wc -l < "$OUT") JSON lines, deterministic under seed $SEED"

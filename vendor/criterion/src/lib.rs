@@ -1,0 +1,230 @@
+//! Offline vendored stub of the `criterion` API surface this
+//! workspace uses.
+//!
+//! The build container cannot reach crates.io, so the bench targets
+//! link against this minimal harness instead. It measures wall-clock
+//! time with an adaptive iteration count and prints a one-line
+//! mean-per-iteration (plus throughput when declared) per benchmark —
+//! no statistical analysis, plots, or baselines. The API is
+//! call-compatible with the subset the `benches/` files use.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark context.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 100,
+            throughput: None,
+        }
+    }
+}
+
+/// Declared per-iteration workload, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A parameterised benchmark identifier.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id rendered from the benchmark's input parameter.
+    pub fn from_parameter(param: impl fmt::Display) -> Self {
+        BenchmarkId(param.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Set the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Declare the per-iteration workload for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        self.report(&id.into(), &bencher);
+        self
+    }
+
+    /// Run one benchmark with an explicit input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher, input);
+        self.report(&id, &bencher);
+        self
+    }
+
+    /// Finish the group (reporting already happened per benchmark).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, bencher: &Bencher) {
+        let per_iter = bencher.mean_per_iter();
+        let mut line = format!(
+            "{}/{}: {} per iter ({} iters)",
+            self.name,
+            id.0,
+            fmt_duration(per_iter),
+            bencher.total_iters
+        );
+        if let Some(tp) = self.throughput {
+            let (count, unit) = match tp {
+                Throughput::Bytes(b) => (b, "B"),
+                Throughput::Elements(e) => (e, "elem"),
+            };
+            if per_iter > Duration::ZERO {
+                let rate = count as f64 / per_iter.as_secs_f64();
+                line.push_str(&format!(", {:.1} M{}/s", rate / 1e6, unit));
+            }
+        }
+        println!("{line}");
+    }
+}
+
+/// Times a closure over an adaptively chosen number of iterations.
+pub struct Bencher {
+    sample_size: usize,
+    total_iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher {
+            sample_size,
+            total_iters: 0,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    /// Measure `f`. A calibration pass picks an iteration count that
+    /// keeps total measurement time near 100 ms regardless of the
+    /// routine's cost, bounded by the group's sample size for slow
+    /// routines.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Calibration: one untimed warm-up, then time a single call.
+        std::hint::black_box(f());
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+
+        let target = Duration::from_millis(100);
+        let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+        let iters = iters.min(self.sample_size.max(1) as u64 * 10);
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+        self.total_iters = iters;
+    }
+
+    fn mean_per_iter(&self) -> Duration {
+        if self.total_iters == 0 {
+            Duration::ZERO
+        } else {
+            self.elapsed / self.total_iters as u32
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Collect benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(10);
+        group.throughput(Throughput::Bytes(64));
+        let mut count = 0u64;
+        group.bench_function("add", |b| b.iter(|| count = count.wrapping_add(1)));
+        group.bench_with_input(BenchmarkId::from_parameter(4096), &4096usize, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+        assert!(count > 0);
+    }
+}

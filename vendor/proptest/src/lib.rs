@@ -1,0 +1,603 @@
+//! Offline vendored stub of the `proptest` API surface this workspace
+//! uses.
+//!
+//! The build container has no route to crates.io, so this crate
+//! supplies the same names the tests import: `Strategy`, `any`,
+//! `proptest::collection::vec`, `proptest::array::uniformN`,
+//! `prop::sample::Index`, regex-subset string strategies, and the
+//! `proptest!` / `prop_assert!` family of macros.
+//!
+//! It is a *generator*, not a shrinker: each property runs a fixed
+//! number of deterministically seeded cases (seeded from the test's
+//! module path and name), and failures surface as ordinary panics
+//! with the failing inputs printed by the assertion itself. That is a
+//! weaker debugging experience than upstream proptest but an
+//! identical pass/fail contract for CI.
+
+#![warn(missing_docs)]
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+pub mod test_runner {
+    //! Deterministic case runner configuration and RNG.
+
+    /// Runner configuration (subset of upstream `ProptestConfig`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Upstream defaults to 256; the from-scratch crypto in
+            // this workspace makes debug-mode cases expensive, so the
+            // offline stub trims the default while keeping per-test
+            // overrides (`with_cases`) intact.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// SplitMix64 — a tiny deterministic RNG for case generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeded construction.
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)`. `n` must be non-zero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            // Modulo bias is irrelevant at test-generation quality.
+            self.next_u64() % n
+        }
+
+        /// Uniform float in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// FNV-1a over a string — used by the `proptest!` macro to derive
+    /// a stable per-test seed from the test's path.
+    pub const fn fnv1a(s: &str) -> u64 {
+        let bytes = s.as_bytes();
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        let mut i = 0;
+        while i < bytes.len() {
+            hash ^= bytes[i] as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            i += 1;
+        }
+        hash
+    }
+}
+
+pub mod strategy {
+    //! The `Strategy` trait and combinators.
+
+    use super::test_runner::TestRng;
+
+    /// A value generator (subset of upstream `Strategy`: generation
+    /// only, no shrinking).
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+}
+
+use strategy::Strategy;
+use test_runner::TestRng;
+
+/// Types with a canonical "any value" strategy (subset of upstream
+/// `Arbitrary`).
+pub trait Arbitrary: Sized {
+    /// Generate an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arb_int!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below(span + 1) as $t
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive size bounds for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { min: r.start, max: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A `Vec` of values from `element` with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min) as u64;
+            let len = self.size.min + rng.below(span + 1) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod array {
+    //! Fixed-size array strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// The strategy returned by the `uniformN` constructors.
+    pub struct ArrayStrategy<S, const N: usize>(S);
+
+    impl<S: Strategy, const N: usize> Strategy for ArrayStrategy<S, N> {
+        type Value = [S::Value; N];
+
+        fn generate(&self, rng: &mut TestRng) -> [S::Value; N] {
+            std::array::from_fn(|_| self.0.generate(rng))
+        }
+    }
+
+    /// A 12-element array of values from `element`.
+    pub fn uniform12<S: Strategy>(element: S) -> ArrayStrategy<S, 12> {
+        ArrayStrategy(element)
+    }
+
+    /// A 32-element array of values from `element`.
+    pub fn uniform32<S: Strategy>(element: S) -> ArrayStrategy<S, 32> {
+        ArrayStrategy(element)
+    }
+}
+
+pub mod sample {
+    //! Sampling helpers.
+
+    use super::test_runner::TestRng;
+    use super::Arbitrary;
+
+    /// A stand-in for "an index into a collection whose size is not
+    /// yet known": stores a unit-interval position and projects it
+    /// onto `[0, len)` on demand.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct Index(f64);
+
+    impl Index {
+        /// Project onto `[0, len)`. Panics if `len == 0`, matching
+        /// upstream behaviour.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            ((self.0 * len as f64) as usize).min(len - 1)
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.unit_f64())
+        }
+    }
+}
+
+mod regex_subset {
+    //! A generator for the small regex dialect the workspace's string
+    //! strategies use: literal characters, character classes with
+    //! ranges and `&&[^...]` subtraction, and `{m}` / `{m,n}`
+    //! repetition counts.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    enum Piece {
+        Literal(char),
+        Class { alphabet: Vec<char>, min: usize, max: usize },
+    }
+
+    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars>) -> Vec<char> {
+        // `chars` is positioned just after the opening '['.
+        let mut include: Vec<char> = Vec::new();
+        let mut exclude: Vec<char> = Vec::new();
+        let mut subtracting = false;
+        while let Some(c) = chars.next() {
+            match c {
+                ']' => break,
+                '&' if chars.peek() == Some(&'&') => {
+                    // `&&[^...]` — class subtraction.
+                    chars.next(); // second '&'
+                    assert_eq!(chars.next(), Some('['), "expected [ after && in class");
+                    assert_eq!(chars.next(), Some('^'), "only negated subtraction supported");
+                    subtracting = true;
+                }
+                '\\' => {
+                    let esc = chars.next().expect("dangling escape in class");
+                    let lit = match esc {
+                        'r' => '\r',
+                        'n' => '\n',
+                        't' => '\t',
+                        other => other,
+                    };
+                    if subtracting { exclude.push(lit) } else { include.push(lit) }
+                }
+                first => {
+                    // Range `a-z` when '-' is followed by a non-']'.
+                    if chars.peek() == Some(&'-') {
+                        let mut look = chars.clone();
+                        look.next(); // '-'
+                        match look.peek() {
+                            Some(&end) if end != ']' => {
+                                chars.next(); // '-'
+                                chars.next(); // end
+                                let target: &mut Vec<char> =
+                                    if subtracting { &mut exclude } else { &mut include };
+                                let mut ch = first;
+                                loop {
+                                    target.push(ch);
+                                    if ch >= end {
+                                        break;
+                                    }
+                                    ch = char::from_u32(ch as u32 + 1).unwrap();
+                                }
+                                continue;
+                            }
+                            _ => {}
+                        }
+                    }
+                    if subtracting { exclude.push(first) } else { include.push(first) }
+                }
+            }
+        }
+        include.retain(|c| !exclude.contains(c));
+        assert!(!include.is_empty(), "empty character class");
+        include
+    }
+
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let mut pieces = Vec::new();
+        let mut chars = pattern.chars().peekable();
+        while let Some(c) = chars.next() {
+            let base = match c {
+                '[' => Piece::Class { alphabet: parse_class(&mut chars), min: 1, max: 1 },
+                '\\' => Piece::Literal(match chars.next().expect("dangling escape") {
+                    'r' => '\r',
+                    'n' => '\n',
+                    't' => '\t',
+                    other => other,
+                }),
+                lit => Piece::Literal(lit),
+            };
+            // Optional `{m}` / `{m,n}` quantifier.
+            if chars.peek() == Some(&'{') {
+                chars.next();
+                let mut spec = String::new();
+                for q in chars.by_ref() {
+                    if q == '}' {
+                        break;
+                    }
+                    spec.push(q);
+                }
+                let (min, max) = match spec.split_once(',') {
+                    Some((m, n)) => (m.parse().unwrap(), n.parse().unwrap()),
+                    None => {
+                        let m: usize = spec.parse().unwrap();
+                        (m, m)
+                    }
+                };
+                let alphabet = match base {
+                    Piece::Class { alphabet, .. } => alphabet,
+                    Piece::Literal(l) => vec![l],
+                };
+                pieces.push(Piece::Class { alphabet, min, max });
+            } else {
+                pieces.push(base);
+            }
+        }
+        pieces
+    }
+
+    fn generate_from(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse(pattern) {
+            match piece {
+                Piece::Literal(c) => out.push(c),
+                Piece::Class { alphabet, min, max } => {
+                    let span = (max - min) as u64;
+                    let n = min + rng.below(span + 1) as usize;
+                    for _ in 0..n {
+                        out.push(alphabet[rng.below(alphabet.len() as u64) as usize]);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_from(self, rng)
+        }
+    }
+}
+
+pub mod prelude {
+    //! The common imports, mirroring `proptest::prelude`.
+
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary};
+
+    /// Module-path alias mirroring upstream's `prelude::prop`.
+    pub mod prop {
+        pub use crate::{array, collection, sample, strategy};
+    }
+}
+
+/// Assert a condition inside a property (panics with the formatted
+/// message on failure, like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Declare property tests. Each `fn name(arg in strategy, ...)` body
+/// runs `cases` times with deterministically seeded inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr);) => {};
+    (($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            const __SEED: u64 = $crate::test_runner::fnv1a(
+                concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__cfg.cases as u64 {
+                let mut __rng = $crate::test_runner::TestRng::new(
+                    __SEED ^ __case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_impl!(($cfg); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn regex_subset_generates_valid_strings() {
+        let mut rng = crate::test_runner::TestRng::new(5);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[A-Za-z][A-Za-z0-9-]{0,20}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 21, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_alphabetic());
+            let v = Strategy::generate(&"[ -~&&[^\r\n]]{0,40}", &mut rng);
+            assert!(v.chars().all(|c| (' '..='~').contains(&c)), "{v:?}");
+            let t = Strategy::generate(&"/[a-z0-9/._-]{0,30}", &mut rng);
+            assert!(t.starts_with('/'));
+        }
+    }
+
+    proptest! {
+        /// The macro itself: args bind, multiple properties coexist.
+        #[test]
+        fn macro_smoke(x in 1u8..=255, v in crate::collection::vec(any::<u8>(), 0..10)) {
+            prop_assert!(x >= 1);
+            prop_assert!(v.len() < 10);
+        }
+
+        #[test]
+        fn tuples_and_map(pair in (any::<u16>(), 0u64..50).prop_map(|(a, b)| a as u64 + b)) {
+            prop_assert!(pair <= u16::MAX as u64 + 49);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn config_override_applies(idx in any::<prop::sample::Index>()) {
+            prop_assert!(idx.index(10) < 10);
+        }
+    }
+}

@@ -6,6 +6,8 @@
 //! (`cargo run -p mbtls-bench --bin table1_security_matrix`) prints
 //! the full matrix and the security test-suite asserts every verdict.
 
+// lint:allow-file(panic-freedom) -- executable-adversary harness: every unwrap/expect is on deterministic self-constructed inputs (fixed RNG seeds, testbed configs); a panic aborts an experiment run, never a network-facing party
+
 use std::sync::Arc;
 
 use mbtls_crypto::rng::CryptoRng;
@@ -643,7 +645,10 @@ pub fn attack_wrong_middlebox_code() -> AttackReport {
         defense: "Remote attestation",
         protocol: Protocol::MbTls,
         blocked: verdict.is_err(),
-        detail: format!("measurement mismatch: {verdict:?}"),
+        detail: match &verdict {
+            Ok(_) => "attestation unexpectedly verified".into(),
+            Err(e) => format!("measurement mismatch: {e}"),
+        },
     }
 }
 
@@ -666,7 +671,10 @@ pub fn attack_attestation_replay() -> AttackReport {
         defense: "Transcript-hash binding in report data",
         protocol: Protocol::MbTls,
         blocked: verdict.is_err(),
-        detail: format!("report-data binding mismatch: {verdict:?}"),
+        detail: match &verdict {
+            Ok(_) => "stale quote unexpectedly verified".into(),
+            Err(e) => format!("report-data binding mismatch: {e}"),
+        },
     }
 }
 

@@ -136,7 +136,7 @@ impl MbClientConfigBuilder {
             }
             if self.cfg.preconfigured[..i].contains(name) {
                 return Err(MbError::Config(format!(
-                    "duplicate preconfigured middlebox {name:?}"
+                    "duplicate preconfigured middlebox `{name}`"
                 )));
             }
         }
@@ -148,7 +148,7 @@ impl MbClientConfigBuilder {
             }
             for (i, name) in names.iter().enumerate() {
                 if names[..i].contains(name) {
-                    return Err(MbError::Config(format!("duplicate allow-list entry {name:?}")));
+                    return Err(MbError::Config(format!("duplicate allow-list entry `{name}`")));
                 }
             }
         }
@@ -295,7 +295,10 @@ impl MbClientSession {
             {
                 // Post-handshake records (data and close alerts) are
                 // protected under the adjacent hop's keys.
-                let dp = self.dataplane.as_mut().unwrap();
+                let dp = self
+                    .dataplane
+                    .as_mut()
+                    .ok_or_else(|| MbError::unexpected_state("dataplane checked above"))?;
                 dp.feed(&reframe(ct_byte, &body)).map_err(MbError::Tls)
             }
             _ => {
@@ -348,7 +351,10 @@ impl MbClientSession {
             });
             self.emit(EventKind::SecondaryHandshakeStart { subchannel: id as u64 });
         }
-        let sec = self.secondaries.get_mut(&id).unwrap();
+        let sec = self
+            .secondaries
+            .get_mut(&id)
+            .ok_or_else(|| MbError::unexpected_state("secondary session vanished"))?;
         if sec.rejected {
             return Ok(());
         }
@@ -385,9 +391,10 @@ impl MbClientSession {
             if established && !already {
                 match self.verify_and_approve(id) {
                     Ok(name) => {
-                        let sec = self.secondaries.get_mut(&id).unwrap();
-                        sec.verified_name = Some(name);
-                        sec.approved = true;
+                        if let Some(sec) = self.secondaries.get_mut(&id) {
+                            sec.verified_name = Some(name);
+                            sec.approved = true;
+                        }
                         self.emit(EventKind::SecondaryHandshakeFinish {
                             subchannel: id as u64,
                         });
@@ -501,7 +508,10 @@ impl MbClientSession {
                 toward_server_hop: hops[i + 1].clone(),
             };
             let msg = SecondaryMessage::Keys(km).encode();
-            let sec = self.secondaries.get_mut(&id).unwrap();
+            let sec = self
+            .secondaries
+            .get_mut(&id)
+            .ok_or_else(|| MbError::unexpected_state("secondary session vanished"))?;
             sec.conn.send_data(&msg).map_err(MbError::Tls)?;
             let bytes = sec.conn.take_outgoing();
             let mut wrapped = Vec::new();

@@ -72,12 +72,12 @@ impl Encapsulated {
 
     /// Decode an Encapsulated payload.
     pub fn decode(bytes: &[u8]) -> Result<Self, MbError> {
-        if bytes.is_empty() {
-            return Err(MbError::bad_length("empty Encapsulated record"));
-        }
+        let (&subchannel, record) = bytes
+            .split_first()
+            .ok_or_else(|| MbError::bad_length("empty Encapsulated record"))?;
         Ok(Encapsulated {
-            subchannel: bytes[0],
-            record: bytes[1..].to_vec(),
+            subchannel,
+            record: record.to_vec(),
         })
     }
 }
@@ -85,7 +85,7 @@ impl Encapsulated {
 /// The key material an endpoint sends each of its middleboxes over
 /// the (encrypted) secondary session: the AEAD states for the
 /// middlebox's two adjacent hops.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct KeyMaterial {
     /// Keys for the hop on the middlebox's client side.
     pub toward_client_hop: SessionKeys,
@@ -124,6 +124,14 @@ impl KeyMaterial {
     }
 }
 
+// KeyMaterial is two hops' worth of live AEAD keys; the derived
+// formatter would leak them. Print nothing but the type name.
+impl std::fmt::Debug for KeyMaterial {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("KeyMaterial(..)")
+    }
+}
+
 /// Secondary-session application messages (sent as encrypted data on
 /// the endpoint↔middlebox session). Tagged union so the channel can
 /// carry key material and, in the future, policy updates.
@@ -147,8 +155,8 @@ impl SecondaryMessage {
 
     /// Decode.
     pub fn decode(bytes: &[u8]) -> Result<Self, MbError> {
-        match bytes.first() {
-            Some(1) => Ok(SecondaryMessage::Keys(KeyMaterial::decode(&bytes[1..])?)),
+        match bytes.split_first() {
+            Some((1, rest)) => Ok(SecondaryMessage::Keys(KeyMaterial::decode(rest)?)),
             _ => Err(MbError::unknown_message("unknown secondary message")),
         }
     }

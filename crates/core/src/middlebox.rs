@@ -640,7 +640,10 @@ impl Middlebox {
             }
         }
         // Key delivery over the secondary session.
-        let plain = self.secondary.as_mut().unwrap().take_plaintext();
+        let plain = match self.secondary.as_mut() {
+            Some(sec) => sec.take_plaintext(),
+            None => return,
+        };
         if !plain.is_empty() {
             match SecondaryMessage::decode(&plain) {
                 Ok(SecondaryMessage::Keys(km)) => {
@@ -690,7 +693,10 @@ impl Middlebox {
 
     fn dataplane_feed(&mut self, dir: FlowDirection, ct: u8, body: &[u8]) -> Result<(), MbError> {
         let record = reframe(ct, body);
-        let dp = self.dataplane.as_mut().expect("dataplane active");
+        let dp = self
+            .dataplane
+            .as_mut()
+            .ok_or_else(|| MbError::unexpected_state("dataplane active but missing"))?;
         let processor = &mut self.processor;
         dp.feed(dir, &record, |d, plain| processor.process(d, plain))
     }

@@ -112,7 +112,7 @@ impl MbServerConfigBuilder {
             }
             for (i, name) in names.iter().enumerate() {
                 if names[..i].contains(name) {
-                    return Err(MbError::Config(format!("duplicate allow-list entry {name:?}")));
+                    return Err(MbError::Config(format!("duplicate allow-list entry `{name}`")));
                 }
             }
         }
@@ -229,7 +229,10 @@ impl MbServerSession {
             Some(ContentType::ApplicationData | ContentType::Alert)
                 if self.dataplane.is_some() =>
             {
-                let dp = self.dataplane.as_mut().unwrap();
+                let dp = self
+                    .dataplane
+                    .as_mut()
+                    .ok_or_else(|| MbError::unexpected_state("dataplane checked above"))?;
                 dp.feed(&reframe(ct_byte, &body)).map_err(MbError::Tls)
             }
             _ => {
@@ -314,9 +317,10 @@ impl MbServerSession {
             if established && !already {
                 match self.verify_and_approve(id) {
                     Ok(name) => {
-                        let sec = self.secondaries.get_mut(&id).unwrap();
-                        sec.verified_name = Some(name);
-                        sec.approved = true;
+                        if let Some(sec) = self.secondaries.get_mut(&id) {
+                            sec.verified_name = Some(name);
+                            sec.approved = true;
+                        }
                         self.emit(EventKind::SecondaryHandshakeFinish {
                             subchannel: id as u64,
                         });
@@ -424,7 +428,10 @@ impl MbServerSession {
                 toward_client_hop: hops[i + 1].clone(),
             };
             let msg = SecondaryMessage::Keys(km).encode();
-            let sec = self.secondaries.get_mut(&id).unwrap();
+            let sec = self
+                .secondaries
+                .get_mut(&id)
+                .ok_or_else(|| MbError::unexpected_state("secondary session vanished"))?;
             sec.conn.send_data(&msg).map_err(MbError::Tls)?;
             let bytes = sec.conn.take_outgoing();
             let mut wrapped = Vec::new();

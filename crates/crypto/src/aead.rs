@@ -59,7 +59,7 @@ impl AeadKey {
         }
         Ok(AeadKey {
             gcm: AesGcm::new(key)?,
-            fixed_iv: fixed_iv.try_into().unwrap(),
+            fixed_iv: crate::fixed(fixed_iv),
             algorithm,
         })
     }

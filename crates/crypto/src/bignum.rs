@@ -33,6 +33,17 @@ impl BigUint {
         }
     }
 
+    /// Volatile-wipe the limb storage (for secret exponents whose
+    /// containers zeroize on drop). The value becomes zero.
+    pub fn zeroize(&mut self) {
+        for limb in self.limbs.iter_mut() {
+            // Safety: writing a valid u64 through a valid &mut reference.
+            unsafe { std::ptr::write_volatile(limb, 0) };
+        }
+        std::sync::atomic::compiler_fence(std::sync::atomic::Ordering::SeqCst);
+        self.limbs.clear();
+    }
+
     /// Parse big-endian bytes (leading zeros allowed).
     pub fn from_bytes_be(bytes: &[u8]) -> Self {
         let mut limbs = Vec::with_capacity(bytes.len().div_ceil(8));

@@ -46,6 +46,12 @@ pub struct DhSecret {
     x: BigUint,
 }
 
+impl Drop for DhSecret {
+    fn drop(&mut self) {
+        self.x.zeroize();
+    }
+}
+
 /// A DH public value g^x mod p, serialized as 256 big-endian bytes.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct DhPublic(pub Vec<u8>);

@@ -64,6 +64,7 @@ impl Point {
         let mut compressed = y.to_bytes();
         // Base point x is "positive" (even), so the sign bit is 0.
         compressed[31] &= 0x7f;
+        // lint:allow(panic-freedom) -- the RFC 8032 base point is a compiled-in curve constant, not input-dependent
         Point::decompress(&compressed).expect("base point decompresses")
     }
 
@@ -189,7 +190,7 @@ fn reduce_mod_l(le_bytes: &[u8]) -> [u8; 32] {
     let n = BigUint::from_bytes_be(&be).rem(&order_l());
     let mut out_be = n.to_bytes_be_padded(32);
     out_be.reverse();
-    out_be.try_into().unwrap()
+    crate::fixed(&out_be)
 }
 
 /// (a * b + c) mod L over little-endian 32-byte scalars.
@@ -203,7 +204,7 @@ fn muladd_mod_l(a: &[u8; 32], b: &[u8; 32], c: &[u8; 32]) -> [u8; 32] {
     let r = be(a).mul(&be(b)).add(&be(c)).rem(&l);
     let mut out = r.to_bytes_be_padded(32);
     out.reverse();
-    out.try_into().unwrap()
+    crate::fixed(&out)
 }
 
 /// An Ed25519 signing key (the 32-byte seed plus cached expansions).
@@ -275,11 +276,18 @@ impl SigningKey {
     }
 }
 
+impl Drop for SigningKey {
+    fn drop(&mut self) {
+        crate::ct::zeroize(&mut self.s);
+        crate::ct::zeroize(&mut self.prefix);
+    }
+}
+
 impl VerifyingKey {
     /// Verify a signature (RFC 8032 §5.1.7, cofactorless).
     pub fn verify(&self, msg: &[u8], sig: &Signature) -> Result<(), CryptoError> {
-        let r_enc: [u8; 32] = sig.0[..32].try_into().unwrap();
-        let s_enc: [u8; 32] = sig.0[32..].try_into().unwrap();
+        let r_enc: [u8; 32] = crate::fixed(&sig.0[..32]);
+        let s_enc: [u8; 32] = crate::fixed(&sig.0[32..]);
 
         // s must be canonical (< L).
         let mut s_be = s_enc.to_vec();

@@ -19,7 +19,7 @@ impl Fe {
     /// Parse 32 little-endian bytes; the top bit is ignored (as both
     /// RFC 7748 and RFC 8032 require for field elements).
     pub fn from_bytes(b: &[u8; 32]) -> Fe {
-        let load = |i: usize| -> u64 { u64::from_le_bytes(b[i..i + 8].try_into().unwrap()) };
+        let load = |i: usize| -> u64 { u64::from_le_bytes(crate::fixed(&b[i..i + 8])) };
         Fe([
             load(0) & MASK51,
             (load(6) >> 3) & MASK51,

@@ -20,8 +20,8 @@ struct Block128 {
 impl Block128 {
     fn from_bytes(b: &[u8; 16]) -> Self {
         Block128 {
-            hi: u64::from_be_bytes(b[0..8].try_into().unwrap()),
-            lo: u64::from_be_bytes(b[8..16].try_into().unwrap()),
+            hi: u64::from_be_bytes(crate::fixed(&b[0..8])),
+            lo: u64::from_be_bytes(crate::fixed(&b[8..16])),
         }
     }
 

@@ -76,3 +76,17 @@ impl std::fmt::Display for CryptoError {
 }
 
 impl std::error::Error for CryptoError {}
+
+/// Infallible fixed-size slice conversion for sites where the length
+/// is a static invariant (chunk iterators, length-checked inputs,
+/// padded bignum output). Unlike `try_into().unwrap()` this cannot
+/// panic: a contract violation zero-fills instead (and trips the
+/// debug assertion under test), which is the fail-closed behaviour we
+/// want in record-processing paths.
+pub(crate) fn fixed<const N: usize>(s: &[u8]) -> [u8; N] {
+    debug_assert_eq!(s.len(), N, "fixed::<{N}> caller broke its length contract");
+    let mut out = [0u8; N];
+    let n = s.len().min(N);
+    out[..n].copy_from_slice(&s[..n]);
+    out
+}

@@ -203,7 +203,7 @@ impl Sha512Core {
         debug_assert_eq!(block.len(), 128);
         let mut w = [0u64; 80];
         for (i, c) in block.chunks_exact(8).enumerate() {
-            w[i] = u64::from_be_bytes(c.try_into().unwrap());
+            w[i] = u64::from_be_bytes(crate::fixed(c));
         }
         for i in 16..80 {
             let s0 = w[i - 15].rotate_right(1) ^ w[i - 15].rotate_right(8) ^ (w[i - 15] >> 7);

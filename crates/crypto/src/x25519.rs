@@ -3,7 +3,7 @@
 
 use crate::field25519::Fe;
 use crate::rng::CryptoRng;
-use crate::CryptoError;
+use crate::{ct, CryptoError};
 
 /// Length of public keys, secret keys, and shared secrets.
 pub const KEY_LEN: usize = 32;
@@ -45,7 +45,7 @@ impl SecretKey {
     /// points, as RFC 7748 §6.1 requires for TLS-like protocols.
     pub fn diffie_hellman(&self, peer: &PublicKey) -> Result<[u8; 32], CryptoError> {
         let shared = scalar_mult(&self.0, &peer.0);
-        if shared == [0u8; 32] {
+        if ct::eq(&shared, &[0u8; 32]) {
             return Err(CryptoError::BadPublicValue);
         }
         Ok(shared)
@@ -55,6 +55,12 @@ impl SecretKey {
     #[doc(hidden)]
     pub fn as_bytes(&self) -> &[u8; 32] {
         &self.0
+    }
+}
+
+impl Drop for SecretKey {
+    fn drop(&mut self) {
+        ct::zeroize(&mut self.0);
     }
 }
 

@@ -1,0 +1,66 @@
+//! Which rule families apply where.
+//!
+//! Scopes are workspace-relative path prefixes. Only `src/` trees are
+//! listed: tests, benches, and examples may unwrap, spawn threads,
+//! and print what they like — the invariants protect the code that
+//! would ship.
+
+use crate::rules::RuleId;
+
+/// (rule, path prefixes it applies to).
+pub const SCOPES: &[(RuleId, &[&str])] = &[
+    (
+        // The deterministic substitute for the paper's real-network
+        // evaluation: protocol logic must be drivable from a seeded
+        // simulator, so no ambient IO/time/randomness.
+        RuleId::SansIo,
+        &[
+            "crates/core/src",
+            "crates/tls/src",
+            "crates/netsim/src",
+            "crates/sgx/src",
+            "crates/telemetry/src",
+        ],
+    ),
+    (
+        // Everywhere key material lives or transits.
+        RuleId::SecretHygiene,
+        &[
+            "crates/crypto/src",
+            "crates/sgx/src",
+            "crates/tls/src",
+            "crates/core/src",
+        ],
+    ),
+    (
+        // Protocol state machines, record parsing, and the crypto
+        // they call into.
+        RuleId::PanicFreedom,
+        &["crates/core/src", "crates/crypto/src", "crates/tls/src"],
+    ),
+    (
+        // Constant-time discipline is enforced where the primitives
+        // are implemented.
+        RuleId::ConstTime,
+        &["crates/crypto/src"],
+    ),
+];
+
+/// Files whose buffers hold attacker-controlled wire bytes: direct
+/// indexing is flagged there (see `panic_freedom`).
+pub const WIRE_INDEX_FILES: &[&str] = &[
+    "crates/tls/src/record.rs",
+    "crates/tls/src/codec.rs",
+    "crates/tls/src/messages.rs",
+    "crates/core/src/messages.rs",
+    "crates/core/src/dataplane.rs",
+];
+
+/// The rule families that apply to a workspace-relative path.
+pub fn families_for(path: &str) -> Vec<RuleId> {
+    SCOPES
+        .iter()
+        .filter(|(_, prefixes)| prefixes.iter().any(|p| path.starts_with(p)))
+        .map(|(rule, _)| *rule)
+        .collect()
+}

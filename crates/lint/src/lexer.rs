@@ -1,0 +1,276 @@
+//! A minimal Rust surface lexer.
+//!
+//! The rules in this crate are lexical, so all the engine needs is a
+//! per-line split of *code* and *comment* text with string/char
+//! literal contents blanked out (a forbidden token inside a string or
+//! a doc comment is not a violation). This is not a real parser: it
+//! tracks just enough state — line/block comments (nested), plain and
+//! raw string literals, byte strings, char literals vs. lifetimes —
+//! to make that split reliable on rustfmt-style source.
+
+/// One source line, split into sanitized code and comment text.
+#[derive(Debug, Clone, Default)]
+pub struct LexedLine {
+    /// The line with comment text removed and string/char literal
+    /// contents replaced by spaces (the quotes themselves remain so
+    /// the shape of the code is preserved).
+    pub code: String,
+    /// The concatenated comment text appearing on this line.
+    pub comment: String,
+    /// The concatenated string/char literal contents on this line
+    /// (used by the format-specifier checks, which must see literal
+    /// text but must not fire on comments).
+    pub strings: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Normal,
+    LineComment,
+    /// Nested depth.
+    BlockComment(u32),
+    /// Inside "..." — the bool records whether the previous char was
+    /// an unconsumed backslash.
+    Str(bool),
+    /// Inside r"..." / r#"..."# — the number of `#`s in the fence.
+    RawStr(u32),
+    /// Inside '...' with escape tracking, as for [`State::Str`].
+    Char(bool),
+}
+
+/// Split `src` into per-line code/comment pairs.
+pub fn lex(src: &str) -> Vec<LexedLine> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut lines = Vec::new();
+    let mut cur = LexedLine::default();
+    let mut state = State::Normal;
+    let mut i = 0;
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Normal;
+            }
+            lines.push(std::mem::take(&mut cur));
+            i += 1;
+            continue;
+        }
+        let next = chars.get(i + 1).copied();
+        match state {
+            State::Normal => match c {
+                '/' if next == Some('/') => {
+                    state = State::LineComment;
+                    i += 2;
+                }
+                '/' if next == Some('*') => {
+                    state = State::BlockComment(1);
+                    i += 2;
+                }
+                '"' => {
+                    cur.code.push('"');
+                    state = State::Str(false);
+                    i += 1;
+                }
+                'r' | 'b' if is_string_prefix(&chars, i) => {
+                    // br"..." / r#"..." / b"..." — consume the prefix,
+                    // then enter the right string state.
+                    let (fence, consumed, raw) = string_prefix(&chars, i);
+                    for _ in 0..consumed {
+                        cur.code.push(' ');
+                    }
+                    cur.code.push('"');
+                    state = if raw { State::RawStr(fence) } else { State::Str(false) };
+                    i += consumed + 1;
+                }
+                '\'' => {
+                    // Char literal or lifetime? A char literal is
+                    // either '\...' or 'x' (one char then a quote).
+                    let is_char = match next {
+                        Some('\\') => true,
+                        Some(_) => chars.get(i + 2) == Some(&'\''),
+                        None => false,
+                    };
+                    cur.code.push('\'');
+                    if is_char {
+                        state = State::Char(false);
+                    }
+                    i += 1;
+                }
+                _ => {
+                    cur.code.push(c);
+                    i += 1;
+                }
+            },
+            State::LineComment => {
+                cur.comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Normal
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    cur.comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str(escaped) => {
+                if escaped {
+                    cur.code.push(' ');
+                    cur.strings.push(c);
+                    state = State::Str(false);
+                } else if c == '\\' {
+                    cur.code.push(' ');
+                    cur.strings.push(c);
+                    state = State::Str(true);
+                } else if c == '"' {
+                    cur.code.push('"');
+                    state = State::Normal;
+                } else {
+                    cur.code.push(' ');
+                    cur.strings.push(c);
+                }
+                i += 1;
+            }
+            State::RawStr(fence) => {
+                if c == '"' && raw_fence_closes(&chars, i, fence) {
+                    cur.code.push('"');
+                    for _ in 0..fence {
+                        cur.code.push(' ');
+                    }
+                    state = State::Normal;
+                    i += 1 + fence as usize;
+                } else {
+                    cur.code.push(' ');
+                    cur.strings.push(c);
+                    i += 1;
+                }
+            }
+            State::Char(escaped) => {
+                if escaped {
+                    cur.code.push(' ');
+                    state = State::Char(false);
+                } else if c == '\\' {
+                    cur.code.push(' ');
+                    state = State::Char(true);
+                } else if c == '\'' {
+                    cur.code.push('\'');
+                    state = State::Normal;
+                } else {
+                    cur.code.push(' ');
+                }
+                i += 1;
+            }
+        }
+    }
+    if !cur.code.is_empty() || !cur.comment.is_empty() {
+        lines.push(cur);
+    }
+    lines
+}
+
+/// Does a string literal (raw or byte) start at `i`?
+fn is_string_prefix(chars: &[char], i: usize) -> bool {
+    // Reject identifier continuations like `number` or `hdr"`-less
+    // cases: the char before must not be part of an identifier.
+    if i > 0 {
+        let prev = chars[i - 1];
+        if prev.is_alphanumeric() || prev == '_' {
+            return false;
+        }
+    }
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    let raw = chars.get(j) == Some(&'r');
+    if raw {
+        j += 1;
+        while chars.get(j) == Some(&'#') {
+            j += 1;
+        }
+    }
+    chars.get(j) == Some(&'"') && j > i
+}
+
+/// Returns (fence hash count, chars consumed before the quote, is_raw).
+fn string_prefix(chars: &[char], i: usize) -> (u32, usize, bool) {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    let raw = chars.get(j) == Some(&'r');
+    let mut fence = 0u32;
+    if raw {
+        j += 1;
+        while chars.get(j) == Some(&'#') {
+            fence += 1;
+            j += 1;
+        }
+    }
+    (fence, j - i, raw)
+}
+
+/// Is the `"` at `i` followed by `fence` hash marks?
+fn raw_fence_closes(chars: &[char], i: usize, fence: u32) -> bool {
+    (1..=fence as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_comments() {
+        let lines = lex("let x = 1; // Instant::now()\n");
+        assert!(!lines[0].code.contains("Instant"));
+        assert!(lines[0].comment.contains("Instant::now()"));
+    }
+
+    #[test]
+    fn blanks_string_contents() {
+        let lines = lex("let s = \"Instant::now\"; let y = 2;\n");
+        assert!(!lines[0].code.contains("Instant"));
+        assert!(lines[0].code.contains("let y = 2;"));
+        assert_eq!(lines[0].code.matches('"').count(), 2);
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let lines = lex("let a = r#\"unwrap() \"quoted\" \"#; a.unwrap();\n");
+        assert_eq!(lines[0].code.matches("unwrap").count(), 1);
+        let lines = lex("let b = \"esc \\\" quote unwrap()\"; ok();\n");
+        assert_eq!(lines[0].code.matches("unwrap").count(), 0);
+        assert!(lines[0].code.contains("ok();"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lines = lex("fn f<'a>(x: &'a [u8]) -> &'a [u8] { x }\nlet c = 'x'; let d = '\\n';\n");
+        assert!(lines[0].code.contains("&'a [u8]"));
+        assert!(!lines[1].code.contains('x'));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lines = lex("a(); /* outer /* inner */ still comment */ b();\n");
+        assert!(lines[0].code.contains("a();"));
+        assert!(lines[0].code.contains("b();"));
+        assert!(!lines[0].code.contains("still"));
+    }
+
+    #[test]
+    fn multiline_strings_keep_line_count() {
+        let lines = lex("let s = \"line one\nline two\";\nnext();\n");
+        assert_eq!(lines.len(), 3);
+        assert!(lines[2].code.contains("next();"));
+    }
+}

@@ -1,0 +1,107 @@
+//! # mbtls-lint
+//!
+//! The workspace invariant checker. mbTLS's security argument (paper
+//! §4) rests on properties the compiler cannot see: session keys
+//! must never reach a log line, protocol state machines must stay
+//! sans-IO and deterministic, record parsing must not panic on
+//! attacker bytes, and comparisons on secrets must be constant-time.
+//! This crate enforces all four as a from-scratch lexical static
+//! analysis — no external dependencies, run as the first step of
+//! `scripts/check.sh`.
+//!
+//! ## Rule families
+//!
+//! | rule | scope | what it forbids |
+//! |------|-------|-----------------|
+//! | `sans-io` | core, tls, netsim, sgx, telemetry | `std::net`, `Instant::now`, `SystemTime`, `thread::spawn`, unseeded randomness |
+//! | `secret-hygiene` | crypto, sgx, tls, core | `derive(Debug/Serialize)` on secret types, `Display` impls, `{:?}` formatting; requires zeroize-on-drop in crypto/sgx |
+//! | `panic-freedom` | core, crypto, tls | `unwrap`/`expect`/`panic!` and wire-buffer indexing in parsing files |
+//! | `const-time` | crypto | `==`/`!=` on secret-tagged operands outside `ct.rs` |
+//!
+//! ## Allowlist
+//!
+//! A finding is waived — but still reported and counted — with
+//!
+//! ```text
+//! some_call(); // lint:allow(panic-freedom) -- length fixed by the caller's contract
+//! ```
+//!
+//! on the offending line, or on its own comment line directly above.
+//! The reason after `--` is mandatory; a malformed annotation is
+//! itself a blocking `allow-syntax` finding, so a typo cannot
+//! silently disable a rule.
+//!
+//! Two more markers:
+//!
+//! * `// lint:allow-file(rule) -- reason` (one line, anywhere in the
+//!   file) waives a whole file for one rule — the `#![allow]`
+//!   equivalent, for harness/tooling files where per-line
+//!   annotations would drown the code;
+//! * `// lint:secret` above a type declaration tags it secret-bearing
+//!   even when its name does not match the built-in patterns.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod source;
+
+use std::path::Path;
+
+pub use rules::{check_file, Finding, RuleId};
+pub use source::SourceFile;
+
+/// Lint one source snippet with an explicit set of rule families
+/// (ignores path-based scoping — used by fixtures and tests).
+pub fn lint_source(path_label: &str, src: &str, families: &[RuleId]) -> Vec<Finding> {
+    check_file(&SourceFile::parse(path_label, src), families)
+}
+
+/// Lint the workspace rooted at `root`: walk every scoped `src/`
+/// tree, apply each file's applicable rule families, and return all
+/// findings (allowed ones included) sorted by path and line.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    let mut roots: Vec<&str> = config::SCOPES.iter().flat_map(|(_, p)| p.iter().copied()).collect();
+    roots.sort_unstable();
+    roots.dedup();
+    for prefix in roots {
+        let dir = root.join(prefix);
+        if !dir.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        collect_rs_files(&dir, &mut files)?;
+        files.sort();
+        for abs in files {
+            let rel = abs
+                .strip_prefix(root)
+                .unwrap_or(&abs)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let families = config::families_for(&rel);
+            if families.is_empty() {
+                continue;
+            }
+            let src = std::fs::read_to_string(&abs)?;
+            findings.extend(check_file(&SourceFile::parse(&rel, &src), &families));
+        }
+    }
+    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(findings)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,172 @@
+//! Rule `const-time`: comparisons on secret values in `crypto` must
+//! route through the `ct` primitives.
+//!
+//! A `==` on key or tag bytes compiles to an early-exit memcmp whose
+//! timing leaks the length of the matching prefix — the classic MAC
+//! forgery oracle. The rule is lexical: it flags `==`/`!=` where
+//! either operand *names* a secret (contains one of the marker
+//! substrings below), except when the comparison is over public
+//! metadata (`.len()`, `.is_empty()`) or a SCREAMING_CASE constant
+//! such as `KEY_LEN`. `ct.rs` itself is exempt — it is the
+//! implementation the rule points everyone at.
+
+use super::Hit;
+use crate::source::SourceFile;
+
+/// Lower-cased substrings that tag an identifier as secret-bearing.
+const SECRET_MARKERS: &[&str] = &[
+    "secret", "key", "tag", "mac", "shared", "prk", "ikm", "seed", "scalar",
+];
+
+pub(crate) fn check(file: &SourceFile) -> Vec<Hit> {
+    if file.path.ends_with("ct.rs") {
+        return Vec::new();
+    }
+    let mut hits = Vec::new();
+    for (i, line) in file.lines.iter().enumerate() {
+        if file.is_test[i] {
+            continue;
+        }
+        for (op_pos, op) in comparison_ops(&line.code) {
+            let lhs = operand_before(&line.code, op_pos);
+            let rhs = operand_after(&line.code, op_pos + op.len());
+            for operand in [lhs, rhs] {
+                if is_secret_operand(&operand) {
+                    hits.push(Hit {
+                        line: i,
+                        message: format!(
+                            "variable-time comparison on secret-tagged operand `{operand}`; \
+                             use ct::eq / ct::select_byte instead of `{op}`"
+                        ),
+                    });
+                    break; // one finding per comparison
+                }
+            }
+        }
+    }
+    hits
+}
+
+/// Positions of `==` / `!=` operators (skipping `<=`, `>=`, `=>`...).
+fn comparison_ops(code: &str) -> Vec<(usize, &'static str)> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        let pair = &bytes[i..i + 2];
+        if pair == b"==" {
+            // Exclude `===`-like runs (not Rust) and `<==`-ish noise.
+            if bytes.get(i + 2) != Some(&b'=') && (i == 0 || bytes[i - 1] != b'=' && bytes[i - 1] != b'<' && bytes[i - 1] != b'>' && bytes[i - 1] != b'!') {
+                out.push((i, "=="));
+            }
+            i += 2;
+        } else if pair == b"!=" && bytes.get(i + 2) != Some(&b'=') {
+            out.push((i, "!="));
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// The expression-ish token chain ending just before `pos`
+/// (identifiers, field access, calls, indexing).
+fn operand_before(code: &str, pos: usize) -> String {
+    let bytes = code.as_bytes();
+    let mut end = pos;
+    while end > 0 && bytes[end - 1] == b' ' {
+        end -= 1;
+    }
+    let mut start = end;
+    let mut depth = 0i32;
+    while start > 0 {
+        let c = bytes[start - 1] as char;
+        match c {
+            ')' | ']' => depth += 1,
+            '(' | '[' if depth > 0 => depth -= 1,
+            '(' | '[' => break,
+            _ if depth > 0 => {}
+            _ if c.is_alphanumeric() || c == '_' || c == '.' || c == ':' => {}
+            _ => break,
+        }
+        start -= 1;
+    }
+    code[start..end].trim().to_string()
+}
+
+/// The expression-ish token chain starting at `pos`.
+fn operand_after(code: &str, pos: usize) -> String {
+    let bytes = code.as_bytes();
+    let mut start = pos;
+    while start < bytes.len() && bytes[start] == b' ' {
+        start += 1;
+    }
+    let mut end = start;
+    let mut depth = 0i32;
+    while end < bytes.len() {
+        let c = bytes[end] as char;
+        match c {
+            '(' | '[' => depth += 1,
+            ')' | ']' if depth > 0 => depth -= 1,
+            ')' | ']' => break,
+            _ if depth > 0 => {}
+            _ if c.is_alphanumeric() || c == '_' || c == '.' || c == ':' || c == '&' => {}
+            _ => break,
+        }
+        end += 1;
+    }
+    code[start..end].trim().to_string()
+}
+
+/// Does this operand name a secret, compared in a variable-time way?
+fn is_secret_operand(operand: &str) -> bool {
+    if operand.is_empty() {
+        return false;
+    }
+    // Public metadata about a secret is fine to compare.
+    if operand.ends_with("len()") || operand.ends_with(".is_empty()") || operand.ends_with("_len") {
+        return false;
+    }
+    // SCREAMING_CASE constants (KEY_LEN, SECRET_SIZE) are public.
+    if operand
+        .chars()
+        .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || "_:.".contains(c))
+    {
+        return false;
+    }
+    let lower = operand.to_ascii_lowercase();
+    SECRET_MARKERS.iter().any(|m| {
+        // Match whole identifier segments so `monkey` does not trip
+        // the `key` marker.
+        lower
+            .split(|c: char| !(c.is_alphanumeric()))
+            .flat_map(|seg| seg.split('_'))
+            .any(|seg| seg == *m || seg.strip_suffix('s') == Some(m))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_extraction() {
+        let code = "if self.peer_tag == expected_tag {";
+        let ops = comparison_ops(code);
+        assert_eq!(ops.len(), 1);
+        assert_eq!(operand_before(code, ops[0].0), "self.peer_tag");
+        assert_eq!(operand_after(code, ops[0].0 + 2), "expected_tag");
+    }
+
+    #[test]
+    fn secret_operands() {
+        assert!(is_secret_operand("self.peer_tag"));
+        assert!(is_secret_operand("shared"));
+        assert!(is_secret_operand("session_keys"));
+        assert!(!is_secret_operand("key.len()"));
+        assert!(!is_secret_operand("KEY_LEN"));
+        assert!(!is_secret_operand("monkey"));
+        assert!(!is_secret_operand("version"));
+    }
+}

@@ -1,0 +1,87 @@
+//! Rule `panic-freedom`: protocol state machines and record parsing
+//! must not be able to panic on attacker input.
+//!
+//! A middlebox serving millions of sessions dies for everyone when
+//! one malformed record hits an `unwrap()`. In scoped code this rule
+//! flags the panicking macros and methods, plus — in the designated
+//! wire-parsing files — direct indexing of buffers that hold
+//! attacker-controlled bytes (use `get`/`split_first`/`first_chunk`
+//! and return a `ProtocolViolation`/`Decode` error instead).
+//!
+//! Truly infallible sites (fixed-length `try_into` on a slice the
+//! caller just produced) are fine to keep behind a
+//! `lint:allow(panic-freedom)` with the invariant spelled out.
+
+use super::{is_ident_char, Hit};
+use crate::source::SourceFile;
+
+const BANNED_CALLS: &[(&str, &str)] = &[
+    (".unwrap()", "return an error instead; a panic here is remote DoS"),
+    (".expect(", "return an error instead; a panic here is remote DoS"),
+    ("panic!(", "protocol code must fail closed with an error, not abort the process"),
+    ("unreachable!(", "state machines must treat impossible states as protocol violations"),
+    ("todo!(", "unfinished protocol paths must be errors, not aborts"),
+    ("unimplemented!(", "unfinished protocol paths must be errors, not aborts"),
+];
+
+/// Identifiers that (by workspace convention) hold wire bytes.
+const WIRE_NAMES: &[&str] = &[
+    "bytes", "buf", "body", "payload", "wire", "raw", "record", "data", "input", "msg",
+];
+
+pub(crate) fn check(file: &SourceFile) -> Vec<Hit> {
+    let wire_indexing = crate::config::WIRE_INDEX_FILES
+        .iter()
+        .any(|f| file.path.ends_with(f));
+    let mut hits = Vec::new();
+    for (i, line) in file.lines.iter().enumerate() {
+        if file.is_test[i] {
+            continue;
+        }
+        for (needle, why) in BANNED_CALLS {
+            if line.code.contains(needle) {
+                hits.push(Hit {
+                    line: i,
+                    message: format!("`{}` in protocol code: {why}", needle.trim_matches(['.', '('])),
+                });
+            }
+        }
+        if wire_indexing {
+            for name in wire_index_sites(&line.code) {
+                hits.push(Hit {
+                    line: i,
+                    message: format!(
+                        "direct indexing of wire buffer `{name}[..]`; out-of-range panics on \
+                         malformed input — use get()/split_first()/first_chunk() and return a decode error"
+                    ),
+                });
+            }
+        }
+    }
+    hits
+}
+
+/// Find `name[` / `self.name[` occurrences where `name` is a
+/// wire-buffer identifier.
+fn wire_index_sites(code: &str) -> Vec<String> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    for (pos, &b) in bytes.iter().enumerate() {
+        if b != b'[' {
+            continue;
+        }
+        // Walk back over the identifier immediately before '['.
+        let mut start = pos;
+        while start > 0 && is_ident_char(bytes[start - 1] as char) {
+            start -= 1;
+        }
+        if start == pos {
+            continue; // '[' not preceded by an identifier (slice type, array literal, ...)
+        }
+        let name = &code[start..pos];
+        if WIRE_NAMES.contains(&name) {
+            out.push(name.to_string());
+        }
+    }
+    out
+}

@@ -1,0 +1,44 @@
+//! Rule `sans-io`: protocol crates must stay deterministic.
+//!
+//! The paper's evaluation is reproduced on a virtual clock and a
+//! seeded network simulator, so the protocol crates must never reach
+//! for ambient time, sockets, threads, or OS randomness — every such
+//! effect flows in through an injected handle (`CryptoRng`,
+//! `netsim::time`). This rule bans the standard library escape
+//! hatches at the token level.
+
+use super::{contains_token, Hit};
+use crate::source::SourceFile;
+
+/// (token, why it is banned) — checked token-wise against sanitized
+/// code, so mentions in comments or strings do not fire.
+const BANNED: &[(&str, &str)] = &[
+    ("std::net", "real sockets break sans-IO determinism; drive sessions through mbtls-netsim"),
+    ("TcpStream", "real sockets break sans-IO determinism; drive sessions through mbtls-netsim"),
+    ("TcpListener", "real sockets break sans-IO determinism; drive sessions through mbtls-netsim"),
+    ("UdpSocket", "real sockets break sans-IO determinism; drive sessions through mbtls-netsim"),
+    ("Instant::now", "wall-clock time is non-deterministic; use the virtual clock (netsim::time)"),
+    ("SystemTime", "wall-clock time is non-deterministic; use the virtual clock (netsim::time)"),
+    ("thread::spawn", "threads make traces racy; the workspace pumps sessions from a single driver loop"),
+    ("thread_rng", "ambient randomness breaks seeded reproducibility; take a &mut CryptoRng"),
+    ("OsRng", "ambient randomness breaks seeded reproducibility; take a &mut CryptoRng"),
+    ("from_entropy", "OS-entropy seeding breaks reproducibility; thread a seeded CryptoRng in"),
+];
+
+pub(crate) fn check(file: &SourceFile) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    for (i, line) in file.lines.iter().enumerate() {
+        if file.is_test[i] {
+            continue;
+        }
+        for (token, why) in BANNED {
+            if contains_token(&line.code, token) {
+                hits.push(Hit {
+                    line: i,
+                    message: format!("`{token}` is not sans-IO: {why}"),
+                });
+            }
+        }
+    }
+    hits
+}

@@ -1,0 +1,192 @@
+//! Rule `secret-hygiene`: key material must be unprintable and
+//! self-wiping.
+//!
+//! A type is *secret-bearing* when its name matches the built-in
+//! patterns below or when a `// lint:secret` marker sits above its
+//! declaration. For each secret type the rule requires:
+//!
+//! * no `#[derive(Debug)]` / `#[derive(Serialize)]` — write a
+//!   redacted manual `Debug` (`TypeName(..)`) if telemetry or tests
+//!   need one;
+//! * no manual `impl Display` (secrets have no display form);
+//! * in `crates/crypto` and `crates/sgx`: an `impl Drop` in the same
+//!   file, so key bytes are zeroized when the value dies.
+//!
+//! Independently, debug format specifiers (`{:?}`-style) are banned
+//! in non-test protocol/crypto code: the redacted `Debug` impls make
+//! them safe-ish, but a `{:?}` on the wrong binding is exactly the
+//! leak this family exists to stop, so each use must be annotated.
+
+use super::{is_ident_char, Hit};
+use crate::source::SourceFile;
+
+/// Built-in secret-bearing type-name patterns (in addition to
+/// explicit `// lint:secret` markers).
+fn is_secret_name(name: &str) -> bool {
+    name.contains("Secret")
+        || name.contains("SigningKey")
+        || name.contains("KeyMaterial")
+        || matches!(
+            name,
+            "SessionKeys" | "TicketPlaintext" | "ResumptionData" | "KeyBlock" | "HopKeys"
+        )
+}
+
+/// Crates in which secret types must also zeroize on drop.
+fn requires_drop(path: &str) -> bool {
+    path.contains("crates/crypto/") || path.contains("crates/sgx/")
+}
+
+pub(crate) fn check(file: &SourceFile) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    let decls = type_decls(file);
+
+    for decl in &decls {
+        if !decl.secret {
+            continue;
+        }
+        // Walk the contiguous attribute block above the declaration.
+        let mut j = decl.line;
+        while j > 0 {
+            j -= 1;
+            let code = file.code(j).trim().to_string();
+            if code.is_empty() {
+                continue; // doc comments lex to empty code lines
+            }
+            if !code.starts_with("#[") {
+                break;
+            }
+            if let Some(derives) = code.strip_prefix("#[derive(").and_then(|r| r.split(')').next()) {
+                for d in derives.split(',').map(str::trim) {
+                    if d == "Debug" || d == "Serialize" {
+                        hits.push(Hit {
+                            line: j,
+                            message: format!(
+                                "secret type `{}` derives {d}; replace with a redacted manual impl",
+                                decl.name
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        if requires_drop(&file.path) && !has_impl(file, "Drop", &decl.name) {
+            hits.push(Hit {
+                line: decl.line,
+                message: format!(
+                    "secret type `{}` has no `impl Drop` in this file; zeroize key bytes on drop (ct::zeroize)",
+                    decl.name
+                ),
+            });
+        }
+        if let Some(line) = find_impl(file, "Display", &decl.name) {
+            hits.push(Hit {
+                line,
+                message: format!("secret type `{}` implements Display; secrets are unprintable", decl.name),
+            });
+        }
+    }
+
+    for (i, line) in file.lines.iter().enumerate() {
+        if file.is_test[i] {
+            continue;
+        }
+        if line.strings.contains("?}") {
+            hits.push(Hit {
+                line: i,
+                message: "debug format specifier in protocol/crypto code; \
+                          secrets reach logs this way — print explicit public fields instead"
+                    .into(),
+            });
+        }
+    }
+    hits
+}
+
+struct TypeDecl {
+    name: String,
+    line: usize,
+    secret: bool,
+}
+
+/// Find `struct`/`enum` declarations and decide which are secret.
+fn type_decls(file: &SourceFile) -> Vec<TypeDecl> {
+    let mut decls = Vec::new();
+    for (i, line) in file.lines.iter().enumerate() {
+        if file.is_test[i] {
+            continue;
+        }
+        let code = line.code.trim();
+        for kw in ["struct ", "enum "] {
+            let Some(pos) = code.find(kw) else { continue };
+            // Require the keyword at the start of the item (allowing
+            // visibility prefixes), not e.g. inside an expression.
+            let prefix = code[..pos].trim();
+            if !(prefix.is_empty()
+                || prefix == "pub"
+                || prefix.starts_with("pub(")
+                || prefix.ends_with("pub")
+                || prefix.ends_with(')'))
+            {
+                continue;
+            }
+            let rest = &code[pos + kw.len()..];
+            let name: String = rest.chars().take_while(|&c| is_ident_char(c)).collect();
+            if name.is_empty() {
+                continue;
+            }
+            let marked = file
+                .secret_markers
+                .iter()
+                .any(|&m| m < i && decls_between(file, m, i) == 0);
+            decls.push(TypeDecl {
+                secret: marked || is_secret_name(&name),
+                name,
+                line: i,
+            });
+        }
+    }
+    decls
+}
+
+/// Count type declarations strictly between lines `a` and `b`
+/// (exclusive) — a `lint:secret` marker applies only to the *next*
+/// declaration.
+fn decls_between(file: &SourceFile, a: usize, b: usize) -> usize {
+    (a + 1..b)
+        .filter(|&i| {
+            let code = file.code(i).trim_start();
+            ["struct ", "enum ", "pub struct ", "pub enum "]
+                .iter()
+                .any(|kw| code.starts_with(kw))
+                || code.starts_with("pub(") && (code.contains("struct ") || code.contains("enum "))
+        })
+        .count()
+}
+
+fn has_impl(file: &SourceFile, trait_name: &str, type_name: &str) -> bool {
+    find_impl(file, trait_name, type_name).is_some()
+}
+
+/// Find `impl <...>Trait for Type` lines, tolerating paths
+/// (`std::fmt::Display`) and generic parameters.
+fn find_impl(file: &SourceFile, trait_name: &str, type_name: &str) -> Option<usize> {
+    for (i, line) in file.lines.iter().enumerate() {
+        let code = line.code.trim();
+        if !code.starts_with("impl") {
+            continue;
+        }
+        let Some(for_pos) = code.find(" for ") else { continue };
+        let (head, tail) = code.split_at(for_pos);
+        let head_last = head.split("::").last().unwrap_or(head);
+        if !head_last.contains(trait_name) {
+            continue;
+        }
+        let target = tail[" for ".len()..].trim_start();
+        let target_name: String = target.chars().take_while(|&c| is_ident_char(c)).collect();
+        if target_name == type_name {
+            return Some(i);
+        }
+    }
+    None
+}

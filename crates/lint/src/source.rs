@@ -1,0 +1,317 @@
+//! The per-file source model the rules run against: lexed lines,
+//! `#[cfg(test)]` spans, allowlist annotations, and secret-type
+//! markers.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{lex, LexedLine};
+use crate::rules::RuleId;
+
+/// A parsed allowlist annotation: `// lint:allow(rule, ...) -- reason`.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Rules the annotation suppresses.
+    pub rules: Vec<RuleId>,
+    /// The mandatory justification after `--`.
+    pub reason: String,
+}
+
+/// A malformed annotation (unparseable rule, missing reason, ...).
+/// These are themselves reported as findings so a typo cannot
+/// silently disable a rule.
+#[derive(Debug, Clone)]
+pub struct BadAllow {
+    /// 1-based line of the annotation.
+    pub line: usize,
+    /// What is wrong with it.
+    pub what: String,
+}
+
+/// A lexed source file plus the annotation/test metadata rules need.
+pub struct SourceFile {
+    /// Path as reported in findings (workspace-relative for real
+    /// files, a label for fixture snippets).
+    pub path: String,
+    /// Lexed lines (0-based index = line number - 1).
+    pub lines: Vec<LexedLine>,
+    /// `lines[i]` is inside a `#[cfg(test)]` item.
+    pub is_test: Vec<bool>,
+    /// Allow annotations keyed by the 0-based *code* line they cover.
+    pub allows: BTreeMap<usize, Vec<Allow>>,
+    /// Malformed annotations.
+    pub bad_allows: Vec<BadAllow>,
+    /// 0-based lines carrying a `lint:secret` type marker; the marker
+    /// applies to the next type declaration.
+    pub secret_markers: Vec<usize>,
+    /// File-scoped allows: `// lint:allow-file(rule) -- reason`
+    /// suppresses every finding of that rule in the file (the
+    /// equivalent of `#![allow]`). For harness/tooling files where
+    /// per-line annotations would drown the code.
+    pub file_allows: Vec<(RuleId, String)>,
+}
+
+impl SourceFile {
+    /// Lex and annotate `src`.
+    pub fn parse(path: &str, src: &str) -> SourceFile {
+        let lines = lex(src);
+        let is_test = mark_test_spans(&lines);
+        let mut file = SourceFile {
+            path: path.to_string(),
+            is_test,
+            allows: BTreeMap::new(),
+            bad_allows: Vec::new(),
+            secret_markers: Vec::new(),
+            file_allows: Vec::new(),
+            lines,
+        };
+        file.collect_annotations();
+        file
+    }
+
+    /// The sanitized code of line `i`, or "" out of range.
+    pub fn code(&self, i: usize) -> &str {
+        self.lines.get(i).map(|l| l.code.as_str()).unwrap_or("")
+    }
+
+    /// Is the finding at 0-based line `i` covered by an allow for
+    /// `rule`? Returns the reason when it is. Line annotations win
+    /// over a file-scoped allow (their reason is more specific).
+    pub fn allow_reason(&self, i: usize, rule: RuleId) -> Option<&str> {
+        self.allows
+            .get(&i)
+            .and_then(|list| {
+                list.iter()
+                    .find(|a| a.rules.contains(&rule))
+                    .map(|a| a.reason.as_str())
+            })
+            .or_else(|| {
+                self.file_allows
+                    .iter()
+                    .find(|(r, _)| *r == rule)
+                    .map(|(_, reason)| reason.as_str())
+            })
+    }
+
+    fn collect_annotations(&mut self) {
+        let mut pending: Vec<Allow> = Vec::new();
+        for i in 0..self.lines.len() {
+            let comment = self.lines[i].comment.clone();
+            let has_code = !self.lines[i].code.trim().is_empty();
+
+            if comment.contains("lint:secret") {
+                self.secret_markers.push(i);
+            }
+            if comment.contains("lint:allow-file") {
+                match parse_allow_file(&comment) {
+                    Ok(allow) => {
+                        for rule in allow.rules {
+                            self.file_allows.push((rule, allow.reason.clone()));
+                        }
+                    }
+                    Err(what) => self.bad_allows.push(BadAllow { line: i + 1, what }),
+                }
+                continue;
+            }
+            let parsed = parse_allow(&comment);
+            match parsed {
+                Some(Ok(allow)) => {
+                    if has_code {
+                        // Trailing annotation: covers its own line.
+                        self.allows.entry(i).or_default().push(allow);
+                    } else {
+                        // Standalone annotation: covers the next code line.
+                        pending.push(allow);
+                    }
+                }
+                Some(Err(what)) => self.bad_allows.push(BadAllow { line: i + 1, what }),
+                None => {}
+            }
+            if has_code && !pending.is_empty() {
+                self.allows.entry(i).or_default().append(&mut pending);
+            }
+        }
+        for allow in pending {
+            self.bad_allows.push(BadAllow {
+                line: self.lines.len(),
+                what: format!(
+                    "dangling lint:allow({}) with no code line after it",
+                    allow
+                        .rules
+                        .iter()
+                        .map(|r| r.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            });
+        }
+    }
+}
+
+/// Parse a `lint:allow-file(...)` file-scoped annotation. The caller
+/// has already established the marker is present.
+fn parse_allow_file(comment: &str) -> Result<Allow, String> {
+    let start = comment
+        .find("lint:allow-file")
+        .ok_or_else(|| "lint:allow-file marker vanished".to_string())?;
+    let rest = comment[start + "lint:allow-file".len()..].trim_start();
+    let Some(body) = rest.strip_prefix('(') else {
+        return Err("lint:allow-file must be followed by (rule, ...)".into());
+    };
+    match parse_allow_body(body, "lint:allow-file") {
+        Some(Ok(allow)) => Ok(allow),
+        Some(Err(what)) => Err(what),
+        None => Err("lint:allow-file parse failed".into()),
+    }
+}
+
+/// Parse one comment's `lint:allow(...)` annotation, if present.
+/// `Some(Err(_))` means the annotation is there but malformed.
+fn parse_allow(comment: &str) -> Option<Result<Allow, String>> {
+    let start = comment.find("lint:allow")?;
+    let rest = &comment[start + "lint:allow".len()..];
+    let rest = rest.trim_start();
+    let Some(body) = rest.strip_prefix('(') else {
+        return Some(Err("lint:allow must be followed by (rule, ...)".into()));
+    };
+    parse_allow_body(body, "lint:allow")
+}
+
+/// Shared tail parser: `rule, rule) -- reason`.
+fn parse_allow_body(body: &str, what: &str) -> Option<Result<Allow, String>> {
+    let Some(close) = body.find(')') else {
+        return Some(Err(format!("unclosed {what}(")));
+    };
+    let mut rules = Vec::new();
+    for name in body[..close].split(',') {
+        let name = name.trim();
+        match RuleId::from_str(name) {
+            Some(rule) => rules.push(rule),
+            None => return Some(Err(format!("unknown lint rule {name:?}"))),
+        }
+    }
+    if rules.is_empty() {
+        return Some(Err(format!("{what}() names no rules")));
+    }
+    let tail = body[close + 1..].trim_start();
+    let Some(reason) = tail.strip_prefix("--") else {
+        return Some(Err(format!(
+            "{what} requires a reason: `{what}(rule) -- why`"
+        )));
+    };
+    let reason = reason.trim();
+    if reason.is_empty() {
+        return Some(Err(format!("{what} reason is empty")));
+    }
+    Some(Ok(Allow {
+        rules,
+        reason: reason.to_string(),
+    }))
+}
+
+/// Mark the lines belonging to `#[cfg(test)]` items (in this
+/// workspace: `mod tests { ... }` blocks) by brace tracking.
+fn mark_test_spans(lines: &[LexedLine]) -> Vec<bool> {
+    let mut out = vec![false; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        if !lines[i].code.contains("#[cfg(test)]") {
+            i += 1;
+            continue;
+        }
+        // Find where the guarded item's braces open; attributes and
+        // blank lines may sit in between.
+        let mut j = i;
+        let mut depth: i32 = 0;
+        let mut opened = false;
+        while j < lines.len() {
+            out[j] = true;
+            for c in lines[j].code.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    // An un-braced guarded item (`#[cfg(test)] use x;`)
+                    // ends at the semicolon.
+                    ';' if !opened && depth == 0 => {
+                        depth = -1;
+                    }
+                    _ => {}
+                }
+            }
+            if opened && depth <= 0 {
+                break;
+            }
+            if depth < 0 {
+                break;
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trailing_allow_covers_its_line() {
+        let f = SourceFile::parse(
+            "t.rs",
+            "x.unwrap(); // lint:allow(panic-freedom) -- fixture reason\n",
+        );
+        assert!(f.allow_reason(0, RuleId::PanicFreedom).is_some());
+        assert!(f.allow_reason(0, RuleId::SansIo).is_none());
+    }
+
+    #[test]
+    fn standalone_allow_covers_next_code_line() {
+        let src = "// lint:allow(sans-io, panic-freedom) -- two rules\n\nlet t = now();\n";
+        let f = SourceFile::parse("t.rs", src);
+        assert!(f.allow_reason(2, RuleId::SansIo).is_some());
+        assert!(f.allow_reason(2, RuleId::PanicFreedom).is_some());
+        assert!(f.allow_reason(0, RuleId::SansIo).is_none());
+    }
+
+    #[test]
+    fn missing_reason_is_malformed() {
+        let f = SourceFile::parse("t.rs", "x.unwrap(); // lint:allow(panic-freedom)\n");
+        assert!(f.allow_reason(0, RuleId::PanicFreedom).is_none());
+        assert_eq!(f.bad_allows.len(), 1);
+    }
+
+    #[test]
+    fn unknown_rule_is_malformed() {
+        let f = SourceFile::parse("t.rs", "x(); // lint:allow(no-such-rule) -- reason\n");
+        assert_eq!(f.bad_allows.len(), 1);
+    }
+
+    #[test]
+    fn file_allow_covers_every_line() {
+        let src = "// lint:allow-file(panic-freedom) -- deterministic harness\nx.unwrap();\ny.unwrap();\n";
+        let f = SourceFile::parse("t.rs", src);
+        assert!(f.allow_reason(1, RuleId::PanicFreedom).is_some());
+        assert!(f.allow_reason(2, RuleId::PanicFreedom).is_some());
+        assert!(f.allow_reason(1, RuleId::SansIo).is_none());
+    }
+
+    #[test]
+    fn file_allow_without_reason_is_malformed() {
+        let f = SourceFile::parse("t.rs", "// lint:allow-file(panic-freedom)\nx.unwrap();\n");
+        assert!(f.allow_reason(1, RuleId::PanicFreedom).is_none());
+        assert_eq!(f.bad_allows.len(), 1);
+    }
+
+    #[test]
+    fn test_modules_are_marked() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn prod2() {}\n";
+        let f = SourceFile::parse("t.rs", src);
+        assert!(!f.is_test[0]);
+        assert!(f.is_test[1]);
+        assert!(f.is_test[3]);
+        assert!(!f.is_test[5]);
+    }
+}

@@ -1,0 +1,172 @@
+//! Engine tests over the on-disk fixtures: every `bad.rs` must
+//! produce its rule family's findings, every `good.rs` must produce
+//! none, and annotations must waive without hiding.
+//!
+//! The fixtures are loaded at runtime (not `include_str!`) so that
+//! deleting one fails the corresponding test rather than silently
+//! shrinking coverage.
+
+use mbtls_lint::{lint_source, Finding, RuleId};
+
+/// Read a fixture or fail the test with a pointed message.
+fn fixture(family: &str, name: &str) -> String {
+    let path = format!(
+        "{}/tests/fixtures/{family}/{name}",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    match std::fs::read_to_string(&path) {
+        Ok(src) => src,
+        Err(e) => panic!("fixture {path} is missing ({e}); the rule family has lost its regression anchor"),
+    }
+}
+
+fn lines_of(findings: &[Finding], rule: RuleId) -> Vec<usize> {
+    findings
+        .iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| f.line)
+        .collect()
+}
+
+#[test]
+fn sans_io_bad_fixture_is_caught() {
+    let src = fixture("sans_io", "bad.rs");
+    let findings = lint_source("crates/netsim/src/fixture.rs", &src, &[RuleId::SansIo]);
+    assert!(findings.iter().all(|f| f.rule == RuleId::SansIo));
+    let lines = lines_of(&findings, RuleId::SansIo);
+    for expected in [1, 2, 5, 6, 7] {
+        assert!(lines.contains(&expected), "expected sans-io finding on line {expected}, got {lines:?}");
+    }
+    assert!(findings.iter().all(|f| f.is_blocking()));
+}
+
+#[test]
+fn sans_io_good_fixture_is_clean() {
+    let src = fixture("sans_io", "good.rs");
+    let findings = lint_source("crates/netsim/src/fixture.rs", &src, &[RuleId::SansIo]);
+    assert!(findings.is_empty(), "unexpected findings: {findings:?}");
+}
+
+#[test]
+fn secret_hygiene_bad_fixture_is_caught() {
+    let src = fixture("secret_hygiene", "bad.rs");
+    // The crypto label activates the zeroize-on-drop requirement.
+    let findings = lint_source("crates/crypto/src/fixture.rs", &src, &[RuleId::SecretHygiene]);
+    let msgs: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+    assert!(
+        msgs.iter().any(|m| m.contains("derives Debug")),
+        "missing derive(Debug) finding: {msgs:?}"
+    );
+    assert!(
+        msgs.iter().any(|m| m.contains("no `impl Drop`")),
+        "missing zeroize-on-drop finding: {msgs:?}"
+    );
+    assert!(
+        msgs.iter().any(|m| m.contains("implements Display")),
+        "missing Display finding: {msgs:?}"
+    );
+    assert!(
+        msgs.iter().any(|m| m.contains("debug format specifier")),
+        "missing {{:?}} finding: {msgs:?}"
+    );
+}
+
+#[test]
+fn secret_hygiene_good_fixture_is_clean() {
+    let src = fixture("secret_hygiene", "good.rs");
+    let findings = lint_source("crates/crypto/src/fixture.rs", &src, &[RuleId::SecretHygiene]);
+    assert!(findings.is_empty(), "unexpected findings: {findings:?}");
+}
+
+#[test]
+fn secret_hygiene_drop_not_required_outside_crypto_sgx() {
+    let src = fixture("secret_hygiene", "bad.rs");
+    let findings = lint_source("crates/tls/src/fixture.rs", &src, &[RuleId::SecretHygiene]);
+    assert!(
+        !findings.iter().any(|f| f.message.contains("no `impl Drop`")),
+        "drop requirement must be scoped to crypto/sgx"
+    );
+    // ...but the printability findings still fire.
+    assert!(findings.iter().any(|f| f.message.contains("derives Debug")));
+}
+
+#[test]
+fn panic_freedom_bad_fixture_is_caught() {
+    let src = fixture("panic_freedom", "bad.rs");
+    // A wire-parsing label activates the indexing check.
+    let findings = lint_source("crates/core/src/messages.rs", &src, &[RuleId::PanicFreedom]);
+    let lines = lines_of(&findings, RuleId::PanicFreedom);
+    for expected in [2, 3, 5, 11] {
+        assert!(lines.contains(&expected), "expected panic-freedom finding on line {expected}, got {lines:?}");
+    }
+}
+
+#[test]
+fn panic_freedom_indexing_only_in_wire_files() {
+    let src = fixture("panic_freedom", "bad.rs");
+    let findings = lint_source("crates/core/src/driver.rs", &src, &[RuleId::PanicFreedom]);
+    assert!(
+        !findings.iter().any(|f| f.message.contains("direct indexing")),
+        "indexing check must be limited to the designated parsing files"
+    );
+    // The unwrap/panic! findings still fire everywhere in scope.
+    assert!(findings.iter().any(|f| f.message.contains("unwrap")));
+}
+
+#[test]
+fn panic_freedom_good_fixture_is_clean() {
+    let src = fixture("panic_freedom", "good.rs");
+    let findings = lint_source("crates/core/src/messages.rs", &src, &[RuleId::PanicFreedom]);
+    assert!(findings.is_empty(), "unexpected findings: {findings:?}");
+}
+
+#[test]
+fn allowed_fixture_is_reported_but_not_blocking() {
+    let src = fixture("panic_freedom", "allowed.rs");
+    let findings = lint_source("crates/core/src/fixture.rs", &src, &[RuleId::PanicFreedom]);
+    assert_eq!(findings.len(), 1);
+    assert!(!findings[0].is_blocking());
+    assert_eq!(
+        findings[0].allowed.as_deref(),
+        Some("fixed-size array conversion cannot fail")
+    );
+}
+
+#[test]
+fn const_time_bad_fixture_is_caught() {
+    let src = fixture("const_time", "bad.rs");
+    let findings = lint_source("crates/crypto/src/fixture.rs", &src, &[RuleId::ConstTime]);
+    assert_eq!(lines_of(&findings, RuleId::ConstTime), vec![2]);
+}
+
+#[test]
+fn const_time_good_fixture_is_clean() {
+    let src = fixture("const_time", "good.rs");
+    let findings = lint_source("crates/crypto/src/fixture.rs", &src, &[RuleId::ConstTime]);
+    assert!(findings.is_empty(), "unexpected findings: {findings:?}");
+}
+
+#[test]
+fn const_time_rule_exempts_ct_rs() {
+    let src = fixture("const_time", "bad.rs");
+    let findings = lint_source("crates/crypto/src/ct.rs", &src, &[RuleId::ConstTime]);
+    assert!(findings.is_empty(), "ct.rs is the implementation the rule points at");
+}
+
+#[test]
+fn malformed_allow_is_a_blocking_finding() {
+    let src = "v.unwrap(); // lint:allow(panic-freedom)\n";
+    let findings = lint_source("crates/core/src/x.rs", src, &[RuleId::PanicFreedom]);
+    // The unwrap still blocks AND the broken annotation is reported.
+    assert!(findings.iter().any(|f| f.rule == RuleId::PanicFreedom && f.is_blocking()));
+    assert!(findings.iter().any(|f| f.rule == RuleId::AllowSyntax && f.is_blocking()));
+}
+
+#[test]
+fn file_allow_waives_whole_file_with_reason() {
+    let src = "// lint:allow-file(panic-freedom) -- harness code\nfn f(v: Option<u8>) -> u8 { v.unwrap() }\nfn g(v: Option<u8>) -> u8 { v.unwrap() }\n";
+    let findings = lint_source("crates/core/src/x.rs", src, &[RuleId::PanicFreedom]);
+    assert_eq!(findings.len(), 2);
+    assert!(findings.iter().all(|f| !f.is_blocking()));
+    assert!(findings.iter().all(|f| f.allowed.as_deref() == Some("harness code")));
+}

@@ -1,0 +1,3 @@
+pub fn verify(tag: &[u8], expected_tag: &[u8]) -> bool {
+    tag.len() == expected_tag.len() && crate::ct::eq(tag, expected_tag)
+}

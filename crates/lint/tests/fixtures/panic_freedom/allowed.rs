@@ -1,0 +1,3 @@
+pub fn infallible(v: &[u8; 4]) -> u32 {
+    u32::from_be_bytes((*v).try_into().unwrap()) // lint:allow(panic-freedom) -- fixed-size array conversion cannot fail
+}

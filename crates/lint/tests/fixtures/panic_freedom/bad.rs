@@ -1,0 +1,12 @@
+pub fn parse(bytes: &[u8]) -> u8 {
+    let tag = bytes[0];
+    let rest = &bytes[1..];
+    if rest.is_empty() {
+        panic!("empty");
+    }
+    tag
+}
+
+pub fn must(v: Option<u8>) -> u8 {
+    v.unwrap()
+}

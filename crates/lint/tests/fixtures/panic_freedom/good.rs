@@ -1,0 +1,7 @@
+pub fn parse(bytes: &[u8]) -> Result<u8, ()> {
+    let (&tag, rest) = bytes.split_first().ok_or(())?;
+    if rest.is_empty() {
+        return Err(());
+    }
+    Ok(tag)
+}

@@ -1,0 +1,8 @@
+use std::net::TcpStream;
+use std::time::SystemTime;
+
+pub fn leak_io() {
+    let _conn = TcpStream::connect("203.0.113.9:443");
+    let _now = SystemTime::now();
+    std::thread::spawn(|| {});
+}

@@ -1,0 +1,3 @@
+pub fn advance(now_ms: u64, step: u64) -> u64 {
+    now_ms.saturating_add(step)
+}

@@ -1,0 +1,10 @@
+#[derive(Debug, Clone)]
+pub struct WrapSecret {
+    bytes: [u8; 32],
+}
+
+impl std::fmt::Display for WrapSecret {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:02x?}", self.bytes)
+    }
+}

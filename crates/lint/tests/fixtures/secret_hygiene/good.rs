@@ -1,0 +1,18 @@
+// lint:secret
+pub struct Wrapper {
+    bytes: [u8; 32],
+}
+
+impl Drop for Wrapper {
+    fn drop(&mut self) {
+        for b in self.bytes.iter_mut() {
+            *b = 0;
+        }
+    }
+}
+
+impl std::fmt::Debug for Wrapper {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Wrapper(..)")
+    }
+}

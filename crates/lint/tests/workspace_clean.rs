@@ -1,0 +1,24 @@
+//! The live workspace must be lint-clean: zero blocking findings.
+//! This is the same check `scripts/check.sh` gates on, run as a
+//! plain test so `cargo test` alone catches regressions.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_no_blocking_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("lint crate sits two levels under the workspace root");
+    let findings = mbtls_lint::lint_workspace(root).expect("workspace walk");
+    let blocking: Vec<String> = findings
+        .iter()
+        .filter(|f| f.is_blocking())
+        .map(mbtls_lint::report::human)
+        .collect();
+    assert!(
+        blocking.is_empty(),
+        "workspace has unannotated lint findings:\n{}",
+        blocking.join("\n")
+    );
+}

@@ -102,6 +102,28 @@ impl AlertDescription {
     }
 }
 
+impl std::fmt::Display for AlertDescription {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            AlertDescription::CloseNotify => "close_notify",
+            AlertDescription::UnexpectedMessage => "unexpected_message",
+            AlertDescription::BadRecordMac => "bad_record_mac",
+            AlertDescription::HandshakeFailure => "handshake_failure",
+            AlertDescription::BadCertificate => "bad_certificate",
+            AlertDescription::CertificateExpired => "certificate_expired",
+            AlertDescription::CertificateUnknown => "certificate_unknown",
+            AlertDescription::IllegalParameter => "illegal_parameter",
+            AlertDescription::UnknownCa => "unknown_ca",
+            AlertDescription::DecodeError => "decode_error",
+            AlertDescription::DecryptError => "decrypt_error",
+            AlertDescription::ProtocolVersion => "protocol_version",
+            AlertDescription::InternalError => "internal_error",
+            AlertDescription::Unknown(v) => return write!(f, "unknown_alert({v})"),
+        };
+        f.write_str(name)
+    }
+}
+
 /// A parsed alert.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Alert {

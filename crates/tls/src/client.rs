@@ -293,7 +293,10 @@ impl ClientConnection {
             self.false_started = true;
         }
         for frag in fragment(data) {
-            let cipher = self.write_cipher.as_mut().expect("cipher active");
+            let cipher = self
+                .write_cipher
+                .as_mut()
+                .ok_or(TlsError::Internal("write cipher active but missing"))?;
             let rec = cipher.seal_record(ContentType::ApplicationData, frag)?;
             self.out.extend_from_slice(&rec);
         }
@@ -413,7 +416,7 @@ impl ClientConnection {
                 self.plaintext_in.extend_from_slice(&payload);
                 Ok(())
             }
-            _ => unreachable!("mbtls types handled above"),
+            _ => Err(TlsError::Internal("content type handled in an earlier match arm")),
         }
     }
 
@@ -440,7 +443,9 @@ impl ClientConnection {
             .pending_resumption
             .take()
             .ok_or(TlsError::UnexpectedMessage("abbreviated flight without offer"))?;
-        let suite = self.suite.expect("suite chosen with ServerHello");
+        let suite = self
+            .suite
+            .ok_or(TlsError::Internal("suite chosen with ServerHello"))?;
         self.secrets = Some(ConnectionSecrets {
             suite,
             master_secret: res.master_secret,
@@ -596,7 +601,10 @@ impl ClientConnection {
                 self.activate_write_cipher()?;
                 self.out
                     .extend_from_slice(&frame_plaintext(ContentType::ChangeCipherSpec, &[1]));
-                let secrets = self.secrets.as_ref().unwrap();
+                let secrets = self
+            .secrets
+            .as_ref()
+            .ok_or(TlsError::Internal("secrets derived before Finished"))?;
                 let vd = keyschedule::verify_data(
                     secrets.suite,
                     &secrets.master_secret,
@@ -608,7 +616,7 @@ impl ClientConnection {
                 let rec = self
                     .write_cipher
                     .as_mut()
-                    .unwrap()
+                    .ok_or(TlsError::Internal("write cipher activated above"))?
                     .seal_record(ContentType::Handshake, &fin)?;
                 self.out.extend_from_slice(&rec);
                 self.phase = Phase::Established;
@@ -621,7 +629,7 @@ impl ClientConnection {
     /// Process the complete server flight and send the client's
     /// second flight (CKE, CCS, Finished).
     fn finish_client_flight(&mut self, rng: &mut CryptoRng) -> Result<(), TlsError> {
-        let suite = self.suite.expect("suite chosen");
+        let suite = self.suite.ok_or(TlsError::Internal("suite chosen"))?;
         let chain = self
             .server_flight
             .certificate_chain
@@ -724,7 +732,10 @@ impl ClientConnection {
             .extend_from_slice(&frame_plaintext(ContentType::ChangeCipherSpec, &[1]));
         self.activate_write_cipher()?;
 
-        let secrets = self.secrets.as_ref().unwrap();
+        let secrets = self
+            .secrets
+            .as_ref()
+            .ok_or(TlsError::Internal("secrets derived before Finished"))?;
         let vd = keyschedule::verify_data(
             suite,
             &secrets.master_secret,
@@ -736,7 +747,7 @@ impl ClientConnection {
         let rec = self
             .write_cipher
             .as_mut()
-            .unwrap()
+            .ok_or(TlsError::Internal("write cipher activated above"))?
             .seal_record(ContentType::Handshake, &fin_frame)?;
         self.out.extend_from_slice(&rec);
 

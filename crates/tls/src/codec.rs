@@ -137,45 +137,49 @@ impl<'a> Decoder<'a> {
 
     /// Take `n` raw bytes.
     pub fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
-        if self.remaining() < n {
-            return Err(CodecError::Truncated);
-        }
-        let out = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        let end = self.pos.checked_add(n).ok_or(CodecError::Truncated)?;
+        let out = self.buf.get(self.pos..end).ok_or(CodecError::Truncated)?;
+        self.pos = end;
         Ok(out)
+    }
+
+    /// Take exactly `N` bytes as a fixed array.
+    pub fn take_array<const N: usize>(&mut self) -> Result<[u8; N], CodecError> {
+        let b = self.take(N)?;
+        b.try_into().map_err(|_| CodecError::Truncated)
     }
 
     /// Remaining bytes, consuming them.
     pub fn rest(&mut self) -> &'a [u8] {
-        let out = &self.buf[self.pos..];
+        let out = self.buf.get(self.pos..).unwrap_or(&[]);
         self.pos = self.buf.len();
         out
     }
 
     /// One byte.
     pub fn u8(&mut self) -> Result<u8, CodecError> {
-        Ok(self.take(1)?[0])
+        Ok(self.take_array::<1>()?[0])
     }
 
     /// Big-endian u16.
     pub fn u16(&mut self) -> Result<u16, CodecError> {
-        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_be_bytes(self.take_array()?))
     }
 
     /// Big-endian 24-bit integer.
     pub fn u24(&mut self) -> Result<usize, CodecError> {
-        let b = self.take(3)?;
+        let b = self.take_array::<3>()?;
         Ok(usize::from(b[0]) << 16 | usize::from(b[1]) << 8 | usize::from(b[2]))
     }
 
     /// Big-endian u32.
     pub fn u32(&mut self) -> Result<u32, CodecError> {
-        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_be_bytes(self.take_array()?))
     }
 
     /// Big-endian u64.
     pub fn u64(&mut self) -> Result<u64, CodecError> {
-        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_be_bytes(self.take_array()?))
     }
 
     /// u8-length-prefixed vector.

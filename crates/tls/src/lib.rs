@@ -74,6 +74,10 @@ pub enum TlsError {
     Closed,
     /// Data operations attempted before the handshake completed.
     HandshakeNotDone,
+    /// An internal state-machine invariant was broken. Reaching this
+    /// is a bug, but it surfaces as an error rather than a panic so a
+    /// malformed connection can never take the process down.
+    Internal(&'static str),
 }
 
 impl std::fmt::Display for TlsError {
@@ -83,11 +87,12 @@ impl std::fmt::Display for TlsError {
             TlsError::Crypto(e) => write!(f, "crypto error: {e}"),
             TlsError::Certificate(e) => write!(f, "certificate error: {e}"),
             TlsError::Attestation(e) => write!(f, "attestation error: {e}"),
-            TlsError::PeerAlert(d) => write!(f, "peer sent fatal alert: {d:?}"),
+            TlsError::PeerAlert(d) => write!(f, "peer sent fatal alert: {d}"),
             TlsError::UnexpectedMessage(what) => write!(f, "unexpected message: {what}"),
             TlsError::NegotiationFailed(what) => write!(f, "negotiation failed: {what}"),
             TlsError::Closed => write!(f, "connection closed"),
             TlsError::HandshakeNotDone => write!(f, "handshake not complete"),
+            TlsError::Internal(what) => write!(f, "internal invariant broken: {what}"),
         }
     }
 }

@@ -113,7 +113,7 @@ impl ClientHello {
         if major != 3 {
             return Err(TlsError::Decode("bad client version"));
         }
-        let random: [u8; 32] = d.take(32)?.try_into().unwrap();
+        let random: [u8; 32] = d.take_array()?;
         let session_id = d.vec8()?.to_vec();
         if session_id.len() > 32 {
             return Err(TlsError::Decode("session id too long"));
@@ -181,7 +181,7 @@ impl ServerHello {
         if (major, minor) != (3, 3) {
             return Err(TlsError::Decode("server chose unsupported version"));
         }
-        let random: [u8; 32] = d.take(32)?.try_into().unwrap();
+        let random: [u8; 32] = d.take_array()?;
         let session_id = d.vec8()?.to_vec();
         let cipher_suite = d.u16()?;
         let compression = d.u8()?;
@@ -296,7 +296,10 @@ impl ServerKeyExchange {
     /// Decode a handshake body.
     pub fn decode_body(body: &[u8]) -> Result<Self, TlsError> {
         let (params, consumed) = ServerKeyExchangeParams::decode(body)?;
-        let mut d = Decoder::new(&body[consumed..]);
+        let tail = body
+            .get(consumed..)
+            .ok_or(TlsError::Decode("server key exchange truncated"))?;
+        let mut d = Decoder::new(tail);
         let scheme = d.u16()?;
         if scheme != 0x0807 {
             return Err(TlsError::Decode("unsupported signature scheme"));
@@ -430,19 +433,18 @@ impl HandshakeReader {
     /// The frame bytes are what transcript hashing consumes.
     #[allow(clippy::type_complexity)]
     pub fn next_message(&mut self) -> Result<Option<(u8, Vec<u8>, Vec<u8>)>, TlsError> {
-        if self.buf.len() < 4 {
+        let Some(&[typ, len_hi, len_mid, len_lo]) = self.buf.first_chunk::<4>() else {
             return Ok(None);
-        }
-        let typ = self.buf[0];
-        let len = usize::from(self.buf[1]) << 16 | usize::from(self.buf[2]) << 8 | usize::from(self.buf[3]);
+        };
+        let len = usize::from(len_hi) << 16 | usize::from(len_mid) << 8 | usize::from(len_lo);
         if len > (1 << 20) {
             return Err(TlsError::Decode("handshake message too long"));
         }
-        if self.buf.len() < 4 + len {
+        let Some(frame) = self.buf.get(..4 + len) else {
             return Ok(None);
-        }
-        let frame = self.buf[..4 + len].to_vec();
-        let body = self.buf[4..4 + len].to_vec();
+        };
+        let frame = frame.to_vec();
+        let body = frame.get(4..).unwrap_or(&[]).to_vec();
         self.buf.drain(..4 + len);
         Ok(Some((typ, body, frame)))
     }

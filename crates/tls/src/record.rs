@@ -162,8 +162,10 @@ impl DirectionState {
         if body.len() < EXPLICIT_NONCE_LEN + 16 {
             return Err(TlsError::Decode("record too short for AEAD"));
         }
-        let explicit: [u8; EXPLICIT_NONCE_LEN] = body[..EXPLICIT_NONCE_LEN].try_into().unwrap();
-        let sealed = &body[EXPLICIT_NONCE_LEN..];
+        let (explicit, sealed) = body
+            .split_first_chunk::<EXPLICIT_NONCE_LEN>()
+            .ok_or(TlsError::Decode("record too short for AEAD"))?;
+        let explicit = *explicit;
         let plain_len = sealed.len() - 16;
         let aad = Self::aad(self.seq, content_type, plain_len);
         let plain = self.key.open(&explicit, &aad, sealed)?;
@@ -209,23 +211,23 @@ impl RecordReader {
 
     /// Pull the next complete record, if any.
     pub fn next_record(&mut self) -> Result<Option<RawRecord>, TlsError> {
-        if self.buf.len() < 5 {
+        let Some(&[content_type_byte, ver_major, _ver_minor, len_hi, len_lo]) =
+            self.buf.first_chunk::<5>()
+        else {
             return Ok(None);
-        }
-        let content_type_byte = self.buf[0];
-        let version = (self.buf[1], self.buf[2]);
+        };
         // Accept 3.x for the ClientHello's legacy version field.
-        if version.0 != 3 {
+        if ver_major != 3 {
             return Err(TlsError::Decode("bad record version"));
         }
-        let len = usize::from(u16::from_be_bytes([self.buf[3], self.buf[4]]));
+        let len = usize::from(u16::from_be_bytes([len_hi, len_lo]));
         if len > MAX_WIRE_LEN {
             return Err(TlsError::Decode("record too long"));
         }
-        if self.buf.len() < 5 + len {
+        let Some(body) = self.buf.get(5..5 + len) else {
             return Ok(None);
-        }
-        let body = self.buf[5..5 + len].to_vec();
+        };
+        let body = body.to_vec();
         self.buf.drain(..5 + len);
         Ok(Some(RawRecord {
             content_type_byte,
@@ -243,10 +245,10 @@ pub fn fragment(payload: &[u8]) -> impl Iterator<Item = &[u8]> {
 /// returns (content type byte, body length) if a full header is
 /// present.
 pub fn peek_header(data: &[u8]) -> Result<Option<(u8, usize)>, CodecError> {
-    if data.len() < 5 {
+    let Some(header) = data.first_chunk::<5>() else {
         return Ok(None);
-    }
-    let mut d = Decoder::new(&data[..5]);
+    };
+    let mut d = Decoder::new(header);
     let ct = d.u8()?;
     let major = d.u8()?;
     let _minor = d.u8()?;

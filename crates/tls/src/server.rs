@@ -161,7 +161,10 @@ impl ServerConnection {
             return Err(TlsError::HandshakeNotDone);
         }
         for frag in fragment(data) {
-            let cipher = self.write_cipher.as_mut().expect("cipher active");
+            let cipher = self
+                .write_cipher
+                .as_mut()
+                .ok_or(TlsError::Internal("write cipher active but missing"))?;
             let rec = cipher.seal_record(ContentType::ApplicationData, frag)?;
             self.out.extend_from_slice(&rec);
         }
@@ -312,7 +315,7 @@ impl ServerConnection {
                     _ => Err(TlsError::UnexpectedMessage("early application data")),
                 }
             }
-            _ => unreachable!(),
+            _ => Err(TlsError::Internal("content type handled in an earlier match arm")),
         }
     }
 
@@ -343,13 +346,13 @@ impl ServerConnection {
                     .and_then(|e| self.open_ticket(&e.data))
                     .filter(|t| t.suite == suite);
                 let id_master = if ticket_master.is_none() && !ch.session_id.is_empty() {
-                    self.config
-                        .session_cache
-                        .lock()
-                        .expect("session cache lock")
-                        .get(&ch.session_id)
-                        .filter(|(s, _)| *s == suite)
-                        .map(|(s, m)| (*s, m.clone()))
+                    // A poisoned cache mutex just disables ID resumption.
+                    self.config.session_cache.lock().ok().and_then(|cache| {
+                        cache
+                            .get(&ch.session_id)
+                            .filter(|(s, _)| *s == suite)
+                            .map(|(s, m)| (*s, m.clone()))
+                    })
                 } else {
                     None
                 };
@@ -369,7 +372,7 @@ impl ServerConnection {
             (Phase::AwaitClientKeyExchange, handshake_type::CLIENT_KEY_EXCHANGE) => {
                 self.transcript.add(&frame);
                 let cke = ClientKeyExchange::decode_body(&body)?;
-                let suite = self.suite.expect("suite chosen");
+                let suite = self.suite.ok_or(TlsError::Internal("suite chosen"))?;
                 let pre_master: Vec<u8> = match self.kex.take() {
                     Some(KexSecret::Ecdhe(secret)) => {
                         let peer = x25519::PublicKey(
@@ -417,15 +420,17 @@ impl ServerConnection {
                 }
                 self.send_ccs_and_finished()?;
                 if !self.assigned_session_id.is_empty() {
-                    let secrets = self.secrets.as_ref().unwrap();
-                    self.config
-                        .session_cache
-                        .lock()
-                        .expect("session cache lock")
-                        .insert(
+                    let secrets = self
+                        .secrets
+                        .as_ref()
+                        .ok_or(TlsError::Internal("secrets derived before Finished"))?;
+                    // A poisoned cache mutex just disables ID resumption.
+                    if let Ok(mut cache) = self.config.session_cache.lock() {
+                        cache.insert(
                             self.assigned_session_id.clone(),
                             (secrets.suite, secrets.master_secret.clone()),
                         );
+                    }
                 }
                 self.phase = Phase::Established;
                 Ok(())
@@ -578,7 +583,10 @@ impl ServerConnection {
     fn send_ccs_and_finished(&mut self) -> Result<(), TlsError> {
         self.out
             .extend_from_slice(&frame_plaintext(ContentType::ChangeCipherSpec, &[1]));
-        let secrets = self.secrets.as_ref().unwrap();
+        let secrets = self
+            .secrets
+            .as_ref()
+            .ok_or(TlsError::Internal("secrets derived before Finished"))?;
         let kb = secrets.key_block();
         self.write_cipher = Some(DirectionState::new(
             secrets.suite.bulk(),
@@ -597,7 +605,7 @@ impl ServerConnection {
         let rec = self
             .write_cipher
             .as_mut()
-            .unwrap()
+            .ok_or(TlsError::Internal("write cipher activated above"))?
             .seal_record(ContentType::Handshake, &frame)?;
         self.out.extend_from_slice(&rec);
         Ok(())
@@ -621,19 +629,23 @@ impl ServerConnection {
         Ok(())
     }
 
-    fn ticket_gcm(&self) -> AesGcm {
-        AesGcm::new(&self.config.ticket_key).expect("32-byte ticket key")
+    fn ticket_gcm(&self) -> Result<AesGcm, TlsError> {
+        AesGcm::new(&self.config.ticket_key)
+            .map_err(|_| TlsError::Internal("ticket key is 32 bytes by construction"))
     }
 
     fn issue_ticket(&mut self, rng: &mut CryptoRng) -> Result<NewSessionTicket, TlsError> {
-        let secrets = self.secrets.as_ref().unwrap();
+        let secrets = self
+            .secrets
+            .as_ref()
+            .ok_or(TlsError::Internal("secrets derived before ticket issue"))?;
         let plain = TicketPlaintext {
             suite: secrets.suite,
             master_secret: secrets.master_secret.clone(),
             primary_keys: self.ticket_embed_keys.clone(),
         };
         let nonce: [u8; 12] = rng.gen_array();
-        let sealed = self.ticket_gcm().seal(&nonce, b"ticket", &plain.encode())?;
+        let sealed = self.ticket_gcm()?.seal(&nonce, b"ticket", &plain.encode())?;
         let mut ticket = nonce.to_vec();
         ticket.extend_from_slice(&sealed);
         Ok(NewSessionTicket {
@@ -643,11 +655,8 @@ impl ServerConnection {
     }
 
     fn open_ticket(&self, ticket: &[u8]) -> Option<TicketPlaintext> {
-        if ticket.len() < 12 {
-            return None;
-        }
-        let nonce: [u8; 12] = ticket[..12].try_into().unwrap();
-        let plain = self.ticket_gcm().open(&nonce, b"ticket", &ticket[12..]).ok()?;
+        let (nonce, sealed) = ticket.split_first_chunk::<12>()?;
+        let plain = self.ticket_gcm().ok()?.open(nonce, b"ticket", sealed).ok()?;
         TicketPlaintext::decode(&plain).ok()
     }
 

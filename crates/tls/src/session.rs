@@ -40,7 +40,7 @@ impl ConnectionSecrets {
 
 /// Exportable (and wire-encodable) session key material — the
 /// `MBTLSKeyMaterial` payload.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct SessionKeys {
     /// The cipher suite these keys belong to.
     pub suite: CipherSuite,
@@ -157,7 +157,7 @@ impl SessionKeys {
 }
 
 /// What a client caches per server for resumption.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct ResumptionData {
     /// The suite of the original session.
     pub suite: CipherSuite,
@@ -173,7 +173,7 @@ pub struct ResumptionData {
 /// seals this under its ticket key; the mbTLS variant additionally
 /// carries the primary session's keys for middlebox resumption
 /// (paper §3.5).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct TicketPlaintext {
     /// Suite of the ticketed session.
     pub suite: CipherSuite,
@@ -217,6 +217,46 @@ impl TicketPlaintext {
             master_secret,
             primary_keys,
         })
+    }
+}
+
+
+// Redacted Debug impls: these structs carry live key material, so the
+// derived formatter would leak it into logs and panic messages. Only
+// public/structural fields are printed.
+
+impl std::fmt::Debug for SessionKeys {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SessionKeys(suite=0x{:04x}, c2s_seq={}, s2c_seq={}, ..)",
+            self.suite.id(),
+            self.client_to_server_seq,
+            self.server_to_client_seq
+        )
+    }
+}
+
+impl std::fmt::Debug for ResumptionData {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ResumptionData(suite=0x{:04x}, ticket={}, session_id_len={}, ..)",
+            self.suite.id(),
+            self.ticket.is_some(),
+            self.session_id.len()
+        )
+    }
+}
+
+impl std::fmt::Debug for TicketPlaintext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "TicketPlaintext(suite=0x{:04x}, primary_keys={}, ..)",
+            self.suite.id(),
+            self.primary_keys.is_some()
+        )
     }
 }
 

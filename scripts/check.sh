@@ -1,8 +1,14 @@
 #!/usr/bin/env bash
-# Full local gate: lint-clean build, tests, and the telemetry smoke
-# test. CI-equivalent; run before pushing.
+# Full local gate: invariant lint, lint-clean build, tests, and the
+# telemetry smoke test. CI-equivalent; run before pushing.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Workspace invariant checker first: sans-IO purity, secret hygiene,
+# panic-freedom, constant-time discipline. Fails on any unannotated
+# finding; the JSON-lines report feeds dashboards/CI artifacts.
+mkdir -p target
+cargo run -q -p mbtls-lint --release -- --json target/lint-report.jsonl
 
 cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release --workspace

@@ -39,7 +39,7 @@ fn bench_perhop_vs_shared(c: &mut Criterion) {
             let rec = sender
                 .seal_record(ContentType::ApplicationData, &payload)
                 .unwrap();
-            mbox.feed(FlowDirection::ClientToServer, &rec, |_, p| p).unwrap();
+            mbox.feed(FlowDirection::ClientToServer, &rec, |_, _p| {}).unwrap();
             std::hint::black_box(mbox.take_toward_server())
         });
     });

@@ -23,7 +23,7 @@ fn bench_reencrypt(c: &mut Criterion) {
                 let rec = sender
                     .seal_record(ContentType::ApplicationData, &payload)
                     .unwrap();
-                mbox.feed(FlowDirection::ClientToServer, &rec, |_, p| p)
+                mbox.feed(FlowDirection::ClientToServer, &rec, |_, _p| {})
                     .unwrap();
                 std::hint::black_box(mbox.take_toward_server())
             });

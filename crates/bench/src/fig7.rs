@@ -99,7 +99,7 @@ pub fn measured_crypto_throughput(chunk: usize, total_bytes: usize) -> f64 {
 
     let t0 = Instant::now();
     for rec in &records {
-        mbox.feed(FlowDirection::ClientToServer, rec, |_, p| p)
+        mbox.feed(FlowDirection::ClientToServer, rec, |_, _p| {})
             .expect("process");
         let _ = mbox.take_toward_server();
     }

@@ -734,7 +734,7 @@ pub fn attack_path_reorder() -> AttackReport {
     client.send(b"must visit mbox1 first").unwrap();
     // Deliver the client's hop-1 record directly to mbox2 (as if it
     // arrived on hop 2).
-    let result = mbox2.feed(FlowDirection::ClientToServer, &client.take_outgoing(), |_, p| p);
+    let result = mbox2.feed(FlowDirection::ClientToServer, &client.take_outgoing(), |_, _p| {});
     AttackReport {
         threat: "Records passed to middleboxes in the wrong order",
         property: "P4",

@@ -266,7 +266,7 @@ impl Relay for NaiveKeyShare {
             Some(dp) => {
                 let processor = &mut self.processor;
                 dp.feed(FlowDirection::ClientToServer, data, |d, p| {
-                    processor.process(d, p)
+                    *p = processor.process(d, std::mem::take(p));
                 })
             }
             None => self.relay.feed_left(data),
@@ -277,7 +277,7 @@ impl Relay for NaiveKeyShare {
             Some(dp) => {
                 let processor = &mut self.processor;
                 dp.feed(FlowDirection::ServerToClient, data, |d, p| {
-                    processor.process(d, p)
+                    *p = processor.process(d, std::mem::take(p));
                 })
             }
             None => self.relay.feed_right(data),

@@ -698,7 +698,9 @@ impl Middlebox {
             .as_mut()
             .ok_or_else(|| MbError::unexpected_state("dataplane active but missing"))?;
         let processor = &mut self.processor;
-        dp.feed(dir, &record, |d, plain| processor.process(d, plain))
+        dp.feed(dir, &record, |d, plain| {
+            *plain = processor.process(d, std::mem::take(plain));
+        })
     }
 
     fn give_up_to_relay(&mut self) {

@@ -95,6 +95,31 @@ impl AeadKey {
     ) -> Result<Vec<u8>, CryptoError> {
         self.gcm.open(&self.nonce(explicit_nonce), aad, sealed)
     }
+
+    /// Encrypt `data` in place and return the 16-byte tag. The
+    /// allocation-free half of [`AeadKey::seal`]: the caller owns the
+    /// buffer and appends the tag where its framing wants it.
+    pub fn seal_in_place(
+        &self,
+        explicit_nonce: &[u8; EXPLICIT_NONCE_LEN],
+        aad: &[u8],
+        data: &mut [u8],
+    ) -> Result<[u8; TAG_LEN], CryptoError> {
+        self.gcm.seal_in_place(&self.nonce(explicit_nonce), aad, data)
+    }
+
+    /// Verify `tag` and decrypt `data` (ciphertext without the tag) in
+    /// place. On failure the buffer keeps the untouched ciphertext and
+    /// must not be used.
+    pub fn open_in_place(
+        &self,
+        explicit_nonce: &[u8; EXPLICIT_NONCE_LEN],
+        aad: &[u8],
+        data: &mut [u8],
+        tag: &[u8],
+    ) -> Result<(), CryptoError> {
+        self.gcm.open_in_place(&self.nonce(explicit_nonce), aad, data, tag)
+    }
 }
 
 #[cfg(test)]

@@ -30,6 +30,15 @@ pub fn select_byte(choice: u8, a: u8, b: u8) -> u8 {
     (a & mask) | (b & !mask)
 }
 
+/// Constant-time equality mask over words: `u64::MAX` when `a == b`,
+/// all-zero otherwise, with no branch. The building block for masked
+/// table scans (see `ed25519::ct_lookup`).
+pub fn mask_eq_u64(a: u64, b: u64) -> u64 {
+    let diff = a ^ b;
+    // `diff | diff.wrapping_neg()` has its top bit set iff diff != 0.
+    ((diff | diff.wrapping_neg()) >> 63).wrapping_sub(1)
+}
+
 /// Constant-time conditional swap of two equal-length buffers when
 /// `choice` is 1.
 pub fn cond_swap(choice: u8, a: &mut [u8], b: &mut [u8]) {
@@ -55,6 +64,33 @@ pub fn zeroize(buf: &mut [u8]) {
     std::sync::atomic::compiler_fence(std::sync::atomic::Ordering::SeqCst);
 }
 
+/// [`zeroize`] for `u32` words (expanded key schedules).
+pub fn zeroize_u32(buf: &mut [u32]) {
+    for w in buf.iter_mut() {
+        // Safety: writing a valid u32 through a valid &mut reference.
+        unsafe { std::ptr::write_volatile(w, 0) };
+    }
+    std::sync::atomic::compiler_fence(std::sync::atomic::Ordering::SeqCst);
+}
+
+/// [`zeroize`] for `u64` words (bitsliced key schedules, GHASH tables).
+pub fn zeroize_u64(buf: &mut [u64]) {
+    for w in buf.iter_mut() {
+        // Safety: writing a valid u64 through a valid &mut reference.
+        unsafe { std::ptr::write_volatile(w, 0) };
+    }
+    std::sync::atomic::compiler_fence(std::sync::atomic::Ordering::SeqCst);
+}
+
+/// [`zeroize`] for `u128` words (wide bitsliced key schedules).
+pub fn zeroize_u128(buf: &mut [u128]) {
+    for w in buf.iter_mut() {
+        // Safety: writing a valid u128 through a valid &mut reference.
+        unsafe { std::ptr::write_volatile(w, 0) };
+    }
+    std::sync::atomic::compiler_fence(std::sync::atomic::Ordering::SeqCst);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -75,6 +111,16 @@ mod tests {
     }
 
     #[test]
+    fn mask_eq_u64_works() {
+        assert_eq!(mask_eq_u64(0, 0), u64::MAX);
+        assert_eq!(mask_eq_u64(7, 7), u64::MAX);
+        assert_eq!(mask_eq_u64(u64::MAX, u64::MAX), u64::MAX);
+        assert_eq!(mask_eq_u64(0, 1), 0);
+        assert_eq!(mask_eq_u64(1, u64::MAX), 0);
+        assert_eq!(mask_eq_u64(1 << 63, 0), 0);
+    }
+
+    #[test]
     fn cond_swap_works() {
         let mut a = [1u8, 2, 3];
         let mut b = [9u8, 8, 7];
@@ -90,5 +136,18 @@ mod tests {
         let mut buf = vec![0xffu8; 32];
         zeroize(&mut buf);
         assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn zeroize_words_wipe() {
+        let mut w32 = vec![0xdead_beefu32; 8];
+        zeroize_u32(&mut w32);
+        assert!(w32.iter().all(|&w| w == 0));
+        let mut w64 = vec![0xdead_beef_dead_beefu64; 8];
+        zeroize_u64(&mut w64);
+        assert!(w64.iter().all(|&w| w == 0));
+        let mut w128 = vec![u128::MAX; 8];
+        zeroize_u128(&mut w128);
+        assert!(w128.iter().all(|&w| w == 0));
     }
 }

@@ -54,18 +54,39 @@ impl Point {
         }
     }
 
-    /// The standard base point B (x is even-recovered from y = 4/5).
+    /// The standard base point B (RFC 8032 §5.1: y = 4/5, x even),
+    /// with its extended coordinates precomputed as radix-2^51 limb
+    /// constants — no decompression (and no square-root fallibility)
+    /// at runtime. `base_point_constants_match_decompression` in the
+    /// test module re-derives these from the compressed encoding.
     fn base() -> Point {
-        let y = Fe::from_bytes(&[
-            0x58, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66,
-            0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66,
-            0x66, 0x66, 0x66, 0x66,
+        const BASE_X: Fe = Fe([
+            0x62d608f25d51a,
+            0x412a4b4f6592a,
+            0x75b7171a4b31d,
+            0x1ff60527118fe,
+            0x216936d3cd6e5,
         ]);
-        let mut compressed = y.to_bytes();
-        // Base point x is "positive" (even), so the sign bit is 0.
-        compressed[31] &= 0x7f;
-        // lint:allow(panic-freedom) -- the RFC 8032 base point is a compiled-in curve constant, not input-dependent
-        Point::decompress(&compressed).expect("base point decompresses")
+        const BASE_Y: Fe = Fe([
+            0x6666666666658,
+            0x4cccccccccccc,
+            0x1999999999999,
+            0x3333333333333,
+            0x6666666666666,
+        ]);
+        const BASE_T: Fe = Fe([
+            0x68ab3a5b7dda3,
+            0x00eea2a5eadbb,
+            0x2af8df483c27e,
+            0x332b375274732,
+            0x67875f0fd78b7,
+        ]);
+        Point {
+            x: BASE_X,
+            y: BASE_Y,
+            z: Fe::ONE,
+            t: BASE_T,
+        }
     }
 
     /// Point addition (RFC 8032 §5.1.4 / "add-2008-hwcd-3").
@@ -108,7 +129,10 @@ impl Point {
     }
 
     /// Scalar multiplication, 4-bit fixed windows, constant sequence
-    /// of doubles/adds for a fixed scalar width.
+    /// of doubles/adds for a fixed scalar width. The window value is
+    /// a secret nibble, so the precomputed multiple is fetched with a
+    /// masked scan over the whole table rather than a direct index —
+    /// the memory access pattern never depends on the scalar.
     fn scalar_mul(&self, scalar: &[u8; 32]) -> Point {
         // Precompute 0..15 multiples.
         let mut table = [Point::identity(); 16];
@@ -122,7 +146,7 @@ impl Point {
             }
             let byte = scalar[i / 2];
             let nibble = if i % 2 == 1 { byte >> 4 } else { byte & 0xf };
-            acc = acc.add(&table[nibble as usize]);
+            acc = acc.add(&ct_lookup(&table, nibble));
         }
         acc
     }
@@ -180,6 +204,29 @@ impl Point {
         let y_eq = self.y.mul(other.z).ct_eq(other.y.mul(self.z));
         x_eq && y_eq
     }
+}
+
+/// Constant-time window-table fetch: reads every entry and
+/// mask-accumulates the one whose position equals `index` (< 16), so
+/// the cache footprint is the whole table regardless of the secret
+/// window value.
+fn ct_lookup(table: &[Point; 16], index: u8) -> Point {
+    let mut out = Point {
+        x: Fe([0; 5]),
+        y: Fe([0; 5]),
+        z: Fe([0; 5]),
+        t: Fe([0; 5]),
+    };
+    for (j, entry) in table.iter().enumerate() {
+        let mask = crate::ct::mask_eq_u64(j as u64, u64::from(index));
+        for k in 0..5 {
+            out.x.0[k] |= entry.x.0[k] & mask;
+            out.y.0[k] |= entry.y.0[k] & mask;
+            out.z.0[k] |= entry.z.0[k] & mask;
+            out.t.0[k] |= entry.t.0[k] & mask;
+        }
+    }
+    out
 }
 
 /// Reduce a big-endian-agnostic little-endian byte string mod L, out
@@ -341,6 +388,25 @@ mod tests {
             .step_by(2)
             .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
             .collect()
+    }
+
+    // The precomputed base-point limb constants must equal what
+    // decompressing the RFC 8032 encoding (y = 4/5, sign bit 0)
+    // produces — this re-derives the constants the old runtime
+    // `decompress(..).expect(..)` computed on every call.
+    #[test]
+    fn base_point_constants_match_decompression() {
+        let mut compressed = [0x66u8; 32];
+        compressed[0] = 0x58;
+        compressed[31] &= 0x7f;
+        let derived = Point::decompress(&compressed).unwrap();
+        let base = Point::base();
+        assert!(base.ct_eq(&derived));
+        assert_eq!(base.compress(), compressed);
+        // And t must really be x·y (z = 1), which `ct_eq` does not
+        // check directly.
+        assert!(base.t.ct_eq(base.x.mul(base.y)));
+        assert!(base.z.ct_eq(Fe::ONE));
     }
 
     // RFC 8032 §7.1 TEST 1 (empty message).

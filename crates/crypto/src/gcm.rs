@@ -1,10 +1,31 @@
 //! AES-GCM authenticated encryption (NIST SP 800-38D).
 //!
-//! GHASH is implemented over GF(2^128) with a 4-bit table per key for
-//! reasonable bulk throughput without platform intrinsics — the Fig. 7
-//! reproduction pushes hundreds of megabytes through this code.
+//! This is the bulk data-plane cipher, so both halves are built for
+//! throughput:
+//!
+//! * **CTR** runs through the bitsliced [`Aes`] four counter blocks
+//!   per invocation ([`Aes::ctr_xor`]), with no table lookups.
+//! * **GHASH** uses 8-bit Shoup tables over the first four powers of
+//!   the hash subkey `H` and processes four blocks per aggregated
+//!   reduction:
+//!
+//!   ```text
+//!   Y' = (Y ^ C1)·H⁴  ^  C2·H³  ^  C3·H²  ^  C4·H
+//!   ```
+//!
+//!   which is an algebraic regrouping of four serial Horner steps —
+//!   the four multiplications are independent, so the CPU can overlap
+//!   them instead of waiting on the serial `Y·H` dependency chain.
+//!
+//! The GHASH tables are keyed (derived from `H`), so indexing them is
+//! a data-dependent memory access; see DESIGN.md for why this is
+//! accepted for GHASH while the AES S-box lookups were eliminated.
+//! The previous one-block-at-a-time formulation survives as
+//! [`AesGcmRef`] — the cross-check oracle used by the vector and
+//! differential tests, never by live traffic.
 
 use crate::aes::Aes;
+use crate::aes_ref::AesRef;
 use crate::{ct, CryptoError};
 
 /// GCM tag length used by TLS (full 16 bytes).
@@ -47,33 +68,276 @@ impl Block128 {
             lo: (self.lo >> 1) | (self.hi << 63),
         }
     }
+
+    /// Multiply by x in GF(2^128): shift right with the GCM reduction
+    /// polynomial folded back in on carry.
+    fn mul_x(self) -> Block128 {
+        let carry = self.lo & 1;
+        let mut next = self.shr1();
+        if carry == 1 {
+            next.hi ^= 0xe100_0000_0000_0000;
+        }
+        next
+    }
 }
 
-/// Precomputed multiplication table for one GHASH key: M[i] = (i as
-/// 4-bit nibble) * H, following the standard 4-bit Shoup table method.
+/// Reduction constants for one whole byte shifted out of the
+/// accumulator: `R8[b]` is the value XORed into the high half after
+/// shifting right by 8 with low byte `b`. Built at compile time by
+/// replaying eight single-bit reduction steps; the shifted-out bits
+/// never propagate into the low half (the reduction polynomial only
+/// touches the top 16 bits, which eight right-shifts cannot carry past
+/// bit 40), so a single `u64` per entry is exact.
+const R8: [u64; 256] = {
+    let mut table = [0u64; 256];
+    let mut b = 0usize;
+    while b < 256 {
+        let mut hi = 0u64;
+        let mut lo = b as u64;
+        let mut i = 0;
+        while i < 8 {
+            let carry = lo & 1;
+            lo = (lo >> 1) | (hi << 63);
+            hi >>= 1;
+            if carry == 1 {
+                hi ^= 0xe100_0000_0000_0000;
+            }
+            i += 1;
+        }
+        table[b] = hi;
+        b += 1;
+    }
+    table
+};
+
+/// One 8-bit Shoup table: `t[b] = b · H` with the byte's MSB mapping
+/// to the lowest-degree coefficient (GCM's reflected convention, so
+/// `t[0x80] = H`).
+fn build_table(h: Block128) -> [Block128; 256] {
+    let mut t = [Block128::default(); 256];
+    t[0x80] = h;
+    let mut i = 0x80;
+    while i > 1 {
+        t[i >> 1] = t[i].mul_x();
+        i >>= 1;
+    }
+    let mut i = 2;
+    while i < 256 {
+        for j in 1..i {
+            t[i + j] = t[i].xor(t[j]);
+        }
+        i <<= 1;
+    }
+    t
+}
+
+/// Multiply `x` by the table's key using byte-wide steps.
+#[inline]
+fn mul_table(table: &[Block128; 256], x: Block128) -> Block128 {
+    let bytes = x.to_bytes();
+    let mut z = Block128::default();
+    for i in (0..16).rev() {
+        // Multiply accumulated z by x^8 (no-op on the first step).
+        let rem = (z.lo & 0xff) as usize;
+        z = Block128 {
+            hi: z.hi >> 8,
+            lo: (z.lo >> 8) | (z.hi << 56),
+        };
+        z.hi ^= R8[rem];
+        // lint:allow(const-time) -- GHASH 8-bit-table index is a byte of the ciphertext/AAD (public on the record path); the keyed content is the table values, not which entry is read. Trade-off documented in DESIGN.md §data-plane fast path.
+        z = z.xor(table[bytes[i] as usize]);
+    }
+    z
+}
+
+/// Precomputed GHASH state for one key: 8-bit tables for H¹..H⁴.
 struct GhashKey {
-    table: [Block128; 16],
+    /// `tables[k]` multiplies by `H^(k+1)`.
+    tables: Box<[[Block128; 256]; 4]>,
 }
 
 impl GhashKey {
     fn new(h: &[u8; 16]) -> Self {
-        let h = Block128::from_bytes(h);
+        let h1 = Block128::from_bytes(h);
+        let t1 = build_table(h1);
+        let h2 = mul_table(&t1, h1);
+        let h3 = mul_table(&t1, h2);
+        let h4 = mul_table(&t1, h3);
+        GhashKey {
+            tables: Box::new([t1, build_table(h2), build_table(h3), build_table(h4)]),
+        }
+    }
+
+    /// Fold `data` (zero-padded to a block boundary) into `y`,
+    /// four blocks per aggregated reduction.
+    fn absorb(&self, mut y: Block128, data: &[u8]) -> Block128 {
+        let [t1, t2, t3, t4] = &*self.tables;
+        let mut chunks = data.chunks_exact(64);
+        for chunk in &mut chunks {
+            let c1 = Block128::from_bytes(&crate::fixed(&chunk[0..16]));
+            let c2 = Block128::from_bytes(&crate::fixed(&chunk[16..32]));
+            let c3 = Block128::from_bytes(&crate::fixed(&chunk[32..48]));
+            let c4 = Block128::from_bytes(&crate::fixed(&chunk[48..64]));
+            // Four independent multiplications — the regrouped form of
+            // ((((y^c1)·H ^ c2)·H ^ c3)·H ^ c4)·H.
+            y = mul_table(t4, y.xor(c1))
+                .xor(mul_table(t3, c2))
+                .xor(mul_table(t2, c3))
+                .xor(mul_table(t1, c4));
+        }
+        for chunk in chunks.remainder().chunks(16) {
+            let mut block = [0u8; 16];
+            block[..chunk.len()].copy_from_slice(chunk);
+            y = mul_table(t1, y.xor(Block128::from_bytes(&block)));
+        }
+        y
+    }
+}
+
+impl Drop for GhashKey {
+    fn drop(&mut self) {
+        for table in self.tables.iter_mut() {
+            for entry in table.iter_mut() {
+                // Safety: writing a valid Block128 through a valid
+                // &mut reference (volatile so the wipe is not elided).
+                unsafe { std::ptr::write_volatile(entry, Block128::default()) };
+            }
+        }
+        std::sync::atomic::compiler_fence(std::sync::atomic::Ordering::SeqCst);
+    }
+}
+
+/// GHASH over padded AAD and ciphertext, per SP 800-38D §6.4.
+fn ghash(key: &GhashKey, aad: &[u8], ct_data: &[u8]) -> [u8; 16] {
+    let mut y = Block128::default();
+    y = key.absorb(y, aad);
+    y = key.absorb(y, ct_data);
+    let mut len_block = [0u8; 16];
+    len_block[0..8].copy_from_slice(&((aad.len() as u64) * 8).to_be_bytes());
+    len_block[8..16].copy_from_slice(&((ct_data.len() as u64) * 8).to_be_bytes());
+    y = key.absorb(y, &len_block);
+    y.to_bytes()
+}
+
+fn counter_block(nonce: &[u8; 12], counter: u32) -> [u8; 16] {
+    let mut block = [0u8; 16];
+    block[..12].copy_from_slice(nonce);
+    block[12..].copy_from_slice(&counter.to_be_bytes());
+    block
+}
+
+/// Reject plaintexts that would wrap the 32-bit block counter
+/// (counter 1 is the tag mask, data starts at 2).
+fn check_len(len: usize) -> Result<(), CryptoError> {
+    let nblocks = len.div_ceil(16);
+    if nblocks as u64 > u64::from(u32::MAX) - 1 {
+        return Err(CryptoError::BadLength);
+    }
+    Ok(())
+}
+
+/// AES-GCM with a fixed 12-byte nonce size (the TLS case).
+pub struct AesGcm {
+    aes: Aes,
+    ghash_key: GhashKey,
+}
+
+impl AesGcm {
+    /// Create from a 16- or 32-byte AES key.
+    pub fn new(key: &[u8]) -> Result<Self, CryptoError> {
+        let aes = Aes::new(key)?;
+        let h = aes.encrypt_block_copy(&[0u8; 16]);
+        Ok(AesGcm {
+            ghash_key: GhashKey::new(&h),
+            aes,
+        })
+    }
+
+    fn tag(&self, nonce: &[u8; 12], aad: &[u8], ciphertext: &[u8]) -> [u8; 16] {
+        let s = ghash(&self.ghash_key, aad, ciphertext);
+        let e = self.aes.encrypt_block_copy(&counter_block(nonce, 1));
+        let mut tag = [0u8; 16];
+        for i in 0..16 {
+            tag[i] = s[i] ^ e[i];
+        }
+        tag
+    }
+
+    /// Encrypt `plaintext` in place and return the 16-byte tag.
+    pub fn seal_in_place(
+        &self,
+        nonce: &[u8; 12],
+        aad: &[u8],
+        data: &mut [u8],
+    ) -> Result<[u8; 16], CryptoError> {
+        check_len(data.len())?;
+        self.aes.ctr_xor(nonce, 2, data);
+        Ok(self.tag(nonce, aad, data))
+    }
+
+    /// Verify the tag and decrypt `ciphertext` in place.
+    ///
+    /// On tag mismatch the buffer is left as (untouched) ciphertext and
+    /// `BadTag` is returned — callers must not use the contents.
+    pub fn open_in_place(
+        &self,
+        nonce: &[u8; 12],
+        aad: &[u8],
+        data: &mut [u8],
+        tag: &[u8],
+    ) -> Result<(), CryptoError> {
+        check_len(data.len())?;
+        let expected = self.tag(nonce, aad, data);
+        if !ct::eq(&expected, tag) {
+            return Err(CryptoError::BadTag);
+        }
+        self.aes.ctr_xor(nonce, 2, data);
+        Ok(())
+    }
+
+    /// Convenience: allocate-and-seal, returning ciphertext || tag.
+    pub fn seal(&self, nonce: &[u8; 12], aad: &[u8], plaintext: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        let mut out = Vec::with_capacity(plaintext.len() + TAG_LEN);
+        out.extend_from_slice(plaintext);
+        let tag = self.seal_in_place(nonce, aad, &mut out)?;
+        out.extend_from_slice(&tag);
+        Ok(out)
+    }
+
+    /// Convenience: split ciphertext || tag, verify and decrypt.
+    pub fn open(&self, nonce: &[u8; 12], aad: &[u8], sealed: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        if sealed.len() < TAG_LEN {
+            return Err(CryptoError::BadTag);
+        }
+        let (ct_part, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+        let mut out = ct_part.to_vec();
+        self.open_in_place(nonce, aad, &mut out, tag)?;
+        Ok(out)
+    }
+}
+
+/// Reference AES-GCM: the original one-block-at-a-time formulation
+/// (table AES + 4-bit Shoup GHASH), kept as an independent oracle for
+/// the vector and differential tests. Never used for live traffic.
+pub struct AesGcmRef {
+    aes: AesRef,
+    table: [Block128; 16],
+}
+
+impl AesGcmRef {
+    /// Create from a 16- or 32-byte AES key.
+    pub fn new(key: &[u8]) -> Result<Self, CryptoError> {
+        let aes = AesRef::new(key)?;
+        let h = Block128::from_bytes(&aes.encrypt_block_copy(&[0u8; 16]));
+        // 4-bit Shoup table: t[8] = H (reflected convention),
+        // t[i>>1] = t[i]·x, remaining entries by XOR combination.
         let mut table = [Block128::default(); 16];
-        // table[8] = H (bit-reflected convention: nibble value 8 = MSB set).
         table[8] = h;
-        // table[i>>1] = table[i] * x (i.e. shifted with reduction).
         let mut i = 8;
         while i > 1 {
-            let prev = table[i];
-            let carry = prev.lo & 1;
-            let mut next = prev.shr1();
-            if carry == 1 {
-                next.hi ^= 0xe100_0000_0000_0000;
-            }
-            table[i >> 1] = next;
+            table[i >> 1] = table[i].mul_x();
             i >>= 1;
         }
-        // Fill remaining entries by XOR combination.
         let mut i = 2;
         while i < 16 {
             for j in 1..i {
@@ -81,10 +345,10 @@ impl GhashKey {
             }
             i <<= 1;
         }
-        GhashKey { table }
+        Ok(AesGcmRef { aes, table })
     }
 
-    /// Multiply `x` by H in GF(2^128).
+    /// Multiply `x` by H using 4-bit (nibble) steps.
     fn mul(&self, x: Block128) -> Block128 {
         // Reduction table for the 4 bits shifted out per nibble step.
         const R: [u64; 16] = [
@@ -111,8 +375,6 @@ impl GhashKey {
         for i in (0..16).rev() {
             for shift in [0u32, 4] {
                 let nib = ((bytes[i] >> shift) & 0xf) as usize;
-                // Multiply accumulated z by x^4 (no-op on the very
-                // first step where z is zero).
                 let rem = (z.lo & 0xf) as usize;
                 z = Block128 {
                     hi: z.hi >> 4,
@@ -124,75 +386,39 @@ impl GhashKey {
         }
         z
     }
-}
 
-/// GHASH over padded AAD and ciphertext, per SP 800-38D §6.4.
-fn ghash(key: &GhashKey, aad: &[u8], ct_data: &[u8]) -> [u8; 16] {
-    let mut y = Block128::default();
-    let absorb = |data: &[u8], y: &mut Block128| {
-        for chunk in data.chunks(16) {
-            let mut block = [0u8; 16];
-            block[..chunk.len()].copy_from_slice(chunk);
-            *y = key.mul(y.xor(Block128::from_bytes(&block)));
-        }
-    };
-    absorb(aad, &mut y);
-    absorb(ct_data, &mut y);
-    let mut len_block = [0u8; 16];
-    len_block[0..8].copy_from_slice(&((aad.len() as u64) * 8).to_be_bytes());
-    len_block[8..16].copy_from_slice(&((ct_data.len() as u64) * 8).to_be_bytes());
-    y = key.mul(y.xor(Block128::from_bytes(&len_block)));
-    y.to_bytes()
-}
-
-/// AES-GCM with a fixed 12-byte nonce size (the TLS case).
-pub struct AesGcm {
-    aes: Aes,
-    ghash_key: GhashKey,
-}
-
-impl AesGcm {
-    /// Create from a 16- or 32-byte AES key.
-    pub fn new(key: &[u8]) -> Result<Self, CryptoError> {
-        let aes = Aes::new(key)?;
-        let h = aes.encrypt_block_copy(&[0u8; 16]);
-        Ok(AesGcm {
-            ghash_key: GhashKey::new(&h),
-            aes,
-        })
+    fn ghash(&self, aad: &[u8], ct_data: &[u8]) -> [u8; 16] {
+        let mut y = Block128::default();
+        let absorb = |data: &[u8], y: &mut Block128| {
+            for chunk in data.chunks(16) {
+                let mut block = [0u8; 16];
+                block[..chunk.len()].copy_from_slice(chunk);
+                *y = self.mul(y.xor(Block128::from_bytes(&block)));
+            }
+        };
+        absorb(aad, &mut y);
+        absorb(ct_data, &mut y);
+        let mut len_block = [0u8; 16];
+        len_block[0..8].copy_from_slice(&((aad.len() as u64) * 8).to_be_bytes());
+        len_block[8..16].copy_from_slice(&((ct_data.len() as u64) * 8).to_be_bytes());
+        y = self.mul(y.xor(Block128::from_bytes(&len_block)));
+        y.to_bytes()
     }
 
-    fn counter_block(nonce: &[u8; 12], counter: u32) -> [u8; 16] {
-        let mut block = [0u8; 16];
-        block[..12].copy_from_slice(nonce);
-        block[12..].copy_from_slice(&counter.to_be_bytes());
-        block
-    }
-
-    fn ctr_xor(&self, nonce: &[u8; 12], data: &mut [u8]) -> Result<(), CryptoError> {
-        // Counter starts at 2 (1 is reserved for the tag mask).
-        let nblocks = data.len().div_ceil(16);
-        if nblocks as u64 > u64::from(u32::MAX) - 1 {
-            return Err(CryptoError::BadLength);
-        }
+    fn ctr_xor(&self, nonce: &[u8; 12], data: &mut [u8]) {
         let mut counter = 2u32;
         for chunk in data.chunks_mut(16) {
-            let ks = self
-                .aes
-                .encrypt_block_copy(&Self::counter_block(nonce, counter));
+            let ks = self.aes.encrypt_block_copy(&counter_block(nonce, counter));
             for (b, k) in chunk.iter_mut().zip(ks.iter()) {
                 *b ^= k;
             }
             counter = counter.wrapping_add(1);
         }
-        Ok(())
     }
 
     fn tag(&self, nonce: &[u8; 12], aad: &[u8], ciphertext: &[u8]) -> [u8; 16] {
-        let s = ghash(&self.ghash_key, aad, ciphertext);
-        let e = self
-            .aes
-            .encrypt_block_copy(&Self::counter_block(nonce, 1));
+        let s = self.ghash(aad, ciphertext);
+        let e = self.aes.encrypt_block_copy(&counter_block(nonce, 1));
         let mut tag = [0u8; 16];
         for i in 0..16 {
             tag[i] = s[i] ^ e[i];
@@ -207,14 +433,12 @@ impl AesGcm {
         aad: &[u8],
         data: &mut [u8],
     ) -> Result<[u8; 16], CryptoError> {
-        self.ctr_xor(nonce, data)?;
+        check_len(data.len())?;
+        self.ctr_xor(nonce, data);
         Ok(self.tag(nonce, aad, data))
     }
 
     /// Verify the tag and decrypt `ciphertext` in place.
-    ///
-    /// On tag mismatch the buffer is left as (untouched) ciphertext and
-    /// `BadTag` is returned — callers must not use the contents.
     pub fn open_in_place(
         &self,
         nonce: &[u8; 12],
@@ -222,17 +446,19 @@ impl AesGcm {
         data: &mut [u8],
         tag: &[u8],
     ) -> Result<(), CryptoError> {
+        check_len(data.len())?;
         let expected = self.tag(nonce, aad, data);
         if !ct::eq(&expected, tag) {
             return Err(CryptoError::BadTag);
         }
-        self.ctr_xor(nonce, data)?;
+        self.ctr_xor(nonce, data);
         Ok(())
     }
 
     /// Convenience: allocate-and-seal, returning ciphertext || tag.
     pub fn seal(&self, nonce: &[u8; 12], aad: &[u8], plaintext: &[u8]) -> Result<Vec<u8>, CryptoError> {
-        let mut out = plaintext.to_vec();
+        let mut out = Vec::with_capacity(plaintext.len() + TAG_LEN);
+        out.extend_from_slice(plaintext);
         let tag = self.seal_in_place(nonce, aad, &mut out)?;
         out.extend_from_slice(&tag);
         Ok(out)
@@ -377,5 +603,51 @@ mod tests {
     fn open_rejects_short_input() {
         let gcm = AesGcm::new(&[7u8; 16]).unwrap();
         assert_eq!(gcm.open(&[0; 12], &[], &[0u8; 15]), Err(CryptoError::BadTag));
+    }
+
+    // The reference implementation must reproduce the same NIST
+    // vectors independently (it shares no cipher or GHASH code with
+    // the fast path).
+    #[test]
+    fn reference_impl_matches_nist_vectors() {
+        let key = unhex("feffe9928665731c6d6a8f9467308308");
+        let gcm = AesGcmRef::new(&key).unwrap();
+        let nonce: [u8; 12] = unhex("cafebabefacedbaddecaf888").try_into().unwrap();
+        let aad = unhex("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+        let mut data = unhex(
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+             1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39",
+        );
+        let tag = gcm.seal_in_place(&nonce, &aad, &mut data).unwrap();
+        assert_eq!(
+            hex(&data),
+            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e\
+             21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091"
+        );
+        assert_eq!(hex(&tag), "5bc94fbc3221a5db94fae95ae7121a47");
+    }
+
+    // Fast path and reference must agree across AAD/plaintext length
+    // combinations that exercise the aggregated 4-block absorb, its
+    // remainder path, and padding (the full differential hammer lives
+    // in tests/gcm_vectors.rs).
+    #[test]
+    fn fast_and_reference_agree_on_boundary_lengths() {
+        let key = [0x42u8; 32];
+        let fast = AesGcm::new(&key).unwrap();
+        let slow = AesGcmRef::new(&key).unwrap();
+        let nonce = [3u8; 12];
+        let payload: Vec<u8> = (0u32..200).map(|i| (i * 7 + 1) as u8).collect();
+        for pt_len in [0usize, 1, 15, 16, 17, 48, 63, 64, 65, 128, 129, 200] {
+            for aad_len in [0usize, 1, 16, 64, 65] {
+                let sealed_fast = fast
+                    .seal(&nonce, &payload[..aad_len], &payload[..pt_len])
+                    .unwrap();
+                let sealed_slow = slow
+                    .seal(&nonce, &payload[..aad_len], &payload[..pt_len])
+                    .unwrap();
+                assert_eq!(sealed_fast, sealed_slow, "pt {pt_len} aad {aad_len}");
+            }
+        }
     }
 }

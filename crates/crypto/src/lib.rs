@@ -20,7 +20,8 @@
 //! * [`sha2`] — SHA-256 / SHA-384 / SHA-512.
 //! * [`hmac`] — HMAC over any [`sha2`] hash.
 //! * [`kdf`] — the TLS 1.2 PRF and HKDF.
-//! * [`aes`] — the AES block cipher (128/256-bit keys).
+//! * [`aes`] — constant-time bitsliced AES (128/256-bit keys, 4-wide CTR).
+//! * [`aes_ref`] — reference table-lookup AES (cross-check oracle only).
 //! * [`gcm`] — AES-GCM AEAD (GHASH + CTR).
 //! * [`aead`] — the AEAD trait object used by the record layer.
 //! * [`x25519`] — Diffie-Hellman over Curve25519.
@@ -34,6 +35,7 @@
 
 pub mod aead;
 pub mod aes;
+pub mod aes_ref;
 pub mod bignum;
 pub mod ct;
 pub mod dh;

@@ -1,0 +1,237 @@
+//! AES-GCM test vectors (NIST SP 800-38D / Wycheproof-style cases)
+//! run against BOTH the bitsliced fast path (`AesGcm`) and the
+//! reference oracle (`AesGcmRef`), plus a seed-deterministic
+//! differential test hammering random lengths across the two
+//! implementations.
+
+use mbtls_crypto::gcm::{AesGcm, AesGcmRef, TAG_LEN};
+use mbtls_crypto::rng::CryptoRng;
+use mbtls_crypto::CryptoError;
+
+fn unhex(s: &str) -> Vec<u8> {
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+        .collect()
+}
+
+/// One known-answer vector: seal(key, nonce, aad, pt) = ct || tag.
+struct Vector {
+    name: &'static str,
+    key: &'static str,
+    nonce: &'static str,
+    aad: &'static str,
+    pt: &'static str,
+    ct: &'static str,
+    tag: &'static str,
+}
+
+/// NIST GCM spec vectors (Appendix B of the GCM submission, the same
+/// cases SP 800-38D references) plus Wycheproof-style shapes: empty
+/// everything, empty plaintext with AAD, AAD-only, long (>4 block)
+/// AAD exercising the aggregated path, and partial final blocks.
+const VECTORS: &[Vector] = &[
+    Vector {
+        name: "aes128/empty-pt/empty-aad",
+        key: "00000000000000000000000000000000",
+        nonce: "000000000000000000000000",
+        aad: "",
+        pt: "",
+        ct: "",
+        tag: "58e2fccefa7e3061367f1d57a4e7455a",
+    },
+    Vector {
+        name: "aes128/one-zero-block",
+        key: "00000000000000000000000000000000",
+        nonce: "000000000000000000000000",
+        aad: "",
+        pt: "00000000000000000000000000000000",
+        ct: "0388dace60b6a392f328c2b971b2fe78",
+        tag: "ab6e47d42cec13bdf53a67b21257bddf",
+    },
+    Vector {
+        name: "aes128/four-blocks",
+        key: "feffe9928665731c6d6a8f9467308308",
+        nonce: "cafebabefacedbaddecaf888",
+        aad: "",
+        pt: "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+              1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255",
+        ct: "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e\
+             21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091473f5985",
+        tag: "4d5c2af327cd64a62cf35abd2ba6fab4",
+    },
+    Vector {
+        name: "aes128/aad-and-partial-block",
+        key: "feffe9928665731c6d6a8f9467308308",
+        nonce: "cafebabefacedbaddecaf888",
+        aad: "feedfacedeadbeeffeedfacedeadbeefabaddad2",
+        pt: "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+             1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39",
+        ct: "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e\
+             21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091",
+        tag: "5bc94fbc3221a5db94fae95ae7121a47",
+    },
+    // Wycheproof-style: empty plaintext but non-empty AAD (tag is
+    // pure GHASH over AAD).
+    Vector {
+        name: "aes128/empty-pt/with-aad",
+        key: "feffe9928665731c6d6a8f9467308308",
+        nonce: "cafebabefacedbaddecaf888",
+        aad: "feedfacedeadbeeffeedfacedeadbeefabaddad2",
+        pt: "",
+        ct: "",
+        tag: "346434fd51d5cd0c5887ec63e39b907a",
+    },
+    // Wycheproof-style: long AAD (76 bytes, 4 full blocks + partial)
+    // so the aggregated 4-block absorb runs with an AAD remainder.
+    Vector {
+        name: "aes128/long-aad",
+        key: "feffe9928665731c6d6a8f9467308308",
+        nonce: "cafebabefacedbaddecaf888",
+        aad: "feedfacedeadbeeffeedfacedeadbeefabaddad2feedfacedeadbeeffeedface\
+              deadbeefabaddad2feedfacedeadbeeffeedfacedeadbeefabaddad2feedface\
+              deadbeeffeedfacedeadbeef",
+        pt: "d9313225f88406e5a55909c5aff5269a",
+        ct: "42831ec2217774244b7221b784d0d49c",
+        tag: "cab66ea31f022dfcdaca4252b19781d9",
+    },
+    Vector {
+        name: "aes256/empty-pt/empty-aad",
+        key: "0000000000000000000000000000000000000000000000000000000000000000",
+        nonce: "000000000000000000000000",
+        aad: "",
+        pt: "",
+        ct: "",
+        tag: "530f8afbc74536b9a963b4f1c4cb738b",
+    },
+    Vector {
+        name: "aes256/aad-and-partial-block",
+        key: "feffe9928665731c6d6a8f9467308308feffe9928665731c6d6a8f9467308308",
+        nonce: "cafebabefacedbaddecaf888",
+        aad: "feedfacedeadbeeffeedfacedeadbeefabaddad2",
+        pt: "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+             1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39",
+        ct: "522dc1f099567d07f47f37a32a84427d643a8cdcbfe5c0c97598a2bd2555d1aa\
+             8cb08e48590dbb3da7b08b1056828838c5f61e6393ba7a0abcc9f662",
+        tag: "76fc6ece0f4e1768cddf8853bb2d551b",
+    },
+];
+
+fn strip_ws(s: &str) -> String {
+    s.chars().filter(|c| !c.is_whitespace()).collect()
+}
+
+/// Run one vector through a seal/open pair (shared between the two
+/// implementations via closures so neither gets special-cased).
+fn check_vector<S, O>(v: &Vector, seal: S, open: O)
+where
+    S: Fn(&[u8; 12], &[u8], &[u8]) -> Vec<u8>,
+    O: Fn(&[u8; 12], &[u8], &[u8]) -> Result<Vec<u8>, CryptoError>,
+{
+    let nonce: [u8; 12] = unhex(&strip_ws(v.nonce)).try_into().unwrap();
+    let aad = unhex(&strip_ws(v.aad));
+    let pt = unhex(&strip_ws(v.pt));
+    let mut expected = unhex(&strip_ws(v.ct));
+    expected.extend_from_slice(&unhex(&strip_ws(v.tag)));
+
+    let sealed = seal(&nonce, &aad, &pt);
+    assert_eq!(sealed, expected, "{}: seal mismatch", v.name);
+    assert_eq!(
+        open(&nonce, &aad, &sealed).unwrap(),
+        pt,
+        "{}: open mismatch",
+        v.name
+    );
+
+    // Truncated-tag rejection: GCM implementations must not accept a
+    // prefix of the tag (Wycheproof's tag-truncation class). Check
+    // every truncation point, including an entirely missing tag.
+    for cut in 1..=TAG_LEN {
+        let truncated = &sealed[..sealed.len() - cut];
+        assert_eq!(
+            open(&nonce, &aad, truncated),
+            Err(CryptoError::BadTag),
+            "{}: accepted tag truncated by {cut}",
+            v.name
+        );
+    }
+}
+
+#[test]
+fn nist_vectors_fast_path() {
+    for v in VECTORS {
+        let key = unhex(&strip_ws(v.key));
+        let gcm = AesGcm::new(&key).unwrap();
+        check_vector(
+            v,
+            |n, a, p| gcm.seal(n, a, p).unwrap(),
+            |n, a, s| gcm.open(n, a, s),
+        );
+    }
+}
+
+#[test]
+fn nist_vectors_reference_path() {
+    for v in VECTORS {
+        let key = unhex(&strip_ws(v.key));
+        let gcm = AesGcmRef::new(&key).unwrap();
+        check_vector(
+            v,
+            |n, a, p| gcm.seal(n, a, p).unwrap(),
+            |n, a, s| gcm.open(n, a, s),
+        );
+    }
+}
+
+/// Differential hammer: random keys, nonces, AAD and plaintext
+/// lengths under a fixed seed. The two implementations share no
+/// cipher or GHASH code, so agreement here is strong evidence both
+/// are computing GCM (and the run is bit-reproducible: any failure
+/// reports the iteration for replay).
+#[test]
+fn differential_fast_vs_reference() {
+    let mut rng = CryptoRng::from_seed(0x6CB1_D1FF);
+    for iter in 0..200 {
+        let key_len = if rng.gen_range(2) == 0 { 16 } else { 32 };
+        let mut key = vec![0u8; key_len];
+        rng.fill(&mut key);
+        let fast = AesGcm::new(&key).unwrap();
+        let slow = AesGcmRef::new(&key).unwrap();
+
+        let nonce: [u8; 12] = {
+            let mut n = [0u8; 12];
+            rng.fill(&mut n);
+            n
+        };
+        // Lengths biased toward block/aggregation boundaries.
+        let pt_len = match rng.gen_range(4) {
+            0 => rng.gen_range(4) as usize * 16 + 48, // near the 64-byte groups
+            1 => rng.gen_range(17) as usize,          // sub-block
+            _ => rng.gen_range(600) as usize,
+        };
+        let aad_len = rng.gen_range(100) as usize;
+        let mut pt = vec![0u8; pt_len];
+        let mut aad = vec![0u8; aad_len];
+        rng.fill(&mut pt);
+        rng.fill(&mut aad);
+
+        let sealed_fast = fast.seal(&nonce, &aad, &pt).unwrap();
+        let sealed_slow = slow.seal(&nonce, &aad, &pt).unwrap();
+        assert_eq!(
+            sealed_fast, sealed_slow,
+            "iter {iter}: seal divergence (pt {pt_len}, aad {aad_len})"
+        );
+        // Cross-open: each implementation must accept the other's output.
+        assert_eq!(fast.open(&nonce, &aad, &sealed_slow).unwrap(), pt);
+        assert_eq!(slow.open(&nonce, &aad, &sealed_fast).unwrap(), pt);
+
+        // And a random single-bit flip must be rejected by both.
+        if !sealed_fast.is_empty() {
+            let mut bad = sealed_fast.clone();
+            let pos = rng.gen_range(bad.len() as u64) as usize;
+            bad[pos] ^= 1 << rng.gen_range(8);
+            assert_eq!(fast.open(&nonce, &aad, &bad), Err(CryptoError::BadTag));
+            assert_eq!(slow.open(&nonce, &aad, &bad), Err(CryptoError::BadTag));
+        }
+    }
+}

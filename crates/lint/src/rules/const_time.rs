@@ -1,5 +1,6 @@
 //! Rule `const-time`: comparisons on secret values in `crypto` must
-//! route through the `ct` primitives.
+//! route through the `ct` primitives, and table lookups must not be
+//! indexed by data-derived bytes.
 //!
 //! A `==` on key or tag bytes compiles to an early-exit memcmp whose
 //! timing leaks the length of the matching prefix — the classic MAC
@@ -9,6 +10,15 @@
 //! metadata (`.len()`, `.is_empty()`) or a SCREAMING_CASE constant
 //! such as `KEY_LEN`. `ct.rs` itself is exempt — it is the
 //! implementation the rule points everyone at.
+//!
+//! The second heuristic targets the classic AES cache-timing channel:
+//! `base[x as usize]`-shaped indexing, where the index is a byte cast
+//! (`as usize` / `usize::from`) or names a secret, is a table lookup
+//! whose cache footprint depends on the data. Loop counters (`w[i]`),
+//! ranges (`buf[4..8]`), and literal indices do not trip it. Paths
+//! that keep such lookups deliberately — the `aes_ref` oracle, the
+//! public-index GHASH tables — carry a `lint:allow` so the waiver is
+//! visible in the report rather than silent.
 
 use super::Hit;
 use crate::source::SourceFile;
@@ -43,8 +53,62 @@ pub(crate) fn check(file: &SourceFile) -> Vec<Hit> {
                 }
             }
         }
+        for lookup in table_lookups(&line.code) {
+            hits.push(Hit {
+                line: i,
+                message: format!(
+                    "data-dependent table lookup `{lookup}`; the index drives which cache \
+                     lines are touched — use a bitsliced circuit or a masked full-table \
+                     scan (or waive with lint:allow(const-time) and a reason)"
+                ),
+            });
+        }
     }
     hits
+}
+
+/// Indexing expressions on this line whose index is data-derived:
+/// `base[idx]` where `idx` contains a byte-to-index cast (`as usize`,
+/// `usize::from`) or names a secret. Ranges and plain counters pass.
+fn table_lookups(code: &str) -> Vec<String> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    for (pos, &b) in bytes.iter().enumerate() {
+        if b != b'[' || pos == 0 || !super::is_ident_char(bytes[pos - 1] as char) {
+            continue; // array literals / attribute brackets, not indexing
+        }
+        // Find the matching close bracket.
+        let mut depth = 1i32;
+        let mut end = pos + 1;
+        while end < bytes.len() {
+            match bytes[end] {
+                b'[' => depth += 1,
+                b']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            end += 1;
+        }
+        if depth != 0 {
+            continue; // index continues on the next line; out of lexical reach
+        }
+        let index = code[pos + 1..end].trim();
+        if index.contains("..") {
+            continue; // slicing by range: bounds are public structure
+        }
+        let data_derived = index.contains("as usize")
+            || index.contains("usize::from")
+            || is_secret_operand(index);
+        if data_derived {
+            let base = operand_before(code, pos);
+            out.push(format!("{base}[{index}]"));
+        }
+    }
+    out
 }
 
 /// Positions of `==` / `!=` operators (skipping `<=`, `>=`, `=>`...).
@@ -157,6 +221,32 @@ mod tests {
         assert_eq!(ops.len(), 1);
         assert_eq!(operand_before(code, ops[0].0), "self.peer_tag");
         assert_eq!(operand_after(code, ops[0].0 + 2), "expected_tag");
+    }
+
+    #[test]
+    fn table_lookup_detection() {
+        assert_eq!(
+            table_lookups("let y = SBOX[b as usize];"),
+            vec!["SBOX[b as usize]".to_string()]
+        );
+        assert_eq!(
+            table_lookups("acc = acc.add(&table[nibble as usize]);"),
+            vec!["table[nibble as usize]".to_string()]
+        );
+        assert_eq!(
+            table_lookups("z = z.xor(table[usize::from(bytes[i])]);"),
+            vec!["table[usize::from(bytes[i])]".to_string()]
+        );
+        // Secret-named index without a cast still counts.
+        assert_eq!(
+            table_lookups("let p = precomp[key_byte];"),
+            vec!["precomp[key_byte]".to_string()]
+        );
+        // Counters, literals, and ranges are public structure.
+        assert!(table_lookups("let w = words[i];").is_empty());
+        assert!(table_lookups("let b = block[12];").is_empty());
+        assert!(table_lookups("let s = buf[4..8].to_vec();").is_empty());
+        assert!(table_lookups("let a = [0u8; 16];").is_empty());
     }
 
     #[test]

@@ -136,7 +136,11 @@ fn allowed_fixture_is_reported_but_not_blocking() {
 fn const_time_bad_fixture_is_caught() {
     let src = fixture("const_time", "bad.rs");
     let findings = lint_source("crates/crypto/src/fixture.rs", &src, &[RuleId::ConstTime]);
-    assert_eq!(lines_of(&findings, RuleId::ConstTime), vec![2]);
+    assert_eq!(lines_of(&findings, RuleId::ConstTime), vec![2, 6]);
+    assert!(
+        findings.iter().any(|f| f.message.contains("table lookup")),
+        "missing table-lookup finding: {findings:?}"
+    );
 }
 
 #[test]

@@ -1,3 +1,7 @@
 pub fn verify(tag: &[u8], expected_tag: &[u8]) -> bool {
     tag == expected_tag
 }
+
+pub fn sub_byte(table: &[u8; 256], b: u8) -> u8 {
+    table[b as usize]
+}

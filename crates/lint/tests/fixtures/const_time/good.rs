@@ -1,3 +1,7 @@
 pub fn verify(tag: &[u8], expected_tag: &[u8]) -> bool {
     tag.len() == expected_tag.len() && crate::ct::eq(tag, expected_tag)
 }
+
+pub fn sub_word(words: &[u32; 8], i: usize, block: &[u8]) -> (u32, u8, &[u8]) {
+    (words[i], block[12], &block[4..8])
+}

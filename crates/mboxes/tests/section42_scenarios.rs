@@ -43,7 +43,7 @@ fn state_poisoning_by_malicious_client_succeeds() {
         .unwrap();
     cache_plane
         .feed(FlowDirection::ClientToServer, &client_plane.take_outgoing(), |d, p| {
-            cache.process(d, p)
+            *p = cache.process(d, std::mem::take(p));
         })
         .unwrap();
     let _toward_server = cache_plane.take_toward_server();
@@ -57,7 +57,7 @@ fn state_poisoning_by_malicious_client_succeeds() {
         .unwrap();
     cache_plane
         .feed(FlowDirection::ServerToClient, &forged_server.take_outgoing(), |d, p| {
-            cache.process(d, p)
+            *p = cache.process(d, std::mem::take(p));
         })
         .unwrap();
 
@@ -91,7 +91,9 @@ fn state_poisoning_blocked_with_neighbour_keys() {
     let result = cache_plane.feed(
         FlowDirection::ServerToClient,
         &forged_server.take_outgoing(),
-        |d, p| cache.process(d, p),
+        |d, p| {
+            *p = cache.process(d, std::mem::take(p));
+        },
     );
     assert!(result.is_err(), "forged record fails hop-B authentication");
     assert!(cache.entry("/login").is_none());
@@ -175,7 +177,7 @@ fn filter_on_path_blocks() {
         .unwrap();
     filter_plane
         .feed(FlowDirection::ClientToServer, &client.take_outgoing(), |d, p| {
-            filter.process(d, p)
+            *p = filter.process(d, std::mem::take(p));
         })
         .unwrap();
     server.feed(&filter_plane.take_toward_server()).unwrap();

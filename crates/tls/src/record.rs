@@ -8,7 +8,7 @@
 
 use crate::codec::{CodecError, Decoder, Encoder};
 use crate::TlsError;
-use mbtls_crypto::aead::{AeadKey, BulkAlgorithm, EXPLICIT_NONCE_LEN};
+use mbtls_crypto::aead::{AeadKey, BulkAlgorithm, EXPLICIT_NONCE_LEN, TAG_LEN};
 
 /// Maximum plaintext fragment length (RFC 5246 §6.2.1).
 pub const MAX_FRAGMENT_LEN: usize = 1 << 14;
@@ -138,19 +138,43 @@ impl DirectionState {
         content_type: ContentType,
         payload: &[u8],
     ) -> Result<Vec<u8>, TlsError> {
+        let mut out =
+            Vec::with_capacity(5 + EXPLICIT_NONCE_LEN + payload.len() + TAG_LEN);
+        self.seal_record_into(content_type, payload, &mut out)?;
+        Ok(out)
+    }
+
+    /// Protect a fragment, appending the full wire record to `out`.
+    ///
+    /// This is the zero-copy data-plane path: the payload is written
+    /// into `out` once and encrypted there in place, so a caller that
+    /// reuses `out` across records does no per-record allocation once
+    /// the buffer has grown to its steady-state capacity.
+    pub fn seal_record_into(
+        &mut self,
+        content_type: ContentType,
+        payload: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<(), TlsError> {
         debug_assert!(payload.len() <= MAX_FRAGMENT_LEN);
         let explicit: [u8; EXPLICIT_NONCE_LEN] = self.seq.to_be_bytes();
         let aad = Self::aad(self.seq, content_type, payload.len());
-        let sealed = self.key.seal(&explicit, &aad, payload)?;
+        let wire_len = EXPLICIT_NONCE_LEN + payload.len() + TAG_LEN;
+        out.reserve(5 + wire_len);
+        out.extend_from_slice(&[
+            content_type.to_u8(),
+            VERSION_TLS12.0,
+            VERSION_TLS12.1,
+            (wire_len >> 8) as u8,
+            wire_len as u8,
+        ]);
+        out.extend_from_slice(&explicit);
+        let ct_start = out.len();
+        out.extend_from_slice(payload);
+        let tag = self.key.seal_in_place(&explicit, &aad, &mut out[ct_start..])?;
+        out.extend_from_slice(&tag);
         self.seq = self.seq.wrapping_add(1);
-        let mut e = Encoder::new();
-        e.u8(content_type.to_u8());
-        e.u8(VERSION_TLS12.0);
-        e.u8(VERSION_TLS12.1);
-        e.u16((EXPLICIT_NONCE_LEN + sealed.len()) as u16);
-        e.raw(&explicit);
-        e.raw(&sealed);
-        Ok(e.into_bytes())
+        Ok(())
     }
 
     /// Unprotect a record body (everything after the 5-byte header).
@@ -159,27 +183,53 @@ impl DirectionState {
         content_type: ContentType,
         body: &[u8],
     ) -> Result<Vec<u8>, TlsError> {
-        if body.len() < EXPLICIT_NONCE_LEN + 16 {
+        let mut buf = body.to_vec();
+        let plain_len = self.open_record_in_place(content_type, &mut buf)?.len();
+        buf.copy_within(EXPLICIT_NONCE_LEN..EXPLICIT_NONCE_LEN + plain_len, 0);
+        buf.truncate(plain_len);
+        Ok(buf)
+    }
+
+    /// Unprotect a record body in place and return the plaintext as a
+    /// subslice of `body` (which holds `explicit_nonce || ciphertext
+    /// || tag` on entry). No allocation; on authentication failure the
+    /// buffer keeps the untouched ciphertext and must not be used.
+    pub fn open_record_in_place<'a>(
+        &mut self,
+        content_type: ContentType,
+        body: &'a mut [u8],
+    ) -> Result<&'a mut [u8], TlsError> {
+        if body.len() < EXPLICIT_NONCE_LEN + TAG_LEN {
             return Err(TlsError::Decode("record too short for AEAD"));
         }
-        let (explicit, sealed) = body
-            .split_first_chunk::<EXPLICIT_NONCE_LEN>()
+        let (explicit_part, sealed) = body.split_at_mut(EXPLICIT_NONCE_LEN);
+        let explicit: [u8; EXPLICIT_NONCE_LEN] = explicit_part
+            .first_chunk::<EXPLICIT_NONCE_LEN>()
+            .copied()
             .ok_or(TlsError::Decode("record too short for AEAD"))?;
-        let explicit = *explicit;
-        let plain_len = sealed.len() - 16;
+        let plain_len = sealed.len() - TAG_LEN;
+        let (ciphertext, tag) = sealed.split_at_mut(plain_len);
         let aad = Self::aad(self.seq, content_type, plain_len);
-        let plain = self.key.open(&explicit, &aad, sealed)?;
+        self.key.open_in_place(&explicit, &aad, ciphertext, tag)?;
         self.seq = self.seq.wrapping_add(1);
-        Ok(plain)
+        Ok(ciphertext)
     }
 }
 
 /// A reassembling record reader: feed raw stream bytes, pull whole
 /// records. Handles the plaintext/ciphertext distinction via the
 /// optional read state.
+///
+/// Consumed records advance a read cursor instead of draining the
+/// buffer, so pulling N coalesced records out of one feed is O(total
+/// bytes), not O(N · total bytes). The consumed prefix is reclaimed
+/// lazily on the next [`RecordReader::feed`] once it outgrows the
+/// unread remainder (amortized O(1) per byte).
 #[derive(Default)]
 pub struct RecordReader {
     buf: Vec<u8>,
+    /// Start of unread data in `buf`.
+    pos: usize,
 }
 
 /// A raw record as pulled off the stream (body still protected if the
@@ -199,20 +249,31 @@ impl RecordReader {
         Self::default()
     }
 
-    /// Append stream bytes.
+    /// Append stream bytes, lazily compacting the consumed prefix.
     pub fn feed(&mut self, data: &[u8]) {
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos > self.buf.len() - self.pos {
+            // The dead prefix outgrew the live remainder: one memmove
+            // now is amortized O(1) per fed byte.
+            self.buf.copy_within(self.pos.., 0);
+            self.buf.truncate(self.buf.len() - self.pos);
+            self.pos = 0;
+        }
         self.buf.extend_from_slice(data);
     }
 
     /// Bytes buffered but not yet framed.
     pub fn buffered(&self) -> usize {
-        self.buf.len()
+        self.buf.len() - self.pos
     }
 
-    /// Pull the next complete record, if any.
-    pub fn next_record(&mut self) -> Result<Option<RawRecord>, TlsError> {
-        let Some(&[content_type_byte, ver_major, _ver_minor, len_hi, len_lo]) =
-            self.buf.first_chunk::<5>()
+    /// Parse the header at the cursor; `Ok(Some(len))` means a full
+    /// record of body length `len` is buffered.
+    fn peek_complete(&self) -> Result<Option<usize>, TlsError> {
+        let Some(&[_, ver_major, _ver_minor, len_hi, len_lo]) =
+            self.buf.get(self.pos..).and_then(|b| b.first_chunk::<5>())
         else {
             return Ok(None);
         };
@@ -224,15 +285,56 @@ impl RecordReader {
         if len > MAX_WIRE_LEN {
             return Err(TlsError::Decode("record too long"));
         }
-        let Some(body) = self.buf.get(5..5 + len) else {
+        if self.buf.len() - self.pos < 5 + len {
+            return Ok(None);
+        }
+        Ok(Some(len))
+    }
+
+    /// Pull the next complete record, if any.
+    pub fn next_record(&mut self) -> Result<Option<RawRecord>, TlsError> {
+        let Some(len) = self.peek_complete()? else {
             return Ok(None);
         };
-        let body = body.to_vec();
-        self.buf.drain(..5 + len);
+        let record = self
+            .buf
+            .get(self.pos..self.pos + 5 + len)
+            .ok_or(TlsError::Decode("record cursor out of range"))?;
+        let (&content_type_byte, header_rest) = record
+            .split_first()
+            .ok_or(TlsError::Decode("record cursor out of range"))?;
+        let body = header_rest
+            .get(4..)
+            .ok_or(TlsError::Decode("record cursor out of range"))?
+            .to_vec();
+        self.pos += 5 + len;
         Ok(Some(RawRecord {
             content_type_byte,
             body,
         }))
+    }
+
+    /// Pull the next complete record without copying: returns the
+    /// content-type byte and the record body as a mutable view into
+    /// the reassembly buffer (valid until the next call on this
+    /// reader). The body is handed out mutable so
+    /// [`DirectionState::open_record_in_place`] can decrypt it where
+    /// it already is — the zero-copy receive path.
+    pub fn next_record_inplace(&mut self) -> Result<Option<(u8, &mut [u8])>, TlsError> {
+        let Some(len) = self.peek_complete()? else {
+            return Ok(None);
+        };
+        let start = self.pos;
+        self.pos += 5 + len;
+        let record = self
+            .buf
+            .get_mut(start..start + 5 + len)
+            .ok_or(TlsError::Decode("record cursor out of range"))?;
+        let (header, body) = record.split_at_mut(5);
+        let content_type_byte = *header
+            .first()
+            .ok_or(TlsError::Decode("record cursor out of range"))?;
+        Ok(Some((content_type_byte, body)))
     }
 }
 
@@ -363,6 +465,87 @@ mod tests {
         assert_eq!(rec2.content_type_byte, 21);
         assert_eq!(rec2.body, b"bb");
         assert!(reader.next_record().unwrap().is_none());
+    }
+
+    #[test]
+    fn in_place_seal_open_roundtrip() {
+        let (mut tx, mut rx) = pair();
+        let mut wire = Vec::new();
+        let mut reader = RecordReader::new();
+        // Reuse the same output buffer across records, interleaving
+        // both in-place paths with the allocating ones.
+        for i in 0..4u8 {
+            wire.clear();
+            tx.seal_record_into(ContentType::ApplicationData, &[i; 100], &mut wire)
+                .unwrap();
+            reader.feed(&wire);
+            let (ct_byte, body) = reader.next_record_inplace().unwrap().unwrap();
+            assert_eq!(ct_byte, 23);
+            let plain = rx
+                .open_record_in_place(ContentType::ApplicationData, body)
+                .unwrap();
+            assert_eq!(plain, &[i; 100]);
+        }
+        // The in-place paths must be wire- and state-compatible with
+        // the allocating ones.
+        let via_vec = tx.seal_record(ContentType::ApplicationData, b"tail").unwrap();
+        let mut r2 = RecordReader::new();
+        r2.feed(&via_vec);
+        let rec = r2.next_record().unwrap().unwrap();
+        assert_eq!(
+            rx.open_record(ContentType::ApplicationData, &rec.body).unwrap(),
+            b"tail"
+        );
+    }
+
+    #[test]
+    fn in_place_open_rejects_tamper_and_short_bodies() {
+        let (mut tx, mut rx) = pair();
+        let wire = tx.seal_record(ContentType::ApplicationData, b"payload").unwrap();
+        let mut body = wire[5..].to_vec();
+        let n = body.len();
+        body[n - 1] ^= 1;
+        assert!(rx
+            .open_record_in_place(ContentType::ApplicationData, &mut body)
+            .is_err());
+        let mut short = vec![0u8; EXPLICIT_NONCE_LEN + TAG_LEN - 1];
+        assert!(rx
+            .open_record_in_place(ContentType::ApplicationData, &mut short)
+            .is_err());
+    }
+
+    #[test]
+    fn reader_cursor_compacts_lazily() {
+        // Many coalesced records in one feed: all must come out, and
+        // the consumed prefix must be reclaimed by later feeds.
+        let mut stream = Vec::new();
+        for i in 0..50u8 {
+            stream.extend_from_slice(&frame_plaintext(ContentType::ApplicationData, &[i; 32]));
+        }
+        let mut reader = RecordReader::new();
+        reader.feed(&stream);
+        for i in 0..50u8 {
+            let rec = reader.next_record().unwrap().unwrap();
+            assert_eq!(rec.body, vec![i; 32]);
+        }
+        assert!(reader.next_record().unwrap().is_none());
+        assert_eq!(reader.buffered(), 0);
+        // After full consumption a feed resets the buffer in place.
+        reader.feed(&frame_plaintext(ContentType::Alert, b"zz"));
+        assert_eq!(reader.buffered(), 7);
+        assert_eq!(reader.next_record().unwrap().unwrap().body, b"zz");
+
+        // Partial-record boundary: consumed prefix + incomplete tail,
+        // completed by a later feed (exercises the compaction memmove).
+        let r1 = frame_plaintext(ContentType::Handshake, &[7; 200]);
+        let r2 = frame_plaintext(ContentType::Handshake, &[8; 200]);
+        let mut both = r1;
+        both.extend_from_slice(&r2);
+        reader.feed(&both[..both.len() - 10]);
+        assert_eq!(reader.next_record().unwrap().unwrap().body, vec![7; 200]);
+        assert!(reader.next_record().unwrap().is_none());
+        reader.feed(&both[both.len() - 10..]);
+        assert_eq!(reader.next_record().unwrap().unwrap().body, vec![8; 200]);
     }
 
     #[test]

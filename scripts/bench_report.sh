@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Data-plane bench reporter: runs the seeded crypto-primitive and
+# record-path benches and emits BENCH_dataplane.json, then validates
+# the artifact's shape so a silently-broken reporter fails loudly.
+#
+#   scripts/bench_report.sh           full run (stable numbers, ~10 s);
+#                                     writes BENCH_dataplane.json at the
+#                                     repo root — the committed artifact
+#   scripts/bench_report.sh --smoke   tiny budget (sub-second) writing
+#                                     target/BENCH_dataplane.json; used
+#                                     by scripts/check.sh as the gate
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="BENCH_dataplane.json"
+ARGS=()
+if [[ "${1:-}" == "--smoke" ]]; then
+    mkdir -p target
+    OUT="target/BENCH_dataplane.json"
+    ARGS+=(--smoke)
+fi
+
+cargo run -q --release -p mbtls-bench --bin bench_report -- "${ARGS[@]}" --out "$OUT" > /dev/null
+
+if [[ ! -s "$OUT" ]]; then
+    echo "FAIL: $OUT is missing or empty" >&2
+    exit 1
+fi
+
+# Shape check: required keys present, and the file is one JSON object
+# (python3 is in the toolchain image; fall back to the key check alone
+# if it ever is not).
+for key in throughput_mb_s aes_gcm_bitsliced_seal aes_gcm_reference_seal \
+           endpoint_seal_record middlebox_forward_record \
+           allocs_per_record_endpoint allocs_per_record_middlebox; do
+    if ! grep -q "\"$key\"" "$OUT"; then
+        echo "FAIL: $OUT is malformed — missing \"$key\"" >&2
+        exit 1
+    fi
+done
+if command -v python3 > /dev/null; then
+    python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$OUT" || {
+        echo "FAIL: $OUT is not valid JSON" >&2
+        exit 1
+    }
+fi
+
+echo "OK: wrote $OUT"

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Full local gate: invariant lint, lint-clean build, tests, and the
-# telemetry smoke test. CI-equivalent; run before pushing.
+# Full local gate: invariant lint, lint-clean build, tests, the
+# telemetry smoke test, and a smoke run of the data-plane bench
+# reporter. CI-equivalent; run before pushing.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,5 +15,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release --workspace
 cargo test -q --workspace
 scripts/telemetry_smoke.sh
+
+# Bench-reporter smoke: proves BENCH_dataplane.json can be produced
+# and is well-formed. Numbers from this run are noisy by design; the
+# committed artifact comes from a full `scripts/bench_report.sh` run.
+scripts/bench_report.sh --smoke
 
 echo "all checks passed"

@@ -6,13 +6,20 @@
 use mbtls_core::attacks::{full_matrix, Protocol};
 
 fn main() {
+    let matrix = match full_matrix() {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("attack harness failed: {e:?}");
+            std::process::exit(1);
+        }
+    };
     println!("Table 1: threats and defenses — executed attacks\n");
     println!(
         "{:<5} {:<62} {:<18} {:>9}",
         "prop", "threat", "protocol", "blocked"
     );
     println!("{}", "-".repeat(98));
-    for report in full_matrix() {
+    for report in matrix {
         let protocol = match report.protocol {
             Protocol::MbTls => "mbTLS",
             Protocol::NaiveKeyShare => "naive key share",

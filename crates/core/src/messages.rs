@@ -122,6 +122,19 @@ impl KeyMaterial {
                 .map_err(|_| MbError::bad_length("bad hop keys"))?,
         })
     }
+
+    /// Zero both hops' key material in place. This is the routine
+    /// [`Drop`] runs, exposed so callers can scrub early.
+    pub fn wipe(&mut self) {
+        self.toward_client_hop.wipe();
+        self.toward_server_hop.wipe();
+    }
+}
+
+impl Drop for KeyMaterial {
+    fn drop(&mut self) {
+        self.wipe();
+    }
 }
 
 // KeyMaterial is two hops' worth of live AEAD keys; the derived

@@ -730,6 +730,18 @@ impl EnclaveState for Middlebox {
     fn snapshot_bytes(&self) -> Vec<u8> {
         self.sensitive_snapshot()
     }
+
+    fn wipe(&mut self) {
+        // Zero the delivered hop keys in place, then release the
+        // key-bearing members; the data-plane AEAD states and the
+        // secondary session's secrets zeroize themselves on drop.
+        if let Some(keys) = self.keys.as_mut() {
+            keys.wipe();
+        }
+        self.keys = None;
+        self.dataplane = None;
+        self.secondary = None;
+    }
 }
 
 /// Does a handshake-record body start a ClientHello?

@@ -1,0 +1,137 @@
+//! Secret-lifecycle probes for the core crate: the hop-key types a
+//! middlebox holds (`KeyMaterial`, `HopKeys`) must scrub their key
+//! bytes on drop, and `EnclaveState::wipe` on a live `Middlebox` must
+//! leave nothing for a host-memory scan to find.
+//!
+//! The byte-level probes reuse `ct::assert_wipes`, the same helper the
+//! tls and sgx suites use, so all four scoped crates prove the
+//! invariant the same way.
+
+use std::sync::Arc;
+
+use mbtls_core::attacks::Testbed;
+use mbtls_core::client::MbClientSession;
+use mbtls_core::dataplane::{fresh_hop_keys, HopKeys};
+use mbtls_core::messages::KeyMaterial;
+use mbtls_core::middlebox::Middlebox;
+use mbtls_core::server::MbServerSession;
+use mbtls_crypto::ct::assert_wipes;
+use mbtls_crypto::rng::CryptoRng;
+use mbtls_sgx::EnclaveState;
+use mbtls_tls::suites::CipherSuite;
+use proptest::prelude::*;
+
+const SUITE: CipherSuite = CipherSuite::EcdheAes256GcmSha384;
+
+fn sample_key_material(seed: u64) -> KeyMaterial {
+    let mut rng = CryptoRng::from_seed(seed);
+    KeyMaterial {
+        toward_client_hop: fresh_hop_keys(SUITE, &mut rng),
+        toward_server_hop: fresh_hop_keys(SUITE, &mut rng),
+    }
+}
+
+#[test]
+fn key_material_zeroes_both_hops_on_drop() {
+    assert_wipes(sample_key_material(0xD20B), KeyMaterial::wipe, |km| {
+        vec![
+            km.toward_client_hop.client_write_key.clone(),
+            km.toward_client_hop.client_write_iv.clone(),
+            km.toward_client_hop.server_write_key.clone(),
+            km.toward_client_hop.server_write_iv.clone(),
+            km.toward_server_hop.client_write_key.clone(),
+            km.toward_server_hop.client_write_iv.clone(),
+            km.toward_server_hop.server_write_key.clone(),
+            km.toward_server_hop.server_write_iv.clone(),
+        ]
+    });
+}
+
+#[test]
+fn hop_keys_zero_on_drop() {
+    let mut rng = CryptoRng::from_seed(0x40B5);
+    assert_wipes(fresh_hop_keys(SUITE, &mut rng), HopKeys::wipe, |k| {
+        vec![
+            k.client_write_key.clone(),
+            k.client_write_iv.clone(),
+            k.server_write_key.clone(),
+            k.server_write_iv.clone(),
+        ]
+    });
+}
+
+/// Drive a real session until the middlebox holds delivered hop keys,
+/// then invoke the `EnclaveState::wipe` an enclave teardown would run:
+/// the sensitive snapshot must go empty and the middlebox must report
+/// no key material left.
+#[test]
+fn middlebox_enclave_wipe_clears_delivered_keys() {
+    let tb = Testbed::new(0xD20BE);
+    let mut client = MbClientSession::new(
+        Arc::new(tb.client_config()),
+        "server.example",
+        CryptoRng::from_seed(1),
+    );
+    let mut server = MbServerSession::new(Arc::new(tb.server_config()), CryptoRng::from_seed(2));
+    let mut mb = Middlebox::new(tb.middlebox_config(&tb.mbox_code), CryptoRng::from_seed(3));
+    for _ in 0..60 {
+        let b = client.take_outgoing();
+        mb.feed_from_client(&b).expect("client->mb");
+        let b = mb.take_toward_server();
+        server.feed_incoming(&b).expect("mb->server");
+        let b = server.take_outgoing();
+        mb.feed_from_server(&b).expect("server->mb");
+        let b = mb.take_toward_client();
+        client.feed_incoming(&b).expect("mb->client");
+        if client.is_ready() && server.is_ready() && mb.has_keys() {
+            break;
+        }
+    }
+    assert!(client.is_ready() && server.is_ready() && mb.has_keys());
+    let snapshot = mb.sensitive_snapshot();
+    assert!(
+        snapshot.iter().any(|&b| b != 0),
+        "established middlebox must hold real key material"
+    );
+
+    EnclaveState::wipe(&mut mb);
+
+    assert!(
+        mb.sensitive_snapshot().is_empty(),
+        "wipe left key material in the snapshot"
+    );
+    assert!(!mb.has_keys(), "wipe left the middlebox claiming keys");
+}
+
+proptest! {
+    /// `KeyMaterial::decode` on corrupted wire bytes must error (or
+    /// decode to an ordinary droppable value), never panic — and any
+    /// half-built hop keys on the error path must drop cleanly.
+    #[test]
+    fn corrupted_key_material_decodes_or_errors(
+        left_seed in any::<u64>(),
+        right_seed in any::<u64>(),
+        cut in any::<prop::sample::Index>(),
+        flip_at in any::<prop::sample::Index>(),
+        flip_bit in 0u8..8,
+    ) {
+        let km = KeyMaterial {
+            toward_client_hop: fresh_hop_keys(SUITE, &mut CryptoRng::from_seed(left_seed)),
+            toward_server_hop: fresh_hop_keys(SUITE, &mut CryptoRng::from_seed(right_seed)),
+        };
+        let wire = km.encode();
+        prop_assert_eq!(
+            &KeyMaterial::decode(&wire).expect("own encoding decodes"),
+            &km
+        );
+        // Truncation at every possible point.
+        let _ = KeyMaterial::decode(&wire[..cut.index(wire.len())]);
+        // Single bit flip anywhere (lengths, suite bytes, key bytes).
+        let mut flipped = wire.clone();
+        let i = flip_at.index(flipped.len());
+        flipped[i] ^= 1 << flip_bit;
+        if let Ok(decoded) = KeyMaterial::decode(&flipped) {
+            drop(decoded);
+        }
+    }
+}

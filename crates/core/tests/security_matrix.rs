@@ -6,13 +6,13 @@ use mbtls_core::attacks::{self, Protocol};
 
 #[test]
 fn p1a_wire_eavesdrop_blocked() {
-    let r = attacks::attack_wire_eavesdrop();
+    let r = attacks::attack_wire_eavesdrop().expect("attack harness");
     assert!(r.blocked, "{}: {}", r.threat, r.detail);
 }
 
 #[test]
 fn p1a_mip_memory_scan_blocked_with_enclave() {
-    let r = attacks::attack_mip_memory_scan(true);
+    let r = attacks::attack_mip_memory_scan(true).expect("attack harness");
     assert_eq!(r.protocol, Protocol::MbTls);
     assert!(r.blocked, "{}: {}", r.threat, r.detail);
 }
@@ -20,26 +20,26 @@ fn p1a_mip_memory_scan_blocked_with_enclave() {
 #[test]
 fn p1a_mip_memory_scan_succeeds_without_enclave() {
     // The defense IS the enclave: without it the MIP reads the keys.
-    let r = attacks::attack_mip_memory_scan(false);
+    let r = attacks::attack_mip_memory_scan(false).expect("attack harness");
     assert_eq!(r.protocol, Protocol::MbTlsNoEnclave);
     assert!(!r.blocked, "without an enclave the scan must find keys");
 }
 
 #[test]
 fn p1b_forward_secrecy_holds() {
-    let r = attacks::attack_forward_secrecy();
+    let r = attacks::attack_forward_secrecy().expect("attack harness");
     assert!(r.blocked, "{}: {}", r.threat, r.detail);
 }
 
 #[test]
 fn p1c_change_secrecy_blocked_under_mbtls() {
-    let r = attacks::attack_change_secrecy(false);
+    let r = attacks::attack_change_secrecy(false).expect("attack harness");
     assert!(r.blocked, "{}: {}", r.threat, r.detail);
 }
 
 #[test]
 fn p1c_change_secrecy_fails_under_naive_key_share() {
-    let r = attacks::attack_change_secrecy(true);
+    let r = attacks::attack_change_secrecy(true).expect("attack harness");
     assert!(
         !r.blocked,
         "naive key sharing must leak whether the middlebox modified data"
@@ -49,9 +49,9 @@ fn p1c_change_secrecy_fails_under_naive_key_share() {
 #[test]
 fn p2_tamper_inject_replay_blocked() {
     for r in [
-        attacks::attack_record_tamper(),
-        attacks::attack_record_inject(),
-        attacks::attack_record_replay(),
+        attacks::attack_record_tamper().expect("attack harness"),
+        attacks::attack_record_inject().expect("attack harness"),
+        attacks::attack_record_replay().expect("attack harness"),
     ] {
         assert!(r.blocked, "{}: {}", r.threat, r.detail);
     }
@@ -59,49 +59,49 @@ fn p2_tamper_inject_replay_blocked() {
 
 #[test]
 fn p2_mip_ram_tamper_detected() {
-    let r = attacks::attack_mip_ram_tamper();
+    let r = attacks::attack_mip_ram_tamper().expect("attack harness");
     assert!(r.blocked, "{}: {}", r.threat, r.detail);
 }
 
 #[test]
 fn p3a_server_impersonation_blocked() {
-    let r = attacks::attack_impersonate_server();
+    let r = attacks::attack_impersonate_server().expect("attack harness");
     assert!(r.blocked, "{}: {}", r.threat, r.detail);
 }
 
 #[test]
 fn p3b_wrong_code_blocked() {
-    let r = attacks::attack_wrong_middlebox_code();
+    let r = attacks::attack_wrong_middlebox_code().expect("attack harness");
     assert!(r.blocked, "{}: {}", r.threat, r.detail);
 }
 
 #[test]
 fn p3b_attestation_replay_blocked() {
-    let r = attacks::attack_attestation_replay();
+    let r = attacks::attack_attestation_replay().expect("attack harness");
     assert!(r.blocked, "{}: {}", r.threat, r.detail);
 }
 
 #[test]
 fn p4_path_skip_blocked_under_mbtls() {
-    let r = attacks::attack_path_skip(false);
+    let r = attacks::attack_path_skip(false).expect("attack harness");
     assert!(r.blocked, "{}: {}", r.threat, r.detail);
 }
 
 #[test]
 fn p4_path_skip_succeeds_under_naive_key_share() {
-    let r = attacks::attack_path_skip(true);
+    let r = attacks::attack_path_skip(true).expect("attack harness");
     assert!(!r.blocked, "naive key sharing has no path integrity");
 }
 
 #[test]
 fn p4_path_reorder_blocked() {
-    let r = attacks::attack_path_reorder();
+    let r = attacks::attack_path_reorder().expect("attack harness");
     assert!(r.blocked, "{}: {}", r.threat, r.detail);
 }
 
 #[test]
 fn full_matrix_shape() {
-    let matrix = attacks::full_matrix();
+    let matrix = attacks::full_matrix().expect("attack harness");
     assert_eq!(matrix.len(), 16);
     // Every mbTLS row is blocked; the three intentional-failure
     // baselines are not.

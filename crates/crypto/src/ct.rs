@@ -91,6 +91,47 @@ pub fn zeroize_u128(buf: &mut [u128]) {
     std::sync::atomic::compiler_fence(std::sync::atomic::Ordering::SeqCst);
 }
 
+/// Test support for the secret-lifecycle invariant: prove that a
+/// secret-bearing type's `wipe` routine — the body of its `Drop`
+/// impl — zeroes every key byte while preserving buffer lengths.
+///
+/// `fields` extracts the secret byte slices from the value; the same
+/// extractor runs before and after `wipe`, so a wipe that reallocates
+/// or truncates a buffer (instead of scrubbing it in place) fails the
+/// probe. The `needs_drop` assertion ties the probe to the type
+/// actually having a destructor: a type whose `Drop` impl is removed
+/// fails here even though its `wipe` method still compiles.
+///
+/// Panics (it is an assertion helper for `#[test]` code) when the
+/// probe value starts all-zero — a degenerate probe proves nothing.
+pub fn assert_wipes<T, F>(mut value: T, wipe: fn(&mut T), fields: F)
+where
+    F: Fn(&T) -> Vec<Vec<u8>>,
+{
+    assert!(
+        std::mem::needs_drop::<T>(),
+        "secret type has no destructor; `impl Drop` must call wipe()"
+    );
+    let before = fields(&value);
+    assert!(
+        before.iter().any(|f| f.iter().any(|&b| b != 0)),
+        "drop probe must start with nonzero key bytes"
+    );
+    wipe(&mut value);
+    let after = fields(&value);
+    assert_eq!(
+        after.iter().map(Vec::len).collect::<Vec<_>>(),
+        before.iter().map(Vec::len).collect::<Vec<_>>(),
+        "wipe must scrub in place, not truncate or reallocate"
+    );
+    for (i, field) in after.iter().enumerate() {
+        assert!(
+            field.iter().all(|&b| b == 0),
+            "wipe left nonzero bytes in secret field {i}"
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -4,23 +4,29 @@
 //!
 //! ```text
 //! mbtls-lint [--root <dir>] [--json <file>] [--quiet-allowed]
+//!            [--max-file-waivers <n>]
 //! ```
 //!
 //! `--root` defaults to the nearest ancestor of the current directory
 //! that contains a `Cargo.toml` with `[workspace]` (so the binary
 //! works from any crate directory). `--json` writes one JSON object
 //! per finding — allowed ones included, so dashboards can watch the
-//! annotation debt shrink.
+//! annotation debt shrink. `--max-file-waivers` caps how many
+//! `lint:allow-file` whole-file waivers the workspace may carry:
+//! the count may only shrink over time, so `scripts/check.sh
+//! --lint-strict` pins it to the current baseline and any *new*
+//! file-level opt-out fails the build (per-line allows stay fine).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use mbtls_lint::{lint_workspace, report};
+use mbtls_lint::{lint_workspace_report, report};
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut json_path: Option<PathBuf> = None;
     let mut quiet_allowed = false;
+    let mut max_file_waivers: Option<usize> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -28,8 +34,17 @@ fn main() -> ExitCode {
             "--root" => root = args.next().map(PathBuf::from),
             "--json" => json_path = args.next().map(PathBuf::from),
             "--quiet-allowed" => quiet_allowed = true,
+            "--max-file-waivers" => {
+                max_file_waivers = match args.next().as_deref().map(str::parse) {
+                    Some(Ok(n)) => Some(n),
+                    _ => {
+                        eprintln!("mbtls-lint: --max-file-waivers needs a number");
+                        return ExitCode::from(2);
+                    }
+                };
+            }
             "--help" | "-h" => {
-                eprintln!("usage: mbtls-lint [--root <dir>] [--json <file>] [--quiet-allowed]");
+                eprintln!("usage: mbtls-lint [--root <dir>] [--json <file>] [--quiet-allowed] [--max-file-waivers <n>]");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -47,13 +62,14 @@ fn main() -> ExitCode {
         }
     };
 
-    let findings = match lint_workspace(&root) {
-        Ok(f) => f,
+    let workspace = match lint_workspace_report(&root) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("mbtls-lint: io error: {e}");
             return ExitCode::from(2);
         }
     };
+    let findings = workspace.findings;
 
     if let Some(path) = json_path {
         let mut out = String::new();
@@ -81,8 +97,26 @@ fn main() -> ExitCode {
     }
     println!("{}", report::summary(&findings));
 
+    let mut over_budget = false;
+    if let Some(cap) = max_file_waivers {
+        let waivers = &workspace.file_waivers;
+        if waivers.len() > cap {
+            over_budget = true;
+            eprintln!(
+                "mbtls-lint: {} file-level waiver(s), budget is {cap}; \
+                 file-level waivers may only shrink — use per-line `lint:allow` instead:",
+                waivers.len()
+            );
+            for w in waivers {
+                eprintln!("  {}: lint:allow-file({}) -- {}", w.path, w.rule.as_str(), w.reason);
+            }
+        }
+    }
+
     if blocking > 0 {
         eprintln!("mbtls-lint: {blocking} blocking finding(s); fix them or add `// lint:allow(<rule>) -- reason`");
+        ExitCode::FAILURE
+    } else if over_budget {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

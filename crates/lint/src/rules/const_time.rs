@@ -4,58 +4,74 @@
 //!
 //! A `==` on key or tag bytes compiles to an early-exit memcmp whose
 //! timing leaks the length of the matching prefix — the classic MAC
-//! forgery oracle. The rule is lexical: it flags `==`/`!=` where
-//! either operand *names* a secret (contains one of the marker
-//! substrings below), except when the comparison is over public
-//! metadata (`.len()`, `.is_empty()`) or a SCREAMING_CASE constant
-//! such as `KEY_LEN`. `ct.rs` itself is exempt — it is the
+//! forgery oracle. The rule works on the file's token stream: it
+//! flags `==`/`!=` where either operand chain *names* a secret
+//! (contains one of the marker substrings below), except when the
+//! comparison is over public metadata (`.len()`, `.is_empty()`) or a
+//! SCREAMING_CASE constant such as `KEY_LEN`. Because operands are
+//! token chains, a comparison split across lines — `secret ==\n
+//! other` or `secret\n    == other` — is just as visible as a
+//! single-line one. `ct.rs` itself is exempt — it is the
 //! implementation the rule points everyone at.
 //!
 //! The second heuristic targets the classic AES cache-timing channel:
 //! `base[x as usize]`-shaped indexing, where the index is a byte cast
 //! (`as usize` / `usize::from`) or names a secret, is a table lookup
-//! whose cache footprint depends on the data. Loop counters (`w[i]`),
-//! ranges (`buf[4..8]`), and literal indices do not trip it. Paths
-//! that keep such lookups deliberately — the `aes_ref` oracle, the
-//! public-index GHASH tables — carry a `lint:allow` so the waiver is
-//! visible in the report rather than silent.
+//! whose cache footprint depends on the data. Brackets are matched
+//! over tokens, so an index continued on the next line is in reach.
+//! Loop counters (`w[i]`), ranges (`buf[4..8]`), and literal indices
+//! do not trip it. Paths that keep such lookups deliberately — the
+//! `aes_ref` oracle, the public-index GHASH tables — carry a
+//! `lint:allow` so the waiver is visible in the report, not silent.
 
 use super::Hit;
 use crate::source::SourceFile;
+use crate::tokens::{contains_seq, matching_close, render, Token};
 
 /// Lower-cased substrings that tag an identifier as secret-bearing.
 const SECRET_MARKERS: &[&str] = &[
     "secret", "key", "tag", "mac", "shared", "prk", "ikm", "seed", "scalar",
 ];
 
+/// Keywords that look word-shaped but can never be an indexing base
+/// (`return [0; 4]` is an array literal, not a lookup).
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
+    "ref", "return", "static", "struct", "super", "trait", "type", "unsafe", "use", "where",
+    "while", "yield",
+];
+
 pub(crate) fn check(file: &SourceFile) -> Vec<Hit> {
     if file.path.ends_with("ct.rs") {
         return Vec::new();
     }
+    let tokens = &file.tokens;
     let mut hits = Vec::new();
-    for (i, line) in file.lines.iter().enumerate() {
-        if file.is_test[i] {
+    for (i, tok) in tokens.iter().enumerate() {
+        if file.is_test[tok.line] {
             continue;
         }
-        for (op_pos, op) in comparison_ops(&line.code) {
-            let lhs = operand_before(&line.code, op_pos);
-            let rhs = operand_after(&line.code, op_pos + op.len());
+        if tok.text == "==" || tok.text == "!=" {
+            let lhs = operand_before(tokens, i);
+            let rhs = operand_after(tokens, i + 1);
             for operand in [lhs, rhs] {
                 if is_secret_operand(&operand) {
                     hits.push(Hit {
-                        line: i,
+                        line: tok.line,
                         message: format!(
                             "variable-time comparison on secret-tagged operand `{operand}`; \
-                             use ct::eq / ct::select_byte instead of `{op}`"
+                             use ct::eq / ct::select_byte instead of `{}`",
+                            tok.text
                         ),
                     });
                     break; // one finding per comparison
                 }
             }
         }
-        for lookup in table_lookups(&line.code) {
+        if let Some(lookup) = table_lookup_at(tokens, i) {
             hits.push(Hit {
-                line: i,
+                line: tok.line,
                 message: format!(
                     "data-dependent table lookup `{lookup}`; the index drives which cache \
                      lines are touched — use a bitsliced circuit or a masked full-table \
@@ -67,120 +83,116 @@ pub(crate) fn check(file: &SourceFile) -> Vec<Hit> {
     hits
 }
 
-/// Indexing expressions on this line whose index is data-derived:
-/// `base[idx]` where `idx` contains a byte-to-index cast (`as usize`,
-/// `usize::from`) or names a secret. Ranges and plain counters pass.
-fn table_lookups(code: &str) -> Vec<String> {
-    let bytes = code.as_bytes();
-    let mut out = Vec::new();
-    for (pos, &b) in bytes.iter().enumerate() {
-        if b != b'[' || pos == 0 || !super::is_ident_char(bytes[pos - 1] as char) {
-            continue; // array literals / attribute brackets, not indexing
-        }
-        // Find the matching close bracket.
-        let mut depth = 1i32;
-        let mut end = pos + 1;
-        while end < bytes.len() {
-            match bytes[end] {
-                b'[' => depth += 1,
-                b']' => {
-                    depth -= 1;
-                    if depth == 0 {
-                        break;
-                    }
-                }
-                _ => {}
-            }
-            end += 1;
-        }
-        if depth != 0 {
-            continue; // index continues on the next line; out of lexical reach
-        }
-        let index = code[pos + 1..end].trim();
-        if index.contains("..") {
-            continue; // slicing by range: bounds are public structure
-        }
-        let data_derived = index.contains("as usize")
-            || index.contains("usize::from")
-            || is_secret_operand(index);
-        if data_derived {
-            let base = operand_before(code, pos);
-            out.push(format!("{base}[{index}]"));
-        }
+/// If token `i` opens an indexing bracket whose index is data-derived
+/// — contains a byte-to-index cast (`as usize`, `usize::from`) or
+/// names a secret — return the rendered `base[index]` expression.
+/// Ranges and plain counters pass.
+fn table_lookup_at(tokens: &[Token], i: usize) -> Option<String> {
+    if tokens[i].text != "[" || i == 0 {
+        return None;
     }
-    out
+    let base_tok = &tokens[i - 1];
+    if !base_tok.is_word() || KEYWORDS.contains(&base_tok.text.as_str()) {
+        return None; // array literals / types / attributes, not indexing
+    }
+    let close = matching_close(tokens, i, "[", "]")?;
+    let index_tokens = &tokens[i + 1..close];
+    if index_tokens.is_empty()
+        || index_tokens.iter().any(|t| t.text == ".." || t.text == "..=")
+    {
+        return None; // slicing by range: bounds are public structure
+    }
+    let index = render(index_tokens);
+    let data_derived = contains_seq(index_tokens, &["as", "usize"])
+        || contains_seq(index_tokens, &["usize", "::", "from"])
+        || is_secret_operand(&index);
+    if !data_derived {
+        return None;
+    }
+    let base = operand_before(tokens, i);
+    Some(format!("{base}[{index}]"))
 }
 
-/// Positions of `==` / `!=` operators (skipping `<=`, `>=`, `=>`...).
-fn comparison_ops(code: &str) -> Vec<(usize, &'static str)> {
-    let bytes = code.as_bytes();
-    let mut out = Vec::new();
-    let mut i = 0;
-    while i + 1 < bytes.len() {
-        let pair = &bytes[i..i + 2];
-        if pair == b"==" {
-            // Exclude `===`-like runs (not Rust) and `<==`-ish noise.
-            if bytes.get(i + 2) != Some(&b'=') && (i == 0 || bytes[i - 1] != b'=' && bytes[i - 1] != b'<' && bytes[i - 1] != b'>' && bytes[i - 1] != b'!') {
-                out.push((i, "=="));
-            }
-            i += 2;
-        } else if pair == b"!=" && bytes.get(i + 2) != Some(&b'=') {
-            out.push((i, "!="));
-            i += 2;
-        } else {
-            i += 1;
-        }
-    }
-    out
-}
-
-/// The expression-ish token chain ending just before `pos`
-/// (identifiers, field access, calls, indexing).
-fn operand_before(code: &str, pos: usize) -> String {
-    let bytes = code.as_bytes();
-    let mut end = pos;
-    while end > 0 && bytes[end - 1] == b' ' {
-        end -= 1;
-    }
-    let mut start = end;
-    let mut depth = 0i32;
-    while start > 0 {
-        let c = bytes[start - 1] as char;
-        match c {
-            ')' | ']' => depth += 1,
-            '(' | '[' if depth > 0 => depth -= 1,
-            '(' | '[' => break,
-            _ if depth > 0 => {}
-            _ if c.is_alphanumeric() || c == '_' || c == '.' || c == ':' => {}
-            _ => break,
-        }
-        start -= 1;
-    }
-    code[start..end].trim().to_string()
-}
-
-/// The expression-ish token chain starting at `pos`.
-fn operand_after(code: &str, pos: usize) -> String {
-    let bytes = code.as_bytes();
+/// The expression-ish token chain ending just before token `pos`
+/// (identifiers, field access, calls, indexing), rendered to text.
+/// Two adjacent word tokens (`x as usize`) are not one chain.
+fn operand_before(tokens: &[Token], pos: usize) -> String {
     let mut start = pos;
-    while start < bytes.len() && bytes[start] == b' ' {
+    loop {
+        if start == 0 {
+            break;
+        }
+        let t = tokens[start - 1].text.as_str();
+        if t == ")" || t == "]" {
+            match matching_open(tokens, start - 1) {
+                Some(open) => start = open,
+                None => break,
+            }
+            continue;
+        }
+        let word_ok = tokens[start - 1].is_word()
+            // `len(` call base directly before a consumed group, or the
+            // first element of the chain — but never glued to another
+            // word (`as usize` is two operands, not one).
+            && (start == pos || !tokens[start].is_word());
+        if word_ok || t == "." || t == "::" {
+            start -= 1;
+            continue;
+        }
+        break;
+    }
+    render(&tokens[start..pos])
+}
+
+/// The expression-ish token chain starting at token `pos`, rendered.
+/// A leading `&` borrow is skipped.
+fn operand_after(tokens: &[Token], pos: usize) -> String {
+    let mut start = pos;
+    while start < tokens.len() && tokens[start].text == "&" {
         start += 1;
     }
     let mut end = start;
-    let mut depth = 0i32;
-    while end < bytes.len() {
-        let c = bytes[end] as char;
-        match c {
-            '(' | '[' => depth += 1,
-            ')' | ']' if depth > 0 => depth -= 1,
-            ')' | ']' => break,
-            _ if depth > 0 => {}
-            _ if c.is_alphanumeric() || c == '_' || c == '.' || c == ':' || c == '&' => {}
-            _ => break,
+    while end < tokens.len() {
+        let t = tokens[end].text.as_str();
+        if t == "(" || t == "[" {
+            match matching_close(tokens, end, t, if t == "(" { ")" } else { "]" }) {
+                Some(close) => {
+                    end = close + 1;
+                    continue;
+                }
+                None => break,
+            }
         }
-        end += 1;
+        let word_ok = tokens[end].is_word() && (end == start || !tokens[end - 1].is_word());
+        if word_ok || t == "." || t == "::" {
+            end += 1;
+            continue;
+        }
+        break;
     }
-    code[start..end].trim().to_string()
+    render(&tokens[start..end])
+}
+
+/// Index of the token opening the bracket closed at `close_idx`.
+fn matching_open(tokens: &[Token], close_idx: usize) -> Option<usize> {
+    let close = tokens[close_idx].text.as_str();
+    let open = match close {
+        ")" => "(",
+        "]" => "[",
+        _ => return None,
+    };
+    let mut depth = 0i32;
+    for j in (0..=close_idx).rev() {
+        if tokens[j].text == close {
+            depth += 1;
+        } else if tokens[j].text == open {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
 }
 
 /// Does this operand name a secret, compared in a variable-time way?
@@ -213,40 +225,64 @@ fn is_secret_operand(operand: &str) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lexer::lex;
+    use crate::tokens::tokenize;
+
+    fn toks(src: &str) -> Vec<Token> {
+        tokenize(&lex(src))
+    }
+
+    fn lookups(src: &str) -> Vec<String> {
+        let tokens = toks(src);
+        (0..tokens.len())
+            .filter_map(|i| table_lookup_at(&tokens, i))
+            .collect()
+    }
 
     #[test]
     fn operand_extraction() {
-        let code = "if self.peer_tag == expected_tag {";
-        let ops = comparison_ops(code);
-        assert_eq!(ops.len(), 1);
-        assert_eq!(operand_before(code, ops[0].0), "self.peer_tag");
-        assert_eq!(operand_after(code, ops[0].0 + 2), "expected_tag");
+        let tokens = toks("if self.peer_tag == expected_tag {");
+        let op = tokens.iter().position(|t| t.text == "==").unwrap();
+        assert_eq!(operand_before(&tokens, op), "self.peer_tag");
+        assert_eq!(operand_after(&tokens, op + 1), "expected_tag");
+    }
+
+    #[test]
+    fn operand_extraction_spans_lines() {
+        let tokens = toks("if self.peer_tag\n    == expected_tag\n{");
+        let op = tokens.iter().position(|t| t.text == "==").unwrap();
+        assert_eq!(operand_before(&tokens, op), "self.peer_tag");
+        assert_eq!(operand_after(&tokens, op + 1), "expected_tag");
+        assert_eq!(tokens[op].line, 1);
     }
 
     #[test]
     fn table_lookup_detection() {
+        assert_eq!(lookups("let y = SBOX[b as usize];"), vec!["SBOX[b as usize]".to_string()]);
         assert_eq!(
-            table_lookups("let y = SBOX[b as usize];"),
-            vec!["SBOX[b as usize]".to_string()]
-        );
-        assert_eq!(
-            table_lookups("acc = acc.add(&table[nibble as usize]);"),
+            lookups("acc = acc.add(&table[nibble as usize]);"),
             vec!["table[nibble as usize]".to_string()]
         );
         assert_eq!(
-            table_lookups("z = z.xor(table[usize::from(bytes[i])]);"),
+            lookups("z = z.xor(table[usize::from(bytes[i])]);"),
             vec!["table[usize::from(bytes[i])]".to_string()]
         );
         // Secret-named index without a cast still counts.
+        assert_eq!(lookups("let p = precomp[key_byte];"), vec!["precomp[key_byte]".to_string()]);
+        // Counters, literals, ranges, and array literals are public structure.
+        assert!(lookups("let w = words[i];").is_empty());
+        assert!(lookups("let b = block[12];").is_empty());
+        assert!(lookups("let s = buf[4..8].to_vec();").is_empty());
+        assert!(lookups("let a = [0u8; 16];").is_empty());
+        assert!(lookups("return [0u8; 16];").is_empty());
+    }
+
+    #[test]
+    fn table_lookup_spans_lines() {
         assert_eq!(
-            table_lookups("let p = precomp[key_byte];"),
-            vec!["precomp[key_byte]".to_string()]
+            lookups("let y = SBOX[\n    b as usize\n];"),
+            vec!["SBOX[b as usize]".to_string()]
         );
-        // Counters, literals, and ranges are public structure.
-        assert!(table_lookups("let w = words[i];").is_empty());
-        assert!(table_lookups("let b = block[12];").is_empty());
-        assert!(table_lookups("let s = buf[4..8].to_vec();").is_empty());
-        assert!(table_lookups("let a = [0u8; 16];").is_empty());
     }
 
     #[test]

@@ -123,24 +123,3 @@ pub fn check_file(file: &SourceFile, families: &[RuleId]) -> Vec<Finding> {
     findings.sort_by_key(|f| (f.line, f.rule));
     findings
 }
-
-/// Does `code` contain `needle` as a token-ish match (not embedded in
-/// a longer identifier)?
-pub(crate) fn contains_token(code: &str, needle: &str) -> bool {
-    let mut from = 0;
-    while let Some(pos) = code[from..].find(needle) {
-        let start = from + pos;
-        let end = start + needle.len();
-        let before_ok = start == 0 || !is_ident_char(code.as_bytes()[start - 1] as char);
-        let after_ok = end >= code.len() || !is_ident_char(code.as_bytes()[end] as char);
-        if before_ok && after_ok {
-            return true;
-        }
-        from = end;
-    }
-    false
-}
-
-pub(crate) fn is_ident_char(c: char) -> bool {
-    c.is_alphanumeric() || c == '_'
-}

@@ -8,20 +8,28 @@
 //! attacker-controlled bytes (use `get`/`split_first`/`first_chunk`
 //! and return a `ProtocolViolation`/`Decode` error instead).
 //!
+//! Matching is over the file's token stream, so a call chain broken
+//! across lines (`value\n    .unwrap()`) is caught; the finding
+//! anchors on the line of the `unwrap`/`expect`/macro-name token, so
+//! a `lint:allow` sits where the call is.
+//!
 //! Truly infallible sites (fixed-length `try_into` on a slice the
 //! caller just produced) are fine to keep behind a
 //! `lint:allow(panic-freedom)` with the invariant spelled out.
 
-use super::{is_ident_char, Hit};
+use super::Hit;
 use crate::source::SourceFile;
+use crate::tokens::seq_at;
 
-const BANNED_CALLS: &[(&str, &str)] = &[
-    (".unwrap()", "return an error instead; a panic here is remote DoS"),
-    (".expect(", "return an error instead; a panic here is remote DoS"),
-    ("panic!(", "protocol code must fail closed with an error, not abort the process"),
-    ("unreachable!(", "state machines must treat impossible states as protocol violations"),
-    ("todo!(", "unfinished protocol paths must be errors, not aborts"),
-    ("unimplemented!(", "unfinished protocol paths must be errors, not aborts"),
+/// (token sequence, index of the anchor token within it, how it
+/// reads, why it is banned).
+const BANNED_CALLS: &[(&[&str], usize, &str, &str)] = &[
+    (&[".", "unwrap", "(", ")"], 1, "unwrap()", "return an error instead; a panic here is remote DoS"),
+    (&[".", "expect", "("], 1, "expect", "return an error instead; a panic here is remote DoS"),
+    (&["panic", "!", "("], 0, "panic!", "protocol code must fail closed with an error, not abort the process"),
+    (&["unreachable", "!", "("], 0, "unreachable!", "state machines must treat impossible states as protocol violations"),
+    (&["todo", "!", "("], 0, "todo!", "unfinished protocol paths must be errors, not aborts"),
+    (&["unimplemented", "!", "("], 0, "unimplemented!", "unfinished protocol paths must be errors, not aborts"),
 ];
 
 /// Identifiers that (by workspace convention) hold wire bytes.
@@ -34,54 +42,36 @@ pub(crate) fn check(file: &SourceFile) -> Vec<Hit> {
         .iter()
         .any(|f| file.path.ends_with(f));
     let mut hits = Vec::new();
-    for (i, line) in file.lines.iter().enumerate() {
-        if file.is_test[i] {
-            continue;
-        }
-        for (needle, why) in BANNED_CALLS {
-            if line.code.contains(needle) {
-                hits.push(Hit {
-                    line: i,
-                    message: format!("`{}` in protocol code: {why}", needle.trim_matches(['.', '('])),
-                });
+    for i in 0..file.tokens.len() {
+        for (pat, anchor, display, why) in BANNED_CALLS {
+            if !seq_at(&file.tokens, i, pat) {
+                continue;
             }
+            let line = file.tokens[i + anchor].line;
+            if file.is_test[line] {
+                continue;
+            }
+            hits.push(Hit {
+                line,
+                message: format!("`{display}` in protocol code: {why}"),
+            });
         }
-        if wire_indexing {
-            for name in wire_index_sites(&line.code) {
+        if wire_indexing && i + 1 < file.tokens.len() {
+            let tok = &file.tokens[i];
+            if WIRE_NAMES.contains(&tok.text.as_str())
+                && file.tokens[i + 1].text == "["
+                && !file.is_test[tok.line]
+            {
                 hits.push(Hit {
-                    line: i,
+                    line: tok.line,
                     message: format!(
-                        "direct indexing of wire buffer `{name}[..]`; out-of-range panics on \
-                         malformed input — use get()/split_first()/first_chunk() and return a decode error"
+                        "direct indexing of wire buffer `{}[..]`; out-of-range panics on \
+                         malformed input — use get()/split_first()/first_chunk() and return a decode error",
+                        tok.text
                     ),
                 });
             }
         }
     }
     hits
-}
-
-/// Find `name[` / `self.name[` occurrences where `name` is a
-/// wire-buffer identifier.
-fn wire_index_sites(code: &str) -> Vec<String> {
-    let bytes = code.as_bytes();
-    let mut out = Vec::new();
-    for (pos, &b) in bytes.iter().enumerate() {
-        if b != b'[' {
-            continue;
-        }
-        // Walk back over the identifier immediately before '['.
-        let mut start = pos;
-        while start > 0 && is_ident_char(bytes[start - 1] as char) {
-            start -= 1;
-        }
-        if start == pos {
-            continue; // '[' not preceded by an identifier (slice type, array literal, ...)
-        }
-        let name = &code[start..pos];
-        if WIRE_NAMES.contains(&name) {
-            out.push(name.to_string());
-        }
-    }
-    out
 }

@@ -5,39 +5,45 @@
 //! for ambient time, sockets, threads, or OS randomness — every such
 //! effect flows in through an injected handle (`CryptoRng`,
 //! `netsim::time`). This rule bans the standard library escape
-//! hatches at the token level.
+//! hatches as token sequences over the whole file, so a path split
+//! across lines (`std::\n    net::TcpStream`) is just as visible as
+//! a single-line one; mentions in comments or strings never fire.
 
-use super::{contains_token, Hit};
+use super::Hit;
 use crate::source::SourceFile;
+use crate::tokens::seq_at;
 
-/// (token, why it is banned) — checked token-wise against sanitized
-/// code, so mentions in comments or strings do not fire.
-const BANNED: &[(&str, &str)] = &[
-    ("std::net", "real sockets break sans-IO determinism; drive sessions through mbtls-netsim"),
-    ("TcpStream", "real sockets break sans-IO determinism; drive sessions through mbtls-netsim"),
-    ("TcpListener", "real sockets break sans-IO determinism; drive sessions through mbtls-netsim"),
-    ("UdpSocket", "real sockets break sans-IO determinism; drive sessions through mbtls-netsim"),
-    ("Instant::now", "wall-clock time is non-deterministic; use the virtual clock (netsim::time)"),
-    ("SystemTime", "wall-clock time is non-deterministic; use the virtual clock (netsim::time)"),
-    ("thread::spawn", "threads make traces racy; the workspace pumps sessions from a single driver loop"),
-    ("thread_rng", "ambient randomness breaks seeded reproducibility; take a &mut CryptoRng"),
-    ("OsRng", "ambient randomness breaks seeded reproducibility; take a &mut CryptoRng"),
-    ("from_entropy", "OS-entropy seeding breaks reproducibility; thread a seeded CryptoRng in"),
+/// (banned token sequence, how it reads, why it is banned).
+const BANNED: &[(&[&str], &str, &str)] = &[
+    (&["std", "::", "net"], "std::net", "real sockets break sans-IO determinism; drive sessions through mbtls-netsim"),
+    (&["TcpStream"], "TcpStream", "real sockets break sans-IO determinism; drive sessions through mbtls-netsim"),
+    (&["TcpListener"], "TcpListener", "real sockets break sans-IO determinism; drive sessions through mbtls-netsim"),
+    (&["UdpSocket"], "UdpSocket", "real sockets break sans-IO determinism; drive sessions through mbtls-netsim"),
+    (&["Instant", "::", "now"], "Instant::now", "wall-clock time is non-deterministic; use the virtual clock (netsim::time)"),
+    (&["SystemTime"], "SystemTime", "wall-clock time is non-deterministic; use the virtual clock (netsim::time)"),
+    (&["thread", "::", "spawn"], "thread::spawn", "threads make traces racy; the workspace pumps sessions from a single driver loop"),
+    (&["thread_rng"], "thread_rng", "ambient randomness breaks seeded reproducibility; take a &mut CryptoRng"),
+    (&["OsRng"], "OsRng", "ambient randomness breaks seeded reproducibility; take a &mut CryptoRng"),
+    (&["from_entropy"], "from_entropy", "OS-entropy seeding breaks reproducibility; thread a seeded CryptoRng in"),
 ];
 
 pub(crate) fn check(file: &SourceFile) -> Vec<Hit> {
     let mut hits = Vec::new();
-    for (i, line) in file.lines.iter().enumerate() {
-        if file.is_test[i] {
-            continue;
-        }
-        for (token, why) in BANNED {
-            if contains_token(&line.code, token) {
-                hits.push(Hit {
-                    line: i,
-                    message: format!("`{token}` is not sans-IO: {why}"),
-                });
+    let mut seen: Vec<(usize, usize)> = Vec::new(); // (line, pattern) dedup
+    for i in 0..file.tokens.len() {
+        for (pat_idx, (pat, display, why)) in BANNED.iter().enumerate() {
+            if !seq_at(&file.tokens, i, pat) {
+                continue;
             }
+            let line = file.tokens[i].line;
+            if file.is_test[line] || seen.contains(&(line, pat_idx)) {
+                continue;
+            }
+            seen.push((line, pat_idx));
+            hits.push(Hit {
+                line,
+                message: format!("`{display}` is not sans-IO: {why}"),
+            });
         }
     }
     hits

@@ -9,16 +9,22 @@
 //!   redacted manual `Debug` (`TypeName(..)`) if telemetry or tests
 //!   need one;
 //! * no manual `impl Display` (secrets have no display form);
-//! * in `crates/crypto` and `crates/sgx`: an `impl Drop` in the same
-//!   file, so key bytes are zeroized when the value dies.
+//! * in every scoped crate (`crypto`, `sgx`, `tls`, `core`): an
+//!   `impl Drop` in the same file, so key bytes are zeroized when the
+//!   value dies.
+//!
+//! Declarations, attribute blocks, and `impl` headers are matched
+//! over the token stream, so a `#[derive(...)]` or `impl ... for ...`
+//! split across lines is fully visible.
 //!
 //! Independently, debug format specifiers (`{:?}`-style) are banned
 //! in non-test protocol/crypto code: the redacted `Debug` impls make
 //! them safe-ish, but a `{:?}` on the wrong binding is exactly the
 //! leak this family exists to stop, so each use must be annotated.
 
-use super::{is_ident_char, Hit};
+use super::Hit;
 use crate::source::SourceFile;
+use crate::tokens::Token;
 
 /// Built-in secret-bearing type-name patterns (in addition to
 /// explicit `// lint:secret` markers).
@@ -32,45 +38,41 @@ fn is_secret_name(name: &str) -> bool {
         )
 }
 
-/// Crates in which secret types must also zeroize on drop.
+/// Crates in which secret types must also zeroize on drop: every
+/// crate this family is scoped to (key material lives in all of
+/// them). Kept as an explicit list so fixture labels outside the
+/// workspace layout do not accidentally opt in.
 fn requires_drop(path: &str) -> bool {
-    path.contains("crates/crypto/") || path.contains("crates/sgx/")
+    path.contains("crates/crypto/")
+        || path.contains("crates/sgx/")
+        || path.contains("crates/tls/")
+        || path.contains("crates/core/")
 }
 
 pub(crate) fn check(file: &SourceFile) -> Vec<Hit> {
     let mut hits = Vec::new();
     let decls = type_decls(file);
 
-    for decl in &decls {
-        if !decl.secret {
+    for (d, decl) in decls.iter().enumerate() {
+        let marked = file
+            .secret_markers
+            .iter()
+            .any(|&m| m < decl.line && !decls.iter().take(d).any(|p| p.line > m));
+        if !(marked || is_secret_name(&decl.name)) {
             continue;
         }
-        // Walk the contiguous attribute block above the declaration.
-        let mut j = decl.line;
-        while j > 0 {
-            j -= 1;
-            let code = file.code(j).trim().to_string();
-            if code.is_empty() {
-                continue; // doc comments lex to empty code lines
-            }
-            if !code.starts_with("#[") {
-                break;
-            }
-            if let Some(derives) = code.strip_prefix("#[derive(").and_then(|r| r.split(')').next()) {
-                for d in derives.split(',').map(str::trim) {
-                    if d == "Debug" || d == "Serialize" {
-                        hits.push(Hit {
-                            line: j,
-                            message: format!(
-                                "secret type `{}` derives {d}; replace with a redacted manual impl",
-                                decl.name
-                            ),
-                        });
-                    }
-                }
+        for derive in &decl.derives {
+            if derive.what == "Debug" || derive.what == "Serialize" {
+                hits.push(Hit {
+                    line: derive.line,
+                    message: format!(
+                        "secret type `{}` derives {}; replace with a redacted manual impl",
+                        decl.name, derive.what
+                    ),
+                });
             }
         }
-        if requires_drop(&file.path) && !has_impl(file, "Drop", &decl.name) {
+        if requires_drop(&file.path) && find_impl(file, "Drop", &decl.name).is_none() {
             hits.push(Hit {
                 line: decl.line,
                 message: format!(
@@ -103,90 +105,150 @@ pub(crate) fn check(file: &SourceFile) -> Vec<Hit> {
     hits
 }
 
+/// One `derive(X)` occurrence attached to a declaration.
+struct DeriveHit {
+    what: String,
+    /// 0-based line of the derived trait's token.
+    line: usize,
+}
+
 struct TypeDecl {
     name: String,
     line: usize,
-    secret: bool,
+    derives: Vec<DeriveHit>,
 }
 
-/// Find `struct`/`enum` declarations and decide which are secret.
+/// Walk the token stream for `struct`/`enum` declarations, attaching
+/// the `#[derive(...)]` traits named in the attribute block above
+/// each one (attributes may span lines).
 fn type_decls(file: &SourceFile) -> Vec<TypeDecl> {
+    let tokens = &file.tokens;
     let mut decls = Vec::new();
-    for (i, line) in file.lines.iter().enumerate() {
-        if file.is_test[i] {
+    let mut pending: Vec<DeriveHit> = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        // Attribute: remember derive contents, skip to its close so
+        // `#[derive(Debug)] struct` on one line still works.
+        if t.text == "#" && i + 1 < tokens.len() && tokens[i + 1].text == "[" {
+            let close = match crate::tokens::matching_close(tokens, i + 1, "[", "]") {
+                Some(c) => c,
+                None => break, // truncated file
+            };
+            pending.extend(derives_in(&tokens[i + 2..close]));
+            i = close + 1;
             continue;
         }
-        let code = line.code.trim();
-        for kw in ["struct ", "enum "] {
-            let Some(pos) = code.find(kw) else { continue };
-            // Require the keyword at the start of the item (allowing
-            // visibility prefixes), not e.g. inside an expression.
-            let prefix = code[..pos].trim();
-            if !(prefix.is_empty()
-                || prefix == "pub"
-                || prefix.starts_with("pub(")
-                || prefix.ends_with("pub")
-                || prefix.ends_with(')'))
-            {
-                continue;
+        if t.text == "struct" || t.text == "enum" {
+            let name = match tokens.get(i + 1) {
+                Some(n) if n.is_word() => n.text.clone(),
+                _ => {
+                    i += 1;
+                    continue;
+                }
+            };
+            if !file.is_test[t.line] {
+                decls.push(TypeDecl {
+                    name,
+                    line: t.line,
+                    derives: std::mem::take(&mut pending),
+                });
+            } else {
+                pending.clear();
             }
-            let rest = &code[pos + kw.len()..];
-            let name: String = rest.chars().take_while(|&c| is_ident_char(c)).collect();
-            if name.is_empty() {
-                continue;
-            }
-            let marked = file
-                .secret_markers
-                .iter()
-                .any(|&m| m < i && decls_between(file, m, i) == 0);
-            decls.push(TypeDecl {
-                secret: marked || is_secret_name(&name),
-                name,
-                line: i,
-            });
+            i += 2;
+            continue;
         }
+        // Any other item keyword consumes whatever attributes came
+        // before it (`#[inline]` on a fn must not leak to the next
+        // struct).
+        if matches!(t.text.as_str(), "fn" | "impl" | "trait" | "mod" | "use" | "type" | "const" | "static") {
+            pending.clear();
+        }
+        i += 1;
     }
     decls
 }
 
-/// Count type declarations strictly between lines `a` and `b`
-/// (exclusive) — a `lint:secret` marker applies only to the *next*
-/// declaration.
-fn decls_between(file: &SourceFile, a: usize, b: usize) -> usize {
-    (a + 1..b)
-        .filter(|&i| {
-            let code = file.code(i).trim_start();
-            ["struct ", "enum ", "pub struct ", "pub enum "]
-                .iter()
-                .any(|kw| code.starts_with(kw))
-                || code.starts_with("pub(") && (code.contains("struct ") || code.contains("enum "))
-        })
-        .count()
+/// The traits named inside `derive(...)` within one attribute body.
+fn derives_in(attr: &[Token]) -> Vec<DeriveHit> {
+    let mut out = Vec::new();
+    for (j, t) in attr.iter().enumerate() {
+        if t.text != "derive" || attr.get(j + 1).map(|n| n.text.as_str()) != Some("(") {
+            continue;
+        }
+        let close = match crate::tokens::matching_close(attr, j + 1, "(", ")") {
+            Some(c) => c,
+            None => continue,
+        };
+        for d in &attr[j + 2..close] {
+            if d.is_word() {
+                out.push(DeriveHit {
+                    what: d.text.clone(),
+                    line: d.line,
+                });
+            }
+        }
+    }
+    out
 }
 
-fn has_impl(file: &SourceFile, trait_name: &str, type_name: &str) -> bool {
-    find_impl(file, trait_name, type_name).is_some()
-}
-
-/// Find `impl <...>Trait for Type` lines, tolerating paths
-/// (`std::fmt::Display`) and generic parameters.
+/// Find an `impl <...> Trait for Type` header (which may span lines),
+/// tolerating paths (`std::fmt::Display`) and generic parameters.
+/// Returns the 0-based line of the `impl` token.
 fn find_impl(file: &SourceFile, trait_name: &str, type_name: &str) -> Option<usize> {
-    for (i, line) in file.lines.iter().enumerate() {
-        let code = line.code.trim();
-        if !code.starts_with("impl") {
+    let tokens = &file.tokens;
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].text != "impl" {
+            i += 1;
             continue;
         }
-        let Some(for_pos) = code.find(" for ") else { continue };
-        let (head, tail) = code.split_at(for_pos);
-        let head_last = head.split("::").last().unwrap_or(head);
-        if !head_last.contains(trait_name) {
+        let impl_line = tokens[i].line;
+        // Collect the header: everything up to the opening brace.
+        let mut j = i + 1;
+        let mut header_end = None;
+        while j < tokens.len() {
+            match tokens[j].text.as_str() {
+                "{" | ";" => {
+                    header_end = Some(j);
+                    break;
+                }
+                "impl" => break, // malformed; resync
+                _ => j += 1,
+            }
+        }
+        let Some(end) = header_end else {
+            i = j;
             continue;
+        };
+        let header = &tokens[i + 1..end];
+        // Split at the `for` keyword outside generic brackets.
+        let mut depth = 0i32;
+        let mut for_pos = None;
+        for (k, t) in header.iter().enumerate() {
+            match t.text.as_str() {
+                "<" => depth += 1,
+                ">" => depth -= 1,
+                "<<" => depth += 2,
+                ">>" => depth -= 2,
+                "for" if depth <= 0 => {
+                    for_pos = Some(k);
+                    break;
+                }
+                _ => {}
+            }
         }
-        let target = tail[" for ".len()..].trim_start();
-        let target_name: String = target.chars().take_while(|&c| is_ident_char(c)).collect();
-        if target_name == type_name {
-            return Some(i);
+        if let Some(fp) = for_pos {
+            let trait_part = &header[..fp];
+            let target = header[fp + 1..].iter().find(|t| t.is_word());
+            if trait_part.iter().any(|t| t.text == trait_name)
+                && target.is_some_and(|t| t.text == type_name)
+            {
+                return Some(impl_line);
+            }
         }
+        i = end + 1;
     }
     None
 }

@@ -6,6 +6,7 @@ use std::collections::BTreeMap;
 
 use crate::lexer::{lex, LexedLine};
 use crate::rules::RuleId;
+use crate::tokens::{tokenize, Token};
 
 /// A parsed allowlist annotation: `// lint:allow(rule, ...) -- reason`.
 #[derive(Debug, Clone)]
@@ -34,6 +35,9 @@ pub struct SourceFile {
     pub path: String,
     /// Lexed lines (0-based index = line number - 1).
     pub lines: Vec<LexedLine>,
+    /// Flat token stream over the sanitized code of every line (the
+    /// token-tree pass input; each token knows its 0-based line).
+    pub tokens: Vec<Token>,
     /// `lines[i]` is inside a `#[cfg(test)]` item.
     pub is_test: Vec<bool>,
     /// Allow annotations keyed by the 0-based *code* line they cover.
@@ -55,6 +59,7 @@ impl SourceFile {
     pub fn parse(path: &str, src: &str) -> SourceFile {
         let lines = lex(src);
         let is_test = mark_test_spans(&lines);
+        let tokens = tokenize(&lines);
         let mut file = SourceFile {
             path: path.to_string(),
             is_test,
@@ -63,6 +68,7 @@ impl SourceFile {
             secret_markers: Vec::new(),
             file_allows: Vec::new(),
             lines,
+            tokens,
         };
         file.collect_annotations();
         file
@@ -102,7 +108,7 @@ impl SourceFile {
                 self.secret_markers.push(i);
             }
             if comment.contains("lint:allow-file") {
-                match parse_allow_file(&comment) {
+                match parse_allow_file(&comment, &self.path, i + 1) {
                     Ok(allow) => {
                         for rule in allow.rules {
                             self.file_allows.push((rule, allow.reason.clone()));
@@ -148,20 +154,23 @@ impl SourceFile {
 }
 
 /// Parse a `lint:allow-file(...)` file-scoped annotation. The caller
-/// has already established the marker is present.
-fn parse_allow_file(comment: &str) -> Result<Allow, String> {
+/// has already established the marker is present. A file-scoped
+/// waiver silences a whole rule, so its parse errors carry the file,
+/// 1-based line, and annotation text in the message itself — the
+/// JSON-lines report must be diagnosable without the source at hand.
+fn parse_allow_file(comment: &str, path: &str, line: usize) -> Result<Allow, String> {
     let start = comment
         .find("lint:allow-file")
-        .ok_or_else(|| "lint:allow-file marker vanished".to_string())?;
+        .ok_or_else(|| format!("lint:allow-file marker vanished at {path}:{line}"))?;
+    let annotation = comment[start..].trim_end();
+    let context = format!("`{annotation}` at {path}:{line}");
     let rest = comment[start + "lint:allow-file".len()..].trim_start();
     let Some(body) = rest.strip_prefix('(') else {
-        return Err("lint:allow-file must be followed by (rule, ...)".into());
+        return Err(format!(
+            "lint:allow-file must be followed by (rule, ...): {context}"
+        ));
     };
-    match parse_allow_body(body, "lint:allow-file") {
-        Some(Ok(allow)) => Ok(allow),
-        Some(Err(what)) => Err(what),
-        None => Err("lint:allow-file parse failed".into()),
-    }
+    parse_allow_body(body, "lint:allow-file").map_err(|what| format!("{what}: {context}"))
 }
 
 /// Parse one comment's `lint:allow(...)` annotation, if present.
@@ -173,39 +182,37 @@ fn parse_allow(comment: &str) -> Option<Result<Allow, String>> {
     let Some(body) = rest.strip_prefix('(') else {
         return Some(Err("lint:allow must be followed by (rule, ...)".into()));
     };
-    parse_allow_body(body, "lint:allow")
+    Some(parse_allow_body(body, "lint:allow"))
 }
 
 /// Shared tail parser: `rule, rule) -- reason`.
-fn parse_allow_body(body: &str, what: &str) -> Option<Result<Allow, String>> {
+fn parse_allow_body(body: &str, what: &str) -> Result<Allow, String> {
     let Some(close) = body.find(')') else {
-        return Some(Err(format!("unclosed {what}(")));
+        return Err(format!("unclosed {what}("));
     };
     let mut rules = Vec::new();
     for name in body[..close].split(',') {
         let name = name.trim();
         match RuleId::from_str(name) {
             Some(rule) => rules.push(rule),
-            None => return Some(Err(format!("unknown lint rule {name:?}"))),
+            None => return Err(format!("unknown lint rule {name:?}")),
         }
     }
     if rules.is_empty() {
-        return Some(Err(format!("{what}() names no rules")));
+        return Err(format!("{what}() names no rules"));
     }
     let tail = body[close + 1..].trim_start();
     let Some(reason) = tail.strip_prefix("--") else {
-        return Some(Err(format!(
-            "{what} requires a reason: `{what}(rule) -- why`"
-        )));
+        return Err(format!("{what} requires a reason: `{what}(rule) -- why`"));
     };
     let reason = reason.trim();
     if reason.is_empty() {
-        return Some(Err(format!("{what} reason is empty")));
+        return Err(format!("{what} reason is empty"));
     }
-    Some(Ok(Allow {
+    Ok(Allow {
         rules,
         reason: reason.to_string(),
-    }))
+    })
 }
 
 /// Mark the lines belonging to `#[cfg(test)]` items (in this
@@ -303,6 +310,23 @@ mod tests {
         let f = SourceFile::parse("t.rs", "// lint:allow-file(panic-freedom)\nx.unwrap();\n");
         assert!(f.allow_reason(1, RuleId::PanicFreedom).is_none());
         assert_eq!(f.bad_allows.len(), 1);
+    }
+
+    #[test]
+    fn malformed_file_allow_reports_file_and_line() {
+        let src = "fn f() {}\n// lint:allow-file(panic-freedom\nx.unwrap();\n";
+        let f = SourceFile::parse("crates/core/src/t.rs", src);
+        assert_eq!(f.bad_allows.len(), 1);
+        assert_eq!(f.bad_allows[0].line, 2);
+        let what = &f.bad_allows[0].what;
+        assert!(
+            what.contains("crates/core/src/t.rs:2"),
+            "message must carry file:line, got {what:?}"
+        );
+        assert!(
+            what.contains("lint:allow-file(panic-freedom"),
+            "message must quote the annotation, got {what:?}"
+        );
     }
 
     #[test]

@@ -41,6 +41,17 @@ fn sans_io_bad_fixture_is_caught() {
 }
 
 #[test]
+fn sans_io_multiline_fixture_is_caught() {
+    let src = fixture("sans_io", "bad_multiline.rs");
+    let findings = lint_source("crates/netsim/src/fixture.rs", &src, &[RuleId::SansIo]);
+    let lines = lines_of(&findings, RuleId::SansIo);
+    // `std::\n    net::…` and `Instant\n    ::now()` both match.
+    for expected in [2, 4] {
+        assert!(lines.contains(&expected), "expected sans-io finding on line {expected}, got {lines:?}");
+    }
+}
+
+#[test]
 fn sans_io_good_fixture_is_clean() {
     let src = fixture("sans_io", "good.rs");
     let findings = lint_source("crates/netsim/src/fixture.rs", &src, &[RuleId::SansIo]);
@@ -79,15 +90,47 @@ fn secret_hygiene_good_fixture_is_clean() {
 }
 
 #[test]
-fn secret_hygiene_drop_not_required_outside_crypto_sgx() {
+fn secret_hygiene_drop_required_in_all_scoped_crates() {
     let src = fixture("secret_hygiene", "bad.rs");
-    let findings = lint_source("crates/tls/src/fixture.rs", &src, &[RuleId::SecretHygiene]);
+    // Key material lives in every scoped crate, so the zeroize-on-drop
+    // requirement follows the family everywhere it is enforced.
+    for label in [
+        "crates/crypto/src/fixture.rs",
+        "crates/sgx/src/fixture.rs",
+        "crates/tls/src/fixture.rs",
+        "crates/core/src/fixture.rs",
+    ] {
+        let findings = lint_source(label, &src, &[RuleId::SecretHygiene]);
+        assert!(
+            findings.iter().any(|f| f.message.contains("no `impl Drop`")),
+            "expected zeroize-on-drop finding under {label}: {findings:?}"
+        );
+    }
+    // Outside the workspace's secret-bearing crates (fixture labels,
+    // tooling) the printability findings fire but Drop is not forced.
+    let findings = lint_source("crates/telemetry/src/fixture.rs", &src, &[RuleId::SecretHygiene]);
     assert!(
         !findings.iter().any(|f| f.message.contains("no `impl Drop`")),
-        "drop requirement must be scoped to crypto/sgx"
+        "drop requirement must not extend past crypto/sgx/tls/core"
     );
-    // ...but the printability findings still fire.
     assert!(findings.iter().any(|f| f.message.contains("derives Debug")));
+}
+
+#[test]
+fn secret_hygiene_multiline_fixture_is_caught() {
+    let src = fixture("secret_hygiene", "bad_multiline.rs");
+    let findings = lint_source("crates/crypto/src/fixture.rs", &src, &[RuleId::SecretHygiene]);
+    // `Debug` sits on its own line inside a multi-line #[derive(...)].
+    assert!(
+        findings.iter().any(|f| f.line == 3 && f.message.contains("derives Debug")),
+        "multi-line derive not attached to the declaration: {findings:?}"
+    );
+    // `impl std::fmt::Display\n    for WrapSecret` spans the header.
+    assert!(
+        findings.iter().any(|f| f.message.contains("implements Display")),
+        "split impl header not matched: {findings:?}"
+    );
+    assert!(findings.iter().any(|f| f.message.contains("no `impl Drop`")));
 }
 
 #[test]
@@ -111,6 +154,18 @@ fn panic_freedom_indexing_only_in_wire_files() {
     );
     // The unwrap/panic! findings still fire everywhere in scope.
     assert!(findings.iter().any(|f| f.message.contains("unwrap")));
+}
+
+#[test]
+fn panic_freedom_multiline_fixture_is_caught() {
+    let src = fixture("panic_freedom", "bad_multiline.rs");
+    let findings = lint_source("crates/core/src/messages.rs", &src, &[RuleId::PanicFreedom]);
+    let lines = lines_of(&findings, RuleId::PanicFreedom);
+    // Findings anchor on the `unwrap` / `expect` / buffer-name token
+    // even when the call chain is split across lines.
+    for expected in [3, 5, 8] {
+        assert!(lines.contains(&expected), "expected panic-freedom finding on line {expected}, got {lines:?}");
+    }
 }
 
 #[test]
@@ -141,6 +196,20 @@ fn const_time_bad_fixture_is_caught() {
         findings.iter().any(|f| f.message.contains("table lookup")),
         "missing table-lookup finding: {findings:?}"
     );
+}
+
+#[test]
+fn const_time_multiline_fixture_is_caught() {
+    let src = fixture("const_time", "bad_multiline.rs");
+    let findings = lint_source("crates/crypto/src/fixture.rs", &src, &[RuleId::ConstTime]);
+    let lines = lines_of(&findings, RuleId::ConstTime);
+    // The comparison anchors on the `==` token (line 3); the lookup
+    // anchors on the `[` even though the index is on the next line.
+    for expected in [3, 4] {
+        assert!(lines.contains(&expected), "expected const-time finding on line {expected}, got {lines:?}");
+    }
+    assert!(findings.iter().any(|f| f.message.contains("peer_tag")));
+    assert!(findings.iter().any(|f| f.message.contains("sbox[b as usize]")));
 }
 
 #[test]

@@ -1,0 +1,8 @@
+fn verify(peer_tag: &[u8], expected: &[u8], sbox: &[u8; 256], b: u8) -> bool {
+    let ok = peer_tag
+        == expected;
+    let t = sbox[
+        b as usize
+    ];
+    ok && t != 0
+}

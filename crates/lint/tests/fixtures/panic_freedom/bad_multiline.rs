@@ -1,0 +1,10 @@
+fn parse(v: Option<u8>, bytes: &[u8]) -> u8 {
+    let first = v
+        .unwrap();
+    let second = Some(first)
+        .expect(
+            "still visible when the call is split",
+        );
+    first + second + bytes
+        [0]
+}

@@ -1,0 +1,6 @@
+fn connect(addr: &str) {
+    let _s = std::
+        net::TcpStream::connect(addr);
+    let _t = std::time::Instant
+        ::now();
+}

@@ -1,0 +1,15 @@
+#[derive(
+    Clone,
+    Debug,
+)]
+pub struct WrapSecret {
+    bytes: [u8; 32],
+}
+
+impl std::fmt::Display
+    for WrapSecret
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "redacted")
+    }
+}

@@ -22,3 +22,28 @@ fn workspace_has_no_blocking_findings() {
         blocking.join("\n")
     );
 }
+
+/// The file-level waiver budget is monotonically non-increasing: the
+/// only `lint:allow-file` left is the const-time opt-out for the
+/// reference AES oracle. A new whole-file waiver must fail here (and
+/// in `scripts/check.sh --lint-strict`) — use per-line `lint:allow`
+/// annotations instead. When aes_ref.rs loses its waiver, drop this
+/// list (and `FILE_WAIVER_BASELINE` in check.sh) to zero.
+#[test]
+fn file_level_waivers_stay_at_baseline() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("lint crate sits two levels under the workspace root");
+    let report = mbtls_lint::lint_workspace_report(root).expect("workspace walk");
+    let waivers: Vec<String> = report
+        .file_waivers
+        .iter()
+        .map(|w| format!("{} [{}]", w.path, w.rule.as_str()))
+        .collect();
+    assert_eq!(
+        waivers,
+        vec!["crates/crypto/src/aes_ref.rs [const-time]".to_string()],
+        "file-level lint waivers changed; the set may only shrink"
+    );
+}

@@ -10,11 +10,13 @@
 use crate::attest::{PlatformAttestationKey, Quote, REPORT_DATA_LEN};
 use crate::measurement::{CodeIdentity, Measurement};
 use crate::memory::MachineMemory;
+use mbtls_crypto::ct;
 use mbtls_crypto::gcm::AesGcm;
 use mbtls_crypto::kdf::hkdf;
 use mbtls_crypto::rng::CryptoRng;
 use mbtls_crypto::sha2::Sha256;
 use mbtls_telemetry::{EventKind, Party, SharedSink};
+use std::mem::ManuallyDrop;
 
 /// Modeled cost of one full enclave boundary crossing (ECALL in +
 /// return, or OCALL out + resume), matching
@@ -45,16 +47,26 @@ pub trait EnclaveState {
     /// are never shown to the host in the clear — they are what gets
     /// memory-encrypted.
     fn snapshot_bytes(&self) -> Vec<u8>;
+
+    /// Scrub any key material held by the state, in place. The
+    /// enclave's [`Drop`] runs this before the state's own
+    /// destructor, so teardown never leaves secrets in freed memory.
+    fn wipe(&mut self);
 }
 
 impl EnclaveState for Vec<u8> {
     fn snapshot_bytes(&self) -> Vec<u8> {
         self.clone()
     }
+
+    fn wipe(&mut self) {
+        ct::zeroize(self);
+    }
 }
 
 /// One SGX-capable machine: its attestation key, its memory
 /// encryption key, its sealing secret, and its RAM map.
+// lint:secret
 pub struct Platform {
     attestation: PlatformAttestationKey,
     /// Key the (simulated) memory encryption engine uses.
@@ -96,9 +108,37 @@ impl Platform {
             t.emit(Party::Enclave(enclave_id), kind);
         }
     }
+
+    /// Zero the platform root keys in place (the attestation signing
+    /// key zeroizes itself on drop). This is the routine [`Drop`]
+    /// runs, exposed so a decommissioned platform can be scrubbed
+    /// early.
+    pub fn wipe(&mut self) {
+        ct::zeroize(&mut self.mee_key);
+        ct::zeroize(&mut self.sealing_secret);
+    }
+}
+
+impl Drop for Platform {
+    fn drop(&mut self) {
+        self.wipe();
+    }
+}
+
+// The MEE key and sealing secret are the platform's root secrets; a
+// derived formatter would print both. Show only public identity.
+impl std::fmt::Debug for Platform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Platform(id={}, enclaves={}, ..)",
+            self.attestation.platform_id, self.enclave_counter
+        )
+    }
 }
 
 /// An enclave instance holding state `S`.
+// lint:secret
 pub struct Enclave<S: EnclaveState> {
     measurement: Measurement,
     region_name: String,
@@ -229,6 +269,56 @@ impl<S: EnclaveState> Enclave<S> {
             .seal(&nonce, self.region_name.as_bytes(), &snapshot)
             .expect("seal");
         platform.memory.write_protected(&self.region_name, image);
+    }
+
+    /// `EREMOVE` analogue: tear down the enclave, free its protected
+    /// pages, and hand the state back to the caller — the
+    /// simulation's stand-in for enclave code shipping its results
+    /// out (sealed or over an attested channel) before exit.
+    ///
+    /// `Enclave` has a scrubbing [`Drop`], so `state` cannot be moved
+    /// out of `self` directly (E0509). All fallible/panicking work
+    /// happens first, while `self` is still armed — an early exit
+    /// there drops the enclave normally, wiping the state. Only then
+    /// does [`ManuallyDrop`] disarm the destructor so the state can
+    /// be read out exactly once and the remaining owning field
+    /// dropped by hand: no path double-drops, none leaks.
+    ///
+    /// Panics if the host tampered with the protected region, like
+    /// [`Enclave::ecall`] (SGX raises a machine check on integrity
+    /// failure).
+    pub fn destroy(self, platform: &mut Platform) -> S {
+        if let Some((_, tampered)) = platform.memory.protected_image(&self.region_name) {
+            assert!(
+                !tampered,
+                "enclave memory integrity check failed (host tampering detected)"
+            );
+        }
+        platform.memory.remove_protected(&self.region_name);
+        platform.emit(self.id, EventKind::EnclaveDestroy { enclave: self.id });
+        let mut this = ManuallyDrop::new(self);
+        // SAFETY: `this` is never dropped, so `state` is read exactly
+        // once and `region_name`'s destructor runs exactly once; the
+        // other fields are Copy.
+        let state = unsafe { std::ptr::read(&this.state) };
+        unsafe { std::ptr::drop_in_place(&mut this.region_name) };
+        state
+    }
+}
+
+impl<S: EnclaveState> Drop for Enclave<S> {
+    fn drop(&mut self) {
+        // Scrub key material inside the state before its own
+        // destructor frees the backing memory.
+        self.state.wipe();
+    }
+}
+
+// Enclave state is, by definition, the secret being protected; keep
+// it out of the derived formatter.
+impl<S: EnclaveState> std::fmt::Debug for Enclave<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Enclave(id={}, region={}, ..)", self.id, self.region_name)
     }
 }
 
@@ -361,5 +451,130 @@ mod tests {
         blob[last] ^= 1;
         assert_eq!(enclave.unseal(&platform, &blob), Err(SealError::BadBlob));
         assert_eq!(enclave.unseal(&platform, &[1, 2, 3]), Err(SealError::BadBlob));
+    }
+
+    /// Enclave state that records whether `wipe` ran, for proving the
+    /// `Drop` impl actually reaches it.
+    struct ProbeState {
+        data: Vec<u8>,
+        wiped: std::rc::Rc<std::cell::Cell<bool>>,
+    }
+
+    impl EnclaveState for ProbeState {
+        fn snapshot_bytes(&self) -> Vec<u8> {
+            self.data.clone()
+        }
+        fn wipe(&mut self) {
+            ct::zeroize(&mut self.data);
+            self.wiped.set(true);
+        }
+    }
+
+    #[test]
+    fn dropping_an_enclave_wipes_its_state() {
+        let (mut platform, _, _) = setup();
+        let wiped = std::rc::Rc::new(std::cell::Cell::new(false));
+        let state = ProbeState {
+            data: b"hop keys".to_vec(),
+            wiped: wiped.clone(),
+        };
+        let enclave = Enclave::create(&mut platform, &CodeIdentity::new("p", "1", b""), state);
+        assert!(!wiped.get());
+        drop(enclave);
+        assert!(wiped.get(), "Enclave::drop must run EnclaveState::wipe");
+    }
+
+    #[test]
+    fn destroy_returns_state_intact_and_frees_pages() {
+        let (mut platform, _, _) = setup();
+        let wiped = std::rc::Rc::new(std::cell::Cell::new(false));
+        let state = ProbeState {
+            data: b"sealed results".to_vec(),
+            wiped: wiped.clone(),
+        };
+        let mut enclave = Enclave::create(&mut platform, &CodeIdentity::new("p", "1", b""), state);
+        enclave.ecall(&mut platform, |s| s.data.push(b'!'));
+        let out = enclave.destroy(&mut platform);
+        // The caller receives the live state — destroy hands results
+        // out, it does not scrub them.
+        assert_eq!(out.data, b"sealed results!");
+        assert!(!wiped.get(), "destroy must not wipe the returned state");
+        // ...but the protected pages are gone (EREMOVE).
+        assert!(platform.memory.protected_image("enclave-1").is_none());
+        let insp = HostInspector::new(&mut platform.memory);
+        assert!(insp.scan_for(b"sealed results").is_empty());
+    }
+
+    #[test]
+    fn destroy_after_tamper_panics_and_still_wipes() {
+        let (mut platform, _, _) = setup();
+        let wiped = std::rc::Rc::new(std::cell::Cell::new(false));
+        let state = ProbeState {
+            data: b"doomed keys".to_vec(),
+            wiped: wiped.clone(),
+        };
+        let enclave = Enclave::create(&mut platform, &CodeIdentity::new("p", "1", b""), state);
+        {
+            let mut insp = HostInspector::new(&mut platform.memory);
+            insp.tamper("enclave-1", 0, 0xFF);
+        }
+        // The integrity check runs before ManuallyDrop disarms the
+        // destructor, so the unwinding path drops the enclave normally
+        // — exactly once, wiping the state.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            enclave.destroy(&mut platform)
+        }));
+        assert!(result.is_err());
+        assert!(wiped.get(), "unwinding out of destroy must wipe the state");
+    }
+
+    #[test]
+    fn platform_drop_zeroes_root_keys_in_place() {
+        let (platform, _, _) = setup();
+        let mut slot = ManuallyDrop::new(platform);
+        let p: *mut Platform = &mut *slot;
+        // SAFETY: the storage stays allocated inside `slot` for the
+        // whole test; after drop_in_place only the inline key arrays
+        // are read, which remain initialized bytes. `slot` is
+        // ManuallyDrop, so nothing drops the platform a second time.
+        unsafe {
+            assert!((*p).mee_key.iter().any(|&b| b != 0));
+            assert!((*p).sealing_secret.iter().any(|&b| b != 0));
+            std::ptr::drop_in_place(p);
+            assert!(
+                (*p).mee_key.iter().all(|&b| b == 0),
+                "Platform::drop left the MEE key in freed memory"
+            );
+            assert!(
+                (*p).sealing_secret.iter().all(|&b| b == 0),
+                "Platform::drop left the sealing secret in freed memory"
+            );
+        }
+    }
+
+    proptest::proptest! {
+        /// Arbitrary interleavings of create / destroy / plain drop:
+        /// no path may double-drop the state (an abort fails the
+        /// test process) and destroyed state always comes back
+        /// byte-identical.
+        #[test]
+        fn create_destroy_cycles_never_double_drop(
+            payloads in proptest::collection::vec(
+                proptest::collection::vec(proptest::prelude::any::<u8>(), 0..64),
+                1..8,
+            ),
+            destroy_mask in proptest::collection::vec(proptest::prelude::any::<bool>(), 8),
+        ) {
+            let (mut platform, _, _) = setup();
+            for (i, payload) in payloads.iter().enumerate() {
+                let code = CodeIdentity::new("cycle", "1.0", b"");
+                let enclave = Enclave::create(&mut platform, &code, payload.clone());
+                if destroy_mask[i] {
+                    let state = enclave.destroy(&mut platform);
+                    proptest::prop_assert_eq!(&state, payload);
+                }
+                // else: dropped while armed — Drop wipes in place.
+            }
+        }
     }
 }

@@ -49,6 +49,15 @@ impl MachineMemory {
         );
     }
 
+    /// Free a protected region (enclave teardown). Returns whether
+    /// the region existed.
+    pub(crate) fn remove_protected(&mut self, name: &str) -> bool {
+        matches!(
+            self.regions.get(name),
+            Some(Region::Protected { .. })
+        ) && self.regions.remove(name).is_some()
+    }
+
     pub(crate) fn protected_image(&self, name: &str) -> Option<(&[u8], bool)> {
         match self.regions.get(name) {
             Some(Region::Protected { image, tampered }) => Some((image, *tampered)),

@@ -141,6 +141,12 @@ pub enum EventKind {
         /// Platform-local enclave id.
         enclave: u64,
     },
+    /// An enclave was torn down (`EREMOVE`); its protected pages were
+    /// freed and its state scrubbed.
+    EnclaveDestroy {
+        /// Platform-local enclave id.
+        enclave: u64,
+    },
     /// An ECALL entered the enclave.
     Ecall {
         /// Platform-local enclave id.
@@ -186,6 +192,7 @@ impl EventKind {
             EventKind::SessionHandshakeDone => "session_handshake_done",
             EventKind::SessionTransferDone => "session_transfer_done",
             EventKind::EnclaveCreate { .. } => "enclave_create",
+            EventKind::EnclaveDestroy { .. } => "enclave_destroy",
             EventKind::Ecall { .. } => "ecall",
             EventKind::Ocall { .. } => "ocall",
             EventKind::CpuTime { .. } => "cpu_time",
@@ -216,7 +223,9 @@ impl EventKind {
             | EventKind::LinkDeliver { conn, bytes }
             | EventKind::LinkDrop { conn, bytes } => vec![("conn", conn), ("bytes", bytes)],
             EventKind::LinkCorrupt { conn } => vec![("conn", conn)],
-            EventKind::EnclaveCreate { enclave } => vec![("enclave", enclave)],
+            EventKind::EnclaveCreate { enclave } | EventKind::EnclaveDestroy { enclave } => {
+                vec![("enclave", enclave)]
+            }
             EventKind::Ecall { enclave, cost_ns } | EventKind::Ocall { enclave, cost_ns } => {
                 vec![("enclave", enclave), ("cost_ns", cost_ns)]
             }

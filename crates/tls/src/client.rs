@@ -439,7 +439,7 @@ impl ClientConnection {
         if self.resumed {
             return Ok(());
         }
-        let res = self
+        let mut res = self
             .pending_resumption
             .take()
             .ok_or(TlsError::UnexpectedMessage("abbreviated flight without offer"))?;
@@ -448,7 +448,10 @@ impl ClientConnection {
             .ok_or(TlsError::Internal("suite chosen with ServerHello"))?;
         self.secrets = Some(ConnectionSecrets {
             suite,
-            master_secret: res.master_secret,
+            // `ResumptionData` zeroizes on drop, so the secret cannot
+            // be moved out of it; take-and-replace transfers the
+            // buffer and leaves an empty vec for `res` to wipe.
+            master_secret: std::mem::take(&mut res.master_secret),
             client_random: self.client_random,
             server_random: self.server_random,
         });

@@ -3,6 +3,7 @@
 
 use crate::suites::{CipherSuite, PrfHash};
 use mbtls_crypto::aead::FIXED_IV_LEN;
+use mbtls_crypto::ct;
 use mbtls_crypto::kdf::tls12_prf;
 use mbtls_crypto::sha2::{Hash, Sha256, Sha384};
 
@@ -61,6 +62,37 @@ pub struct KeyBlock {
     pub client_write_iv: Vec<u8>,
     /// Server-write implicit IV (4 bytes).
     pub server_write_iv: Vec<u8>,
+}
+
+impl KeyBlock {
+    /// Zero every key and IV byte in place. Lengths are preserved so
+    /// encodings of a wiped block are still well-formed; this is the
+    /// routine [`Drop`] runs, exposed so callers can scrub early.
+    pub fn wipe(&mut self) {
+        ct::zeroize(&mut self.client_write_key);
+        ct::zeroize(&mut self.server_write_key);
+        ct::zeroize(&mut self.client_write_iv);
+        ct::zeroize(&mut self.server_write_iv);
+    }
+}
+
+impl Drop for KeyBlock {
+    fn drop(&mut self) {
+        self.wipe();
+    }
+}
+
+// A key block is nothing but live AEAD keys; the derived formatter
+// would print all of them. Show only the layout.
+impl std::fmt::Debug for KeyBlock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "KeyBlock(key_len={}, iv_len={}, ..)",
+            self.client_write_key.len(),
+            self.client_write_iv.len()
+        )
+    }
 }
 
 /// key_block = PRF(master, "key expansion",

@@ -37,6 +37,7 @@ enum Phase {
 }
 
 /// Ephemeral server kex secret between flights.
+// lint:allow(secret-hygiene) -- both variants zeroize themselves on drop; a wrapper Drop would forbid the by-value match that moves the secret into the kex computation
 enum KexSecret {
     Ecdhe(x25519::SecretKey),
     Dhe(DhSecret),
@@ -357,9 +358,15 @@ impl ServerConnection {
                     None
                 };
 
-                if let Some(ticket) = ticket_master {
+                if let Some(mut ticket) = ticket_master {
                     self.client_hello = Some(ch.clone());
-                    self.start_abbreviated(suite, ticket.master_secret, &ch, rng)?;
+                    // `TicketPlaintext` zeroizes on drop, so the
+                    // master secret cannot be moved out of it;
+                    // take-and-replace hands the buffer to the
+                    // abbreviated handshake and lets `ticket` wipe
+                    // whatever remains.
+                    let master = std::mem::take(&mut ticket.master_secret);
+                    self.start_abbreviated(suite, master, &ch, rng)?;
                 } else if let Some((_, master)) = id_master {
                     self.client_hello = Some(ch.clone());
                     self.start_abbreviated(suite, master, &ch, rng)?;

@@ -12,6 +12,8 @@ use crate::keyschedule::{self, KeyBlock};
 use crate::record::DirectionState;
 use crate::suites::CipherSuite;
 use crate::TlsError;
+use mbtls_crypto::ct;
+use std::mem;
 
 /// The secrets of a completed (or resumed) handshake.
 #[derive(Clone)]
@@ -35,6 +37,25 @@ impl ConnectionSecrets {
             &self.client_random,
             &self.server_random,
         )
+    }
+
+    /// Zero the master secret in place (the randoms are public wire
+    /// data). This is the routine [`Drop`] runs, exposed so callers
+    /// can scrub early.
+    pub fn wipe(&mut self) {
+        ct::zeroize(&mut self.master_secret);
+    }
+}
+
+impl Drop for ConnectionSecrets {
+    fn drop(&mut self) {
+        self.wipe();
+    }
+}
+
+impl std::fmt::Debug for ConnectionSecrets {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ConnectionSecrets(suite=0x{:04x}, ..)", self.suite.id())
     }
 }
 
@@ -62,16 +83,29 @@ impl SessionKeys {
     /// Derive from connection secrets and the current record-layer
     /// sequence numbers.
     pub fn from_secrets(secrets: &ConnectionSecrets, c2s_seq: u64, s2c_seq: u64) -> Self {
-        let kb = secrets.key_block();
+        // `KeyBlock` has a zeroizing `Drop`, so its fields cannot be
+        // moved out directly (E0509); take-and-replace transfers each
+        // buffer and leaves empty vecs behind for the block's drop.
+        let mut kb = secrets.key_block();
         SessionKeys {
             suite: secrets.suite,
-            client_write_key: kb.client_write_key,
-            client_write_iv: kb.client_write_iv,
-            server_write_key: kb.server_write_key,
-            server_write_iv: kb.server_write_iv,
+            client_write_key: mem::take(&mut kb.client_write_key),
+            client_write_iv: mem::take(&mut kb.client_write_iv),
+            server_write_key: mem::take(&mut kb.server_write_key),
+            server_write_iv: mem::take(&mut kb.server_write_iv),
             client_to_server_seq: c2s_seq,
             server_to_client_seq: s2c_seq,
         }
+    }
+
+    /// Zero every key and IV byte in place, preserving lengths. This
+    /// is the routine [`Drop`] runs, exposed so callers can scrub a
+    /// copy as soon as it has served its purpose.
+    pub fn wipe(&mut self) {
+        ct::zeroize(&mut self.client_write_key);
+        ct::zeroize(&mut self.client_write_iv);
+        ct::zeroize(&mut self.server_write_key);
+        ct::zeroize(&mut self.server_write_iv);
     }
 
     /// Record-protection state for reading the client→server flow.
@@ -156,6 +190,12 @@ impl SessionKeys {
     }
 }
 
+impl Drop for SessionKeys {
+    fn drop(&mut self) {
+        self.wipe();
+    }
+}
+
 /// What a client caches per server for resumption.
 #[derive(Clone, PartialEq, Eq)]
 pub struct ResumptionData {
@@ -167,6 +207,21 @@ pub struct ResumptionData {
     pub ticket: Option<Vec<u8>>,
     /// Session id assigned by the server, if any.
     pub session_id: Vec<u8>,
+}
+
+impl ResumptionData {
+    /// Zero the cached master secret in place (ticket and session id
+    /// are server-issued opaque values, not key material). This is
+    /// the routine [`Drop`] runs, exposed so callers can scrub early.
+    pub fn wipe(&mut self) {
+        ct::zeroize(&mut self.master_secret);
+    }
+}
+
+impl Drop for ResumptionData {
+    fn drop(&mut self) {
+        self.wipe();
+    }
 }
 
 /// Server-side plaintext content of a session ticket. The server
@@ -217,6 +272,19 @@ impl TicketPlaintext {
             master_secret,
             primary_keys,
         })
+    }
+
+    /// Zero the embedded master secret in place (the optional primary
+    /// keys zeroize themselves on drop). This is the routine [`Drop`]
+    /// runs, exposed so callers can scrub early.
+    pub fn wipe(&mut self) {
+        ct::zeroize(&mut self.master_secret);
+    }
+}
+
+impl Drop for TicketPlaintext {
+    fn drop(&mut self) {
+        self.wipe();
     }
 }
 

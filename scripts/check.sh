@@ -2,14 +2,32 @@
 # Full local gate: invariant lint, lint-clean build, tests, the
 # telemetry smoke test, and a smoke run of the data-plane bench
 # reporter. CI-equivalent; run before pushing.
+#
+#   --lint-strict   additionally cap whole-file lint waivers at the
+#                   committed baseline below. Per-line `lint:allow`
+#                   annotations are always permitted; file-level
+#                   `lint:allow-file` opt-outs may only shrink, so a
+#                   new one fails this stage until the baseline is
+#                   deliberately lowered here alongside the fix.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# The only file-level waiver left in the workspace is the const-time
+# opt-out in crates/crypto/src/aes_ref.rs (the reference-only AES
+# oracle, data-dependent by construction). Lower this when it goes.
+FILE_WAIVER_BASELINE=1
+
+LINT_ARGS=(--json target/lint-report.jsonl)
+if [[ "${1:-}" == "--lint-strict" ]]; then
+    LINT_ARGS+=(--max-file-waivers "$FILE_WAIVER_BASELINE")
+    shift
+fi
 
 # Workspace invariant checker first: sans-IO purity, secret hygiene,
 # panic-freedom, constant-time discipline. Fails on any unannotated
 # finding; the JSON-lines report feeds dashboards/CI artifacts.
 mkdir -p target
-cargo run -q -p mbtls-lint --release -- --json target/lint-report.jsonl
+cargo run -q -p mbtls-lint --release -- "${LINT_ARGS[@]}"
 
 cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release --workspace

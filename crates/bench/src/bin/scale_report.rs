@@ -1,0 +1,121 @@
+//! Emit `BENCH_scale.json` — the session-host capacity regression
+//! artifact.
+//!
+//! Usage:
+//!
+//! ```text
+//! scale_report [--smoke] [--out PATH]
+//! ```
+//!
+//! `--smoke` runs tiny fleets (sub-second) so `scripts/check.sh` can
+//! gate on the harness working end to end; numbers from a smoke run
+//! are noisy and flagged `"smoke": true` in the JSON. Full runs
+//! (`scripts/bench_report.sh`) measure fleets of 100, 1 000, and
+//! 10 000 sessions.
+//!
+//! The binary installs a counting global allocator so the
+//! steady-state allocation metric measures the real host loop; the
+//! library crate stays allocator-agnostic.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mbtls_bench::scale::{
+    bench_scale_point, determinism_probe, ScaleReport, SteadyStateHost,
+};
+
+/// `System` wrapped with an allocation counter. Only counts calls to
+/// `alloc`/`realloc` — frees are irrelevant to the "allocations per
+/// record" metric.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to `System`, which upholds the
+// `GlobalAlloc` contract; the counter has no effect on the returned
+// memory.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn alloc_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Allocations per application record over `exchanges` steady-state
+/// round trips of the warmed-up single-session host (each exchange is
+/// two records: one request, one response).
+fn measure_allocs_per_record(exchanges: u64) -> f64 {
+    let mut steady = SteadyStateHost::warmed_up(8);
+    // One extra pump after warm-up so any lazily-grown buffer
+    // (first-use capacity bumps) settles before counting.
+    steady.pump_exchanges(2);
+    let before = alloc_count();
+    steady.pump_exchanges(exchanges);
+    (alloc_count() - before) as f64 / (exchanges * 2) as f64
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = String::from("BENCH_scale.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                out_path = args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: scale_report [--smoke] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Fleet sizes: smoke proves the harness end to end; full runs
+    // measure the capacity curve the ISSUE asks for.
+    let fleets: &[usize] = if smoke { &[8, 24] } else { &[100, 1_000, 10_000] };
+    let determinism_sessions = if smoke { 8 } else { 100 };
+    let alloc_exchanges: u64 = if smoke { 8 } else { 256 };
+    let seed = 0xC0_FFEE;
+
+    let points = fleets.iter().map(|&n| bench_scale_point(n, seed)).collect();
+    let allocs_per_record_steady = measure_allocs_per_record(alloc_exchanges);
+    let (_, determinism_identical) = determinism_probe(determinism_sessions, seed);
+
+    let report = ScaleReport {
+        smoke,
+        points,
+        allocs_per_record_steady,
+        determinism_seed: seed,
+        determinism_sessions,
+        determinism_identical,
+    };
+
+    let json = report.to_json();
+    std::fs::write(&out_path, format!("{json}\n")).unwrap_or_else(|e| {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}

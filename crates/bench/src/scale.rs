@@ -1,0 +1,275 @@
+//! The `BENCH_scale.json` capacity reporter.
+//!
+//! Where `report.rs` measures the data-plane fast path one record at
+//! a time, this module measures the *host*: how many full mbTLS
+//! sessions per second a single [`SessionHost`] event loop can admit,
+//! handshake, serve, and retire over the network simulator, at fleet
+//! sizes of 100, 1 000, and 10 000 sessions under open/close churn.
+//! The `scale_report` binary wraps [`SteadyStateHost`] with a
+//! counting allocator to prove the host's per-record steady state is
+//! allocation-free, and replays one seeded run twice to prove the
+//! whole stack is deterministic. `scripts/check.sh` runs the binary
+//! in `--smoke` mode as a regression gate; see DESIGN.md §6f for how
+//! to read the numbers.
+
+use std::time::Instant;
+
+use mbtls_host::{
+    HostConfig, LoadConfig, LoadGenerator, NetSubstrate, PipeSubstrate, SessionHost, Workload,
+};
+use mbtls_netsim::time::{Duration, SimTime};
+use mbtls_telemetry::{to_json_line, Recorder};
+
+/// Every load run in this module serves the same per-session
+/// workload: `exchanges` request/response round trips, so one session
+/// moves `exchanges * 2` application records end to end.
+pub const WORKLOAD: Workload = Workload { request_len: 256, response_len: 1024, exchanges: 2 };
+
+/// Records one session contributes to the aggregate record count
+/// (each exchange is one request record plus one response record).
+pub const RECORDS_PER_SESSION: u64 = WORKLOAD.exchanges as u64 * 2;
+
+/// The churn profile measured at each fleet size: arrivals every 5 µs
+/// of virtual time (far faster than a session's ~3 ms lifetime, so
+/// hundreds of sessions are live at once), one middlebox on every
+/// fourth chain, 200 µs per-link latency.
+pub fn scale_load(sessions: usize, seed: u64) -> LoadConfig {
+    LoadConfig {
+        sessions,
+        arrival_spacing: Duration::from_micros(5),
+        middlebox_every: 4,
+        latency: Duration::from_micros(200),
+        workload: WORKLOAD,
+        seed,
+    }
+}
+
+/// Capacity numbers for one fleet size.
+#[derive(Debug, Clone)]
+pub struct ScalePoint {
+    /// Sessions opened (and required to complete) in this run.
+    pub n: usize,
+    /// Completed handshakes per wall-clock second, churn included
+    /// (session construction, slab admission, timer arming).
+    pub handshakes_per_s: f64,
+    /// Application records delivered end to end per wall-clock
+    /// second, aggregated over the whole fleet.
+    pub records_per_s: f64,
+    /// Median open→handshake-done latency in virtual milliseconds.
+    pub p50_handshake_ms: f64,
+    /// 99th-percentile handshake latency in virtual milliseconds.
+    pub p99_handshake_ms: f64,
+    /// Wire bytes pushed into the substrate per session.
+    pub bytes_per_session: f64,
+    /// Wall-clock milliseconds for the whole run.
+    pub wall_ms: f64,
+}
+
+/// Everything that goes into `BENCH_scale.json`.
+#[derive(Debug, Clone)]
+pub struct ScaleReport {
+    /// True when produced by a `--smoke` run (tiny fleets; numbers
+    /// only prove the harness works).
+    pub smoke: bool,
+    /// One entry per fleet size, ascending.
+    pub points: Vec<ScalePoint>,
+    /// Heap allocations per application record in the host's
+    /// established steady state (counted by the binary's global
+    /// allocator; the acceptance target is 0).
+    pub allocs_per_record_steady: f64,
+    /// Seed used for the determinism replay.
+    pub determinism_seed: u64,
+    /// Fleet size of the determinism replay.
+    pub determinism_sessions: usize,
+    /// True iff two runs with the same seed and schedule produced a
+    /// bit-identical telemetry trace and identical counters.
+    pub determinism_identical: bool,
+}
+
+impl ScaleReport {
+    /// Render as pretty-printed JSON. Hand-rolled (the workspace has
+    /// no serde) but round-trips through any JSON parser.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"smoke\": {},\n", self.smoke));
+        out.push_str("  \"sessions\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            let comma = if i + 1 == self.points.len() { "" } else { "," };
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"n\": {},\n", p.n));
+            out.push_str(&format!("      \"handshakes_per_s\": {:.1},\n", p.handshakes_per_s));
+            out.push_str(&format!("      \"records_per_s\": {:.1},\n", p.records_per_s));
+            out.push_str(&format!("      \"p50_handshake_ms\": {:.3},\n", p.p50_handshake_ms));
+            out.push_str(&format!("      \"p99_handshake_ms\": {:.3},\n", p.p99_handshake_ms));
+            out.push_str(&format!("      \"bytes_per_session\": {:.1},\n", p.bytes_per_session));
+            out.push_str(&format!("      \"wall_ms\": {:.1}\n", p.wall_ms));
+            out.push_str(&format!("    }}{comma}\n"));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"allocs_per_record_steady\": {:.3},\n",
+            self.allocs_per_record_steady
+        ));
+        out.push_str("  \"determinism\": {\n");
+        out.push_str(&format!("    \"seed\": {},\n", self.determinism_seed));
+        out.push_str(&format!("    \"sessions\": {},\n", self.determinism_sessions));
+        out.push_str(&format!("    \"identical\": {}\n", self.determinism_identical));
+        out.push_str("  }\n");
+        out.push('}');
+        out
+    }
+}
+
+/// Virtual percentile (`p` in 0..=100) over handshake latencies,
+/// reported in milliseconds.
+fn percentile_ms(sorted_ns: &[u64], p: usize) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = (sorted_ns.len() - 1) * p / 100;
+    sorted_ns[idx] as f64 / 1e6
+}
+
+/// Run one fleet of `n` sessions through a [`SessionHost`] over the
+/// network simulator under churn, and report wall-clock capacity and
+/// virtual-time latency numbers.
+pub fn bench_scale_point(n: usize, seed: u64) -> ScalePoint {
+    let config = scale_load(n, seed);
+    let mut generator = LoadGenerator::new(config);
+    let mut host = SessionHost::new(NetSubstrate::new(seed), HostConfig::default());
+    let t0 = Instant::now();
+    generator
+        .drive(&mut host, SimTime::ZERO.plus(Duration::from_secs(3_600)))
+        .expect("scale fleet drains");
+    let wall = t0.elapsed();
+    let counters = host.counters();
+    assert_eq!(counters.completed as usize, n, "every session must complete its workload");
+    assert_eq!(counters.handshake_latencies_ns.len(), n);
+
+    let mut latencies = counters.handshake_latencies_ns.clone();
+    latencies.sort_unstable();
+    let wall_s = wall.as_secs_f64();
+    ScalePoint {
+        n,
+        handshakes_per_s: n as f64 / wall_s,
+        records_per_s: (counters.exchanges_completed * 2) as f64 / wall_s,
+        p50_handshake_ms: percentile_ms(&latencies, 50),
+        p99_handshake_ms: percentile_ms(&latencies, 99),
+        bytes_per_session: counters.bytes_moved as f64 / n as f64,
+        wall_ms: wall_s * 1e3,
+    }
+}
+
+/// FNV-1a over every telemetry event's JSON line — a trace
+/// fingerprint that is equal iff the traces are bit-identical.
+fn trace_fingerprint(events: &[mbtls_telemetry::Event]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for event in events {
+        for byte in to_json_line(event).bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
+
+/// Replay one seeded churn run twice and check that the telemetry
+/// traces are bit-identical and the counters equal. Returns the trace
+/// fingerprint and the verdict.
+pub fn determinism_probe(sessions: usize, seed: u64) -> (u64, bool) {
+    let run = || {
+        let recorder = Recorder::new();
+        let mut generator = LoadGenerator::new(scale_load(sessions, seed));
+        let mut host = SessionHost::new(NetSubstrate::new(seed), HostConfig::default());
+        host.set_telemetry(recorder.sink());
+        generator
+            .drive(&mut host, SimTime::ZERO.plus(Duration::from_secs(3_600)))
+            .expect("determinism fleet drains");
+        (trace_fingerprint(&recorder.snapshot()), host.counters().clone())
+    };
+    let (fingerprint_a, counters_a) = run();
+    let (fingerprint_b, counters_b) = run();
+    (fingerprint_a, fingerprint_a == fingerprint_b && counters_a == counters_b)
+}
+
+/// A warmed-up single-session host over in-memory pipes, parked in
+/// its established phase with a deep exchange quota. `max_pump_passes
+/// = 1` makes every [`SessionHost::step`] one bounded pump, so the
+/// `scale_report` binary can snapshot its allocation counter around
+/// [`Self::pump_exchanges`] and count host-loop allocations per
+/// record at steady state.
+pub struct SteadyStateHost {
+    host: SessionHost<PipeSubstrate>,
+}
+
+impl SteadyStateHost {
+    /// Build a one-session host and drive it through the handshake
+    /// plus `warm_exchanges` round trips, so the slab, wheel, buffer
+    /// pool, ready queue, and every party's record buffers reach
+    /// their final capacities.
+    pub fn warmed_up(warm_exchanges: u64) -> Self {
+        let mut generator = LoadGenerator::new(LoadConfig {
+            sessions: 1,
+            middlebox_every: 0,
+            workload: Workload { request_len: 256, response_len: 1024, exchanges: u32::MAX },
+            ..scale_load(1, 0x5CA1E)
+        });
+        let mut host = SessionHost::new(
+            PipeSubstrate::new(),
+            HostConfig { max_pump_passes: 1, ..HostConfig::default() },
+        );
+        host.open(generator.make_spec()).expect("open steady-state session");
+        let mut steady = SteadyStateHost { host };
+        steady.pump_exchanges(warm_exchanges);
+        steady
+    }
+
+    /// Drive the event loop until `more` additional exchanges
+    /// complete (each is one request record and one response record).
+    pub fn pump_exchanges(&mut self, more: u64) {
+        let target = self.host.counters().exchanges_completed + more;
+        while self.host.counters().exchanges_completed < target {
+            let progressed = self.host.step().expect("steady-state step");
+            assert!(progressed, "steady-state session parked before its exchange quota");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_scale_report_is_valid_json_shape() {
+        let report = ScaleReport {
+            smoke: true,
+            points: vec![bench_scale_point(4, 13), bench_scale_point(8, 13)],
+            allocs_per_record_steady: 0.0,
+            determinism_seed: 13,
+            determinism_sessions: 4,
+            determinism_identical: true,
+        };
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"handshakes_per_s\""));
+        assert!(json.contains("\"records_per_s\""));
+        assert!(json.contains("\"p99_handshake_ms\""));
+        assert!(json.contains("\"determinism\""));
+        // Balanced braces and no trailing commas before closers.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(!json.contains(",\n  }") && !json.contains(",\n}"));
+    }
+
+    #[test]
+    fn determinism_probe_verdict_holds() {
+        let (fingerprint, identical) = determinism_probe(5, 29);
+        assert!(identical, "seeded replay must be bit-identical");
+        assert_ne!(fingerprint, 0);
+    }
+
+    #[test]
+    fn steady_state_host_keeps_exchanging() {
+        let mut steady = SteadyStateHost::warmed_up(4);
+        steady.pump_exchanges(3);
+    }
+}

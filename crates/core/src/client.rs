@@ -236,24 +236,38 @@ impl MbClientSession {
 
     /// Wire bytes to send.
     pub fn take_outgoing(&mut self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.drain_outgoing_into(&mut out);
+        out
+    }
+
+    /// Append pending wire bytes to `dst`, keeping `dst`'s capacity —
+    /// the steady-state alternative to
+    /// [`MbClientSession::take_outgoing`]: once the data plane is
+    /// active and `dst` is warm, draining a record allocates nothing.
+    pub fn drain_outgoing_into(&mut self, dst: &mut Vec<u8>) {
         self.pump();
+        let start = dst.len();
         // Primary-session records flush first (the paper's Fig. 3
         // shows secondary flights following the primary ones within a
         // flight), then mbTLS control records, then data-plane
-        // records.
-        let mut out = self.primary.take_outgoing();
-        out.extend(std::mem::take(&mut self.out));
+        // records. The primary produces nothing post-handshake, so
+        // its take is a free swap of empty vectors at steady state.
+        let primary = self.primary.take_outgoing();
+        dst.extend_from_slice(&primary);
+        dst.extend_from_slice(&self.out);
+        self.out.clear();
         if let Some(dp) = &mut self.dataplane {
-            out.extend(dp.take_outgoing());
+            dp.drain_outgoing_into(dst);
         }
-        if !out.is_empty() {
+        let n = (dst.len() - start) as u64;
+        if n > 0 {
             if !self.hello_reported {
                 self.hello_reported = true;
-                self.emit(EventKind::ClientHelloSent { bytes: out.len() as u64 });
+                self.emit(EventKind::ClientHelloSent { bytes: n });
             }
-            self.emit(EventKind::BytesOut { bytes: out.len() as u64 });
+            self.emit(EventKind::BytesOut { bytes: n });
         }
-        out
     }
 
     /// Feed bytes from the wire.
@@ -265,22 +279,37 @@ impl MbClientSession {
             self.emit(EventKind::BytesIn { bytes: data.len() as u64 });
         }
         self.reader.feed(data);
-        loop {
-            let rec = match self.reader.next_record() {
-                Ok(Some(r)) => r,
-                Ok(None) => break,
-                Err(e) => {
-                    let e = MbError::Tls(e);
-                    self.error = Some(e.clone());
-                    return Err(e);
-                }
-            };
-            if let Err(e) = self.route_record(rec.content_type_byte, rec.body) {
-                self.error = Some(e.clone());
-                return Err(e);
-            }
+        // The reader moves aside so records borrowed from its buffer
+        // can be routed into the session's other fields.
+        let mut reader = std::mem::take(&mut self.reader);
+        let result = self.route_buffered(&mut reader);
+        self.reader = reader;
+        if let Err(e) = result {
+            self.error = Some(e.clone());
+            return Err(e);
         }
         self.pump();
+        Ok(())
+    }
+
+    /// Route every complete record `reader` holds. Post-handshake
+    /// data records are decrypted in place (zero-copy fast path);
+    /// control records are copied out once and take the slow path.
+    fn route_buffered(&mut self, reader: &mut RecordReader) -> Result<(), MbError> {
+        while let Some((ct_byte, body)) = reader.next_record_inplace().map_err(MbError::Tls)? {
+            match ContentType::from_u8(ct_byte) {
+                Some(ContentType::ApplicationData | ContentType::Alert)
+                    if self.dataplane.is_some() =>
+                {
+                    let dp = self
+                        .dataplane
+                        .as_mut()
+                        .ok_or_else(|| MbError::unexpected_state("dataplane checked above"))?;
+                    dp.feed_record_in_place(ct_byte, body).map_err(MbError::Tls)?;
+                }
+                _ => self.route_record(ct_byte, body.to_vec())?,
+            }
+        }
         Ok(())
     }
 
@@ -581,6 +610,15 @@ impl MbClientSession {
             .as_mut()
             .map(|dp| dp.take_plaintext())
             .unwrap_or_default()
+    }
+
+    /// Append received application data to `dst`, keeping `dst`'s
+    /// capacity (the steady-state alternative to
+    /// [`MbClientSession::recv`]).
+    pub fn recv_into(&mut self, dst: &mut Vec<u8>) {
+        if let Some(dp) = &mut self.dataplane {
+            dp.drain_plaintext_into(dst);
+        }
     }
 
     /// Joined middleboxes.

@@ -31,6 +31,34 @@ pub trait Endpoint {
     fn send_app(&mut self, data: &[u8]) -> Result<(), MbError>;
     /// Drain received application data.
     fn recv_app(&mut self) -> Vec<u8>;
+
+    /// Append pending wire bytes to `dst`, keeping its capacity. The
+    /// default goes through [`Endpoint::take`]; session types
+    /// override it with an allocation-free drain.
+    fn take_into(&mut self, dst: &mut Vec<u8>) {
+        let out = self.take();
+        dst.extend_from_slice(&out);
+    }
+
+    /// Append received application data to `dst`, keeping its
+    /// capacity. Default goes through [`Endpoint::recv_app`].
+    fn recv_app_into(&mut self, dst: &mut Vec<u8>) {
+        let out = self.recv_app();
+        dst.extend_from_slice(&out);
+    }
+
+    /// The fatal error that failed this endpoint, if any. Drivers
+    /// that multiplex many sessions (the host) use this to separate
+    /// "stalled" from "dead".
+    fn failed(&self) -> Option<MbError> {
+        None
+    }
+
+    /// Resumption data to cache for a future session with the same
+    /// peer, once established (client endpoints only).
+    fn resumption(&self) -> Option<mbtls_tls::session::ResumptionData> {
+        None
+    }
 }
 
 /// A two-sided party (middlebox or relay).
@@ -43,6 +71,25 @@ pub trait Relay {
     fn take_left(&mut self) -> Vec<u8>;
     /// Drain bytes to send toward the server.
     fn take_right(&mut self) -> Vec<u8>;
+
+    /// Append client-bound bytes to `dst`, keeping its capacity.
+    /// Default goes through [`Relay::take_left`].
+    fn take_left_into(&mut self, dst: &mut Vec<u8>) {
+        let out = self.take_left();
+        dst.extend_from_slice(&out);
+    }
+
+    /// Append server-bound bytes to `dst`, keeping its capacity.
+    /// Default goes through [`Relay::take_right`].
+    fn take_right_into(&mut self, dst: &mut Vec<u8>) {
+        let out = self.take_right();
+        dst.extend_from_slice(&out);
+    }
+
+    /// The fatal error that failed this relay, if any.
+    fn failed(&self) -> Option<MbError> {
+        None
+    }
 }
 
 impl Endpoint for MbClientSession {
@@ -61,6 +108,18 @@ impl Endpoint for MbClientSession {
     fn recv_app(&mut self) -> Vec<u8> {
         self.recv()
     }
+    fn take_into(&mut self, dst: &mut Vec<u8>) {
+        self.drain_outgoing_into(dst)
+    }
+    fn recv_app_into(&mut self, dst: &mut Vec<u8>) {
+        self.recv_into(dst)
+    }
+    fn failed(&self) -> Option<MbError> {
+        self.error()
+    }
+    fn resumption(&self) -> Option<mbtls_tls::session::ResumptionData> {
+        self.resumption_data()
+    }
 }
 
 impl Endpoint for MbServerSession {
@@ -78,6 +137,15 @@ impl Endpoint for MbServerSession {
     }
     fn recv_app(&mut self) -> Vec<u8> {
         self.recv()
+    }
+    fn take_into(&mut self, dst: &mut Vec<u8>) {
+        self.drain_outgoing_into(dst)
+    }
+    fn recv_app_into(&mut self, dst: &mut Vec<u8>) {
+        self.recv_into(dst)
+    }
+    fn failed(&self) -> Option<MbError> {
+        self.error()
     }
 }
 
@@ -116,6 +184,12 @@ impl Endpoint for LegacyClient {
     }
     fn recv_app(&mut self) -> Vec<u8> {
         self.conn.take_plaintext()
+    }
+    fn failed(&self) -> Option<MbError> {
+        self.conn.error().cloned().map(MbError::Tls)
+    }
+    fn resumption(&self) -> Option<mbtls_tls::session::ResumptionData> {
+        self.conn.resumption_data()
     }
 }
 
@@ -170,6 +244,15 @@ impl Relay for Middlebox {
     fn take_right(&mut self) -> Vec<u8> {
         self.take_toward_server()
     }
+    fn take_left_into(&mut self, dst: &mut Vec<u8>) {
+        self.drain_toward_client_into(dst)
+    }
+    fn take_right_into(&mut self, dst: &mut Vec<u8>) {
+        self.drain_toward_server_into(dst)
+    }
+    fn failed(&self) -> Option<MbError> {
+        self.error()
+    }
 }
 
 /// The byte-moving substrate connecting adjacent parties in a
@@ -187,6 +270,23 @@ pub trait ChainLinks {
     fn send_rightward(&mut self, link: usize, from: usize, data: &[u8]) -> Result<(), MbError>;
     /// Party `from` (the link's right party) sends toward the client.
     fn send_leftward(&mut self, link: usize, from: usize, data: &[u8]) -> Result<(), MbError>;
+
+    /// Append link `link`'s right-end bytes to `dst`, keeping its
+    /// capacity; returns true if any bytes arrived. Default goes
+    /// through the allocating recv; buffer-backed links override.
+    fn recv_rightward_into(&mut self, link: usize, dst: &mut Vec<u8>) -> Result<bool, MbError> {
+        let data = self.recv_rightward(link)?;
+        dst.extend_from_slice(&data);
+        Ok(!data.is_empty())
+    }
+
+    /// Append link `link`'s left-end bytes to `dst`, keeping its
+    /// capacity; returns true if any bytes arrived.
+    fn recv_leftward_into(&mut self, link: usize, dst: &mut Vec<u8>) -> Result<bool, MbError> {
+        let data = self.recv_leftward(link)?;
+        dst.extend_from_slice(&data);
+        Ok(!data.is_empty())
+    }
 }
 
 /// Zero-latency in-memory links: plain byte buffers per direction.
@@ -226,6 +326,20 @@ impl ChainLinks for PipeLinks {
         self.leftward[link].extend_from_slice(data);
         Ok(())
     }
+    fn recv_rightward_into(&mut self, link: usize, dst: &mut Vec<u8>) -> Result<bool, MbError> {
+        let src = &mut self.rightward[link];
+        let any = !src.is_empty();
+        dst.extend_from_slice(src);
+        src.clear();
+        Ok(any)
+    }
+    fn recv_leftward_into(&mut self, link: usize, dst: &mut Vec<u8>) -> Result<bool, MbError> {
+        let src = &mut self.leftward[link];
+        let any = !src.is_empty();
+        dst.extend_from_slice(src);
+        src.clear();
+        Ok(any)
+    }
 }
 
 /// A chain of parties connected by zero-latency in-memory pipes.
@@ -238,6 +352,10 @@ pub struct Chain {
     pub server: Box<dyn Endpoint>,
     /// The pipe driver's own links (used by [`Chain::pump`]).
     links: PipeLinks,
+    /// Reusable staging buffer for per-party pumping: bytes move
+    /// link→scratch→party and party→scratch→link without a fresh
+    /// allocation per transfer.
+    scratch: Vec<u8>,
 }
 
 impl Chain {
@@ -253,7 +371,23 @@ impl Chain {
             middles,
             server,
             links,
+            scratch: Vec::new(),
         }
+    }
+
+    /// Number of parties (client + middleboxes + server).
+    pub fn parties(&self) -> usize {
+        self.middles.len() + 2
+    }
+
+    /// The first fatal error any party reports, scanning client →
+    /// middleboxes → server. This is how a multi-session driver
+    /// distinguishes a dead chain from a merely quiescent one.
+    pub fn failed(&self) -> Option<MbError> {
+        self.client
+            .failed()
+            .or_else(|| self.middles.iter().find_map(|m| m.failed()))
+            .or_else(|| self.server.failed())
     }
 
     fn feed_party(&mut self, i: usize, from_left: bool, data: &[u8]) -> Result<(), MbError> {
@@ -269,17 +403,84 @@ impl Chain {
         }
     }
 
-    fn take_party(&mut self, i: usize, toward_left: bool) -> Vec<u8> {
+    fn take_party_into(&mut self, i: usize, toward_left: bool, dst: &mut Vec<u8>) {
         let n = self.middles.len() + 2;
         if i == 0 {
-            self.client.take()
+            self.client.take_into(dst)
         } else if i == n - 1 {
-            self.server.take()
+            self.server.take_into(dst)
         } else if toward_left {
-            self.middles[i - 1].take_left()
+            self.middles[i - 1].take_left_into(dst)
         } else {
-            self.middles[i - 1].take_right()
+            self.middles[i - 1].take_right_into(dst)
         }
+    }
+
+    /// Deliver bytes waiting on party `i`'s adjacent links into the
+    /// party (left link first). Returns true if anything moved. One
+    /// half of a [`Chain::pump_with`] pass, exposed so multi-session
+    /// drivers can pump per party.
+    pub fn deliver_to_party(
+        &mut self,
+        links: &mut dyn ChainLinks,
+        i: usize,
+    ) -> Result<bool, MbError> {
+        let n = self.middles.len() + 2;
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let result = (|| {
+            let mut moved = false;
+            if i > 0 {
+                scratch.clear();
+                if links.recv_rightward_into(i - 1, &mut scratch)? {
+                    moved = true;
+                    self.feed_party(i, true, &scratch)?;
+                }
+            }
+            if i < n - 1 {
+                scratch.clear();
+                if links.recv_leftward_into(i, &mut scratch)? {
+                    moved = true;
+                    self.feed_party(i, false, &scratch)?;
+                }
+            }
+            Ok(moved)
+        })();
+        self.scratch = scratch;
+        result
+    }
+
+    /// Collect party `i`'s pending output into its adjacent links
+    /// (rightward first). Returns true if anything moved. The other
+    /// half of a [`Chain::pump_with`] pass.
+    pub fn collect_from_party(
+        &mut self,
+        links: &mut dyn ChainLinks,
+        i: usize,
+    ) -> Result<bool, MbError> {
+        let n = self.middles.len() + 2;
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let result = (|| {
+            let mut moved = false;
+            if i < n - 1 {
+                scratch.clear();
+                self.take_party_into(i, false, &mut scratch);
+                if !scratch.is_empty() {
+                    moved = true;
+                    links.send_rightward(i, i, &scratch)?;
+                }
+            }
+            if i > 0 {
+                scratch.clear();
+                self.take_party_into(i, true, &mut scratch);
+                if !scratch.is_empty() {
+                    moved = true;
+                    links.send_leftward(i - 1, i, &scratch)?;
+                }
+            }
+            Ok(moved)
+        })();
+        self.scratch = scratch;
+        result
     }
 
     /// One pass over every party: deliver whatever each link holds,
@@ -295,37 +496,11 @@ impl Chain {
         let mut moved = false;
         // Deliver incoming bytes to each party.
         for i in 0..n {
-            if i > 0 {
-                let data = links.recv_rightward(i - 1)?;
-                if !data.is_empty() {
-                    moved = true;
-                    self.feed_party(i, true, &data)?;
-                }
-            }
-            if i < n - 1 {
-                let data = links.recv_leftward(i)?;
-                if !data.is_empty() {
-                    moved = true;
-                    self.feed_party(i, false, &data)?;
-                }
-            }
+            moved |= self.deliver_to_party(links, i)?;
         }
         // Collect outgoing bytes from each party into the links.
         for i in 0..n {
-            if i < n - 1 {
-                let data = self.take_party(i, false);
-                if !data.is_empty() {
-                    moved = true;
-                    links.send_rightward(i, i, &data)?;
-                }
-            }
-            if i > 0 {
-                let data = self.take_party(i, true);
-                if !data.is_empty() {
-                    moved = true;
-                    links.send_leftward(i - 1, i, &data)?;
-                }
-            }
+            moved |= self.collect_from_party(links, i)?;
         }
         Ok(moved)
     }

@@ -118,6 +118,9 @@ pub enum MbError {
     Network(mbtls_netsim::net::NetError),
     /// A configuration builder rejected its inputs.
     Config(String),
+    /// A deadline passed with no progress (e.g. the session host's
+    /// handshake timer fired after exhausting its retry budget).
+    Timeout(String),
 }
 
 impl MbError {
@@ -151,6 +154,7 @@ impl std::fmt::Display for MbError {
             MbError::NotReady => write!(f, "session not ready"),
             MbError::Network(e) => write!(f, "network: {e}"),
             MbError::Config(what) => write!(f, "invalid configuration: {what}"),
+            MbError::Timeout(what) => write!(f, "timed out: {what}"),
         }
     }
 }

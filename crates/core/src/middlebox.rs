@@ -261,6 +261,11 @@ impl Middlebox {
         self
     }
 
+    /// The failure that wedged this middlebox, if any.
+    pub fn error(&self) -> Option<MbError> {
+        self.error.clone()
+    }
+
     /// Current lifecycle phase.
     pub fn phase(&self) -> MiddleboxPhase {
         self.phase
@@ -283,28 +288,50 @@ impl Middlebox {
 
     /// Bytes to send toward the client.
     pub fn take_toward_client(&mut self) -> Vec<u8> {
-        self.pump_secondary();
-        let mut out = std::mem::take(&mut self.out_left);
-        if let Some(dp) = &mut self.dataplane {
-            out.extend(dp.take_toward_client());
-        }
-        if !out.is_empty() {
-            self.emit(EventKind::BytesOut { bytes: out.len() as u64 });
-        }
+        let mut out = Vec::new();
+        self.drain_toward_client_into(&mut out);
         out
     }
 
     /// Bytes to send toward the server.
     pub fn take_toward_server(&mut self) -> Vec<u8> {
-        self.pump_secondary();
-        let mut out = std::mem::take(&mut self.out_right);
-        if let Some(dp) = &mut self.dataplane {
-            out.extend(dp.take_toward_server());
-        }
-        if !out.is_empty() {
-            self.emit(EventKind::BytesOut { bytes: out.len() as u64 });
-        }
+        let mut out = Vec::new();
+        self.drain_toward_server_into(&mut out);
         out
+    }
+
+    /// Append pending client-bound bytes to `dst`, keeping `dst`'s
+    /// capacity — the steady-state alternative to
+    /// [`Middlebox::take_toward_client`].
+    pub fn drain_toward_client_into(&mut self, dst: &mut Vec<u8>) {
+        self.pump_secondary();
+        let start = dst.len();
+        dst.extend_from_slice(&self.out_left);
+        self.out_left.clear();
+        if let Some(dp) = &mut self.dataplane {
+            dp.drain_toward_client_into(dst);
+        }
+        let n = (dst.len() - start) as u64;
+        if n > 0 {
+            self.emit(EventKind::BytesOut { bytes: n });
+        }
+    }
+
+    /// Append pending server-bound bytes to `dst`, keeping `dst`'s
+    /// capacity — the steady-state alternative to
+    /// [`Middlebox::take_toward_server`].
+    pub fn drain_toward_server_into(&mut self, dst: &mut Vec<u8>) {
+        self.pump_secondary();
+        let start = dst.len();
+        dst.extend_from_slice(&self.out_right);
+        self.out_right.clear();
+        if let Some(dp) = &mut self.dataplane {
+            dp.drain_toward_server_into(dst);
+        }
+        let n = (dst.len() - start) as u64;
+        if n > 0 {
+            self.emit(EventKind::BytesOut { bytes: n });
+        }
     }
 
     /// Feed bytes arriving from the client side.
@@ -316,15 +343,13 @@ impl Middlebox {
             self.emit(EventKind::BytesIn { bytes: data.len() as u64 });
         }
         self.left_reader.feed(data);
-        loop {
-            let rec = match self.left_reader.next_record() {
-                Ok(Some(r)) => r,
-                Ok(None) => break,
-                Err(e) => return self.fail(MbError::Tls(e)),
-            };
-            if let Err(e) = self.on_record_from_left(rec.content_type_byte, rec.body) {
-                return self.fail(e);
-            }
+        // The reader moves aside so records borrowed from its buffer
+        // can be routed into the middlebox's other fields.
+        let mut reader = std::mem::take(&mut self.left_reader);
+        let result = self.route_side(&mut reader, FlowDirection::ClientToServer);
+        self.left_reader = reader;
+        if let Err(e) = result {
+            return self.fail(e);
         }
         self.pump_secondary();
         Ok(())
@@ -339,17 +364,36 @@ impl Middlebox {
             self.emit(EventKind::BytesIn { bytes: data.len() as u64 });
         }
         self.right_reader.feed(data);
-        loop {
-            let rec = match self.right_reader.next_record() {
-                Ok(Some(r)) => r,
-                Ok(None) => break,
-                Err(e) => return self.fail(MbError::Tls(e)),
-            };
-            if let Err(e) = self.on_record_from_right(rec.content_type_byte, rec.body) {
-                return self.fail(e);
-            }
+        let mut reader = std::mem::take(&mut self.right_reader);
+        let result = self.route_side(&mut reader, FlowDirection::ServerToClient);
+        self.right_reader = reader;
+        if let Err(e) = result {
+            return self.fail(e);
         }
         self.pump_secondary();
+        Ok(())
+    }
+
+    /// Route every complete record `reader` holds for one arrival
+    /// side. In the data-plane phase, data records are opened,
+    /// processed, and re-sealed in place (zero-copy fast path);
+    /// everything else is copied out once and takes the phase state
+    /// machine.
+    fn route_side(&mut self, reader: &mut RecordReader, dir: FlowDirection) -> Result<(), MbError> {
+        while let Some((ct, body)) = reader.next_record_inplace().map_err(MbError::Tls)? {
+            let is_data = matches!(
+                ContentType::from_u8(ct),
+                Some(ContentType::ApplicationData | ContentType::Alert)
+            );
+            if self.phase == MiddleboxPhase::DataPlane && is_data {
+                self.dataplane_feed_in_place(dir, ct, body)?;
+            } else {
+                match dir {
+                    FlowDirection::ClientToServer => self.on_record_from_left(ct, body.to_vec())?,
+                    FlowDirection::ServerToClient => self.on_record_from_right(ct, body.to_vec())?,
+                }
+            }
+        }
         Ok(())
     }
 
@@ -699,6 +743,25 @@ impl Middlebox {
             .ok_or_else(|| MbError::unexpected_state("dataplane active but missing"))?;
         let processor = &mut self.processor;
         dp.feed(dir, &record, |d, plain| {
+            *plain = processor.process(d, std::mem::take(plain));
+        })
+    }
+
+    /// [`Middlebox::dataplane_feed`] without the reframe/refeed round
+    /// trip: the record body is opened, processed, and re-sealed where
+    /// it sits in the arrival reader's buffer.
+    fn dataplane_feed_in_place(
+        &mut self,
+        dir: FlowDirection,
+        ct: u8,
+        body: &mut [u8],
+    ) -> Result<(), MbError> {
+        let dp = self
+            .dataplane
+            .as_mut()
+            .ok_or_else(|| MbError::unexpected_state("dataplane active but missing"))?;
+        let processor = &mut self.processor;
+        dp.feed_record_in_place(dir, ct, body, |d, plain| {
             *plain = processor.process(d, std::mem::take(plain));
         })
     }

@@ -9,7 +9,8 @@
 //!   circuit applied to the bit-planes, so there are no
 //!   data-dependent memory accesses anywhere in the cipher — the
 //!   classic AES cache-timing channel (which the reference
-//!   implementation in [`crate::aes_ref`] deliberately retains as a
+//!   implementation in `crate::aes_ref`, gated behind tests and the
+//!   `reference-oracle` feature, deliberately retains as a
 //!   cross-check oracle) does not exist on this path.
 //! * **Eight blocks per invocation.** One pass through the circuit
 //!   encrypts 128 bytes; [`Aes::ctr_xor`] drives it as a CTR

@@ -6,12 +6,15 @@
 //! memory access whose cache footprint leaks information about the
 //! key schedule and plaintext (the classic AES cache-timing channel).
 //! That is exactly why this path is *reference-only*: it never
-//! protects live traffic. The record layer and all bulk benches run
-//! the constant-time bitsliced implementation; this module exists so
-//! tests can differentially validate it against an independent,
-//! easily-audited formulation of the cipher.
-//
-// lint:allow-file(const-time) -- reference-only oracle: SBOX table lookups are data-dependent by construction; live traffic uses the bitsliced crate::aes path
+//! protects live traffic, and the whole module is compiled out of
+//! production builds — it exists only under `cfg(test)` or the
+//! `reference-oracle` cargo feature (enabled by the bench harness and
+//! by this crate's own integration tests). The record layer and all
+//! bulk benches run the constant-time bitsliced implementation; this
+//! module exists so tests can differentially validate it against an
+//! independent, easily-audited formulation of the cipher.
+
+#![cfg(any(test, feature = "reference-oracle"))]
 
 /// AES S-box.
 const SBOX: [u8; 256] = [

@@ -21,10 +21,12 @@
 //! a data-dependent memory access; see DESIGN.md for why this is
 //! accepted for GHASH while the AES S-box lookups were eliminated.
 //! The previous one-block-at-a-time formulation survives as
-//! [`AesGcmRef`] — the cross-check oracle used by the vector and
-//! differential tests, never by live traffic.
+//! `AesGcmRef` — the cross-check oracle used by the vector and
+//! differential tests, never by live traffic, and compiled only
+//! under `cfg(test)` or the `reference-oracle` feature.
 
 use crate::aes::Aes;
+#[cfg(any(test, feature = "reference-oracle"))]
 use crate::aes_ref::AesRef;
 use crate::{ct, CryptoError};
 
@@ -318,12 +320,16 @@ impl AesGcm {
 
 /// Reference AES-GCM: the original one-block-at-a-time formulation
 /// (table AES + 4-bit Shoup GHASH), kept as an independent oracle for
-/// the vector and differential tests. Never used for live traffic.
+/// the vector and differential tests. Never used for live traffic,
+/// and compiled only under `cfg(test)` or the `reference-oracle`
+/// feature.
+#[cfg(any(test, feature = "reference-oracle"))]
 pub struct AesGcmRef {
     aes: AesRef,
     table: [Block128; 16],
 }
 
+#[cfg(any(test, feature = "reference-oracle"))]
 impl AesGcmRef {
     /// Create from a 16- or 32-byte AES key.
     pub fn new(key: &[u8]) -> Result<Self, CryptoError> {

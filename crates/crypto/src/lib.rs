@@ -21,7 +21,8 @@
 //! * [`hmac`] — HMAC over any [`sha2`] hash.
 //! * [`kdf`] — the TLS 1.2 PRF and HKDF.
 //! * [`aes`] — constant-time bitsliced AES (128/256-bit keys, 4-wide CTR).
-//! * [`aes_ref`] — reference table-lookup AES (cross-check oracle only).
+//! * `aes_ref` — reference table-lookup AES (cross-check oracle only;
+//!   compiled only under `cfg(test)` or the `reference-oracle` feature).
 //! * [`gcm`] — AES-GCM AEAD (GHASH + CTR).
 //! * [`aead`] — the AEAD trait object used by the record layer.
 //! * [`x25519`] — Diffie-Hellman over Curve25519.

@@ -1,0 +1,45 @@
+//! Concurrent session host for the mbTLS reproduction.
+//!
+//! The paper argues mbTLS's per-hop security model is deployable at
+//! middlebox-service scale; this crate supplies the scale half of
+//! that claim. A [`SessionHost`] multiplexes thousands of independent
+//! mbTLS (or baseline TLS) sessions over one shared byte-moving
+//! [`Substrate`] — the deterministic network simulator or zero-copy
+//! in-memory pipes — from a single sans-IO event loop.
+//!
+//! # Architecture
+//!
+//! - [`slab`] — the session table: a generational slab whose
+//!   [`SessionId`]s dangle *detectably* after eviction instead of
+//!   aliasing recycled slots.
+//! - [`wheel`] — a hierarchical timer wheel driven by virtual time:
+//!   handshake timeouts with telemetry-visible retry/backoff, idle
+//!   eviction, and session-ticket expiry. This is what turns a
+//!   silently dropped handshake flight into a surfaced
+//!   `MbError::Timeout` instead of a hung host.
+//! - [`substrate`] — the transport abstraction: one simulator (with
+//!   per-session latency and fault injection) or per-session pipes.
+//! - [`host`] — the event loop: a ready queue batches record pumping
+//!   with a per-session pass cap for backpressure, and a shared
+//!   [`pool::BufferPool`] keeps the steady state free of per-record
+//!   allocation.
+//! - [`loadgen`] — a seeded open/close-churn generator; same seed and
+//!   schedule ⇒ bit-identical telemetry and counters.
+
+#![warn(missing_docs)]
+
+pub mod host;
+pub mod loadgen;
+pub mod pool;
+pub mod session;
+pub mod slab;
+pub mod substrate;
+pub mod wheel;
+
+pub use host::{HostConfig, HostCounters, SessionHost, SessionSpec};
+pub use loadgen::{LoadConfig, LoadGenerator};
+pub use pool::BufferPool;
+pub use session::{SessionOutcome, Workload};
+pub use slab::{SessionId, Slab};
+pub use substrate::{NetSubstrate, PipeSubstrate, PumpOutcome, Substrate};
+pub use wheel::{Timer, TimerKind, TimerWheel};

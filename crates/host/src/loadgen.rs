@@ -1,0 +1,155 @@
+//! Seeded load generator: opens sessions against a [`SessionHost`]
+//! on a deterministic arrival schedule and drives the event loop
+//! until the fleet drains.
+//!
+//! Sessions close as their workloads complete while later arrivals
+//! are still opening, so a run exercises exactly the open/close churn
+//! the slab and timer wheel exist for. Everything derives from one
+//! seed: two runs with the same [`LoadConfig`] produce bit-identical
+//! telemetry traces and [`HostCounters`](crate::host::HostCounters).
+
+use std::sync::Arc;
+
+use mbtls_core::attacks::Testbed;
+use mbtls_core::client::MbClientSession;
+use mbtls_core::driver::{Chain, Relay};
+use mbtls_core::middlebox::Middlebox;
+use mbtls_core::server::MbServerSession;
+use mbtls_core::{MbClientConfig, MbError, MbServerConfig};
+use mbtls_crypto::rng::CryptoRng;
+use mbtls_netsim::time::{Duration, SimTime};
+use mbtls_netsim::FaultConfig;
+
+use crate::host::{SessionHost, SessionSpec};
+use crate::session::Workload;
+use crate::substrate::Substrate;
+
+/// Shape of a generated load run.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Total sessions to open.
+    pub sessions: usize,
+    /// Virtual time between consecutive arrivals.
+    pub arrival_spacing: Duration,
+    /// Every `n`th session gets one middlebox (0 = none ever).
+    pub middlebox_every: usize,
+    /// Per-link one-way latency for generated sessions.
+    pub latency: Duration,
+    /// Post-handshake workload per session.
+    pub workload: Workload,
+    /// Seed for the PKI testbed and every per-party RNG.
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            sessions: 100,
+            arrival_spacing: Duration::from_micros(500),
+            middlebox_every: 4,
+            latency: Duration::from_micros(50),
+            workload: Workload::default(),
+            seed: 7,
+        }
+    }
+}
+
+/// Builds session chains from one shared PKI testbed and opens them
+/// on schedule.
+pub struct LoadGenerator {
+    testbed: Testbed,
+    client_cfg: Arc<MbClientConfig>,
+    server_cfg: Arc<MbServerConfig>,
+    config: LoadConfig,
+    rng: CryptoRng,
+    opened: usize,
+}
+
+impl LoadGenerator {
+    /// Stand up certificates, trust stores, and attestation once;
+    /// every generated session shares them.
+    pub fn new(config: LoadConfig) -> Self {
+        let mut testbed = Testbed::new(config.seed);
+        let client_cfg = Arc::new(testbed.client_config());
+        let server_cfg = Arc::new(testbed.server_config());
+        let rng = testbed.rng.fork();
+        LoadGenerator { testbed, client_cfg, server_cfg, config, rng, opened: 0 }
+    }
+
+    /// Sessions not yet opened.
+    pub fn remaining(&self) -> usize {
+        self.config.sessions - self.opened
+    }
+
+    /// When the next session is due to open, if any remain.
+    pub fn next_arrival(&self) -> Option<SimTime> {
+        (self.opened < self.config.sessions)
+            .then(|| SimTime::ZERO.plus(self.config.arrival_spacing.times(self.opened as u64)))
+    }
+
+    /// Build the next session's spec (advances the schedule).
+    pub fn make_spec(&mut self) -> SessionSpec {
+        let i = self.opened;
+        self.opened += 1;
+        let with_middlebox =
+            self.config.middlebox_every > 0 && i.is_multiple_of(self.config.middlebox_every);
+        let client =
+            MbClientSession::new(self.client_cfg.clone(), "server.example", self.rng.fork());
+        let server = MbServerSession::new(self.server_cfg.clone(), self.rng.fork());
+        let middles: Vec<Box<dyn Relay>> = if with_middlebox {
+            let cfg = self.testbed.middlebox_config(&self.testbed.mbox_code);
+            vec![Box::new(Middlebox::new(cfg, self.rng.fork()))]
+        } else {
+            Vec::new()
+        };
+        SessionSpec {
+            chain: Chain::new(Box::new(client), middles, Box::new(server)),
+            latency: self.config.latency,
+            faults: FaultConfig::none(),
+            workload: self.config.workload,
+        }
+    }
+
+    /// Open every session at its scheduled arrival and run the host
+    /// until all of them finish (or `deadline` passes in virtual
+    /// time). Interleaves arrivals with the host's own event loop so
+    /// early sessions complete while later ones are still opening.
+    pub fn drive<S: Substrate>(
+        &mut self,
+        host: &mut SessionHost<S>,
+        deadline: SimTime,
+    ) -> Result<(), MbError> {
+        loop {
+            while self.next_arrival().is_some_and(|at| at <= host.now()) {
+                let spec = self.make_spec();
+                host.open(spec)?;
+            }
+            if self.remaining() == 0 && host.live() == 0 {
+                return Ok(());
+            }
+            if host.now() > deadline {
+                return Err(MbError::Timeout("load run deadline exceeded".into()));
+            }
+            if host.has_ready() {
+                host.step()?;
+                continue;
+            }
+            match (host.next_event(), self.next_arrival()) {
+                (Some(event), Some(arrival)) if event <= arrival => {
+                    host.step()?;
+                }
+                (_, Some(arrival)) => {
+                    host.advance_clock(arrival);
+                }
+                (Some(_), None) => {
+                    host.step()?;
+                }
+                (None, None) => {
+                    return Err(MbError::unexpected_state(
+                        "load generator quiescent with live sessions",
+                    ));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Generational slab: the host's session table.
+//!
+//! Sessions are addressed by [`SessionId`] — a slot index plus a
+//! generation. Freeing a slot bumps its generation, so an id held
+//! past its session's eviction dangles *detectably*: every accessor
+//! checks the generation and returns `None` for stale ids instead of
+//! silently aliasing whatever session reused the slot. Slots are
+//! recycled LIFO, which keeps the table dense under open/close churn.
+
+/// Handle to one hosted session: slot index + generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId {
+    index: u32,
+    generation: u32,
+}
+
+impl SessionId {
+    /// The slot index (stable only while this generation is live).
+    pub fn index(&self) -> u32 {
+        self.index
+    }
+
+    /// The slot generation this id is valid for.
+    pub fn generation(&self) -> u32 {
+        self.generation
+    }
+}
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}g{}", self.index, self.generation)
+    }
+}
+
+struct Entry<T> {
+    generation: u32,
+    value: Option<T>,
+}
+
+/// A generational slab.
+pub struct Slab<T> {
+    entries: Vec<Entry<T>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Slab::new()
+    }
+}
+
+impl<T> Slab<T> {
+    /// An empty slab.
+    pub fn new() -> Self {
+        Slab { entries: Vec::new(), free: Vec::new(), len: 0 }
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no sessions are live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of slots ever allocated (live + vacant).
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Insert a value, reusing the most recently freed slot if any.
+    pub fn insert(&mut self, value: T) -> SessionId {
+        self.len += 1;
+        if let Some(index) = self.free.pop() {
+            let entry = &mut self.entries[index as usize];
+            entry.value = Some(value);
+            SessionId { index, generation: entry.generation }
+        } else {
+            let index = self.entries.len() as u32;
+            self.entries.push(Entry { generation: 0, value: Some(value) });
+            SessionId { index, generation: 0 }
+        }
+    }
+
+    /// The value for `id`, unless the id is stale or never existed.
+    pub fn get(&self, id: SessionId) -> Option<&T> {
+        self.entries
+            .get(id.index as usize)
+            .filter(|e| e.generation == id.generation)
+            .and_then(|e| e.value.as_ref())
+    }
+
+    /// Mutable access, with the same staleness check as [`Slab::get`].
+    pub fn get_mut(&mut self, id: SessionId) -> Option<&mut T> {
+        self.entries
+            .get_mut(id.index as usize)
+            .filter(|e| e.generation == id.generation)
+            .and_then(|e| e.value.as_mut())
+    }
+
+    /// True if `id` names a live session.
+    pub fn contains(&self, id: SessionId) -> bool {
+        self.get(id).is_some()
+    }
+
+    /// The live id occupying slot `index`, if any. Used to map a
+    /// substrate token (a bare slot index) back to a full
+    /// generational id.
+    pub fn id_at(&self, index: u32) -> Option<SessionId> {
+        self.entries
+            .get(index as usize)
+            .filter(|e| e.value.is_some())
+            .map(|e| SessionId { index, generation: e.generation })
+    }
+
+    /// Remove and return the value for `id`. Bumps the slot
+    /// generation so the id (and any copies of it) go stale.
+    pub fn remove(&mut self, id: SessionId) -> Option<T> {
+        let entry = self
+            .entries
+            .get_mut(id.index as usize)
+            .filter(|e| e.generation == id.generation)?;
+        let value = entry.value.take()?;
+        entry.generation = entry.generation.wrapping_add(1);
+        self.free.push(id.index);
+        self.len -= 1;
+        Some(value)
+    }
+
+    /// Iterate live sessions in slot order (deterministic).
+    pub fn iter(&self) -> impl Iterator<Item = (SessionId, &T)> {
+        self.entries.iter().enumerate().filter_map(|(i, e)| {
+            e.value
+                .as_ref()
+                .map(|v| (SessionId { index: i as u32, generation: e.generation }, v))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut slab = Slab::new();
+        let a = slab.insert("a");
+        let b = slab.insert("b");
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.get(a), Some(&"a"));
+        assert_eq!(slab.get(b), Some(&"b"));
+        assert_eq!(slab.remove(a), Some("a"));
+        assert_eq!(slab.len(), 1);
+        assert_eq!(slab.get(a), None);
+    }
+
+    #[test]
+    fn stale_id_rejected_after_slot_reuse() {
+        let mut slab = Slab::new();
+        let first = slab.insert(1);
+        slab.remove(first);
+        let second = slab.insert(2);
+        // LIFO free list: the slot is reused...
+        assert_eq!(second.index(), first.index());
+        // ...under a new generation, so the old id stays dead.
+        assert_ne!(second.generation(), first.generation());
+        assert_eq!(slab.get(first), None);
+        assert!(!slab.contains(first));
+        assert_eq!(slab.get_mut(first), None);
+        assert_eq!(slab.remove(first), None);
+        assert_eq!(slab.get(second), Some(&2));
+    }
+
+    #[test]
+    fn double_remove_is_none() {
+        let mut slab = Slab::new();
+        let id = slab.insert(9);
+        assert_eq!(slab.remove(id), Some(9));
+        assert_eq!(slab.remove(id), None);
+        assert!(slab.is_empty());
+    }
+
+    #[test]
+    fn iter_is_slot_ordered() {
+        let mut slab = Slab::new();
+        let a = slab.insert("a");
+        let _b = slab.insert("b");
+        let _c = slab.insert("c");
+        slab.remove(a);
+        let order: Vec<&str> = slab.iter().map(|(_, v)| *v).collect();
+        assert_eq!(order, vec!["b", "c"]);
+    }
+}

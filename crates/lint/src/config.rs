@@ -20,6 +20,7 @@ pub const SCOPES: &[(RuleId, &[&str])] = &[
             "crates/netsim/src",
             "crates/sgx/src",
             "crates/telemetry/src",
+            "crates/host/src",
         ],
     ),
     (

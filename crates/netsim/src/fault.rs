@@ -10,7 +10,7 @@
 
 use mbtls_crypto::rng::CryptoRng;
 
-use crate::time::Duration;
+use crate::time::{Duration, SimTime};
 
 /// Fault configuration for one link direction.
 #[derive(Debug, Clone)]
@@ -25,6 +25,12 @@ pub struct FaultConfig {
     /// Maximum consecutive retransmissions before the connection is
     /// declared dead.
     pub max_retries: u32,
+    /// Silent-loss window `[start, end)`: every write scheduled inside
+    /// it vanishes without retransmission or reset — the path
+    /// blackholes traffic and neither endpoint learns anything. This
+    /// is the one fault the retransmitting-transport model cannot
+    /// recover from, so it is what handshake timeout logic must catch.
+    pub blackhole: Option<(SimTime, SimTime)>,
 }
 
 impl Default for FaultConfig {
@@ -34,6 +40,7 @@ impl Default for FaultConfig {
             corrupt_chance: 0.0,
             rto: Duration::from_millis(200),
             max_retries: 8,
+            blackhole: None,
         }
     }
 }
@@ -48,6 +55,15 @@ impl FaultConfig {
     pub fn lossy(drop_chance: f64) -> Self {
         FaultConfig {
             drop_chance,
+            ..Self::default()
+        }
+    }
+
+    /// An otherwise-lossless link that silently discards everything
+    /// written during `[start, end)`.
+    pub fn blackhole_window(start: SimTime, end: SimTime) -> Self {
+        FaultConfig {
+            blackhole: Some((start, end)),
             ..Self::default()
         }
     }
@@ -74,6 +90,8 @@ pub struct FaultInjector {
     pub dropped: u64,
     /// Segments corrupted (checksum-detected) at least once.
     pub corrupted: u64,
+    /// Writes swallowed whole by the blackhole window.
+    pub blackholed: u64,
 }
 
 impl FaultInjector {
@@ -85,6 +103,19 @@ impl FaultInjector {
             segments: 0,
             dropped: 0,
             corrupted: 0,
+            blackholed: 0,
+        }
+    }
+
+    /// True if a write at `now` falls inside the configured blackhole
+    /// window and must be silently discarded. Counts the swallow.
+    pub fn swallow(&mut self, now: SimTime) -> bool {
+        match self.config.blackhole {
+            Some((start, end)) if now >= start && now < end => {
+                self.blackholed += 1;
+                true
+            }
+            _ => false,
         }
     }
 
@@ -176,6 +207,17 @@ mod tests {
         }
         assert!(inj.corrupted > 50);
         assert_eq!(inj.dropped, 0);
+    }
+
+    #[test]
+    fn blackhole_window_is_half_open() {
+        let cfg = FaultConfig::blackhole_window(SimTime(100), SimTime(200));
+        let mut inj = FaultInjector::new(cfg, CryptoRng::from_seed(5));
+        assert!(!inj.swallow(SimTime(99)));
+        assert!(inj.swallow(SimTime(100)));
+        assert!(inj.swallow(SimTime(199)));
+        assert!(!inj.swallow(SimTime(200)));
+        assert_eq!(inj.blackholed, 2);
     }
 
     #[test]

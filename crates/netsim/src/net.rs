@@ -12,7 +12,8 @@
 //! injected into, tampered with, or cut — the Table 1 attacks are
 //! built from these hooks.
 
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 use mbtls_crypto::rng::CryptoRng;
 use mbtls_telemetry::{EventKind, Party, SharedSink};
@@ -56,6 +57,12 @@ struct WriteReport {
     fault_delayed: bool,
     /// A registered tamper hook mutated the chunk.
     tampered: bool,
+    /// The chunk fell into a blackhole window: silently discarded,
+    /// no retransmission, no reset.
+    blackholed: bool,
+    /// When the queued chunk will become deliverable (absent if the
+    /// write queued nothing — empty data or blackholed).
+    deliver_at: Option<SimTime>,
 }
 
 /// One direction of a connection: a latency/bandwidth pipe with
@@ -116,6 +123,13 @@ impl Pipe {
         if let Some(tap) = &mut self.tap {
             tap.push((now, data.clone()));
         }
+        // Blackhole window: the sender's transport believes the bytes
+        // left (they count as written and a tap sees them), but
+        // nothing is ever queued for delivery and no error surfaces.
+        if self.faults.swallow(now) {
+            report.blackholed = true;
+            return Ok(report);
+        }
         // Fault model: per-MSS segment delays accumulate.
         let mut fault_delay = Duration::ZERO;
         let nsegs = data.len().div_ceil(1460).max(1);
@@ -142,6 +156,7 @@ impl Pipe {
             None => deliver_at,
         };
         self.in_flight.push_back(Chunk { deliver_at, data });
+        report.deliver_at = Some(deliver_at);
         Ok(report)
     }
 
@@ -212,6 +227,14 @@ pub struct Network {
     /// Default one-way latency used when none is specified.
     pub default_latency: Duration,
     telemetry: Option<SharedSink>,
+    /// Min-heap of candidate `(deliver_at, conn index)` delivery
+    /// instants, pushed on every queued write and validated lazily:
+    /// an entry whose connection no longer has a chunk due exactly at
+    /// that instant is stale (already delivered) and is discarded on
+    /// pop. Keeps [`Network::next_event_time`] O(log n) per call
+    /// instead of scanning every pipe — the difference between a
+    /// 2-party test and a host multiplexing thousands of sessions.
+    event_heap: BinaryHeap<Reverse<(SimTime, usize)>>,
 }
 
 impl Network {
@@ -224,6 +247,7 @@ impl Network {
             rng: CryptoRng::from_seed(seed),
             default_latency: Duration::from_micros(50),
             telemetry: None,
+            event_heap: BinaryHeap::new(),
         }
     }
 
@@ -326,11 +350,14 @@ impl Network {
         };
         let earliest = c.established_at.max(now.plus(compute));
         let report = self.pipe_mut(conn, dir)?.write(now, data.to_vec(), earliest)?;
+        if let Some(t) = report.deliver_at {
+            self.event_heap.push(Reverse((t, conn.0)));
+        }
         self.emit(EventKind::LinkSend { conn: conn.0 as u64, bytes: data.len() as u64 });
         if report.tampered {
             self.emit(EventKind::LinkCorrupt { conn: conn.0 as u64 });
         }
-        if report.fault_delayed {
+        if report.fault_delayed || report.blackholed {
             self.emit(EventKind::LinkDrop { conn: conn.0 as u64, bytes: data.len() as u64 });
         }
         Ok(())
@@ -371,7 +398,70 @@ impl Network {
 
     /// The earliest future instant at which any in-flight data becomes
     /// deliverable, or `None` if the network is quiescent.
-    pub fn next_event_time(&self) -> Option<SimTime> {
+    ///
+    /// Backed by a lazily-maintained min-heap: delivered chunks leave
+    /// stale heap entries behind, which are discarded on pop, so the
+    /// amortized cost is O(log writes) rather than O(connections).
+    /// Takes `&mut self` only to prune those stale entries — the
+    /// answer is the same one [`Network::next_event_time_scan`] would
+    /// compute by walking every pipe.
+    pub fn next_event_time(&mut self) -> Option<SimTime> {
+        while let Some(&Reverse((t, idx))) = self.event_heap.peek() {
+            let actual = self.conns.get(idx).and_then(|c| {
+                match (c.a_to_b.next_event(), c.b_to_a.next_event()) {
+                    (Some(x), Some(y)) => Some(x.min(y)),
+                    (x, None) => x,
+                    (None, y) => y,
+                }
+            });
+            match actual {
+                Some(a) if a == t => return Some(t.max(self.now)),
+                // Earlier than every heap entry can't normally happen
+                // (each queued chunk pushed its own entry), but requeue
+                // defensively so the heap never under-reports.
+                Some(a) if a < t => {
+                    self.event_heap.pop();
+                    self.event_heap.push(Reverse((a, idx)));
+                }
+                // Stale: that chunk was already delivered.
+                _ => {
+                    self.event_heap.pop();
+                }
+            }
+        }
+        None
+    }
+
+    /// Pop one connection that has data deliverable at or before the
+    /// current time, or `None` when nothing is due yet. Multi-session
+    /// drivers use this to learn *which* connection a time advance
+    /// made readable without scanning all of them; the caller must
+    /// then drain the connection with [`Network::recv`], otherwise
+    /// later [`Network::next_event_time`] calls may under-report (the
+    /// popped entry is gone from the heap). The same connection may be
+    /// returned once per undrained chunk.
+    pub fn pop_due(&mut self) -> Option<ConnId> {
+        while let Some(&Reverse((t, idx))) = self.event_heap.peek() {
+            if t > self.now {
+                return None;
+            }
+            self.event_heap.pop();
+            let due = self.conns.get(idx).is_some_and(|c| {
+                c.a_to_b.next_event().is_some_and(|x| x <= self.now)
+                    || c.b_to_a.next_event().is_some_and(|x| x <= self.now)
+            });
+            if due {
+                return Some(ConnId(idx));
+            }
+        }
+        None
+    }
+
+    /// Reference implementation of [`Network::next_event_time`]: an
+    /// O(connections) scan over every pipe. Kept as the oracle the
+    /// heap path is equivalence-tested against.
+    #[cfg(test)]
+    fn next_event_time_scan(&self) -> Option<SimTime> {
         let mut best: Option<SimTime> = None;
         for conn in &self.conns {
             for pipe in [&conn.a_to_b, &conn.b_to_a] {
@@ -431,6 +521,9 @@ impl Network {
         let c = self.conns.get(conn.0).ok_or(NetError::BadHandle)?;
         let earliest = c.established_at;
         let report = self.pipe_mut(conn, dir)?.write(now, data.to_vec(), earliest)?;
+        if let Some(t) = report.deliver_at {
+            self.event_heap.push(Reverse((t, conn.0)));
+        }
         self.emit(EventKind::LinkSend { conn: conn.0 as u64, bytes: data.len() as u64 });
         if report.tampered {
             self.emit(EventKind::LinkCorrupt { conn: conn.0 as u64 });
@@ -629,5 +722,113 @@ mod tests {
         let (n, a, b) = net();
         assert_eq!(n.node_name(a), "client");
         assert_eq!(n.node_name(b), "server");
+    }
+
+    /// The heap-backed `next_event_time` must agree with the exhaustive
+    /// pipe scan at every step of a randomized send/recv/advance churn
+    /// across many connections.
+    #[test]
+    fn event_heap_matches_scan_under_churn() {
+        let mut n = Network::new(99);
+        let nodes: Vec<NodeId> = (0..8).map(|i| n.add_node(&format!("n{i}"))).collect();
+        let mut conns = Vec::new();
+        for i in 0..nodes.len() - 1 {
+            let lat = Duration::from_micros(10 + 37 * i as u64);
+            conns.push((
+                n.connect_with(nodes[i], nodes[i + 1], lat, Some(10_000_000), FaultConfig::none()),
+                nodes[i],
+                nodes[i + 1],
+            ));
+            conns.push((n.connect(nodes[i + 1], nodes[i]), nodes[i + 1], nodes[i]));
+        }
+        let mut rng = CryptoRng::from_seed(1234);
+        for step in 0..2000 {
+            let (conn, from, to) = conns[rng.gen_range(conns.len() as u64) as usize];
+            match rng.gen_range(4) {
+                0 | 1 => {
+                    let len = 1 + rng.gen_range(900) as usize;
+                    n.send(conn, from, &vec![0xAB; len]).unwrap();
+                }
+                2 => {
+                    let _ = n.recv(conn, to).unwrap();
+                }
+                _ => {
+                    if let Some(t) = n.next_event_time_scan() {
+                        n.advance_to(t);
+                    } else {
+                        n.advance_by(Duration::from_micros(rng.gen_range(100)));
+                    }
+                }
+            }
+            let scan = n.next_event_time_scan();
+            let heap = n.next_event_time();
+            assert_eq!(heap, scan, "divergence at step {step}");
+        }
+        // Drain everything; both views must agree the network went
+        // quiet.
+        while let Some(t) = n.next_event_time() {
+            n.advance_to(t);
+            for &(conn, _, to) in &conns {
+                let _ = n.recv(conn, to).unwrap();
+            }
+        }
+        assert_eq!(n.next_event_time_scan(), None);
+    }
+
+    #[test]
+    fn pop_due_names_the_readable_conn() {
+        let (mut n, a, b) = net();
+        let c2 = n.add_node("c");
+        let conn1 = n.connect(a, b);
+        let conn2 = n.connect(b, c2);
+        n.send(conn2, b, b"to-c").unwrap();
+        n.send(conn1, a, b"to-b").unwrap();
+        assert_eq!(n.pop_due(), None, "nothing due before time advances");
+        let t = n.next_event_time().unwrap();
+        n.advance_to(t);
+        // Both conns share the default latency, so both become due at
+        // the same instant; pops are ordered by (time, conn index).
+        assert_eq!(n.pop_due(), Some(conn1));
+        let _ = n.recv(conn1, b).unwrap();
+        assert_eq!(n.pop_due(), Some(conn2));
+        let _ = n.recv(conn2, c2).unwrap();
+        assert_eq!(n.pop_due(), None);
+    }
+
+    #[test]
+    fn blackhole_window_swallows_silently() {
+        let mut n = Network::new(11);
+        let a = n.add_node("a");
+        let b = n.add_node("b");
+        let faults = FaultConfig::blackhole_window(SimTime(30_000_000), SimTime(60_000_000));
+        let conn = n.connect_with(a, b, Duration::from_millis(1), None, faults);
+        // Before the window: delivered normally.
+        n.send(conn, a, b"early").unwrap();
+        // Inside the window: accepted (no error — the sender cannot
+        // tell) but never delivered.
+        n.advance_to(SimTime(30_000_000));
+        n.send(conn, a, b"lost").unwrap();
+        // After the window: flows again.
+        n.advance_to(SimTime(60_000_000));
+        n.send(conn, a, b"late").unwrap();
+        n.advance_to(SimTime(1_000_000_000));
+        assert_eq!(n.recv(conn, b).unwrap(), b"earlylate");
+        // A later read does not surface an error either: losses stay
+        // invisible to the transport.
+        assert_eq!(n.recv(conn, b).unwrap(), b"");
+    }
+
+    #[test]
+    fn blackholed_bytes_still_counted_as_written() {
+        let mut n = Network::new(12);
+        let a = n.add_node("a");
+        let b = n.add_node("b");
+        let faults = FaultConfig::blackhole_window(SimTime::ZERO, SimTime(1_000));
+        let conn = n.connect_with(a, b, Duration::from_millis(1), None, faults);
+        n.tap(conn, Dir::AtoB);
+        n.send(conn, a, b"gone").unwrap();
+        assert_eq!(n.bytes_written(conn, Dir::AtoB), 4);
+        assert_eq!(n.tap_contents(conn, Dir::AtoB).len(), 1);
+        assert_eq!(n.next_event_time(), None);
     }
 }

@@ -16,6 +16,10 @@ pub enum Party {
     Network,
     /// A simulated SGX enclave, by platform-local id.
     Enclave(u64),
+    /// The concurrent session host (`mbtls-host`): slab, timer wheel
+    /// and event-loop events that are not attributable to any single
+    /// in-session party.
+    Host,
 }
 
 impl Party {
@@ -27,6 +31,7 @@ impl Party {
             Party::Server => "server".to_string(),
             Party::Network => "network".to_string(),
             Party::Enclave(i) => format!("enclave{i}"),
+            Party::Host => "host".to_string(),
         }
     }
 }
@@ -162,6 +167,61 @@ pub enum EventKind {
         cost_ns: u64,
     },
 
+    // ---- Session host (mbtls-host) ----
+    /// The host admitted a new session into its slab.
+    HostSessionOpen {
+        /// Slab index of the generational session id.
+        session: u64,
+        /// Generation of the session id (stale-id detection).
+        generation: u64,
+    },
+    /// A hosted session finished its end-to-end handshake.
+    HostHandshakeDone {
+        /// Slab index of the generational session id.
+        session: u64,
+        /// Handshake attempts consumed (1 = first try).
+        attempt: u64,
+        /// Virtual nanoseconds from open to handshake completion.
+        elapsed_ns: u64,
+    },
+    /// A hosted session closed cleanly and left the slab.
+    HostSessionClose {
+        /// Slab index of the generational session id.
+        session: u64,
+    },
+    /// A hosted session's handshake timer fired with no progress; the
+    /// host will either retry (see [`EventKind::HostRetryBackoff`]) or
+    /// fail the session with `MbError::Timeout`.
+    HostTimeout {
+        /// Slab index of the generational session id.
+        session: u64,
+        /// The attempt that timed out (1 = first try).
+        attempt: u64,
+    },
+    /// The host rescheduled a timed-out handshake with exponential
+    /// backoff.
+    HostRetryBackoff {
+        /// Slab index of the generational session id.
+        session: u64,
+        /// The attempt about to start (2 = first retry).
+        attempt: u64,
+        /// Backoff applied before the retry, in virtual nanoseconds.
+        backoff_ns: u64,
+    },
+    /// The host evicted an idle session from the slab.
+    HostEvict {
+        /// Slab index of the generational session id.
+        session: u64,
+        /// Idle time at eviction, in virtual nanoseconds.
+        idle_ns: u64,
+    },
+    /// A cached session ticket passed its lifetime and was dropped
+    /// from the host's resumption cache.
+    HostTicketExpired {
+        /// Number of tickets remaining in the cache after expiry.
+        remaining: u64,
+    },
+
     // ---- Bench harness ----
     /// Measured wall-clock CPU time attributed to the party.
     CpuTime {
@@ -195,6 +255,13 @@ impl EventKind {
             EventKind::EnclaveDestroy { .. } => "enclave_destroy",
             EventKind::Ecall { .. } => "ecall",
             EventKind::Ocall { .. } => "ocall",
+            EventKind::HostSessionOpen { .. } => "host_session_open",
+            EventKind::HostHandshakeDone { .. } => "host_handshake_done",
+            EventKind::HostSessionClose { .. } => "host_session_close",
+            EventKind::HostTimeout { .. } => "host_timeout",
+            EventKind::HostRetryBackoff { .. } => "host_retry_backoff",
+            EventKind::HostEvict { .. } => "host_evict",
+            EventKind::HostTicketExpired { .. } => "host_ticket_expired",
             EventKind::CpuTime { .. } => "cpu_time",
         }
     }
@@ -229,6 +296,23 @@ impl EventKind {
             EventKind::Ecall { enclave, cost_ns } | EventKind::Ocall { enclave, cost_ns } => {
                 vec![("enclave", enclave), ("cost_ns", cost_ns)]
             }
+            EventKind::HostSessionOpen { session, generation } => {
+                vec![("session", session), ("generation", generation)]
+            }
+            EventKind::HostHandshakeDone { session, attempt, elapsed_ns } => {
+                vec![("session", session), ("attempt", attempt), ("elapsed_ns", elapsed_ns)]
+            }
+            EventKind::HostSessionClose { session } => vec![("session", session)],
+            EventKind::HostTimeout { session, attempt } => {
+                vec![("session", session), ("attempt", attempt)]
+            }
+            EventKind::HostRetryBackoff { session, attempt, backoff_ns } => {
+                vec![("session", session), ("attempt", attempt), ("backoff_ns", backoff_ns)]
+            }
+            EventKind::HostEvict { session, idle_ns } => {
+                vec![("session", session), ("idle_ns", idle_ns)]
+            }
+            EventKind::HostTicketExpired { remaining } => vec![("remaining", remaining)],
             EventKind::CpuTime { dur_ns } => vec![("dur_ns", dur_ns)],
         }
     }

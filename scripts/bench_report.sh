@@ -1,48 +1,72 @@
 #!/usr/bin/env bash
-# Data-plane bench reporter: runs the seeded crypto-primitive and
-# record-path benches and emits BENCH_dataplane.json, then validates
-# the artifact's shape so a silently-broken reporter fails loudly.
+# Bench reporters: the seeded crypto-primitive/record-path benches
+# (BENCH_dataplane.json) and the session-host capacity benches
+# (BENCH_scale.json), each validated for shape so a silently-broken
+# reporter fails loudly.
 #
-#   scripts/bench_report.sh           full run (stable numbers, ~10 s);
-#                                     writes BENCH_dataplane.json at the
-#                                     repo root — the committed artifact
-#   scripts/bench_report.sh --smoke   tiny budget (sub-second) writing
-#                                     target/BENCH_dataplane.json; used
-#                                     by scripts/check.sh as the gate
+#   scripts/bench_report.sh           full run (stable numbers, ~40 s);
+#                                     writes BENCH_dataplane.json and
+#                                     BENCH_scale.json at the repo root —
+#                                     the committed artifacts
+#   scripts/bench_report.sh --smoke   tiny budgets (seconds) writing to
+#                                     target/; used by scripts/check.sh
+#                                     as the gate
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+SMOKE=0
+if [[ "${1:-}" == "--smoke" ]]; then
+    SMOKE=1
+    mkdir -p target
+fi
+
+# validate <file> <required-key>...: non-empty, every key present, and
+# parseable as one JSON object (python3 is in the toolchain image;
+# fall back to the key check alone if it ever is not).
+validate() {
+    local out="$1"
+    shift
+    if [[ ! -s "$out" ]]; then
+        echo "FAIL: $out is missing or empty" >&2
+        exit 1
+    fi
+    local key
+    for key in "$@"; do
+        if ! grep -q "\"$key\"" "$out"; then
+            echo "FAIL: $out is malformed — missing \"$key\"" >&2
+            exit 1
+        fi
+    done
+    if command -v python3 > /dev/null; then
+        python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$out" || {
+            echo "FAIL: $out is not valid JSON" >&2
+            exit 1
+        }
+    fi
+}
+
+# Stage 1: data-plane fast path.
 OUT="BENCH_dataplane.json"
 ARGS=()
-if [[ "${1:-}" == "--smoke" ]]; then
-    mkdir -p target
+if [[ "$SMOKE" == 1 ]]; then
     OUT="target/BENCH_dataplane.json"
     ARGS+=(--smoke)
 fi
-
 cargo run -q --release -p mbtls-bench --bin bench_report -- "${ARGS[@]}" --out "$OUT" > /dev/null
+validate "$OUT" throughput_mb_s aes_gcm_bitsliced_seal aes_gcm_reference_seal \
+         endpoint_seal_record middlebox_forward_record \
+         allocs_per_record_endpoint allocs_per_record_middlebox
+echo "OK: wrote $OUT"
 
-if [[ ! -s "$OUT" ]]; then
-    echo "FAIL: $OUT is missing or empty" >&2
-    exit 1
+# Stage 2: session-host capacity under churn.
+OUT="BENCH_scale.json"
+ARGS=()
+if [[ "$SMOKE" == 1 ]]; then
+    OUT="target/BENCH_scale.json"
+    ARGS+=(--smoke)
 fi
-
-# Shape check: required keys present, and the file is one JSON object
-# (python3 is in the toolchain image; fall back to the key check alone
-# if it ever is not).
-for key in throughput_mb_s aes_gcm_bitsliced_seal aes_gcm_reference_seal \
-           endpoint_seal_record middlebox_forward_record \
-           allocs_per_record_endpoint allocs_per_record_middlebox; do
-    if ! grep -q "\"$key\"" "$OUT"; then
-        echo "FAIL: $OUT is malformed — missing \"$key\"" >&2
-        exit 1
-    fi
-done
-if command -v python3 > /dev/null; then
-    python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$OUT" || {
-        echo "FAIL: $OUT is not valid JSON" >&2
-        exit 1
-    }
-fi
-
+cargo run -q --release -p mbtls-bench --bin scale_report -- "${ARGS[@]}" --out "$OUT" > /dev/null
+validate "$OUT" sessions handshakes_per_s records_per_s \
+         p50_handshake_ms p99_handshake_ms bytes_per_session \
+         allocs_per_record_steady determinism identical
 echo "OK: wrote $OUT"

@@ -10,18 +10,22 @@
 //! `--smoke` runs tiny fleets (sub-second) so `scripts/check.sh` can
 //! gate on the harness working end to end; numbers from a smoke run
 //! are noisy and flagged `"smoke": true` in the JSON. Full runs
-//! (`scripts/bench_report.sh`) measure fleets of 100, 1 000, and
-//! 10 000 sessions.
+//! (`scripts/bench_report.sh`) measure fleets of 10 000, 100 000, and
+//! 1 000 000 sessions, each at 1/2/4/8 shards (the max-shard-wall
+//! cores-vs-throughput model; see `scale.rs`). A full run takes
+//! hours, so the artifact is rewritten after every completed fleet
+//! size — a partially-written file is always valid JSON covering the
+//! tiers measured so far.
 //!
 //! The binary installs a counting global allocator so the
-//! steady-state allocation metric measures the real host loop; the
+//! steady-state allocation metric measures the real shard loop; the
 //! library crate stays allocator-agnostic.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use mbtls_bench::scale::{
-    bench_scale_point, determinism_probe, ScaleReport, SteadyStateHost,
+    bench_scale_point_over, determinism_probe, ScaleReport, SteadyStateShard, SHARD_CURVE,
 };
 
 /// `System` wrapped with an allocation counter. Only counts calls to
@@ -58,16 +62,24 @@ fn alloc_count() -> u64 {
 }
 
 /// Allocations per application record over `exchanges` steady-state
-/// round trips of the warmed-up single-session host (each exchange is
-/// two records: one request, one response).
-fn measure_allocs_per_record(exchanges: u64) -> f64 {
-    let mut steady = SteadyStateHost::warmed_up(8);
+/// round trips of a warmed-up single-session shard `k` (each exchange
+/// is two records: one request, one response).
+fn measure_allocs_per_record(k: u16, exchanges: u64) -> f64 {
+    let mut steady = SteadyStateShard::warmed_up(k, 8);
     // One extra pump after warm-up so any lazily-grown buffer
     // (first-use capacity bumps) settles before counting.
     steady.pump_exchanges(2);
     let before = alloc_count();
     steady.pump_exchanges(exchanges);
     (alloc_count() - before) as f64 / (exchanges * 2) as f64
+}
+
+fn write_artifact(out_path: &str, report: &ScaleReport) {
+    let json = report.to_json();
+    std::fs::write(out_path, format!("{json}\n")).unwrap_or_else(|e| {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    });
 }
 
 fn main() {
@@ -92,30 +104,52 @@ fn main() {
     }
 
     // Fleet sizes: smoke proves the harness end to end; full runs
-    // measure the capacity curve the ISSUE asks for.
-    let fleets: &[usize] = if smoke { &[8, 24] } else { &[100, 1_000, 10_000] };
-    let determinism_sessions = if smoke { 8 } else { 100 };
+    // measure the capacity curve the ISSUE asks for. Smoke keeps a
+    // shortened shard curve that still crosses the 4-shard point the
+    // speedup gate reads.
+    let fleets: &[usize] = if smoke { &[8, 24] } else { &[10_000, 100_000, 1_000_000] };
+    let curve: &[u16] = if smoke { &[1, 2, 4] } else { SHARD_CURVE };
+    let determinism_sessions = if smoke { 16 } else { 10_000 };
+    let determinism_shards: u16 = 4;
     let alloc_exchanges: u64 = if smoke { 8 } else { 256 };
+    let alloc_shards: u16 = 4;
     let seed = 0xC0_FFEE;
 
-    let points = fleets.iter().map(|&n| bench_scale_point(n, seed)).collect();
-    let allocs_per_record_steady = measure_allocs_per_record(alloc_exchanges);
-    let (_, determinism_identical) = determinism_probe(determinism_sessions, seed);
+    // Fast metrics first, so even the first artifact write carries
+    // the allocation and determinism verdicts.
+    let allocs_per_record_per_shard: Vec<f64> =
+        (0..alloc_shards).map(|k| measure_allocs_per_record(k, alloc_exchanges)).collect();
+    eprintln!(
+        "allocs/record per shard: {:?}",
+        allocs_per_record_per_shard.iter().map(|a| format!("{a:.3}")).collect::<Vec<_>>()
+    );
+    let (_, determinism_identical) =
+        determinism_probe(determinism_sessions, determinism_shards, seed);
+    eprintln!(
+        "determinism ({determinism_sessions} sessions, {determinism_shards} shards): {}",
+        if determinism_identical { "bit-identical" } else { "DIVERGED" }
+    );
 
-    let report = ScaleReport {
+    let mut report = ScaleReport {
         smoke,
-        points,
-        allocs_per_record_steady,
+        points: Vec::new(),
+        allocs_per_record_per_shard,
         determinism_seed: seed,
         determinism_sessions,
+        determinism_shards,
         determinism_identical,
     };
+    write_artifact(&out_path, &report);
 
-    let json = report.to_json();
-    std::fs::write(&out_path, format!("{json}\n")).unwrap_or_else(|e| {
-        eprintln!("failed to write {out_path}: {e}");
-        std::process::exit(1);
-    });
-    println!("{json}");
+    for &n in fleets {
+        eprintln!("measuring fleet n={n} over shard curve {curve:?}...");
+        report.points.push(bench_scale_point_over(n, seed, curve));
+        // Rewrite after every tier: a multi-hour full run leaves a
+        // valid artifact behind even if interrupted.
+        write_artifact(&out_path, &report);
+        eprintln!("wrote {out_path} ({} tiers)", report.points.len());
+    }
+
+    println!("{}", report.to_json());
     eprintln!("wrote {out_path}");
 }

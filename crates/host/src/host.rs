@@ -1,68 +1,40 @@
-//! The concurrent session host.
+//! The sharded session host: an opaque facade over per-worker
+//! [`Shard`] reactors.
 //!
-//! [`SessionHost`] multiplexes many mbTLS (or baseline TLS) sessions
-//! over one [`Substrate`] from a single-threaded, sans-IO event loop:
+//! [`Host`] is the front door. It owns `config.shards()` reactors,
+//! each with a private substrate, session table, timer wheel, ready
+//! queue, and buffer pool, and routes every operation by the shard
+//! index encoded in [`SessionId`]:
 //!
-//! * a generational [`Slab`] is the session table — ids dangling past
-//!   eviction are rejected, never aliased;
-//! * a hierarchical [`TimerWheel`] driven by virtual time arms
-//!   handshake timeouts (with telemetry-visible retry/backoff), idle
-//!   eviction, and session-ticket expiry — so a dropped handshake
-//!   flight surfaces as [`MbError::Timeout`] instead of hanging the
-//!   host forever;
-//! * a ready queue batches record pumping with a per-session pass cap
-//!   (backpressure): a chatty session is requeued behind its peers
-//!   rather than pumped to fixpoint while others starve;
-//! * a shared [`BufferPool`] stages application payloads, so the
-//!   steady state performs no per-record heap allocation.
+//! * **admission** goes through the [`ShardMux`]'s per-shard inbox
+//!   rings — deterministic round-robin pinning (or explicit placement
+//!   via [`Host::open_on`]);
+//! * **steering** after admission needs no table at all: the id *is*
+//!   the route;
+//! * **telemetry** is recorded per shard (each with its own virtual
+//!   clock) and merged into one deterministic trace with
+//!   [`mbtls_telemetry::merge_shard_traces`] — stable order by
+//!   `(ts_ns, shard)`.
 //!
-//! Everything is deterministic: same seed and churn schedule ⇒
-//! bit-identical telemetry and counters.
-
-use std::collections::VecDeque;
+//! Because shards share nothing, any schedule that runs each shard's
+//! own events in order produces the same per-shard state and trace;
+//! [`Host::run`] drives shards to completion sequentially (the
+//! single-core stand-in for parallel workers), while [`Host::step`]
+//! interleaves them in global virtual-time order for lock-step
+//! drivers. Both yield identical merged traces.
 
 use mbtls_core::driver::Chain;
 use mbtls_core::MbError;
 use mbtls_netsim::time::{Duration, SimTime};
 use mbtls_netsim::FaultConfig;
-use mbtls_telemetry::{EventKind, Party, SharedSink};
-use mbtls_tls::session::ResumptionData;
+use mbtls_telemetry::{Recorder, SharedSink};
 
-use crate::pool::BufferPool;
-use crate::session::{HostedSession, Phase, SessionOutcome, Workload};
-use crate::slab::{SessionId, Slab};
+use crate::config::HostConfig;
+use crate::mux::ShardMux;
+use crate::session::{SessionOutcome, Workload};
+use crate::shard::Shard;
+use crate::slab::SessionId;
 use crate::substrate::Substrate;
-use crate::wheel::{Timer, TimerKind, TimerWheel};
-
-/// Host tuning knobs.
-#[derive(Debug, Clone)]
-pub struct HostConfig {
-    /// Deadline for the first handshake attempt.
-    pub handshake_timeout: Duration,
-    /// Total handshake attempts before the session fails with
-    /// [`MbError::Timeout`] (1 = no retries).
-    pub handshake_attempts: u32,
-    /// Established sessions idle this long are evicted.
-    pub idle_timeout: Duration,
-    /// Lifetime of cached session tickets.
-    pub ticket_ttl: Duration,
-    /// Per-service chain-pump pass cap (backpressure): a session
-    /// still moving bytes after this many passes is requeued behind
-    /// its peers instead of pumped to fixpoint.
-    pub max_pump_passes: usize,
-}
-
-impl Default for HostConfig {
-    fn default() -> Self {
-        HostConfig {
-            handshake_timeout: Duration::from_millis(1_000),
-            handshake_attempts: 3,
-            idle_timeout: Duration::from_secs(30),
-            ticket_ttl: Duration::from_secs(300),
-            max_pump_passes: 8,
-        }
-    }
-}
 
 /// Everything needed to admit one session.
 pub struct SessionSpec {
@@ -78,578 +50,363 @@ pub struct SessionSpec {
 
 /// Deterministic host statistics. Two runs with the same seed and
 /// churn schedule produce identical values (the determinism test
-/// compares these alongside the telemetry trace).
+/// compares these alongside the telemetry trace). Fields are private:
+/// read through the accessors, aggregate across shards with
+/// [`HostCounters::merge`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct HostCounters {
+    pub(crate) opened: u64,
+    pub(crate) completed: u64,
+    pub(crate) timed_out: u64,
+    pub(crate) evicted: u64,
+    pub(crate) failed: u64,
+    pub(crate) retries: u64,
+    pub(crate) tickets_expired: u64,
+    pub(crate) bytes_moved: u64,
+    pub(crate) exchanges_completed: u64,
+    pub(crate) handshake_latencies_ns: Vec<u64>,
+}
+
+impl HostCounters {
     /// Sessions admitted.
-    pub opened: u64,
+    pub fn opened(&self) -> u64 {
+        self.opened
+    }
+
     /// Sessions that completed their workload.
-    pub completed: u64,
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
     /// Sessions failed by handshake timeout.
-    pub timed_out: u64,
+    pub fn timed_out(&self) -> u64 {
+        self.timed_out
+    }
+
     /// Sessions evicted idle.
-    pub evicted: u64,
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
     /// Sessions failed by a party error.
-    pub failed: u64,
+    pub fn failed(&self) -> u64 {
+        self.failed
+    }
+
     /// Handshake retries performed.
-    pub retries: u64,
-    /// Session tickets dropped at expiry.
-    pub tickets_expired: u64,
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Session tickets dropped at expiry or displaced by the cache
+    /// cap.
+    pub fn tickets_expired(&self) -> u64 {
+        self.tickets_expired
+    }
+
     /// Wire bytes pushed into the substrate, all sessions.
-    pub bytes_moved: u64,
+    pub fn bytes_moved(&self) -> u64 {
+        self.bytes_moved
+    }
+
     /// Request/response exchanges completed, all sessions.
-    pub exchanges_completed: u64,
+    pub fn exchanges_completed(&self) -> u64 {
+        self.exchanges_completed
+    }
+
     /// Per-session open→handshake-done latency, in virtual
     /// nanoseconds, in completion order.
-    pub handshake_latencies_ns: Vec<u64>,
-}
+    pub fn handshake_latencies_ns(&self) -> &[u64] {
+        &self.handshake_latencies_ns
+    }
 
-/// What one service pass decided about a session.
-enum Verdict {
-    /// Session ended; record the outcome.
-    Finish(SessionOutcome),
-    /// Pass cap hit while bytes still moved — requeue behind peers.
-    Saturated,
-    /// Nothing moved and nothing to do — wait for transport or timer.
-    Parked,
-    /// Progress was made; pump again.
-    Progress,
-}
-
-/// A sans-IO event loop multiplexing many sessions over one
-/// substrate.
-pub struct SessionHost<S: Substrate> {
-    substrate: S,
-    config: HostConfig,
-    sessions: Slab<HostedSession>,
-    wheel: TimerWheel,
-    ready: VecDeque<SessionId>,
-    /// Reused scratch for expired timers (no per-step allocation).
-    fired: Vec<Timer>,
-    pool: BufferPool,
-    telemetry: Option<SharedSink>,
-    /// Session-ticket cache: `(expiry, data)`, expired by the wheel.
-    tickets: Vec<(SimTime, ResumptionData)>,
-    results: Vec<(SessionId, SessionOutcome)>,
-    counters: HostCounters,
-}
-
-impl<S: Substrate> SessionHost<S> {
-    /// A host over `substrate`.
-    pub fn new(substrate: S, config: HostConfig) -> Self {
-        SessionHost {
-            substrate,
-            config,
-            sessions: Slab::new(),
-            wheel: TimerWheel::new(),
-            ready: VecDeque::new(),
-            fired: Vec::new(),
-            pool: BufferPool::new(),
-            telemetry: None,
-            tickets: Vec::new(),
-            results: Vec::new(),
-            counters: HostCounters::default(),
+    /// Aggregate per-shard counters into fleet totals. Scalar
+    /// counters sum; handshake latencies concatenate in shard order
+    /// (deterministic, since each shard's list is in its own
+    /// completion order).
+    pub fn merge(shards: &[Self]) -> Self {
+        let mut total = HostCounters::default();
+        for c in shards {
+            total.opened += c.opened;
+            total.completed += c.completed;
+            total.timed_out += c.timed_out;
+            total.evicted += c.evicted;
+            total.failed += c.failed;
+            total.retries += c.retries;
+            total.tickets_expired += c.tickets_expired;
+            total.bytes_moved += c.bytes_moved;
+            total.exchanges_completed += c.exchanges_completed;
+            total.handshake_latencies_ns.extend_from_slice(&c.handshake_latencies_ns);
         }
+        total
     }
+}
 
-    /// Attach telemetry; the substrate keeps the sink's clock in
-    /// lock-step with virtual time.
-    pub fn set_telemetry(&mut self, sink: SharedSink) {
-        self.substrate.set_telemetry(sink.clone());
-        self.telemetry = Some(sink);
-    }
-
-    /// Current virtual time.
-    pub fn now(&self) -> SimTime {
-        self.substrate.now()
-    }
-
+/// Anything the load generator can drive: a whole [`Host`] or a
+/// single [`Shard`] (the scale bench times shards individually).
+pub trait Reactor {
+    /// Admit one session.
+    fn open(&mut self, spec: SessionSpec) -> Result<SessionId, MbError>;
     /// Live sessions.
-    pub fn live(&self) -> usize {
-        self.sessions.len()
+    fn live(&self) -> usize;
+    /// Current virtual time (the latest shard clock for a host).
+    fn now(&self) -> SimTime;
+    /// True if sessions are queued for service right now.
+    fn has_ready(&self) -> bool;
+    /// One event-loop turn; false when nothing is left to do.
+    fn step(&mut self) -> Result<bool, MbError>;
+    /// The next scheduled instant, ignoring the ready queue.
+    fn next_event(&mut self) -> Option<SimTime>;
+    /// Advance virtual time, firing whatever comes due on the way.
+    fn advance_clock(&mut self, t: SimTime);
+}
+
+/// The sharded session host facade.
+pub struct Host<S: Substrate> {
+    shards: Vec<Shard<S>>,
+    mux: ShardMux,
+}
+
+impl<S: Substrate> Host<S> {
+    /// A host with `config.shards()` reactors; `substrate_for` is
+    /// called once per shard to build that worker's private
+    /// substrate (give each its own seed for independent fault
+    /// randomness).
+    pub fn new(config: HostConfig, mut substrate_for: impl FnMut(u16) -> S) -> Self {
+        let n = config.shards();
+        let shards = (0..n).map(|k| Shard::new(k, substrate_for(k), config.clone())).collect();
+        Host { shards, mux: ShardMux::new(n) }
     }
 
-    /// Deterministic run statistics so far.
-    pub fn counters(&self) -> &HostCounters {
-        &self.counters
+    /// Number of worker shards.
+    pub fn shards(&self) -> u16 {
+        self.shards.len() as u16
     }
 
-    /// Outcomes of finished sessions, in finish order.
-    pub fn results(&self) -> &[(SessionId, SessionOutcome)] {
-        &self.results
+    /// One shard reactor (read access).
+    pub fn shard(&self, shard: u16) -> &Shard<S> {
+        &self.shards[shard as usize]
     }
 
-    /// Take the finished-session outcomes, leaving the list empty.
-    pub fn take_results(&mut self) -> Vec<(SessionId, SessionOutcome)> {
-        std::mem::take(&mut self.results)
+    /// One shard reactor (mutable — bench drivers run shards
+    /// directly to time them individually).
+    pub fn shard_mut(&mut self, shard: u16) -> &mut Shard<S> {
+        &mut self.shards[shard as usize]
     }
 
-    /// Buffer-pool statistics: `(acquired, served without
-    /// allocating)`.
-    pub fn pool_stats(&self) -> (u64, u64) {
-        self.pool.stats()
-    }
-
-    /// Session tickets currently cached.
-    pub fn cached_tickets(&self) -> usize {
-        self.tickets.len()
-    }
-
-    /// The substrate (e.g. for adversary hooks in tests).
-    pub fn substrate_mut(&mut self) -> &mut S {
-        &mut self.substrate
-    }
-
-    /// Admit a session: allocate a slab slot, provision transport,
-    /// arm the handshake timer, and queue the first service.
+    /// Admit a session; the mux pins it to a shard by deterministic
+    /// round-robin and the returned [`SessionId`] encodes the choice.
     pub fn open(&mut self, spec: SessionSpec) -> Result<SessionId, MbError> {
-        let now = self.substrate.now();
-        let links = spec.chain.parties() - 1;
-        let id = self.sessions.insert(HostedSession {
-            chain: spec.chain,
-            workload: spec.workload,
-            phase: Phase::Handshaking,
-            opened_at: now,
-            last_activity: now,
-            attempt: 1,
-            handshake_ns: 0,
-            exchanges_done: 0,
-            responded: false,
-            server_got: 0,
-            client_got: 0,
-            bytes_moved: 0,
-            queued: false,
-        });
-        if let Err(e) = self.substrate.open(id.index() as usize, links, spec.latency, &spec.faults)
-        {
-            self.sessions.remove(id);
-            return Err(e);
-        }
-        self.counters.opened += 1;
-        if let Some(t) = &self.telemetry {
-            t.emit(
-                Party::Host,
-                EventKind::HostSessionOpen {
-                    session: id.index() as u64,
-                    generation: id.generation() as u64,
-                },
-            );
-        }
-        self.wheel.schedule(now.plus(self.config.handshake_timeout), id, TimerKind::Handshake);
-        self.enqueue(id);
-        Ok(id)
+        let shard = self.mux.route_open(spec);
+        self.drain_admissions(shard)
     }
 
-    fn enqueue(&mut self, id: SessionId) {
-        if let Some(sess) = self.sessions.get_mut(id) {
-            if !sess.queued {
-                sess.queued = true;
-                self.ready.push_back(id);
-            }
+    /// Admit a session on an explicit shard (load slicing).
+    pub fn open_on(&mut self, shard: u16, spec: SessionSpec) -> Result<SessionId, MbError> {
+        if shard >= self.shards() {
+            return Err(MbError::unexpected_state("open_on: no such shard"));
         }
+        self.mux.route_open_on(shard, spec);
+        self.drain_admissions(shard)
     }
 
-    /// One event-loop turn. Services the current ready batch; if the
-    /// queue drains, advances virtual time to the next transport
-    /// event or timer deadline and dispatches it. Returns false when
-    /// there is nothing left to do (no live sessions, or — the error
-    /// case for callers — live sessions but no future event).
-    pub fn step(&mut self) -> Result<bool, MbError> {
-        // Service a bounded batch: exactly the sessions queued now,
-        // so a saturated session requeues behind this turn's peers.
-        let batch = self.ready.len();
-        for _ in 0..batch {
-            let Some(id) = self.ready.pop_front() else { break };
-            match self.sessions.get_mut(id) {
-                Some(sess) => sess.queued = false,
-                None => continue,
-            }
-            self.service(id);
+    /// Drain `shard`'s inbox ring into the reactor; the id of the
+    /// last admission comes back to the caller.
+    fn drain_admissions(&mut self, shard: u16) -> Result<SessionId, MbError> {
+        let mut last = None;
+        while let Some(spec) = self.mux.take_admission(shard) {
+            last = Some(self.shards[shard as usize].open(spec)?);
         }
-        if !self.ready.is_empty() {
-            return Ok(true);
-        }
-        if self.sessions.is_empty() {
-            return Ok(false);
-        }
-        // Quiet: advance to the next instant anything happens.
-        let target = match (self.substrate.next_event_time(), self.wheel.next_wake()) {
-            (Some(net), Some(timer)) => net.min(timer),
-            (Some(net), None) => net,
-            (None, Some(timer)) => timer,
-            (None, None) => return Ok(false),
-        };
-        self.substrate.advance_to(target);
-        let now = self.substrate.now();
-        // Timers first (deterministic (deadline, seq) order), then
-        // transport deliveries.
-        let mut fired = std::mem::take(&mut self.fired);
-        fired.clear();
-        self.wheel.expire_into(now, &mut fired);
-        for timer in &fired {
-            self.handle_timer(timer);
-        }
-        self.fired = fired;
-        while let Some(token) = self.substrate.pop_due() {
-            if let Some(id) = self.sessions.id_at(token as u32) {
-                self.enqueue(id);
-            }
-        }
-        Ok(true)
+        last.ok_or_else(|| MbError::unexpected_state("admission ring drained empty"))
     }
 
-    /// True if sessions are queued for service without any need to
-    /// advance virtual time.
-    pub fn has_ready(&self) -> bool {
-        !self.ready.is_empty()
+    /// Live sessions across every shard.
+    pub fn live(&self) -> usize {
+        self.shards.iter().map(Shard::live).sum()
     }
 
-    /// The next instant anything is scheduled to happen (transport
-    /// delivery or timer), ignoring the ready queue.
-    pub fn next_event(&mut self) -> Option<SimTime> {
-        match (self.substrate.next_event_time(), self.wheel.next_wake()) {
-            (Some(net), Some(timer)) => Some(net.min(timer)),
-            (net, None) => net,
-            (None, timer) => timer,
-        }
+    /// Fleet-wide statistics: every shard's counters merged.
+    pub fn counters(&self) -> HostCounters {
+        let per_shard: Vec<HostCounters> =
+            self.shards.iter().map(|s| s.counters().clone()).collect();
+        HostCounters::merge(&per_shard)
     }
 
-    /// Advance virtual time to `t` (for externally scheduled work,
-    /// e.g. a load generator's next arrival), firing any timers and
-    /// transport deliveries that come due on the way.
-    pub fn advance_clock(&mut self, t: SimTime) {
-        self.substrate.advance_to(t);
-        let now = self.substrate.now();
-        let mut fired = std::mem::take(&mut self.fired);
-        fired.clear();
-        self.wheel.expire_into(now, &mut fired);
-        for timer in &fired {
-            self.handle_timer(timer);
-        }
-        self.fired = fired;
-        while let Some(token) = self.substrate.pop_due() {
-            if let Some(id) = self.sessions.id_at(token as u32) {
-                self.enqueue(id);
-            }
-        }
+    /// One shard's statistics.
+    pub fn shard_counters(&self, shard: u16) -> &HostCounters {
+        self.shards[shard as usize].counters()
     }
 
-    /// Run the event loop until every session finishes. Errors if
-    /// virtual time passes `deadline`, or if the host goes quiescent
-    /// with live sessions (which the timer wheel should make
-    /// impossible: every session always has a pending timer).
+    /// Finished-session outcomes, shard by shard in shard order
+    /// (each shard's slice in its own finish order).
+    pub fn take_results(&mut self) -> Vec<(SessionId, SessionOutcome)> {
+        let mut all = Vec::new();
+        for shard in &mut self.shards {
+            all.append(&mut shard.take_results());
+        }
+        all
+    }
+
+    /// Buffer-pool statistics summed over shards: `(acquired, served
+    /// without allocating)`.
+    pub fn pool_stats(&self) -> (u64, u64) {
+        self.shards.iter().map(Shard::pool_stats).fold((0, 0), |(a, s), (a2, s2)| {
+            (a + a2, s + s2)
+        })
+    }
+
+    /// Session tickets currently cached, all shards.
+    pub fn cached_tickets(&self) -> usize {
+        self.shards.iter().map(Shard::cached_tickets).sum()
+    }
+
+    /// Shard-0 substrate access — the single-shard convenience for
+    /// tests installing adversary hooks. Multi-shard hosts address a
+    /// specific worker via [`Host::shard_mut`].
+    pub fn substrate_mut(&mut self) -> &mut S {
+        self.shards[0].substrate_mut()
+    }
+
+    /// Attach one telemetry sink to the shard-0 reactor — the
+    /// single-shard convenience. A multi-shard host needs one sink
+    /// (and one clock) per worker: use [`Host::record_telemetry`] or
+    /// attach per shard via [`Host::shard_mut`].
+    pub fn set_telemetry(&mut self, sink: SharedSink) {
+        self.shards[0].set_telemetry(sink);
+    }
+
+    /// Attach a fresh [`Recorder`] (own clock) to every shard and
+    /// return them in shard order. Merge the snapshots with
+    /// [`mbtls_telemetry::merge_shard_traces`] for the deterministic
+    /// fleet trace.
+    pub fn record_telemetry(&mut self) -> Vec<Recorder> {
+        self.shards
+            .iter_mut()
+            .map(|shard| {
+                let recorder = Recorder::new();
+                shard.set_telemetry(recorder.sink());
+                recorder
+            })
+            .collect()
+    }
+
+    /// Run every shard's event loop to completion (sequentially —
+    /// the single-core stand-in for parallel workers; shards share
+    /// nothing, so the merged outcome is schedule-independent).
+    /// Errors if any shard exceeds `deadline` in virtual time.
     pub fn run(&mut self, deadline: SimTime) -> Result<(), MbError> {
-        while !self.sessions.is_empty() {
-            if self.substrate.now() > deadline {
-                return Err(MbError::Timeout("host run deadline exceeded".into()));
-            }
-            // A false return is fine if the batch just serviced
-            // finished the last session; it is only an error while
-            // sessions remain live.
-            if !self.step()? && !self.sessions.is_empty() {
-                return Err(MbError::unexpected_state("host quiescent with live sessions"));
-            }
+        for shard in &mut self.shards {
+            shard.run(deadline)?;
         }
         Ok(())
     }
 
-    /// Pump one session and drive its workload until it parks,
-    /// saturates its pass budget, or finishes.
-    fn service(&mut self, id: SessionId) {
-        let token = id.index() as usize;
-        loop {
-            let Some(sess) = self.sessions.get_mut(id) else { return };
-            let pump = match self.substrate.pump(token, &mut sess.chain, self.config.max_pump_passes)
-            {
-                Ok(p) => p,
-                Err(e) => {
-                    self.finish(id, SessionOutcome::Failed(e));
-                    return;
-                }
-            };
-            sess.bytes_moved += pump.bytes;
-            self.counters.bytes_moved += pump.bytes;
-            let now = self.substrate.now();
-            if pump.moved {
-                sess.last_activity = now;
+    /// The latest shard clock: the fleet's virtual-time frontier.
+    pub fn now(&self) -> SimTime {
+        self.shards.iter().map(Shard::now).max().unwrap_or(SimTime::ZERO)
+    }
+
+    /// True if any shard has sessions queued for service.
+    pub fn has_ready(&self) -> bool {
+        self.shards.iter().any(Shard::has_ready)
+    }
+
+    /// Service every shard with queued work; if all are quiet,
+    /// advance the shard with the earliest pending event (ties break
+    /// by shard index). Interleaving in global virtual-time order
+    /// keeps lock-step drivers (e.g. the load generator) exact.
+    pub fn step(&mut self) -> Result<bool, MbError> {
+        let mut serviced = false;
+        for shard in &mut self.shards {
+            if shard.has_ready() {
+                serviced |= shard.step()?;
             }
-            if let Some(e) = sess.chain.failed() {
-                self.finish(id, SessionOutcome::Failed(e));
-                return;
-            }
-            let verdict = match sess.phase {
-                Phase::Handshaking => Self::drive_handshake(
-                    sess,
-                    id,
-                    now,
-                    &self.config,
-                    &mut self.wheel,
-                    &mut self.pool,
-                    &mut self.tickets,
-                    &mut self.counters,
-                    self.telemetry.as_ref(),
-                    pump.moved,
-                    pump.saturated,
-                ),
-                Phase::Established => Self::drive_workload(
-                    sess,
-                    &mut self.pool,
-                    &mut self.counters,
-                    pump.moved,
-                    pump.saturated,
-                ),
-            };
-            match verdict {
-                Verdict::Finish(outcome) => {
-                    self.finish(id, outcome);
-                    return;
-                }
-                Verdict::Saturated => {
-                    self.enqueue(id);
-                    return;
-                }
-                Verdict::Parked => return,
-                Verdict::Progress => continue,
-            }
+        }
+        if serviced {
+            return Ok(true);
+        }
+        let target = self
+            .shards
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(k, shard)| shard.next_event().map(|t| (t, k)))
+            .min();
+        match target {
+            Some((_, k)) => self.shards[k].step(),
+            None => Ok(false),
         }
     }
 
-    /// Handshake phase: watch for both endpoints turning ready, then
-    /// promote to [`Phase::Established`] and seed the first request.
-    #[allow(clippy::too_many_arguments)]
-    fn drive_handshake(
-        sess: &mut HostedSession,
-        id: SessionId,
-        now: SimTime,
-        config: &HostConfig,
-        wheel: &mut TimerWheel,
-        pool: &mut BufferPool,
-        tickets: &mut Vec<(SimTime, ResumptionData)>,
-        counters: &mut HostCounters,
-        telemetry: Option<&SharedSink>,
-        moved: bool,
-        saturated: bool,
-    ) -> Verdict {
-        if !(sess.chain.client.ready() && sess.chain.server.ready()) {
-            return if saturated {
-                Verdict::Saturated
-            } else if moved {
-                Verdict::Progress
-            } else {
-                Verdict::Parked
-            };
-        }
-        sess.phase = Phase::Established;
-        sess.last_activity = now;
-        let handshake_ns = now.since(sess.opened_at).0;
-        sess.handshake_ns = handshake_ns;
-        counters.handshake_latencies_ns.push(handshake_ns);
-        if let Some(t) = telemetry {
-            t.emit(
-                Party::Host,
-                EventKind::HostHandshakeDone {
-                    session: id.index() as u64,
-                    attempt: sess.attempt as u64,
-                    elapsed_ns: handshake_ns,
-                },
-            );
-        }
-        if let Some(res) = sess.chain.client.resumption() {
-            let expiry = now.plus(config.ticket_ttl);
-            tickets.push((expiry, res));
-            wheel.schedule(expiry, id, TimerKind::TicketExpiry);
-        }
-        wheel.schedule(now.plus(config.idle_timeout), id, TimerKind::Idle);
-        if sess.workload.exchanges == 0 {
-            return Verdict::Finish(SessionOutcome::Completed {
-                exchanges: 0,
-                bytes_moved: sess.bytes_moved,
-                handshake_ns,
-            });
-        }
-        if let Err(e) = Self::send_request(sess, pool) {
-            return Verdict::Finish(SessionOutcome::Failed(e));
-        }
-        Verdict::Progress
+    /// The earliest pending instant across every shard.
+    pub fn next_event(&mut self) -> Option<SimTime> {
+        self.shards.iter_mut().filter_map(Shard::next_event).min()
     }
 
-    /// Queue one `request_len`-byte client request from a pooled
-    /// buffer.
-    fn send_request(sess: &mut HostedSession, pool: &mut BufferPool) -> Result<(), MbError> {
-        let mut buf = pool.acquire();
-        buf.resize(sess.workload.request_len, 0xA5);
-        let result = sess.chain.client.send_app(&buf);
-        pool.release(buf);
-        result
-    }
-
-    /// Established phase: move request bytes into the server, answer
-    /// each complete request, and count the response back at the
-    /// client; finish after the workload's exchange quota.
-    fn drive_workload(
-        sess: &mut HostedSession,
-        pool: &mut BufferPool,
-        counters: &mut HostCounters,
-        moved: bool,
-        saturated: bool,
-    ) -> Verdict {
-        let mut acted = false;
-        let mut buf = pool.acquire();
-        sess.chain.server.recv_app_into(&mut buf);
-        if !buf.is_empty() {
-            sess.server_got += buf.len();
-            acted = true;
-        }
-        if !sess.responded && sess.server_got >= sess.workload.request_len {
-            sess.server_got -= sess.workload.request_len;
-            buf.clear();
-            buf.resize(sess.workload.response_len, 0x5A);
-            if let Err(e) = sess.chain.server.send_app(&buf) {
-                pool.release(buf);
-                return Verdict::Finish(SessionOutcome::Failed(e));
-            }
-            sess.responded = true;
-            acted = true;
-        }
-        buf.clear();
-        sess.chain.client.recv_app_into(&mut buf);
-        if !buf.is_empty() {
-            sess.client_got += buf.len();
-            acted = true;
-        }
-        pool.release(buf);
-        if sess.responded && sess.client_got >= sess.workload.response_len {
-            sess.client_got -= sess.workload.response_len;
-            sess.responded = false;
-            sess.exchanges_done += 1;
-            counters.exchanges_completed += 1;
-            acted = true;
-            if sess.exchanges_done >= sess.workload.exchanges {
-                return Verdict::Finish(SessionOutcome::Completed {
-                    exchanges: sess.exchanges_done,
-                    bytes_moved: sess.bytes_moved,
-                    handshake_ns: sess.handshake_ns,
-                });
-            }
-            if let Err(e) = Self::send_request(sess, pool) {
-                return Verdict::Finish(SessionOutcome::Failed(e));
-            }
-        }
-        if saturated {
-            Verdict::Saturated
-        } else if moved || acted {
-            Verdict::Progress
-        } else {
-            Verdict::Parked
+    /// Advance every shard's virtual time to `t`, firing whatever
+    /// comes due on the way.
+    pub fn advance_clock(&mut self, t: SimTime) {
+        for shard in &mut self.shards {
+            shard.advance_clock(t);
         }
     }
+}
 
-    /// Dispatch one expired timer. Timers are never cancelled, only
-    /// lazily discarded: a stale [`SessionId`] (slot freed or reused
-    /// under a newer generation) simply no-ops.
-    fn handle_timer(&mut self, timer: &Timer) {
-        let id = timer.session;
-        match timer.kind {
-            TimerKind::Handshake | TimerKind::Retry => {
-                let Some(sess) = self.sessions.get(id) else { return };
-                if !matches!(sess.phase, Phase::Handshaking) {
-                    return;
-                }
-                let attempt = sess.attempt;
-                if let Some(t) = &self.telemetry {
-                    t.emit(
-                        Party::Host,
-                        EventKind::HostTimeout {
-                            session: id.index() as u64,
-                            attempt: attempt as u64,
-                        },
-                    );
-                }
-                if attempt < self.config.handshake_attempts {
-                    // Exponential backoff: 2^attempt × base timeout.
-                    let backoff = self.config.handshake_timeout.times(1u64 << attempt);
-                    if let Some(sess) = self.sessions.get_mut(id) {
-                        sess.attempt += 1;
-                    }
-                    self.counters.retries += 1;
-                    if let Some(t) = &self.telemetry {
-                        t.emit(
-                            Party::Host,
-                            EventKind::HostRetryBackoff {
-                                session: id.index() as u64,
-                                attempt: (attempt + 1) as u64,
-                                backoff_ns: backoff.0,
-                            },
-                        );
-                    }
-                    let now = self.substrate.now();
-                    self.wheel.schedule(now.plus(backoff), id, TimerKind::Retry);
-                    // Poke the session: bytes may be waiting that a
-                    // pump can still deliver.
-                    self.enqueue(id);
-                } else {
-                    self.finish(id, SessionOutcome::TimedOut);
-                }
-            }
-            TimerKind::Idle => {
-                let Some(sess) = self.sessions.get(id) else { return };
-                let now = self.substrate.now();
-                let idle = now.since(sess.last_activity);
-                if idle >= self.config.idle_timeout {
-                    if let Some(t) = &self.telemetry {
-                        t.emit(
-                            Party::Host,
-                            EventKind::HostEvict {
-                                session: id.index() as u64,
-                                idle_ns: idle.0,
-                            },
-                        );
-                    }
-                    self.finish(id, SessionOutcome::Evicted);
-                } else {
-                    // Activity since arming: re-arm from the last
-                    // activity instant.
-                    let next = sess.last_activity.plus(self.config.idle_timeout);
-                    self.wheel.schedule(next, id, TimerKind::Idle);
-                }
-            }
-            TimerKind::TicketExpiry => {
-                let now = self.substrate.now();
-                let before = self.tickets.len();
-                self.tickets.retain(|(expiry, _)| *expiry > now);
-                let dropped = before - self.tickets.len();
-                if dropped > 0 {
-                    self.counters.tickets_expired += dropped as u64;
-                    if let Some(t) = &self.telemetry {
-                        t.emit(
-                            Party::Host,
-                            EventKind::HostTicketExpired {
-                                remaining: self.tickets.len() as u64,
-                            },
-                        );
-                    }
-                }
-            }
-        }
+impl<S: Substrate> Reactor for Host<S> {
+    fn open(&mut self, spec: SessionSpec) -> Result<SessionId, MbError> {
+        Host::open(self, spec)
     }
 
-    /// Retire a session: record the outcome, free its slab slot
-    /// (bumping the generation so dangling ids go stale), and tear
-    /// down its transport.
-    fn finish(&mut self, id: SessionId, outcome: SessionOutcome) {
-        if self.sessions.remove(id).is_none() {
-            return;
-        }
-        self.substrate.close(id.index() as usize);
-        match &outcome {
-            SessionOutcome::Completed { .. } => self.counters.completed += 1,
-            SessionOutcome::TimedOut => self.counters.timed_out += 1,
-            SessionOutcome::Evicted => self.counters.evicted += 1,
-            SessionOutcome::Failed(_) => self.counters.failed += 1,
-        }
-        if let Some(t) = &self.telemetry {
-            t.emit(Party::Host, EventKind::HostSessionClose { session: id.index() as u64 });
-        }
-        self.results.push((id, outcome));
+    fn live(&self) -> usize {
+        Host::live(self)
+    }
+
+    fn now(&self) -> SimTime {
+        Host::now(self)
+    }
+
+    fn has_ready(&self) -> bool {
+        Host::has_ready(self)
+    }
+
+    fn step(&mut self) -> Result<bool, MbError> {
+        Host::step(self)
+    }
+
+    fn next_event(&mut self) -> Option<SimTime> {
+        Host::next_event(self)
+    }
+
+    fn advance_clock(&mut self, t: SimTime) {
+        Host::advance_clock(self, t)
+    }
+}
+
+impl<S: Substrate> Reactor for Shard<S> {
+    fn open(&mut self, spec: SessionSpec) -> Result<SessionId, MbError> {
+        Shard::open(self, spec)
+    }
+
+    fn live(&self) -> usize {
+        Shard::live(self)
+    }
+
+    fn now(&self) -> SimTime {
+        Shard::now(self)
+    }
+
+    fn has_ready(&self) -> bool {
+        Shard::has_ready(self)
+    }
+
+    fn step(&mut self) -> Result<bool, MbError> {
+        Shard::step(self)
+    }
+
+    fn next_event(&mut self) -> Option<SimTime> {
+        Shard::next_event(self)
+    }
+
+    fn advance_clock(&mut self, t: SimTime) {
+        Shard::advance_clock(self, t)
     }
 }

@@ -1,12 +1,18 @@
-//! Seeded load generator: opens sessions against a [`SessionHost`]
-//! on a deterministic arrival schedule and drives the event loop
-//! until the fleet drains.
+//! Seeded load generator: opens sessions against a [`Host`] (or a
+//! single [`Shard`](crate::shard::Shard)) on a deterministic arrival
+//! schedule and drives the event loop until the fleet drains.
 //!
 //! Sessions close as their workloads complete while later arrivals
 //! are still opening, so a run exercises exactly the open/close churn
 //! the slab and timer wheel exist for. Everything derives from one
-//! seed: two runs with the same [`LoadConfig`] produce bit-identical
-//! telemetry traces and [`HostCounters`](crate::host::HostCounters).
+//! seed — and, crucially for sharding, each session's randomness
+//! derives from the *global session index*, not from a sequential
+//! stream: session `i` is byte-identical whether the load is driven
+//! through the facade's round-robin or sliced per shard with
+//! [`LoadGenerator::slice`]. Two runs with the same [`LoadConfig`]
+//! produce bit-identical telemetry traces and
+//! [`HostCounters`](crate::host::HostCounters), however the fleet is
+//! partitioned.
 
 use std::sync::Arc;
 
@@ -20,9 +26,8 @@ use mbtls_crypto::rng::CryptoRng;
 use mbtls_netsim::time::{Duration, SimTime};
 use mbtls_netsim::FaultConfig;
 
-use crate::host::{SessionHost, SessionSpec};
+use crate::host::{Reactor, SessionSpec};
 use crate::session::Workload;
-use crate::substrate::Substrate;
 
 /// Shape of a generated load run.
 #[derive(Debug, Clone)]
@@ -37,7 +42,7 @@ pub struct LoadConfig {
     pub latency: Duration,
     /// Post-handshake workload per session.
     pub workload: Workload,
-    /// Seed for the PKI testbed and every per-party RNG.
+    /// Seed for the PKI testbed and every per-session RNG.
     pub seed: u64,
 }
 
@@ -54,51 +59,96 @@ impl Default for LoadConfig {
     }
 }
 
+/// splitmix64-style finalizer deriving session `index`'s RNG seed
+/// from the run seed. Index-addressed (not stream-positional), so a
+/// shard slice reproduces exactly the sessions it would have been
+/// dealt by the full run.
+fn session_seed(seed: u64, index: u64) -> u64 {
+    let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Builds session chains from one shared PKI testbed and opens them
-/// on schedule.
+/// on schedule. [`LoadGenerator::new`] generates the whole run;
+/// [`LoadGenerator::slice`] generates one shard's residue class of
+/// it (sessions `i` with `i ≡ shard (mod shards)`), producing specs
+/// byte-identical to the full run's.
 pub struct LoadGenerator {
     testbed: Testbed,
     client_cfg: Arc<MbClientConfig>,
     server_cfg: Arc<MbServerConfig>,
     config: LoadConfig,
-    rng: CryptoRng,
-    opened: usize,
+    /// This generator's residue class: `(shard, shards)`.
+    shard: u64,
+    shards: u64,
+    /// Sessions already produced from this slice.
+    produced: usize,
 }
 
 impl LoadGenerator {
     /// Stand up certificates, trust stores, and attestation once;
     /// every generated session shares them.
     pub fn new(config: LoadConfig) -> Self {
-        let mut testbed = Testbed::new(config.seed);
+        LoadGenerator::slice(config, 0, 1)
+    }
+
+    /// The slice of `config`'s run owned by `shard` out of `shards`:
+    /// global sessions `shard, shard + shards, shard + 2·shards, …`.
+    /// Each slice builds its own (identical, same-seed) testbed, so
+    /// per-shard generators stay shared-nothing.
+    pub fn slice(config: LoadConfig, shard: u16, shards: u16) -> Self {
+        let testbed = Testbed::new(config.seed);
         let client_cfg = Arc::new(testbed.client_config());
         let server_cfg = Arc::new(testbed.server_config());
-        let rng = testbed.rng.fork();
-        LoadGenerator { testbed, client_cfg, server_cfg, config, rng, opened: 0 }
+        LoadGenerator {
+            testbed,
+            client_cfg,
+            server_cfg,
+            config,
+            shard: shard as u64,
+            shards: shards.max(1) as u64,
+            produced: 0,
+        }
     }
 
-    /// Sessions not yet opened.
+    /// Global index of the next session this slice will produce.
+    fn next_index(&self) -> u64 {
+        self.shard + self.produced as u64 * self.shards
+    }
+
+    /// Sessions of this slice not yet opened.
     pub fn remaining(&self) -> usize {
-        self.config.sessions - self.opened
+        let total = self.config.sessions as u64;
+        if self.shard >= total {
+            return 0;
+        }
+        // Count of i < total with i ≡ shard (mod shards).
+        let slice_total = ((total - self.shard - 1) / self.shards + 1) as usize;
+        slice_total - self.produced
     }
 
-    /// When the next session is due to open, if any remain.
+    /// When the next session is due to open, if any remain. Arrival
+    /// times are global (index × spacing), so sliced shards see the
+    /// same schedule the full run would give their sessions.
     pub fn next_arrival(&self) -> Option<SimTime> {
-        (self.opened < self.config.sessions)
-            .then(|| SimTime::ZERO.plus(self.config.arrival_spacing.times(self.opened as u64)))
+        (self.remaining() > 0)
+            .then(|| SimTime::ZERO.plus(self.config.arrival_spacing.times(self.next_index())))
     }
 
     /// Build the next session's spec (advances the schedule).
     pub fn make_spec(&mut self) -> SessionSpec {
-        let i = self.opened;
-        self.opened += 1;
-        let with_middlebox =
-            self.config.middlebox_every > 0 && i.is_multiple_of(self.config.middlebox_every);
-        let client =
-            MbClientSession::new(self.client_cfg.clone(), "server.example", self.rng.fork());
-        let server = MbServerSession::new(self.server_cfg.clone(), self.rng.fork());
+        let i = self.next_index();
+        self.produced += 1;
+        let mut rng = CryptoRng::from_seed(session_seed(self.config.seed, i));
+        let with_middlebox = self.config.middlebox_every > 0
+            && (i as usize).is_multiple_of(self.config.middlebox_every);
+        let client = MbClientSession::new(self.client_cfg.clone(), "server.example", rng.fork());
+        let server = MbServerSession::new(self.server_cfg.clone(), rng.fork());
         let middles: Vec<Box<dyn Relay>> = if with_middlebox {
             let cfg = self.testbed.middlebox_config(&self.testbed.mbox_code);
-            vec![Box::new(Middlebox::new(cfg, self.rng.fork()))]
+            vec![Box::new(Middlebox::new(cfg, rng.fork()))]
         } else {
             Vec::new()
         };
@@ -110,15 +160,14 @@ impl LoadGenerator {
         }
     }
 
-    /// Open every session at its scheduled arrival and run the host
-    /// until all of them finish (or `deadline` passes in virtual
-    /// time). Interleaves arrivals with the host's own event loop so
+    /// Open every session at its scheduled arrival and run the
+    /// reactor until all of them finish (or `deadline` passes in
+    /// virtual time). Interleaves arrivals with the event loop so
     /// early sessions complete while later ones are still opening.
-    pub fn drive<S: Substrate>(
-        &mut self,
-        host: &mut SessionHost<S>,
-        deadline: SimTime,
-    ) -> Result<(), MbError> {
+    /// Drives a whole [`Host`](crate::host::Host) or one
+    /// [`Shard`](crate::shard::Shard) — anything implementing
+    /// [`Reactor`].
+    pub fn drive<R: Reactor>(&mut self, host: &mut R, deadline: SimTime) -> Result<(), MbError> {
         loop {
             while self.next_arrival().is_some_and(|at| at <= host.now()) {
                 let spec = self.make_spec();

@@ -1,0 +1,153 @@
+//! The substrate mux: the routing seam between the shared front door
+//! and the per-worker [`Shard`](crate::shard::Shard) reactors.
+//!
+//! Everything here is sans-IO and single-threaded, but the shapes are
+//! deliberately those of a multi-core deployment: an [`EventRing`] is
+//! an mpsc-style ring buffer (one per shard) that a real port would
+//! replace with a lock-free channel, and [`ShardMux`] is the
+//! dispatcher that would run on the acceptor core. Two event flows
+//! cross the seam:
+//!
+//! * **Admission**: [`ShardMux::route_open`] pins each new session to
+//!   a shard (deterministic round-robin) and enqueues the spec on
+//!   that shard's inbox ring; the owning shard drains its inbox and
+//!   mints the [`SessionId`](crate::slab::SessionId) — whose index
+//!   bits encode the shard, so every later operation on the id routes
+//!   without a lookup table.
+//! * **Delivery**: each shard routes its substrate's due-now
+//!   delivery notifications through its own [`EventRing`] before
+//!   servicing them (see [`Shard::step`](crate::shard::Shard::step)),
+//!   so the order in which transport events reach session logic is
+//!   exactly the ring order — the same order a real worker would
+//!   observe on its channel.
+//!
+//! Ring statistics ([`EventRing::pushed`], [`EventRing::high_water`])
+//! are deterministic and feed the scale report.
+
+use std::collections::VecDeque;
+
+use crate::host::SessionSpec;
+use crate::slab::SessionId;
+
+/// An mpsc-shaped ring buffer: FIFO, unbounded in this sans-IO
+/// build, with deterministic occupancy statistics. The single-thread
+/// stand-in for the per-worker channel of a multi-core deployment.
+#[derive(Debug, Default)]
+pub struct EventRing<T> {
+    buf: VecDeque<T>,
+    pushed: u64,
+    high_water: usize,
+}
+
+impl<T> EventRing<T> {
+    /// An empty ring.
+    pub fn new() -> Self {
+        EventRing { buf: VecDeque::new(), pushed: 0, high_water: 0 }
+    }
+
+    /// Enqueue one event.
+    pub fn push(&mut self, event: T) {
+        self.buf.push_back(event);
+        self.pushed += 1;
+        self.high_water = self.high_water.max(self.buf.len());
+    }
+
+    /// Dequeue the oldest event, if any.
+    pub fn pop(&mut self) -> Option<T> {
+        self.buf.pop_front()
+    }
+
+    /// Events currently queued.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total events ever pushed.
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Peak queued occupancy observed.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+}
+
+/// Routes admissions to their owning shard over per-shard inbox
+/// rings.
+pub struct ShardMux {
+    inboxes: Vec<EventRing<SessionSpec>>,
+    next: u16,
+}
+
+impl ShardMux {
+    /// A mux over `shards` worker inboxes.
+    pub fn new(shards: u16) -> Self {
+        ShardMux {
+            inboxes: (0..shards).map(|_| EventRing::new()).collect(),
+            next: 0,
+        }
+    }
+
+    /// Number of shards behind the mux.
+    pub fn shards(&self) -> u16 {
+        self.inboxes.len() as u16
+    }
+
+    /// The shard that owns `id`, decoded from the id's index bits.
+    pub fn shard_of(id: SessionId) -> u16 {
+        id.shard()
+    }
+
+    /// Pin a new session to a shard (deterministic round-robin) and
+    /// enqueue its spec on that shard's inbox. Returns the chosen
+    /// shard.
+    pub fn route_open(&mut self, spec: SessionSpec) -> u16 {
+        let shard = self.next;
+        self.next = (self.next + 1) % self.shards();
+        self.inboxes[shard as usize].push(spec);
+        shard
+    }
+
+    /// Enqueue a spec on an explicit shard's inbox (load slicing).
+    pub fn route_open_on(&mut self, shard: u16, spec: SessionSpec) {
+        self.inboxes[shard as usize].push(spec);
+    }
+
+    /// Drain one queued admission for `shard`, if any.
+    pub fn take_admission(&mut self, shard: u16) -> Option<SessionSpec> {
+        self.inboxes[shard as usize].pop()
+    }
+
+    /// Queued admissions for `shard`.
+    pub fn pending(&self, shard: u16) -> usize {
+        self.inboxes[shard as usize].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_fifo_with_stats() {
+        let mut ring = EventRing::new();
+        assert!(ring.is_empty());
+        ring.push(1);
+        ring.push(2);
+        ring.push(3);
+        assert_eq!(ring.pop(), Some(1));
+        ring.push(4);
+        assert_eq!(ring.pop(), Some(2));
+        assert_eq!(ring.pop(), Some(3));
+        assert_eq!(ring.pop(), Some(4));
+        assert_eq!(ring.pop(), None);
+        assert_eq!(ring.pushed(), 4);
+        assert_eq!(ring.high_water(), 3);
+    }
+}

@@ -1,0 +1,644 @@
+//! The per-worker reactor: one shard of the session host.
+//!
+//! A [`Shard`] is the event loop that used to be the whole host, now
+//! instantiated once per worker with strictly private state — its own
+//! [`Substrate`], generational [`Slab`], hierarchical [`TimerWheel`],
+//! ready queue, delivery [`EventRing`], [`BufferPool`], ticket cache,
+//! and counters. Shards share *nothing*: on a multi-core deployment
+//! each would run on its own core against its own NIC queue, and in
+//! this sans-IO build they are driven sequentially with bit-identical
+//! results (the determinism argument in DESIGN.md §6g rests on
+//! exactly this isolation).
+//!
+//! Sessions are pinned: the shard index is encoded in every
+//! [`SessionId`] the shard mints, the shard's slab rejects foreign
+//! ids, and substrate tokens are shard-local slot indices. Transport
+//! delivery notifications are routed through the shard's own
+//! [`EventRing`] — the single-thread stand-in for the worker's mpsc
+//! channel — so the order session logic observes events is the ring
+//! order, not an artifact of heap layout.
+
+use std::collections::VecDeque;
+
+use mbtls_core::MbError;
+use mbtls_netsim::time::SimTime;
+use mbtls_telemetry::{EventKind, Party, SharedSink};
+use mbtls_tls::session::ResumptionData;
+
+use crate::config::HostConfig;
+use crate::host::{HostCounters, SessionSpec};
+use crate::mux::EventRing;
+use crate::pool::BufferPool;
+use crate::session::{HostedSession, Phase, SessionOutcome};
+use crate::slab::{SessionId, Slab};
+use crate::substrate::Substrate;
+use crate::wheel::{Timer, TimerKind, TimerWheel};
+
+/// What one service pass decided about a session.
+enum Verdict {
+    /// Session ended; record the outcome.
+    Finish(SessionOutcome),
+    /// Pass cap hit while bytes still moved — requeue behind peers.
+    Saturated,
+    /// Nothing moved and nothing to do — wait for transport or timer.
+    Parked,
+    /// Progress was made; pump again.
+    Progress,
+}
+
+/// One worker reactor: a sans-IO event loop multiplexing the
+/// sessions pinned to this shard over its private substrate.
+///
+/// Constructed by [`Host`](crate::host::Host), or directly when a
+/// driver wants to run shards itself (the scale bench times each
+/// shard's wall clock separately this way).
+pub struct Shard<S: Substrate> {
+    shard: u16,
+    substrate: S,
+    config: HostConfig,
+    sessions: Slab<HostedSession>,
+    wheel: TimerWheel,
+    ready: VecDeque<SessionId>,
+    /// Due-now transport notifications, routed ring-first so event
+    /// order is the channel order a real worker would observe.
+    delivery: EventRing<usize>,
+    /// Reused scratch for expired timers (no per-step allocation).
+    fired: Vec<Timer>,
+    pool: BufferPool,
+    telemetry: Option<SharedSink>,
+    /// Session-ticket cache ordered by expiry (pushes are monotonic
+    /// in virtual time), capped at `config.ticket_cache_cap()`.
+    tickets: VecDeque<(SimTime, ResumptionData)>,
+    results: Vec<(SessionId, SessionOutcome)>,
+    counters: HostCounters,
+}
+
+impl<S: Substrate> Shard<S> {
+    /// Reactor number `shard` over its private `substrate`.
+    pub fn new(shard: u16, substrate: S, config: HostConfig) -> Self {
+        Shard {
+            shard,
+            substrate,
+            config,
+            sessions: Slab::for_shard(shard),
+            wheel: TimerWheel::new(),
+            ready: VecDeque::new(),
+            delivery: EventRing::new(),
+            fired: Vec::new(),
+            pool: BufferPool::new(),
+            telemetry: None,
+            tickets: VecDeque::new(),
+            results: Vec::new(),
+            counters: HostCounters::default(),
+        }
+    }
+
+    /// This reactor's shard index.
+    pub fn shard(&self) -> u16 {
+        self.shard
+    }
+
+    /// Attach telemetry. The sink is re-tagged with this shard's
+    /// index (so merged traces record the emitting worker) and its
+    /// clock is kept in lock-step with this shard's virtual time —
+    /// which is why a multi-shard host needs one sink *per shard*,
+    /// each with its own clock.
+    pub fn set_telemetry(&mut self, sink: SharedSink) {
+        let tagged = sink.tagged(self.shard);
+        self.substrate.set_telemetry(tagged.clone());
+        self.telemetry = Some(tagged);
+    }
+
+    /// Current virtual time on this shard.
+    pub fn now(&self) -> SimTime {
+        self.substrate.now()
+    }
+
+    /// Live sessions pinned to this shard.
+    pub fn live(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// True if `id` names a session this shard currently hosts.
+    /// Foreign-shard and stale ids report false.
+    pub fn contains(&self, id: SessionId) -> bool {
+        self.sessions.contains(id)
+    }
+
+    /// Deterministic run statistics so far.
+    pub fn counters(&self) -> &HostCounters {
+        &self.counters
+    }
+
+    /// Outcomes of finished sessions, in finish order.
+    pub fn results(&self) -> &[(SessionId, SessionOutcome)] {
+        &self.results
+    }
+
+    /// Take the finished-session outcomes, leaving the list empty.
+    pub fn take_results(&mut self) -> Vec<(SessionId, SessionOutcome)> {
+        std::mem::take(&mut self.results)
+    }
+
+    /// Buffer-pool statistics: `(acquired, served without
+    /// allocating)`.
+    pub fn pool_stats(&self) -> (u64, u64) {
+        self.pool.stats()
+    }
+
+    /// Session tickets currently cached.
+    pub fn cached_tickets(&self) -> usize {
+        self.tickets.len()
+    }
+
+    /// Delivery-ring statistics: `(events routed, peak occupancy)`.
+    pub fn delivery_ring_stats(&self) -> (u64, usize) {
+        (self.delivery.pushed(), self.delivery.high_water())
+    }
+
+    /// The substrate (e.g. for adversary hooks in tests).
+    pub fn substrate_mut(&mut self) -> &mut S {
+        &mut self.substrate
+    }
+
+    /// Admit a session: allocate a slab slot, provision transport,
+    /// arm the handshake timer, and queue the first service.
+    pub fn open(&mut self, spec: SessionSpec) -> Result<SessionId, MbError> {
+        let now = self.substrate.now();
+        let links = spec.chain.parties() - 1;
+        let id = self
+            .sessions
+            .try_insert(HostedSession {
+                chain: spec.chain,
+                workload: spec.workload,
+                phase: Phase::Handshaking,
+                opened_at: now,
+                last_activity: now,
+                attempt: 1,
+                handshake_ns: 0,
+                exchanges_done: 0,
+                responded: false,
+                server_got: 0,
+                client_got: 0,
+                bytes_moved: 0,
+                queued: false,
+            })
+            .ok_or_else(|| MbError::unexpected_state("shard session table full"))?;
+        if let Err(e) =
+            self.substrate.open(id.local() as usize, links, spec.latency, &spec.faults)
+        {
+            self.sessions.remove(id);
+            return Err(e);
+        }
+        self.counters.opened += 1;
+        if let Some(t) = &self.telemetry {
+            t.emit(
+                Party::Host,
+                EventKind::HostSessionOpen {
+                    session: id.index() as u64,
+                    generation: id.generation() as u64,
+                },
+            );
+        }
+        self.wheel.schedule(now.plus(self.config.handshake_timeout()), id, TimerKind::Handshake);
+        self.enqueue(id);
+        Ok(id)
+    }
+
+    fn enqueue(&mut self, id: SessionId) {
+        if let Some(sess) = self.sessions.get_mut(id) {
+            if !sess.queued {
+                sess.queued = true;
+                self.ready.push_back(id);
+            }
+        }
+    }
+
+    /// Route every due transport notification through the delivery
+    /// ring, then drain the ring into the ready queue.
+    fn route_deliveries(&mut self) {
+        while let Some(token) = self.substrate.pop_due() {
+            self.delivery.push(token);
+        }
+        while let Some(token) = self.delivery.pop() {
+            if let Some(id) = self.sessions.id_at(token as u32) {
+                self.enqueue(id);
+            }
+        }
+    }
+
+    /// One event-loop turn. Services the current ready batch; if the
+    /// queue drains, advances virtual time to the next transport
+    /// event or timer deadline and dispatches it. Returns false when
+    /// there is nothing left to do (no live sessions, or — the error
+    /// case for callers — live sessions but no future event).
+    pub fn step(&mut self) -> Result<bool, MbError> {
+        // Service a bounded batch: exactly the sessions queued now,
+        // so a saturated session requeues behind this turn's peers.
+        let batch = self.ready.len();
+        for _ in 0..batch {
+            let Some(id) = self.ready.pop_front() else { break };
+            match self.sessions.get_mut(id) {
+                Some(sess) => sess.queued = false,
+                None => continue,
+            }
+            self.service(id);
+        }
+        if !self.ready.is_empty() {
+            return Ok(true);
+        }
+        if self.sessions.is_empty() {
+            return Ok(false);
+        }
+        // Quiet: advance to the next instant anything happens.
+        let target = match (self.substrate.next_event_time(), self.wheel.next_wake()) {
+            (Some(net), Some(timer)) => net.min(timer),
+            (Some(net), None) => net,
+            (None, Some(timer)) => timer,
+            (None, None) => return Ok(false),
+        };
+        self.substrate.advance_to(target);
+        let now = self.substrate.now();
+        // Timers first (deterministic (deadline, seq) order), then
+        // transport deliveries in ring order.
+        let mut fired = std::mem::take(&mut self.fired);
+        fired.clear();
+        self.wheel.expire_into(now, &mut fired);
+        for timer in &fired {
+            self.handle_timer(timer);
+        }
+        self.fired = fired;
+        self.route_deliveries();
+        Ok(true)
+    }
+
+    /// True if sessions are queued for service without any need to
+    /// advance virtual time.
+    pub fn has_ready(&self) -> bool {
+        !self.ready.is_empty()
+    }
+
+    /// The next instant anything is scheduled to happen (transport
+    /// delivery or timer), ignoring the ready queue.
+    pub fn next_event(&mut self) -> Option<SimTime> {
+        match (self.substrate.next_event_time(), self.wheel.next_wake()) {
+            (Some(net), Some(timer)) => Some(net.min(timer)),
+            (net, None) => net,
+            (None, timer) => timer,
+        }
+    }
+
+    /// Advance virtual time to `t` (for externally scheduled work,
+    /// e.g. a load generator's next arrival), firing any timers and
+    /// transport deliveries that come due on the way.
+    pub fn advance_clock(&mut self, t: SimTime) {
+        self.substrate.advance_to(t);
+        let now = self.substrate.now();
+        let mut fired = std::mem::take(&mut self.fired);
+        fired.clear();
+        self.wheel.expire_into(now, &mut fired);
+        for timer in &fired {
+            self.handle_timer(timer);
+        }
+        self.fired = fired;
+        self.route_deliveries();
+    }
+
+    /// Run the event loop until every session finishes. Errors if
+    /// virtual time passes `deadline`, or if the shard goes quiescent
+    /// with live sessions (which the timer wheel should make
+    /// impossible: every session always has a pending timer).
+    pub fn run(&mut self, deadline: SimTime) -> Result<(), MbError> {
+        while !self.sessions.is_empty() {
+            if self.substrate.now() > deadline {
+                return Err(MbError::Timeout("shard run deadline exceeded".into()));
+            }
+            // A false return is fine if the batch just serviced
+            // finished the last session; it is only an error while
+            // sessions remain live.
+            if !self.step()? && !self.sessions.is_empty() {
+                return Err(MbError::unexpected_state("shard quiescent with live sessions"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Pump one session and drive its workload until it parks,
+    /// saturates its pass budget, or finishes.
+    fn service(&mut self, id: SessionId) {
+        let token = id.local() as usize;
+        loop {
+            let Some(sess) = self.sessions.get_mut(id) else { return };
+            let pump =
+                match self.substrate.pump(token, &mut sess.chain, self.config.max_pump_passes()) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        self.finish(id, SessionOutcome::Failed(e));
+                        return;
+                    }
+                };
+            sess.bytes_moved += pump.bytes;
+            self.counters.bytes_moved += pump.bytes;
+            let now = self.substrate.now();
+            if pump.moved {
+                sess.last_activity = now;
+            }
+            if let Some(e) = sess.chain.failed() {
+                self.finish(id, SessionOutcome::Failed(e));
+                return;
+            }
+            let verdict = match sess.phase {
+                Phase::Handshaking => Self::drive_handshake(
+                    sess,
+                    id,
+                    now,
+                    &self.config,
+                    &mut self.wheel,
+                    &mut self.pool,
+                    &mut self.tickets,
+                    &mut self.counters,
+                    self.telemetry.as_ref(),
+                    pump.moved,
+                    pump.saturated,
+                ),
+                Phase::Established => Self::drive_workload(
+                    sess,
+                    &mut self.pool,
+                    &mut self.counters,
+                    pump.moved,
+                    pump.saturated,
+                ),
+            };
+            match verdict {
+                Verdict::Finish(outcome) => {
+                    self.finish(id, outcome);
+                    return;
+                }
+                Verdict::Saturated => {
+                    self.enqueue(id);
+                    return;
+                }
+                Verdict::Parked => return,
+                Verdict::Progress => continue,
+            }
+        }
+    }
+
+    /// Handshake phase: watch for both endpoints turning ready, then
+    /// promote to [`Phase::Established`] and seed the first request.
+    #[allow(clippy::too_many_arguments)]
+    fn drive_handshake(
+        sess: &mut HostedSession,
+        id: SessionId,
+        now: SimTime,
+        config: &HostConfig,
+        wheel: &mut TimerWheel,
+        pool: &mut BufferPool,
+        tickets: &mut VecDeque<(SimTime, ResumptionData)>,
+        counters: &mut HostCounters,
+        telemetry: Option<&SharedSink>,
+        moved: bool,
+        saturated: bool,
+    ) -> Verdict {
+        if !(sess.chain.client.ready() && sess.chain.server.ready()) {
+            return if saturated {
+                Verdict::Saturated
+            } else if moved {
+                Verdict::Progress
+            } else {
+                Verdict::Parked
+            };
+        }
+        sess.phase = Phase::Established;
+        sess.last_activity = now;
+        let handshake_ns = now.since(sess.opened_at).0;
+        sess.handshake_ns = handshake_ns;
+        counters.handshake_latencies_ns.push(handshake_ns);
+        if let Some(t) = telemetry {
+            t.emit(
+                Party::Host,
+                EventKind::HostHandshakeDone {
+                    session: id.index() as u64,
+                    attempt: sess.attempt as u64,
+                    elapsed_ns: handshake_ns,
+                },
+            );
+        }
+        if let Some(res) = sess.chain.client.resumption() {
+            // Capacity first: the cache never exceeds its cap, and
+            // the displaced ticket (always the oldest — the deque is
+            // expiry-ordered) counts as expired.
+            if tickets.len() >= config.ticket_cache_cap() {
+                tickets.pop_front();
+                counters.tickets_expired += 1;
+                if let Some(t) = telemetry {
+                    t.emit(
+                        Party::Host,
+                        EventKind::HostTicketExpired { remaining: tickets.len() as u64 },
+                    );
+                }
+            }
+            let expiry = now.plus(config.ticket_ttl());
+            tickets.push_back((expiry, res));
+            wheel.schedule(expiry, id, TimerKind::TicketExpiry);
+        }
+        wheel.schedule(now.plus(config.idle_timeout()), id, TimerKind::Idle);
+        if sess.workload.exchanges == 0 {
+            return Verdict::Finish(SessionOutcome::Completed {
+                exchanges: 0,
+                bytes_moved: sess.bytes_moved,
+                handshake_ns,
+            });
+        }
+        if let Err(e) = Self::send_request(sess, pool) {
+            return Verdict::Finish(SessionOutcome::Failed(e));
+        }
+        Verdict::Progress
+    }
+
+    /// Queue one `request_len`-byte client request from a pooled
+    /// buffer.
+    fn send_request(sess: &mut HostedSession, pool: &mut BufferPool) -> Result<(), MbError> {
+        let mut buf = pool.acquire();
+        buf.resize(sess.workload.request_len, 0xA5);
+        let result = sess.chain.client.send_app(&buf);
+        pool.release(buf);
+        result
+    }
+
+    /// Established phase: move request bytes into the server, answer
+    /// each complete request, and count the response back at the
+    /// client; finish after the workload's exchange quota.
+    fn drive_workload(
+        sess: &mut HostedSession,
+        pool: &mut BufferPool,
+        counters: &mut HostCounters,
+        moved: bool,
+        saturated: bool,
+    ) -> Verdict {
+        let mut acted = false;
+        let mut buf = pool.acquire();
+        sess.chain.server.recv_app_into(&mut buf);
+        if !buf.is_empty() {
+            sess.server_got += buf.len();
+            acted = true;
+        }
+        if !sess.responded && sess.server_got >= sess.workload.request_len {
+            sess.server_got -= sess.workload.request_len;
+            buf.clear();
+            buf.resize(sess.workload.response_len, 0x5A);
+            if let Err(e) = sess.chain.server.send_app(&buf) {
+                pool.release(buf);
+                return Verdict::Finish(SessionOutcome::Failed(e));
+            }
+            sess.responded = true;
+            acted = true;
+        }
+        buf.clear();
+        sess.chain.client.recv_app_into(&mut buf);
+        if !buf.is_empty() {
+            sess.client_got += buf.len();
+            acted = true;
+        }
+        pool.release(buf);
+        if sess.responded && sess.client_got >= sess.workload.response_len {
+            sess.client_got -= sess.workload.response_len;
+            sess.responded = false;
+            sess.exchanges_done += 1;
+            counters.exchanges_completed += 1;
+            acted = true;
+            if sess.exchanges_done >= sess.workload.exchanges {
+                return Verdict::Finish(SessionOutcome::Completed {
+                    exchanges: sess.exchanges_done,
+                    bytes_moved: sess.bytes_moved,
+                    handshake_ns: sess.handshake_ns,
+                });
+            }
+            if let Err(e) = Self::send_request(sess, pool) {
+                return Verdict::Finish(SessionOutcome::Failed(e));
+            }
+        }
+        if saturated {
+            Verdict::Saturated
+        } else if moved || acted {
+            Verdict::Progress
+        } else {
+            Verdict::Parked
+        }
+    }
+
+    /// Dispatch one expired timer. Timers are never cancelled, only
+    /// lazily discarded: a stale [`SessionId`] (slot freed or reused
+    /// under a newer generation) simply no-ops.
+    fn handle_timer(&mut self, timer: &Timer) {
+        let id = timer.session;
+        match timer.kind {
+            TimerKind::Handshake | TimerKind::Retry => {
+                let Some(sess) = self.sessions.get(id) else { return };
+                if !matches!(sess.phase, Phase::Handshaking) {
+                    return;
+                }
+                let attempt = sess.attempt;
+                if let Some(t) = &self.telemetry {
+                    t.emit(
+                        Party::Host,
+                        EventKind::HostTimeout {
+                            session: id.index() as u64,
+                            attempt: attempt as u64,
+                        },
+                    );
+                }
+                if attempt < self.config.handshake_attempts() {
+                    // Exponential backoff: 2^attempt × base backoff
+                    // (overflow ruled out by config validation).
+                    let backoff = self.config.retry_backoff().times(1u64 << attempt);
+                    if let Some(sess) = self.sessions.get_mut(id) {
+                        sess.attempt += 1;
+                    }
+                    self.counters.retries += 1;
+                    if let Some(t) = &self.telemetry {
+                        t.emit(
+                            Party::Host,
+                            EventKind::HostRetryBackoff {
+                                session: id.index() as u64,
+                                attempt: (attempt + 1) as u64,
+                                backoff_ns: backoff.0,
+                            },
+                        );
+                    }
+                    let now = self.substrate.now();
+                    self.wheel.schedule(now.plus(backoff), id, TimerKind::Retry);
+                    // Poke the session: bytes may be waiting that a
+                    // pump can still deliver.
+                    self.enqueue(id);
+                } else {
+                    self.finish(id, SessionOutcome::TimedOut);
+                }
+            }
+            TimerKind::Idle => {
+                let Some(sess) = self.sessions.get(id) else { return };
+                let now = self.substrate.now();
+                let idle = now.since(sess.last_activity);
+                if idle >= self.config.idle_timeout() {
+                    if let Some(t) = &self.telemetry {
+                        t.emit(
+                            Party::Host,
+                            EventKind::HostEvict {
+                                session: id.index() as u64,
+                                idle_ns: idle.0,
+                            },
+                        );
+                    }
+                    self.finish(id, SessionOutcome::Evicted);
+                } else {
+                    // Activity since arming: re-arm from the last
+                    // activity instant.
+                    let next = sess.last_activity.plus(self.config.idle_timeout());
+                    self.wheel.schedule(next, id, TimerKind::Idle);
+                }
+            }
+            TimerKind::TicketExpiry => {
+                // The deque is expiry-ordered (monotonic pushes), so
+                // expiry is a pop-front loop — O(expired), not a full
+                // retain scan.
+                let now = self.substrate.now();
+                let mut dropped = 0u64;
+                while self.tickets.front().is_some_and(|(expiry, _)| *expiry <= now) {
+                    self.tickets.pop_front();
+                    dropped += 1;
+                }
+                if dropped > 0 {
+                    self.counters.tickets_expired += dropped;
+                    if let Some(t) = &self.telemetry {
+                        t.emit(
+                            Party::Host,
+                            EventKind::HostTicketExpired {
+                                remaining: self.tickets.len() as u64,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Retire a session: record the outcome, free its slab slot
+    /// (bumping the generation so dangling ids go stale), and tear
+    /// down its transport.
+    fn finish(&mut self, id: SessionId, outcome: SessionOutcome) {
+        if self.sessions.remove(id).is_none() {
+            return;
+        }
+        self.substrate.close(id.local() as usize);
+        match &outcome {
+            SessionOutcome::Completed { .. } => self.counters.completed += 1,
+            SessionOutcome::TimedOut => self.counters.timed_out += 1,
+            SessionOutcome::Evicted => self.counters.evicted += 1,
+            SessionOutcome::Failed(_) => self.counters.failed += 1,
+        }
+        if let Some(t) = &self.telemetry {
+            t.emit(Party::Host, EventKind::HostSessionClose { session: id.index() as u64 });
+        }
+        self.results.push((id, outcome));
+    }
+}

@@ -6,8 +6,21 @@
 //! checks the generation and returns `None` for stale ids instead of
 //! silently aliasing whatever session reused the slot. Slots are
 //! recycled LIFO, which keeps the table dense under open/close churn.
+//!
+//! # Shard encoding
+//!
+//! The 32-bit slot index carries the owning shard in its top
+//! [`SessionId::SHARD_BITS`] bits and the shard-local slot in the low
+//! [`SessionId::LOCAL_BITS`] bits. A slab is constructed *for* one
+//! shard ([`Slab::for_shard`]) and stamps that shard into every id it
+//! hands out; every accessor first checks the id's shard bits, so an
+//! id minted by shard A presented to shard B's table is rejected
+//! outright — cross-shard routing mistakes surface as a miss, never
+//! as silent aliasing. [`Slab::new`] builds the shard-0 table, which
+//! behaves exactly like the pre-sharding slab.
 
-/// Handle to one hosted session: slot index + generation.
+/// Handle to one hosted session: shard-tagged slot index +
+/// generation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SessionId {
     index: u32,
@@ -15,9 +28,33 @@ pub struct SessionId {
 }
 
 impl SessionId {
-    /// The slot index (stable only while this generation is live).
+    /// Bits of the slot index reserved for the owning shard.
+    pub const SHARD_BITS: u32 = 8;
+    /// Bits of the slot index addressing a slot within one shard.
+    pub const LOCAL_BITS: u32 = 32 - Self::SHARD_BITS;
+    /// Maximum number of shards the encoding can address.
+    pub const MAX_SHARDS: u16 = 1 << Self::SHARD_BITS;
+    /// Maximum live sessions per shard.
+    pub const MAX_LOCAL: u32 = 1 << Self::LOCAL_BITS;
+
+    fn compose(shard: u16, local: u32) -> u32 {
+        ((shard as u32) << Self::LOCAL_BITS) | local
+    }
+
+    /// The full slot index, shard bits included (stable only while
+    /// this generation is live).
     pub fn index(&self) -> u32 {
         self.index
+    }
+
+    /// The shard this session is pinned to.
+    pub fn shard(&self) -> u16 {
+        (self.index >> Self::LOCAL_BITS) as u16
+    }
+
+    /// The slot index within the owning shard's table.
+    pub fn local(&self) -> u32 {
+        self.index & (Self::MAX_LOCAL - 1)
     }
 
     /// The slot generation this id is valid for.
@@ -37,11 +74,12 @@ struct Entry<T> {
     value: Option<T>,
 }
 
-/// A generational slab.
+/// A generational slab owned by one shard.
 pub struct Slab<T> {
     entries: Vec<Entry<T>>,
     free: Vec<u32>,
     len: usize,
+    shard: u16,
 }
 
 impl<T> Default for Slab<T> {
@@ -51,9 +89,19 @@ impl<T> Default for Slab<T> {
 }
 
 impl<T> Slab<T> {
-    /// An empty slab.
+    /// An empty shard-0 slab (the single-shard configuration).
     pub fn new() -> Self {
-        Slab { entries: Vec::new(), free: Vec::new(), len: 0 }
+        Slab::for_shard(0)
+    }
+
+    /// An empty slab whose ids carry `shard` in their index bits.
+    pub fn for_shard(shard: u16) -> Self {
+        Slab { entries: Vec::new(), free: Vec::new(), len: 0, shard }
+    }
+
+    /// The shard this table mints ids for.
+    pub fn shard(&self) -> u16 {
+        self.shard
     }
 
     /// Number of live sessions.
@@ -71,61 +119,78 @@ impl<T> Slab<T> {
         self.entries.len()
     }
 
-    /// Insert a value, reusing the most recently freed slot if any.
-    pub fn insert(&mut self, value: T) -> SessionId {
-        self.len += 1;
-        if let Some(index) = self.free.pop() {
-            let entry = &mut self.entries[index as usize];
-            entry.value = Some(value);
-            SessionId { index, generation: entry.generation }
-        } else {
-            let index = self.entries.len() as u32;
-            self.entries.push(Entry { generation: 0, value: Some(value) });
-            SessionId { index, generation: 0 }
-        }
+    /// The shard-local slot this id addresses, unless the id belongs
+    /// to a different shard.
+    fn local_of(&self, id: SessionId) -> Option<usize> {
+        (id.shard() == self.shard).then_some(id.local() as usize)
     }
 
-    /// The value for `id`, unless the id is stale or never existed.
+    /// Insert a value, reusing the most recently freed slot if any.
+    /// Returns `None` when the shard-local address space
+    /// ([`SessionId::MAX_LOCAL`] slots) is exhausted.
+    pub fn try_insert(&mut self, value: T) -> Option<SessionId> {
+        if let Some(local) = self.free.pop() {
+            self.len += 1;
+            let entry = &mut self.entries[local as usize];
+            entry.value = Some(value);
+            return Some(SessionId {
+                index: SessionId::compose(self.shard, local),
+                generation: entry.generation,
+            });
+        }
+        let local = self.entries.len() as u32;
+        if local >= SessionId::MAX_LOCAL {
+            return None;
+        }
+        self.len += 1;
+        self.entries.push(Entry { generation: 0, value: Some(value) });
+        Some(SessionId { index: SessionId::compose(self.shard, local), generation: 0 })
+    }
+
+    /// The value for `id`, unless the id is stale, shard-foreign, or
+    /// never existed.
     pub fn get(&self, id: SessionId) -> Option<&T> {
+        let local = self.local_of(id)?;
         self.entries
-            .get(id.index as usize)
+            .get(local)
             .filter(|e| e.generation == id.generation)
             .and_then(|e| e.value.as_ref())
     }
 
-    /// Mutable access, with the same staleness check as [`Slab::get`].
+    /// Mutable access, with the same staleness and shard checks as
+    /// [`Slab::get`].
     pub fn get_mut(&mut self, id: SessionId) -> Option<&mut T> {
+        let local = self.local_of(id)?;
         self.entries
-            .get_mut(id.index as usize)
+            .get_mut(local)
             .filter(|e| e.generation == id.generation)
             .and_then(|e| e.value.as_mut())
     }
 
-    /// True if `id` names a live session.
+    /// True if `id` names a live session in this shard's table.
     pub fn contains(&self, id: SessionId) -> bool {
         self.get(id).is_some()
     }
 
-    /// The live id occupying slot `index`, if any. Used to map a
-    /// substrate token (a bare slot index) back to a full
-    /// generational id.
-    pub fn id_at(&self, index: u32) -> Option<SessionId> {
-        self.entries
-            .get(index as usize)
-            .filter(|e| e.value.is_some())
-            .map(|e| SessionId { index, generation: e.generation })
+    /// The live id occupying shard-local slot `local`, if any. Used
+    /// to map a substrate token (a bare shard-local slot index) back
+    /// to a full generational id.
+    pub fn id_at(&self, local: u32) -> Option<SessionId> {
+        self.entries.get(local as usize).filter(|e| e.value.is_some()).map(|e| SessionId {
+            index: SessionId::compose(self.shard, local),
+            generation: e.generation,
+        })
     }
 
     /// Remove and return the value for `id`. Bumps the slot
     /// generation so the id (and any copies of it) go stale.
     pub fn remove(&mut self, id: SessionId) -> Option<T> {
-        let entry = self
-            .entries
-            .get_mut(id.index as usize)
-            .filter(|e| e.generation == id.generation)?;
+        let local = self.local_of(id)?;
+        let entry =
+            self.entries.get_mut(local).filter(|e| e.generation == id.generation)?;
         let value = entry.value.take()?;
         entry.generation = entry.generation.wrapping_add(1);
-        self.free.push(id.index);
+        self.free.push(local as u32);
         self.len -= 1;
         Some(value)
     }
@@ -133,9 +198,15 @@ impl<T> Slab<T> {
     /// Iterate live sessions in slot order (deterministic).
     pub fn iter(&self) -> impl Iterator<Item = (SessionId, &T)> {
         self.entries.iter().enumerate().filter_map(|(i, e)| {
-            e.value
-                .as_ref()
-                .map(|v| (SessionId { index: i as u32, generation: e.generation }, v))
+            e.value.as_ref().map(|v| {
+                (
+                    SessionId {
+                        index: SessionId::compose(self.shard, i as u32),
+                        generation: e.generation,
+                    },
+                    v,
+                )
+            })
         })
     }
 }
@@ -147,8 +218,8 @@ mod tests {
     #[test]
     fn insert_get_remove_roundtrip() {
         let mut slab = Slab::new();
-        let a = slab.insert("a");
-        let b = slab.insert("b");
+        let a = slab.try_insert("a").unwrap();
+        let b = slab.try_insert("b").unwrap();
         assert_eq!(slab.len(), 2);
         assert_eq!(slab.get(a), Some(&"a"));
         assert_eq!(slab.get(b), Some(&"b"));
@@ -160,9 +231,9 @@ mod tests {
     #[test]
     fn stale_id_rejected_after_slot_reuse() {
         let mut slab = Slab::new();
-        let first = slab.insert(1);
+        let first = slab.try_insert(1).unwrap();
         slab.remove(first);
-        let second = slab.insert(2);
+        let second = slab.try_insert(2).unwrap();
         // LIFO free list: the slot is reused...
         assert_eq!(second.index(), first.index());
         // ...under a new generation, so the old id stays dead.
@@ -177,7 +248,7 @@ mod tests {
     #[test]
     fn double_remove_is_none() {
         let mut slab = Slab::new();
-        let id = slab.insert(9);
+        let id = slab.try_insert(9).unwrap();
         assert_eq!(slab.remove(id), Some(9));
         assert_eq!(slab.remove(id), None);
         assert!(slab.is_empty());
@@ -186,11 +257,38 @@ mod tests {
     #[test]
     fn iter_is_slot_ordered() {
         let mut slab = Slab::new();
-        let a = slab.insert("a");
-        let _b = slab.insert("b");
-        let _c = slab.insert("c");
+        let a = slab.try_insert("a").unwrap();
+        let _b = slab.try_insert("b").unwrap();
+        let _c = slab.try_insert("c").unwrap();
         slab.remove(a);
         let order: Vec<&str> = slab.iter().map(|(_, v)| *v).collect();
         assert_eq!(order, vec!["b", "c"]);
+    }
+
+    #[test]
+    fn shard_bits_round_trip() {
+        let mut slab = Slab::for_shard(7);
+        let id = slab.try_insert("x").unwrap();
+        assert_eq!(id.shard(), 7);
+        assert_eq!(id.local(), 0);
+        assert_eq!(id.index(), 7 << SessionId::LOCAL_BITS);
+        assert_eq!(slab.get(id), Some(&"x"));
+        assert_eq!(slab.id_at(0), Some(id));
+    }
+
+    #[test]
+    fn foreign_shard_id_rejected_even_with_matching_slot() {
+        let mut a = Slab::for_shard(1);
+        let mut b = Slab::for_shard(2);
+        let id_a = a.try_insert("in-a").unwrap();
+        let id_b = b.try_insert("in-b").unwrap();
+        // Same local slot and generation — only the shard differs.
+        assert_eq!(id_a.local(), id_b.local());
+        assert_eq!(id_a.generation(), id_b.generation());
+        assert_eq!(b.get(id_a), None);
+        assert_eq!(a.get(id_b), None);
+        assert_eq!(b.remove(id_a), None);
+        assert!(!b.contains(id_a));
+        assert_eq!(b.get(id_b), Some(&"in-b"));
     }
 }

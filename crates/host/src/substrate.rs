@@ -157,9 +157,15 @@ impl Substrate for NetSubstrate {
 
     fn close(&mut self, token: usize) {
         if let Some(Some(sess)) = self.sessions.get_mut(token).map(Option::take) {
+            // Release (not just reset) so the simulator recycles the
+            // slots: at a million-session churn the arenas stay sized
+            // to the concurrent population, not the all-time total.
             for conn in sess.conns {
-                self.net.reset(conn);
+                self.net.release_conn(conn);
                 self.conn_owner[conn.0] = None;
+            }
+            for node in sess.nodes {
+                self.net.release_node(node);
             }
         }
     }

@@ -245,9 +245,9 @@ mod tests {
     fn sid(n: u32) -> SessionId {
         // Fabricate distinct ids through a throwaway slab.
         let mut slab = Slab::new();
-        let mut last = slab.insert(());
+        let mut last = slab.try_insert(()).unwrap();
         for _ in 0..n {
-            last = slab.insert(());
+            last = slab.try_insert(()).unwrap();
         }
         last
     }

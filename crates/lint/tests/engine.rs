@@ -243,3 +243,32 @@ fn file_allow_waives_whole_file_with_reason() {
     assert!(findings.iter().all(|f| !f.is_blocking()));
     assert!(findings.iter().all(|f| f.allowed.as_deref() == Some("harness code")));
 }
+
+#[test]
+fn sans_io_scope_covers_sharded_host_modules() {
+    // The host crate's sharding split added modules under
+    // crates/host/src (shard.rs, mux.rs, config.rs, host.rs); the
+    // directory-prefix scope must keep every one of them — and any
+    // future sibling — under the sans-IO family.
+    use mbtls_lint::config::families_for;
+    for path in [
+        "crates/host/src/shard.rs",
+        "crates/host/src/mux.rs",
+        "crates/host/src/config.rs",
+        "crates/host/src/host.rs",
+        "crates/host/src/slab.rs",
+        "crates/host/src/future_module.rs",
+    ] {
+        assert!(
+            families_for(path).contains(&RuleId::SansIo),
+            "{path} must be in the SansIo scope"
+        );
+    }
+    // And a violation planted in a shard module is actually caught.
+    let src = "fn now() -> std::time::Instant { std::time::Instant::now() }\n";
+    let findings = lint_source("crates/host/src/shard.rs", src, &[RuleId::SansIo]);
+    assert!(
+        findings.iter().any(|f| f.rule == RuleId::SansIo && f.is_blocking()),
+        "ambient time in a shard module must block: {findings:?}"
+    );
+}

@@ -185,6 +185,9 @@ struct Conn {
     b_to_a: Pipe,
     /// When the transport handshake completes and data may flow.
     established_at: SimTime,
+    /// Slot released via [`Network::release_conn`] and awaiting
+    /// reuse: every operation on the handle reports `BadHandle`.
+    retired: bool,
 }
 
 /// Errors surfaced to endpoint drivers.
@@ -216,6 +219,8 @@ impl std::error::Error for NetError {}
 /// state machines live in the experiment code).
 struct Node {
     name: String,
+    /// Slot released via [`Network::release_node`] and awaiting reuse.
+    retired: bool,
 }
 
 /// The simulator.
@@ -227,14 +232,24 @@ pub struct Network {
     /// Default one-way latency used when none is specified.
     pub default_latency: Duration,
     telemetry: Option<SharedSink>,
-    /// Min-heap of candidate `(deliver_at, conn index)` delivery
-    /// instants, pushed on every queued write and validated lazily:
-    /// an entry whose connection no longer has a chunk due exactly at
-    /// that instant is stale (already delivered) and is discarded on
-    /// pop. Keeps [`Network::next_event_time`] O(log n) per call
-    /// instead of scanning every pipe — the difference between a
-    /// 2-party test and a host multiplexing thousands of sessions.
-    event_heap: BinaryHeap<Reverse<(SimTime, usize)>>,
+    /// Min-heap of candidate `(deliver_at, sequence, conn index)`
+    /// delivery instants, pushed on every queued write and validated
+    /// lazily: an entry whose connection no longer has a chunk due
+    /// exactly at that instant is stale (already delivered) and is
+    /// discarded on pop. Keeps [`Network::next_event_time`] O(log n)
+    /// per call instead of scanning every pipe — the difference
+    /// between a 2-party test and a host multiplexing thousands of
+    /// sessions. The sequence number makes equal-time pops explicit:
+    /// ties break by *send order*, never by heap-internal layout, so
+    /// a sharded host merging per-shard traces sees one well-defined
+    /// delivery order by construction.
+    event_heap: BinaryHeap<Reverse<(SimTime, u64, usize)>>,
+    /// Monotonic sequence stamped onto heap entries at push time.
+    event_seq: u64,
+    /// Released node slots awaiting reuse (LIFO).
+    node_free: Vec<usize>,
+    /// Released connection slots awaiting reuse (LIFO).
+    conn_free: Vec<usize>,
 }
 
 impl Network {
@@ -248,7 +263,18 @@ impl Network {
             default_latency: Duration::from_micros(50),
             telemetry: None,
             event_heap: BinaryHeap::new(),
+            event_seq: 0,
+            node_free: Vec::new(),
+            conn_free: Vec::new(),
         }
+    }
+
+    /// Push a delivery candidate, stamping the next sequence number
+    /// so same-instant events pop in send order.
+    fn push_event(&mut self, t: SimTime, conn: usize) {
+        let seq = self.event_seq;
+        self.event_seq += 1;
+        self.event_heap.push(Reverse((t, seq, conn)));
     }
 
     /// Current virtual time.
@@ -270,12 +296,34 @@ impl Network {
         }
     }
 
-    /// Add a node.
+    /// Add a node, reusing a released slot when one is available.
     pub fn add_node(&mut self, name: &str) -> NodeId {
+        if let Some(idx) = self.node_free.pop() {
+            self.nodes[idx].name = name.to_string();
+            self.nodes[idx].retired = false;
+            return NodeId(idx);
+        }
         self.nodes.push(Node {
             name: name.to_string(),
+            retired: false,
         });
         NodeId(self.nodes.len() - 1)
+    }
+
+    /// Release a node slot for reuse. The caller must have released
+    /// every connection touching the node first; the handle must not
+    /// be used again. Keeps node-arena memory bounded by the
+    /// *concurrent* population rather than the all-time total — at a
+    /// million hosted sessions the difference between a working run
+    /// and an OOM.
+    pub fn release_node(&mut self, node: NodeId) {
+        if let Some(n) = self.nodes.get_mut(node.0) {
+            if !n.retired {
+                n.retired = true;
+                n.name = String::new();
+                self.node_free.push(node.0);
+            }
+        }
     }
 
     /// A node's name.
@@ -300,14 +348,47 @@ impl Network {
         // may send data with the final ACK, so the first byte can
         // depart one RTT after connect.
         let established_at = self.now.plus(latency.times(2));
-        self.conns.push(Conn {
+        let conn = Conn {
             a,
             b,
             a_to_b: Pipe::new(latency, bandwidth_bps, fi_ab),
             b_to_a: Pipe::new(latency, bandwidth_bps, fi_ba),
             established_at,
-        });
+            retired: false,
+        };
+        if let Some(idx) = self.conn_free.pop() {
+            self.conns[idx] = conn;
+            return ConnId(idx);
+        }
+        self.conns.push(conn);
         ConnId(self.conns.len() - 1)
+    }
+
+    /// Release a connection slot for reuse. In-flight and delivered
+    /// data is dropped; the handle must not be used again (every
+    /// operation on it reports [`NetError::BadHandle`] until the slot
+    /// is handed out by a later connect). Stale heap entries naming
+    /// the slot are discarded lazily: the retired pipes report no
+    /// next event, and a reused slot's own writes push fresh entries,
+    /// so delivery scheduling stays exact across recycling.
+    pub fn release_conn(&mut self, conn: ConnId) {
+        if let Some(c) = self.conns.get_mut(conn.0) {
+            if !c.retired {
+                c.retired = true;
+                // Inert placeholder pipes (fixed-seed injector so the
+                // shared fault RNG stream is left untouched).
+                let inert = || {
+                    Pipe::new(
+                        Duration::ZERO,
+                        None,
+                        FaultInjector::new(FaultConfig::none(), CryptoRng::from_seed(0)),
+                    )
+                };
+                c.a_to_b = inert();
+                c.b_to_a = inert();
+                self.conn_free.push(conn.0);
+            }
+        }
     }
 
     /// Open a connection with default latency, unlimited bandwidth,
@@ -318,10 +399,20 @@ impl Network {
 
     fn pipe_mut(&mut self, conn: ConnId, dir: Dir) -> Result<&mut Pipe, NetError> {
         let conn = self.conns.get_mut(conn.0).ok_or(NetError::BadHandle)?;
+        if conn.retired {
+            return Err(NetError::BadHandle);
+        }
         Ok(match dir {
             Dir::AtoB => &mut conn.a_to_b,
             Dir::BtoA => &mut conn.b_to_a,
         })
+    }
+
+    fn live_conn(&self, conn: ConnId) -> Result<&Conn, NetError> {
+        match self.conns.get(conn.0) {
+            Some(c) if !c.retired => Ok(c),
+            _ => Err(NetError::BadHandle),
+        }
     }
 
     /// Send bytes from `from`'s side of the connection.
@@ -340,7 +431,7 @@ impl Network {
         compute: Duration,
     ) -> Result<(), NetError> {
         let now = self.now;
-        let c = self.conns.get(conn.0).ok_or(NetError::BadHandle)?;
+        let c = self.live_conn(conn)?;
         let dir = if from == c.a {
             Dir::AtoB
         } else if from == c.b {
@@ -351,7 +442,7 @@ impl Network {
         let earliest = c.established_at.max(now.plus(compute));
         let report = self.pipe_mut(conn, dir)?.write(now, data.to_vec(), earliest)?;
         if let Some(t) = report.deliver_at {
-            self.event_heap.push(Reverse((t, conn.0)));
+            self.push_event(t, conn.0);
         }
         self.emit(EventKind::LinkSend { conn: conn.0 as u64, bytes: data.len() as u64 });
         if report.tampered {
@@ -367,7 +458,7 @@ impl Network {
     /// current time.
     pub fn recv(&mut self, conn: ConnId, to: NodeId) -> Result<Vec<u8>, NetError> {
         let now = self.now;
-        let c = self.conns.get(conn.0).ok_or(NetError::BadHandle)?;
+        let c = self.live_conn(conn)?;
         let dir = if to == c.b {
             Dir::AtoB
         } else if to == c.a {
@@ -406,8 +497,8 @@ impl Network {
     /// answer is the same one [`Network::next_event_time_scan`] would
     /// compute by walking every pipe.
     pub fn next_event_time(&mut self) -> Option<SimTime> {
-        while let Some(&Reverse((t, idx))) = self.event_heap.peek() {
-            let actual = self.conns.get(idx).and_then(|c| {
+        while let Some(&Reverse((t, seq, idx))) = self.event_heap.peek() {
+            let actual = self.conns.get(idx).filter(|c| !c.retired).and_then(|c| {
                 match (c.a_to_b.next_event(), c.b_to_a.next_event()) {
                     (Some(x), Some(y)) => Some(x.min(y)),
                     (x, None) => x,
@@ -421,7 +512,7 @@ impl Network {
                 // defensively so the heap never under-reports.
                 Some(a) if a < t => {
                     self.event_heap.pop();
-                    self.event_heap.push(Reverse((a, idx)));
+                    self.event_heap.push(Reverse((a, seq, idx)));
                 }
                 // Stale: that chunk was already delivered.
                 _ => {
@@ -441,14 +532,15 @@ impl Network {
     /// popped entry is gone from the heap). The same connection may be
     /// returned once per undrained chunk.
     pub fn pop_due(&mut self) -> Option<ConnId> {
-        while let Some(&Reverse((t, idx))) = self.event_heap.peek() {
+        while let Some(&Reverse((t, _seq, idx))) = self.event_heap.peek() {
             if t > self.now {
                 return None;
             }
             self.event_heap.pop();
             let due = self.conns.get(idx).is_some_and(|c| {
-                c.a_to_b.next_event().is_some_and(|x| x <= self.now)
-                    || c.b_to_a.next_event().is_some_and(|x| x <= self.now)
+                !c.retired
+                    && (c.a_to_b.next_event().is_some_and(|x| x <= self.now)
+                        || c.b_to_a.next_event().is_some_and(|x| x <= self.now))
             });
             if due {
                 return Some(ConnId(idx));
@@ -463,7 +555,7 @@ impl Network {
     #[cfg(test)]
     fn next_event_time_scan(&self) -> Option<SimTime> {
         let mut best: Option<SimTime> = None;
-        for conn in &self.conns {
+        for conn in self.conns.iter().filter(|c| !c.retired) {
             for pipe in [&conn.a_to_b, &conn.b_to_a] {
                 if let Some(t) = pipe.next_event() {
                     let t = t.max(self.now);
@@ -518,11 +610,11 @@ impl Network {
     /// (the adversary writes into the TCP stream).
     pub fn inject(&mut self, conn: ConnId, dir: Dir, data: &[u8]) -> Result<(), NetError> {
         let now = self.now;
-        let c = self.conns.get(conn.0).ok_or(NetError::BadHandle)?;
+        let c = self.live_conn(conn)?;
         let earliest = c.established_at;
         let report = self.pipe_mut(conn, dir)?.write(now, data.to_vec(), earliest)?;
         if let Some(t) = report.deliver_at {
-            self.event_heap.push(Reverse((t, conn.0)));
+            self.push_event(t, conn.0);
         }
         self.emit(EventKind::LinkSend { conn: conn.0 as u64, bytes: data.len() as u64 });
         if report.tampered {
@@ -559,7 +651,7 @@ impl Network {
 
     /// The two endpoints of a connection (initiator, acceptor).
     pub fn conn_endpoints(&self, conn: ConnId) -> Option<(NodeId, NodeId)> {
-        self.conns.get(conn.0).map(|c| (c.a, c.b))
+        self.conns.get(conn.0).filter(|c| !c.retired).map(|c| (c.a, c.b))
     }
 }
 
@@ -787,12 +879,74 @@ mod tests {
         let t = n.next_event_time().unwrap();
         n.advance_to(t);
         // Both conns share the default latency, so both become due at
-        // the same instant; pops are ordered by (time, conn index).
-        assert_eq!(n.pop_due(), Some(conn1));
-        let _ = n.recv(conn1, b).unwrap();
+        // the same instant; ties break by send order (sequence
+        // number), and conn2's chunk was sent first.
         assert_eq!(n.pop_due(), Some(conn2));
         let _ = n.recv(conn2, c2).unwrap();
+        assert_eq!(n.pop_due(), Some(conn1));
+        let _ = n.recv(conn1, b).unwrap();
         assert_eq!(n.pop_due(), None);
+    }
+
+    /// Regression: equal-time delivery events must pop in *send*
+    /// order, not heap-internal order — the determinism-by-
+    /// construction guarantee the sharded host's trace merge relies
+    /// on. Exercised with enough same-instant events that a
+    /// heap-layout-ordered pop would almost surely diverge.
+    #[test]
+    fn equal_time_events_pop_in_send_order() {
+        let mut n = Network::new(5);
+        let hub = n.add_node("hub");
+        let spokes: Vec<NodeId> = (0..16).map(|i| n.add_node(&format!("s{i}"))).collect();
+        let conns: Vec<ConnId> = spokes.iter().map(|&s| n.connect(hub, s)).collect();
+        // Send in a scrambled, non-monotonic conn order; all chunks
+        // share one latency so every delivery lands at one instant.
+        let order: Vec<usize> = (0..16).map(|i| (i * 7) % 16).collect();
+        for &i in &order {
+            n.send(conns[i], hub, b"x").unwrap();
+        }
+        let t = n.next_event_time().unwrap();
+        n.advance_to(t);
+        for &i in &order {
+            assert_eq!(n.pop_due(), Some(conns[i]), "pop order must match send order");
+            let _ = n.recv(conns[i], spokes[i]).unwrap();
+        }
+        assert_eq!(n.pop_due(), None);
+    }
+
+    /// Released conn and node slots are reused, stale handles are
+    /// rejected, and recycling never leaks old traffic into the new
+    /// occupant.
+    #[test]
+    fn released_slots_recycle_without_leaking() {
+        let (mut n, a, b) = net();
+        let conn = n.connect(a, b);
+        n.send(conn, a, b"doomed").unwrap();
+        n.release_conn(conn);
+        // Stale handle: every operation is rejected.
+        assert_eq!(n.send(conn, a, b"x"), Err(NetError::BadHandle));
+        assert_eq!(n.recv(conn, b), Err(NetError::BadHandle));
+        assert_eq!(n.conn_endpoints(conn), None);
+        // Undelivered chunk vanished with the slot.
+        assert_eq!(n.next_event_time(), None);
+        // Slot is reused — and the new occupant starts clean.
+        let conn2 = n.connect(b, a);
+        assert_eq!(conn2.0, conn.0, "freed conn slot should be reused");
+        n.send(conn2, b, b"fresh").unwrap();
+        n.advance_to(SimTime(1_000_000_000));
+        assert_eq!(n.recv(conn2, a).unwrap(), b"fresh");
+        // Node recycling mirrors conn recycling.
+        let extra = n.add_node("ephemeral");
+        n.release_node(extra);
+        let again = n.add_node("replacement");
+        assert_eq!(again.0, extra.0, "freed node slot should be reused");
+        assert_eq!(n.node_name(again), "replacement");
+        // Double release is a no-op, not a double-free.
+        n.release_node(again);
+        n.release_node(again);
+        let x = n.add_node("x");
+        let y = n.add_node("y");
+        assert_ne!(x.0, y.0, "double release must not hand one slot out twice");
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! Every event serializes to one flat JSON object per line:
 //!
 //! ```text
-//! {"ts_ns":35000000,"party":"middlebox0","event":"record_decrypt","hop":0,"bytes":512,"seq":3}
+//! {"ts_ns":35000000,"shard":0,"party":"middlebox0","event":"record_decrypt","hop":0,"bytes":512,"seq":3}
 //! ```
 
 use crate::event::Event;
@@ -14,6 +14,8 @@ pub fn to_json_line(event: &Event) -> String {
     let mut out = String::with_capacity(96);
     out.push_str("{\"ts_ns\":");
     out.push_str(&event.ts_ns.to_string());
+    out.push_str(",\"shard\":");
+    out.push_str(&event.shard.to_string());
     out.push_str(",\"party\":\"");
     out.push_str(&event.party.label());
     out.push_str("\",\"event\":\"");
@@ -119,17 +121,20 @@ mod tests {
         let samples = [
             Event {
                 ts_ns: 35_000_000,
+                shard: 0,
                 party: Party::Middlebox(0),
                 kind: EventKind::RecordDecrypt { hop: 0, bytes: 512, seq: 3 },
             },
-            Event { ts_ns: 0, party: Party::Client, kind: EventKind::HandshakeComplete },
+            Event { ts_ns: 0, shard: 0, party: Party::Client, kind: EventKind::HandshakeComplete },
             Event {
                 ts_ns: 7,
+                shard: 1,
                 party: Party::Network,
                 kind: EventKind::LinkSend { conn: 1, bytes: 1460 },
             },
             Event {
                 ts_ns: 9,
+                shard: 0,
                 party: Party::Enclave(2),
                 kind: EventKind::Ecall { enclave: 2, cost_ns: 12_000 },
             },

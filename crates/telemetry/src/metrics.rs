@@ -304,7 +304,7 @@ mod tests {
     #[test]
     fn aggregates_fold_per_party_and_per_hop() {
         let mut agg = Aggregates::new();
-        let mk = |party, kind| Event { ts_ns: 0, party, kind };
+        let mk = |party, kind| Event { ts_ns: 0, shard: 0, party, kind };
         agg.emit(&mk(Party::Client, EventKind::BytesOut { bytes: 100 }));
         agg.emit(&mk(Party::Middlebox(0), EventKind::RecordDecrypt { hop: 0, bytes: 64, seq: 0 }));
         agg.emit(&mk(Party::Middlebox(0), EventKind::RecordEncrypt { hop: 1, bytes: 64, seq: 0 }));

@@ -118,6 +118,9 @@ impl VirtualClock {
 pub struct SharedSink {
     sink: Arc<Mutex<dyn TelemetrySink + Send>>,
     clock: VirtualClock,
+    /// Host-shard tag stamped onto every event emitted through this
+    /// handle (zero outside a sharded host).
+    shard: u16,
 }
 
 impl std::fmt::Debug for SharedSink {
@@ -134,7 +137,20 @@ impl SharedSink {
 
     /// Wrap a sink stamping from an existing clock.
     pub fn with_clock(sink: impl TelemetrySink + Send + 'static, clock: VirtualClock) -> Self {
-        SharedSink { sink: Arc::new(Mutex::new(sink)), clock }
+        SharedSink { sink: Arc::new(Mutex::new(sink)), clock, shard: 0 }
+    }
+
+    /// This handle, re-tagged to stamp `shard` onto every event it
+    /// emits. The underlying sink and clock stay shared — a sharded
+    /// host hands each reactor `sink.tagged(k)` so the merged trace
+    /// records which shard said what.
+    pub fn tagged(&self, shard: u16) -> SharedSink {
+        SharedSink { sink: self.sink.clone(), clock: self.clock.clone(), shard }
+    }
+
+    /// The shard tag this handle stamps (zero unless re-tagged).
+    pub fn shard(&self) -> u16 {
+        self.shard
     }
 
     /// The clock this handle stamps from.
@@ -149,7 +165,7 @@ impl SharedSink {
 
     /// Emit an event with an explicit timestamp.
     pub fn emit_at(&self, ts_ns: u64, party: Party, kind: EventKind) {
-        let event = Event { ts_ns, party, kind };
+        let event = Event { ts_ns, shard: self.shard, party, kind };
         if let Ok(mut sink) = self.sink.lock() {
             sink.emit(&event);
         }
@@ -200,6 +216,7 @@ impl Recorder {
         SharedSink {
             sink: self.inner.clone() as Arc<Mutex<dyn TelemetrySink + Send>>,
             clock: self.clock.clone(),
+            shard: 0,
         }
     }
 
@@ -261,6 +278,7 @@ mod tests {
         let mut direct = JsonLinesSink::new(Vec::<u8>::new());
         direct.emit(&Event {
             ts_ns: 1,
+            shard: 0,
             party: Party::Client,
             kind: EventKind::BytesOut { bytes: 9 },
         });

@@ -4,10 +4,12 @@
 # (BENCH_scale.json), each validated for shape so a silently-broken
 # reporter fails loudly.
 #
-#   scripts/bench_report.sh           full run (stable numbers, ~40 s);
-#                                     writes BENCH_dataplane.json and
-#                                     BENCH_scale.json at the repo root —
-#                                     the committed artifacts
+#   scripts/bench_report.sh           full run; writes BENCH_dataplane.json
+#                                     (~40 s) and BENCH_scale.json (hours:
+#                                     the 10k/100k/1M × 1/2/4/8-shard
+#                                     matrix, rewritten after every tier)
+#                                     at the repo root — the committed
+#                                     artifacts
 #   scripts/bench_report.sh --smoke   tiny budgets (seconds) writing to
 #                                     target/; used by scripts/check.sh
 #                                     as the gate
@@ -58,7 +60,47 @@ validate "$OUT" throughput_mb_s aes_gcm_bitsliced_seal aes_gcm_reference_seal \
          allocs_per_record_endpoint allocs_per_record_middlebox
 echo "OK: wrote $OUT"
 
-# Stage 2: session-host capacity under churn.
+# validate_scale <file>: structural checks specific to the sharded
+# BENCH_scale.json schema — every fleet size must carry a
+# cores-vs-throughput curve (per-shard walls included) and the
+# double-run determinism verdict must be true.
+validate_scale() {
+    local out="$1"
+    if ! command -v python3 > /dev/null; then
+        return 0
+    fi
+    python3 - "$out" <<'PY' || exit 1
+import json, sys
+
+report = json.load(open(sys.argv[1]))
+assert report.get("model") == "max_shard_wall", "missing throughput model tag"
+tiers = report["sessions"]
+assert tiers, "no fleet sizes measured"
+for tier in tiers:
+    curve = tier["curve"]
+    assert curve, f"fleet n={tier['n']} has no shard curve"
+    for run in curve:
+        assert run["shards"] >= 1
+        assert len(run["per_shard_wall_ms"]) == run["shards"], \
+            f"n={tier['n']}: shard {run['shards']} row lacks per-shard walls"
+        assert run["max_shard_wall_ms"] > 0
+        assert run["handshakes_per_s"] > 0
+        assert run["records_per_s"] > 0
+    shard_counts = [run["shards"] for run in curve]
+    assert shard_counts == sorted(shard_counts), "curve rows must ascend"
+    assert 4 in shard_counts, f"n={tier['n']}: curve is missing the 4-shard row"
+allocs = report["allocs_per_record_per_shard"]
+assert allocs and all(a == 0.0 for a in allocs), \
+    f"steady state allocates: {allocs} allocs/record per shard"
+det = report["determinism"]
+assert det["identical"] is True, "double-run determinism verdict is false"
+assert det["shards"] >= 2, "determinism probe must cover multiple shards"
+print(f"scale schema OK: {len(tiers)} fleet size(s), "
+      f"curves {shard_counts}, determinism true")
+PY
+}
+
+# Stage 2: session-host capacity under churn (sharded matrix).
 OUT="BENCH_scale.json"
 ARGS=()
 if [[ "$SMOKE" == 1 ]]; then
@@ -66,7 +108,9 @@ if [[ "$SMOKE" == 1 ]]; then
     ARGS+=(--smoke)
 fi
 cargo run -q --release -p mbtls-bench --bin scale_report -- "${ARGS[@]}" --out "$OUT" > /dev/null
-validate "$OUT" sessions handshakes_per_s records_per_s \
+validate "$OUT" sessions model curve per_shard_wall_ms max_shard_wall_ms \
+         handshakes_per_s records_per_s speedup_4_over_1 \
          p50_handshake_ms p99_handshake_ms bytes_per_session \
-         allocs_per_record_steady determinism identical
+         allocs_per_record_steady allocs_per_record_per_shard determinism identical
+validate_scale "$OUT"
 echo "OK: wrote $OUT"

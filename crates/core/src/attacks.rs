@@ -11,6 +11,7 @@
 
 use std::sync::Arc;
 
+use mbtls_crypto::ct;
 use mbtls_crypto::rng::CryptoRng;
 use mbtls_pki::cert::{CertificateAuthority, CertifiedKey};
 use mbtls_pki::{KeyUsage, TrustStore};
@@ -405,7 +406,7 @@ pub fn attack_wire_eavesdrop() -> Result<AttackReport, MbError> {
         &art.tap_right_c2s,
         &art.tap_right_s2c,
     ] {
-        if stream.windows(secret.len()).any(|w| w == secret) {
+        if stream.windows(secret.len()).any(|w| ct::eq(w, secret)) {
             leaked = true;
         }
     }
@@ -414,7 +415,7 @@ pub fn attack_wire_eavesdrop() -> Result<AttackReport, MbError> {
         property: "P1A",
         defense: "Encryption (per-hop AEAD)",
         protocol: Protocol::MbTls,
-        blocked: !leaked && art.server_got == secret,
+        blocked: !leaked && ct::eq(&art.server_got, secret),
         detail: format!(
             "secret delivered ({} bytes) and absent from all 4 link captures",
             art.server_got.len()
@@ -500,7 +501,7 @@ pub fn attack_change_secrecy(naive: bool) -> Result<AttackReport, MbError> {
     let wire_in = client.take_outgoing();
     naive_mbox.feed_left(&wire_in)?;
     let wire_out = naive_mbox.take_right();
-    let identical = wire_in == wire_out;
+    let identical = ct::eq(&wire_in, &wire_out);
     Ok(AttackReport {
         threat: "TP compares records entering/leaving MS to detect modification",
         property: "P1C",
@@ -561,7 +562,7 @@ pub fn attack_record_replay() -> Result<AttackReport, MbError> {
     client.send(b"pay $1")?;
     let wire = client.take_outgoing();
     server.feed(&wire)?;
-    let first_ok = server.take_plaintext() == b"pay $1";
+    let first_ok = ct::eq(&server.take_plaintext(), b"pay $1");
     let blocked = server.feed(&wire).is_err();
     Ok(AttackReport {
         threat: "Records replayed on-the-wire",
@@ -702,7 +703,7 @@ pub fn attack_path_skip(naive: bool) -> Result<AttackReport, MbError> {
         client.send(b"bypass the filter")?;
         // Adversary delivers the hop-1 record directly on hop 2.
         let spliced_ok = server.feed(&client.take_outgoing()).is_ok()
-            && server.take_plaintext() == b"bypass the filter";
+            && ct::eq(&server.take_plaintext(), b"bypass the filter");
         Ok(AttackReport {
             threat: "Records skip a middlebox (path violation)",
             property: "P4",

@@ -41,9 +41,19 @@ pub const SCOPES: &[(RuleId, &[&str])] = &[
     ),
     (
         // Constant-time discipline is enforced where the primitives
-        // are implemented.
+        // are implemented — and, since the dataflow pass can follow
+        // secrets through local bindings, also where key material is
+        // handled (tls key schedule, core session plumbing).
         RuleId::ConstTime,
-        &["crates/crypto/src"],
+        &["crates/crypto/src", "crates/tls/src", "crates/core/src"],
+    ),
+    (
+        // The shared-nothing shard discipline: the threaded-shards
+        // ROADMAP item puts each Shard on an OS thread, so nothing in
+        // the host or the simulator under it may share mutable state
+        // or iterate hash containers on trace/bench paths.
+        RuleId::ShardIsolation,
+        &["crates/host/src", "crates/netsim/src"],
     ),
 ];
 

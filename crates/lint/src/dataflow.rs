@@ -1,0 +1,938 @@
+//! The intra-item dataflow pass: a lightweight binding tracker over
+//! the line-tagged token stream, so rules can see *through* local
+//! bindings instead of only matching literal names.
+//!
+//! The token-sequence rules are name-based: `keys.client_write ==
+//! other` is caught because `keys` matches a secret marker, but
+//! `let s = keys.client_write; s == other` sailed past every rule —
+//! the alias `s` carries no secret in its name (DESIGN.md §6d, the
+//! ROADMAP residual this pass closes). This module resolves
+//! `let`/`if let`/`while let` bindings, `match`-arm patterns, closure
+//! parameters, and `for`-loop patterns within each item, and
+//! propagates two independent facts along rebinds:
+//!
+//! * **secret taint** — the binding's value derives from a
+//!   secret-typed expression: an identifier matching the secret
+//!   markers, a secret type name (built-in patterns or a
+//!   `// lint:secret`-marked declaration in the same file), a field
+//!   or method projection off an already-tainted binding, or a
+//!   destructured piece of a tainted value. Public projections
+//!   (`.len()`, `.is_empty()`), boolean results of comparisons, and
+//!   values routed through `ct::` stop the taint.
+//! * **hash-container origin** — the binding holds a `HashMap` /
+//!   `HashSet`, whose iteration order is nondeterministic; the
+//!   `shard-isolation` family forbids iterating one on any
+//!   trace/bench/artifact path.
+//!
+//! Shadowing untaints: `let s = keys.x; let s = 5;` leaves `s` clean
+//! afterwards, so a public rebind of a previously-secret name does
+//! not drag findings along. The analysis is a single forward pass per
+//! item (Rust bindings are introduced before use lexically), with
+//! binding updates applied *after* the introducing statement so the
+//! right-hand side still sees the old binding (`let s = s.clone()`).
+//!
+//! Known blind spots, by design (documented in DESIGN.md §6d): macro
+//! *expansion*, trait objects, cross-function flow, and block scoping
+//! (a binding tainted in an inner block stays tainted for the rest of
+//! the item — conservative over-taint, never under-taint within the
+//! tracked shapes).
+
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+use crate::source::SourceFile;
+use crate::tokens::{matching_close, operand_span_before, Token};
+
+/// Lower-cased identifier segments that tag a name as secret-bearing
+/// (shared with the `const-time` operand check).
+pub const SECRET_MARKERS: &[&str] = &[
+    "secret", "key", "tag", "mac", "shared", "prk", "ikm", "seed", "scalar",
+];
+
+/// Identifier segments that mark a projection as public metadata even
+/// when the path contains a secret marker (`key_len`, `tag_size`).
+const PUBLIC_SUFFIXES: &[&str] = &["len", "size", "count", "cap", "idx", "index", "offset"];
+
+/// Methods whose result is public metadata or status regardless of
+/// the receiver: lengths and `Result`/`Option` discriminants.
+const PUBLIC_METHODS: &[&str] = &[
+    "len", "is_empty", "count", "is_err", "is_ok", "is_some", "is_none",
+];
+
+/// Keywords and pattern syntax that can never be a binding name.
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "false", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move",
+    "mut", "pub", "ref", "return", "self", "static", "struct", "super", "trait", "true", "type",
+    "unsafe", "use", "where", "while", "yield",
+];
+
+/// Does this single identifier carry a secret marker segment?
+/// `monkey` does not trip `key`; `key_len` is public metadata.
+pub fn secret_ident(name: &str) -> bool {
+    // SCREAMING_CASE constants (KEY_LEN, SECRET_SIZE) are public.
+    if name
+        .chars()
+        .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+    {
+        return false;
+    }
+    let lower = name.to_ascii_lowercase();
+    let segs: Vec<&str> = lower.split('_').filter(|s| !s.is_empty()).collect();
+    if segs
+        .last()
+        .is_some_and(|last| PUBLIC_SUFFIXES.contains(last))
+    {
+        return false;
+    }
+    // `verifying_key` / `public_key` / `root_pubkey`: the *public*
+    // half of a keypair, published by definition.
+    if segs
+        .iter()
+        .any(|s| matches!(*s, "public" | "pub" | "pubkey" | "verifying"))
+    {
+        return false;
+    }
+    segs.iter()
+        .any(|seg| SECRET_MARKERS.contains(seg) || seg.strip_suffix('s').is_some_and(|s| SECRET_MARKERS.contains(&s)))
+}
+
+/// Built-in secret-bearing *type* names (the `secret-hygiene`
+/// patterns), used for `let x: SecretKey = …` and constructor calls.
+pub fn secret_type_name(name: &str) -> bool {
+    name.contains("Secret")
+        || name.contains("SigningKey")
+        || name.contains("KeyMaterial")
+        || matches!(
+            name,
+            "SessionKeys" | "TicketPlaintext" | "ResumptionData" | "KeyBlock" | "HopKeys"
+        )
+}
+
+/// The per-file result of the dataflow pass: for every token, whether
+/// it is a use of a binding carrying secret taint (and where the
+/// taint came from), or a use of a binding holding a hash container.
+pub struct Taint {
+    /// Parallel to `file.tokens`: `Some(origin)` when the token is a
+    /// use of a secret-tainted binding; `origin` names the source
+    /// expression the taint was introduced from.
+    tainted: Vec<Option<String>>,
+    /// Parallel to `file.tokens`: the token is a use of a binding
+    /// holding a `HashMap`/`HashSet`.
+    container: Vec<bool>,
+}
+
+impl Taint {
+    /// Run the pass over every item of `file`.
+    pub fn analyze(file: &SourceFile) -> Taint {
+        let tokens = &file.tokens;
+        let marked = marked_secret_types(file);
+        let mut t = Taint {
+            tainted: vec![None; tokens.len()],
+            container: vec![false; tokens.len()],
+        };
+        let mut i = 0;
+        while i < tokens.len() {
+            if tokens[i].text == "fn" {
+                // Signature runs to the body `{` (or `;` for a trait
+                // method declaration without a body).
+                let mut j = i + 1;
+                let mut body_open = None;
+                while j < tokens.len() {
+                    match tokens[j].text.as_str() {
+                        "{" => {
+                            body_open = Some(j);
+                            break;
+                        }
+                        ";" | "fn" => break,
+                        _ => j += 1,
+                    }
+                }
+                if let Some(open) = body_open {
+                    let close =
+                        matching_close(tokens, open, "{", "}").unwrap_or(tokens.len() - 1);
+                    analyze_item(tokens, &marked, i, open, close, &mut t);
+                    i = close + 1;
+                    continue;
+                }
+                i = j + 1;
+                continue;
+            }
+            i += 1;
+        }
+        t
+    }
+
+    /// Is the token at `idx` a use of a secret-tainted binding?
+    pub fn origin_at(&self, idx: usize) -> Option<&str> {
+        self.tainted.get(idx).and_then(|o| o.as_deref())
+    }
+
+    /// First secret-tainted token in `range`: `(token index, origin)`.
+    pub fn origin_in(&self, range: Range<usize>) -> Option<(usize, &str)> {
+        range
+            .filter_map(|k| self.origin_at(k).map(|o| (k, o)))
+            .next()
+    }
+
+    /// Is the token at `idx` a use of a hash-container binding?
+    pub fn is_container(&self, idx: usize) -> bool {
+        self.container.get(idx).copied().unwrap_or(false)
+    }
+
+    /// Does `range` contain a use of a hash-container binding?
+    pub fn container_in(&self, range: Range<usize>) -> bool {
+        range.clone().any(|k| self.is_container(k))
+    }
+
+    /// Like [`Taint::origin_in`], but treating `range` as one
+    /// *expression*: a top-level comparison, logical operator, or
+    /// leading `!` reduces it to a boolean, and a `ct::` call routes
+    /// it through the constant-time primitives — either way the
+    /// expression's value is public even when a tainted binding feeds
+    /// it (`!leaked && ct::eq(got, secret)`). Sinks that consume whole
+    /// expressions (struct-literal fields, macro arguments) use this
+    /// instead of the raw token scan.
+    pub fn expr_origin_in<'a>(
+        &'a self,
+        tokens: &[Token],
+        range: Range<usize>,
+    ) -> Option<(usize, &'a str)> {
+        let toks = &tokens[range.clone()];
+        let first = toks.first()?;
+        if first.text == "!" || (first.text == "ct" && toks.get(1).is_some_and(|t| t.text == "::"))
+        {
+            return None;
+        }
+        let mut depth = 0i32;
+        for t in toks {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                "==" | "!=" | "&&" | "||" | "<=" | ">=" if depth == 0 => return None,
+                _ => {}
+            }
+        }
+        self.origin_in(range)
+    }
+}
+
+/// Type names declared under a `// lint:secret` marker in this file.
+fn marked_secret_types(file: &SourceFile) -> Vec<String> {
+    let mut out = Vec::new();
+    for &marker_line in &file.secret_markers {
+        let decl = file.tokens.iter().enumerate().find(|(_, t)| {
+            t.line > marker_line && (t.text == "struct" || t.text == "enum")
+        });
+        if let Some((idx, _)) = decl {
+            if let Some(name) = file.tokens.get(idx + 1) {
+                if name.is_word() {
+                    out.push(name.text.clone());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// One deferred binding update: applied once the scan passes
+/// `apply_at`, so the introducing statement's right-hand side still
+/// sees the previous binding.
+struct Pending {
+    apply_at: usize,
+    name: String,
+    /// `Some(origin)` taints, `None` untaints (shadowing).
+    taint: Option<Option<String>>,
+    /// `Some(flag)` sets/clears the hash-container mark.
+    container: Option<bool>,
+}
+
+/// Track bindings through one item's body (`tokens[open..=close]`,
+/// with the signature at `tokens[fn_idx..open]` for parameter types).
+fn analyze_item(
+    tokens: &[Token],
+    marked: &[String],
+    fn_idx: usize,
+    open: usize,
+    close: usize,
+    out: &mut Taint,
+) {
+    let mut taint_map: BTreeMap<String, String> = BTreeMap::new();
+    let mut container_map: BTreeMap<String, ()> = BTreeMap::new();
+    let mut pending: Vec<Pending> = Vec::new();
+
+    // Parameters whose declared *type* is secret (the name-based rules
+    // already see secret-named parameters; this catches `s: &SigningKey`).
+    for (name, ty_range) in params_of(tokens, fn_idx, open) {
+        let ty = &tokens[ty_range.clone()];
+        if ty
+            .iter()
+            .any(|t| t.is_word() && (secret_type_name(&t.text) || marked.contains(&t.text)))
+        {
+            let origin = ty
+                .iter()
+                .find(|t| t.is_word() && (secret_type_name(&t.text) || marked.contains(&t.text)))
+                .map(|t| t.text.clone())
+                .unwrap_or_default();
+            taint_map.insert(name.clone(), origin);
+        }
+        if ty.iter().any(|t| t.text == "HashMap" || t.text == "HashSet") {
+            container_map.insert(name, ());
+        }
+    }
+
+    let mut k = open + 1;
+    while k < close {
+        // Apply deferred updates that have come due.
+        pending.retain(|p| {
+            if p.apply_at <= k {
+                if let Some(t) = &p.taint {
+                    match t {
+                        Some(origin) => {
+                            taint_map.insert(p.name.clone(), origin.clone());
+                        }
+                        None => {
+                            taint_map.remove(&p.name);
+                        }
+                    }
+                }
+                if let Some(c) = p.container {
+                    if c {
+                        container_map.insert(p.name.clone(), ());
+                    } else {
+                        container_map.remove(&p.name);
+                    }
+                }
+                false
+            } else {
+                true
+            }
+        });
+
+        let t = &tokens[k];
+
+        // Mark uses of tracked bindings. A word after `.` is a field
+        // or method *name*, not a binding use; a word glued to `::` is
+        // a path segment; `name:` inside a brace is a struct field
+        // label, whose value follows separately.
+        if t.is_word() {
+            let prev = k.checked_sub(1).map(|p| tokens[p].text.as_str());
+            let next = tokens.get(k + 1).map(|n| n.text.as_str());
+            let is_field_or_path = prev == Some(".") || prev == Some("::") || next == Some("::");
+            let is_field_label =
+                next == Some(":") && matches!(prev, Some("{") | Some(","));
+            if !is_field_or_path && !is_field_label {
+                if let Some(origin) = taint_map.get(&t.text) {
+                    // `key.len()` is public metadata, not a secret use.
+                    if !publicized(tokens, k) {
+                        out.tainted[k] = Some(origin.clone());
+                    }
+                }
+                if container_map.contains_key(&t.text) {
+                    out.container[k] = true;
+                }
+            }
+        }
+
+        match t.text.as_str() {
+            "let" => {
+                if let Some(update) =
+                    handle_let(tokens, marked, &taint_map, &container_map, k, close)
+                {
+                    pending.extend(update);
+                }
+            }
+            "match" => {
+                handle_match(tokens, marked, &taint_map, k, close, &mut pending);
+            }
+            "for" => {
+                handle_for(tokens, marked, &taint_map, k, close, &mut pending);
+            }
+            "|" => {
+                handle_closure(tokens, marked, &taint_map, k, close, &mut pending);
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+}
+
+/// `(name, type token range)` for each parameter of the signature in
+/// `tokens[fn_idx..open]`.
+fn params_of(tokens: &[Token], fn_idx: usize, open: usize) -> Vec<(String, Range<usize>)> {
+    let mut out = Vec::new();
+    let paren = (fn_idx..open).find(|&j| tokens[j].text == "(");
+    let Some(p) = paren else { return out };
+    let Some(end) = matching_close(tokens, p, "(", ")") else {
+        return out;
+    };
+    // Split at commas on the parameter list's own depth.
+    let mut depth = 0i32;
+    let mut start = p + 1;
+    let mut cuts = Vec::new();
+    for (j, t) in tokens.iter().enumerate().take(end).skip(p + 1) {
+        match t.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth -= 1,
+            "," if depth == 0 => cuts.push(j),
+            _ => {}
+        }
+    }
+    cuts.push(end);
+    for cut in cuts {
+        if start >= cut {
+            continue;
+        }
+        // `name : Type` — the colon on the parameter's own depth.
+        let mut d = 0i32;
+        let colon = (start..cut).find(|&j| {
+            match tokens[j].text.as_str() {
+                "(" | "[" | "{" | "<" => d += 1,
+                ")" | "]" | "}" | ">" => d -= 1,
+                ":" if d == 0 => return true,
+                _ => {}
+            }
+            false
+        });
+        if let Some(c) = colon {
+            let name = (start..c)
+                .rev()
+                .map(|j| &tokens[j])
+                .find(|t| t.is_word() && !KEYWORDS.contains(&t.text.as_str()));
+            if let Some(name) = name {
+                out.push((name.text.clone(), c + 1..cut));
+            }
+        }
+        start = cut + 1;
+    }
+    out
+}
+
+/// The binding names introduced by a pattern: lowercase-initial
+/// identifiers that are not keywords, path segments, or struct-pattern
+/// field labels (`Foo { field: binding }` binds `binding`, not `field`).
+fn pattern_bindings(tokens: &[Token], range: Range<usize>) -> Vec<String> {
+    let mut out = Vec::new();
+    let end = range.end;
+    for k in range {
+        let t = &tokens[k];
+        if !t.is_word() || t.text == "_" || KEYWORDS.contains(&t.text.as_str()) {
+            continue;
+        }
+        if !t
+            .text
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_lowercase() || c == '_')
+        {
+            continue; // type / variant names, numbers
+        }
+        let prev = k.checked_sub(1).map(|p| tokens[p].text.as_str());
+        let next = tokens.get(k + 1).map(|n| n.text.as_str());
+        if prev == Some("::") || next == Some("::") {
+            continue; // path segment
+        }
+        if next == Some(":") && k + 1 < end {
+            continue; // struct-pattern field label; the binding follows
+            // (a `:` at the range's end is type ascription, not a label)
+        }
+        if !out.contains(&t.text) {
+            out.push(t.text.clone());
+        }
+    }
+    out
+}
+
+/// Index of the first of `targets` at bracket depth 0, scanning
+/// `start..limit`. `track_braces` controls whether `{`/`}` count
+/// toward depth (they must for plain `let` right-hand sides, which
+/// may contain struct literals; they must NOT when the terminator
+/// itself is a block `{`).
+fn find_depth0(
+    tokens: &[Token],
+    start: usize,
+    limit: usize,
+    targets: &[&str],
+    track_braces: bool,
+) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in tokens.iter().enumerate().take(limit.min(tokens.len())).skip(start) {
+        let txt = t.text.as_str();
+        if depth == 0 && targets.contains(&txt) {
+            return Some(j);
+        }
+        match txt {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "{" if track_braces => depth += 1,
+            "}" if track_braces => depth -= 1,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Is the expression at `tokens[range]` secret-tainted under the
+/// current bindings? Returns the origin text when it is.
+fn expr_taint(
+    tokens: &[Token],
+    marked: &[String],
+    taint_map: &BTreeMap<String, String>,
+    range: Range<usize>,
+) -> Option<String> {
+    let toks = &tokens[range.clone()];
+    if toks.is_empty() {
+        return None;
+    }
+    // A comparison or boolean combination yields a bool, not a secret.
+    let mut depth = 0i32;
+    for t in toks {
+        match t.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth -= 1,
+            "==" | "!=" | "&&" | "||" if depth == 0 => return None,
+            _ => {}
+        }
+    }
+    // Values routed through the ct primitives are public results.
+    if toks.len() >= 2 && toks[0].text == "ct" && toks[1].text == "::" {
+        return None;
+    }
+    // A trailing public projection makes the whole expression public
+    // even when a tainted value feeds it: `server.feed(&wire).is_err()`.
+    let n = toks.len();
+    if n >= 4
+        && toks[n - 1].text == ")"
+        && toks[n - 2].text == "("
+        && PUBLIC_METHODS.contains(&toks[n - 3].text.as_str())
+        && toks[n - 4].text == "."
+    {
+        return None;
+    }
+    for (off, t) in toks.iter().enumerate() {
+        if !t.is_word() {
+            continue;
+        }
+        let k = range.start + off;
+        // `key.len()` (anywhere in a chain) reduces to a public usize.
+        if publicized(tokens, k) {
+            continue;
+        }
+        let prev = k.checked_sub(1).map(|p| tokens[p].text.as_str());
+        let is_projection = prev == Some(".");
+        if !is_projection {
+            if let Some(origin) = taint_map.get(&t.text) {
+                return Some(origin.clone());
+            }
+        }
+        // A *call* or *projection* is judged by its head noun
+        // (`fresh_hop_keys(..)` produces keys, `.peer_tag` is a tag;
+        // `suite.key_exchange()` and `.key_exchange` describe an
+        // algorithm), and a call fed only literals cannot produce a
+        // secret (`CryptoRng::from_seed(0xA4)` — the seed is in the
+        // source text).
+        let named_secret = if tokens.get(k + 1).is_some_and(|n| n.text == "(") {
+            secret_call_name(&t.text) && !all_literal_args(tokens, k + 1)
+        } else if is_projection {
+            secret_call_name(&t.text)
+        } else {
+            secret_ident(&t.text)
+        };
+        if named_secret || secret_type_name(&t.text) || marked.contains(&t.text) {
+            return Some(t.text.clone());
+        }
+    }
+    None
+}
+
+/// Does a *function/method/field name* denote a secret? Only the
+/// final identifier segment counts — the head noun of the compound —
+/// so `export_session_keys` and `peer_tag` match while
+/// `key_exchange` (a descriptor: the key-exchange *algorithm*) does
+/// not. All of [`secret_ident`]'s public exemptions apply first.
+fn secret_call_name(name: &str) -> bool {
+    if !secret_ident(name) {
+        return false;
+    }
+    let lower = name.to_ascii_lowercase();
+    lower
+        .split('_').rfind(|s| !s.is_empty())
+        .is_some_and(|seg| {
+            SECRET_MARKERS.contains(&seg)
+                || seg.strip_suffix('s').is_some_and(|s| SECRET_MARKERS.contains(&s))
+        })
+}
+
+/// Are the arguments of the call whose `(` sits at `open` all
+/// literals (or empty)? A word is a non-literal unless it starts with
+/// a digit.
+fn all_literal_args(tokens: &[Token], open: usize) -> bool {
+    let Some(close) = matching_close(tokens, open, "(", ")") else {
+        return false;
+    };
+    tokens[open + 1..close].iter().all(|t| {
+        !t.is_word() || t.text.starts_with(|c: char| c.is_ascii_digit())
+    })
+}
+
+/// Does the postfix chain rooted at the word at `k` pass through a
+/// public projection — a `.len()` or boolean-status call? Once it
+/// does, everything downstream is derived from a public
+/// `usize`/`bool`, so the rooted value no longer carries the secret
+/// (`key.len() / 4`, `session.feed(&wire).is_err()`).
+fn publicized(tokens: &[Token], k: usize) -> bool {
+    let mut j = k + 1;
+    while j + 1 < tokens.len() && tokens[j].text == "." {
+        let name = &tokens[j + 1];
+        if !name.is_word() {
+            return false;
+        }
+        let called = tokens.get(j + 2).is_some_and(|t| t.text == "(");
+        if called && PUBLIC_METHODS.contains(&name.text.as_str()) {
+            return true;
+        }
+        if called {
+            match matching_close(tokens, j + 2, "(", ")") {
+                Some(c) => j = c + 1,
+                None => return false,
+            }
+        } else {
+            j += 2;
+        }
+    }
+    false
+}
+
+/// Does the expression mention a hash container (directly or through
+/// a tracked binding)?
+fn expr_container(
+    tokens: &[Token],
+    container_map: &BTreeMap<String, ()>,
+    range: Range<usize>,
+) -> bool {
+    tokens[range]
+        .iter()
+        .any(|t| t.text == "HashMap" || t.text == "HashSet" || container_map.contains_key(&t.text))
+}
+
+/// Process a `let` statement (`let`, `if let`, `while let`,
+/// `let … else`) starting at `tokens[k]`; returns the deferred
+/// binding updates.
+fn handle_let(
+    tokens: &[Token],
+    marked: &[String],
+    taint_map: &BTreeMap<String, String>,
+    container_map: &BTreeMap<String, ()>,
+    k: usize,
+    close: usize,
+) -> Option<Vec<Pending>> {
+    let cond_let = k > 0 && matches!(tokens[k - 1].text.as_str(), "if" | "while");
+    // Pattern runs to `:` (type ascription) or `=` on the pattern's
+    // own depth; braces count (struct patterns contain them).
+    let pat_end = find_depth0(tokens, k + 1, close, &[":", "="], true)?;
+    let (ty_range, eq) = if tokens[pat_end].text == ":" {
+        let eq = find_depth0(tokens, pat_end + 1, close, &["="], true)?;
+        (Some(pat_end + 1..eq), eq)
+    } else {
+        (None, pat_end)
+    };
+    // RHS terminator: a `;` (plain let) or the block `{` / `else` of a
+    // conditional let. For a plain let, struct-literal braces are
+    // nested depth; for `if let`/`while let` the `{` IS the end.
+    let rhs_end = if cond_let {
+        find_depth0(tokens, eq + 1, close, &["{"], false)?
+    } else {
+        find_depth0(tokens, eq + 1, close + 1, &[";", "else"], true)
+            .unwrap_or(close)
+    };
+    let rhs = eq + 1..rhs_end;
+
+    let ty_taint = ty_range.clone().and_then(|r| {
+        tokens[r]
+            .iter()
+            .find(|t| t.is_word() && (secret_type_name(&t.text) || marked.contains(&t.text)))
+            .map(|t| t.text.clone())
+    });
+    let taint = ty_taint.or_else(|| expr_taint(tokens, marked, taint_map, rhs.clone()));
+    let container = ty_range
+        .map(|r| expr_container(tokens, container_map, r))
+        .unwrap_or(false)
+        || expr_container(tokens, container_map, rhs.clone());
+
+    let apply_at = if cond_let { rhs_end } else { rhs_end + 1 };
+    Some(
+        pattern_bindings(tokens, k + 1..pat_end)
+            .into_iter()
+            .map(|name| Pending {
+                apply_at,
+                name,
+                taint: Some(taint.clone()),
+                container: Some(container),
+            })
+            .collect(),
+    )
+}
+
+/// Push a taint update for `name` at `apply_at`, plus a restore of
+/// its current binding at `expire_at` — pattern bindings from match
+/// arms, for loops, and closures are lexically scoped, and letting
+/// them leak would taint unrelated code after the construct ends.
+fn push_scoped(
+    pending: &mut Vec<Pending>,
+    taint_map: &BTreeMap<String, String>,
+    name: String,
+    origin: &str,
+    apply_at: usize,
+    expire_at: usize,
+) {
+    let prior = taint_map.get(&name).cloned();
+    pending.push(Pending {
+        apply_at,
+        name: name.clone(),
+        taint: Some(Some(origin.to_string())),
+        container: None,
+    });
+    pending.push(Pending {
+        apply_at: expire_at,
+        name,
+        taint: Some(prior),
+        container: None,
+    });
+}
+
+/// Taint `match`-arm pattern bindings when the scrutinee is tainted.
+fn handle_match(
+    tokens: &[Token],
+    marked: &[String],
+    taint_map: &BTreeMap<String, String>,
+    k: usize,
+    close: usize,
+    pending: &mut Vec<Pending>,
+) {
+    let Some(body_open) = find_depth0(tokens, k + 1, close, &["{"], false) else {
+        return;
+    };
+    let Some(origin) = expr_taint(tokens, marked, taint_map, k + 1..body_open) else {
+        return;
+    };
+    let body_close = matching_close(tokens, body_open, "{", "}").unwrap_or(close);
+    // Walk arms at the match body's own depth: pattern up to `=>`,
+    // then skip the arm expression to the `,` (or block) ending it.
+    let mut j = body_open + 1;
+    while j < body_close {
+        let Some(arrow) = find_depth0(tokens, j, body_close, &["=>"], true) else {
+            break;
+        };
+        for name in pattern_bindings(tokens, j..arrow) {
+            push_scoped(pending, taint_map, name, &origin, arrow, body_close);
+        }
+        // Arm body: a block (skip to matching brace) or an expression
+        // (skip to the `,` at arm depth).
+        if tokens.get(arrow + 1).is_some_and(|t| t.text == "{") {
+            j = matching_close(tokens, arrow + 1, "{", "}").unwrap_or(body_close) + 1;
+            if tokens.get(j).is_some_and(|t| t.text == ",") {
+                j += 1;
+            }
+        } else {
+            j = find_depth0(tokens, arrow + 1, body_close, &[","], true)
+                .map(|c| c + 1)
+                .unwrap_or(body_close);
+        }
+    }
+}
+
+/// Taint `for`-loop pattern bindings when the iterable is tainted.
+fn handle_for(
+    tokens: &[Token],
+    marked: &[String],
+    taint_map: &BTreeMap<String, String>,
+    k: usize,
+    close: usize,
+    pending: &mut Vec<Pending>,
+) {
+    let Some(in_kw) = find_depth0(tokens, k + 1, close, &["in"], true) else {
+        return;
+    };
+    let Some(body_open) = find_depth0(tokens, in_kw + 1, close, &["{"], false) else {
+        return;
+    };
+    let Some(origin) = expr_taint(tokens, marked, taint_map, in_kw + 1..body_open) else {
+        return;
+    };
+    let body_close = matching_close(tokens, body_open, "{", "}").unwrap_or(close);
+    let mut bindings = pattern_bindings(tokens, k + 1..in_kw);
+    // `for (i, x) in secrets.iter().enumerate()`: the counter the
+    // adapter prepends is a public position, not part of the data.
+    let enumerated = tokens[in_kw + 1..body_open]
+        .windows(2)
+        .any(|w| w[0].text == "enumerate" && w[1].text == "(");
+    if enumerated && tokens.get(k + 1).is_some_and(|t| t.text == "(") && bindings.len() > 1 {
+        bindings.remove(0);
+    }
+    for name in bindings {
+        push_scoped(pending, taint_map, name, &origin, body_open, body_close);
+    }
+}
+
+/// Taint closure parameters when the closure is applied to a tainted
+/// receiver chain (`secrets.iter().map(|x| …)`).
+fn handle_closure(
+    tokens: &[Token],
+    marked: &[String],
+    taint_map: &BTreeMap<String, String>,
+    k: usize,
+    close: usize,
+    pending: &mut Vec<Pending>,
+) {
+    // Only closures opening directly as a call argument: `( |x| …`.
+    if k == 0 || tokens[k - 1].text != "(" {
+        return;
+    }
+    let recv = operand_span_before(tokens, k - 1);
+    if recv.is_empty() {
+        return;
+    }
+    let Some(origin) = expr_taint(tokens, marked, taint_map, recv) else {
+        return;
+    };
+    let Some(bar_close) = find_depth0(tokens, k + 1, close, &["|"], true) else {
+        return;
+    };
+    // The closure body cannot outlive the call it is an argument of;
+    // restore the params' outer bindings at the call's close.
+    let call_close = matching_close(tokens, k - 1, "(", ")").unwrap_or(close);
+    for name in pattern_bindings(tokens, k + 1..bar_close) {
+        push_scoped(pending, taint_map, name, &origin, bar_close, call_close);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn taint_of(src: &str) -> (SourceFile, Taint) {
+        let f = SourceFile::parse("crates/crypto/src/fixture.rs", src);
+        let t = Taint::analyze(&f);
+        (f, t)
+    }
+
+    /// Token indices of every use of `name` that the pass tainted.
+    fn tainted_uses(f: &SourceFile, t: &Taint, name: &str) -> Vec<usize> {
+        (0..f.tokens.len())
+            .filter(|&k| f.tokens[k].text == name && t.origin_at(k).is_some())
+            .collect()
+    }
+
+    #[test]
+    fn alias_of_secret_field_is_tainted() {
+        let (f, t) = taint_of("fn f(keys: &Keys) { let s = keys.client_write; use_it(s); }");
+        assert!(!tainted_uses(&f, &t, "s").is_empty());
+    }
+
+    #[test]
+    fn taint_survives_two_rebinds_with_origin() {
+        let (f, t) =
+            taint_of("fn f(keys: &Keys) { let a = keys.client_write; let b = a; let c = b; sink(c); }");
+        let uses = tainted_uses(&f, &t, "c");
+        assert!(!uses.is_empty());
+        assert_eq!(t.origin_at(uses[0]), Some("keys"));
+    }
+
+    #[test]
+    fn public_rebind_shadows_taint_away() {
+        let (f, t) = taint_of("fn f(keys: &Keys) { let s = keys.x; let s = 5; use_it(s); }");
+        // The last use of `s` (after the public rebind) is clean.
+        let last = (0..f.tokens.len()).rev().find(|&k| f.tokens[k].text == "s").unwrap();
+        assert!(t.origin_at(last).is_none());
+    }
+
+    #[test]
+    fn len_projection_is_public() {
+        let (f, t) = taint_of("fn f(keys: &Keys) { let n = keys.client_write.len(); cmp(n); }");
+        assert!(tainted_uses(&f, &t, "n").is_empty());
+    }
+
+    #[test]
+    fn comparison_result_is_public() {
+        let (f, t) = taint_of("fn f(s: &SecretKey, o: &SecretKey) { let same = s == o; use_it(same); }");
+        assert!(tainted_uses(&f, &t, "same").is_empty());
+        // But the operands themselves are tainted (param type).
+        assert!(!tainted_uses(&f, &t, "s").is_empty());
+    }
+
+    #[test]
+    fn ct_routed_value_is_public() {
+        let (f, t) = taint_of("fn f(tag: &[u8], o: &[u8]) { let ok = ct::eq(tag, o); use_it(ok); }");
+        assert!(tainted_uses(&f, &t, "ok").is_empty());
+    }
+
+    #[test]
+    fn destructuring_taints_all_pieces() {
+        let (f, t) = taint_of("fn f(kb: KeyBlock) { let (c, s) = split(kb); use_it(c, s); }");
+        assert!(!tainted_uses(&f, &t, "c").is_empty());
+        assert!(!tainted_uses(&f, &t, "s").is_empty());
+    }
+
+    #[test]
+    fn match_arm_binding_is_tainted() {
+        let (f, t) = taint_of(
+            "fn f(ms: Option<Vec<u8>>) { match master_secret(ms) { Some(m) => sink(m), None => {} } }",
+        );
+        assert!(!tainted_uses(&f, &t, "m").is_empty());
+    }
+
+    #[test]
+    fn if_let_binding_is_tainted() {
+        let (f, t) =
+            taint_of("fn f(x: Option<SessionKeys>) { if let Some(v) = x { sink(v); } }");
+        assert!(!tainted_uses(&f, &t, "v").is_empty());
+    }
+
+    #[test]
+    fn closure_param_over_tainted_receiver_is_tainted() {
+        let (f, t) =
+            taint_of("fn f(secrets: &[Vec<u8>]) { secrets.iter().for_each(|v| sink(v)); }");
+        assert!(!tainted_uses(&f, &t, "v").is_empty());
+    }
+
+    #[test]
+    fn for_loop_binding_is_tainted() {
+        let (f, t) = taint_of("fn f(key: &[u8]) { for b in key.iter() { sink(b); } }");
+        assert!(!tainted_uses(&f, &t, "b").is_empty());
+    }
+
+    #[test]
+    fn lint_secret_marked_type_is_a_source() {
+        let src = "// lint:secret\npub struct Opaque([u8; 32]);\nfn f(o: &Opaque) { let v = o; sink(v); }\n";
+        let (f, t) = taint_of(src);
+        assert!(!tainted_uses(&f, &t, "v").is_empty());
+    }
+
+    #[test]
+    fn unrelated_bindings_stay_clean() {
+        let (f, t) = taint_of("fn f(count: usize) { let n = count + 1; let m = n * 2; sink(m); }");
+        assert!(tainted_uses(&f, &t, "n").is_empty());
+        assert!(tainted_uses(&f, &t, "m").is_empty());
+    }
+
+    #[test]
+    fn hash_container_binding_is_tracked() {
+        let (f, t) =
+            taint_of("fn f() { let m: HashMap<u32, u32> = HashMap::new(); let r = m; walk(r); }");
+        let uses: Vec<usize> = (0..f.tokens.len())
+            .filter(|&k| f.tokens[k].text == "r" && t.is_container(k))
+            .collect();
+        assert!(!uses.is_empty());
+    }
+
+    #[test]
+    fn secret_ident_segments() {
+        assert!(secret_ident("session_keys"));
+        assert!(secret_ident("shared"));
+        assert!(!secret_ident("monkey"));
+        assert!(!secret_ident("key_len"));
+        assert!(!secret_ident("KEY_LEN"));
+        assert!(!secret_ident("version"));
+    }
+}

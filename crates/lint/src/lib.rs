@@ -16,7 +16,14 @@
 //! | `sans-io` | core, tls, netsim, sgx, telemetry | `std::net`, `Instant::now`, `SystemTime`, `thread::spawn`, unseeded randomness |
 //! | `secret-hygiene` | crypto, sgx, tls, core | `derive(Debug/Serialize)` on secret types, `Display` impls, `{:?}` formatting; requires zeroize-on-drop in all four crates |
 //! | `panic-freedom` | core, crypto, tls | `unwrap`/`expect`/`panic!` and wire-buffer indexing in parsing files |
-//! | `const-time` | crypto | `==`/`!=` on secret-tagged operands outside `ct.rs` |
+//! | `const-time` | crypto, tls, core | `==`/`!=` on secret-tagged *or secret-tainted* operands outside `ct.rs` |
+//! | `shard-isolation` | host, netsim | shared statics, `Rc`/`RefCell`/locks, borrowed ring elements, hash-container iteration |
+//!
+//! Rules are token-sequence matchers over a line-tagged token stream,
+//! sharpened by an intra-item dataflow pass ([`dataflow`]) that
+//! follows secret values (and hash containers) through local
+//! bindings, so `let s = keys.client_write; s == other` is caught
+//! even though the comparison names no secret.
 //!
 //! ## Allowlist
 //!
@@ -42,7 +49,9 @@
 
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod config;
+pub mod dataflow;
 pub mod lexer;
 pub mod report;
 pub mod rules;

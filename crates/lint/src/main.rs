@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! mbtls-lint [--root <dir>] [--json <file>] [--quiet-allowed]
-//!            [--max-file-waivers <n>]
+//!            [--max-file-waivers <n>] [--baseline <file>]
 //! ```
 //!
 //! `--root` defaults to the nearest ancestor of the current directory
@@ -20,13 +20,14 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use mbtls_lint::{lint_workspace_report, report};
+use mbtls_lint::{baseline, lint_workspace_report, report};
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut json_path: Option<PathBuf> = None;
     let mut quiet_allowed = false;
     let mut max_file_waivers: Option<usize> = None;
+    let mut baseline_path: Option<PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -43,8 +44,15 @@ fn main() -> ExitCode {
                     }
                 };
             }
+            "--baseline" => {
+                baseline_path = args.next().map(PathBuf::from);
+                if baseline_path.is_none() {
+                    eprintln!("mbtls-lint: --baseline needs a file path");
+                    return ExitCode::from(2);
+                }
+            }
             "--help" | "-h" => {
-                eprintln!("usage: mbtls-lint [--root <dir>] [--json <file>] [--quiet-allowed] [--max-file-waivers <n>]");
+                eprintln!("usage: mbtls-lint [--root <dir>] [--json <file>] [--quiet-allowed] [--max-file-waivers <n>] [--baseline <file>]");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -113,10 +121,43 @@ fn main() -> ExitCode {
         }
     }
 
+    // Finding-level ratchet: anything the committed baseline does not
+    // account for fails, waived or not.
+    let mut ratchet_failed = false;
+    if let Some(path) = baseline_path {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("mbtls-lint: cannot read baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let entries = match baseline::parse(&text) {
+            Ok(e) => e,
+            Err(what) => {
+                eprintln!("mbtls-lint: bad baseline {}: {what}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let fresh = baseline::new_findings(&findings, &entries);
+        if !fresh.is_empty() {
+            ratchet_failed = true;
+            eprintln!(
+                "mbtls-lint: {} finding(s) not in baseline {} (fix them, or regenerate the \
+                 baseline from target/lint-report.jsonl in a reviewed change):",
+                fresh.len(),
+                path.display()
+            );
+            for f in fresh {
+                eprintln!("  {}", report::human(f));
+            }
+        }
+    }
+
     if blocking > 0 {
         eprintln!("mbtls-lint: {blocking} blocking finding(s); fix them or add `// lint:allow(<rule>) -- reason`");
         ExitCode::FAILURE
-    } else if over_budget {
+    } else if over_budget || ratchet_failed {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

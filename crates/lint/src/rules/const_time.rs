@@ -14,6 +14,14 @@
 //! single-line one. `ct.rs` itself is exempt — it is the
 //! implementation the rule points everyone at.
 //!
+//! On top of the name match, the rule consults the dataflow pass
+//! ([`crate::dataflow`]): an operand that *is* (or contains) a local
+//! binding carrying secret taint — `let s = keys.client_write;
+//! s == other`, through any number of rebinds — is flagged even
+//! though no token in the comparison names a secret. The finding
+//! message carries the taint origin so the alias chain is visible in
+//! the report.
+//!
 //! The second heuristic targets the classic AES cache-timing channel:
 //! `base[x as usize]`-shaped indexing, where the index is a byte cast
 //! (`as usize` / `usize::from`) or names a secret, is a table lookup
@@ -25,8 +33,11 @@
 //! `lint:allow` so the waiver is visible in the report, not silent.
 
 use super::Hit;
+use crate::dataflow::Taint;
 use crate::source::SourceFile;
-use crate::tokens::{contains_seq, matching_close, render, Token};
+use crate::tokens::{
+    contains_seq, matching_close, operand_span_after, operand_span_before, render, Token,
+};
 
 /// Lower-cased substrings that tag an identifier as secret-bearing.
 const SECRET_MARKERS: &[&str] = &[
@@ -47,15 +58,18 @@ pub(crate) fn check(file: &SourceFile) -> Vec<Hit> {
         return Vec::new();
     }
     let tokens = &file.tokens;
+    let taint = Taint::analyze(file);
     let mut hits = Vec::new();
     for (i, tok) in tokens.iter().enumerate() {
         if file.is_test[tok.line] {
             continue;
         }
         if tok.text == "==" || tok.text == "!=" {
-            let lhs = operand_before(tokens, i);
-            let rhs = operand_after(tokens, i + 1);
-            for operand in [lhs, rhs] {
+            let lhs_span = operand_span_before(tokens, i);
+            let rhs_span = operand_span_after(tokens, i + 1);
+            let mut flagged = false;
+            for span in [lhs_span.clone(), rhs_span.clone()] {
+                let operand = render(&tokens[span]);
                 if is_secret_operand(&operand) {
                     hits.push(Hit {
                         line: tok.line,
@@ -65,11 +79,31 @@ pub(crate) fn check(file: &SourceFile) -> Vec<Hit> {
                             tok.text
                         ),
                     });
+                    flagged = true;
                     break; // one finding per comparison
                 }
             }
+            if !flagged {
+                // The name match saw nothing — ask the dataflow pass
+                // whether either operand is an alias of a secret.
+                for span in [lhs_span, rhs_span] {
+                    if let Some((_, origin)) = taint.origin_in(span.clone()) {
+                        let operand = render(&tokens[span]);
+                        hits.push(Hit {
+                            line: tok.line,
+                            message: format!(
+                                "variable-time comparison on `{operand}`, which carries secret \
+                                 taint from `{origin}`; use ct::eq / ct::select_byte instead of \
+                                 `{}`",
+                                tok.text
+                            ),
+                        });
+                        break;
+                    }
+                }
+            }
         }
-        if let Some(lookup) = table_lookup_at(tokens, i) {
+        if let Some(lookup) = table_lookup_at(tokens, i, &taint) {
             hits.push(Hit {
                 line: tok.line,
                 message: format!(
@@ -87,7 +121,7 @@ pub(crate) fn check(file: &SourceFile) -> Vec<Hit> {
 /// — contains a byte-to-index cast (`as usize`, `usize::from`) or
 /// names a secret — return the rendered `base[index]` expression.
 /// Ranges and plain counters pass.
-fn table_lookup_at(tokens: &[Token], i: usize) -> Option<String> {
+fn table_lookup_at(tokens: &[Token], i: usize, taint: &Taint) -> Option<String> {
     if tokens[i].text != "[" || i == 0 {
         return None;
     }
@@ -105,7 +139,8 @@ fn table_lookup_at(tokens: &[Token], i: usize) -> Option<String> {
     let index = render(index_tokens);
     let data_derived = contains_seq(index_tokens, &["as", "usize"])
         || contains_seq(index_tokens, &["usize", "::", "from"])
-        || is_secret_operand(&index);
+        || is_secret_operand(&index)
+        || taint.origin_in(i + 1..close).is_some();
     if !data_derived {
         return None;
     }
@@ -113,86 +148,16 @@ fn table_lookup_at(tokens: &[Token], i: usize) -> Option<String> {
     Some(format!("{base}[{index}]"))
 }
 
-/// The expression-ish token chain ending just before token `pos`
-/// (identifiers, field access, calls, indexing), rendered to text.
-/// Two adjacent word tokens (`x as usize`) are not one chain.
+/// The chain ending just before `pos`, rendered (see
+/// [`operand_span_before`]).
 fn operand_before(tokens: &[Token], pos: usize) -> String {
-    let mut start = pos;
-    loop {
-        if start == 0 {
-            break;
-        }
-        let t = tokens[start - 1].text.as_str();
-        if t == ")" || t == "]" {
-            match matching_open(tokens, start - 1) {
-                Some(open) => start = open,
-                None => break,
-            }
-            continue;
-        }
-        let word_ok = tokens[start - 1].is_word()
-            // `len(` call base directly before a consumed group, or the
-            // first element of the chain — but never glued to another
-            // word (`as usize` is two operands, not one).
-            && (start == pos || !tokens[start].is_word());
-        if word_ok || t == "." || t == "::" {
-            start -= 1;
-            continue;
-        }
-        break;
-    }
-    render(&tokens[start..pos])
+    render(&tokens[operand_span_before(tokens, pos)])
 }
 
-/// The expression-ish token chain starting at token `pos`, rendered.
-/// A leading `&` borrow is skipped.
+/// The chain starting at `pos`, rendered (see [`operand_span_after`]).
+#[cfg(test)]
 fn operand_after(tokens: &[Token], pos: usize) -> String {
-    let mut start = pos;
-    while start < tokens.len() && tokens[start].text == "&" {
-        start += 1;
-    }
-    let mut end = start;
-    while end < tokens.len() {
-        let t = tokens[end].text.as_str();
-        if t == "(" || t == "[" {
-            match matching_close(tokens, end, t, if t == "(" { ")" } else { "]" }) {
-                Some(close) => {
-                    end = close + 1;
-                    continue;
-                }
-                None => break,
-            }
-        }
-        let word_ok = tokens[end].is_word() && (end == start || !tokens[end - 1].is_word());
-        if word_ok || t == "." || t == "::" {
-            end += 1;
-            continue;
-        }
-        break;
-    }
-    render(&tokens[start..end])
-}
-
-/// Index of the token opening the bracket closed at `close_idx`.
-fn matching_open(tokens: &[Token], close_idx: usize) -> Option<usize> {
-    let close = tokens[close_idx].text.as_str();
-    let open = match close {
-        ")" => "(",
-        "]" => "[",
-        _ => return None,
-    };
-    let mut depth = 0i32;
-    for j in (0..=close_idx).rev() {
-        if tokens[j].text == close {
-            depth += 1;
-        } else if tokens[j].text == open {
-            depth -= 1;
-            if depth == 0 {
-                return Some(j);
-            }
-        }
-    }
-    None
+    render(&tokens[operand_span_after(tokens, pos)])
 }
 
 /// Does this operand name a secret, compared in a variable-time way?
@@ -233,9 +198,10 @@ mod tests {
     }
 
     fn lookups(src: &str) -> Vec<String> {
-        let tokens = toks(src);
-        (0..tokens.len())
-            .filter_map(|i| table_lookup_at(&tokens, i))
+        let file = crate::source::SourceFile::parse("crates/crypto/src/t.rs", src);
+        let taint = Taint::analyze(&file);
+        (0..file.tokens.len())
+            .filter_map(|i| table_lookup_at(&file.tokens, i, &taint))
             .collect()
     }
 

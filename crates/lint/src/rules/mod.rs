@@ -6,6 +6,7 @@ pub mod const_time;
 pub mod panic_freedom;
 pub mod sans_io;
 pub mod secret_hygiene;
+pub mod shard_isolation;
 
 /// The rule families the checker enforces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -22,6 +23,11 @@ pub enum RuleId {
     /// Comparisons on secret values in `crypto` must go through the
     /// `ct` primitives.
     ConstTime,
+    /// Sharded host/netsim code must stay shared-nothing and
+    /// iteration-order deterministic: no shared statics, no
+    /// `Rc`/`RefCell`/locks, only owned data across the `ShardMux`
+    /// seam, no hash-container iteration.
+    ShardIsolation,
     /// A `lint:allow` annotation is malformed (unknown rule, missing
     /// reason). Not suppressible.
     AllowSyntax,
@@ -29,11 +35,12 @@ pub enum RuleId {
 
 impl RuleId {
     /// Every real rule family (excludes the meta `allow-syntax`).
-    pub const FAMILIES: [RuleId; 4] = [
+    pub const FAMILIES: [RuleId; 5] = [
         RuleId::SansIo,
         RuleId::SecretHygiene,
         RuleId::PanicFreedom,
         RuleId::ConstTime,
+        RuleId::ShardIsolation,
     ];
 
     /// Kebab-case name used in annotations and reports.
@@ -43,6 +50,7 @@ impl RuleId {
             RuleId::SecretHygiene => "secret-hygiene",
             RuleId::PanicFreedom => "panic-freedom",
             RuleId::ConstTime => "const-time",
+            RuleId::ShardIsolation => "shard-isolation",
             RuleId::AllowSyntax => "allow-syntax",
         }
     }
@@ -55,6 +63,7 @@ impl RuleId {
             "secret-hygiene" => Some(RuleId::SecretHygiene),
             "panic-freedom" => Some(RuleId::PanicFreedom),
             "const-time" => Some(RuleId::ConstTime),
+            "shard-isolation" => Some(RuleId::ShardIsolation),
             _ => None,
         }
     }
@@ -99,6 +108,7 @@ pub fn check_file(file: &SourceFile, families: &[RuleId]) -> Vec<Finding> {
             RuleId::SecretHygiene => secret_hygiene::check(file),
             RuleId::PanicFreedom => panic_freedom::check(file),
             RuleId::ConstTime => const_time::check(file),
+            RuleId::ShardIsolation => shard_isolation::check(file),
             RuleId::AllowSyntax => Vec::new(),
         };
         for hit in hits {

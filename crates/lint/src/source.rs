@@ -104,6 +104,30 @@ impl SourceFile {
             let comment = self.lines[i].comment.clone();
             let has_code = !self.lines[i].code.trim().is_empty();
 
+            // A standalone annotation only covers the code line
+            // *directly* below it (contiguous comment lines in
+            // between are fine — they extend the annotation's own
+            // comment block). A blank line breaks the attachment:
+            // silently covering whatever code appears next would let
+            // a waiver drift onto an unrelated finding.
+            if !has_code && comment.trim().is_empty() && !pending.is_empty() {
+                for allow in pending.drain(..) {
+                    self.bad_allows.push(BadAllow {
+                        line: i + 1,
+                        what: format!(
+                            "blank line separates lint:allow({}) from the code it covers; \
+                             the annotation must sit directly above (or on) the line",
+                            allow
+                                .rules
+                                .iter()
+                                .map(|r| r.as_str())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        ),
+                    });
+                }
+            }
+
             if comment.contains("lint:secret") {
                 self.secret_markers.push(i);
             }
@@ -288,11 +312,32 @@ mod tests {
 
     #[test]
     fn standalone_allow_covers_next_code_line() {
-        let src = "// lint:allow(sans-io, panic-freedom) -- two rules\n\nlet t = now();\n";
+        let src = "// lint:allow(sans-io, panic-freedom) -- two rules\nlet t = now();\n";
+        let f = SourceFile::parse("t.rs", src);
+        assert!(f.allow_reason(1, RuleId::SansIo).is_some());
+        assert!(f.allow_reason(1, RuleId::PanicFreedom).is_some());
+        assert!(f.allow_reason(0, RuleId::SansIo).is_none());
+    }
+
+    #[test]
+    fn standalone_allow_survives_contiguous_comment_lines() {
+        let src = "// lint:allow(sans-io) -- reason spans\n// a second comment line\nlet t = now();\n";
         let f = SourceFile::parse("t.rs", src);
         assert!(f.allow_reason(2, RuleId::SansIo).is_some());
-        assert!(f.allow_reason(2, RuleId::PanicFreedom).is_some());
-        assert!(f.allow_reason(0, RuleId::SansIo).is_none());
+        assert!(f.bad_allows.is_empty());
+    }
+
+    #[test]
+    fn blank_line_gap_detaches_standalone_allow() {
+        // Regression: the annotation used to stay pending across any
+        // number of blank lines and silently attach to whatever code
+        // came next.
+        let src = "// lint:allow(sans-io) -- reason\n\nlet t = now();\n";
+        let f = SourceFile::parse("t.rs", src);
+        assert!(f.allow_reason(2, RuleId::SansIo).is_none());
+        assert_eq!(f.bad_allows.len(), 1);
+        assert_eq!(f.bad_allows[0].line, 2, "reported at the blank line");
+        assert!(f.bad_allows[0].what.contains("blank line"));
     }
 
     #[test]

@@ -119,6 +119,89 @@ pub fn matching_close(tokens: &[Token], open_idx: usize, open: &str, close: &str
     None
 }
 
+/// Index of the token opening the bracket closed at `close_idx`
+/// (which must be `)` or `]`), tracking nesting. `None` if unbalanced.
+pub fn matching_open(tokens: &[Token], close_idx: usize) -> Option<usize> {
+    let close = tokens[close_idx].text.as_str();
+    let open = match close {
+        ")" => "(",
+        "]" => "[",
+        _ => return None,
+    };
+    let mut depth = 0i32;
+    for j in (0..=close_idx).rev() {
+        if tokens[j].text == close {
+            depth += 1;
+        } else if tokens[j].text == open {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// The expression-ish token chain ending just before token `pos`
+/// (identifiers, field access, calls, indexing), as an index range.
+/// Two adjacent word tokens (`x as usize`) are not one chain.
+pub fn operand_span_before(tokens: &[Token], pos: usize) -> std::ops::Range<usize> {
+    let mut start = pos;
+    loop {
+        if start == 0 {
+            break;
+        }
+        let t = tokens[start - 1].text.as_str();
+        if t == ")" || t == "]" {
+            match matching_open(tokens, start - 1) {
+                Some(open) => start = open,
+                None => break,
+            }
+            continue;
+        }
+        let word_ok = tokens[start - 1].is_word()
+            // `len(` call base directly before a consumed group, or the
+            // first element of the chain — but never glued to another
+            // word (`as usize` is two operands, not one).
+            && (start == pos || !tokens[start].is_word());
+        if word_ok || t == "." || t == "::" {
+            start -= 1;
+            continue;
+        }
+        break;
+    }
+    start..pos
+}
+
+/// The expression-ish token chain starting at token `pos`, as an
+/// index range. Leading `&` borrows are skipped.
+pub fn operand_span_after(tokens: &[Token], pos: usize) -> std::ops::Range<usize> {
+    let mut start = pos;
+    while start < tokens.len() && tokens[start].text == "&" {
+        start += 1;
+    }
+    let mut end = start;
+    while end < tokens.len() {
+        let t = tokens[end].text.as_str();
+        if t == "(" || t == "[" {
+            match matching_close(tokens, end, t, if t == "(" { ")" } else { "]" }) {
+                Some(close) => {
+                    end = close + 1;
+                    continue;
+                }
+                None => break,
+            }
+        }
+        let word_ok = tokens[end].is_word() && (end == start || !tokens[end - 1].is_word());
+        if word_ok || t == "." || t == "::" {
+            end += 1;
+            continue;
+        }
+        break;
+    }
+    start..end
+}
+
 /// Render tokens back to readable text: a space only between two
 /// word-shaped tokens (`b as usize`), nothing elsewhere
 /// (`usize::from(bytes[i])`).

@@ -220,6 +220,142 @@ fn const_time_good_fixture_is_clean() {
 }
 
 #[test]
+fn const_time_alias_fixture_is_caught() {
+    let src = fixture("const_time", "bad_alias.rs");
+    let findings = lint_source("crates/crypto/src/fixture.rs", &src, &[RuleId::ConstTime]);
+    // Line 5: secret aliased through two rebinds; line 9: closure
+    // parameter capturing a secret receiver; line 14: tuple
+    // destructure of a secret-typed parameter.
+    assert_eq!(lines_of(&findings, RuleId::ConstTime), vec![5, 9, 14]);
+    assert!(
+        findings.iter().all(|f| f.message.contains("carries secret taint")),
+        "alias findings must come from the dataflow pass: {findings:?}"
+    );
+    // The message names the taint origin so the alias chain is
+    // auditable from the report alone.
+    assert!(findings.iter().any(|f| f.message.contains("from `SessionKeys`")));
+    assert!(findings.iter().any(|f| f.message.contains("from `secrets`")));
+    assert!(findings.iter().any(|f| f.message.contains("from `SecretKey`")));
+    assert!(findings.iter().all(|f| f.is_blocking()));
+}
+
+#[test]
+fn const_time_alias_negative_fixture_is_clean() {
+    // The same rebind/closure shapes over *public* values — plus a
+    // shadowing rebind to `.len()` that launders the taint — must not
+    // fire: precision is what makes the taint pass adoptable.
+    let src = fixture("const_time", "good_alias.rs");
+    let findings = lint_source("crates/crypto/src/fixture.rs", &src, &[RuleId::ConstTime]);
+    assert!(findings.is_empty(), "unexpected findings: {findings:?}");
+}
+
+#[test]
+fn secret_hygiene_alias_fixture_is_caught() {
+    let src = fixture("secret_hygiene", "bad_alias.rs");
+    let findings = lint_source("crates/crypto/src/fixture.rs", &src, &[RuleId::SecretHygiene]);
+    // Line 8: `{:?}` of a rebound secret — both the blanket specifier
+    // ban and the taint sink (which names the leaking binding) fire.
+    assert!(
+        findings.iter().any(|f| f.line == 8 && f.message.contains("debug format specifier")),
+        "missing blanket {{:?}} finding: {findings:?}"
+    );
+    assert!(
+        findings.iter().any(|f| f.line == 8
+            && f.message.contains("`snapshot`")
+            && f.message.contains("carries secret taint from `SessionKeys`")),
+        "missing taint format-sink finding: {findings:?}"
+    );
+    // Line 14: a destructured secret half stored in a Debug-deriving
+    // carrier struct.
+    assert!(
+        findings.iter().any(|f| f.line == 14
+            && f.message.contains("stored in `Telemetry`")
+            && f.message.contains("derives Debug")),
+        "missing Debug-carrier finding: {findings:?}"
+    );
+    assert!(findings.iter().all(|f| f.is_blocking()));
+}
+
+#[test]
+fn shard_isolation_bad_fixture_is_caught() {
+    let src = fixture("shard_isolation", "bad_shard.rs");
+    let findings = lint_source("crates/host/src/fixture.rs", &src, &[RuleId::ShardIsolation]);
+    let lines = lines_of(&findings, RuleId::ShardIsolation);
+    // 1: static mut, 2: static item, 5: Rc, 6: RefCell, 7: Mutex
+    // (inside Arc), 8: borrowed EventRing element, 14: iteration over
+    // a HashMap reached through a rebind.
+    for expected in [1, 2, 5, 6, 7, 8, 14] {
+        assert!(lines.contains(&expected), "expected shard-isolation finding on line {expected}, got {lines:?}");
+    }
+    let msgs: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+    assert!(msgs.iter().any(|m| m.contains("`static mut`")));
+    assert!(msgs.iter().any(|m| m.contains("`static` item")));
+    assert!(msgs.iter().any(|m| m.contains("`Rc`")));
+    assert!(msgs.iter().any(|m| m.contains("`RefCell`")));
+    assert!(msgs.iter().any(|m| m.contains("`Mutex`")));
+    assert!(msgs.iter().any(|m| m.contains("borrows across the mux seam")));
+    assert!(msgs.iter().any(|m| m.contains("order is randomized")));
+    assert!(findings.iter().all(|f| f.is_blocking()));
+}
+
+#[test]
+fn shard_isolation_good_fixture_is_clean() {
+    // BTreeMap iteration, owned ring elements, plain `Arc` of
+    // immutable data, `const` tables, and keyed HashMap *lookup* are
+    // all within the shared-nothing discipline.
+    let src = fixture("shard_isolation", "good.rs");
+    let findings = lint_source("crates/host/src/fixture.rs", &src, &[RuleId::ShardIsolation]);
+    assert!(findings.is_empty(), "unexpected findings: {findings:?}");
+}
+
+#[test]
+fn shard_isolation_scope_is_host_and_netsim_only() {
+    use mbtls_lint::config::families_for;
+    for path in ["crates/host/src/shard.rs", "crates/host/src/mux.rs", "crates/netsim/src/lib.rs"] {
+        assert!(
+            families_for(path).contains(&RuleId::ShardIsolation),
+            "{path} must be in the shard-isolation scope"
+        );
+    }
+    // telemetry's SharedSink is a deliberate Arc<Mutex> (host-side
+    // aggregation), and crypto has no shard state: out of scope.
+    for path in [
+        "crates/telemetry/src/lib.rs",
+        "crates/crypto/src/aes.rs",
+        "crates/tls/src/client.rs",
+        "crates/lint/src/main.rs",
+    ] {
+        assert!(
+            !families_for(path).contains(&RuleId::ShardIsolation),
+            "{path} must NOT be in the shard-isolation scope"
+        );
+    }
+}
+
+#[test]
+fn standalone_allow_does_not_survive_a_blank_line() {
+    // The annotation must sit directly above (or on) the line it
+    // waives; a blank line detaches it, so the finding blocks AND the
+    // stranded annotation is itself reported.
+    let src = "// lint:allow(panic-freedom) -- caller guarantees length\n\nfn f(v: Option<u8>) -> u8 { v.unwrap() }\n";
+    let findings = lint_source("crates/core/src/x.rs", src, &[RuleId::PanicFreedom]);
+    assert!(
+        findings.iter().any(|f| f.rule == RuleId::PanicFreedom && f.is_blocking()),
+        "gapped allow must not waive: {findings:?}"
+    );
+    assert!(
+        findings.iter().any(|f| f.rule == RuleId::AllowSyntax && f.message.contains("blank line")),
+        "stranded annotation must be reported: {findings:?}"
+    );
+
+    // Contiguous comment prose between the annotation and the code is
+    // fine — the waiver still attaches.
+    let src = "// lint:allow(panic-freedom) -- caller guarantees length\n// (the header is validated two frames up)\nfn f(v: Option<u8>) -> u8 { v.unwrap() }\n";
+    let findings = lint_source("crates/core/src/x.rs", src, &[RuleId::PanicFreedom]);
+    assert!(findings.iter().all(|f| !f.is_blocking()), "contiguous comments must not detach the allow: {findings:?}");
+}
+
+#[test]
 fn const_time_rule_exempts_ct_rs() {
     let src = fixture("const_time", "bad.rs");
     let findings = lint_source("crates/crypto/src/ct.rs", &src, &[RuleId::ConstTime]);

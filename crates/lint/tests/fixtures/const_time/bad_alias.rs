@@ -1,0 +1,15 @@
+fn aliased_compare(keys: &SessionKeys, other: &[u8]) -> bool {
+    let a = keys.client_write;
+    let b = a;
+    let c = b;
+    c == other
+}
+
+fn closure_capture(secrets: &[Vec<u8>], probe: &[u8]) -> bool {
+    secrets.iter().any(|s| s == probe)
+}
+
+fn destructured(pair: (SecretKey, u8), expected: &[u8]) -> bool {
+    let (sk, _id) = pair;
+    sk != expected
+}

@@ -1,0 +1,20 @@
+fn aliased_compare(frame: &FrameHeader, other: u8) -> bool {
+    let a = frame.version;
+    let b = a;
+    let c = b;
+    c == other
+}
+
+fn closure_scan(lengths: &[usize], probe: usize) -> bool {
+    lengths.iter().any(|n| n == &probe)
+}
+
+fn shadow_launders(keys: &SessionKeys) -> bool {
+    let s = keys.client_write;
+    let s = s.len();
+    s == 32
+}
+
+fn public_metadata(keys: &SessionKeys) -> bool {
+    keys.client_write.len() == 32
+}

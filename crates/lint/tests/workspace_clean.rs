@@ -23,6 +23,31 @@ fn workspace_has_no_blocking_findings() {
     );
 }
 
+/// The sharded host and netsim are shard-isolation-clean with no
+/// allowances at all — not even waived findings. The shared-nothing
+/// audit (paper §6.2's per-middlebox isolation, carried into PR 6's
+/// per-worker shards) is only as strong as this invariant: the day a
+/// `Mutex` or hash-iteration lands in `crates/host`, the fix is to
+/// restructure, not to annotate.
+#[test]
+fn shard_scoped_crates_have_zero_shard_isolation_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("lint crate sits two levels under the workspace root");
+    let findings = mbtls_lint::lint_workspace(root).expect("workspace walk");
+    let shard: Vec<String> = findings
+        .iter()
+        .filter(|f| f.rule == mbtls_lint::RuleId::ShardIsolation)
+        .map(mbtls_lint::report::human)
+        .collect();
+    assert!(
+        shard.is_empty(),
+        "shard-isolation findings in the live tree (allowed or not):\n{}",
+        shard.join("\n")
+    );
+}
+
 /// The file-level waiver budget is zero: the last `lint:allow-file`
 /// (the const-time opt-out for the reference AES oracle) went away
 /// when aes_ref.rs was gated behind `cfg(any(test, feature =

@@ -1,14 +1,28 @@
 #!/usr/bin/env bash
-# Full local gate: invariant lint, lint-clean build, tests, the
-# telemetry smoke test, and a smoke run of the data-plane bench
-# reporter. CI-equivalent; run before pushing.
+# Full local gate, run as named stages with per-stage timing:
 #
-#   --lint-strict   additionally cap whole-file lint waivers at the
-#                   committed baseline below. Per-line `lint:allow`
-#                   annotations are always permitted; file-level
-#                   `lint:allow-file` opt-outs may only shrink, so a
-#                   new one fails this stage until the baseline is
-#                   deliberately lowered here alongside the fix.
+#   lint        mbtls-lint workspace invariants (sans-IO, secret
+#               hygiene, panic-freedom, const-time, shard-isolation);
+#               JSON-lines report to target/lint-report.jsonl
+#   clippy      cargo clippy --workspace --all-targets -D warnings
+#   build       cargo build --release --workspace
+#   test        cargo test -q --workspace
+#   telemetry   scripts/telemetry_smoke.sh
+#   bench       scripts/bench_report.sh --smoke
+#
+# CI-equivalent; run before pushing.
+#
+#   --lint-strict   additionally (a) cap whole-file lint waivers at the
+#                   committed baseline below and (b) ratchet findings
+#                   against lint-baseline.jsonl, so a *new* finding
+#                   fails even when it lands pre-annotated in a file
+#                   that already carries allowances. Per-line
+#                   `lint:allow` annotations are always permitted for
+#                   findings already in the baseline; file-level
+#                   `lint:allow-file` opt-outs may only shrink. After a
+#                   deliberate, reviewed addition, regenerate the
+#                   baseline by copying target/lint-report.jsonl over
+#                   lint-baseline.jsonl in the same change.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,25 +34,31 @@ FILE_WAIVER_BASELINE=0
 
 LINT_ARGS=(--json target/lint-report.jsonl)
 if [[ "${1:-}" == "--lint-strict" ]]; then
-    LINT_ARGS+=(--max-file-waivers "$FILE_WAIVER_BASELINE")
+    LINT_ARGS+=(--max-file-waivers "$FILE_WAIVER_BASELINE" --baseline lint-baseline.jsonl)
     shift
 fi
 
-# Workspace invariant checker first: sans-IO purity, secret hygiene,
-# panic-freedom, constant-time discipline. Fails on any unannotated
-# finding; the JSON-lines report feeds dashboards/CI artifacts.
+# Run one named stage, timing it so slow stages are visible in CI
+# logs without profiling runs.
+stage() {
+    local name=$1
+    shift
+    local start=$SECONDS
+    echo "--- stage: $name"
+    "$@"
+    echo "--- stage: $name ok ($((SECONDS - start))s)"
+}
+
 mkdir -p target
-cargo run -q -p mbtls-lint --release -- "${LINT_ARGS[@]}"
-
-cargo clippy --workspace --all-targets -- -D warnings
-cargo build --release --workspace
-cargo test -q --workspace
-scripts/telemetry_smoke.sh
-
+stage lint      cargo run -q -p mbtls-lint --release -- "${LINT_ARGS[@]}"
+stage clippy    cargo clippy --workspace --all-targets -- -D warnings
+stage build     cargo build --release --workspace
+stage test      cargo test -q --workspace
+stage telemetry scripts/telemetry_smoke.sh
 # Bench-reporter smoke: proves BENCH_dataplane.json (data-plane) and
 # BENCH_scale.json (session-host capacity) can be produced and are
 # well-formed. Numbers from this run are noisy by design; the
 # committed artifacts come from a full `scripts/bench_report.sh` run.
-scripts/bench_report.sh --smoke
+stage bench     scripts/bench_report.sh --smoke
 
 echo "all checks passed"

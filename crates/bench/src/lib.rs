@@ -9,6 +9,7 @@
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
+pub mod handshake;
 pub mod report;
 pub mod scale;
 pub mod sites;

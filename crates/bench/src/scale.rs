@@ -67,6 +67,7 @@ pub fn scale_load(sessions: usize, seed: u64) -> LoadConfig {
         latency: Duration::from_micros(200),
         workload: WORKLOAD,
         seed,
+        ..LoadConfig::default()
     }
 }
 
@@ -226,6 +227,22 @@ fn drain_shard_slice(
         .shards(1)
         .build()
         .expect("default shard config is valid");
+    // Untimed warm-up: a miniature drain of the same shape, discarded
+    // before the timer starts. Slices are measured sequentially in
+    // one process, so without this the first-measured slice pays the
+    // whole process's cold-start bill (first-touch page faults,
+    // allocator arena growth, CPU frequency ramp) and its wall reads
+    // up to 2× the others' — an artifact of measurement order, not of
+    // the architecture. A prior BENCH_scale.json 8-shard row showed
+    // exactly that: [6010, 3421, 2947, …] decaying to a ~2950 plateau.
+    {
+        let warm = scale_load(64.min(n), seed ^ 0x0D15_CA4D);
+        let mut shard = Shard::new(k, NetSubstrate::new(seed ^ k as u64), config.clone());
+        let mut generator = LoadGenerator::slice(warm, k, shards);
+        generator
+            .drive(&mut shard, SimTime::ZERO.plus(Duration::from_secs(3_600)))
+            .expect("warm-up slice drains");
+    }
     let mut shard = Shard::new(k, NetSubstrate::new(seed ^ k as u64), config);
     let mut generator = LoadGenerator::slice(scale_load(n, seed), k, shards);
     let t0 = Instant::now();
@@ -304,7 +321,8 @@ pub fn bench_scale_point_over(n: usize, seed: u64, curve: &[u16]) -> ScalePoint 
 
 /// FNV-1a over every telemetry event's JSON line — a trace
 /// fingerprint that is equal iff the traces are bit-identical.
-fn trace_fingerprint(events: &[mbtls_telemetry::Event]) -> u64 {
+/// Shared with the handshake reporter's storm determinism probe.
+pub(crate) fn trace_fingerprint(events: &[mbtls_telemetry::Event]) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     for event in events {
         for byte in to_json_line(event).bytes() {
@@ -451,3 +469,4 @@ mod tests {
         }
     }
 }
+

@@ -21,8 +21,11 @@ use mbtls_tls::suites::CipherSuite;
 use mbtls_tls::{ClientConnection, TlsError};
 
 use crate::dataplane::{fresh_hop_keys, EndpointDataPlane};
+use crate::driver::PendingVerify;
 use crate::messages::{Encapsulated, KeyMaterial, MiddleboxSupport, SecondaryMessage};
 use crate::MbError;
+
+use mbtls_pki::SignatureCheck;
 
 /// How the client decides whether a (verified) middlebox may join.
 #[derive(Clone)]
@@ -165,6 +168,9 @@ struct Secondary {
     approved: bool,
     /// Explicitly rejected (alert sent).
     rejected: bool,
+    /// Subject awaiting a deferred chain-signature verdict
+    /// (`defer_verify`); approval completes on resolution.
+    pending_subject: Option<String>,
 }
 
 /// Information about a middlebox that joined (or tried to).
@@ -194,6 +200,10 @@ pub struct MbClientSession {
 
     telemetry: Option<SharedSink>,
     hello_reported: bool,
+
+    /// Deferred signature-check groups awaiting pickup by the driver
+    /// (token 0 = primary connection, 1 + id = middlebox subchannel).
+    pending_verifies: Vec<PendingVerify>,
 }
 
 impl MbClientSession {
@@ -225,6 +235,7 @@ impl MbClientSession {
             error: None,
             telemetry,
             hello_reported: false,
+            pending_verifies: Vec::new(),
         }
     }
 
@@ -373,6 +384,7 @@ impl MbClientSession {
                     verified_name: None,
                     approved: false,
                     rejected: false,
+                    pending_subject: None,
                 },
             );
             self.emit(EventKind::MiddleboxAnnouncement {
@@ -409,23 +421,42 @@ impl MbClientSession {
         }
         self.out.extend(wrapped);
 
+        // Surface the primary connection's deferred checks.
+        if let Some(checks) = self.primary.take_pending_verify() {
+            self.pending_verifies.push(PendingVerify { token: 0, checks });
+        }
+
         // Verification/approval for newly established secondaries.
         let mut to_reject = Vec::new();
         let ids: Vec<u8> = self.secondaries.keys().copied().collect();
         for id in ids {
             let (established, already) = {
                 let sec = &self.secondaries[&id];
-                (sec.conn.is_established(), sec.verified_name.is_some() || sec.rejected)
+                (
+                    sec.conn.is_established(),
+                    sec.verified_name.is_some() || sec.rejected || sec.pending_subject.is_some(),
+                )
             };
             if established && !already {
-                match self.verify_and_approve(id) {
-                    Ok(name) => {
+                match self.screen_middlebox(id) {
+                    Ok((name, checks)) if checks.is_empty() => {
                         if let Some(sec) = self.secondaries.get_mut(&id) {
                             sec.verified_name = Some(name);
                             sec.approved = true;
                         }
                         self.emit(EventKind::SecondaryHandshakeFinish {
                             subchannel: id as u64,
+                        });
+                    }
+                    Ok((name, checks)) => {
+                        // Deferred: approval completes when the driver
+                        // resolves the chain-signature checks.
+                        if let Some(sec) = self.secondaries.get_mut(&id) {
+                            sec.pending_subject = Some(name);
+                        }
+                        self.pending_verifies.push(PendingVerify {
+                            token: 1 + u32::from(id),
+                            checks,
                         });
                     }
                     Err(_) => to_reject.push(id),
@@ -450,17 +481,23 @@ impl MbClientSession {
         }
     }
 
-    fn verify_and_approve(&mut self, id: u8) -> Result<String, MbError> {
+    /// Structural chain checks + approval policy for an established
+    /// middlebox. Returns the subject and the signature checks still
+    /// owed: empty when they were discharged inline (the default), or
+    /// the deferred list under `defer_verify` for the driver to
+    /// batch.
+    fn screen_middlebox(&mut self, id: u8) -> Result<(String, Vec<SignatureCheck>), MbError> {
         let sec = &self.secondaries[&id];
-        let chain = sec.conn.peer_certificates().to_vec();
+        let chain = sec.conn.peer_certificates();
         if chain.is_empty() {
             return Err(MbError::unexpected_state("middlebox sent no certificate"));
         }
         let subject = chain[0].payload.subject.clone();
-        self.config
+        let checks = self
+            .config
             .middlebox_trust
-            .verify_chain(
-                &chain,
+            .verify_chain_deferred(
+                chain,
                 &subject,
                 self.config.tls.current_time,
                 Some(KeyUsage::Middlebox),
@@ -471,11 +508,54 @@ impl MbClientSession {
             ApprovalPolicy::AllowList(names) => names.iter().any(|n| n == &subject),
             ApprovalPolicy::DenyAll => false,
         };
-        if approved {
-            Ok(subject)
-        } else {
-            Err(MbError::MiddleboxRejected(subject))
+        if !approved {
+            return Err(MbError::MiddleboxRejected(subject));
         }
+        if self.config.tls.defer_verify {
+            Ok((subject, checks))
+        } else if checks.iter().all(|c| c.check()) {
+            Ok((subject, Vec::new()))
+        } else {
+            Err(MbError::Tls(TlsError::Certificate(
+                mbtls_pki::CertError::BadSignature,
+            )))
+        }
+    }
+
+    /// Drain deferred signature-check groups (token 0 = primary, 1 +
+    /// subchannel id = middlebox approval); the caller must deliver
+    /// each verdict through [`MbClientSession::resolve_verify`].
+    pub fn take_pending_verifies(&mut self, out: &mut Vec<PendingVerify>) {
+        out.append(&mut self.pending_verifies);
+    }
+
+    /// Deliver the verdict for a deferred group. A failed primary
+    /// verdict fails the session; a failed middlebox verdict demotes
+    /// that middlebox to a relay (same as an inline chain failure).
+    pub fn resolve_verify(&mut self, token: u32, valid: bool) {
+        if token == 0 {
+            self.primary.resolve_verify(valid);
+        } else {
+            let id = (token - 1) as u8;
+            let subject = self
+                .secondaries
+                .get_mut(&id)
+                .and_then(|sec| sec.pending_subject.take());
+            match (subject, valid) {
+                (Some(name), true) => {
+                    if let Some(sec) = self.secondaries.get_mut(&id) {
+                        sec.verified_name = Some(name);
+                        sec.approved = true;
+                    }
+                    self.emit(EventKind::SecondaryHandshakeFinish {
+                        subchannel: id as u64,
+                    });
+                }
+                (Some(_), false) => self.reject(id),
+                (None, _) => {}
+            }
+        }
+        self.pump();
     }
 
     /// Send a fatal alert on the subchannel; the middlebox becomes a
@@ -677,6 +757,7 @@ fn clone_client_config(c: &ClientConfig) -> ClientConfig {
         enable_tickets: c.enable_tickets,
         enable_false_start: c.enable_false_start,
         danger_disable_cert_verify: c.danger_disable_cert_verify,
+        defer_verify: c.defer_verify,
         resumption_cache: c.resumption_cache.clone(),
     }
 }

@@ -9,6 +9,7 @@
 
 use mbtls_crypto::rng::CryptoRng;
 use mbtls_netsim::net::{ConnId, Network, NodeId};
+use mbtls_pki::SignatureCheck;
 use mbtls_netsim::time::{Duration, SimTime};
 use mbtls_netsim::FaultConfig;
 use mbtls_telemetry::{Event, EventKind, Party, SharedSink};
@@ -18,6 +19,18 @@ use crate::client::MbClientSession;
 use crate::middlebox::Middlebox;
 use crate::server::MbServerSession;
 use crate::MbError;
+
+/// A group of deferred signature checks from one sub-connection of
+/// an endpoint (`ClientConfig::defer_verify`). The group passes only
+/// if *every* check does; the verdict is delivered back through
+/// [`Endpoint::resolve_verify`] with the same token.
+pub struct PendingVerify {
+    /// Endpoint-local token naming the sub-connection the checks came
+    /// from; opaque to the driver, echoed back on resolution.
+    pub token: u32,
+    /// The signature checks owed.
+    pub checks: Vec<SignatureCheck>,
+}
 
 /// A single-sided party (client or server endpoint).
 pub trait Endpoint {
@@ -58,6 +71,29 @@ pub trait Endpoint {
     /// peer, once established (client endpoints only).
     fn resumption(&self) -> Option<mbtls_tls::session::ResumptionData> {
         None
+    }
+
+    /// True if this endpoint's handshake was abbreviated (ticket or
+    /// session-id resumption) rather than full (client endpoints
+    /// only). The host splits its handshake counters on this.
+    fn resumed(&self) -> bool {
+        false
+    }
+
+    /// Collect deferred signature-check groups
+    /// (`ClientConfig::defer_verify`). Taking a group obliges the
+    /// caller to deliver its verdict via
+    /// [`Endpoint::resolve_verify`]; the endpoint stalls (without
+    /// failing) until it does. Default: endpoints that verify inline
+    /// produce nothing.
+    fn take_pending_verifies(&mut self, out: &mut Vec<PendingVerify>) {
+        let _ = out;
+    }
+
+    /// Deliver the verdict for a group taken with
+    /// [`Endpoint::take_pending_verifies`].
+    fn resolve_verify(&mut self, token: u32, valid: bool) {
+        let _ = (token, valid);
     }
 }
 
@@ -119,6 +155,15 @@ impl Endpoint for MbClientSession {
     }
     fn resumption(&self) -> Option<mbtls_tls::session::ResumptionData> {
         self.resumption_data()
+    }
+    fn resumed(&self) -> bool {
+        MbClientSession::resumed(self)
+    }
+    fn take_pending_verifies(&mut self, out: &mut Vec<PendingVerify>) {
+        MbClientSession::take_pending_verifies(self, out)
+    }
+    fn resolve_verify(&mut self, token: u32, valid: bool) {
+        MbClientSession::resolve_verify(self, token, valid)
     }
 }
 
@@ -190,6 +235,17 @@ impl Endpoint for LegacyClient {
     }
     fn resumption(&self) -> Option<mbtls_tls::session::ResumptionData> {
         self.conn.resumption_data()
+    }
+    fn resumed(&self) -> bool {
+        self.conn.resumed()
+    }
+    fn take_pending_verifies(&mut self, out: &mut Vec<PendingVerify>) {
+        if let Some(checks) = self.conn.take_pending_verify() {
+            out.push(PendingVerify { token: 0, checks });
+        }
+    }
+    fn resolve_verify(&mut self, _token: u32, valid: bool) {
+        self.conn.resolve_verify(valid);
     }
 }
 
@@ -356,6 +412,11 @@ pub struct Chain {
     /// link→scratch→party and party→scratch→link without a fresh
     /// allocation per transfer.
     scratch: Vec<u8>,
+    /// When true, [`Chain::pump_with`] leaves deferred signature
+    /// checks for the driver to collect (host batching); when false
+    /// (default) it discharges them inline each pass, so
+    /// `defer_verify` configs work under every driver.
+    defer_verify_to_driver: bool,
 }
 
 impl Chain {
@@ -372,7 +433,57 @@ impl Chain {
             server,
             links,
             scratch: Vec::new(),
+            defer_verify_to_driver: false,
         }
+    }
+
+    /// Leave deferred signature checks uncollected during pumps; the
+    /// driver promises to drain [`Chain::take_pending_verifies`] and
+    /// deliver verdicts via [`Chain::resolve_verify`] (the host does
+    /// this once per turn, batched across sessions).
+    pub fn set_defer_verify_to_driver(&mut self, defer: bool) {
+        self.defer_verify_to_driver = defer;
+    }
+
+    /// Collect deferred signature-check groups from the chain's
+    /// endpoint parties; each is tagged with the party index (0 =
+    /// client, `parties() - 1` = server) for
+    /// [`Chain::resolve_verify`]. Middlebox relays verify inline and
+    /// contribute nothing.
+    pub fn take_pending_verifies(&mut self, out: &mut Vec<(usize, PendingVerify)>) {
+        let mut tmp = Vec::new();
+        self.client.take_pending_verifies(&mut tmp);
+        for pv in tmp.drain(..) {
+            out.push((0, pv));
+        }
+        self.server.take_pending_verifies(&mut tmp);
+        let server_idx = self.middles.len() + 1;
+        for pv in tmp.drain(..) {
+            out.push((server_idx, pv));
+        }
+    }
+
+    /// Deliver the verdict for a group collected with
+    /// [`Chain::take_pending_verifies`].
+    pub fn resolve_verify(&mut self, party: usize, token: u32, valid: bool) {
+        if party == 0 {
+            self.client.resolve_verify(token, valid);
+        } else {
+            self.server.resolve_verify(token, valid);
+        }
+    }
+
+    /// Discharge any deferred checks inline (individual verifies).
+    /// Returns true if any group was resolved.
+    fn discharge_pending_verifies(&mut self) -> bool {
+        let mut pending = Vec::new();
+        self.take_pending_verifies(&mut pending);
+        let any = !pending.is_empty();
+        for (party, pv) in pending {
+            let ok = pv.checks.iter().all(|c| c.check());
+            self.resolve_verify(party, pv.token, ok);
+        }
+        any
     }
 
     /// Number of parties (client + middleboxes + server).
@@ -501,6 +612,12 @@ impl Chain {
         // Collect outgoing bytes from each party into the links.
         for i in 0..n {
             moved |= self.collect_from_party(links, i)?;
+        }
+        // Discharge deferred verifies inline unless a batching driver
+        // claimed them; resolution can unblock establishment or queue
+        // an alert, so it counts as movement.
+        if !self.defer_verify_to_driver {
+            moved |= self.discharge_pending_verifies();
         }
         Ok(moved)
     }

@@ -17,15 +17,25 @@ impl Fe {
     pub const ONE: Fe = Fe([1, 0, 0, 0, 0]);
 
     /// Parse 32 little-endian bytes; the top bit is ignored (as both
-    /// RFC 7748 and RFC 8032 require for field elements).
-    pub fn from_bytes(b: &[u8; 32]) -> Fe {
-        let load = |i: usize| -> u64 { u64::from_le_bytes(crate::fixed(&b[i..i + 8])) };
+    /// RFC 7748 and RFC 8032 require for field elements). `const` so
+    /// curve constants (and the precomputed base-point comb table in
+    /// `ed25519`) can be evaluated at compile time.
+    pub const fn from_bytes(b: &[u8; 32]) -> Fe {
+        const fn load(b: &[u8; 32], i: usize) -> u64 {
+            let mut v = 0u64;
+            let mut k = 0;
+            while k < 8 {
+                v |= (b[i + k] as u64) << (8 * k);
+                k += 1;
+            }
+            v
+        }
         Fe([
-            load(0) & MASK51,
-            (load(6) >> 3) & MASK51,
-            (load(12) >> 6) & MASK51,
-            (load(19) >> 1) & MASK51,
-            (load(24) >> 12) & MASK51,
+            load(b, 0) & MASK51,
+            (load(b, 6) >> 3) & MASK51,
+            (load(b, 12) >> 6) & MASK51,
+            (load(b, 19) >> 1) & MASK51,
+            (load(b, 24) >> 12) & MASK51,
         ])
     }
 
@@ -80,10 +90,11 @@ impl Fe {
     }
 
     /// Carry-propagate so every limb is < 2^52 (weak reduction).
-    fn reduce_limbs(self) -> Fe {
+    const fn reduce_limbs(self) -> Fe {
         let mut t = self.0;
         let mut carry;
-        for _ in 0..2 {
+        let mut pass = 0;
+        while pass < 2 {
             carry = t[0] >> 51;
             t[0] &= MASK51;
             t[1] += carry;
@@ -99,11 +110,12 @@ impl Fe {
             carry = t[4] >> 51;
             t[4] &= MASK51;
             t[0] += carry * 19;
+            pass += 1;
         }
         Fe(t)
     }
 
-    pub fn add(self, rhs: Fe) -> Fe {
+    pub const fn add(self, rhs: Fe) -> Fe {
         Fe([
             self.0[0] + rhs.0[0],
             self.0[1] + rhs.0[1],
@@ -115,7 +127,7 @@ impl Fe {
     }
 
     #[allow(clippy::unusual_byte_groupings)] // 2p written as 51-bit limbs
-    pub fn sub(self, rhs: Fe) -> Fe {
+    pub const fn sub(self, rhs: Fe) -> Fe {
         // Add 2p (in limb form: 2*(2^255-19)) before subtracting to
         // keep limbs non-negative.
         const TWO_P: [u64; 5] = [
@@ -138,7 +150,7 @@ impl Fe {
         .reduce_limbs()
     }
 
-    pub fn mul(self, rhs: Fe) -> Fe {
+    pub const fn mul(self, rhs: Fe) -> Fe {
         let a = self.reduce_limbs().0;
         let b = rhs.reduce_limbs().0;
         let b1_19 = b[1] * 19;
@@ -146,7 +158,9 @@ impl Fe {
         let b3_19 = b[3] * 19;
         let b4_19 = b[4] * 19;
 
-        let m = |x: u64, y: u64| -> u128 { (x as u128) * (y as u128) };
+        const fn m(x: u64, y: u64) -> u128 {
+            (x as u128) * (y as u128)
+        }
 
         let c0 = m(a[0], b[0]) + m(a[1], b4_19) + m(a[2], b3_19) + m(a[3], b2_19) + m(a[4], b1_19);
         let c1 = m(a[0], b[1]) + m(a[1], b[0]) + m(a[2], b4_19) + m(a[3], b3_19) + m(a[4], b2_19);
@@ -157,16 +171,18 @@ impl Fe {
         Fe::carry_wide([c0, c1, c2, c3, c4])
     }
 
-    pub fn square(self) -> Fe {
+    pub const fn square(self) -> Fe {
         self.mul(self)
     }
 
-    fn carry_wide(c: [u128; 5]) -> Fe {
+    const fn carry_wide(c: [u128; 5]) -> Fe {
         let mut c = c;
         let mut t = [0u64; 5];
-        for i in 0..4 {
+        let mut i = 0;
+        while i < 4 {
             t[i] = (c[i] as u64) & MASK51;
             c[i + 1] += c[i] >> 51;
+            i += 1;
         }
         t[4] = (c[4] as u64) & MASK51;
         let carry = (c[4] >> 51) as u64;
@@ -178,7 +194,7 @@ impl Fe {
     }
 
     /// Multiply by a small constant.
-    pub fn mul_small(self, k: u64) -> Fe {
+    pub const fn mul_small(self, k: u64) -> Fe {
         let a = self.reduce_limbs().0;
         let c: [u128; 5] = [
             (a[0] as u128) * (k as u128),
@@ -235,7 +251,7 @@ impl Fe {
         self.to_bytes()[0] & 1 == 1
     }
 
-    pub fn neg(self) -> Fe {
+    pub const fn neg(self) -> Fe {
         Fe::ZERO.sub(self)
     }
 

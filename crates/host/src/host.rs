@@ -64,6 +64,10 @@ pub struct HostCounters {
     pub(crate) tickets_expired: u64,
     pub(crate) bytes_moved: u64,
     pub(crate) exchanges_completed: u64,
+    pub(crate) handshakes_full: u64,
+    pub(crate) handshakes_resumed: u64,
+    pub(crate) verify_batches: u64,
+    pub(crate) verify_checks: u64,
     pub(crate) handshake_latencies_ns: Vec<u64>,
 }
 
@@ -114,6 +118,30 @@ impl HostCounters {
         self.exchanges_completed
     }
 
+    /// Handshakes that completed the full flight (certificate and
+    /// key exchange), including resumption attempts the server
+    /// rejected (stale or corrupted tickets degrade here).
+    pub fn handshakes_full(&self) -> u64 {
+        self.handshakes_full
+    }
+
+    /// Handshakes abbreviated by ticket or session-id resumption —
+    /// no certificate chain sent, no signature checks owed.
+    pub fn handshakes_resumed(&self) -> u64 {
+        self.handshakes_resumed
+    }
+
+    /// Batched signature-verification flushes performed.
+    pub fn verify_batches(&self) -> u64 {
+        self.verify_batches
+    }
+
+    /// Individual signature checks that went through a batched flush
+    /// instead of inline verification.
+    pub fn verify_checks(&self) -> u64 {
+        self.verify_checks
+    }
+
     /// Per-session open→handshake-done latency, in virtual
     /// nanoseconds, in completion order.
     pub fn handshake_latencies_ns(&self) -> &[u64] {
@@ -136,6 +164,10 @@ impl HostCounters {
             total.tickets_expired += c.tickets_expired;
             total.bytes_moved += c.bytes_moved;
             total.exchanges_completed += c.exchanges_completed;
+            total.handshakes_full += c.handshakes_full;
+            total.handshakes_resumed += c.handshakes_resumed;
+            total.verify_batches += c.verify_batches;
+            total.verify_checks += c.verify_checks;
             total.handshake_latencies_ns.extend_from_slice(&c.handshake_latencies_ns);
         }
         total

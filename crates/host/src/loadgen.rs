@@ -44,6 +44,20 @@ pub struct LoadConfig {
     pub workload: Workload,
     /// Seed for the PKI testbed and every per-session RNG.
     pub seed: u64,
+    /// Reconnect storm: prime one session ticket before the run (a
+    /// deterministic out-of-band handshake) and hand it to every
+    /// generated client, so abbreviated resumption handshakes — no
+    /// certificate transfer, no signature checks — are the hot path.
+    pub resumption_storm: bool,
+    /// In a storm, every `n`th session offers a corrupted (stale)
+    /// ticket instead; the server rejects the seal and falls back to
+    /// a full handshake (0 = every ticket fresh). Models tickets that
+    /// outlived the server's cache.
+    pub stale_every: usize,
+    /// Endpoints defer certificate/signature checks
+    /// (`ClientConfig::defer_verify`) for the shard's end-of-turn
+    /// batched verification flush instead of verifying inline.
+    pub defer_verify: bool,
 }
 
 impl Default for LoadConfig {
@@ -55,6 +69,9 @@ impl Default for LoadConfig {
             latency: Duration::from_micros(50),
             workload: Workload::default(),
             seed: 7,
+            resumption_storm: false,
+            stale_every: 0,
+            defer_verify: false,
         }
     }
 }
@@ -78,6 +95,10 @@ fn session_seed(seed: u64, index: u64) -> u64 {
 pub struct LoadGenerator {
     testbed: Testbed,
     client_cfg: Arc<MbClientConfig>,
+    /// Storm variant of `client_cfg` whose cached ticket is
+    /// corrupted, for the `stale_every` cadence (None outside
+    /// storms).
+    client_cfg_stale: Option<Arc<MbClientConfig>>,
     server_cfg: Arc<MbServerConfig>,
     config: LoadConfig,
     /// This generator's residue class: `(shard, shards)`.
@@ -100,17 +121,65 @@ impl LoadGenerator {
     /// per-shard generators stay shared-nothing.
     pub fn slice(config: LoadConfig, shard: u16, shards: u16) -> Self {
         let testbed = Testbed::new(config.seed);
-        let client_cfg = Arc::new(testbed.client_config());
         let server_cfg = Arc::new(testbed.server_config());
+        let mut client_cfg = testbed.client_config();
+        client_cfg.tls.defer_verify = config.defer_verify;
+        let mut client_cfg_stale = None;
+        if config.resumption_storm {
+            let ticket = Self::prime_ticket(&testbed, config.seed);
+            client_cfg
+                .tls
+                .resumption_cache
+                .insert("server.example".to_string(), ticket.clone());
+            if config.stale_every > 0 {
+                // A byte flipped mid-ciphertext breaks the ticket's
+                // AEAD seal: the server silently falls back to a full
+                // handshake, which is exactly what a ticket evicted
+                // from the server's rotation would get.
+                let mut stale = ticket;
+                if let Some(bytes) = &mut stale.ticket {
+                    if let Some(mid) = bytes.len().checked_sub(1) {
+                        bytes[mid / 2] ^= 0x01;
+                    }
+                }
+                let mut cfg = testbed.client_config();
+                cfg.tls.defer_verify = config.defer_verify;
+                cfg.tls.resumption_cache.insert("server.example".to_string(), stale);
+                client_cfg_stale = Some(Arc::new(cfg));
+            }
+        }
         LoadGenerator {
             testbed,
-            client_cfg,
+            client_cfg: Arc::new(client_cfg),
+            client_cfg_stale,
             server_cfg,
             config,
             shard: shard as u64,
             shards: shards.max(1) as u64,
             produced: 0,
         }
+    }
+
+    /// One deterministic out-of-band full handshake against the
+    /// testbed's server, yielding the session ticket every storm
+    /// client resumes from. Derived from a reserved session index so
+    /// it can never collide with a generated session's RNG stream.
+    fn prime_ticket(testbed: &Testbed, seed: u64) -> mbtls_tls::session::ResumptionData {
+        let mut rng = CryptoRng::from_seed(session_seed(seed, u64::MAX));
+        let client = MbClientSession::new(
+            Arc::new(testbed.client_config()),
+            "server.example",
+            rng.fork(),
+        );
+        let server = MbServerSession::new(Arc::new(testbed.server_config()), rng.fork());
+        let mut chain = Chain::new(Box::new(client), Vec::new(), Box::new(server));
+        chain
+            .run_handshake()
+            .expect("priming handshake over in-memory pipes cannot fail");
+        chain
+            .client
+            .resumption()
+            .expect("testbed server issues tickets; priming handshake must yield one")
     }
 
     /// Global index of the next session this slice will produce.
@@ -144,7 +213,15 @@ impl LoadGenerator {
         let mut rng = CryptoRng::from_seed(session_seed(self.config.seed, i));
         let with_middlebox = self.config.middlebox_every > 0
             && (i as usize).is_multiple_of(self.config.middlebox_every);
-        let client = MbClientSession::new(self.client_cfg.clone(), "server.example", rng.fork());
+        let stale = self.client_cfg_stale.is_some()
+            && self.config.stale_every > 0
+            && (i as usize).is_multiple_of(self.config.stale_every);
+        let client_cfg = if stale {
+            self.client_cfg_stale.as_ref().unwrap().clone()
+        } else {
+            self.client_cfg.clone()
+        };
+        let client = MbClientSession::new(client_cfg, "server.example", rng.fork());
         let server = MbServerSession::new(self.server_cfg.clone(), rng.fork());
         let middles: Vec<Box<dyn Relay>> = if with_middlebox {
             let cfg = self.testbed.middlebox_config(&self.testbed.mbox_code);

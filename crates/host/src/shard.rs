@@ -20,7 +20,9 @@
 
 use std::collections::VecDeque;
 
+use mbtls_core::driver::PendingVerify;
 use mbtls_core::MbError;
+use mbtls_crypto::ed25519::{self, BatchItem};
 use mbtls_netsim::time::SimTime;
 use mbtls_telemetry::{EventKind, Party, SharedSink};
 use mbtls_tls::session::ResumptionData;
@@ -69,6 +71,13 @@ pub struct Shard<S: Substrate> {
     /// Session-ticket cache ordered by expiry (pushes are monotonic
     /// in virtual time), capped at `config.ticket_cache_cap()`.
     tickets: VecDeque<(SimTime, ResumptionData)>,
+    /// Deferred signature-check groups collected from this turn's
+    /// serviced sessions, flushed through one
+    /// [`ed25519::verify_batch`] call at the end of the turn.
+    verify_queue: Vec<(SessionId, usize, PendingVerify)>,
+    /// Reused scratch for per-session collection (no per-service
+    /// allocation).
+    verify_scratch: Vec<(usize, PendingVerify)>,
     results: Vec<(SessionId, SessionOutcome)>,
     counters: HostCounters,
 }
@@ -88,6 +97,8 @@ impl<S: Substrate> Shard<S> {
             pool: BufferPool::new(),
             telemetry: None,
             tickets: VecDeque::new(),
+            verify_queue: Vec::new(),
+            verify_scratch: Vec::new(),
             results: Vec::new(),
             counters: HostCounters::default(),
         }
@@ -163,9 +174,14 @@ impl<S: Substrate> Shard<S> {
 
     /// Admit a session: allocate a slab slot, provision transport,
     /// arm the handshake timer, and queue the first service.
-    pub fn open(&mut self, spec: SessionSpec) -> Result<SessionId, MbError> {
+    pub fn open(&mut self, mut spec: SessionSpec) -> Result<SessionId, MbError> {
         let now = self.substrate.now();
         let links = spec.chain.parties() - 1;
+        // This shard claims deferred signature checks: sessions whose
+        // endpoints defer (`ClientConfig::defer_verify`) park until
+        // the end-of-turn batched flush resolves them. Chains that
+        // verify inline are unaffected.
+        spec.chain.set_defer_verify_to_driver(true);
         let id = self
             .sessions
             .try_insert(HostedSession {
@@ -244,6 +260,7 @@ impl<S: Substrate> Shard<S> {
             }
             self.service(id);
         }
+        self.flush_verify_batch();
         if !self.ready.is_empty() {
             return Ok(true);
         }
@@ -323,6 +340,54 @@ impl<S: Substrate> Shard<S> {
         Ok(())
     }
 
+    /// Resolve every deferred signature-check group collected during
+    /// this turn's services with one random-linear-combination batch
+    /// verification ([`ed25519::verify_batch`]), then wake the
+    /// affected sessions. One multi-scalar pass amortizes the
+    /// per-signature doubling chain across every handshake the turn
+    /// touched — the host-side half of the handshake fast path.
+    fn flush_verify_batch(&mut self) {
+        if self.verify_queue.is_empty() {
+            return;
+        }
+        let queue = std::mem::take(&mut self.verify_queue);
+        let items: Vec<BatchItem<'_>> = queue
+            .iter()
+            .flat_map(|(_, _, pv)| pv.checks.iter())
+            .map(|c| BatchItem { pubkey: c.key, msg: &c.msg, sig: c.sig })
+            .collect();
+        let outcome = ed25519::verify_batch(&items);
+        self.counters.verify_batches += 1;
+        self.counters.verify_checks += items.len() as u64;
+        if let Some(t) = &self.telemetry {
+            t.emit(
+                Party::Host,
+                EventKind::HostVerifyBatch {
+                    groups: queue.len() as u64,
+                    checks: items.len() as u64,
+                },
+            );
+        }
+        // Verdict per group: AND over its slice of the flat batch. A
+        // failing group fails its session's endpoint (alert path);
+        // passing groups unblock establishment. Either way the
+        // session has new work, so requeue it.
+        let mut k = 0;
+        for (id, party, pv) in &queue {
+            let n = pv.checks.len();
+            let ok = outcome.valid[k..k + n].iter().all(|&v| v);
+            k += n;
+            if let Some(sess) = self.sessions.get_mut(*id) {
+                sess.chain.resolve_verify(*party, pv.token, ok);
+            }
+            self.enqueue(*id);
+        }
+        // Hand the allocation back for the next turn.
+        let mut queue = queue;
+        queue.clear();
+        self.verify_queue = queue;
+    }
+
     /// Pump one session and drive its workload until it parks,
     /// saturates its pass budget, or finishes.
     fn service(&mut self, id: SessionId) {
@@ -339,6 +404,15 @@ impl<S: Substrate> Shard<S> {
                 };
             sess.bytes_moved += pump.bytes;
             self.counters.bytes_moved += pump.bytes;
+            // Harvest deferred signature checks surfaced by this pump
+            // for the end-of-turn batched verification flush; the
+            // session parks until the flush resolves them.
+            let mut harvest = std::mem::take(&mut self.verify_scratch);
+            sess.chain.take_pending_verifies(&mut harvest);
+            for (party, pv) in harvest.drain(..) {
+                self.verify_queue.push((id, party, pv));
+            }
+            self.verify_scratch = harvest;
             let now = self.substrate.now();
             if pump.moved {
                 sess.last_activity = now;
@@ -414,6 +488,15 @@ impl<S: Substrate> Shard<S> {
         let handshake_ns = now.since(sess.opened_at).0;
         sess.handshake_ns = handshake_ns;
         counters.handshake_latencies_ns.push(handshake_ns);
+        // Split the handshake tally: abbreviated (ticket/session-id)
+        // resumptions skipped certificate transfer and signature
+        // checks entirely; rejected or absent tickets degrade to the
+        // full flight and count there.
+        if sess.chain.client.resumed() {
+            counters.handshakes_resumed += 1;
+        } else {
+            counters.handshakes_full += 1;
+        }
         if let Some(t) = telemetry {
             t.emit(
                 Party::Host,

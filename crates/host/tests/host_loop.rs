@@ -20,6 +20,7 @@ fn small_load(sessions: usize, seed: u64) -> LoadConfig {
         latency: Duration::from_micros(50),
         workload: Workload { request_len: 256, response_len: 1024, exchanges: 2 },
         seed,
+        ..LoadConfig::default()
     }
 }
 

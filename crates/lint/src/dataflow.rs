@@ -54,9 +54,14 @@ pub const SECRET_MARKERS: &[&str] = &[
 const PUBLIC_SUFFIXES: &[&str] = &["len", "size", "count", "cap", "idx", "index", "offset"];
 
 /// Methods whose result is public metadata or status regardless of
-/// the receiver: lengths and `Result`/`Option` discriminants.
+/// the receiver: lengths, `Result`/`Option` discriminants, and the
+/// asymmetric-crypto projections whose whole purpose is to be
+/// published — a signature goes on the wire and a verifying/public
+/// key is handed to peers, even though both are computed *from* a
+/// secret key.
 const PUBLIC_METHODS: &[&str] = &[
     "len", "is_empty", "count", "is_err", "is_ok", "is_some", "is_none",
+    "sign", "verifying_key", "public_key",
 ];
 
 /// Keywords and pattern syntax that can never be a binding name.
@@ -135,18 +140,26 @@ impl Taint {
         while i < tokens.len() {
             if tokens[i].text == "fn" {
                 // Signature runs to the body `{` (or `;` for a trait
-                // method declaration without a body).
+                // method declaration without a body). Both are only
+                // terminators at bracket depth 0 — an array type like
+                // `&[u64; 16]` carries a `;` of its own, and stopping
+                // there would skip the whole function.
                 let mut j = i + 1;
+                let mut depth = 0i32;
                 let mut body_open = None;
                 while j < tokens.len() {
                     match tokens[j].text.as_str() {
-                        "{" => {
+                        "(" | "[" => depth += 1,
+                        ")" | "]" => depth -= 1,
+                        "{" if depth == 0 => {
                             body_open = Some(j);
                             break;
                         }
-                        ";" | "fn" => break,
-                        _ => j += 1,
+                        ";" if depth == 0 => break,
+                        "fn" => break,
+                        _ => {}
                     }
+                    j += 1;
                 }
                 if let Some(open) = body_open {
                     let close =

@@ -214,11 +214,13 @@ fn taint_carrier_sinks(file: &SourceFile, taint: &Taint, decls: &[TypeDecl], hit
         {
             continue;
         }
-        // Skip the declaration itself and pattern positions.
+        // Skip the declaration itself, pattern positions, and a
+        // return type directly before the function body (`-> Quote {`
+        // opens the body, not a struct literal).
         if i > 0
             && matches!(
                 tokens[i - 1].text.as_str(),
-                "struct" | "enum" | "impl" | "for" | "trait" | "mod"
+                "struct" | "enum" | "impl" | "for" | "trait" | "mod" | "->"
             )
         {
             continue;

@@ -220,6 +220,33 @@ fn const_time_good_fixture_is_clean() {
 }
 
 #[test]
+fn const_time_window_fixture_is_caught() {
+    // Precomputed-table window fetches indexed by scalar-derived
+    // data: a cast inside the brackets (line 4), a `usize::from`
+    // inside the brackets (line 8), and an index aliasing a secret
+    // through a local (line 13) must all fire.
+    let src = fixture("const_time", "bad_window.rs");
+    let findings = lint_source("crates/crypto/src/fixture.rs", &src, &[RuleId::ConstTime]);
+    assert_eq!(lines_of(&findings, RuleId::ConstTime), vec![4, 8, 13]);
+    assert!(
+        findings.iter().all(|f| f.message.contains("table lookup")),
+        "window fetches must be reported as table lookups: {findings:?}"
+    );
+    assert!(findings.iter().all(|f| f.is_blocking()));
+}
+
+#[test]
+fn const_time_window_negative_fixture_is_clean() {
+    // The masked full-table scan (the shape `ct_lookup` uses) and a
+    // fetch whose slot is a plain public local must not fire — the
+    // batch verifier's wNAF fetch on public verification data
+    // depends on this staying clean.
+    let src = fixture("const_time", "good_window.rs");
+    let findings = lint_source("crates/crypto/src/fixture.rs", &src, &[RuleId::ConstTime]);
+    assert!(findings.is_empty(), "unexpected findings: {findings:?}");
+}
+
+#[test]
 fn const_time_alias_fixture_is_caught() {
     let src = fixture("const_time", "bad_alias.rs");
     let findings = lint_source("crates/crypto/src/fixture.rs", &src, &[RuleId::ConstTime]);

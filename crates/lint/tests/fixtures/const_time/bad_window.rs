@@ -1,0 +1,14 @@
+static COMB: [u64; 16] = [0; 16];
+
+pub fn window_fetch(scalar_nibble: u8) -> u64 {
+    COMB[scalar_nibble as usize]
+}
+
+pub fn digit_fetch(odds: &[u64; 8], digit: i8) -> u64 {
+    odds[usize::from(digit.unsigned_abs() >> 1)]
+}
+
+pub fn tainted_fetch(table: &[u64; 16], keys: &SessionKeys) -> u64 {
+    let w = keys.round_word;
+    table[w]
+}

@@ -1,0 +1,15 @@
+pub fn masked_window_fetch(table: &[u64; 16], scalar_nibble: u8) -> u64 {
+    let mut out = 0;
+    for (j, &entry) in table.iter().enumerate() {
+        let mask = crate::ct::mask_eq_u64(j as u64, u64::from(scalar_nibble));
+        out |= entry & mask;
+    }
+    out
+}
+
+pub fn public_digit_fetch(odds: &[u64; 8], digit: i8) -> u64 {
+    // wNAF digit of *public* verification data: the slot is computed
+    // into a plain local, which the rule treats as public structure.
+    let slot = usize::from(digit.unsigned_abs() >> 1);
+    odds[slot]
+}

@@ -22,4 +22,4 @@ pub mod verify;
 pub mod wire;
 
 pub use cert::{Certificate, CertificateAuthority, CertificatePayload, KeyUsage};
-pub use verify::{CertError, RevocationList, TrustStore};
+pub use verify::{CertError, RevocationList, SignatureCheck, TrustStore};

@@ -1,7 +1,33 @@
 //! Chain verification: trust stores, path building, revocation.
 
 use crate::cert::{Certificate, KeyUsage};
+use mbtls_crypto::ed25519::{Signature, VerifyingKey};
 use std::collections::HashSet;
+
+/// One deferred signature check: does `sig` verify `msg` under `key`?
+///
+/// [`TrustStore::verify_chain_deferred`] performs every *structural*
+/// chain check eagerly and returns the expensive Ed25519
+/// verifications as a list of these, so a driver can discharge them
+/// later — individually via [`SignatureCheck::check`], or batched
+/// across many chains through `mbtls_crypto::ed25519::verify_batch`.
+#[derive(Clone)]
+pub struct SignatureCheck {
+    /// The issuer's public key.
+    pub key: VerifyingKey,
+    /// The signed bytes (an encoded certificate payload for chain
+    /// checks).
+    pub msg: Vec<u8>,
+    /// The signature to verify.
+    pub sig: Signature,
+}
+
+impl SignatureCheck {
+    /// Discharge the check inline.
+    pub fn check(&self) -> bool {
+        self.key.verify(&self.msg, &self.sig).is_ok()
+    }
+}
 
 /// Why a chain was rejected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -119,6 +145,33 @@ impl TrustStore {
         now: u64,
         usage: Option<KeyUsage>,
     ) -> Result<(), CertError> {
+        let checks = self.verify_chain_deferred(chain, expected_name, now, usage)?;
+        if checks.iter().all(|c| c.check()) {
+            Ok(())
+        } else {
+            Err(CertError::BadSignature)
+        }
+    }
+
+    /// The structural half of [`TrustStore::verify_chain`]: performs
+    /// every non-signature check (shape, names, validity windows,
+    /// revocation, CA bits, anchoring to a trusted root) eagerly and
+    /// returns the Ed25519 verifications still owed as
+    /// [`SignatureCheck`]s. The chain is valid iff this returns `Ok`
+    /// *and* every returned check passes.
+    ///
+    /// Anchoring picks the candidate root by issuer name (plus CA bit
+    /// and validity), so a chain whose last certificate names no
+    /// trusted root fails here with [`CertError::UnknownIssuer`]; a
+    /// name-matching root whose signature later fails surfaces as
+    /// [`CertError::BadSignature`] from the caller's discharge.
+    pub fn verify_chain_deferred(
+        &self,
+        chain: &[Certificate],
+        expected_name: &str,
+        now: u64,
+        usage: Option<KeyUsage>,
+    ) -> Result<Vec<SignatureCheck>, CertError> {
         if chain.is_empty() {
             return Err(CertError::EmptyChain);
         }
@@ -154,28 +207,37 @@ impl TrustStore {
 
         // Walk the chain: each certificate must be signed by the next,
         // and the last must be signed by a trusted root (or *be* one).
+        let mut checks = Vec::with_capacity(chain.len());
         for pair in chain.windows(2) {
             let (child, parent) = (&pair[0], &pair[1]);
-            if !child.signature_valid_under(&parent.payload.public_key) {
-                return Err(CertError::BadSignature);
-            }
+            checks.push(SignatureCheck {
+                key: parent.payload.public_key,
+                msg: child.payload.encode(),
+                sig: child.signature,
+            });
         }
-        let last = chain.last().unwrap();
-        let anchored = self.roots.iter().any(|root| {
-            // Case 1: `last` *is* a trusted root (byte-identical).
-            if root == last {
-                return true;
-            }
-            // Case 2: `last` was issued by a trusted root.
-            root.payload.is_ca
-                && root.valid_at(now)
-                && last.signature_valid_under(&root.payload.public_key)
-        });
-        if anchored {
-            Ok(())
-        } else {
-            Err(CertError::UnknownIssuer)
+        let last = chain.last().ok_or(CertError::EmptyChain)?;
+        // Case 1: `last` *is* a trusted root (byte-identical) — no
+        // further signature owed.
+        if !self.roots.iter().any(|root| root == last) {
+            // Case 2: `last` must be issued by a trusted root; select
+            // the candidate by issuer name.
+            let anchor = self
+                .roots
+                .iter()
+                .find(|root| {
+                    root.payload.is_ca
+                        && root.valid_at(now)
+                        && root.payload.subject == last.payload.issuer
+                })
+                .ok_or(CertError::UnknownIssuer)?;
+            checks.push(SignatureCheck {
+                key: anchor.payload.public_key,
+                msg: last.payload.encode(),
+                sig: last.signature,
+            });
         }
+        Ok(checks)
     }
 }
 
@@ -324,6 +386,40 @@ mod tests {
         // Depending on validation order this surfaces as a bad
         // signature or an unknown issuer; either way it must fail.
         assert!(f.store.verify_chain(&chain, "x", 10, None).is_err());
+    }
+
+    #[test]
+    fn deferred_checks_match_inline_verdict() {
+        let mut f = fixture();
+        let mut inter = f.root.issue_intermediate("Inter CA", 0, 1000, &mut f.rng);
+        let ck = CertifiedKey::issue(&mut inter, "deep.example", &[], 0, 1000, KeyUsage::Endpoint, &mut f.rng);
+        let chain = vec![ck.leaf().clone(), inter.certificate().clone()];
+
+        // Good chain: structural pass yields one check per link
+        // (leaf←inter, inter←root) and all discharge true.
+        let checks = f
+            .store
+            .verify_chain_deferred(&chain, "deep.example", 10, None)
+            .unwrap();
+        assert_eq!(checks.len(), 2);
+        assert!(checks.iter().all(|c| c.check()));
+
+        // A chain ending at the root itself owes one fewer check.
+        let ck2 = CertifiedKey::issue(&mut f.root, "site", &[], 0, 1000, KeyUsage::Endpoint, &mut f.rng);
+        let with_root = vec![ck2.leaf().clone(), f.root.certificate().clone()];
+        let checks = f.store.verify_chain_deferred(&with_root, "site", 10, None).unwrap();
+        assert_eq!(checks.len(), 1);
+
+        // Tampered signature: structural pass still succeeds, the
+        // discharge fails, and the inline wrapper reports it.
+        let mut bad = chain.clone();
+        bad[0].signature.0[0] ^= 1;
+        let checks = f.store.verify_chain_deferred(&bad, "deep.example", 10, None).unwrap();
+        assert!(!checks.iter().all(|c| c.check()));
+        assert_eq!(
+            f.store.verify_chain(&bad, "deep.example", 10, None),
+            Err(CertError::BadSignature)
+        );
     }
 
     #[test]

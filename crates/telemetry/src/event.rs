@@ -221,6 +221,16 @@ pub enum EventKind {
         /// Number of tickets remaining in the cache after expiry.
         remaining: u64,
     },
+    /// The host flushed one batched signature-verification turn:
+    /// every deferred check collected from this turn's serviced
+    /// sessions went through one random-linear-combination batch
+    /// verify instead of per-signature verification.
+    HostVerifyBatch {
+        /// Deferred check groups (per-session/per-token) resolved.
+        groups: u64,
+        /// Individual signature checks in the batch.
+        checks: u64,
+    },
 
     // ---- Bench harness ----
     /// Measured wall-clock CPU time attributed to the party.
@@ -262,6 +272,7 @@ impl EventKind {
             EventKind::HostRetryBackoff { .. } => "host_retry_backoff",
             EventKind::HostEvict { .. } => "host_evict",
             EventKind::HostTicketExpired { .. } => "host_ticket_expired",
+            EventKind::HostVerifyBatch { .. } => "host_verify_batch",
             EventKind::CpuTime { .. } => "cpu_time",
         }
     }
@@ -313,6 +324,9 @@ impl EventKind {
                 vec![("session", session), ("idle_ns", idle_ns)]
             }
             EventKind::HostTicketExpired { remaining } => vec![("remaining", remaining)],
+            EventKind::HostVerifyBatch { groups, checks } => {
+                vec![("groups", groups), ("checks", checks)]
+            }
             EventKind::CpuTime { dur_ns } => vec![("dur_ns", dur_ns)],
         }
     }

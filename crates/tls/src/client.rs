@@ -7,6 +7,7 @@ use mbtls_crypto::rng::CryptoRng;
 use mbtls_crypto::x25519;
 use mbtls_crypto::{ct, CryptoError};
 use mbtls_pki::cert::Certificate;
+use mbtls_pki::SignatureCheck;
 use mbtls_sgx::Quote;
 
 use crate::alert::{Alert, AlertDescription, AlertLevel};
@@ -81,6 +82,13 @@ pub struct ClientConnection {
     plaintext_in: Vec<u8>,
     error: Option<TlsError>,
     closed_by_peer: bool,
+
+    /// Deferred signature checks (`ClientConfig::defer_verify`)
+    /// collected during the server flight, awaiting pickup.
+    pending_checks: Option<Vec<SignatureCheck>>,
+    /// True while deferred checks exist whose verdict has not been
+    /// delivered; gates `is_established`.
+    verify_outstanding: bool,
 }
 
 /// Accumulates the server's first flight until ServerHelloDone.
@@ -160,6 +168,8 @@ impl ClientConnection {
             plaintext_in: Vec::new(),
             error: None,
             closed_by_peer: false,
+            pending_checks: None,
+            verify_outstanding: false,
         }
     }
 
@@ -208,9 +218,41 @@ impl ClientConnection {
         std::mem::take(&mut self.out)
     }
 
-    /// True once the handshake completed.
+    /// True once the handshake completed — including resolution of
+    /// any deferred signature checks.
     pub fn is_established(&self) -> bool {
-        self.phase == Phase::Established
+        self.phase == Phase::Established && !self.verify_outstanding
+    }
+
+    /// Deferred signature checks collected under
+    /// `ClientConfig::defer_verify` (certificate chain +
+    /// ServerKeyExchange signature). Taking them obliges the caller
+    /// to deliver a verdict via
+    /// [`ClientConnection::resolve_verify`]; until then the
+    /// connection does not report established.
+    pub fn take_pending_verify(&mut self) -> Option<Vec<SignatureCheck>> {
+        self.pending_checks.take()
+    }
+
+    /// Deliver the verdict for checks taken with
+    /// [`ClientConnection::take_pending_verify`]: `true` (every check
+    /// passed) unblocks establishment; `false` fails the connection
+    /// with a bad-signature error. A no-op when nothing is
+    /// outstanding.
+    pub fn resolve_verify(&mut self, valid: bool) {
+        if !self.verify_outstanding {
+            return;
+        }
+        self.verify_outstanding = false;
+        self.pending_checks = None;
+        if !valid {
+            self.fail(TlsError::Crypto(CryptoError::BadSignature));
+        }
+    }
+
+    /// True while deferred signature checks are unresolved.
+    pub fn verify_outstanding(&self) -> bool {
+        self.verify_outstanding
     }
 
     /// True if the connection failed fatally.
@@ -285,6 +327,7 @@ impl ClientConnection {
         let can_send = self.is_established()
             || (self.config.enable_false_start
                 && matches!(self.phase, Phase::AwaitServerFinished)
+                && !self.verify_outstanding
                 && self.write_cipher.is_some());
         if !can_send {
             return Err(TlsError::HandshakeNotDone);
@@ -644,14 +687,26 @@ impl ClientConnection {
             .take()
             .ok_or(TlsError::UnexpectedMessage("missing ServerKeyExchange"))?;
 
-        // 1. Certificate chain.
+        // 1. Certificate chain. Under `defer_verify` the structural
+        // checks still run (and fail) inline; only the Ed25519
+        // signature work is collected for the driver to discharge.
+        let mut deferred: Vec<SignatureCheck> = Vec::new();
         if !self.config.danger_disable_cert_verify {
-            self.config.trust_store.verify_chain(
-                &chain,
-                &self.server_name,
-                self.config.current_time,
-                None,
-            )?;
+            if self.config.defer_verify {
+                deferred = self.config.trust_store.verify_chain_deferred(
+                    &chain,
+                    &self.server_name,
+                    self.config.current_time,
+                    None,
+                )?;
+            } else {
+                self.config.trust_store.verify_chain(
+                    &chain,
+                    &self.server_name,
+                    self.config.current_time,
+                    None,
+                )?;
+            }
         }
         let server_key = chain[0].payload.public_key;
 
@@ -660,9 +715,21 @@ impl ClientConnection {
             ServerKeyExchange::signed_payload(&self.client_random, &self.server_random, &ske.params);
         let sig = mbtls_crypto::ed25519::Signature::from_bytes(&ske.signature)
             .map_err(|_| TlsError::Decode("bad signature encoding"))?;
-        server_key
-            .verify(&signed, &sig)
-            .map_err(|_| TlsError::Crypto(CryptoError::BadSignature))?;
+        if self.config.defer_verify {
+            deferred.push(SignatureCheck {
+                key: server_key,
+                msg: signed,
+                sig,
+            });
+        } else {
+            server_key
+                .verify(&signed, &sig)
+                .map_err(|_| TlsError::Crypto(CryptoError::BadSignature))?;
+        }
+        if !deferred.is_empty() {
+            self.pending_checks = Some(deferred);
+            self.verify_outstanding = true;
+        }
 
         // 3. Attestation, if required.
         if let Some(policy) = &self.config.attestation_policy {

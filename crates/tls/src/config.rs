@@ -54,6 +54,14 @@ pub struct ClientConfig {
     /// broken "trust the proxy blindly" deployments §2.2 criticizes,
     /// and for tests).
     pub danger_disable_cert_verify: bool,
+    /// Collect certificate-chain and ServerKeyExchange signature
+    /// checks as a deferred [`mbtls_pki::SignatureCheck`] batch
+    /// instead of verifying inline. The driver must drain
+    /// `ClientConnection::take_pending_verify` and deliver the verdict
+    /// via `resolve_verify`; the connection does not report
+    /// established until it does. Lets a multi-session host batch
+    /// Ed25519 verification across concurrent handshakes.
+    pub defer_verify: bool,
     /// Cached resumption state per server name.
     pub resumption_cache: HashMap<String, ResumptionData>,
 }
@@ -70,6 +78,7 @@ impl ClientConfig {
             enable_tickets: true,
             enable_false_start: false,
             danger_disable_cert_verify: false,
+            defer_verify: false,
             resumption_cache: HashMap::new(),
         }
     }

@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
 # Bench reporters: the seeded crypto-primitive/record-path benches
-# (BENCH_dataplane.json) and the session-host capacity benches
-# (BENCH_scale.json), each validated for shape so a silently-broken
-# reporter fails loudly.
+# (BENCH_dataplane.json), the session-host capacity benches
+# (BENCH_scale.json), and the handshake fast-path benches
+# (BENCH_handshake.json), each validated for shape so a
+# silently-broken reporter fails loudly.
 #
 #   scripts/bench_report.sh           full run; writes BENCH_dataplane.json
-#                                     (~40 s) and BENCH_scale.json (hours:
+#                                     (~40 s), BENCH_scale.json (hours:
 #                                     the 10k/100k/1M × 1/2/4/8-shard
-#                                     matrix, rewritten after every tier)
+#                                     matrix, rewritten after every tier),
+#                                     and BENCH_handshake.json (~10 min)
 #                                     at the repo root — the committed
 #                                     artifacts
 #   scripts/bench_report.sh --smoke   tiny budgets (seconds) writing to
@@ -113,4 +115,70 @@ validate "$OUT" sessions model curve per_shard_wall_ms max_shard_wall_ms \
          p50_handshake_ms p99_handshake_ms bytes_per_session \
          allocs_per_record_steady allocs_per_record_per_shard determinism identical
 validate_scale "$OUT"
+echo "OK: wrote $OUT"
+
+# validate_handshake <file>: structural checks for BENCH_handshake.json
+# plus the regression floors — on full runs only, since smoke budgets
+# are too small for stable ratios — batched verification must beat
+# single by ≥2×, a resumed handshake must cost ≤¼ of a full one, and
+# the storm path must beat the all-full baseline at every shard count.
+validate_handshake() {
+    local out="$1"
+    if ! command -v python3 > /dev/null; then
+        return 0
+    fi
+    python3 - "$out" <<'PY' || exit 1
+import json, sys
+
+report = json.load(open(sys.argv[1]))
+smoke = report["smoke"]
+verify = report["verify"]
+assert verify, "no verification batch rows"
+for row in verify:
+    assert row["batch"] >= 2, "batch sizes below 2 measure nothing"
+    assert row["single_verifies_per_s"] > 0
+    assert row["batched_verifies_per_s"] > 0
+batches = [row["batch"] for row in verify]
+assert batches == sorted(batches), "verify rows must ascend by batch size"
+best = report["best_batch_speedup"]
+assert best == max(row["speedup"] for row in verify), \
+    "best_batch_speedup disagrees with the verify rows"
+cpu = report["handshake_cpu"]
+assert cpu["full_us"] > 0 and cpu["resumed_us"] > 0
+storm = report["storm"]
+assert storm, "no storm curve rows"
+shard_counts = [run["shards"] for run in storm]
+assert shard_counts == sorted(shard_counts), "storm rows must ascend"
+for run in storm:
+    assert run["full_handshakes_per_s"] > 0
+    assert run["storm_handshakes_per_s"] > 0
+    assert 0.0 < run["storm_resumed_share"] <= 1.0
+det = report["determinism"]
+assert det["identical"] is True, "double-run determinism verdict is false"
+assert det["batching"] is True, "determinism probe must run with batching on"
+if not smoke:
+    assert best >= 2.0, f"batched verify speedup regressed: {best}x < 2x floor"
+    assert cpu["resumed_over_full"] <= 0.25, \
+        f"resumed handshake too costly: {cpu['resumed_over_full']} of full"
+    for run in storm:
+        assert run["storm_handshakes_per_s"] > run["full_handshakes_per_s"], \
+            f"storm loses to full baseline at {run['shards']} shard(s)"
+print(f"handshake schema OK: batches {batches}, best speedup {best}x, "
+      f"resumed/full {cpu['resumed_over_full']}, "
+      f"storm shards {shard_counts}, determinism true"
+      + (" (smoke: floors skipped)" if smoke else ""))
+PY
+}
+
+# Stage 3: handshake fast path (batched verify, resumption storm).
+OUT="BENCH_handshake.json"
+ARGS=()
+if [[ "$SMOKE" == 1 ]]; then
+    OUT="target/BENCH_handshake.json"
+    ARGS+=(--smoke)
+fi
+cargo run -q --release -p mbtls-bench --bin handshake_report -- "${ARGS[@]}" --out "$OUT" > /dev/null
+validate "$OUT" verify best_batch_speedup handshake_cpu resumed_over_full \
+         storm storm_handshakes_per_s storm_resumed_share determinism identical
+validate_handshake "$OUT"
 echo "OK: wrote $OUT"

@@ -1,0 +1,443 @@
+//! The `BENCH_chain.json` regression reporter: read-only forward
+//! fast path vs open+reseal per hop, and Slick-style
+//! service-function-chain throughput end to end.
+//!
+//! Per-hop numbers isolate the record relay cost at one middlebox:
+//! `endpoint_seal` (the producer baseline), `middlebox_open_reseal`
+//! (the classic double-AEAD forward), `middlebox_read_only_forward`
+//! (aliased keys + read-only declaration: tag verify only), and
+//! `raw_tag_verify` (the record-layer primitive the fast path should
+//! collapse toward). Chain numbers drive real mbTLS sessions —
+//! client → [filter → cache → compression] → server — with the
+//! seeded HTTP mix from `mbtls_http::workload`, at 1/2/3
+//! middleboxes, plus a 3-tap read-only variant on aliased keys. The
+//! `chain_report` binary wraps the steady-state pump with a counting
+//! allocator and serialises a [`ChainReport`] to `BENCH_chain.json`;
+//! `scripts/check.sh` runs it in `--smoke` mode as a regression
+//! gate.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use mbtls_core::attacks::Testbed;
+use mbtls_core::client::MbClientSession;
+use mbtls_core::dataplane::{
+    fresh_hop_keys, EndpointDataPlane, FlowDirection, MiddleboxDataPlane,
+};
+use mbtls_core::driver::{Chain, Relay};
+use mbtls_core::middlebox::Middlebox;
+use mbtls_core::server::MbServerSession;
+use mbtls_core::MbError;
+use mbtls_crypto::rng::CryptoRng;
+use mbtls_http::message::{RequestParser, ResponseParser};
+use mbtls_http::workload::{response_for, RequestMix};
+use mbtls_mboxes::{ChainFunction, ServiceChain};
+use mbtls_tls::record::ContentType;
+use mbtls_tls::suites::CipherSuite;
+
+use crate::report::{Throughput, RECORD_LEN};
+
+/// One measured end-to-end chain configuration.
+#[derive(Debug, Clone)]
+pub struct ChainThroughput {
+    /// Stable snake_case config name (JSON key).
+    pub name: &'static str,
+    /// Middleboxes on the path.
+    pub middleboxes: usize,
+    /// Application megabytes (1e6 bytes) through the chain per
+    /// second, both directions summed.
+    pub mb_per_s: f64,
+}
+
+/// Everything that goes into `BENCH_chain.json`.
+#[derive(Debug, Clone)]
+pub struct ChainReport {
+    /// True when produced by a `--smoke` run (numbers are noisy and
+    /// only prove the harness works).
+    pub smoke: bool,
+    /// Record payload size for the per-hop numbers.
+    pub record_len: usize,
+    /// Per-hop relay throughputs.
+    pub per_hop: Vec<Throughput>,
+    /// read_only_forward ÷ open_reseal_forward (the fast-path win).
+    pub read_only_speedup: f64,
+    /// End-to-end chain throughputs.
+    pub chains: Vec<ChainThroughput>,
+    /// Heap allocations per record through a read-only middlebox at
+    /// steady state (counted by the binary's global allocator).
+    pub allocs_per_record_read_only: f64,
+    /// `"identical"` when two same-seed chain runs produced
+    /// bit-identical application byte streams, else `"diverged"`.
+    pub determinism: String,
+}
+
+impl ChainReport {
+    /// Render as pretty-printed JSON. Hand-rolled (the workspace has
+    /// no serde) but round-trips through any JSON parser.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"smoke\": {},\n", self.smoke));
+        out.push_str(&format!("  \"record_len\": {},\n", self.record_len));
+        out.push_str("  \"per_hop_mb_s\": {\n");
+        for (i, t) in self.per_hop.iter().enumerate() {
+            let comma = if i + 1 == self.per_hop.len() { "" } else { "," };
+            out.push_str(&format!("    \"{}\": {:.2}{}\n", t.name, t.mb_per_s, comma));
+        }
+        out.push_str("  },\n");
+        out.push_str(&format!("  \"read_only_speedup\": {:.3},\n", self.read_only_speedup));
+        out.push_str("  \"chain_mb_s\": {\n");
+        for (i, c) in self.chains.iter().enumerate() {
+            let comma = if i + 1 == self.chains.len() { "" } else { "," };
+            out.push_str(&format!("    \"{}\": {:.3}{}\n", c.name, c.mb_per_s, comma));
+        }
+        out.push_str("  },\n");
+        out.push_str(&format!(
+            "  \"allocs_per_record_read_only\": {:.3},\n",
+            self.allocs_per_record_read_only
+        ));
+        out.push_str(&format!("  \"determinism\": \"{}\"\n", self.determinism));
+        out.push('}');
+        out
+    }
+}
+
+fn mb_per_s(bytes: usize, elapsed: std::time::Duration) -> f64 {
+    bytes as f64 / 1e6 / elapsed.as_secs_f64()
+}
+
+/// Per-hop relay throughput at `RECORD_LEN`-byte records:
+/// `endpoint_seal`, `middlebox_open_reseal` (unique hop keys, the
+/// default data plane), `middlebox_read_only_forward` (aliased keys,
+/// read-only declaration), and `raw_tag_verify` (the bare
+/// record-layer primitive). `total_bytes` is the plaintext budget
+/// per metric.
+pub fn bench_per_hop(total_bytes: usize) -> Vec<Throughput> {
+    let mut rng = CryptoRng::from_seed(0xC4A1);
+    let suite = CipherSuite::EcdheAes256GcmSha384;
+    let left = fresh_hop_keys(suite, &mut rng);
+    let right = fresh_hop_keys(suite, &mut rng);
+    let shared = fresh_hop_keys(suite, &mut rng);
+    let payload = vec![0xA5u8; RECORD_LEN];
+    let iters = (total_bytes / RECORD_LEN).max(1);
+    let warmup = (iters / 16).max(1);
+
+    let mut out = Vec::new();
+    let mut wire = Vec::new();
+    let mut fwd = Vec::new();
+
+    // Endpoint seal baseline.
+    let mut client = EndpointDataPlane::for_client(&left).expect("keys");
+    for _ in 0..warmup {
+        client.send(&payload).expect("send");
+        wire.clear();
+        client.drain_outgoing_into(&mut wire);
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        client.send(&payload).expect("send");
+        wire.clear();
+        client.drain_outgoing_into(&mut wire);
+    }
+    out.push(Throughput {
+        name: "endpoint_seal",
+        mb_per_s: mb_per_s(iters * RECORD_LEN, t0.elapsed()),
+    });
+
+    // Open + reseal: unique per-hop keys, the default relay cost.
+    // Records are sealed fresh each iteration (sequence numbers);
+    // only the middlebox's work is timed.
+    let mut sender = EndpointDataPlane::for_client(&left).expect("keys");
+    let mut mbox = MiddleboxDataPlane::new(&left, &right).expect("keys");
+    let mut total = std::time::Duration::ZERO;
+    for _ in 0..iters + warmup {
+        sender.send(&payload).expect("send");
+        wire.clear();
+        sender.drain_outgoing_into(&mut wire);
+        let t0 = Instant::now();
+        mbox.feed(FlowDirection::ClientToServer, &wire, |_, _p| {}).expect("forward");
+        fwd.clear();
+        mbox.drain_toward_server_into(&mut fwd);
+        total += t0.elapsed();
+    }
+    out.push(Throughput {
+        name: "middlebox_open_reseal",
+        mb_per_s: mb_per_s((iters + warmup) * RECORD_LEN, total),
+    });
+
+    // Read-only forward: both hops share `shared`'s keys and the
+    // processor declares itself non-modifying — tag verify only.
+    let mut sender = EndpointDataPlane::for_client(&shared).expect("keys");
+    let mut mbox = MiddleboxDataPlane::new(&shared, &shared).expect("keys");
+    mbox.set_read_only(true);
+    assert!(mbox.fast_path_active(FlowDirection::ClientToServer));
+    let mut total = std::time::Duration::ZERO;
+    for _ in 0..iters + warmup {
+        sender.send(&payload).expect("send");
+        wire.clear();
+        sender.drain_outgoing_into(&mut wire);
+        let t0 = Instant::now();
+        mbox.feed(FlowDirection::ClientToServer, &wire, |_, _p| {}).expect("forward");
+        fwd.clear();
+        mbox.drain_toward_server_into(&mut fwd);
+        total += t0.elapsed();
+    }
+    assert_eq!(mbox.records_fast_forwarded, (iters + warmup) as u64);
+    out.push(Throughput {
+        name: "middlebox_read_only_forward",
+        mb_per_s: mb_per_s((iters + warmup) * RECORD_LEN, total),
+    });
+
+    // Raw tag verify: the record-layer primitive alone, no framing,
+    // no buffer management — the ceiling the fast path approaches.
+    let mut writer = shared.seal_client_to_server().expect("keys");
+    let mut reader = shared.open_client_to_server().expect("keys");
+    let mut total = std::time::Duration::ZERO;
+    for _ in 0..iters + warmup {
+        wire.clear();
+        writer.seal_record_into(ContentType::ApplicationData, &payload, &mut wire).expect("seal");
+        let body = &wire[5..];
+        let t0 = Instant::now();
+        reader.verify_record(ContentType::ApplicationData, body).expect("verify");
+        total += t0.elapsed();
+    }
+    out.push(Throughput {
+        name: "raw_tag_verify",
+        mb_per_s: mb_per_s((iters + warmup) * RECORD_LEN, total),
+    });
+
+    out
+}
+
+/// Outcome of one end-to-end chain run.
+pub struct ChainRunResult {
+    /// Application megabytes per second through the chain.
+    pub mb_per_s: f64,
+    /// FNV-1a digest of every application byte the server received
+    /// followed by every byte the client received — the determinism
+    /// fingerprint.
+    pub digest: u64,
+}
+
+fn fnv1a(digest: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *digest ^= b as u64;
+        *digest = digest.wrapping_mul(0x1000_0000_01B3);
+    }
+}
+
+/// Drive `exchanges` HTTP request/response pairs through a freshly
+/// handshaken mbTLS session with the given service functions on the
+/// path. `read_only_keys` distributes aliased (bridge) keys to every
+/// hop, as a client would for a declared-read-only path.
+pub fn run_chain(
+    functions: &[ChainFunction],
+    exchanges: usize,
+    seed: u64,
+    read_only_keys: bool,
+) -> Result<ChainRunResult, MbError> {
+    let testbed = Testbed::new(seed);
+    let mut rng = CryptoRng::from_seed(seed ^ 0xC11A);
+    let mut client_cfg = testbed.client_config();
+    client_cfg.read_only_middleboxes = read_only_keys;
+    let client = MbClientSession::new(Arc::new(client_cfg), "server.example", rng.fork());
+    let server = MbServerSession::new(Arc::new(testbed.server_config()), rng.fork());
+    let middles: Vec<Box<dyn Relay>> = functions
+        .iter()
+        .map(|f| {
+            let cfg = testbed.middlebox_config(&testbed.mbox_code);
+            Box::new(Middlebox::with_processor(cfg, rng.fork(), f.build())) as Box<dyn Relay>
+        })
+        .collect();
+    let mut chain = Chain::new(Box::new(client), middles, Box::new(server));
+    chain.run_handshake()?;
+
+    let mut mix = RequestMix::new(seed);
+    let mut server_rx = RequestParser::new();
+    let mut client_rx = ResponseParser::new();
+    let mut digest: u64 = 0xCBF2_9CE4_8422_2325;
+    let mut app_bytes = 0usize;
+    let t0 = Instant::now();
+    for _ in 0..exchanges {
+        // Client → chain → server: pump until a full request arrives
+        // (middleboxes may rewrite it, so parse rather than count).
+        let req = mix.next_request().encode();
+        app_bytes += req.len();
+        chain.client.send_app(&req)?;
+        let arrived = loop {
+            chain.pump()?;
+            let got = chain.server.recv_app();
+            fnv1a(&mut digest, &got);
+            server_rx.feed(&got);
+            if let Some(r) = server_rx.next_request().map_err(|_| {
+                MbError::unexpected_state("chain delivered an unparseable request")
+            })? {
+                break r;
+            }
+        };
+        // Server answers canonically for whatever request it saw.
+        let resp = response_for(&arrived).encode();
+        app_bytes += resp.len();
+        chain.server.send_app(&resp)?;
+        loop {
+            chain.pump()?;
+            let got = chain.client.recv_app();
+            fnv1a(&mut digest, &got);
+            client_rx.feed(&got);
+            if client_rx
+                .next_response()
+                .map_err(|_| MbError::unexpected_state("chain delivered an unparseable response"))?
+                .is_some()
+            {
+                break;
+            }
+        }
+    }
+    Ok(ChainRunResult { mb_per_s: mb_per_s(app_bytes, t0.elapsed()), digest })
+}
+
+/// The chain configurations the report measures: the Slick web chain
+/// at 1, 2, and 3 middleboxes, plus 3 read-only taps on aliased keys.
+pub fn chain_configs() -> Vec<(&'static str, ServiceChain, bool)> {
+    let slick = ServiceChain::slick_web();
+    vec![
+        ("middleboxes_1", slick.prefix(1), false),
+        ("middleboxes_2", slick.prefix(2), false),
+        ("middleboxes_3", slick.clone(), false),
+        (
+            "middleboxes_3_read_only",
+            ServiceChain::new(vec![ChainFunction::Tap; 3]),
+            true,
+        ),
+    ]
+}
+
+/// Measure every chain configuration and double-run the full Slick
+/// chain for the determinism verdict.
+pub fn bench_chains(exchanges: usize, seed: u64) -> (Vec<ChainThroughput>, String) {
+    let mut out = Vec::new();
+    let mut determinism = String::from("identical");
+    for (name, chain, read_only) in chain_configs() {
+        let a = run_chain(chain.functions(), exchanges, seed, read_only)
+            .expect("chain run completes");
+        let b = run_chain(chain.functions(), exchanges, seed, read_only)
+            .expect("chain run completes");
+        if a.digest != b.digest {
+            determinism = String::from("diverged");
+        }
+        out.push(ChainThroughput {
+            name,
+            middleboxes: chain.len(),
+            mb_per_s: a.mb_per_s.max(b.mb_per_s),
+        });
+    }
+    (out, determinism)
+}
+
+/// A warmed-up client → read-only middlebox → server pipeline on
+/// aliased keys. The `chain_report` binary snapshots its allocation
+/// counter around [`Self::pump`] to prove the fast path is
+/// allocation-free at steady state.
+pub struct SteadyStateReadOnly {
+    client: EndpointDataPlane,
+    mbox: MiddleboxDataPlane,
+    server: EndpointDataPlane,
+    payload: Vec<u8>,
+    wire: Vec<u8>,
+    fwd: Vec<u8>,
+    plain: Vec<u8>,
+}
+
+impl SteadyStateReadOnly {
+    /// Build the pipeline and run enough records through it for every
+    /// internal buffer to reach its final capacity.
+    pub fn warmed_up() -> Self {
+        let mut rng = CryptoRng::from_seed(0xFA57);
+        let suite = CipherSuite::EcdheAes256GcmSha384;
+        let hop = fresh_hop_keys(suite, &mut rng);
+        let mut mbox = MiddleboxDataPlane::new(&hop, &hop).expect("keys");
+        mbox.set_read_only(true);
+        let mut pipeline = SteadyStateReadOnly {
+            client: EndpointDataPlane::for_client(&hop).expect("keys"),
+            mbox,
+            server: EndpointDataPlane::for_server(&hop).expect("keys"),
+            payload: vec![0x5Au8; RECORD_LEN],
+            wire: Vec::new(),
+            fwd: Vec::new(),
+            plain: Vec::new(),
+        };
+        for _ in 0..8 {
+            pipeline.pump(1);
+        }
+        pipeline
+    }
+
+    /// Push `records` full-size records client → middlebox → server
+    /// through the fast path, all in reused buffers.
+    pub fn pump(&mut self, records: usize) {
+        let before = self.mbox.records_fast_forwarded;
+        for _ in 0..records {
+            self.client.send(&self.payload).expect("send");
+            self.wire.clear();
+            self.client.drain_outgoing_into(&mut self.wire);
+            self.mbox
+                .feed(FlowDirection::ClientToServer, &self.wire, |_, _p| {})
+                .expect("forward");
+            self.fwd.clear();
+            self.mbox.drain_toward_server_into(&mut self.fwd);
+            self.server.feed(&self.fwd).expect("deliver");
+            self.plain.clear();
+            self.server.drain_plaintext_into(&mut self.plain);
+            assert_eq!(self.plain.len(), RECORD_LEN, "record did not round-trip");
+        }
+        assert_eq!(
+            self.mbox.records_fast_forwarded - before,
+            records as u64,
+            "steady-state pump must stay on the fast path"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_report_is_valid_json_shape() {
+        let per_hop = bench_per_hop(RECORD_LEN);
+        let (chains, determinism) = bench_chains(2, 0xC0DE);
+        let speedup = {
+            let get = |n: &str| per_hop.iter().find(|t| t.name == n).unwrap().mb_per_s;
+            get("middlebox_read_only_forward") / get("middlebox_open_reseal")
+        };
+        let report = ChainReport {
+            smoke: true,
+            record_len: RECORD_LEN,
+            per_hop,
+            read_only_speedup: speedup,
+            chains,
+            allocs_per_record_read_only: 0.0,
+            determinism,
+        };
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"middlebox_read_only_forward\""));
+        assert!(json.contains("\"middleboxes_3_read_only\""));
+        assert!(json.contains("\"determinism\": \"identical\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(!json.contains(",\n  }") && !json.contains(",\n}"));
+    }
+
+    #[test]
+    fn read_only_steady_state_round_trips() {
+        let mut p = SteadyStateReadOnly::warmed_up();
+        p.pump(3);
+    }
+
+    #[test]
+    fn chain_runs_are_deterministic_and_tap_chain_fast_forwards() {
+        let taps = ServiceChain::new(vec![ChainFunction::Tap; 2]);
+        let a = run_chain(taps.functions(), 3, 42, true).expect("run");
+        let b = run_chain(taps.functions(), 3, 42, true).expect("run");
+        assert_eq!(a.digest, b.digest);
+    }
+}

@@ -304,6 +304,8 @@ pub fn storm_load(sessions: usize, seed: u64, storm: bool) -> LoadConfig {
         // longer honors and degrades to a full handshake.
         stale_every: if storm { 16 } else { 0 },
         defer_verify: true,
+        service_chain: false,
+        read_only_path: false,
     }
 }
 

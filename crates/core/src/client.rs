@@ -58,6 +58,15 @@ pub struct MbClientConfig {
     /// Send the MiddleboxSupport extension at all (false = behave as
     /// a legacy TLS client).
     pub mbtls_enabled: bool,
+    /// Declare every approved middlebox non-modifying and reuse the
+    /// bridge (endpoint) keys for all hops instead of generating fresh
+    /// per-hop keys (mbTLS §3.4 key reuse). With aliased keys a
+    /// middlebox whose processor declares itself read-only can verify
+    /// tags and forward records unchanged — the fast path. Only enable
+    /// when *every* middlebox on the path is trusted not to modify
+    /// data; a modifying middlebox on aliased keys falls back to
+    /// open/re-seal, which re-protects under the same key.
+    pub read_only_middleboxes: bool,
     /// Telemetry sink for structured events (None = telemetry off).
     pub telemetry: Option<SharedSink>,
 }
@@ -72,6 +81,7 @@ impl MbClientConfig {
             approval: ApprovalPolicy::AllVerified,
             preconfigured: Vec::new(),
             mbtls_enabled: true,
+            read_only_middleboxes: false,
             telemetry: None,
         }
     }
@@ -120,6 +130,13 @@ impl MbClientConfigBuilder {
     /// Enable or disable mbTLS (false = behave as legacy TLS client).
     pub fn mbtls_enabled(mut self, enabled: bool) -> Self {
         self.cfg.mbtls_enabled = enabled;
+        self
+    }
+
+    /// Reuse the bridge keys for every hop so read-only middleboxes
+    /// can forward records without re-encryption (mbTLS §3.4).
+    pub fn read_only_middleboxes(mut self, read_only: bool) -> Self {
+        self.cfg.read_only_middleboxes = read_only;
         self
     }
 
@@ -604,10 +621,17 @@ impl MbClientSession {
             .collect();
         order.sort_unstable_by(|a, b| b.cmp(a));
 
-        // Hops: client↔c_1, c_1↔c_2, ..., c_j↔bridge.
+        // Hops: client↔c_1, c_1↔c_2, ..., c_j↔bridge. When the path
+        // is declared read-only, every hop aliases the bridge keys so
+        // middleboxes can take the tag-verify-and-forward fast path;
+        // otherwise each hop gets fresh keys (change secrecy, P1C).
         let mut hops: Vec<SessionKeys> = Vec::with_capacity(order.len() + 1);
         for _ in 0..order.len() {
-            hops.push(fresh_hop_keys(suite, &mut self.rng));
+            if self.config.read_only_middleboxes {
+                hops.push(bridge.clone());
+            } else {
+                hops.push(fresh_hop_keys(suite, &mut self.rng));
+            }
         }
         hops.push(bridge);
 

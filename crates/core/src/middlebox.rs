@@ -44,6 +44,20 @@ use crate::MbError;
 pub trait DataProcessor: Send {
     /// Process one record's plaintext; the return value is forwarded.
     fn process(&mut self, dir: FlowDirection, data: Vec<u8>) -> Vec<u8>;
+
+    /// Whether this processor never modifies the data it sees.
+    ///
+    /// A `true` here is a contract, not a hint: combined with aliased
+    /// per-hop keys it enables the read-only forward fast path, where
+    /// records are tag-verified and forwarded unchanged *without*
+    /// invoking [`DataProcessor::process`] at all (mbTLS §3.4 key
+    /// reuse for non-modifying middleboxes). A processor that inspects
+    /// traffic (IDS in detect mode, metering, logging) should override
+    /// this only if it can tolerate seeing no plaintext; one that ever
+    /// rewrites data must leave it `false`.
+    fn is_read_only(&self) -> bool {
+        false
+    }
 }
 
 /// The identity processor (forwards unchanged).
@@ -52,6 +66,10 @@ pub struct ForwardProcessor;
 impl DataProcessor for ForwardProcessor {
     fn process(&mut self, _dir: FlowDirection, data: Vec<u8>) -> Vec<u8> {
         data
+    }
+
+    fn is_read_only(&self) -> bool {
+        true
     }
 }
 
@@ -715,6 +733,7 @@ impl Middlebox {
         if let Some(t) = &self.telemetry {
             dp.set_telemetry(t.clone(), self.telemetry_party);
         }
+        dp.set_read_only(self.processor.is_read_only());
         self.dataplane = Some(dp);
         self.keys = Some(km);
         self.phase = MiddleboxPhase::DataPlane;

@@ -108,6 +108,20 @@ impl AeadKey {
         self.gcm.seal_in_place(&self.nonce(explicit_nonce), aad, data)
     }
 
+    /// Verify `tag` over `ciphertext` without decrypting — the
+    /// authentication half of [`AeadKey::open_in_place`]. Used by the
+    /// read-only middlebox forward path, where the record bytes pass
+    /// through unchanged and only the tag check is needed.
+    pub fn verify(
+        &self,
+        explicit_nonce: &[u8; EXPLICIT_NONCE_LEN],
+        aad: &[u8],
+        ciphertext: &[u8],
+        tag: &[u8],
+    ) -> Result<(), CryptoError> {
+        self.gcm.verify_tag(&self.nonce(explicit_nonce), aad, ciphertext, tag)
+    }
+
     /// Verify `tag` and decrypt `data` (ciphertext without the tag) in
     /// place. On failure the buffer keeps the untouched ciphertext and
     /// must not be used.
@@ -151,6 +165,20 @@ mod tests {
         assert!(AeadKey::new(BulkAlgorithm::Aes128Gcm, &[0u8; 32], &[0u8; 4]).is_err());
         assert!(AeadKey::new(BulkAlgorithm::Aes256Gcm, &[0u8; 16], &[0u8; 4]).is_err());
         assert!(AeadKey::new(BulkAlgorithm::Aes128Gcm, &[0u8; 16], &[0u8; 8]).is_err());
+    }
+
+    #[test]
+    fn verify_matches_open_verdicts() {
+        let k = AeadKey::new(BulkAlgorithm::Aes256Gcm, &[6u8; 32], &[2u8; 4]).unwrap();
+        let nonce = [4u8; 8];
+        let sealed = k.seal(&nonce, b"seq", b"payload").unwrap();
+        let (ct_part, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+        k.verify(&nonce, b"seq", ct_part, tag).unwrap();
+        assert!(k.verify(&nonce, b"other", ct_part, tag).is_err());
+        assert!(k.verify(&[5u8; 8], b"seq", ct_part, tag).is_err());
+        let mut tampered = ct_part.to_vec();
+        tampered[0] ^= 0x80;
+        assert!(k.verify(&nonce, b"seq", &tampered, tag).is_err());
     }
 
     #[test]

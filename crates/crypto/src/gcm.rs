@@ -277,6 +277,29 @@ impl AesGcm {
         Ok(self.tag(nonce, aad, data))
     }
 
+    /// Verify the tag over `ciphertext` without decrypting it.
+    ///
+    /// The authentication half of [`AesGcm::open_in_place`]: GHASH over
+    /// AAD and ciphertext plus the single counter-1 keystream block,
+    /// skipping the CTR pass over the body entirely. A forwarder that
+    /// shares the sender's key can use this to authenticate a record
+    /// and pass the ciphertext through unchanged — the read-only
+    /// middlebox fast path.
+    pub fn verify_tag(
+        &self,
+        nonce: &[u8; 12],
+        aad: &[u8],
+        ciphertext: &[u8],
+        tag: &[u8],
+    ) -> Result<(), CryptoError> {
+        check_len(ciphertext.len())?;
+        let expected = self.tag(nonce, aad, ciphertext);
+        if !ct::eq(&expected, tag) {
+            return Err(CryptoError::BadTag);
+        }
+        Ok(())
+    }
+
     /// Verify the tag and decrypt `ciphertext` in place.
     ///
     /// On tag mismatch the buffer is left as (untouched) ciphertext and
@@ -631,6 +654,39 @@ mod tests {
              21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091"
         );
         assert_eq!(hex(&tag), "5bc94fbc3221a5db94fae95ae7121a47");
+    }
+
+    #[test]
+    fn verify_tag_agrees_with_open() {
+        let key = [0x21u8; 16];
+        let gcm = AesGcm::new(&key).unwrap();
+        let nonce = [7u8; 12];
+        let sealed = gcm.seal(&nonce, b"aad", b"read-only payload").unwrap();
+        let (ct_part, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+        // Tag-only verification accepts what open accepts...
+        gcm.verify_tag(&nonce, b"aad", ct_part, tag).unwrap();
+        // ...without consuming state: both still work afterwards.
+        assert_eq!(gcm.open(&nonce, b"aad", &sealed).unwrap(), b"read-only payload");
+        // And rejects everything open rejects.
+        let mut bad_ct = ct_part.to_vec();
+        bad_ct[0] ^= 1;
+        assert!(gcm.verify_tag(&nonce, b"aad", &bad_ct, tag).is_err());
+        let mut bad_tag = tag.to_vec();
+        bad_tag[15] ^= 1;
+        assert!(gcm.verify_tag(&nonce, b"aad", ct_part, &bad_tag).is_err());
+        assert!(gcm.verify_tag(&nonce, b"wrong aad", ct_part, tag).is_err());
+        assert!(gcm.verify_tag(&[8u8; 12], b"aad", ct_part, tag).is_err());
+    }
+
+    #[test]
+    fn verify_tag_leaves_ciphertext_untouched() {
+        let gcm = AesGcm::new(&[0x55u8; 32]).unwrap();
+        let nonce = [1u8; 12];
+        let sealed = gcm.seal(&nonce, b"", b"forward me").unwrap();
+        let (ct_part, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+        let before = ct_part.to_vec();
+        gcm.verify_tag(&nonce, b"", ct_part, tag).unwrap();
+        assert_eq!(ct_part, before, "verification must not decrypt");
     }
 
     // Fast path and reference must agree across AAD/plaintext length

@@ -26,6 +26,8 @@ use mbtls_crypto::rng::CryptoRng;
 use mbtls_netsim::time::{Duration, SimTime};
 use mbtls_netsim::FaultConfig;
 
+use mbtls_telemetry::{Party, SharedSink};
+
 use crate::host::{Reactor, SessionSpec};
 use crate::session::Workload;
 
@@ -58,6 +60,17 @@ pub struct LoadConfig {
     /// (`ClientConfig::defer_verify`) for the shard's end-of-turn
     /// batched verification flush instead of verifying inline.
     pub defer_verify: bool,
+    /// Sessions on the `middlebox_every` cadence get the full
+    /// Slick-style service-function chain (filter → cache →
+    /// compression, three middleboxes) instead of a single
+    /// pass-through middlebox.
+    pub service_chain: bool,
+    /// Clients declare the whole path read-only and reuse the bridge
+    /// keys for every hop (`MbClientConfig::read_only_middleboxes`),
+    /// so pass-through middleboxes take the tag-verify forward fast
+    /// path. Orthogonal to `service_chain`; a modifying chain on
+    /// aliased keys falls back to open/re-seal per hop.
+    pub read_only_path: bool,
 }
 
 impl Default for LoadConfig {
@@ -72,6 +85,8 @@ impl Default for LoadConfig {
             resumption_storm: false,
             stale_every: 0,
             defer_verify: false,
+            service_chain: false,
+            read_only_path: false,
         }
     }
 }
@@ -101,6 +116,10 @@ pub struct LoadGenerator {
     client_cfg_stale: Option<Arc<MbClientConfig>>,
     server_cfg: Arc<MbServerConfig>,
     config: LoadConfig,
+    /// Sink plugged into every generated middlebox's config, so
+    /// record-level relay events (decrypt/encrypt/fast-forward) land
+    /// in the host's trace (None = middlebox telemetry off).
+    telemetry: Option<SharedSink>,
     /// This generator's residue class: `(shard, shards)`.
     shard: u64,
     shards: u64,
@@ -124,6 +143,7 @@ impl LoadGenerator {
         let server_cfg = Arc::new(testbed.server_config());
         let mut client_cfg = testbed.client_config();
         client_cfg.tls.defer_verify = config.defer_verify;
+        client_cfg.read_only_middleboxes = config.read_only_path;
         let mut client_cfg_stale = None;
         if config.resumption_storm {
             let ticket = Self::prime_ticket(&testbed, config.seed);
@@ -154,6 +174,7 @@ impl LoadGenerator {
             client_cfg_stale,
             server_cfg,
             config,
+            telemetry: None,
             shard: shard as u64,
             shards: shards.max(1) as u64,
             produced: 0,
@@ -180,6 +201,13 @@ impl LoadGenerator {
             .client
             .resumption()
             .expect("testbed server issues tickets; priming handshake must yield one")
+    }
+
+    /// Attach a telemetry sink to every middlebox this generator
+    /// builds from here on (shares the host's sink and clock, so
+    /// relay record events interleave with host lifecycle events).
+    pub fn set_telemetry(&mut self, sink: SharedSink) {
+        self.telemetry = Some(sink);
     }
 
     /// Global index of the next session this slice will produce.
@@ -224,8 +252,29 @@ impl LoadGenerator {
         let client = MbClientSession::new(client_cfg, "server.example", rng.fork());
         let server = MbServerSession::new(self.server_cfg.clone(), rng.fork());
         let middles: Vec<Box<dyn Relay>> = if with_middlebox {
-            let cfg = self.testbed.middlebox_config(&self.testbed.mbox_code);
-            vec![Box::new(Middlebox::new(cfg, rng.fork()))]
+            if self.config.service_chain {
+                // The Slick-style chain: one middlebox per function,
+                // client side first. The workload's raw (non-HTTP)
+                // bytes pass through every element unchanged, so the
+                // chain exercises multi-hop relay cost and shared
+                // processor state without perturbing the byte counts
+                // the reactor's completion accounting relies on.
+                mbtls_mboxes::ServiceChain::slick_web()
+                    .build_processors()
+                    .into_iter()
+                    .enumerate()
+                    .map(|(pos, p)| {
+                        let mut cfg = self.testbed.middlebox_config(&self.testbed.mbox_code);
+                        cfg.telemetry = self.telemetry.clone();
+                        cfg.telemetry_party = Party::Middlebox(pos as u8);
+                        Box::new(Middlebox::with_processor(cfg, rng.fork(), p)) as Box<dyn Relay>
+                    })
+                    .collect()
+            } else {
+                let mut cfg = self.testbed.middlebox_config(&self.testbed.mbox_code);
+                cfg.telemetry = self.telemetry.clone();
+                vec![Box::new(Middlebox::new(cfg, rng.fork()))]
+            }
         } else {
             Vec::new()
         };

@@ -21,6 +21,8 @@ fn storm_load(sessions: usize, seed: u64) -> LoadConfig {
         resumption_storm: true,
         stale_every: 0,
         defer_verify: false,
+        service_chain: false,
+        read_only_path: false,
     }
 }
 
@@ -129,6 +131,8 @@ fn batched_verification_covers_middlebox_screening() {
         resumption_storm: false,
         stale_every: 0,
         defer_verify: true,
+        service_chain: false,
+        read_only_path: false,
     };
     let (_, counters) = drive(config, 1);
     assert_eq!(counters.completed(), 6);

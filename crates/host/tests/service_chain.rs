@@ -1,0 +1,94 @@
+//! Service-function-chain scenarios through the concurrent host:
+//! Slick-style chains at fleet scale, read-only fast-path key reuse,
+//! and the bit-identical replay guarantee with shared middlebox state
+//! (the cache's deterministic eviction) in the loop.
+
+use mbtls_host::{Host, HostConfig, LoadConfig, LoadGenerator, NetSubstrate, Workload};
+use mbtls_netsim::time::{Duration, SimTime};
+use mbtls_telemetry::{EventKind, Recorder};
+
+fn chain_load(sessions: usize, seed: u64) -> LoadConfig {
+    LoadConfig {
+        sessions,
+        arrival_spacing: Duration::from_micros(400),
+        middlebox_every: 2,
+        latency: Duration::from_micros(50),
+        workload: Workload { request_len: 256, response_len: 1024, exchanges: 2 },
+        seed,
+        service_chain: true,
+        ..LoadConfig::default()
+    }
+}
+
+fn run(config: LoadConfig) -> (Vec<mbtls_telemetry::Event>, mbtls_host::HostCounters) {
+    let recorder = Recorder::new();
+    let seed = config.seed;
+    let sessions = config.sessions;
+    let mut generator = LoadGenerator::new(config);
+    generator.set_telemetry(recorder.sink());
+    let mut host = Host::new(HostConfig::default(), |_| NetSubstrate::new(seed));
+    host.set_telemetry(recorder.sink());
+    generator
+        .drive(&mut host, SimTime::ZERO.plus(Duration::from_secs(120)))
+        .expect("fleet drains");
+    assert_eq!(host.counters().completed(), sessions as u64);
+    (recorder.snapshot(), host.counters())
+}
+
+#[test]
+fn service_chain_fleet_completes_and_replays() {
+    // Three-middlebox chains on every other session, with the shared
+    // cache (deterministic FIFO eviction) in the path: two identical
+    // runs must produce bit-identical traces and counters.
+    let (trace_a, counters_a) = run(chain_load(6, 21));
+    let (trace_b, counters_b) = run(chain_load(6, 21));
+    assert!(!trace_a.is_empty());
+    assert_eq!(trace_a, trace_b, "chain runs must replay bit-identically");
+    assert_eq!(counters_a, counters_b);
+}
+
+#[test]
+fn read_only_path_fast_forwards_at_scale() {
+    // Aliased hop keys + pass-through middleboxes: records traverse
+    // middleboxes via the tag-verify fast path, visible in telemetry
+    // as RecordForwardedReadOnly instead of decrypt/encrypt pairs.
+    let config = LoadConfig {
+        sessions: 4,
+        middlebox_every: 1,
+        workload: Workload { request_len: 256, response_len: 1024, exchanges: 2 },
+        seed: 33,
+        read_only_path: true,
+        ..chain_load(4, 33)
+    };
+    let config = LoadConfig { service_chain: false, ..config };
+    let (trace, _) = run(config);
+    let fast = trace
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::RecordForwardedReadOnly { .. }))
+        .count();
+    let resealed = trace
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::RecordEncrypt { .. }))
+        .count();
+    assert!(fast > 0, "read-only path must take the fast path");
+    assert_eq!(resealed, 0, "no middlebox re-encryption on a read-only path");
+}
+
+#[test]
+fn modifying_chain_on_aliased_keys_still_reseals() {
+    // Safety of the fallback: a modifying chain (service_chain) under
+    // a read-only key distribution must keep re-sealing — the fast
+    // path is gated on the processor declaration, not just the keys.
+    let config = LoadConfig { read_only_path: true, ..chain_load(4, 55) };
+    let (trace, _) = run(config);
+    let fast = trace
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::RecordForwardedReadOnly { .. }))
+        .count();
+    let resealed = trace
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::RecordEncrypt { .. }))
+        .count();
+    assert_eq!(fast, 0, "modifying processors must never fast-forward");
+    assert!(resealed > 0);
+}

@@ -9,15 +9,19 @@
 //!   this substitutes for zlib).
 //! * [`patterns`] — an Aho-Corasick multi-pattern matcher, the
 //!   scanning engine for the IDS / virus-scanner middleboxes.
+//! * [`workload`] — deterministic seeded HTTP request/response mixes
+//!   for service-chain scenarios and benches.
 //!
-//! All three are from-scratch implementations with no dependencies.
+//! All are from-scratch implementations with no dependencies.
 
 #![warn(missing_docs)]
 
 pub mod compress;
 pub mod message;
 pub mod patterns;
+pub mod workload;
 
 pub use compress::{lzss_compress, lzss_decompress};
 pub use message::{Request, RequestParser, Response, ResponseParser};
 pub use patterns::PatternMatcher;
+pub use workload::{response_for, RequestMix};

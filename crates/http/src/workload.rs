@@ -1,0 +1,173 @@
+//! Deterministic HTTP workload mixes for chain scenarios and benches.
+//!
+//! A seeded request generator producing a realistic GET mix — a hot
+//! set of popular assets (cache-friendly) plus a long tail of unique
+//! article pages — and a pure function mapping any request to its
+//! canonical response, so a bench server can answer whatever reaches
+//! it after middlebox rewrites. Everything derives from the seed via
+//! splitmix64: the same seed always yields the same byte stream,
+//! which is what lets chain runs be compared bit-for-bit.
+
+use crate::message::{Request, Response};
+
+/// Advance a splitmix64 state and return the next value.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The hot set: a small pool of popular targets that dominates the
+/// mix, giving a shared cache real hit opportunities.
+const HOT_TARGETS: [&str; 8] = [
+    "/index.html",
+    "/assets/app.js",
+    "/assets/site.css",
+    "/images/logo.svg",
+    "/api/session",
+    "/news/today.html",
+    "/assets/vendor.js",
+    "/fonts/body.woff",
+];
+
+/// Fraction (out of 100) of requests drawn from the hot set.
+const HOT_PERCENT: u64 = 70;
+
+/// A seeded generator of GET requests following the hot-set /
+/// long-tail mix.
+pub struct RequestMix {
+    state: u64,
+}
+
+impl RequestMix {
+    /// A mix derived entirely from `seed`.
+    pub fn new(seed: u64) -> Self {
+        RequestMix { state: seed }
+    }
+
+    /// The next request in the mix.
+    pub fn next_request(&mut self) -> Request {
+        let roll = splitmix64(&mut self.state);
+        if roll % 100 < HOT_PERCENT {
+            let idx = (roll >> 32) as usize % HOT_TARGETS.len();
+            Request::get(HOT_TARGETS[idx], "chain.example")
+        } else {
+            let article = (roll >> 32) % 10_000;
+            Request::get(&format!("/article/{article}.html"), "chain.example")
+        }
+    }
+}
+
+/// A compressible pseudo-HTML body of exactly `len` bytes, varied by
+/// `seed` so distinct pages have distinct content.
+pub fn html_body(seed: u64, len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len);
+    let mut state = seed;
+    while out.len() < len {
+        let word = splitmix64(&mut state);
+        let para = format!(
+            "<p>Lorem ipsum dolor sit amet {:08x}, consectetur adipiscing \
+             elit. The quick brown fox jumps over the lazy dog.</p>\n",
+            word as u32
+        );
+        out.extend_from_slice(para.as_bytes());
+    }
+    out.truncate(len);
+    out
+}
+
+/// The canonical response for `request` — a pure function of the
+/// target, so the server side of a chain scenario can answer any
+/// request it receives (including ones middleboxes rewrote) without
+/// coordinating with the client-side generator.
+pub fn response_for(request: &Request) -> Response {
+    let target = request.target.as_str();
+    // Body length derives from a target hash: a stable mix of small
+    // (headers-dominated), medium, and large (compression-worthy)
+    // objects.
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in target.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01B3);
+    }
+    let len = match h % 4 {
+        0 => 180 + (h >> 8) % 200,     // small object
+        1 => 1_200 + (h >> 8) % 800,   // typical page
+        2 => 4_000 + (h >> 8) % 2_000, // asset bundle
+        _ => 9_000 + (h >> 8) % 4_000, // large, compression-worthy
+    } as usize;
+    let mut resp = Response::ok(&html_body(h, len));
+    resp.set_header("Cache-Control", "max-age=60");
+    resp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = RequestMix::new(42);
+        let mut b = RequestMix::new(42);
+        for _ in 0..200 {
+            assert_eq!(a.next_request().encode(), b.next_request().encode());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = RequestMix::new(1);
+        let mut b = RequestMix::new(2);
+        let same = (0..50)
+            .filter(|_| a.next_request().target == b.next_request().target)
+            .count();
+        assert!(same < 50, "independent seeds must not track each other");
+    }
+
+    #[test]
+    fn mix_contains_hot_set_and_tail() {
+        let mut mix = RequestMix::new(7);
+        let mut hot = 0usize;
+        let mut tail = 0usize;
+        for _ in 0..1_000 {
+            let req = mix.next_request();
+            if HOT_TARGETS.contains(&req.target.as_str()) {
+                hot += 1;
+            } else {
+                assert!(req.target.starts_with("/article/"));
+                tail += 1;
+            }
+        }
+        // 70/30 split with generous slack.
+        assert!(hot > 550 && tail > 150, "hot={hot} tail={tail}");
+    }
+
+    #[test]
+    fn responses_are_pure_and_sized() {
+        let req = Request::get("/index.html", "chain.example");
+        let a = response_for(&req);
+        let b = response_for(&req);
+        assert_eq!(a, b, "response must be a pure function of the request");
+        assert!(!a.body.is_empty());
+        assert_eq!(a.status, 200);
+        // Distinct targets get distinct bodies.
+        let c = response_for(&Request::get("/assets/app.js", "chain.example"));
+        assert_ne!(a.body, c.body);
+    }
+
+    #[test]
+    fn bodies_are_compressible() {
+        // The compression proxy should find real wins on these.
+        let body = html_body(99, 8_192);
+        assert_eq!(body.len(), 8_192);
+        let compressed = crate::compress::lzss_compress(&body);
+        assert!(
+            compressed.len() < body.len() * 3 / 4,
+            "pseudo-HTML must compress: {} -> {}",
+            body.len(),
+            compressed.len()
+        );
+    }
+}

@@ -8,7 +8,7 @@
 //! the paper's §4.2 "middlebox state poisoning" discussion is about;
 //! the security tests exercise that scenario against this cache.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use mbtls_core::dataplane::FlowDirection;
 use mbtls_core::middlebox::DataProcessor;
@@ -30,6 +30,11 @@ pub struct CacheEntry {
 /// The cache middlebox.
 pub struct WebCache {
     entries: HashMap<String, CacheEntry>,
+    /// Insertion order of `entries` keys, oldest first — the FIFO
+    /// eviction queue. Kept in lockstep with `entries` so eviction is
+    /// deterministic (HashMap iteration order is randomized per
+    /// process and must never pick the victim).
+    insertion_order: VecDeque<String>,
     requests: RequestParser,
     responses: ResponseParser,
     c2s_sniff: Sniffer,
@@ -48,6 +53,7 @@ impl WebCache {
     pub fn new(max_entries: usize) -> Self {
         WebCache {
             entries: HashMap::new(),
+            insertion_order: VecDeque::new(),
             requests: RequestParser::new(),
             responses: ResponseParser::new(),
             c2s_sniff: Sniffer::new(),
@@ -68,10 +74,19 @@ impl WebCache {
     /// where a malicious client injects a response on the
     /// cache↔server hop.
     pub fn store(&mut self, target: &str, response: Response) {
+        // Re-storing an existing key replaces the entry in place and
+        // keeps its original queue position — no eviction needed.
+        if let Some(entry) = self.entries.get_mut(target) {
+            entry.response = response;
+            entry.hits = 0;
+            return;
+        }
         if self.entries.len() >= self.max_entries {
-            // Evict an arbitrary entry (simple bound, not LRU).
-            if let Some(key) = self.entries.keys().next().cloned() {
-                self.entries.remove(&key);
+            // Evict the oldest insertion (deterministic FIFO).
+            while let Some(key) = self.insertion_order.pop_front() {
+                if self.entries.remove(&key).is_some() {
+                    break;
+                }
             }
         }
         self.entries.insert(
@@ -81,6 +96,7 @@ impl WebCache {
                 hits: 0,
             },
         );
+        self.insertion_order.push_back(target.to_string());
     }
 
     /// Number of cached objects.
@@ -220,6 +236,63 @@ mod tests {
         roundtrip(&mut cache, "/2");
         roundtrip(&mut cache, "/3");
         assert!(cache.len() <= 2);
+    }
+
+    #[test]
+    fn eviction_is_fifo() {
+        // Oldest insertion is the victim — never an arbitrary
+        // hash-order pick.
+        let mut cache = WebCache::new(2);
+        roundtrip(&mut cache, "/first");
+        roundtrip(&mut cache, "/second");
+        roundtrip(&mut cache, "/third");
+        assert_eq!(cache.len(), 2);
+        assert!(cache.entry("/first").is_none(), "oldest entry must be evicted");
+        assert!(cache.entry("/second").is_some());
+        assert!(cache.entry("/third").is_some());
+    }
+
+    #[test]
+    fn eviction_survivors_deterministic() {
+        // Regression: eviction used `entries.keys().next()`, whose
+        // order depends on the per-process HashMap hash seed — two
+        // identically-filled caches could keep different entries. The
+        // same fill order must now always yield the same survivor set.
+        let fill = |cache: &mut WebCache| {
+            for target in ["/a", "/b", "/c", "/d", "/e"] {
+                roundtrip(cache, target);
+            }
+        };
+        let survivors = |cache: &WebCache| -> Vec<&str> {
+            ["/a", "/b", "/c", "/d", "/e"]
+                .into_iter()
+                .filter(|t| cache.entry(t).is_some())
+                .collect()
+        };
+        let mut one = WebCache::new(3);
+        let mut two = WebCache::new(3);
+        fill(&mut one);
+        fill(&mut two);
+        assert_eq!(survivors(&one), survivors(&two));
+        assert_eq!(survivors(&one), vec!["/c", "/d", "/e"]);
+    }
+
+    #[test]
+    fn restore_existing_key_does_not_evict() {
+        // Overwriting a cached target keeps the cache full without
+        // pushing out an unrelated entry.
+        let mut cache = WebCache::new(2);
+        cache.store("/a", Response::ok(b"v1"));
+        cache.store("/b", Response::ok(b"v2"));
+        cache.store("/a", Response::ok(b"v3"));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.entry("/a").unwrap().response.body, b"v3");
+        assert!(cache.entry("/b").is_some());
+        // The refreshed key keeps its original (oldest) queue slot.
+        cache.store("/c", Response::ok(b"v4"));
+        assert!(cache.entry("/a").is_none());
+        assert!(cache.entry("/b").is_some());
+        assert!(cache.entry("/c").is_some());
     }
 
     #[test]

@@ -60,6 +60,11 @@ impl IntrusionDetector {
 }
 
 impl DataProcessor for IntrusionDetector {
+    // Deliberately NOT `is_read_only`, even in detect mode: detect
+    // mode forwards traffic unchanged but still needs the plaintext
+    // to scan, and a read-only declaration lets the data plane skip
+    // `process` entirely on aliased hops (tag-verify fast path). An
+    // IDS that sees no bytes detects nothing.
     fn process(&mut self, dir: FlowDirection, data: Vec<u8>) -> Vec<u8> {
         self.bytes_scanned += data.len() as u64;
         let (matcher, dir_name) = match dir {

@@ -17,6 +17,8 @@
 //!   scanner.
 //! * [`filter::ParentalFilter`] — a request-blocking filter (the
 //!   "bypassing filter middleboxes" discussion of §4.2).
+//! * [`chain::ServiceChain`] — Slick-style service-function chains
+//!   composing the above into ordered multi-middlebox paths.
 //!
 //! Each processor is sans-IO and stream-oriented: it receives record
 //! payloads, buffers partial HTTP messages internally, and emits
@@ -25,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod chain;
 pub mod compression;
 pub mod filter;
 pub mod header_proxy;
@@ -32,6 +35,7 @@ pub mod ids;
 pub mod sniff;
 
 pub use cache::WebCache;
+pub use chain::{ChainFunction, ServiceChain};
 pub use compression::{CompressionProxy, DecompressingClient};
 pub use filter::ParentalFilter;
 pub use header_proxy::HeaderInsertionProxy;

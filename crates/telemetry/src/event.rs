@@ -92,6 +92,19 @@ pub enum EventKind {
         /// Sequence number used.
         seq: u64,
     },
+    /// A record arriving on hop `hop` was authenticated (tag-only
+    /// verify) and forwarded unchanged — the read-only middlebox fast
+    /// path over aliased per-hop keys. Distinct from the
+    /// decrypt/encrypt pair so forwarded and resealed records are
+    /// separable in traces.
+    RecordForwardedReadOnly {
+        /// Hop index the record arrived on (0 = client-side hop).
+        hop: u64,
+        /// Plaintext bytes carried (record length minus AEAD framing).
+        bytes: u64,
+        /// Sequence number verified.
+        seq: u64,
+    },
     /// Raw bytes entered the party from the wire.
     BytesIn {
         /// Byte count.
@@ -252,6 +265,7 @@ impl EventKind {
             EventKind::HandshakeComplete => "handshake_complete",
             EventKind::RecordEncrypt { .. } => "record_encrypt",
             EventKind::RecordDecrypt { .. } => "record_decrypt",
+            EventKind::RecordForwardedReadOnly { .. } => "record_forwarded_read_only",
             EventKind::BytesIn { .. } => "bytes_in",
             EventKind::BytesOut { .. } => "bytes_out",
             EventKind::LinkSend { .. } => "link_send",
@@ -291,7 +305,8 @@ impl EventKind {
             | EventKind::SessionHandshakeDone
             | EventKind::SessionTransferDone => vec![],
             EventKind::RecordEncrypt { hop, bytes, seq }
-            | EventKind::RecordDecrypt { hop, bytes, seq } => {
+            | EventKind::RecordDecrypt { hop, bytes, seq }
+            | EventKind::RecordForwardedReadOnly { hop, bytes, seq } => {
                 vec![("hop", hop), ("bytes", bytes), ("seq", seq)]
             }
             EventKind::BytesIn { bytes } | EventKind::BytesOut { bytes } => {

@@ -150,6 +150,9 @@ pub struct HopStats {
     pub encrypts: Counter,
     /// Records decrypted on this hop.
     pub decrypts: Counter,
+    /// Records forwarded unchanged after tag-only verification (the
+    /// read-only middlebox fast path).
+    pub forwards_read_only: Counter,
     /// Plaintext bytes through this hop (both directions).
     pub bytes: Counter,
     /// Distribution of record plaintext sizes on this hop.
@@ -161,6 +164,7 @@ impl Default for HopStats {
         HopStats {
             encrypts: Counter::new(),
             decrypts: Counter::new(),
+            forwards_read_only: Counter::new(),
             bytes: Counter::new(),
             record_sizes: Histogram::byte_sizes(),
         }
@@ -265,6 +269,12 @@ impl TelemetrySink for Aggregates {
             EventKind::RecordDecrypt { hop, bytes, .. } => {
                 let h = self.per_hop.entry(hop).or_default();
                 h.decrypts.inc();
+                h.bytes.add(bytes);
+                h.record_sizes.observe(bytes);
+            }
+            EventKind::RecordForwardedReadOnly { hop, bytes, .. } => {
+                let h = self.per_hop.entry(hop).or_default();
+                h.forwards_read_only.inc();
                 h.bytes.add(bytes);
                 h.record_sizes.observe(bytes);
             }

@@ -190,6 +190,47 @@ impl DirectionState {
         Ok(buf)
     }
 
+    /// Authenticate a record body without decrypting it, returning
+    /// the plaintext length. `body` holds `explicit_nonce ||
+    /// ciphertext || tag` and is left untouched — the record can be
+    /// forwarded on the wire exactly as it arrived. Advances the
+    /// sequence number like [`DirectionState::open_record_in_place`],
+    /// so the two are interchangeable per record.
+    ///
+    /// This is the read-only middlebox fast path: a hop whose inbound
+    /// and outbound keys are identical verifies the tag (GHASH plus
+    /// one AES block) and skips both the CTR decryption and the
+    /// re-encryption.
+    pub fn verify_record(
+        &mut self,
+        content_type: ContentType,
+        body: &[u8],
+    ) -> Result<usize, TlsError> {
+        if body.len() < EXPLICIT_NONCE_LEN + TAG_LEN {
+            return Err(TlsError::Decode("record too short for AEAD"));
+        }
+        let (explicit_part, sealed) = body.split_at(EXPLICIT_NONCE_LEN);
+        let explicit: [u8; EXPLICIT_NONCE_LEN] = explicit_part
+            .first_chunk::<EXPLICIT_NONCE_LEN>()
+            .copied()
+            .ok_or(TlsError::Decode("record too short for AEAD"))?;
+        let plain_len = sealed.len() - TAG_LEN;
+        let (ciphertext, tag) = sealed.split_at(plain_len);
+        let aad = Self::aad(self.seq, content_type, plain_len);
+        self.key.verify(&explicit, &aad, ciphertext, tag)?;
+        self.seq = self.seq.wrapping_add(1);
+        Ok(plain_len)
+    }
+
+    /// Advance the sequence number without protecting a record. A
+    /// read-only forwarder that emits a verified record unchanged must
+    /// keep its (aliased-key) write state in lockstep with the read
+    /// state, so a later fallback to open-and-reseal still seals under
+    /// the sequence number the next hop expects.
+    pub fn advance_seq(&mut self) {
+        self.seq = self.seq.wrapping_add(1);
+    }
+
     /// Unprotect a record body in place and return the plaintext as a
     /// subslice of `body` (which holds `explicit_nonce || ciphertext
     /// || tag` on entry). No allocation; on authentication failure the
@@ -495,6 +536,73 @@ mod tests {
         assert_eq!(
             rx.open_record(ContentType::ApplicationData, &rec.body).unwrap(),
             b"tail"
+        );
+    }
+
+    #[test]
+    fn verify_record_interchangeable_with_open() {
+        let (mut tx, mut rx) = pair();
+        // Verifier and opener must agree record-by-record: verify one,
+        // open the next, with one shared sequence counter.
+        let w1 = tx.seal_record(ContentType::ApplicationData, b"first").unwrap();
+        let w2 = tx.seal_record(ContentType::ApplicationData, b"second!").unwrap();
+        let body1 = &w1[5..];
+        let before = body1.to_vec();
+        assert_eq!(
+            rx.verify_record(ContentType::ApplicationData, body1).unwrap(),
+            5
+        );
+        assert_eq!(body1, before, "verify must leave the record untouched");
+        let mut body2 = w2[5..].to_vec();
+        assert_eq!(
+            rx.open_record_in_place(ContentType::ApplicationData, &mut body2)
+                .unwrap(),
+            b"second!"
+        );
+        assert_eq!(rx.seq(), 2);
+    }
+
+    #[test]
+    fn verify_record_rejects_tamper_replay_and_type_confusion() {
+        let (mut tx, mut rx) = pair();
+        let wire = tx.seal_record(ContentType::ApplicationData, b"payload").unwrap();
+        let body = &wire[5..];
+        // Wrong claimed content type: AAD mismatch.
+        assert!(rx.verify_record(ContentType::Handshake, body).is_err());
+        // Tampered ciphertext.
+        let mut bad = body.to_vec();
+        bad[EXPLICIT_NONCE_LEN] ^= 1;
+        assert!(rx.verify_record(ContentType::ApplicationData, &bad).is_err());
+        // Failed attempts must not advance the sequence number.
+        assert_eq!(rx.seq(), 0);
+        assert!(rx.verify_record(ContentType::ApplicationData, body).is_ok());
+        // Replay: seq advanced, the same record no longer verifies.
+        assert!(rx.verify_record(ContentType::ApplicationData, body).is_err());
+        // Short body.
+        assert!(rx
+            .verify_record(ContentType::ApplicationData, &[0u8; EXPLICIT_NONCE_LEN + TAG_LEN - 1])
+            .is_err());
+    }
+
+    #[test]
+    fn advance_seq_keeps_writer_in_lockstep() {
+        // A writer that skips a record via advance_seq seals the next
+        // record under the sequence number a steadily-advancing reader
+        // expects — the reseal-fallback invariant of the read-only
+        // forward path.
+        let (mut tx, mut rx) = pair();
+        let skipped = tx.seal_record(ContentType::ApplicationData, b"skipped").unwrap();
+        let mut tx2 = DirectionState::new(BulkAlgorithm::Aes256Gcm, &[0x11u8; 32], &[0x22u8; 4], 0)
+            .unwrap();
+        tx2.advance_seq(); // forwarded the first record unchanged
+        let resealed = tx2.seal_record(ContentType::ApplicationData, b"resealed").unwrap();
+        assert_eq!(
+            rx.open_record(ContentType::ApplicationData, &skipped[5..]).unwrap(),
+            b"skipped"
+        );
+        assert_eq!(
+            rx.open_record(ContentType::ApplicationData, &resealed[5..]).unwrap(),
+            b"resealed"
         );
     }
 

@@ -1,17 +1,18 @@
 #!/usr/bin/env bash
 # Bench reporters: the seeded crypto-primitive/record-path benches
 # (BENCH_dataplane.json), the session-host capacity benches
-# (BENCH_scale.json), and the handshake fast-path benches
-# (BENCH_handshake.json), each validated for shape so a
+# (BENCH_scale.json), the handshake fast-path benches
+# (BENCH_handshake.json), and the read-only-forward / service-chain
+# benches (BENCH_chain.json), each validated for shape so a
 # silently-broken reporter fails loudly.
 #
 #   scripts/bench_report.sh           full run; writes BENCH_dataplane.json
 #                                     (~40 s), BENCH_scale.json (hours:
 #                                     the 10k/100k/1M × 1/2/4/8-shard
 #                                     matrix, rewritten after every tier),
-#                                     and BENCH_handshake.json (~10 min)
-#                                     at the repo root — the committed
-#                                     artifacts
+#                                     BENCH_handshake.json (~10 min), and
+#                                     BENCH_chain.json (~1 min) at the
+#                                     repo root — the committed artifacts
 #   scripts/bench_report.sh --smoke   tiny budgets (seconds) writing to
 #                                     target/; used by scripts/check.sh
 #                                     as the gate
@@ -181,4 +182,56 @@ cargo run -q --release -p mbtls-bench --bin handshake_report -- "${ARGS[@]}" --o
 validate "$OUT" verify best_batch_speedup handshake_cpu resumed_over_full \
          storm storm_handshakes_per_s storm_resumed_share determinism identical
 validate_handshake "$OUT"
+echo "OK: wrote $OUT"
+
+# validate_chain <file>: structural checks for BENCH_chain.json plus
+# the regression floors — the read-only forward must beat open+reseal
+# by ≥1.5× (the whole point of the fast path; in practice it is ~an
+# order of magnitude), its steady state must be allocation-free, and
+# two same-seed chain runs must produce bit-identical byte streams.
+# Unlike the throughput-ratio floors elsewhere, these hold even at
+# smoke budgets: skipping a body decrypt wins at any record count,
+# and allocs/determinism are exact, not statistical.
+validate_chain() {
+    local out="$1"
+    if ! command -v python3 > /dev/null; then
+        return 0
+    fi
+    python3 - "$out" <<'PY' || exit 1
+import json, sys
+
+report = json.load(open(sys.argv[1]))
+hops = report["per_hop_mb_s"]
+for key in ("endpoint_seal", "middlebox_open_reseal",
+            "middlebox_read_only_forward", "raw_tag_verify"):
+    assert hops.get(key, 0) > 0, f"per-hop metric {key} missing or zero"
+speedup = report["read_only_speedup"]
+assert speedup >= 1.5, \
+    f"read-only fast path regressed: {speedup}x < 1.5x over open+reseal"
+chains = report["chain_mb_s"]
+for key in ("middleboxes_1", "middleboxes_2", "middleboxes_3",
+            "middleboxes_3_read_only"):
+    assert chains.get(key, 0) > 0, f"chain config {key} missing or zero"
+allocs = report["allocs_per_record_read_only"]
+assert allocs == 0.0, \
+    f"read-only steady state allocates: {allocs} allocs/record"
+assert report["determinism"] == "identical", \
+    "double-run chain determinism verdict is not identical"
+print(f"chain schema OK: read-only {speedup}x over reseal, "
+      f"{allocs} allocs/record, determinism identical")
+PY
+}
+
+# Stage 4: read-only forward fast path + service-function chains.
+OUT="BENCH_chain.json"
+ARGS=()
+if [[ "$SMOKE" == 1 ]]; then
+    OUT="target/BENCH_chain.json"
+    ARGS+=(--smoke)
+fi
+cargo run -q --release -p mbtls-bench --bin chain_report -- "${ARGS[@]}" --out "$OUT" > /dev/null
+validate "$OUT" per_hop_mb_s endpoint_seal middlebox_open_reseal \
+         middlebox_read_only_forward raw_tag_verify read_only_speedup \
+         chain_mb_s allocs_per_record_read_only determinism
+validate_chain "$OUT"
 echo "OK: wrote $OUT"

@@ -62,10 +62,13 @@ pub struct MbClientConfig {
     /// bridge (endpoint) keys for all hops instead of generating fresh
     /// per-hop keys (mbTLS §3.4 key reuse). With aliased keys a
     /// middlebox whose processor declares itself read-only can verify
-    /// tags and forward records unchanged — the fast path. Only enable
-    /// when *every* middlebox on the path is trusted not to modify
-    /// data; a modifying middlebox on aliased keys falls back to
-    /// open/re-seal, which re-protects under the same key.
+    /// tags and forward records unchanged — the fast path. Only
+    /// enable when *every* middlebox on the path leaves application
+    /// data untouched: on aliased keys the data plane permits a
+    /// reseal only when it is byte-identical to the inbound record,
+    /// and errors out (failing the session) on any actual
+    /// modification — re-sealing different plaintext there would
+    /// reuse an AES-GCM nonce the endpoint already spent.
     pub read_only_middleboxes: bool,
     /// Telemetry sink for structured events (None = telemetry off).
     pub telemetry: Option<SharedSink>,
@@ -134,7 +137,10 @@ impl MbClientConfigBuilder {
     }
 
     /// Reuse the bridge keys for every hop so read-only middleboxes
-    /// can forward records without re-encryption (mbTLS §3.4).
+    /// can forward records without re-encryption (mbTLS §3.4). Only
+    /// safe when no middlebox on the path modifies application data:
+    /// a modification on aliased keys is rejected by the middlebox
+    /// data plane (the session errors) rather than re-sealed.
     pub fn read_only_middleboxes(mut self, read_only: bool) -> Self {
         self.cfg.read_only_middleboxes = read_only;
         self
@@ -324,7 +330,7 @@ impl MbClientSession {
     /// data records are decrypted in place (zero-copy fast path);
     /// control records are copied out once and take the slow path.
     fn route_buffered(&mut self, reader: &mut RecordReader) -> Result<(), MbError> {
-        while let Some((ct_byte, body)) = reader.next_record_inplace().map_err(MbError::Tls)? {
+        while let Some((ct_byte, _version, body)) = reader.next_record_inplace().map_err(MbError::Tls)? {
             match ContentType::from_u8(ct_byte) {
                 Some(ContentType::ApplicationData | ContentType::Alert)
                     if self.dataplane.is_some() =>
@@ -625,6 +631,11 @@ impl MbClientSession {
         // is declared read-only, every hop aliases the bridge keys so
         // middleboxes can take the tag-verify-and-forward fast path;
         // otherwise each hop gets fresh keys (change secrecy, P1C).
+        // Aliasing is a declaration with teeth: a middlebox that
+        // actually modifies data on an aliased hop is refused by its
+        // data plane (the session fails) instead of re-sealing —
+        // different plaintext under an already-spent nonce would be
+        // catastrophic GCM nonce reuse.
         let mut hops: Vec<SessionKeys> = Vec::with_capacity(order.len() + 1);
         for _ in 0..order.len() {
             if self.config.read_only_middleboxes {

@@ -398,13 +398,13 @@ impl Middlebox {
     /// everything else is copied out once and takes the phase state
     /// machine.
     fn route_side(&mut self, reader: &mut RecordReader, dir: FlowDirection) -> Result<(), MbError> {
-        while let Some((ct, body)) = reader.next_record_inplace().map_err(MbError::Tls)? {
+        while let Some((ct, version, body)) = reader.next_record_inplace().map_err(MbError::Tls)? {
             let is_data = matches!(
                 ContentType::from_u8(ct),
                 Some(ContentType::ApplicationData | ContentType::Alert)
             );
             if self.phase == MiddleboxPhase::DataPlane && is_data {
-                self.dataplane_feed_in_place(dir, ct, body)?;
+                self.dataplane_feed_in_place(dir, ct, version, body)?;
             } else {
                 match dir {
                     FlowDirection::ClientToServer => self.on_record_from_left(ct, body.to_vec())?,
@@ -773,6 +773,7 @@ impl Middlebox {
         &mut self,
         dir: FlowDirection,
         ct: u8,
+        version: [u8; 2],
         body: &mut [u8],
     ) -> Result<(), MbError> {
         let dp = self
@@ -780,7 +781,7 @@ impl Middlebox {
             .as_mut()
             .ok_or_else(|| MbError::unexpected_state("dataplane active but missing"))?;
         let processor = &mut self.processor;
-        dp.feed_record_in_place(dir, ct, body, |d, plain| {
+        dp.feed_record_in_place(dir, ct, version, body, |d, plain| {
             *plain = processor.process(d, std::mem::take(plain));
         })
     }

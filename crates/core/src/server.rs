@@ -229,7 +229,7 @@ impl MbServerSession {
     /// data records are decrypted in place (zero-copy fast path);
     /// control records are copied out once and take the slow path.
     fn route_buffered(&mut self, reader: &mut RecordReader) -> Result<(), MbError> {
-        while let Some((ct_byte, body)) = reader.next_record_inplace().map_err(MbError::Tls)? {
+        while let Some((ct_byte, _version, body)) = reader.next_record_inplace().map_err(MbError::Tls)? {
             match ContentType::from_u8(ct_byte) {
                 Some(ContentType::ApplicationData | ContentType::Alert)
                     if self.dataplane.is_some() =>

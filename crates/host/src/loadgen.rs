@@ -68,8 +68,13 @@ pub struct LoadConfig {
     /// Clients declare the whole path read-only and reuse the bridge
     /// keys for every hop (`MbClientConfig::read_only_middleboxes`),
     /// so pass-through middleboxes take the tag-verify forward fast
-    /// path. Orthogonal to `service_chain`; a modifying chain on
-    /// aliased keys falls back to open/re-seal per hop.
+    /// path. Combining this with `service_chain` works only because
+    /// the chain's processors leave this workload's raw (non-HTTP)
+    /// bytes untouched, so their undeclared reseals are
+    /// byte-identical; a middlebox that actually modified a record
+    /// on aliased keys would fail its session — the data plane
+    /// refuses to re-seal different plaintext under an already-spent
+    /// AES-GCM nonce.
     pub read_only_path: bool,
 }
 

@@ -76,9 +76,13 @@ fn read_only_path_fast_forwards_at_scale() {
 
 #[test]
 fn modifying_chain_on_aliased_keys_still_reseals() {
-    // Safety of the fallback: a modifying chain (service_chain) under
-    // a read-only key distribution must keep re-sealing — the fast
-    // path is gated on the processor declaration, not just the keys.
+    // The fast path is gated on the processor declaration, not just
+    // the keys: a chain of undeclared (modification-capable)
+    // processors under a read-only key distribution keeps re-sealing.
+    // That reseal only proceeds because these processors leave the
+    // raw workload bytes untouched, making it byte-identical; an
+    // actual modification on aliased keys is rejected by the data
+    // plane as a nonce-reuse hazard (see the dataplane unit tests).
     let config = LoadConfig { read_only_path: true, ..chain_load(4, 55) };
     let (trace, _) = run(config);
     let fast = trace

@@ -273,6 +273,11 @@ pub struct RecordReader {
     pos: usize,
 }
 
+/// One record framed in place by [`RecordReader::next_record_inplace`]:
+/// the content-type byte, the header's version bytes, and the record
+/// body as a mutable view into the reassembly buffer.
+pub type InplaceRecord<'a> = (u8, [u8; 2], &'a mut [u8]);
+
 /// A raw record as pulled off the stream (body still protected if the
 /// sender had activated its cipher).
 #[derive(Debug, Clone)]
@@ -356,12 +361,14 @@ impl RecordReader {
     }
 
     /// Pull the next complete record without copying: returns the
-    /// content-type byte and the record body as a mutable view into
-    /// the reassembly buffer (valid until the next call on this
-    /// reader). The body is handed out mutable so
-    /// [`DirectionState::open_record_in_place`] can decrypt it where
-    /// it already is — the zero-copy receive path.
-    pub fn next_record_inplace(&mut self) -> Result<Option<(u8, &mut [u8])>, TlsError> {
+    /// content-type byte, the header's version bytes, and the record
+    /// body as a mutable view into the reassembly buffer (valid until
+    /// the next call on this reader). The body is handed out mutable
+    /// so [`DirectionState::open_record_in_place`] can decrypt it
+    /// where it already is — the zero-copy receive path. The version
+    /// bytes are surfaced so a forwarder can echo the header exactly
+    /// as it arrived (the reader accepts any 3.x version).
+    pub fn next_record_inplace(&mut self) -> Result<Option<InplaceRecord<'_>>, TlsError> {
         let Some(len) = self.peek_complete()? else {
             return Ok(None);
         };
@@ -375,7 +382,12 @@ impl RecordReader {
         let content_type_byte = *header
             .first()
             .ok_or(TlsError::Decode("record cursor out of range"))?;
-        Ok(Some((content_type_byte, body)))
+        let version = header
+            .get(1..3)
+            .and_then(|v| v.first_chunk::<2>())
+            .copied()
+            .ok_or(TlsError::Decode("record cursor out of range"))?;
+        Ok(Some((content_type_byte, version, body)))
     }
 }
 
@@ -520,8 +532,9 @@ mod tests {
             tx.seal_record_into(ContentType::ApplicationData, &[i; 100], &mut wire)
                 .unwrap();
             reader.feed(&wire);
-            let (ct_byte, body) = reader.next_record_inplace().unwrap().unwrap();
+            let (ct_byte, version, body) = reader.next_record_inplace().unwrap().unwrap();
             assert_eq!(ct_byte, 23);
+            assert_eq!(version, [VERSION_TLS12.0, VERSION_TLS12.1]);
             let plain = rx
                 .open_record_in_place(ContentType::ApplicationData, body)
                 .unwrap();

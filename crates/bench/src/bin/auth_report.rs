@@ -1,0 +1,52 @@
+//! Emit `BENCH_auth.json` — the middlebox-authorization comparison:
+//! delegated credentials (mdTLS-style) vs SGX-attested (paper mbTLS)
+//! vs the naive key-shared baseline, on handshake bytes and CPU.
+//!
+//! Usage:
+//!
+//! ```text
+//! auth_report [--smoke] [--out PATH]
+//! ```
+//!
+//! `--smoke` runs a tiny iteration budget (sub-second) so
+//! `scripts/check.sh` can gate on the harness working end to end;
+//! numbers from a smoke run are noisy and flagged `"smoke": true` in
+//! the JSON. Full runs (`scripts/bench_report.sh`) use enough
+//! handshakes per mode for stable CPU figures; byte counts are exact
+//! and deterministic in both.
+
+use mbtls_bench::auth::bench_auth_modes;
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = String::from("BENCH_auth.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                out_path = args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: auth_report [--smoke] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let iters = if smoke { 2 } else { 48 };
+    let mut report = bench_auth_modes(iters, 0xA07_2026);
+    report.smoke = smoke;
+
+    let json = report.to_json();
+    std::fs::write(&out_path, format!("{json}\n")).unwrap_or_else(|e| {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}

@@ -20,7 +20,9 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use mbtls_bench::chain::{bench_chains, bench_per_hop, ChainReport, SteadyStateReadOnly};
+use mbtls_bench::chain::{
+    bench_amortized, bench_chains, bench_per_hop, ChainReport, SteadyStateReadOnly,
+};
 use mbtls_bench::report::RECORD_LEN;
 
 /// `System` wrapped with an allocation counter. Only counts calls to
@@ -114,6 +116,12 @@ fn main() {
         }
     };
     let (chains, determinism) = bench_chains(exchanges, 0xC8A1_2026);
+    let (amortized, amortized_det) = bench_amortized(smoke, 0xC8A1_2027);
+    let determinism = if determinism == "identical" && amortized_det == "identical" {
+        determinism
+    } else {
+        String::from("diverged")
+    };
     let allocs = measure_read_only_allocs(alloc_records);
 
     let report = ChainReport {
@@ -122,6 +130,7 @@ fn main() {
         per_hop,
         read_only_speedup,
         chains,
+        amortized,
         allocs_per_record_read_only: allocs,
         determinism,
     };

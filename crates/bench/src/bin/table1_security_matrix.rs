@@ -22,6 +22,7 @@ fn main() {
     for report in matrix {
         let protocol = match report.protocol {
             Protocol::MbTls => "mbTLS",
+            Protocol::MbTlsDelegated => "mbTLS delegated",
             Protocol::NaiveKeyShare => "naive key share",
             Protocol::MbTlsNoEnclave => "mbTLS w/o enclave",
         };
@@ -34,8 +35,9 @@ fn main() {
         );
         println!("      defense: {} — {}", report.defense, report.detail);
     }
-    println!("\nevery mbTLS row is blocked; the naive-key-share and no-enclave rows");
-    println!("succeed by design — they are the gaps the paper's mechanisms close.");
+    println!("\nevery mbTLS row (attested or delegated) is blocked; the naive-key-share");
+    println!("and no-enclave rows succeed by design — they are the gaps the paper's");
+    println!("mechanisms close.");
 }
 
 fn truncate(s: &str, n: usize) -> String {

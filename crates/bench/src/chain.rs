@@ -63,6 +63,10 @@ pub struct ChainReport {
     pub read_only_speedup: f64,
     /// End-to-end chain throughputs.
     pub chains: Vec<ChainThroughput>,
+    /// Handshake-amortization rows: large-response size classes and
+    /// session-reuse configurations, all on the full 3-middlebox
+    /// chain, timed *including* handshakes.
+    pub amortized: Vec<ChainThroughput>,
     /// Heap allocations per record through a read-only middlebox at
     /// steady state (counted by the binary's global allocator).
     pub allocs_per_record_read_only: f64,
@@ -88,6 +92,12 @@ impl ChainReport {
         out.push_str("  \"chain_mb_s\": {\n");
         for (i, c) in self.chains.iter().enumerate() {
             let comma = if i + 1 == self.chains.len() { "" } else { "," };
+            out.push_str(&format!("    \"{}\": {:.3}{}\n", c.name, c.mb_per_s, comma));
+        }
+        out.push_str("  },\n");
+        out.push_str("  \"amortized_mb_s\": {\n");
+        for (i, c) in self.amortized.iter().enumerate() {
+            let comma = if i + 1 == self.amortized.len() { "" } else { "," };
             out.push_str(&format!("    \"{}\": {:.3}{}\n", c.name, c.mb_per_s, comma));
         }
         out.push_str("  },\n");
@@ -295,6 +305,95 @@ pub fn run_chain(
     Ok(ChainRunResult { mb_per_s: mb_per_s(app_bytes, t0.elapsed()), digest })
 }
 
+/// Drive `sessions` sequential mbTLS sessions — each freshly
+/// handshaken, each carrying `exchanges_per_session` raw
+/// request/response rounds with a `response_len`-byte response —
+/// through the full Slick chain, timing handshakes *and* data. This
+/// is the amortization probe: the per-hop HTTP rows above exclude
+/// the handshake, which hides how handshake-bound short sessions
+/// are; these rows make the trade visible (bigger responses and
+/// reused sessions both spread the fixed handshake cost over more
+/// application bytes). Raw (non-HTTP) payloads pass through every
+/// chain processor unchanged, so byte counts are exact.
+pub fn run_chain_sized(
+    functions: &[ChainFunction],
+    sessions: usize,
+    exchanges_per_session: usize,
+    response_len: usize,
+    seed: u64,
+) -> Result<ChainRunResult, MbError> {
+    let testbed = Testbed::new(seed);
+    let req = vec![0x42u8; 256];
+    let resp: Vec<u8> = (0..response_len).map(|i| (i % 251) as u8).collect();
+    let mut digest: u64 = 0xCBF2_9CE4_8422_2325;
+    let mut app_bytes = 0usize;
+    let t0 = Instant::now();
+    for s in 0..sessions {
+        let mut rng = CryptoRng::from_seed(seed ^ 0xA3_013 ^ ((s as u64) << 32));
+        let client =
+            MbClientSession::new(Arc::new(testbed.client_config()), "server.example", rng.fork());
+        let server = MbServerSession::new(Arc::new(testbed.server_config()), rng.fork());
+        let middles: Vec<Box<dyn Relay>> = functions
+            .iter()
+            .map(|f| {
+                let cfg = testbed.middlebox_config(&testbed.mbox_code);
+                Box::new(Middlebox::with_processor(cfg, rng.fork(), f.build())) as Box<dyn Relay>
+            })
+            .collect();
+        let mut chain = Chain::new(Box::new(client), middles, Box::new(server));
+        chain.run_handshake()?;
+        for _ in 0..exchanges_per_session {
+            let got = chain.client_to_server(&req, req.len())?;
+            app_bytes += got.len();
+            fnv1a(&mut digest, &got);
+            let got = chain.server_to_client(&resp, resp.len())?;
+            app_bytes += got.len();
+            fnv1a(&mut digest, &got);
+        }
+    }
+    Ok(ChainRunResult { mb_per_s: mb_per_s(app_bytes, t0.elapsed()), digest })
+}
+
+/// The amortization configurations: `(name, sessions,
+/// exchanges_per_session, response_len)`. Size classes hold the
+/// session count fixed and grow the response; the reuse pair moves
+/// the same exchange budget from one-handshake-per-exchange to one
+/// session for all of them.
+pub fn amortization_configs(smoke: bool) -> Vec<(&'static str, usize, usize, usize)> {
+    let ex = if smoke { 2 } else { 16 };
+    let reuse = if smoke { 4 } else { 16 };
+    vec![
+        ("middleboxes_3_resp_4k", 1, ex, 4 * 1024),
+        ("middleboxes_3_resp_64k", 1, ex, 64 * 1024),
+        ("middleboxes_3_resp_256k", 1, ex, 256 * 1024),
+        ("middleboxes_3_reuse_x1", reuse, 1, 64 * 1024),
+        ("middleboxes_3_reuse_x16", 1, reuse, 64 * 1024),
+    ]
+}
+
+/// Measure every amortization configuration on the full Slick chain,
+/// double-running each for the shared determinism verdict.
+pub fn bench_amortized(smoke: bool, seed: u64) -> (Vec<ChainThroughput>, String) {
+    let slick = ServiceChain::slick_web();
+    let mut out = Vec::new();
+    let mut determinism = String::from("identical");
+    for (name, sessions, exchanges, resp) in amortization_configs(smoke) {
+        let a = run_chain_sized(slick.functions(), sessions, exchanges, resp, seed)
+            .expect("amortized chain run completes");
+        let b = run_chain_sized(slick.functions(), sessions, exchanges, resp, seed)
+            .expect("amortized chain run completes");
+        if a.digest != b.digest {
+            determinism = String::from("diverged");
+        }
+        out.push(ChainThroughput {
+            name,
+            middleboxes: slick.len(),
+            mb_per_s: a.mb_per_s.max(b.mb_per_s),
+        });
+    }
+    (out, determinism)
+}
+
 /// The chain configurations the report measures: the Slick web chain
 /// at 1, 2, and 3 middleboxes, plus 3 read-only taps on aliased keys.
 pub fn chain_configs() -> Vec<(&'static str, ServiceChain, bool)> {
@@ -409,22 +508,43 @@ mod tests {
             let get = |n: &str| per_hop.iter().find(|t| t.name == n).unwrap().mb_per_s;
             get("middlebox_read_only_forward") / get("middlebox_open_reseal")
         };
+        let (amortized, amortized_det) = bench_amortized(true, 0xC0DE);
         let report = ChainReport {
             smoke: true,
             record_len: RECORD_LEN,
             per_hop,
             read_only_speedup: speedup,
             chains,
+            amortized,
             allocs_per_record_read_only: 0.0,
             determinism,
         };
+        assert_eq!(amortized_det, "identical");
         let json = report.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"middlebox_read_only_forward\""));
         assert!(json.contains("\"middleboxes_3_read_only\""));
+        assert!(json.contains("\"middleboxes_3_resp_256k\""));
+        assert!(json.contains("\"middleboxes_3_reuse_x16\""));
         assert!(json.contains("\"determinism\": \"identical\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(!json.contains(",\n  }") && !json.contains(",\n}"));
+    }
+
+    #[test]
+    fn session_reuse_amortizes_handshakes() {
+        // Same exchange budget, same bytes: one handshake for all
+        // exchanges must beat one handshake per exchange — the floor
+        // is structural, not statistical.
+        let slick = ServiceChain::slick_web();
+        let per_exchange = run_chain_sized(slick.functions(), 3, 1, 16 * 1024, 7).expect("run");
+        let reused = run_chain_sized(slick.functions(), 1, 3, 16 * 1024, 7).expect("run");
+        assert!(
+            reused.mb_per_s > per_exchange.mb_per_s,
+            "reuse {} !> per-exchange {}",
+            reused.mb_per_s,
+            per_exchange.mb_per_s
+        );
     }
 
     #[test]

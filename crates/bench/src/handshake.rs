@@ -304,8 +304,9 @@ pub fn storm_load(sessions: usize, seed: u64, storm: bool) -> LoadConfig {
         // longer honors and degrades to a full handshake.
         stale_every: if storm { 16 } else { 0 },
         defer_verify: true,
-        service_chain: false,
+        chain_mix: mbtls_host::ChainMix::PassThrough,
         read_only_path: false,
+        auth_mode: mbtls_core::MiddleboxAuthMode::SgxAttested,
     }
 }
 

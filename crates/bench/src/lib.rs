@@ -6,6 +6,7 @@
 //! DESIGN.md §5 for the experiment index and EXPERIMENTS.md for
 //! paper-vs-measured results.
 
+pub mod auth;
 pub mod chain;
 pub mod fig5;
 pub mod fig6;

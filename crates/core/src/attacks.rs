@@ -14,14 +14,19 @@ use std::sync::Arc;
 use mbtls_crypto::ct;
 use mbtls_crypto::rng::CryptoRng;
 use mbtls_pki::cert::{CertificateAuthority, CertifiedKey};
+use mbtls_pki::delegation::{
+    CredentialError, CredentialIssuer, CredentialVerifier, DelegatedDirection, DelegatedKeyPair,
+    DelegatedRole,
+};
 use mbtls_pki::{KeyUsage, TrustStore};
 use mbtls_sgx::{AttestationService, CodeIdentity, Enclave, HostInspector, Platform, Quote};
-use mbtls_tls::config::{AttestationPolicy, Attestor};
+use mbtls_tls::config::{AttestationPolicy, Attestor, DelegationPolicy};
 use mbtls_tls::record::{ContentType, RecordReader};
 use mbtls_tls::suites::CipherSuite;
 
 use crate::baseline::NaiveKeyShare;
 use crate::client::{MbClientConfig, MbClientSession};
+use crate::delegation::EndpointCredentialProvider;
 use crate::dataplane::{fresh_hop_keys, EndpointDataPlane, FlowDirection, MiddleboxDataPlane};
 use crate::driver::{Chain, Relay};
 use crate::middlebox::{Middlebox, MiddleboxConfig};
@@ -33,6 +38,9 @@ use crate::MbError;
 pub enum Protocol {
     /// Full mbTLS with enclaves.
     MbTls,
+    /// mbTLS with delegated middlebox credentials instead of SGX
+    /// attestation (mdTLS-style, DESIGN.md §6j).
+    MbTlsDelegated,
     /// The naive key-sharing strawman (Fig. 1).
     NaiveKeyShare,
     /// An mbTLS middlebox deployed *without* an enclave.
@@ -129,6 +137,13 @@ pub struct Testbed {
     pub platform: Platform,
     /// The published middlebox code identity.
     pub mbox_code: CodeIdentity,
+    /// The server endpoint's signing seed — lets the delegation
+    /// subsystem stand up a [`CredentialIssuer`] over the same
+    /// identity as `server_key`.
+    pub server_seed: [u8; 32],
+    /// The delegated middlebox keypair (delegated-auth mode). Drawn
+    /// from a side RNG so the main stream is unchanged.
+    pub delegated_mbox: DelegatedKeyPair,
 }
 
 /// Quote provider backed by a platform attestation key.
@@ -151,15 +166,25 @@ impl Testbed {
         let mut rng = CryptoRng::from_seed(seed);
         let mut server_ca = CertificateAuthority::new_root("Web Root CA", 0, 10_000_000, &mut rng);
         let mut mbox_ca = CertificateAuthority::new_root("MSP Root CA", 0, 10_000_000, &mut rng);
-        let server_key = CertifiedKey::issue(
-            &mut server_ca,
+        // The server key is built from an explicit seed (one RNG draw,
+        // exactly like `CertifiedKey::issue` makes internally, so the
+        // stream every downstream fixture sees is unchanged): the
+        // delegation subsystem needs the endpoint seed to stand up a
+        // `CredentialIssuer` over the same identity.
+        let server_seed: [u8; 32] = rng.gen_array();
+        let server_signing = mbtls_crypto::ed25519::SigningKey::from_seed(&server_seed);
+        let server_cert = server_ca.issue(
             "server.example",
             &[],
+            server_signing.verifying_key(),
             0,
             10_000_000,
             KeyUsage::Endpoint,
-            &mut rng,
         );
+        let server_key = CertifiedKey {
+            key: server_signing,
+            chain: vec![server_cert],
+        };
         let mbox_key = CertifiedKey::issue(
             &mut mbox_ca,
             "proxy.msp.example",
@@ -179,6 +204,11 @@ impl Testbed {
         let platform = Platform::new(pak.clone(), &mut rng);
         let mbox_code = CodeIdentity::new("mbtls-proxy", "1.0", b"strong-ciphers-only");
 
+        // Side RNG: keeps the main stream (and thus every artifact
+        // digest derived from pre-existing fixtures) unchanged.
+        let mut side_rng = CryptoRng::from_seed(seed ^ 0xDE1E_6A7E_D00D);
+        let delegated_mbox = DelegatedKeyPair::generate(&mut side_rng);
+
         Testbed {
             attestation_root: svc.root_verifying_key(),
             rng,
@@ -189,6 +219,8 @@ impl Testbed {
             pak,
             platform,
             mbox_code,
+            server_seed,
+            delegated_mbox,
         }
     }
 
@@ -224,6 +256,79 @@ impl Testbed {
             }))
             .build()
             .expect("valid testbed middlebox config") // lint:allow(panic-freedom) -- builder sees only hardcoded testbed literals; cannot fail
+    }
+
+    /// A [`CredentialIssuer`] over the server endpoint identity.
+    pub fn credential_issuer(&self) -> CredentialIssuer {
+        CredentialIssuer::new(
+            self.server_seed,
+            "server.example",
+            self.server_key.chain.clone(),
+        )
+    }
+
+    /// The delegating endpoint's certificate chain — public material
+    /// (it is sent in the clear in every handshake), exposed through
+    /// an accessor so verifier call sites do not route through the
+    /// private-key binding.
+    pub fn server_issuer_chain(&self) -> &[mbtls_pki::Certificate] {
+        &self.server_key.chain
+    }
+
+    /// The delegation policy endpoints verify credentials under:
+    /// anchored to the server CA, issued by the server endpoint.
+    pub fn delegation_policy(&self) -> DelegationPolicy {
+        DelegationPolicy {
+            trust_store: self.server_trust.clone(),
+            issuer: "server.example".to_string(),
+            required_role: None,
+        }
+    }
+
+    /// The provider a delegated middlebox presents credentials from.
+    pub fn credential_provider(&self) -> Arc<dyn mbtls_tls::config::CredentialProvider> {
+        EndpointCredentialProvider::new(
+            self.credential_issuer(),
+            "proxy.msp.example",
+            self.delegated_mbox.verifying_key(),
+            0,
+            10_000_000,
+            DelegatedRole::ReadWrite,
+            DelegatedDirection::Both,
+        )
+        .shared()
+    }
+
+    /// Client config requiring delegated credentials from middleboxes
+    /// (instead of attestation). Unlike the attested helpers this
+    /// propagates the builder result: the delegation testbed helpers
+    /// are also exercised from non-test crates, so they stay within
+    /// the panic-freedom budget.
+    pub fn client_config_delegated(&self) -> Result<MbClientConfig, MbError> {
+        MbClientConfig::builder(self.server_trust.clone(), self.middlebox_trust.clone())
+            .middlebox_delegation(self.delegation_policy())
+            .build()
+    }
+
+    /// Server config requiring delegated credentials from middleboxes.
+    pub fn server_config_delegated(&self) -> Result<MbServerConfig, MbError> {
+        let tls = mbtls_tls::config::ServerConfig::new(self.server_key.clone(), [0x7E; 32]);
+        MbServerConfig::builder(tls, self.middlebox_trust.clone())
+            .middlebox_delegation(self.delegation_policy())
+            .build()
+    }
+
+    /// Middlebox config presenting delegated credentials: its TLS
+    /// identity is the delegated key with an *empty* chain — the
+    /// credential is its identity.
+    pub fn middlebox_config_delegated(&self) -> Result<MiddleboxConfig, MbError> {
+        let identity = Arc::new(CertifiedKey {
+            key: self.delegated_mbox.signing_key(),
+            chain: vec![],
+        });
+        MiddleboxConfig::builder("proxy.msp.example", identity)
+            .credential_provider(self.credential_provider())
+            .build()
     }
 }
 
@@ -799,7 +904,172 @@ pub fn attack_forward_secrecy() -> Result<AttackReport, MbError> {
     })
 }
 
-/// Run the complete Table 1 matrix.
+// ---------------------------------------------------------------
+// Delegated-credential attacks (mdTLS-style auth mode, §6j).
+// ---------------------------------------------------------------
+
+/// The verifier a delegated-mode endpoint runs: bound to the
+/// testbed's trust anchors, `now`, and this session's nonce.
+fn delegated_verifier<'a>(
+    tb: &'a Testbed,
+    now: u64,
+    session_nonce: [u8; 32],
+) -> CredentialVerifier<'a> {
+    CredentialVerifier {
+        trust: &tb.server_trust,
+        expected_issuer: "server.example",
+        now,
+        session_nonce,
+        required_role: None,
+    }
+}
+
+/// P3B (delegated): a credential whose validity window has lapsed is
+/// presented in a new handshake — revocation-by-expiry must refuse
+/// it.
+pub fn attack_expired_credential() -> Result<AttackReport, MbError> {
+    let tb = Testbed::new(0xD1);
+    let nonce = [0x21u8; 32];
+    let cred = tb.credential_issuer().issue(
+        "proxy.msp.example",
+        tb.delegated_mbox.verifying_key(),
+        0,
+        1_000,
+        DelegatedRole::ReadWrite,
+        DelegatedDirection::Both,
+        nonce,
+    );
+    // The endpoint verifies long after not_after.
+    let verdict = delegated_verifier(&tb, 2_000, nonce).verify(tb.server_issuer_chain(), &cred);
+    Ok(AttackReport {
+        threat: "Expired delegated credential presented by MS",
+        property: "P3B",
+        defense: "Credential validity window (revocation by expiry)",
+        protocol: Protocol::MbTlsDelegated,
+        blocked: verdict == Err(CredentialError::Expired),
+        detail: match &verdict {
+            Ok(()) => "expired credential unexpectedly verified".into(),
+            Err(e) => format!("verifier refused: {e}"),
+        },
+    })
+}
+
+/// P3B (delegated): an attacker swaps its own key into a captured
+/// credential — the endpoint signature must break.
+pub fn attack_wrong_key_credential() -> Result<AttackReport, MbError> {
+    let tb = Testbed::new(0xD2);
+    let nonce = [0x22u8; 32];
+    let mut cred = tb.credential_issuer().issue(
+        "proxy.msp.example",
+        tb.delegated_mbox.verifying_key(),
+        0,
+        10_000_000,
+        DelegatedRole::ReadWrite,
+        DelegatedDirection::Both,
+        nonce,
+    );
+    // The attacker substitutes a key it controls.
+    let mut attacker_rng = CryptoRng::from_seed(0xD2D2);
+    cred.middlebox_key = DelegatedKeyPair::generate(&mut attacker_rng).verifying_key();
+    let verdict = delegated_verifier(&tb, 500, nonce).verify(tb.server_issuer_chain(), &cred);
+    Ok(AttackReport {
+        threat: "Credential altered to name an attacker-controlled key",
+        property: "P3B",
+        defense: "Ed25519 signature over the credential transcript",
+        protocol: Protocol::MbTlsDelegated,
+        blocked: verdict == Err(CredentialError::BadSignature),
+        detail: match &verdict {
+            Ok(()) => "tampered credential unexpectedly verified".into(),
+            Err(e) => format!("verifier refused: {e}"),
+        },
+    })
+}
+
+/// P3B (delegated, freshness): a credential minted for one session is
+/// replayed into another — the transcript-bound session nonce must
+/// mismatch.
+pub fn attack_credential_replay() -> Result<AttackReport, MbError> {
+    let tb = Testbed::new(0xD3);
+    // Credential bound to session #1's nonce.
+    let old_nonce = [0x31u8; 32];
+    let cred = tb.credential_issuer().issue(
+        "proxy.msp.example",
+        tb.delegated_mbox.verifying_key(),
+        0,
+        10_000_000,
+        DelegatedRole::ReadWrite,
+        DelegatedDirection::Both,
+        old_nonce,
+    );
+    // The verifier sits in session #2.
+    let new_nonce = [0x32u8; 32];
+    let verdict = delegated_verifier(&tb, 500, new_nonce).verify(tb.server_issuer_chain(), &cred);
+    Ok(AttackReport {
+        threat: "Delegated credential replayed across sessions",
+        property: "P3B",
+        defense: "Transcript-bound session nonce in the credential",
+        protocol: Protocol::MbTlsDelegated,
+        blocked: verdict == Err(CredentialError::SessionMismatch),
+        detail: match &verdict {
+            Ok(()) => "replayed credential unexpectedly verified".into(),
+            Err(e) => format!("verifier refused: {e}"),
+        },
+    })
+}
+
+/// A rogue endpoint's delegation apparatus: a credential issuer
+/// certified by a CA outside the testbed trust store (claiming the
+/// honest endpoint's name) and the middlebox keypair it delegates to.
+fn rogue_delegation() -> (CredentialIssuer, DelegatedKeyPair) {
+    let mut rng = CryptoRng::from_seed(0xD4D4);
+    let mut ca = CertificateAuthority::new_root("Rogue Root", 0, 10_000_000, &mut rng);
+    let seed: [u8; 32] = rng.gen_array();
+    let signing = mbtls_crypto::ed25519::SigningKey::from_seed(&seed);
+    let cert = ca.issue(
+        "server.example", // even claiming the right name
+        &[],
+        signing.verifying_key(),
+        0,
+        10_000_000,
+        KeyUsage::Endpoint,
+    );
+    let issuer = CredentialIssuer::new(seed, "server.example", vec![cert]);
+    (issuer, DelegatedKeyPair::generate(&mut rng))
+}
+
+/// P3A (delegated): a rogue endpoint — certified by a CA the client
+/// does not trust — delegates to its own middlebox and substitutes it
+/// onto the path. The issuer-chain walk must refuse the anchor.
+pub fn attack_middlebox_substitution() -> Result<AttackReport, MbError> {
+    let tb = Testbed::new(0xD4);
+    let (rogue_issuer, rogue_mbox) = rogue_delegation();
+    let nonce = [0x41u8; 32];
+    let cred = rogue_issuer.issue(
+        "proxy.msp.example",
+        rogue_mbox.verifying_key(),
+        0,
+        10_000_000,
+        DelegatedRole::ReadWrite,
+        DelegatedDirection::Both,
+        nonce,
+    );
+    let verdict =
+        delegated_verifier(&tb, 500, nonce).verify(rogue_issuer.issuer_chain(), &cred);
+    Ok(AttackReport {
+        threat: "MS substituted under a rogue delegating endpoint",
+        property: "P3A",
+        defense: "Issuer-chain anchoring to trusted roots",
+        protocol: Protocol::MbTlsDelegated,
+        blocked: matches!(verdict, Err(CredentialError::Chain(_))),
+        detail: match &verdict {
+            Ok(()) => "rogue delegation unexpectedly verified".into(),
+            Err(e) => format!("verifier refused: {e}"),
+        },
+    })
+}
+
+/// Run the complete Table 1 matrix (the paper's 16 rows plus the four
+/// delegated-credential rows from DESIGN.md §6j).
 pub fn full_matrix() -> Result<Vec<AttackReport>, MbError> {
     Ok(vec![
         attack_wire_eavesdrop()?,
@@ -818,5 +1088,9 @@ pub fn full_matrix() -> Result<Vec<AttackReport>, MbError> {
         attack_path_skip(false)?,
         attack_path_skip(true)?,
         attack_path_reorder()?,
+        attack_expired_credential()?,
+        attack_wrong_key_credential()?,
+        attack_credential_replay()?,
+        attack_middlebox_substitution()?,
     ])
 }

@@ -13,7 +13,7 @@ use std::sync::Arc;
 use mbtls_crypto::rng::CryptoRng;
 use mbtls_pki::{KeyUsage, TrustStore};
 use mbtls_telemetry::{EventKind, Party, SharedSink};
-use mbtls_tls::config::{AttestationPolicy, ClientConfig};
+use mbtls_tls::config::{AttestationPolicy, ClientConfig, DelegationPolicy};
 use mbtls_tls::messages::{extension_type, Extension};
 use mbtls_tls::record::{frame_plaintext, ContentType, RecordReader};
 use mbtls_tls::session::SessionKeys;
@@ -50,6 +50,12 @@ pub struct MbClientConfig {
     /// Attestation policy middleboxes must satisfy (None = attestation
     /// not required — e.g. middleboxes on trusted in-house hardware).
     pub middlebox_attestation: Option<AttestationPolicy>,
+    /// Delegated-credential policy middleboxes must satisfy (the
+    /// mdTLS-style alternative to attestation, DESIGN.md §6j). When
+    /// set, middleboxes present an endpoint-issued session-bound
+    /// credential instead of a certificate chain; mutually exclusive
+    /// with `middlebox_attestation`.
+    pub middlebox_delegation: Option<DelegationPolicy>,
     /// Approval policy applied after verification.
     pub approval: ApprovalPolicy,
     /// Names of middleboxes known a priori (sent in the
@@ -81,6 +87,7 @@ impl MbClientConfig {
             tls: ClientConfig::new(server_trust),
             middlebox_trust,
             middlebox_attestation: None,
+            middlebox_delegation: None,
             approval: ApprovalPolicy::AllVerified,
             preconfigured: Vec::new(),
             mbtls_enabled: true,
@@ -115,6 +122,14 @@ impl MbClientConfigBuilder {
     /// Require middleboxes to satisfy this attestation policy.
     pub fn middlebox_attestation(mut self, policy: AttestationPolicy) -> Self {
         self.cfg.middlebox_attestation = Some(policy);
+        self
+    }
+
+    /// Require middleboxes to present a delegated credential under
+    /// this policy instead of a certificate chain (mutually exclusive
+    /// with [`MbClientConfigBuilder::middlebox_attestation`]).
+    pub fn middlebox_delegation(mut self, policy: DelegationPolicy) -> Self {
+        self.cfg.middlebox_delegation = Some(policy);
         self
     }
 
@@ -156,6 +171,11 @@ impl MbClientConfigBuilder {
     /// and empty allow-lists (use [`ApprovalPolicy::DenyAll`] to
     /// refuse every middlebox explicitly).
     pub fn build(self) -> Result<MbClientConfig, MbError> {
+        if self.cfg.middlebox_attestation.is_some() && self.cfg.middlebox_delegation.is_some() {
+            return Err(MbError::Config(
+                "middlebox attestation and delegation are mutually exclusive auth modes".into(),
+            ));
+        }
         for (i, name) in self.cfg.preconfigured.iter().enumerate() {
             if name.is_empty() {
                 return Err(MbError::Config("preconfigured middlebox name is empty".into()));
@@ -194,6 +214,10 @@ struct Secondary {
     /// Subject awaiting a deferred chain-signature verdict
     /// (`defer_verify`); approval completes on resolution.
     pending_subject: Option<String>,
+    /// Signature checks this secondary routed through the driver's
+    /// batch seam (0 = all checks discharged inline at the TLS
+    /// layer). Telemetry only.
+    deferred_checks: u64,
 }
 
 /// Information about a middlebox that joined (or tried to).
@@ -394,6 +418,14 @@ impl MbClientSession {
             // `verify_and_approve`.
             sec_cfg.danger_disable_cert_verify = true;
             sec_cfg.attestation_policy = self.config.middlebox_attestation.clone();
+            // Delegated mode: the TLS layer verifies the credential
+            // (and its issuer chain) itself and sources the peer key
+            // from it; under `defer_verify` those checks surface via
+            // `take_pending_verify` and are routed to the driver.
+            sec_cfg.delegation_policy = self.config.middlebox_delegation.clone();
+            if self.config.middlebox_delegation.is_some() {
+                sec_cfg.defer_verify = self.config.tls.defer_verify;
+            }
             sec_cfg.enable_tickets = self.config.tls.enable_tickets;
             let conn = ClientConnection::with_reused_hello(
                 Arc::new(sec_cfg),
@@ -408,6 +440,7 @@ impl MbClientSession {
                     approved: false,
                     rejected: false,
                     pending_subject: None,
+                    deferred_checks: 0,
                 },
             );
             self.emit(EventKind::MiddleboxAnnouncement {
@@ -426,7 +459,9 @@ impl MbClientSession {
             // A failed secondary demotes the middlebox to a relay; the
             // session as a whole survives.
             sec.rejected = true;
-            let _ = e;
+            if matches!(e, TlsError::Credential(_)) {
+                self.emit(EventKind::CredentialRejected { subchannel: id as u64 });
+            }
         }
         Ok(())
     }
@@ -448,6 +483,20 @@ impl MbClientSession {
         if let Some(checks) = self.primary.take_pending_verify() {
             self.pending_verifies.push(PendingVerify { token: 0, checks });
         }
+
+        // Surface deferred checks raised *inside* secondary
+        // connections (delegated-credential mode under
+        // `defer_verify`): the connection withholds `is_established`
+        // until the driver resolves them, so these must reach the
+        // same batch seam as the primary's.
+        let mut sec_pending = Vec::new();
+        for (&id, sec) in self.secondaries.iter_mut() {
+            if let Some(checks) = sec.conn.take_pending_verify() {
+                sec.deferred_checks = checks.len() as u64;
+                sec_pending.push(PendingVerify { token: 1 + u32::from(id), checks });
+            }
+        }
+        self.pending_verifies.extend(sec_pending);
 
         // Verification/approval for newly established secondaries.
         let mut to_reject = Vec::new();
@@ -511,6 +560,33 @@ impl MbClientSession {
     /// batch.
     fn screen_middlebox(&mut self, id: u8) -> Result<(String, Vec<SignatureCheck>), MbError> {
         let sec = &self.secondaries[&id];
+        if self.config.middlebox_delegation.is_some() {
+            // Delegated mode: the TLS layer already verified the
+            // credential (window, session binding, issuer chain,
+            // signature) against the policy and keyed the handshake
+            // off `credential.middlebox_key` — an established
+            // connection implies a valid credential. Only the
+            // approval policy remains, applied to the credential
+            // subject instead of a certificate subject.
+            let cred = sec.conn.peer_credential().ok_or_else(|| {
+                MbError::unexpected_state("delegated middlebox presented no credential")
+            })?;
+            let subject = cred.subject.clone();
+            let approved = match &self.config.approval {
+                ApprovalPolicy::AllVerified => true,
+                ApprovalPolicy::AllowList(names) => names.iter().any(|n| n == &subject),
+                ApprovalPolicy::DenyAll => false,
+            };
+            if !approved {
+                self.emit(EventKind::CredentialRejected { subchannel: id as u64 });
+                return Err(MbError::MiddleboxRejected(subject));
+            }
+            self.emit(EventKind::CredentialVerified {
+                subchannel: id as u64,
+                checks: sec.deferred_checks,
+            });
+            return Ok((subject, Vec::new()));
+        }
         let chain = sec.conn.peer_certificates();
         if chain.is_empty() {
             return Err(MbError::unexpected_state("middlebox sent no certificate"));
@@ -575,7 +651,21 @@ impl MbClientSession {
                     });
                 }
                 (Some(_), false) => self.reject(id),
-                (None, _) => {}
+                (None, valid) => {
+                    // No screening subject outstanding: the deferred
+                    // group came from inside the secondary connection
+                    // itself (delegated-credential checks under
+                    // `defer_verify`) — forward the verdict there.
+                    if let Some(sec) = self.secondaries.get_mut(&id) {
+                        sec.conn.resolve_verify(valid);
+                        if !valid {
+                            self.emit(EventKind::CredentialRejected {
+                                subchannel: id as u64,
+                            });
+                            self.reject(id);
+                        }
+                    }
+                }
             }
         }
         self.pump();
@@ -789,6 +879,7 @@ fn clone_client_config(c: &ClientConfig) -> ClientConfig {
         current_time: c.current_time,
         extra_extensions: c.extra_extensions.clone(),
         attestation_policy: c.attestation_policy.clone(),
+        delegation_policy: c.delegation_policy.clone(),
         enable_tickets: c.enable_tickets,
         enable_false_start: c.enable_false_start,
         danger_disable_cert_verify: c.danger_disable_cert_verify,

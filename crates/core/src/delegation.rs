@@ -1,0 +1,146 @@
+//! Glue between endpoint identities and the TLS layer's
+//! [`CredentialProvider`] seam (mdTLS-style delegated middlebox
+//! authorization, DESIGN.md §6j).
+//!
+//! The TLS server half of a delegated middlebox calls
+//! [`CredentialProvider::credential`] once per handshake with that
+//! handshake's transcript binding; this module's provider answers by
+//! having the delegating endpoint's [`CredentialIssuer`] sign a
+//! short-lived credential whose session nonce is the binding's first
+//! 32 bytes — making every credential single-session and replay
+//! evident.
+
+use std::sync::Arc;
+
+use mbtls_crypto::ed25519::VerifyingKey;
+use mbtls_pki::cert::Certificate;
+use mbtls_pki::delegation::{
+    CredentialIssuer, DelegatedCredential, DelegatedDirection, DelegatedRole,
+};
+use mbtls_telemetry::{EventKind, Party, SharedSink};
+use mbtls_tls::config::CredentialProvider;
+
+/// A [`CredentialProvider`] backed by a delegating endpoint's
+/// [`CredentialIssuer`]: issues one fresh, session-bound credential
+/// per handshake for a fixed middlebox key.
+pub struct EndpointCredentialProvider {
+    issuer: CredentialIssuer,
+    middlebox_key: VerifyingKey,
+    subject: String,
+    not_before: u64,
+    not_after: u64,
+    role: DelegatedRole,
+    direction: DelegatedDirection,
+    telemetry: Option<(SharedSink, Party)>,
+}
+
+impl EndpointCredentialProvider {
+    /// Provider issuing credentials for `subject` / `middlebox_key`,
+    /// valid in `[not_before, not_after)`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        issuer: CredentialIssuer,
+        subject: impl Into<String>,
+        middlebox_key: VerifyingKey,
+        not_before: u64,
+        not_after: u64,
+        role: DelegatedRole,
+        direction: DelegatedDirection,
+    ) -> Self {
+        EndpointCredentialProvider {
+            issuer,
+            middlebox_key,
+            subject: subject.into(),
+            not_before,
+            not_after,
+            role,
+            direction,
+            telemetry: None,
+        }
+    }
+
+    /// Emit a [`EventKind::CredentialIssued`] event per issuance,
+    /// attributed to `party` (the delegating endpoint).
+    pub fn with_telemetry(mut self, sink: SharedSink, party: Party) -> Self {
+        self.telemetry = Some((sink, party));
+        self
+    }
+
+    /// Wrap in the `Arc<dyn CredentialProvider>` the TLS configs take.
+    pub fn shared(self) -> Arc<dyn CredentialProvider> {
+        Arc::new(self)
+    }
+}
+
+impl CredentialProvider for EndpointCredentialProvider {
+    fn credential(&self, session_binding: [u8; 64]) -> DelegatedCredential {
+        let mut nonce = [0u8; 32];
+        nonce.copy_from_slice(&session_binding[..32]);
+        let cred = self.issuer.issue(
+            &self.subject,
+            self.middlebox_key,
+            self.not_before,
+            self.not_after,
+            self.role,
+            self.direction,
+            nonce,
+        );
+        if let Some((sink, party)) = &self.telemetry {
+            sink.emit(
+                *party,
+                EventKind::CredentialIssued {
+                    bytes: cred.encode().len() as u64,
+                    not_after: cred.not_after,
+                },
+            );
+        }
+        cred
+    }
+
+    fn issuer_chain(&self) -> Vec<Certificate> {
+        self.issuer.issuer_chain().to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbtls_crypto::ed25519::SigningKey;
+    use mbtls_crypto::rng::CryptoRng;
+    use mbtls_pki::cert::CertificateAuthority;
+    use mbtls_pki::delegation::DelegatedKeyPair;
+    use mbtls_pki::KeyUsage;
+    use mbtls_telemetry::Recorder;
+
+    #[test]
+    fn provider_binds_nonce_and_emits_issuance() {
+        let mut rng = CryptoRng::from_seed(0xD1);
+        let mut ca = CertificateAuthority::new_root("Root", 0, 1_000_000, &mut rng);
+        let seed: [u8; 32] = rng.gen_array();
+        let key = SigningKey::from_seed(&seed);
+        let cert = ca.issue("server.example", &[], key.verifying_key(), 0, 1_000_000, KeyUsage::Endpoint);
+        let mbox = DelegatedKeyPair::generate(&mut rng);
+        let recorder = Recorder::new();
+        let provider = EndpointCredentialProvider::new(
+            CredentialIssuer::new(seed, "server.example", vec![cert]),
+            "proxy.msp.example",
+            mbox.verifying_key(),
+            0,
+            1_000,
+            DelegatedRole::ReadOnly,
+            DelegatedDirection::Both,
+        )
+        .with_telemetry(recorder.sink(), Party::Server);
+
+        let mut binding = [0u8; 64];
+        binding[..32].copy_from_slice(&[0x5Au8; 32]);
+        let cred = provider.credential(binding);
+        assert_eq!(cred.session_nonce, [0x5Au8; 32]);
+        assert_eq!(cred.subject, "proxy.msp.example");
+        assert_eq!(provider.issuer_chain().len(), 1);
+
+        let events = recorder.snapshot();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind.name(), "credential_issued");
+    }
+}

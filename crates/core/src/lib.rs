@@ -50,6 +50,7 @@ pub mod attacks;
 pub mod baseline;
 pub mod client;
 pub mod dataplane;
+pub mod delegation;
 pub mod driver;
 pub mod messages;
 pub mod middlebox;
@@ -57,11 +58,40 @@ pub mod server;
 
 pub use client::{MbClientConfig, MbClientConfigBuilder, MbClientSession};
 pub use dataplane::HopKeys;
+pub use delegation::EndpointCredentialProvider;
 pub use driver::{Chain, ChainLinks, Endpoint, NetChain, Relay, SessionTiming};
 pub use middlebox::{
     DataProcessor, ForwardProcessor, Middlebox, MiddleboxConfig, MiddleboxConfigBuilder,
 };
 pub use server::{MbServerConfig, MbServerConfigBuilder, MbServerSession};
+
+/// How an endpoint authenticates the middleboxes it admits to a
+/// session — the axis the security matrix and `BENCH_auth.json`
+/// compare head to head.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MiddleboxAuthMode {
+    /// Paper mbTLS: certificate chain for operator identity plus an
+    /// SGX quote over the transcript for code identity.
+    SgxAttested,
+    /// mdTLS-style delegation: the endpoint issues a short-lived,
+    /// session-bound credential naming the middlebox verifying key;
+    /// the middlebox presents no certificate chain of its own.
+    Delegated,
+    /// The naive baseline: endpoints hand the session key to every
+    /// middlebox; no per-middlebox identity at all.
+    KeyShared,
+}
+
+impl MiddleboxAuthMode {
+    /// Stable label used in benchmark artifacts and telemetry.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MiddleboxAuthMode::SgxAttested => "sgx_attested",
+            MiddleboxAuthMode::Delegated => "delegated",
+            MiddleboxAuthMode::KeyShared => "key_shared",
+        }
+    }
+}
 
 /// How an mbTLS control message (or the control flow around it)
 /// violated the protocol.

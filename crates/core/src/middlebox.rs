@@ -29,7 +29,7 @@ use mbtls_crypto::rng::CryptoRng;
 use mbtls_pki::cert::CertifiedKey;
 use mbtls_sgx::EnclaveState;
 use mbtls_telemetry::{EventKind, Party, SharedSink};
-use mbtls_tls::config::{Attestor, ServerConfig};
+use mbtls_tls::config::{Attestor, CredentialProvider, ServerConfig};
 use mbtls_tls::messages::{extension_type, ClientHello, HandshakeReader};
 use mbtls_tls::record::{frame_plaintext, ContentType, RecordReader};
 use mbtls_tls::suites::CipherSuite;
@@ -81,6 +81,12 @@ pub struct MiddleboxConfig {
     pub certified_key: Arc<CertifiedKey>,
     /// Quote provider when running in a (simulated) enclave.
     pub attestor: Option<Arc<dyn Attestor>>,
+    /// Delegated-credential provider (mdTLS-style, DESIGN.md §6j).
+    /// When set, secondary handshakes present an endpoint-issued
+    /// credential instead of attesting; `certified_key` should then
+    /// hold the delegated key with an *empty* chain — the credential
+    /// is the middlebox's identity.
+    pub credential_provider: Option<Arc<dyn CredentialProvider>>,
     /// Suites acceptable in the secondary handshake.
     pub suites: Vec<CipherSuite>,
     /// Announce to the server when the client is legacy.
@@ -104,6 +110,7 @@ impl MiddleboxConfig {
             name: name.to_string(),
             certified_key,
             attestor: None,
+            credential_provider: None,
             suites: CipherSuite::ALL.to_vec(),
             allow_server_side: true,
             cached_no_support: false,
@@ -129,6 +136,14 @@ impl MiddleboxConfigBuilder {
     /// Provide quotes from a (simulated) enclave.
     pub fn attestor(mut self, attestor: Arc<dyn Attestor>) -> Self {
         self.cfg.attestor = Some(attestor);
+        self
+    }
+
+    /// Present endpoint-issued delegated credentials in secondary
+    /// handshakes (mutually exclusive with
+    /// [`MiddleboxConfigBuilder::attestor`]).
+    pub fn credential_provider(mut self, provider: Arc<dyn CredentialProvider>) -> Self {
+        self.cfg.credential_provider = Some(provider);
         self
     }
 
@@ -168,6 +183,11 @@ impl MiddleboxConfigBuilder {
     pub fn build(self) -> Result<MiddleboxConfig, MbError> {
         if self.cfg.name.is_empty() {
             return Err(MbError::Config("middlebox name is empty".into()));
+        }
+        if self.cfg.attestor.is_some() && self.cfg.credential_provider.is_some() {
+            return Err(MbError::Config(
+                "middlebox attestation and delegation are mutually exclusive auth modes".into(),
+            ));
         }
         if self.cfg.suites.is_empty() {
             return Err(MbError::Config("middlebox suite list is empty".into()));
@@ -550,6 +570,10 @@ impl Middlebox {
                             server_cfg.suites = self.config.suites.clone();
                             server_cfg.attestor = self.config.attestor.clone();
                             server_cfg.always_attest = self.config.attestor.is_some();
+                            server_cfg.credential_provider =
+                                self.config.credential_provider.clone();
+                            server_cfg.always_delegate =
+                                self.config.credential_provider.is_some();
                             self.secondary = Some(ServerConnection::new(Arc::new(server_cfg)));
                             self.phase = MiddleboxPhase::ServerSideJoining;
                             self.emit(EventKind::SecondaryHandshakeStart {
@@ -641,6 +665,8 @@ impl Middlebox {
             server_cfg.suites = self.config.suites.clone();
             server_cfg.attestor = self.config.attestor.clone();
             server_cfg.always_attest = self.config.attestor.is_some();
+            server_cfg.credential_provider = self.config.credential_provider.clone();
+            server_cfg.always_delegate = self.config.credential_provider.is_some();
             let mut conn = ServerConnection::new(Arc::new(server_cfg));
             if conn.feed_incoming(&reframe(ct, &body), &mut self.rng).is_err() {
                 // Cannot serve this client (e.g. no common cipher

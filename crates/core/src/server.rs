@@ -14,7 +14,7 @@ use std::sync::Arc;
 use mbtls_crypto::rng::CryptoRng;
 use mbtls_pki::{KeyUsage, TrustStore};
 use mbtls_telemetry::{EventKind, Party, SharedSink};
-use mbtls_tls::config::{AttestationPolicy, ClientConfig, ServerConfig};
+use mbtls_tls::config::{AttestationPolicy, ClientConfig, DelegationPolicy, ServerConfig};
 use mbtls_tls::record::{frame_plaintext, ContentType, RecordReader};
 use mbtls_tls::session::SessionKeys;
 use mbtls_tls::{ClientConnection, ServerConnection, TlsError};
@@ -33,6 +33,10 @@ pub struct MbServerConfig {
     pub middlebox_trust: Arc<TrustStore>,
     /// Attestation policy middleboxes must satisfy.
     pub middlebox_attestation: Option<AttestationPolicy>,
+    /// Delegated-credential policy middleboxes must satisfy (the
+    /// mdTLS-style alternative to attestation, DESIGN.md §6j);
+    /// mutually exclusive with `middlebox_attestation`.
+    pub middlebox_delegation: Option<DelegationPolicy>,
     /// Approval policy for announced middleboxes.
     pub approval: ApprovalPolicy,
     /// "Current time" for middlebox certificate validation.
@@ -51,6 +55,7 @@ impl MbServerConfig {
             tls,
             middlebox_trust,
             middlebox_attestation: None,
+            middlebox_delegation: None,
             approval: ApprovalPolicy::AllVerified,
             current_time: 0,
             mbtls_enabled: true,
@@ -74,6 +79,14 @@ impl MbServerConfigBuilder {
     /// Require middleboxes to satisfy this attestation policy.
     pub fn middlebox_attestation(mut self, policy: AttestationPolicy) -> Self {
         self.cfg.middlebox_attestation = Some(policy);
+        self
+    }
+
+    /// Require middleboxes to present a delegated credential under
+    /// this policy instead of a certificate chain (mutually exclusive
+    /// with [`MbServerConfigBuilder::middlebox_attestation`]).
+    pub fn middlebox_delegation(mut self, policy: DelegationPolicy) -> Self {
+        self.cfg.middlebox_delegation = Some(policy);
         self
     }
 
@@ -104,6 +117,11 @@ impl MbServerConfigBuilder {
     /// Validate and build. Rejects empty allow-lists and duplicate
     /// allow-list entries.
     pub fn build(self) -> Result<MbServerConfig, MbError> {
+        if self.cfg.middlebox_attestation.is_some() && self.cfg.middlebox_delegation.is_some() {
+            return Err(MbError::Config(
+                "middlebox attestation and delegation are mutually exclusive auth modes".into(),
+            ));
+        }
         if let ApprovalPolicy::AllowList(names) = &self.cfg.approval {
             if names.is_empty() {
                 return Err(MbError::Config(
@@ -290,6 +308,10 @@ impl MbServerSession {
         sec_cfg.current_time = self.config.current_time;
         sec_cfg.danger_disable_cert_verify = true;
         sec_cfg.attestation_policy = self.config.middlebox_attestation.clone();
+        // Delegated mode: the TLS layer verifies the middlebox's
+        // endpoint-issued credential inline and keys the handshake
+        // off it (the middlebox presents no chain of its own).
+        sec_cfg.delegation_policy = self.config.middlebox_delegation.clone();
         let mut conn = ClientConnection::new(Arc::new(sec_cfg), "", &mut self.rng);
         // The secondary ClientHello travels toward the client wrapped
         // in an Encapsulated record; the announcing middlebox claims
@@ -319,9 +341,12 @@ impl MbServerSession {
         if sec.rejected {
             return Ok(());
         }
+        let id = enc.subchannel;
         if let Err(e) = sec.conn.feed_incoming(&enc.record, &mut self.rng) {
             sec.rejected = true;
-            let _ = e;
+            if matches!(e, TlsError::Credential(_)) {
+                self.emit(EventKind::CredentialRejected { subchannel: id as u64 });
+            }
         }
         Ok(())
     }
@@ -377,6 +402,28 @@ impl MbServerSession {
 
     fn verify_and_approve(&mut self, id: u8) -> Result<String, MbError> {
         let sec = &self.secondaries[&id];
+        if self.config.middlebox_delegation.is_some() {
+            // Delegated mode: an established connection implies the
+            // TLS layer accepted the credential (window, session
+            // binding, issuer chain, signature); only the approval
+            // policy remains, over the credential subject.
+            let cred = sec.conn.peer_credential().ok_or_else(|| {
+                MbError::unexpected_state("delegated middlebox presented no credential")
+            })?;
+            let subject = cred.subject.clone();
+            let approved = match &self.config.approval {
+                ApprovalPolicy::AllVerified => true,
+                ApprovalPolicy::AllowList(names) => names.iter().any(|n| n == &subject),
+                ApprovalPolicy::DenyAll => false,
+            };
+            return if approved {
+                self.emit(EventKind::CredentialVerified { subchannel: id as u64, checks: 0 });
+                Ok(subject)
+            } else {
+                self.emit(EventKind::CredentialRejected { subchannel: id as u64 });
+                Err(MbError::MiddleboxRejected(subject))
+            };
+        }
         let chain = sec.conn.peer_certificates().to_vec();
         if chain.is_empty() {
             return Err(MbError::unexpected_state("middlebox sent no certificate"));
@@ -564,6 +611,8 @@ fn clone_server_config(c: &ServerConfig) -> ServerConfig {
         issue_tickets: c.issue_tickets,
         attestor: c.attestor.clone(),
         always_attest: c.always_attest,
+        credential_provider: c.credential_provider.clone(),
+        always_delegate: c.always_delegate,
         session_cache: c.session_cache.clone(),
         assign_session_ids: c.assign_session_ids,
         strict_unknown_records: c.strict_unknown_records,

@@ -100,17 +100,51 @@ fn p4_path_reorder_blocked() {
 }
 
 #[test]
+fn p3b_expired_credential_blocked() {
+    let r = attacks::attack_expired_credential().expect("attack harness");
+    assert_eq!(r.protocol, Protocol::MbTlsDelegated);
+    assert!(r.blocked, "{}: {}", r.threat, r.detail);
+}
+
+#[test]
+fn p3b_wrong_key_credential_blocked() {
+    let r = attacks::attack_wrong_key_credential().expect("attack harness");
+    assert_eq!(r.protocol, Protocol::MbTlsDelegated);
+    assert!(r.blocked, "{}: {}", r.threat, r.detail);
+}
+
+#[test]
+fn p3b_credential_replay_blocked() {
+    let r = attacks::attack_credential_replay().expect("attack harness");
+    assert_eq!(r.protocol, Protocol::MbTlsDelegated);
+    assert!(r.blocked, "{}: {}", r.threat, r.detail);
+}
+
+#[test]
+fn p3a_middlebox_substitution_blocked() {
+    let r = attacks::attack_middlebox_substitution().expect("attack harness");
+    assert_eq!(r.protocol, Protocol::MbTlsDelegated);
+    assert!(r.blocked, "{}: {}", r.threat, r.detail);
+}
+
+#[test]
 fn full_matrix_shape() {
     let matrix = attacks::full_matrix().expect("attack harness");
-    assert_eq!(matrix.len(), 16);
-    // Every mbTLS row is blocked; the three intentional-failure
-    // baselines are not.
+    assert_eq!(matrix.len(), 20);
+    // Every mbTLS row (attested or delegated) is blocked; the three
+    // intentional-failure baselines are not.
     for r in &matrix {
         match r.protocol {
-            Protocol::MbTls => assert!(r.blocked, "{} should be blocked", r.threat),
+            Protocol::MbTls | Protocol::MbTlsDelegated => {
+                assert!(r.blocked, "{} should be blocked", r.threat)
+            }
             Protocol::NaiveKeyShare | Protocol::MbTlsNoEnclave => {
                 assert!(!r.blocked, "{} should succeed against {:?}", r.threat, r.protocol)
             }
         }
     }
+    assert_eq!(
+        matrix.iter().filter(|r| r.protocol == Protocol::MbTlsDelegated).count(),
+        4
+    );
 }

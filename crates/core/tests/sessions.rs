@@ -530,3 +530,179 @@ fn session_error_reported_cleanly() {
     let result = chain.run_handshake();
     assert!(matches!(result, Err(MbError::Tls(_))));
 }
+
+// ---------------------------------------------------------------------------
+// Delegated middlebox authorization (mdTLS-style, DESIGN.md §6j)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn delegated_client_side_middlebox_session() {
+    // The middlebox presents no certificate chain of its own: its
+    // identity is a short-lived, session-bound credential signed by
+    // the server's endpoint key.
+    let tb = Testbed::new(40);
+    let mut client = MbClientSession::new(
+        Arc::new(tb.client_config_delegated().unwrap()),
+        "server.example",
+        mbtls_crypto::rng::CryptoRng::from_seed(401),
+    );
+    let mut server = MbServerSession::new(
+        Arc::new(tb.server_config_delegated().unwrap()),
+        mbtls_crypto::rng::CryptoRng::from_seed(402),
+    );
+    let mut mb = Middlebox::new(
+        tb.middlebox_config_delegated().unwrap(),
+        mbtls_crypto::rng::CryptoRng::from_seed(403),
+    );
+
+    for _ in 0..60 {
+        let b = client.take_outgoing();
+        mb.feed_from_client(&b).unwrap();
+        let b = mb.take_toward_server();
+        server.feed_incoming(&b).unwrap();
+        let b = server.take_outgoing();
+        mb.feed_from_server(&b).unwrap();
+        let b = mb.take_toward_client();
+        client.feed_incoming(&b).unwrap();
+        if client.is_ready() && server.is_ready() && mb.has_keys() {
+            break;
+        }
+    }
+    assert!(client.is_ready() && server.is_ready());
+    assert_eq!(mb.phase(), MiddleboxPhase::DataPlane);
+    assert!(mb.has_keys());
+    assert_eq!(client.middleboxes().len(), 1);
+    assert!(client.middleboxes()[0].approved);
+    assert_eq!(
+        client.middleboxes()[0].name.as_deref(),
+        Some("proxy.msp.example")
+    );
+
+    client.send(b"delegated probe").unwrap();
+    let b = client.take_outgoing();
+    mb.feed_from_client(&b).unwrap();
+    let b = mb.take_toward_server();
+    server.feed_incoming(&b).unwrap();
+    assert_eq!(server.recv(), b"delegated probe");
+    assert_eq!(mb.records_processed(), 1);
+}
+
+#[test]
+fn delegated_chain_full_exchange() {
+    let tb = Testbed::new(41);
+    let client = MbClientSession::new(
+        Arc::new(tb.client_config_delegated().unwrap()),
+        "server.example",
+        mbtls_crypto::rng::CryptoRng::from_seed(411),
+    );
+    let server = MbServerSession::new(
+        Arc::new(tb.server_config_delegated().unwrap()),
+        mbtls_crypto::rng::CryptoRng::from_seed(412),
+    );
+    let mb = Middlebox::new(
+        tb.middlebox_config_delegated().unwrap(),
+        mbtls_crypto::rng::CryptoRng::from_seed(413),
+    );
+    let mut chain = Chain::new(Box::new(client), vec![Box::new(mb)], Box::new(server));
+    exchange(&mut chain);
+}
+
+#[test]
+fn delegated_server_side_middlebox_session() {
+    // Legacy client → the delegated middlebox announces to the mbTLS
+    // server, which verifies the credential it minted itself.
+    let tb = Testbed::new(42);
+    let mut rng = mbtls_crypto::rng::CryptoRng::from_seed(421);
+    let tls_cfg = mbtls_tls::config::ClientConfig::new(tb.server_trust.clone());
+    let legacy = LegacyClient::new(
+        ClientConnection::new(Arc::new(tls_cfg), "server.example", &mut rng),
+        rng,
+    );
+    let mut server = MbServerSession::new(
+        Arc::new(tb.server_config_delegated().unwrap()),
+        mbtls_crypto::rng::CryptoRng::from_seed(422),
+    );
+    let mut mb = Middlebox::new(
+        tb.middlebox_config_delegated().unwrap(),
+        mbtls_crypto::rng::CryptoRng::from_seed(423),
+    );
+
+    let mut client = legacy;
+    use mbtls_core::driver::Endpoint;
+    for _ in 0..60 {
+        let b = client.take();
+        mb.feed_from_client(&b).unwrap();
+        let b = mb.take_toward_server();
+        server.feed_incoming(&b).unwrap();
+        let b = server.take_outgoing();
+        mb.feed_from_server(&b).unwrap();
+        let b = mb.take_toward_client();
+        client.feed(&b).unwrap();
+        if client.ready() && server.is_ready() {
+            break;
+        }
+    }
+    assert!(client.ready(), "legacy client established");
+    assert!(server.is_ready(), "mbTLS server ready");
+    assert!(mb.announced());
+    assert_eq!(mb.phase(), MiddleboxPhase::DataPlane);
+    assert_eq!(server.middleboxes().len(), 1);
+    assert!(server.middleboxes()[0].approved);
+    assert_eq!(
+        server.middleboxes()[0].name.as_deref(),
+        Some("proxy.msp.example")
+    );
+
+    client.send_app(b"via delegated box").unwrap();
+    for _ in 0..10 {
+        let b = client.take();
+        mb.feed_from_client(&b).unwrap();
+        let b = mb.take_toward_server();
+        server.feed_incoming(&b).unwrap();
+    }
+    assert_eq!(server.recv(), b"via delegated box");
+}
+
+#[test]
+fn delegated_middlebox_denied_falls_back_to_relay() {
+    // Valid credential, but the client's approval policy says no:
+    // the box is demoted to a blind relay and the session survives.
+    let tb = Testbed::new(43);
+    let mut cfg = tb.client_config_delegated().unwrap();
+    cfg.approval = ApprovalPolicy::DenyAll;
+    let mut client = MbClientSession::new(
+        Arc::new(cfg),
+        "server.example",
+        mbtls_crypto::rng::CryptoRng::from_seed(431),
+    );
+    let mut server = MbServerSession::new(
+        Arc::new(tb.server_config_delegated().unwrap()),
+        mbtls_crypto::rng::CryptoRng::from_seed(432),
+    );
+    let mut mb = Middlebox::new(
+        tb.middlebox_config_delegated().unwrap(),
+        mbtls_crypto::rng::CryptoRng::from_seed(433),
+    );
+    for _ in 0..60 {
+        let b = client.take_outgoing();
+        mb.feed_from_client(&b).unwrap();
+        let b = mb.take_toward_server();
+        server.feed_incoming(&b).unwrap();
+        let b = server.take_outgoing();
+        mb.feed_from_server(&b).unwrap();
+        let b = mb.take_toward_client();
+        client.feed_incoming(&b).unwrap();
+        if client.is_ready() && server.is_ready() && mb.phase() == MiddleboxPhase::Relay {
+            break;
+        }
+    }
+    assert!(client.is_ready() && server.is_ready());
+    assert_eq!(mb.phase(), MiddleboxPhase::Relay, "denied box relays");
+    assert!(!mb.has_keys());
+    client.send(b"direct").unwrap();
+    let b = client.take_outgoing();
+    mb.feed_from_client(&b).unwrap();
+    let b = mb.take_toward_server();
+    server.feed_incoming(&b).unwrap();
+    assert_eq!(server.recv(), b"direct");
+}

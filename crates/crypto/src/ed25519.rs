@@ -708,6 +708,20 @@ impl VerifyingKey {
         Point::decompress(&arr).ok_or(CryptoError::BadPublicValue)?;
         Ok(VerifyingKey(arr))
     }
+
+    /// True when the encoding fails to decode or decodes to a point
+    /// of small order (including non-canonical encodings of such
+    /// points). The cofactored verification equation deliberately
+    /// annihilates small-order components, so under a small-order
+    /// "key" anyone can produce an accepted signature — layers that
+    /// bind an identity to a key (certificate issuance, delegated
+    /// credentials) must refuse these encodings.
+    pub fn is_weak(&self) -> bool {
+        match Point::decompress(&self.0) {
+            None => true,
+            Some(p) => mul8(p).ct_eq(&Point::identity()),
+        }
+    }
 }
 
 /// One signature-verification job for [`verify_batch`].

@@ -55,7 +55,7 @@ pub mod wheel;
 
 pub use config::{HostConfig, HostConfigBuilder, HostConfigError};
 pub use host::{Host, HostCounters, Reactor, SessionSpec};
-pub use loadgen::{LoadConfig, LoadGenerator};
+pub use loadgen::{ChainMix, LoadConfig, LoadGenerator};
 pub use mux::{EventRing, ShardMux};
 pub use pool::BufferPool;
 pub use session::{SessionOutcome, Workload};

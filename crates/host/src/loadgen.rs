@@ -17,11 +17,12 @@
 use std::sync::Arc;
 
 use mbtls_core::attacks::Testbed;
+use mbtls_core::baseline::NaiveKeyShare;
 use mbtls_core::client::MbClientSession;
 use mbtls_core::driver::{Chain, Relay};
-use mbtls_core::middlebox::Middlebox;
+use mbtls_core::middlebox::{Middlebox, MiddleboxConfig};
 use mbtls_core::server::MbServerSession;
-use mbtls_core::{MbClientConfig, MbError, MbServerConfig};
+use mbtls_core::{MbClientConfig, MbError, MbServerConfig, MiddleboxAuthMode};
 use mbtls_crypto::rng::CryptoRng;
 use mbtls_netsim::time::{Duration, SimTime};
 use mbtls_netsim::FaultConfig;
@@ -30,6 +31,47 @@ use mbtls_telemetry::{Party, SharedSink};
 
 use crate::host::{Reactor, SessionSpec};
 use crate::session::Workload;
+
+/// Which service-function chain each middlebox-cadence session runs.
+///
+/// Replaces the old fixed `service_chain: bool` switch: the mix is
+/// part of the [`LoadConfig`], and the [`Seeded`](ChainMix::Seeded)
+/// variant composes a *different* chain per session, derived from the
+/// global session index so shard slices reproduce it exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChainMix {
+    /// One pass-through middlebox, no processors (the lightest path).
+    #[default]
+    PassThrough,
+    /// Every chain session runs the full Slick-style web chain
+    /// (filter → cache → compression, three middleboxes).
+    SlickWeb,
+    /// Seeded per-session composition: session `i` draws a non-empty
+    /// prefix of the Slick chain from its index-derived seed, so one
+    /// fleet mixes 1-, 2-, and 3-function chains deterministically.
+    Seeded,
+}
+
+/// Domain-separation salt so the chain-mix draw never aliases the
+/// per-session RNG seed derived from the same `(seed, index)` pair.
+const CHAIN_MIX_SALT: u64 = 0x00C4_A1A1_1CE5_u64;
+
+impl ChainMix {
+    /// The service chain session `index` runs, or `None` for a single
+    /// pass-through middlebox. Index-addressed, like everything else
+    /// the generator derives, so slices agree with the full run.
+    pub fn compose(self, seed: u64, index: u64) -> Option<mbtls_mboxes::ServiceChain> {
+        match self {
+            ChainMix::PassThrough => None,
+            ChainMix::SlickWeb => Some(mbtls_mboxes::ServiceChain::slick_web()),
+            ChainMix::Seeded => {
+                let full = mbtls_mboxes::ServiceChain::slick_web();
+                let n = 1 + (session_seed(seed ^ CHAIN_MIX_SALT, index) as usize % full.len());
+                Some(full.prefix(n))
+            }
+        }
+    }
+}
 
 /// Shape of a generated load run.
 #[derive(Debug, Clone)]
@@ -60,22 +102,26 @@ pub struct LoadConfig {
     /// (`ClientConfig::defer_verify`) for the shard's end-of-turn
     /// batched verification flush instead of verifying inline.
     pub defer_verify: bool,
-    /// Sessions on the `middlebox_every` cadence get the full
-    /// Slick-style service-function chain (filter → cache →
-    /// compression, three middleboxes) instead of a single
-    /// pass-through middlebox.
-    pub service_chain: bool,
+    /// Service-chain composition for sessions on the
+    /// `middlebox_every` cadence (see [`ChainMix`]).
+    pub chain_mix: ChainMix,
     /// Clients declare the whole path read-only and reuse the bridge
     /// keys for every hop (`MbClientConfig::read_only_middleboxes`),
     /// so pass-through middleboxes take the tag-verify forward fast
-    /// path. Combining this with `service_chain` works only because
-    /// the chain's processors leave this workload's raw (non-HTTP)
-    /// bytes untouched, so their undeclared reseals are
+    /// path. Combining this with a non-trivial `chain_mix` works only
+    /// because the chain's processors leave this workload's raw
+    /// (non-HTTP) bytes untouched, so their undeclared reseals are
     /// byte-identical; a middlebox that actually modified a record
     /// on aliased keys would fail its session — the data plane
     /// refuses to re-seal different plaintext under an already-spent
     /// AES-GCM nonce.
     pub read_only_path: bool,
+    /// How endpoints authenticate the middleboxes in generated
+    /// sessions: SGX-attested (paper mbTLS), delegated credentials
+    /// (mdTLS-style, DESIGN.md §6j), or key-shared (naive baseline —
+    /// the middlebox is a [`NaiveKeyShare`] relay with no identity
+    /// and no secondary handshake at all).
+    pub auth_mode: MiddleboxAuthMode,
 }
 
 impl Default for LoadConfig {
@@ -90,8 +136,9 @@ impl Default for LoadConfig {
             resumption_storm: false,
             stale_every: 0,
             defer_verify: false,
-            service_chain: false,
+            chain_mix: ChainMix::PassThrough,
             read_only_path: false,
+            auth_mode: MiddleboxAuthMode::SgxAttested,
         }
     }
 }
@@ -145,8 +192,23 @@ impl LoadGenerator {
     /// per-shard generators stay shared-nothing.
     pub fn slice(config: LoadConfig, shard: u16, shards: u16) -> Self {
         let testbed = Testbed::new(config.seed);
-        let server_cfg = Arc::new(testbed.server_config());
-        let mut client_cfg = testbed.client_config();
+        // Delegated fleets swap both endpoint configs: the server
+        // carries the credential issuer's delegation policy and the
+        // client verifies credentials instead of SGX quotes. The
+        // key-shared baseline keeps plain endpoint configs — its
+        // middleboxes never run a secondary handshake to authorize.
+        let server_cfg = Arc::new(match config.auth_mode {
+            MiddleboxAuthMode::Delegated => testbed.server_config_delegated().expect("testbed delegated config"),
+            MiddleboxAuthMode::SgxAttested | MiddleboxAuthMode::KeyShared => {
+                testbed.server_config()
+            }
+        });
+        let mut client_cfg = match config.auth_mode {
+            MiddleboxAuthMode::Delegated => testbed.client_config_delegated().expect("testbed delegated config"),
+            MiddleboxAuthMode::SgxAttested | MiddleboxAuthMode::KeyShared => {
+                testbed.client_config()
+            }
+        };
         client_cfg.tls.defer_verify = config.defer_verify;
         client_cfg.read_only_middleboxes = config.read_only_path;
         let mut client_cfg_stale = None;
@@ -215,6 +277,16 @@ impl LoadGenerator {
         self.telemetry = Some(sink);
     }
 
+    /// The middlebox config matching the run's auth mode.
+    fn middlebox_config(&self) -> MiddleboxConfig {
+        match self.config.auth_mode {
+            MiddleboxAuthMode::Delegated => self.testbed.middlebox_config_delegated().expect("testbed delegated config"),
+            MiddleboxAuthMode::SgxAttested | MiddleboxAuthMode::KeyShared => {
+                self.testbed.middlebox_config(&self.testbed.mbox_code)
+            }
+        }
+    }
+
     /// Global index of the next session this slice will produce.
     fn next_index(&self) -> u64 {
         self.shard + self.produced as u64 * self.shards
@@ -257,26 +329,36 @@ impl LoadGenerator {
         let client = MbClientSession::new(client_cfg, "server.example", rng.fork());
         let server = MbServerSession::new(self.server_cfg.clone(), rng.fork());
         let middles: Vec<Box<dyn Relay>> = if with_middlebox {
-            if self.config.service_chain {
-                // The Slick-style chain: one middlebox per function,
+            if self.config.auth_mode == MiddleboxAuthMode::KeyShared {
+                // Naive baseline: the middlebox is a shared-key relay
+                // with no identity — it joins by being on the path,
+                // adding zero handshake bytes and zero authorization
+                // work (the gap the security matrix demonstrates).
+                let mut mb = NaiveKeyShare::new();
+                if let Some(sink) = &self.telemetry {
+                    mb.set_telemetry(sink.clone(), Party::Middlebox(0));
+                }
+                vec![Box::new(mb)]
+            } else if let Some(chain) = self.config.chain_mix.compose(self.config.seed, i) {
+                // A Slick-style chain: one middlebox per function,
                 // client side first. The workload's raw (non-HTTP)
                 // bytes pass through every element unchanged, so the
                 // chain exercises multi-hop relay cost and shared
                 // processor state without perturbing the byte counts
                 // the reactor's completion accounting relies on.
-                mbtls_mboxes::ServiceChain::slick_web()
+                chain
                     .build_processors()
                     .into_iter()
                     .enumerate()
                     .map(|(pos, p)| {
-                        let mut cfg = self.testbed.middlebox_config(&self.testbed.mbox_code);
+                        let mut cfg = self.middlebox_config();
                         cfg.telemetry = self.telemetry.clone();
                         cfg.telemetry_party = Party::Middlebox(pos as u8);
                         Box::new(Middlebox::with_processor(cfg, rng.fork(), p)) as Box<dyn Relay>
                     })
                     .collect()
             } else {
-                let mut cfg = self.testbed.middlebox_config(&self.testbed.mbox_code);
+                let mut cfg = self.middlebox_config();
                 cfg.telemetry = self.telemetry.clone();
                 vec![Box::new(Middlebox::new(cfg, rng.fork()))]
             }

@@ -21,7 +21,8 @@ fn storm_load(sessions: usize, seed: u64) -> LoadConfig {
         resumption_storm: true,
         stale_every: 0,
         defer_verify: false,
-        service_chain: false,
+        chain_mix: mbtls_host::ChainMix::PassThrough,
+        auth_mode: mbtls_core::MiddleboxAuthMode::SgxAttested,
         read_only_path: false,
     }
 }
@@ -131,7 +132,8 @@ fn batched_verification_covers_middlebox_screening() {
         resumption_storm: false,
         stale_every: 0,
         defer_verify: true,
-        service_chain: false,
+        chain_mix: mbtls_host::ChainMix::PassThrough,
+        auth_mode: mbtls_core::MiddleboxAuthMode::SgxAttested,
         read_only_path: false,
     };
     let (_, counters) = drive(config, 1);

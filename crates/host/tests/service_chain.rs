@@ -3,7 +3,7 @@
 //! and the bit-identical replay guarantee with shared middlebox state
 //! (the cache's deterministic eviction) in the loop.
 
-use mbtls_host::{Host, HostConfig, LoadConfig, LoadGenerator, NetSubstrate, Workload};
+use mbtls_host::{ChainMix, Host, HostConfig, LoadConfig, LoadGenerator, NetSubstrate, Workload};
 use mbtls_netsim::time::{Duration, SimTime};
 use mbtls_telemetry::{EventKind, Recorder};
 
@@ -15,7 +15,7 @@ fn chain_load(sessions: usize, seed: u64) -> LoadConfig {
         latency: Duration::from_micros(50),
         workload: Workload { request_len: 256, response_len: 1024, exchanges: 2 },
         seed,
-        service_chain: true,
+        chain_mix: ChainMix::SlickWeb,
         ..LoadConfig::default()
     }
 }
@@ -48,6 +48,31 @@ fn service_chain_fleet_completes_and_replays() {
 }
 
 #[test]
+fn seeded_chain_mix_varies_composition_and_replays() {
+    // The seeded mix draws a per-session chain composition from the
+    // global session index. It must actually vary across the fleet —
+    // and two identical runs must still replay bit-identically, with
+    // a shard slice agreeing on each session's chain by construction.
+    let seed = 21;
+    let lens: Vec<usize> = (0..6u64)
+        .filter(|i| i % 2 == 0)
+        .map(|i| ChainMix::Seeded.compose(seed, i).expect("seeded mix always composes").len())
+        .collect();
+    assert!(
+        lens.iter().any(|&n| n != lens[0]),
+        "seeded mix must not degenerate to a fixed chain: {lens:?}"
+    );
+    assert!(lens.iter().all(|&n| (1..=3).contains(&n)));
+
+    let config = LoadConfig { chain_mix: ChainMix::Seeded, ..chain_load(6, seed) };
+    let (trace_a, counters_a) = run(config.clone());
+    let (trace_b, counters_b) = run(config);
+    assert!(!trace_a.is_empty());
+    assert_eq!(trace_a, trace_b, "seeded chain mix must replay bit-identically");
+    assert_eq!(counters_a, counters_b);
+}
+
+#[test]
 fn read_only_path_fast_forwards_at_scale() {
     // Aliased hop keys + pass-through middleboxes: records traverse
     // middleboxes via the tag-verify fast path, visible in telemetry
@@ -60,7 +85,7 @@ fn read_only_path_fast_forwards_at_scale() {
         read_only_path: true,
         ..chain_load(4, 33)
     };
-    let config = LoadConfig { service_chain: false, ..config };
+    let config = LoadConfig { chain_mix: ChainMix::PassThrough, ..config };
     let (trace, _) = run(config);
     let fast = trace
         .iter()

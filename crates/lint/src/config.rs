@@ -21,16 +21,21 @@ pub const SCOPES: &[(RuleId, &[&str])] = &[
             "crates/sgx/src",
             "crates/telemetry/src",
             "crates/host/src",
+            "crates/pki/src/delegation",
         ],
     ),
     (
-        // Everywhere key material lives or transits.
+        // Everywhere key material lives or transits. The pki crate is
+        // scoped per-module: the delegation subsystem holds issuer and
+        // proxy signing keys, while the rest of the crate handles only
+        // public certificate material.
         RuleId::SecretHygiene,
         &[
             "crates/crypto/src",
             "crates/sgx/src",
             "crates/tls/src",
             "crates/core/src",
+            "crates/pki/src/delegation",
         ],
     ),
     (

@@ -54,6 +54,7 @@ fn requires_drop(path: &str) -> bool {
         || path.contains("crates/sgx/")
         || path.contains("crates/tls/")
         || path.contains("crates/core/")
+        || path.contains("crates/pki/src/delegation")
 }
 
 pub(crate) fn check(file: &SourceFile) -> Vec<Hit> {

@@ -13,13 +13,19 @@
 //! in the paper (see DESIGN.md, Substitutions).
 //!
 //! Module map: [`wire`] (codec), [`cert`] (certificates and CAs),
-//! [`verify`] (trust stores, chain verification, revocation).
+//! [`verify`] (trust stores, chain verification, revocation),
+//! [`delegation`] (mdTLS-style delegated middlebox credentials).
 
 #![warn(missing_docs)]
 
 pub mod cert;
+pub mod delegation;
 pub mod verify;
 pub mod wire;
 
 pub use cert::{Certificate, CertificateAuthority, CertificatePayload, KeyUsage};
+pub use delegation::{
+    CredentialError, CredentialIssuer, CredentialVerifier, DelegatedCredential,
+    DelegatedDirection, DelegatedKeyPair, DelegatedRole,
+};
 pub use verify::{CertError, RevocationList, SignatureCheck, TrustStore};

@@ -74,6 +74,14 @@ pub struct SgxCostModel {
     pub async_queue_ns: f64,
     /// Path MTU: packets per chunk = ceil(chunk / mtu).
     pub mtu: usize,
+    /// Quote generation inside the enclave: EREPORT plus the quoting
+    /// enclave's EPID group signature (the dominant term of a remote
+    /// attestation round on real hardware — millisecond scale, where
+    /// everything else in the handshake is microseconds).
+    pub quote_generate_ns: f64,
+    /// Relying-party verification of the quote's group signature and
+    /// endorsement chain.
+    pub quote_verify_ns: f64,
 }
 
 impl Default for SgxCostModel {
@@ -88,6 +96,8 @@ impl Default for SgxCostModel {
             syscall_base_ns: 300.0,
             async_queue_ns: 110.0,
             mtu: 1_500,
+            quote_generate_ns: 1_300_000.0,
+            quote_verify_ns: 450_000.0,
         }
     }
 }
@@ -114,6 +124,16 @@ impl SgxCostModel {
     pub fn throughput_gbps(&self, chunk_bytes: usize, config: DataPathConfig) -> f64 {
         let bits = (chunk_bytes as f64) * 8.0;
         bits / self.chunk_time_ns(chunk_bytes, config)
+    }
+
+    /// Virtual cost of one complete remote-attestation round for one
+    /// middlebox join: quote generation in the enclave plus the
+    /// endpoint's verification. This is the CPU surcharge the
+    /// `BENCH_auth.json` comparison charges the SGX-attested mode
+    /// over what the in-process simulation measures (the simulated
+    /// quote is two Ed25519 operations; real EPID attestation is not).
+    pub fn attestation_round_ns(&self) -> f64 {
+        self.quote_generate_ns + self.quote_verify_ns
     }
 
     /// Latency of one `pwrite`-style syscall carrying `payload_bytes`,
@@ -199,6 +219,19 @@ mod tests {
         let sync_big = m.syscall_latency_ns(64 * 1024, SyscallMode::SyncEnclave);
         let asynch_big = m.syscall_latency_ns(64 * 1024, SyscallMode::AsyncEnclave);
         assert!(sync_big / asynch_big < 2.5);
+    }
+
+    #[test]
+    fn attestation_round_is_millisecond_scale() {
+        // The whole point of the delegated-auth comparison: a remote
+        // attestation round costs milliseconds while the rest of the
+        // handshake costs microseconds.
+        let m = SgxCostModel::default();
+        assert_eq!(
+            m.attestation_round_ns(),
+            m.quote_generate_ns + m.quote_verify_ns
+        );
+        assert!(m.attestation_round_ns() >= 1_000_000.0);
     }
 
     #[test]

@@ -245,6 +245,32 @@ pub enum EventKind {
         checks: u64,
     },
 
+    // ---- Delegated middlebox credentials (mdTLS-style, §6j) ----
+    /// An endpoint issued a delegated credential bound to one
+    /// handshake's transcript.
+    CredentialIssued {
+        /// Encoded credential size on the wire.
+        bytes: u64,
+        /// Expiry (not_after) in virtual seconds.
+        not_after: u64,
+    },
+    /// A verifier accepted a delegated credential after walking the
+    /// endpoint-cert → credential → middlebox-key chain.
+    CredentialVerified {
+        /// Subchannel the credentialed middlebox joined on (0 when the
+        /// check happened outside a subchannel context).
+        subchannel: u64,
+        /// Signature checks discharged (chain links + credential).
+        checks: u64,
+    },
+    /// A verifier rejected a delegated credential (expired, replayed,
+    /// wrong key, bad signature...).
+    CredentialRejected {
+        /// Subchannel the rejected middlebox was on (0 when outside a
+        /// subchannel context).
+        subchannel: u64,
+    },
+
     // ---- Bench harness ----
     /// Measured wall-clock CPU time attributed to the party.
     CpuTime {
@@ -287,6 +313,9 @@ impl EventKind {
             EventKind::HostEvict { .. } => "host_evict",
             EventKind::HostTicketExpired { .. } => "host_ticket_expired",
             EventKind::HostVerifyBatch { .. } => "host_verify_batch",
+            EventKind::CredentialIssued { .. } => "credential_issued",
+            EventKind::CredentialVerified { .. } => "credential_verified",
+            EventKind::CredentialRejected { .. } => "credential_rejected",
             EventKind::CpuTime { .. } => "cpu_time",
         }
     }
@@ -342,6 +371,13 @@ impl EventKind {
             EventKind::HostVerifyBatch { groups, checks } => {
                 vec![("groups", groups), ("checks", checks)]
             }
+            EventKind::CredentialIssued { bytes, not_after } => {
+                vec![("bytes", bytes), ("not_after", not_after)]
+            }
+            EventKind::CredentialVerified { subchannel, checks } => {
+                vec![("subchannel", subchannel), ("checks", checks)]
+            }
+            EventKind::CredentialRejected { subchannel } => vec![("subchannel", subchannel)],
             EventKind::CpuTime { dur_ns } => vec![("dur_ns", dur_ns)],
         }
     }

@@ -129,6 +129,12 @@ pub struct PartyStats {
     pub cpu_ns: Counter,
     /// Distribution of the party's `CpuTime` samples.
     pub cpu_samples: Histogram,
+    /// Delegated credentials this party issued (endpoints only).
+    pub credentials_issued: Counter,
+    /// Delegated credentials this party verified and accepted.
+    pub credentials_verified: Counter,
+    /// Delegated credentials this party rejected.
+    pub credentials_rejected: Counter,
 }
 
 impl Default for PartyStats {
@@ -139,6 +145,9 @@ impl Default for PartyStats {
             bytes_out: Counter::new(),
             cpu_ns: Counter::new(),
             cpu_samples: Histogram::durations_ns(),
+            credentials_issued: Counter::new(),
+            credentials_verified: Counter::new(),
+            credentials_rejected: Counter::new(),
         }
     }
 }
@@ -260,6 +269,9 @@ impl TelemetrySink for Aggregates {
                 party.cpu_ns.add(dur_ns);
                 party.cpu_samples.observe(dur_ns);
             }
+            EventKind::CredentialIssued { .. } => party.credentials_issued.inc(),
+            EventKind::CredentialVerified { .. } => party.credentials_verified.inc(),
+            EventKind::CredentialRejected { .. } => party.credentials_rejected.inc(),
             EventKind::RecordEncrypt { hop, bytes, .. } => {
                 let h = self.per_hop.entry(hop).or_default();
                 h.encrypts.inc();

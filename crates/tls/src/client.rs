@@ -7,6 +7,7 @@ use mbtls_crypto::rng::CryptoRng;
 use mbtls_crypto::x25519;
 use mbtls_crypto::{ct, CryptoError};
 use mbtls_pki::cert::Certificate;
+use mbtls_pki::delegation::{CredentialError, CredentialVerifier, DelegatedCredential};
 use mbtls_pki::SignatureCheck;
 use mbtls_sgx::Quote;
 
@@ -15,8 +16,8 @@ use crate::config::ClientConfig;
 use crate::keyschedule::{self, strip_leading_zeros};
 use crate::messages::{
     choose_suite, extension_type, frame_handshake, handshake_type, ClientHello,
-    ClientKeyExchange, Extension, HandshakeReader, NewSessionTicket, ServerHello,
-    ServerKeyExchange, ServerKeyExchangeParams, SgxAttestationMsg,
+    ClientKeyExchange, DelegatedCredentialMsg, Extension, HandshakeReader, NewSessionTicket,
+    ServerHello, ServerKeyExchange, ServerKeyExchangeParams, SgxAttestationMsg,
 };
 use crate::record::{ContentType, DirectionState, RecordReader, frame_plaintext, fragment};
 use crate::session::{ConnectionSecrets, ResumptionData, SessionKeys};
@@ -66,6 +67,7 @@ pub struct ClientConnection {
     peer_extensions: Vec<Extension>,
     peer_chain: Vec<Certificate>,
     peer_quote: Option<Quote>,
+    peer_credential: Option<DelegatedCredential>,
     server_flight: ServerFlight,
 
     new_ticket: Option<NewSessionTicket>,
@@ -98,8 +100,10 @@ struct ServerFlight {
     certificate_chain: Option<Vec<Certificate>>,
     key_exchange: Option<ServerKeyExchange>,
     attestation: Option<SgxAttestationMsg>,
+    credential: Option<DelegatedCredentialMsg>,
     /// Transcript bytes up to and including ServerKeyExchange — the
-    /// state the attestation quote must bind (paper §3.4).
+    /// state the attestation quote must bind (paper §3.4); a
+    /// delegated credential's session nonce binds the same state.
     attestation_binding: Option<[u8; 64]>,
 }
 
@@ -157,6 +161,7 @@ impl ClientConnection {
             peer_extensions: Vec::new(),
             peer_chain: Vec::new(),
             peer_quote: None,
+            peer_credential: None,
             server_flight: ServerFlight::default(),
             new_ticket: None,
             assigned_session_id: Vec::new(),
@@ -195,6 +200,12 @@ impl ClientConnection {
         if config.attestation_policy.is_some() {
             extensions.push(Extension {
                 typ: extension_type::ATTESTATION_REQUEST,
+                data: vec![1],
+            });
+        }
+        if config.delegation_policy.is_some() {
+            extensions.push(Extension {
+                typ: extension_type::DELEGATION_REQUEST,
                 data: vec![1],
             });
         }
@@ -283,6 +294,12 @@ impl ClientConnection {
     /// The verified attestation quote, if the server attested.
     pub fn peer_quote(&self) -> Option<&Quote> {
         self.peer_quote.as_ref()
+    }
+
+    /// The verified delegated credential, if the peer authorized via
+    /// delegation (`ClientConfig::delegation_policy`).
+    pub fn peer_credential(&self) -> Option<&DelegatedCredential> {
+        self.peer_credential.as_ref()
     }
 
     /// Ticket issued this session (store for resumption).
@@ -620,6 +637,12 @@ impl ClientConnection {
                 self.server_flight.attestation = Some(msg);
                 Ok(())
             }
+            (Phase::AwaitServerFlight, handshake_type::DELEGATED_CREDENTIAL) => {
+                self.transcript.add(&frame);
+                let msg = DelegatedCredentialMsg::decode_body(&body)?;
+                self.server_flight.credential = Some(msg);
+                Ok(())
+            }
             (Phase::AwaitServerFlight, handshake_type::SERVER_HELLO_DONE) => {
                 if !body.is_empty() {
                     return Err(TlsError::Decode("non-empty ServerHelloDone"));
@@ -687,28 +710,73 @@ impl ClientConnection {
             .take()
             .ok_or(TlsError::UnexpectedMessage("missing ServerKeyExchange"))?;
 
-        // 1. Certificate chain. Under `defer_verify` the structural
-        // checks still run (and fail) inline; only the Ed25519
-        // signature work is collected for the driver to discharge.
+        // 1. Peer identity. Two shapes: a certificate chain for the
+        // peer's own key (the default), or — under a delegation
+        // policy — an endpoint-signed credential naming the peer's
+        // key, in which case the presented chain may be empty and the
+        // credential *is* the identity (DESIGN.md §6j). Under
+        // `defer_verify` the structural checks still run (and fail)
+        // inline; only the Ed25519 signature work is collected for
+        // the driver to discharge.
         let mut deferred: Vec<SignatureCheck> = Vec::new();
-        if !self.config.danger_disable_cert_verify {
+        let server_key = if let Some(policy) = &self.config.delegation_policy {
+            let msg = self
+                .server_flight
+                .credential
+                .take()
+                .ok_or(TlsError::UnexpectedMessage("delegated credential required but absent"))?;
+            let issuer_chain = mbtls_pki::cert::decode_chain(&msg.issuer_chain)
+                .map_err(|_| TlsError::Decode("bad credential issuer chain"))?;
+            let cred =
+                DelegatedCredential::decode(&msg.credential).map_err(TlsError::Credential)?;
+            let binding = self
+                .server_flight
+                .attestation_binding
+                .ok_or(TlsError::UnexpectedMessage("credential before key exchange"))?;
+            let mut nonce = [0u8; 32];
+            nonce.copy_from_slice(&binding[..32]);
+            let verifier = CredentialVerifier {
+                trust: &policy.trust_store,
+                expected_issuer: &policy.issuer,
+                now: self.config.current_time,
+                session_nonce: nonce,
+                required_role: policy.required_role,
+            };
+            let checks = verifier
+                .verify_deferred(&issuer_chain, &cred)
+                .map_err(TlsError::Credential)?;
             if self.config.defer_verify {
-                deferred = self.config.trust_store.verify_chain_deferred(
-                    &chain,
-                    &self.server_name,
-                    self.config.current_time,
-                    None,
-                )?;
-            } else {
-                self.config.trust_store.verify_chain(
-                    &chain,
-                    &self.server_name,
-                    self.config.current_time,
-                    None,
-                )?;
+                deferred.extend(checks);
+            } else if !checks.iter().all(|c| c.check()) {
+                return Err(TlsError::Credential(CredentialError::BadSignature));
             }
-        }
-        let server_key = chain[0].payload.public_key;
+            let key = cred.middlebox_key;
+            self.peer_credential = Some(cred);
+            key
+        } else {
+            if !self.config.danger_disable_cert_verify {
+                if self.config.defer_verify {
+                    deferred = self.config.trust_store.verify_chain_deferred(
+                        &chain,
+                        &self.server_name,
+                        self.config.current_time,
+                        None,
+                    )?;
+                } else {
+                    self.config.trust_store.verify_chain(
+                        &chain,
+                        &self.server_name,
+                        self.config.current_time,
+                        None,
+                    )?;
+                }
+            }
+            chain
+                .first()
+                .ok_or(TlsError::Certificate(mbtls_pki::CertError::EmptyChain))?
+                .payload
+                .public_key
+        };
 
         // 2. ServerKeyExchange signature.
         let signed =

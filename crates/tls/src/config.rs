@@ -4,7 +4,8 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use mbtls_crypto::ed25519::VerifyingKey;
-use mbtls_pki::cert::CertifiedKey;
+use mbtls_pki::cert::{Certificate, CertifiedKey};
+use mbtls_pki::delegation::{DelegatedCredential, DelegatedRole};
 use mbtls_pki::TrustStore;
 use mbtls_sgx::{Measurement, Quote};
 
@@ -29,6 +30,31 @@ pub struct AttestationPolicy {
     pub acceptable: Vec<Measurement>,
 }
 
+/// Something that can produce delegated credentials bound to a
+/// session — implemented by the glue that connects a middlebox to its
+/// delegating endpoint (DESIGN.md §6j). Called once per handshake
+/// with that handshake's transcript binding.
+pub trait CredentialProvider: Send + Sync {
+    /// A credential whose session nonce is bound to `session_binding`
+    /// (the transcript's attestation binding; the nonce is its first
+    /// 32 bytes).
+    fn credential(&self, session_binding: [u8; 64]) -> DelegatedCredential;
+    /// The delegating endpoint's leaf-first certificate chain.
+    fn issuer_chain(&self) -> Vec<Certificate>;
+}
+
+/// What a verifier demands of a peer's delegated credential
+/// (the mdTLS-style alternative to [`AttestationPolicy`]).
+#[derive(Clone)]
+pub struct DelegationPolicy {
+    /// Roots the credential's issuer chain must anchor to.
+    pub trust_store: Arc<TrustStore>,
+    /// The endpoint name delegations must come from.
+    pub issuer: String,
+    /// When set, the credential's role must permit this role.
+    pub required_role: Option<DelegatedRole>,
+}
+
 /// Client-side configuration. Cheap to clone via `Arc`.
 pub struct ClientConfig {
     /// Trusted roots for server (and middlebox) certificates.
@@ -43,6 +69,10 @@ pub struct ClientConfig {
     /// If set, require the peer to attest and verify against this
     /// policy.
     pub attestation_policy: Option<AttestationPolicy>,
+    /// If set, require the peer to present a delegated credential and
+    /// verify it against this policy (the peer may then present an
+    /// empty certificate chain; its identity is the credential).
+    pub delegation_policy: Option<DelegationPolicy>,
     /// Offer a SessionTicket extension (empty or cached) to signal
     /// RFC 5077 support.
     pub enable_tickets: bool,
@@ -75,6 +105,7 @@ impl ClientConfig {
             current_time: 0,
             extra_extensions: Vec::new(),
             attestation_policy: None,
+            delegation_policy: None,
             enable_tickets: true,
             enable_false_start: false,
             danger_disable_cert_verify: false,
@@ -103,6 +134,12 @@ pub struct ServerConfig {
     /// Attest even if the client did not explicitly ask (middleboxes
     /// in the paper always attest to their endpoint).
     pub always_attest: bool,
+    /// Credential provider: if present and the client requests (or
+    /// `always_delegate`), include a DelegatedCredential message.
+    pub credential_provider: Option<Arc<dyn CredentialProvider>>,
+    /// Present a credential even if the client did not explicitly ask
+    /// (delegated middleboxes always do).
+    pub always_delegate: bool,
     /// Session-ID resumption cache (id → (suite, master secret)),
     /// shared across all connections of this server.
     pub session_cache: SessionIdCache,
@@ -126,6 +163,8 @@ impl ServerConfig {
             issue_tickets: true,
             attestor: None,
             always_attest: false,
+            credential_provider: None,
+            always_delegate: false,
             session_cache: Arc::new(Mutex::new(HashMap::new())),
             assign_session_ids: false,
             strict_unknown_records: false,

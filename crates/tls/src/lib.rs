@@ -64,6 +64,8 @@ pub enum TlsError {
     Certificate(mbtls_pki::CertError),
     /// Attestation was required and failed.
     Attestation(mbtls_sgx::AttestationError),
+    /// A delegated credential was required and missing, or rejected.
+    Credential(mbtls_pki::CredentialError),
     /// The peer sent a fatal alert.
     PeerAlert(AlertDescription),
     /// A message arrived that is not legal in the current state.
@@ -87,6 +89,7 @@ impl std::fmt::Display for TlsError {
             TlsError::Crypto(e) => write!(f, "crypto error: {e}"),
             TlsError::Certificate(e) => write!(f, "certificate error: {e}"),
             TlsError::Attestation(e) => write!(f, "attestation error: {e}"),
+            TlsError::Credential(e) => write!(f, "credential error: {e}"),
             TlsError::PeerAlert(d) => write!(f, "peer sent fatal alert: {d}"),
             TlsError::UnexpectedMessage(what) => write!(f, "unexpected message: {what}"),
             TlsError::NegotiationFailed(what) => write!(f, "negotiation failed: {what}"),

@@ -23,6 +23,9 @@ pub mod handshake_type {
     pub const CLIENT_KEY_EXCHANGE: u8 = 16;
     /// sgx_attestation(17) — mbTLS addition (paper Appendix A.2).
     pub const SGX_ATTESTATION: u8 = 17;
+    /// delegated_credential(18) — mdTLS-style delegated middlebox
+    /// authorization (DESIGN.md §6j).
+    pub const DELEGATED_CREDENTIAL: u8 = 18;
     /// finished(20)
     pub const FINISHED: u8 = 20;
 }
@@ -36,6 +39,9 @@ pub mod extension_type {
     /// Request/acknowledge an SGX attestation in the handshake
     /// (private-range id; independent of mbTLS per the paper).
     pub const ATTESTATION_REQUEST: u16 = 0xFF78;
+    /// Request a delegated credential in the handshake (private-range
+    /// id; the mdTLS-style alternative to attestation).
+    pub const DELEGATION_REQUEST: u16 = 0xFF79;
 }
 
 /// A raw (type, payload) extension.
@@ -402,6 +408,36 @@ impl SgxAttestationMsg {
     }
 }
 
+/// The DelegatedCredential handshake message: the issuer's encoded
+/// certificate chain plus the opaque credential bytes (both parsed by
+/// `mbtls-pki`; this layer treats them as payloads).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DelegatedCredentialMsg {
+    /// The delegating endpoint's chain (`pki::cert::encode_chain`).
+    pub issuer_chain: Vec<u8>,
+    /// The encoded `pki::delegation::DelegatedCredential`.
+    pub credential: Vec<u8>,
+}
+
+impl DelegatedCredentialMsg {
+    /// Encode the handshake body.
+    pub fn encode_body(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.vec16(&self.issuer_chain);
+        e.vec16(&self.credential);
+        e.into_bytes()
+    }
+
+    /// Decode a handshake body.
+    pub fn decode_body(body: &[u8]) -> Result<Self, TlsError> {
+        let mut d = Decoder::new(body);
+        let issuer_chain = d.vec16()?.to_vec();
+        let credential = d.vec16()?.to_vec();
+        d.expect_end()?;
+        Ok(DelegatedCredentialMsg { issuer_chain, credential })
+    }
+}
+
 /// Wrap a handshake body with its 4-byte header.
 pub fn frame_handshake(typ: u8, body: &[u8]) -> Vec<u8> {
     let mut e = Encoder::new();
@@ -575,6 +611,12 @@ mod tests {
             quote: vec![9; 100],
         };
         assert_eq!(SgxAttestationMsg::decode_body(&a.encode_body()).unwrap(), a);
+        let c = DelegatedCredentialMsg {
+            issuer_chain: vec![7; 80],
+            credential: vec![8; 120],
+        };
+        assert_eq!(DelegatedCredentialMsg::decode_body(&c.encode_body()).unwrap(), c);
+        assert!(DelegatedCredentialMsg::decode_body(&c.encode_body()[..5]).is_err());
     }
 
     #[test]

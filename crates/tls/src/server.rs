@@ -13,8 +13,8 @@ use crate::config::ServerConfig;
 use crate::keyschedule::{self, strip_leading_zeros};
 use crate::messages::{
     choose_suite, extension_type, frame_handshake, handshake_type, ClientHello,
-    ClientKeyExchange, Extension, HandshakeReader, NewSessionTicket, ServerHello,
-    ServerKeyExchange, ServerKeyExchangeParams, SgxAttestationMsg,
+    ClientKeyExchange, DelegatedCredentialMsg, Extension, HandshakeReader, NewSessionTicket,
+    ServerHello, ServerKeyExchange, ServerKeyExchangeParams, SgxAttestationMsg,
 };
 use crate::record::{ContentType, DirectionState, RecordReader, frame_plaintext, fragment};
 use crate::session::{ConnectionSecrets, SessionKeys, TicketPlaintext};
@@ -527,6 +527,27 @@ impl ServerConnection {
                     quote: quote.encode(),
                 };
                 self.queue_handshake_plain(handshake_type::SGX_ATTESTATION, &msg.encode_body());
+            }
+        }
+
+        // Delegated credential: the mdTLS-style alternative to
+        // attestation, bound to this session through the same
+        // transcript binding.
+        let client_asked_delegation = ch
+            .find_extension(extension_type::DELEGATION_REQUEST)
+            .is_some();
+        if let Some(provider) = &self.config.credential_provider {
+            if client_asked_delegation || self.config.always_delegate {
+                let binding = self.transcript.attestation_binding();
+                let cred = provider.credential(binding);
+                let msg = DelegatedCredentialMsg {
+                    issuer_chain: mbtls_pki::cert::encode_chain(&provider.issuer_chain()),
+                    credential: cred.encode(),
+                };
+                self.queue_handshake_plain(
+                    handshake_type::DELEGATED_CREDENTIAL,
+                    &msg.encode_body(),
+                );
             }
         }
 

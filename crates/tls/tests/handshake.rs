@@ -527,3 +527,259 @@ fn reused_hello_transcripts_agree() {
     assert!(secondary.is_established());
     assert!(mbox_server.is_established());
 }
+
+// ---------------------------------------------------------------------------
+// Delegated middlebox credentials (mdTLS-style, DESIGN.md §6j)
+// ---------------------------------------------------------------------------
+
+use mbtls_pki::cert::Certificate;
+use mbtls_pki::delegation::{
+    CredentialError, CredentialIssuer, DelegatedCredential, DelegatedDirection, DelegatedKeyPair,
+    DelegatedRole,
+};
+use mbtls_tls::config::{CredentialProvider, DelegationPolicy};
+
+/// Test double: an endpoint that delegates to one middlebox key,
+/// issuing a fresh credential bound to each handshake's transcript.
+struct TestProvider {
+    issuer: CredentialIssuer,
+    mbox_key: mbtls_crypto::ed25519::VerifyingKey,
+    role: DelegatedRole,
+    /// When set, ignore the session binding and always use this nonce
+    /// (models a replayed credential from another session).
+    fixed_nonce: Option<[u8; 32]>,
+}
+
+impl CredentialProvider for TestProvider {
+    fn credential(&self, session_binding: [u8; 64]) -> DelegatedCredential {
+        let nonce = self.fixed_nonce.unwrap_or_else(|| {
+            let mut n = [0u8; 32];
+            n.copy_from_slice(&session_binding[..32]);
+            n
+        });
+        self.issuer.issue(
+            "proxy.msp.example",
+            self.mbox_key,
+            0,
+            1_000_000,
+            self.role,
+            DelegatedDirection::Both,
+            nonce,
+        )
+    }
+
+    fn issuer_chain(&self) -> Vec<Certificate> {
+        self.issuer.issuer_chain().to_vec()
+    }
+}
+
+/// Fixture for delegation tests: a CA-certified endpoint that acts as
+/// credential issuer, plus a delegated middlebox keypair.
+struct DelegationFixture {
+    trust: Arc<TrustStore>,
+    issuer_seed: [u8; 32],
+    issuer_chain: Vec<Certificate>,
+    mbox: DelegatedKeyPair,
+    rng: CryptoRng,
+}
+
+fn delegation_fixture(seed: u64) -> DelegationFixture {
+    let mut rng = CryptoRng::from_seed(seed);
+    let mut ca = CertificateAuthority::new_root("Test Root", 0, 1_000_000, &mut rng);
+    let issuer_seed: [u8; 32] = rng.gen_array();
+    let issuer_key = mbtls_crypto::ed25519::SigningKey::from_seed(&issuer_seed);
+    let cert = ca.issue(
+        "server.example",
+        &[],
+        issuer_key.verifying_key(),
+        0,
+        1_000_000,
+        KeyUsage::Endpoint,
+    );
+    let mbox = DelegatedKeyPair::generate(&mut rng);
+    let mut trust = TrustStore::new();
+    trust.add_root(ca.certificate().clone());
+    DelegationFixture {
+        trust: Arc::new(trust),
+        issuer_seed,
+        issuer_chain: vec![cert],
+        mbox,
+        rng,
+    }
+}
+
+impl DelegationFixture {
+    fn provider(&self, role: DelegatedRole, fixed_nonce: Option<[u8; 32]>) -> Arc<TestProvider> {
+        Arc::new(TestProvider {
+            issuer: CredentialIssuer::new(
+                self.issuer_seed,
+                "server.example",
+                self.issuer_chain.clone(),
+            ),
+            mbox_key: self.mbox.verifying_key(),
+            role,
+            fixed_nonce,
+        })
+    }
+
+    /// The delegated middlebox's server-side identity: its delegated
+    /// key with an *empty* chain — the credential is its identity.
+    fn mbox_identity(&self) -> Arc<CertifiedKey> {
+        Arc::new(CertifiedKey {
+            key: self.mbox.signing_key(),
+            chain: vec![],
+        })
+    }
+
+    fn policy(&self, required_role: Option<DelegatedRole>) -> DelegationPolicy {
+        DelegationPolicy {
+            trust_store: self.trust.clone(),
+            issuer: "server.example".to_string(),
+            required_role,
+        }
+    }
+}
+
+#[test]
+fn delegated_handshake_establishes_with_empty_chain() {
+    let mut f = delegation_fixture(70);
+    let mut cc = ClientConfig::new(f.trust.clone());
+    cc.delegation_policy = Some(f.policy(Some(DelegatedRole::ReadOnly)));
+    let mut sc = ServerConfig::new(f.mbox_identity(), [7u8; 32]);
+    sc.credential_provider = Some(f.provider(DelegatedRole::ReadWrite, None));
+    sc.always_delegate = true;
+
+    let mut client = ClientConnection::new(Arc::new(cc), "proxy.msp.example", &mut f.rng);
+    let mut server = ServerConnection::new(Arc::new(sc));
+    run_to_completion(&mut client, &mut server, &mut f.rng).unwrap();
+    assert!(client.is_established());
+    assert!(server.is_established());
+
+    let cred = client.peer_credential().expect("credential retained");
+    assert_eq!(cred.subject, "proxy.msp.example");
+    assert_eq!(cred.issuer, "server.example");
+    assert_eq!(cred.middlebox_key, f.mbox.verifying_key());
+
+    // Application data flows normally under the delegated identity.
+    client.send_data(b"ping").unwrap();
+    server
+        .feed_incoming(&client.take_outgoing(), &mut f.rng)
+        .unwrap();
+    assert_eq!(server.take_plaintext(), b"ping");
+}
+
+#[test]
+fn delegated_handshake_feeds_deferred_verify_seam() {
+    let mut f = delegation_fixture(71);
+    let mut cc = ClientConfig::new(f.trust.clone());
+    cc.delegation_policy = Some(f.policy(None));
+    cc.defer_verify = true;
+    let mut sc = ServerConfig::new(f.mbox_identity(), [7u8; 32]);
+    sc.credential_provider = Some(f.provider(DelegatedRole::ReadWrite, None));
+    sc.always_delegate = true;
+
+    let mut client = ClientConnection::new(Arc::new(cc), "proxy.msp.example", &mut f.rng);
+    let mut server = ServerConnection::new(Arc::new(sc));
+    run_to_completion(&mut client, &mut server, &mut f.rng).unwrap();
+
+    // Not established until the deferred batch is resolved.
+    assert!(!client.is_established());
+    let checks = client.take_pending_verify().expect("deferred checks");
+    // Chain anchor + credential signature + ServerKeyExchange signature.
+    assert!(checks.len() >= 3, "got {} checks", checks.len());
+    assert!(checks.iter().all(|c| c.check()));
+    client.resolve_verify(true);
+    assert!(client.is_established());
+    run_to_completion(&mut client, &mut server, &mut f.rng).unwrap();
+    assert!(server.is_established());
+}
+
+#[test]
+fn delegation_required_but_absent_fails() {
+    let mut f = delegation_fixture(72);
+    let mut cc = ClientConfig::new(f.trust.clone());
+    cc.delegation_policy = Some(f.policy(None));
+    // Server has a normal CA-issued identity and no credential provider.
+    let mut rng2 = CryptoRng::from_seed(720);
+    let mut ca2 = CertificateAuthority::new_root("Test Root", 0, 1_000_000, &mut rng2);
+    let plain_key = CertifiedKey::issue(
+        &mut ca2,
+        "proxy.msp.example",
+        &[],
+        0,
+        1_000_000,
+        KeyUsage::Endpoint,
+        &mut rng2,
+    );
+    let sc = ServerConfig::new(Arc::new(plain_key), [7u8; 32]);
+
+    let mut client = ClientConnection::new(Arc::new(cc), "proxy.msp.example", &mut f.rng);
+    let mut server = ServerConnection::new(Arc::new(sc));
+    let err = run_to_completion(&mut client, &mut server, &mut f.rng).unwrap_err();
+    assert!(matches!(err, TlsError::UnexpectedMessage(_)), "{err:?}");
+}
+
+#[test]
+fn delegated_credential_replayed_from_other_session_rejected() {
+    // Provider that replays a credential minted for a *different*
+    // session nonce: the client must reject it (SessionMismatch).
+    let mut f = delegation_fixture(73);
+    let mut cc = ClientConfig::new(f.trust.clone());
+    cc.delegation_policy = Some(f.policy(None));
+    let mut sc = ServerConfig::new(f.mbox_identity(), [7u8; 32]);
+    sc.credential_provider = Some(f.provider(DelegatedRole::ReadWrite, Some([0xAB; 32])));
+    sc.always_delegate = true;
+
+    let mut client = ClientConnection::new(Arc::new(cc), "proxy.msp.example", &mut f.rng);
+    let mut server = ServerConnection::new(Arc::new(sc));
+    let err = run_to_completion(&mut client, &mut server, &mut f.rng).unwrap_err();
+    assert_eq!(
+        err,
+        TlsError::Credential(CredentialError::SessionMismatch)
+    );
+}
+
+#[test]
+fn delegated_credential_insufficient_role_rejected() {
+    let mut f = delegation_fixture(74);
+    let mut cc = ClientConfig::new(f.trust.clone());
+    // Client demands write capability; credential only grants read.
+    cc.delegation_policy = Some(f.policy(Some(DelegatedRole::ReadWrite)));
+    let mut sc = ServerConfig::new(f.mbox_identity(), [7u8; 32]);
+    sc.credential_provider = Some(f.provider(DelegatedRole::ReadOnly, None));
+    sc.always_delegate = true;
+
+    let mut client = ClientConnection::new(Arc::new(cc), "proxy.msp.example", &mut f.rng);
+    let mut server = ServerConnection::new(Arc::new(sc));
+    let err = run_to_completion(&mut client, &mut server, &mut f.rng).unwrap_err();
+    assert_eq!(
+        err,
+        TlsError::Credential(CredentialError::RoleNotPermitted)
+    );
+}
+
+#[test]
+fn delegated_key_mismatch_breaks_key_exchange_signature() {
+    // Credential names a different key than the one the server signs
+    // its ServerKeyExchange with: verification of the SKE must fail.
+    let mut f = delegation_fixture(75);
+    let other = DelegatedKeyPair::generate(&mut f.rng);
+    let mut cc = ClientConfig::new(f.trust.clone());
+    cc.delegation_policy = Some(f.policy(None));
+    let mut sc = ServerConfig::new(f.mbox_identity(), [7u8; 32]);
+    sc.credential_provider = Some(Arc::new(TestProvider {
+        issuer: CredentialIssuer::new(f.issuer_seed, "server.example", f.issuer_chain.clone()),
+        mbox_key: other.verifying_key(),
+        role: DelegatedRole::ReadWrite,
+        fixed_nonce: None,
+    }));
+    sc.always_delegate = true;
+
+    let mut client = ClientConnection::new(Arc::new(cc), "proxy.msp.example", &mut f.rng);
+    let mut server = ServerConnection::new(Arc::new(sc));
+    let err = run_to_completion(&mut client, &mut server, &mut f.rng).unwrap_err();
+    assert!(
+        matches!(err, TlsError::Crypto(_) | TlsError::Credential(_)),
+        "{err:?}"
+    );
+}

@@ -57,8 +57,9 @@ stage test      cargo test -q --workspace
 stage telemetry scripts/telemetry_smoke.sh
 # Bench-reporter smoke: proves BENCH_dataplane.json (data-plane),
 # BENCH_scale.json (session-host capacity), BENCH_handshake.json
-# (handshake fast path), and BENCH_chain.json (read-only forward /
-# service chains) can be produced and are well-formed. Numbers from
+# (handshake fast path), BENCH_chain.json (read-only forward /
+# service chains), and BENCH_auth.json (middlebox-authorization
+# comparison) can be produced and are well-formed. Numbers from
 # this run are noisy by design; the committed artifacts come from a
 # full `scripts/bench_report.sh` run.
 stage bench     scripts/bench_report.sh --smoke
